@@ -1,0 +1,59 @@
+//! Benchmarks for the clustering baseline: pairwise dissimilarity matrix
+//! construction (Pearson over rating vectors) and constrained HAC under
+//! each linkage criterion.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use prox_cluster::{cluster, matrix_of, user_dissimilarity, user_features, Linkage};
+use prox_datasets::{MovieLens, MovieLensConfig};
+use std::hint::black_box;
+
+fn setup() -> (MovieLens, Vec<prox_cluster::FeatureVector>) {
+    let d = MovieLens::generate(MovieLensConfig {
+        users: 50,
+        movies: 10,
+        ratings_per_user: 4,
+        seed: 21,
+    });
+    let interactions: Vec<_> = d.ratings.iter().map(|r| (r.user, r.movie, r.stars)).collect();
+    let feats = user_features(&d.users, &interactions, &d.store);
+    (d, feats)
+}
+
+fn bench_matrix(c: &mut Criterion) {
+    let (_, feats) = setup();
+    c.bench_function("clustering/dissimilarity_matrix_50", |b| {
+        b.iter(|| matrix_of(black_box(&feats), user_dissimilarity))
+    });
+}
+
+fn bench_linkages(c: &mut Criterion) {
+    let (_, feats) = setup();
+    let matrix = matrix_of(&feats, user_dissimilarity);
+    for linkage in [Linkage::Single, Linkage::Average, Linkage::Ward] {
+        c.bench_function(&format!("clustering/hac_50_{:?}", linkage), |b| {
+            b.iter(|| cluster(black_box(&matrix), linkage, |_, _| true))
+        });
+    }
+}
+
+fn bench_constrained(c: &mut Criterion) {
+    let (d, feats) = setup();
+    let matrix = matrix_of(&feats, user_dissimilarity);
+    let constraints = {
+        let mut d2 = d.clone();
+        d2.constraints()
+    };
+    let users = d.users.clone();
+    let store = d.store.clone();
+    c.bench_function("clustering/hac_50_constrained", |b| {
+        b.iter(|| {
+            cluster(black_box(&matrix), Linkage::Single, |l, r| {
+                let members: Vec<_> = l.iter().chain(r).map(|&ix| users[ix]).collect();
+                constraints.group_ok(&members, &store, None)
+            })
+        })
+    });
+}
+
+criterion_group!(benches, bench_matrix, bench_linkages, bench_constrained);
+criterion_main!(benches);

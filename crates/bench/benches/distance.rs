@@ -1,0 +1,77 @@
+//! Benchmarks for distance computation: the exact engine over a valuation
+//! class (the algorithm's inner loop, Fig 6.5a) and the Prop 4.1.2 sampler.
+
+use std::collections::HashMap;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use prox_core::{approx_distance, DistanceEngine, SamplerConfig, ValFuncKind};
+use prox_datasets::{MovieLens, MovieLensConfig};
+use prox_provenance::{AggKind, Mapping, Phi, PhiMap, ValuationClass};
+use std::hint::black_box;
+
+fn bench_engine(c: &mut Criterion) {
+    let mut d = MovieLens::generate(MovieLensConfig {
+        users: 25,
+        movies: 5,
+        ratings_per_user: 2,
+        seed: 7,
+    });
+    let p0 = d.provenance(AggKind::Max);
+    let vals = d.valuations(ValuationClass::CancelSingleAttribute);
+    let dom = d.store.domain("users");
+    let members: Vec<_> = d.users[..2].to_vec();
+    let g = d.store.add_summary("G", dom, &members);
+    let h = Mapping::group(&members, g);
+    let summary = p0.map(&h);
+    let engine = DistanceEngine::new(&p0, &vals, PhiMap::uniform(Phi::Or), ValFuncKind::Euclidean);
+    let no_override = HashMap::new();
+    c.bench_function("distance/engine_one_candidate", |b| {
+        b.iter(|| {
+            engine.distance(
+                black_box(&summary),
+                black_box(&h),
+                black_box(&d.store),
+                &no_override,
+            )
+        })
+    });
+}
+
+fn bench_sampler(c: &mut Criterion) {
+    let mut d = MovieLens::generate(MovieLensConfig {
+        users: 25,
+        movies: 5,
+        ratings_per_user: 2,
+        seed: 7,
+    });
+    let p0 = d.provenance(AggKind::Max);
+    let dom = d.store.domain("users");
+    let members: Vec<_> = d.users[..2].to_vec();
+    let g = d.store.add_summary("G", dom, &members);
+    let h = Mapping::group(&members, g);
+    let summary = p0.map(&h);
+    let phis = PhiMap::uniform(Phi::Or);
+    let cfg = SamplerConfig {
+        epsilon: 0.05,
+        delta: 0.05,
+        seed: 5,
+        max_samples: None,
+    };
+    c.bench_function("distance/sampler_eps005", |b| {
+        b.iter(|| {
+            approx_distance(
+                black_box(&p0),
+                black_box(&summary),
+                &h,
+                &d.store,
+                &HashMap::new(),
+                &phis,
+                ValFuncKind::Euclidean,
+                cfg,
+            )
+        })
+    });
+}
+
+criterion_group!(benches, bench_engine, bench_sampler);
+criterion_main!(benches);

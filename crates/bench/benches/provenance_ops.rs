@@ -1,0 +1,72 @@
+//! Micro-benchmarks for the provenance substrate: polynomial arithmetic,
+//! expression evaluation, and homomorphic mapping + simplification.
+//! These back the "evaluation time" axis of the usage-time experiment.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use prox_datasets::{MovieLens, MovieLensConfig};
+use prox_provenance::{AggKind, Mapping, Polynomial, Valuation};
+use std::hint::black_box;
+
+fn dataset() -> MovieLens {
+    MovieLens::generate(MovieLensConfig {
+        users: 50,
+        movies: 10,
+        ratings_per_user: 3,
+        seed: 42,
+    })
+}
+
+fn bench_polynomial(c: &mut Criterion) {
+    let d = dataset();
+    let vars: Vec<Polynomial> = d.users.iter().map(|&u| Polynomial::var(u)).collect();
+    c.bench_function("polynomial/sum_50_vars", |b| {
+        b.iter(|| {
+            let mut acc = Polynomial::zero();
+            for v in &vars {
+                acc = acc.add(black_box(v));
+            }
+            acc
+        })
+    });
+    c.bench_function("polynomial/product_8_vars", |b| {
+        b.iter(|| {
+            let mut acc = Polynomial::one();
+            for v in &vars[..8] {
+                acc = acc.mul(black_box(v));
+            }
+            acc
+        })
+    });
+}
+
+fn bench_eval(c: &mut Criterion) {
+    let d = dataset();
+    let p = d.provenance(AggKind::Max);
+    let all_true = Valuation::all_true();
+    let cancel = Valuation::cancel(&d.users[..5]);
+    c.bench_function("eval/provexpr_150ratings_all_true", |b| {
+        b.iter(|| black_box(&p).eval(black_box(&all_true)))
+    });
+    c.bench_function("eval/provexpr_150ratings_cancel5", |b| {
+        b.iter(|| black_box(&p).eval(black_box(&cancel)))
+    });
+}
+
+fn bench_mapping(c: &mut Criterion) {
+    let mut d = dataset();
+    let p = d.provenance(AggKind::Max);
+    let dom = d.store.domain("users");
+    let members: Vec<_> = d.users[..10].to_vec();
+    let g = d.store.add_summary("G", dom, &members);
+    let h = Mapping::group(&members, g);
+    c.bench_function("mapping/apply_and_simplify", |b| {
+        b.iter_batched(
+            || p.clone(),
+            |expr| expr.map(black_box(&h)),
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+criterion_group!(benches, bench_polynomial, bench_eval, bench_mapping);
+criterion_main!(benches);

@@ -1,0 +1,77 @@
+//! Benchmarks for the summarization algorithm itself: the equivalence
+//! pre-pass, candidate enumeration, one greedy step, and a full run —
+//! the components behind Fig 6.5b's summarization-time curve.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use prox_core::{
+    candidates, equivalence_classes, group_equivalent, SummarizeConfig, Summarizer,
+};
+use prox_datasets::{MovieLens, MovieLensConfig};
+use prox_provenance::{AggKind, ValuationClass};
+use std::hint::black_box;
+
+fn setup() -> (
+    MovieLens,
+    prox_provenance::ProvExpr,
+    Vec<prox_provenance::Valuation>,
+    prox_core::ConstraintConfig,
+) {
+    let mut d = MovieLens::generate(MovieLensConfig {
+        users: 25,
+        movies: 5,
+        ratings_per_user: 2,
+        seed: 13,
+    });
+    let p0 = d.provenance(AggKind::Max);
+    let vals = d.valuations(ValuationClass::CancelSingleAttribute);
+    let constraints = d.constraints();
+    (d, p0, vals, constraints)
+}
+
+fn bench_equivalence(c: &mut Criterion) {
+    let (d, p0, vals, constraints) = setup();
+    let anns = d.users.clone();
+    c.bench_function("summarize/equivalence_classes", |b| {
+        b.iter(|| equivalence_classes(black_box(&anns), black_box(&vals)))
+    });
+    c.bench_function("summarize/group_equivalent", |b| {
+        b.iter_batched(
+            || d.store.clone(),
+            |mut store| group_equivalent(&p0, &vals, &mut store, &constraints, None),
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_candidates(c: &mut Criterion) {
+    let (d, p0, _, constraints) = setup();
+    let anns = prox_provenance::Summarizable::annotations(&p0);
+    c.bench_function("summarize/enumerate_candidates", |b| {
+        b.iter(|| candidates::enumerate(black_box(&anns), &d.store, &constraints, None, 2))
+    });
+}
+
+fn bench_steps(c: &mut Criterion) {
+    let (d, p0, vals, constraints) = setup();
+    for steps in [1usize, 5] {
+        c.bench_function(&format!("summarize/prov_approx_{steps}_steps"), |b| {
+            b.iter_batched(
+                || d.store.clone(),
+                |mut store| {
+                    let config = SummarizeConfig {
+                        w_dist: 1.0,
+                        w_size: 0.0,
+                        max_steps: steps,
+                        ..Default::default()
+                    };
+                    let mut s = Summarizer::new(&mut store, constraints.clone(), config);
+                    s.summarize(&p0, &vals).expect("valid config")
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+}
+
+criterion_group!(benches, bench_equivalence, bench_candidates, bench_steps);
+criterion_main!(benches);

@@ -1,0 +1,212 @@
+//! The experiments binary: regenerates every table and figure of the PROX
+//! evaluation chapter.
+//!
+//! Usage: `cargo run -p prox-bench --release --bin experiments -- <exp>`
+//! where `<exp>` is one of the ids below, or `all`. Results print as text
+//! tables and land in `reports/` as `.txt` + `.json`.
+
+use prox_bench::experiments::{
+    kway_experiment, sampler_accuracy_experiment, score_mode_experiment, steps_experiment,
+    table51, target_dist_experiment, target_size_experiment, timing_experiment,
+    usage_time_experiment, wdist_experiment, Scale,
+};
+use prox_bench::report::{emit, emit_text};
+use prox_bench::workload;
+use prox_cluster::Linkage;
+use prox_provenance::{AggKind, ValuationClass};
+
+const USAGE: &str = "experiments -- <exp> [--quick]
+  table51            Table 5.1 (dataset/parameter matrix)
+  wdist-ml           Figs 6.1a + 6.2a (MovieLens wDist sweep)
+  target-size-ml     Fig 6.1b
+  target-dist-ml     Fig 6.2b
+  steps-ml           Figs 6.3a + 6.3b
+  usage-time-ml      Figs 6.4a + 6.4b
+  timing-ml          Figs 6.5a + 6.5b
+  wdist-wiki         Figs 6.6a + 6.7a (Wikipedia)
+  target-size-wiki   Fig 6.6b
+  target-dist-wiki   Fig 6.7b
+  wdist-ddp          Figs 6.8a + 6.9a (DDP)
+  target-size-ddp    Fig 6.8b
+  target-dist-ddp    Fig 6.9b
+  kway-ml            Ablation A.1 (k-way merging)
+  score-mode-ml      Ablation A.2 (rank vs normalized score)
+  sampler-accuracy   Ablation A.3 (Prop 4.1.2 empirically)
+  greedy-gap         Ablation A.4 (greedy vs exhaustive optimum)
+  all                everything above";
+
+fn ml(scale: Scale) -> Vec<prox_bench::Workload<prox_provenance::ProvExpr>> {
+    // §6.4's setting: Cancel Single Attribute, MAX aggregation.
+    workload::movielens(
+        scale.instances,
+        ValuationClass::CancelSingleAttribute,
+        AggKind::Max,
+        Linkage::Single,
+    )
+}
+
+fn wiki(scale: Scale) -> Vec<prox_bench::Workload<prox_provenance::ProvExpr>> {
+    // §6.10: Cancel Single Annotation, SUM aggregation.
+    workload::wikipedia(
+        scale.instances,
+        ValuationClass::CancelSingleAnnotation,
+        Linkage::Single,
+    )
+}
+
+fn ddp(scale: Scale) -> Vec<prox_bench::Workload<prox_provenance::DdpExpr>> {
+    // §6.10: Cancel Single Attribute for DDP.
+    workload::ddp(scale.instances, ValuationClass::CancelSingleAttribute)
+}
+
+fn run_experiment(name: &str, scale: Scale) -> bool {
+    let ok = |r: std::io::Result<()>| r.expect("writing reports");
+    match name {
+        "table51" => ok(emit_text("table51", &table51())),
+        "wdist-ml" => {
+            let ws = ml(scale);
+            let steps = if scale.quick { 5 } else { 20 };
+            let (d, s) = wdist_experiment(&ws, scale, steps, "6.1a", "6.2a", "MovieLens");
+            ok(emit(&d));
+            ok(emit(&s));
+        }
+        "target-size-ml" => {
+            let ws = ml(scale);
+            ok(emit(&target_size_experiment(&ws, scale, "6.1b", "MovieLens")));
+        }
+        "target-dist-ml" => {
+            let ws = ml(scale);
+            ok(emit(&target_dist_experiment(&ws, scale, "6.2b", "MovieLens")));
+        }
+        "steps-ml" => {
+            let ws = ml(scale);
+            let (d, s) = steps_experiment(&ws, scale, "6.3b", "6.3a", "MovieLens");
+            ok(emit(&s));
+            ok(emit(&d));
+        }
+        "usage-time-ml" => {
+            let ws = ml(scale);
+            for fig in usage_time_experiment(&ws, scale, &[("6.4a", 20), ("6.4b", 30)]) {
+                ok(emit(&fig));
+            }
+        }
+        "timing-ml" => {
+            let ws = ml(scale);
+            let (c, s) = timing_experiment(&ws, scale, "6.5a", "6.5b");
+            ok(emit(&c));
+            ok(emit(&s));
+        }
+        "wdist-wiki" => {
+            let ws = wiki(scale);
+            let steps = if scale.quick { 5 } else { 20 };
+            let (d, s) = wdist_experiment(&ws, scale, steps, "6.6a", "6.7a", "Wikipedia");
+            ok(emit(&d));
+            ok(emit(&s));
+        }
+        "target-size-wiki" => {
+            let ws = wiki(scale);
+            ok(emit(&target_size_experiment(&ws, scale, "6.6b", "Wikipedia")));
+        }
+        "target-dist-wiki" => {
+            let ws = wiki(scale);
+            ok(emit(&target_dist_experiment(&ws, scale, "6.7b", "Wikipedia")));
+        }
+        "wdist-ddp" => {
+            let ws = ddp(scale);
+            let steps = if scale.quick { 4 } else { 10 };
+            let (d, s) = wdist_experiment(&ws, scale, steps, "6.8a", "6.9a", "DDP");
+            ok(emit(&d));
+            ok(emit(&s));
+        }
+        "target-size-ddp" => {
+            let ws = ddp(scale);
+            let fractions = if scale.quick {
+                vec![0.9, 0.95]
+            } else {
+                vec![0.8, 0.82, 0.84, 0.86, 0.88, 0.9, 0.92, 0.94, 0.96, 0.98]
+            };
+            ok(emit(&prox_bench::experiments::target_size_experiment_with(
+                &ws,
+                scale,
+                "6.8b",
+                "DDP",
+                Some(fractions),
+            )));
+        }
+        "target-dist-ddp" => {
+            let ws = ddp(scale);
+            let grid = if scale.quick {
+                vec![0.002, 0.008]
+            } else {
+                (1..=10).map(|i| i as f64 / 1000.0).collect()
+            };
+            ok(emit(&prox_bench::experiments::target_dist_experiment_with(
+                &ws,
+                scale,
+                "6.9b",
+                "DDP",
+                Some(grid),
+            )));
+        }
+        "kway-ml" => {
+            let ws = ml(scale);
+            ok(emit(&kway_experiment(&ws, scale)));
+        }
+        "score-mode-ml" => {
+            let ws = ml(scale);
+            ok(emit(&score_mode_experiment(&ws, scale)));
+        }
+        "sampler-accuracy" => {
+            ok(emit(&sampler_accuracy_experiment(scale)));
+        }
+        "greedy-gap" => {
+            ok(emit(&prox_bench::experiments::greedy_gap_experiment(scale)));
+        }
+        _ => return false,
+    }
+    true
+}
+
+const ALL: &[&str] = &[
+    "table51",
+    "wdist-ml",
+    "target-size-ml",
+    "target-dist-ml",
+    "steps-ml",
+    "usage-time-ml",
+    "timing-ml",
+    "wdist-wiki",
+    "target-size-wiki",
+    "target-dist-wiki",
+    "wdist-ddp",
+    "target-size-ddp",
+    "target-dist-ddp",
+    "kway-ml",
+    "score-mode-ml",
+    "sampler-accuracy",
+    "greedy-gap",
+];
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let scale = if quick { Scale::quick() } else { Scale::full() };
+    let names: Vec<&str> = args.iter().filter(|a| *a != "--quick").map(String::as_str).collect();
+    if names.is_empty() {
+        eprintln!("{USAGE}");
+        std::process::exit(2);
+    }
+    for name in names {
+        if name == "all" {
+            for exp in ALL {
+                eprintln!("── running {exp} ──");
+                let t = std::time::Instant::now();
+                run_experiment(exp, scale);
+                eprintln!("   ({:.1?})", t.elapsed());
+            }
+        } else if !run_experiment(name, scale) {
+            eprintln!("unknown experiment {name:?}\n{USAGE}");
+            std::process::exit(2);
+        }
+    }
+}

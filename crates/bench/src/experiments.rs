@@ -1,0 +1,859 @@
+//! The experiment suite: one function per table/figure of Chapter 6.
+//!
+//! Every function returns [`Figure`]s whose series reproduce the paper's
+//! plots (same axes, same algorithms). `quick` mode shrinks grids and
+//! instance counts so integration tests can exercise every experiment in
+//! seconds; the `experiments` binary runs the full versions.
+
+use std::collections::HashMap;
+
+use prox_core::{
+    approx_distance, exact_distance_all, SamplerConfig, ScoreMode, SummarizeConfig,
+};
+use prox_provenance::{
+    AggKind, AnnId, Mapping, ProvExpr, Summarizable, Valuation,
+};
+use prox_system::evaluator::time_valuations;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use crate::runner::{run, Algo};
+use crate::series::{average, Figure, Series};
+use crate::workload::Workload;
+
+/// Experiment scale.
+#[derive(Clone, Copy, Debug)]
+pub struct Scale {
+    /// Dataset instances to average over.
+    pub instances: usize,
+    /// Random-baseline seeds to average over.
+    pub random_seeds: u64,
+    /// Grid density divisor (1 = full grids).
+    pub quick: bool,
+}
+
+impl Scale {
+    /// Full scale (the paper's setting: several instances, full grids).
+    pub fn full() -> Self {
+        Scale {
+            instances: 3,
+            random_seeds: 5,
+            quick: false,
+        }
+    }
+
+    /// Quick scale for tests.
+    pub fn quick() -> Self {
+        Scale {
+            instances: 1,
+            random_seeds: 2,
+            quick: true,
+        }
+    }
+
+    fn wdist_grid(&self) -> Vec<f64> {
+        if self.quick {
+            vec![0.0, 0.5, 1.0]
+        } else {
+            (0..=10).map(|i| i as f64 / 10.0).collect()
+        }
+    }
+
+    fn max_steps(&self) -> usize {
+        if self.quick {
+            5
+        } else {
+            20
+        }
+    }
+}
+
+/// Average final (distance, size) for the Random baseline across seeds.
+fn random_avg<E: Summarizable>(
+    workloads: &[Workload<E>],
+    config: &SummarizeConfig,
+    seeds: u64,
+) -> (f64, f64) {
+    let mut d = 0.0;
+    let mut s = 0.0;
+    let mut n = 0;
+    for seed in 0..seeds {
+        for w in workloads {
+            let res = run(w, Algo::Random { seed }, config).expect("random always runs");
+            d += res.final_distance;
+            s += res.final_size() as f64;
+            n += 1;
+        }
+    }
+    (d / n as f64, s / n as f64)
+}
+
+/// The wDist experiment (§6.4): distance and size as functions of wDist
+/// for the three algorithms. Returns `(distance figure, size figure)`.
+pub fn wdist_experiment<E: Summarizable>(
+    workloads: &[Workload<E>],
+    scale: Scale,
+    max_steps: usize,
+    fig_dist: &str,
+    fig_size: &str,
+    dataset: &str,
+) -> (Figure, Figure) {
+    let grid = scale.wdist_grid();
+    let mut dist_fig = Figure::new(
+        fig_dist,
+        format!("Average Distance as a Function of wDist ({dataset})"),
+        "wDist",
+        "avg normalized distance",
+    );
+    let mut size_fig = Figure::new(
+        fig_size,
+        format!("Average Size as a Function of wDist ({dataset})"),
+        "wDist",
+        "avg provenance size",
+    );
+
+    let mut pa_dist = Series::new("Prov-Approx");
+    let mut pa_size = Series::new("Prov-Approx");
+    for &w_dist in &grid {
+        let config = SummarizeConfig {
+            w_dist,
+            w_size: 1.0 - w_dist,
+            max_steps,
+            ..Default::default()
+        };
+        let mut d_sum = 0.0;
+        let mut s_sum = 0.0;
+        for w in workloads {
+            let res = run(w, Algo::ProvApprox, &config).expect("prov-approx runs");
+            d_sum += res.final_distance;
+            s_sum += res.final_size() as f64;
+        }
+        pa_dist.push(w_dist, d_sum / workloads.len() as f64);
+        pa_size.push(w_dist, s_sum / workloads.len() as f64);
+    }
+    dist_fig.push(pa_dist);
+    size_fig.push(pa_size);
+
+    // Clustering and Random ignore wDist (§6.4): run once, show flat.
+    let flat_config = SummarizeConfig {
+        max_steps,
+        ..Default::default()
+    };
+    if workloads.iter().all(|w| w.cluster_merges.is_some()) {
+        let mut d_sum = 0.0;
+        let mut s_sum = 0.0;
+        for w in workloads {
+            let res = run(w, Algo::Clustering, &flat_config).expect("merges present");
+            d_sum += res.final_distance;
+            s_sum += res.final_size() as f64;
+        }
+        let (d, s) = (
+            d_sum / workloads.len() as f64,
+            s_sum / workloads.len() as f64,
+        );
+        let mut cd = Series::new("Clustering");
+        let mut cs = Series::new("Clustering");
+        for &x in &grid {
+            cd.push(x, d);
+            cs.push(x, s);
+        }
+        dist_fig.push(cd);
+        size_fig.push(cs);
+    }
+    let (rd, rs) = random_avg(workloads, &flat_config, scale.random_seeds);
+    let mut rnd_d = Series::new("Random");
+    let mut rnd_s = Series::new("Random");
+    for &x in &grid {
+        rnd_d.push(x, rd);
+        rnd_s.push(x, rs);
+    }
+    dist_fig.push(rnd_d);
+    size_fig.push(rnd_s);
+
+    (dist_fig, size_fig)
+}
+
+/// The TARGET-SIZE experiment (§6.5): distance as a function of the size
+/// bound, with `wDist = 1` and `TARGET-DIST = 1`.
+pub fn target_size_experiment<E: Summarizable>(
+    workloads: &[Workload<E>],
+    scale: Scale,
+    fig_id: &str,
+    dataset: &str,
+) -> Figure {
+    target_size_experiment_with(workloads, scale, fig_id, dataset, None)
+}
+
+/// Like [`target_size_experiment`] with an explicit TARGET-SIZE grid given
+/// as fractions of the initial size — DDP provenance shrinks less per
+/// step, so its grid sits closer to 1.
+pub fn target_size_experiment_with<E: Summarizable>(
+    workloads: &[Workload<E>],
+    scale: Scale,
+    fig_id: &str,
+    dataset: &str,
+    fractions: Option<Vec<f64>>,
+) -> Figure {
+    let initial = workloads
+        .iter()
+        .map(|w| w.initial_size())
+        .sum::<usize>() as f64
+        / workloads.len() as f64;
+    let fractions: Vec<f64> = fractions.unwrap_or_else(|| {
+        if scale.quick {
+            vec![0.5, 0.7]
+        } else {
+            vec![0.3, 0.35, 0.4, 0.45, 0.5, 0.55, 0.6, 0.65, 0.7, 0.75]
+        }
+    });
+    let mut fig = Figure::new(
+        fig_id,
+        format!("Average Distance as a Function of TARGET-SIZE ({dataset})"),
+        "TARGET-SIZE",
+        "avg normalized distance",
+    );
+    let mut pa = Series::new("Prov-Approx");
+    let mut cl = Series::new("Clustering");
+    let mut rn = Series::new("Random");
+    let clustering_available = workloads.iter().all(|w| w.cluster_merges.is_some());
+    for &f in &fractions {
+        let target = (initial * f).round() as usize;
+        let config = SummarizeConfig {
+            w_dist: 1.0,
+            w_size: 0.0,
+            target_size: target,
+            target_dist: 1.0,
+            max_steps: usize::MAX,
+            ..Default::default()
+        };
+        let mut d_pa = 0.0;
+        for w in workloads {
+            d_pa += run(w, Algo::ProvApprox, &config)
+                .expect("prov-approx runs")
+                .final_distance;
+        }
+        pa.push(target as f64, d_pa / workloads.len() as f64);
+        if clustering_available {
+            let mut d_cl = 0.0;
+            for w in workloads {
+                d_cl += run(w, Algo::Clustering, &config)
+                    .expect("merges present")
+                    .final_distance;
+            }
+            cl.push(target as f64, d_cl / workloads.len() as f64);
+        }
+        let (rd, _) = random_avg(workloads, &config, scale.random_seeds);
+        rn.push(target as f64, rd);
+    }
+    fig.push(pa);
+    if clustering_available {
+        fig.push(cl);
+    }
+    fig.push(rn);
+    fig
+}
+
+/// The TARGET-DIST experiment (§6.6): size as a function of the distance
+/// bound, with `wSize = 1` and `TARGET-SIZE = 1`.
+pub fn target_dist_experiment<E: Summarizable>(
+    workloads: &[Workload<E>],
+    scale: Scale,
+    fig_id: &str,
+    dataset: &str,
+) -> Figure {
+    target_dist_experiment_with(workloads, scale, fig_id, dataset, None)
+}
+
+/// Like [`target_dist_experiment`] with an explicit TARGET-DIST grid — DDP
+/// merges cost far less distance per step, so its grid sits an order of
+/// magnitude lower.
+pub fn target_dist_experiment_with<E: Summarizable>(
+    workloads: &[Workload<E>],
+    scale: Scale,
+    fig_id: &str,
+    dataset: &str,
+    grid: Option<Vec<f64>>,
+) -> Figure {
+    let grid: Vec<f64> = grid.unwrap_or_else(|| {
+        if scale.quick {
+            vec![0.02, 0.08]
+        } else {
+            (1..=10).map(|i| i as f64 / 100.0).collect()
+        }
+    });
+    let mut fig = Figure::new(
+        fig_id,
+        format!("Average Size as a Function of TARGET-DIST ({dataset})"),
+        "TARGET-DIST",
+        "avg provenance size",
+    );
+    let mut pa = Series::new("Prov-Approx");
+    let mut cl = Series::new("Clustering");
+    let mut rn = Series::new("Random");
+    let clustering_available = workloads.iter().all(|w| w.cluster_merges.is_some());
+    for &target in &grid {
+        let config = SummarizeConfig {
+            w_dist: 0.0,
+            w_size: 1.0,
+            target_size: 1,
+            target_dist: target,
+            max_steps: usize::MAX,
+            ..Default::default()
+        };
+        let mut s_pa = 0.0;
+        for w in workloads {
+            s_pa += run(w, Algo::ProvApprox, &config)
+                .expect("prov-approx runs")
+                .final_size() as f64;
+        }
+        pa.push(target, s_pa / workloads.len() as f64);
+        if clustering_available {
+            let mut s_cl = 0.0;
+            for w in workloads {
+                s_cl += run(w, Algo::Clustering, &config)
+                    .expect("merges present")
+                    .final_size() as f64;
+            }
+            cl.push(target, s_cl / workloads.len() as f64);
+        }
+        let (_, rs) = random_avg(workloads, &config, scale.random_seeds);
+        rn.push(target, rs);
+    }
+    fig.push(pa);
+    if clustering_available {
+        fig.push(cl);
+    }
+    fig.push(rn);
+    fig
+}
+
+/// The varying-steps experiment (§6.7): distance and size vs wDist for
+/// several step budgets. Returns `(distance figure, size figure)`.
+pub fn steps_experiment(
+    workloads: &[Workload<ProvExpr>],
+    scale: Scale,
+    fig_dist: &str,
+    fig_size: &str,
+    dataset: &str,
+) -> (Figure, Figure) {
+    let steps = if scale.quick {
+        vec![3, 5]
+    } else {
+        vec![20, 30, 40]
+    };
+    let grid = scale.wdist_grid();
+    let mut dist_fig = Figure::new(
+        fig_dist,
+        format!("Average Distance vs wDist for Varying Steps ({dataset})"),
+        "wDist",
+        "avg normalized distance",
+    );
+    let mut size_fig = Figure::new(
+        fig_size,
+        format!("Average Size vs wDist for Varying Steps ({dataset})"),
+        "wDist",
+        "avg provenance size",
+    );
+    for &max_steps in &steps {
+        let mut d_series = Series::new(format!("{max_steps} steps"));
+        let mut s_series = Series::new(format!("{max_steps} steps"));
+        for &w_dist in &grid {
+            let config = SummarizeConfig {
+                w_dist,
+                w_size: 1.0 - w_dist,
+                max_steps,
+                ..Default::default()
+            };
+            let mut d = 0.0;
+            let mut s = 0.0;
+            for w in workloads {
+                let res = run(w, Algo::ProvApprox, &config).expect("prov-approx runs");
+                d += res.final_distance;
+                s += res.final_size() as f64;
+            }
+            d_series.push(w_dist, d / workloads.len() as f64);
+            s_series.push(w_dist, s / workloads.len() as f64);
+        }
+        dist_fig.push(d_series);
+        size_fig.push(s_series);
+    }
+    (dist_fig, size_fig)
+}
+
+/// The usage-time experiment (§6.8): ratio of summary to original
+/// evaluation time over 10 random valuations, vs wDist, for each step
+/// budget. Returns one figure per step budget.
+pub fn usage_time_experiment(
+    workloads: &[Workload<ProvExpr>],
+    scale: Scale,
+    fig_ids: &[(&str, usize)],
+) -> Vec<Figure> {
+    let grid = scale.wdist_grid();
+    let mut figures = Vec::new();
+    for &(fig_id, max_steps) in fig_ids {
+        let max_steps = if scale.quick { max_steps.min(5) } else { max_steps };
+        let mut fig = Figure::new(
+            fig_id,
+            format!("Usage Time Ratio (summary/original), {max_steps} steps"),
+            "wDist",
+            "evaluation-time ratio",
+        );
+        let mut pa = Series::new("Prov-Approx");
+        for &w_dist in &grid {
+            let config = SummarizeConfig {
+                w_dist,
+                w_size: 1.0 - w_dist,
+                max_steps,
+                ..Default::default()
+            };
+            let mut ratio_sum = 0.0;
+            for w in workloads {
+                let res = run(w, Algo::ProvApprox, &config).expect("prov-approx runs");
+                ratio_sum += usage_ratio(w, &res.summary, &res.mapping);
+            }
+            pa.push(w_dist, ratio_sum / workloads.len() as f64);
+        }
+        fig.push(pa);
+
+        // Clustering/Random ignore wDist: flat averages.
+        let flat = SummarizeConfig {
+            max_steps,
+            ..Default::default()
+        };
+        if workloads.iter().all(|w| w.cluster_merges.is_some()) {
+            let mut r = 0.0;
+            for w in workloads {
+                let res = run(w, Algo::Clustering, &flat).expect("merges present");
+                r += usage_ratio(w, &res.summary, &res.mapping);
+            }
+            let r = r / workloads.len() as f64;
+            let mut s = Series::new("Clustering");
+            for &x in &grid {
+                s.push(x, r);
+            }
+            fig.push(s);
+        }
+        let mut r = 0.0;
+        let mut n = 0;
+        for seed in 0..scale.random_seeds {
+            for w in workloads {
+                let res = run(w, Algo::Random { seed }, &flat).expect("random runs");
+                r += usage_ratio(w, &res.summary, &res.mapping);
+                n += 1;
+            }
+        }
+        let r = r / n as f64;
+        let mut s = Series::new("Random");
+        for &x in &grid {
+            s.push(x, r);
+        }
+        fig.push(s);
+        figures.push(fig);
+    }
+    figures
+}
+
+/// Evaluation-time ratio over 10 randomly chosen valuations (repeated for
+/// timing stability).
+fn usage_ratio(w: &Workload<ProvExpr>, summary: &ProvExpr, mapping: &Mapping) -> f64 {
+    let mut rng = StdRng::seed_from_u64(99);
+    let picks: Vec<Valuation> = (0..10)
+        .map(|_| w.valuations[rng.random_range(0..w.valuations.len())].clone())
+        .collect();
+    // The summary needs lifted valuations; `time_valuations` lifts before
+    // timing, so the measured section is evaluation only.
+    let _ = mapping;
+    const REPS: usize = 20;
+    let mut orig_ns = 0u128;
+    let mut summ_ns = 0u128;
+    for _ in 0..REPS {
+        orig_ns += time_valuations(&w.p0, &picks, &w.store);
+        summ_ns += time_valuations(summary, &picks, &w.store);
+    }
+    if orig_ns == 0 {
+        1.0
+    } else {
+        summ_ns as f64 / orig_ns as f64
+    }
+}
+
+/// The timing experiment (§6.9): per-candidate computation time and
+/// per-step summarization time as functions of the expression size, with
+/// `wDist = 1` and 50 steps. Returns `(candidate-time fig, step-time fig)`.
+pub fn timing_experiment(
+    workloads: &[Workload<ProvExpr>],
+    scale: Scale,
+    fig_cand: &str,
+    fig_step: &str,
+) -> (Figure, Figure) {
+    let max_steps = if scale.quick { 5 } else { 50 };
+    let config = SummarizeConfig {
+        w_dist: 1.0,
+        w_size: 0.0,
+        max_steps,
+        ..Default::default()
+    };
+    let mut cand_fig = Figure::new(
+        fig_cand,
+        "Time per Candidate vs Provenance Size".to_owned(),
+        "provenance size",
+        "time per candidate (µs)",
+    );
+    let mut step_fig = Figure::new(
+        fig_step,
+        "Summarization Step Time vs Provenance Size".to_owned(),
+        "provenance size",
+        "step time (µs)",
+    );
+    for (ix, w) in workloads.iter().enumerate() {
+        let res = run(w, Algo::ProvApprox, &config).expect("prov-approx runs");
+        let mut cand = Series::new(format!("instance {}", ix + 1));
+        let mut step = Series::new(format!("instance {}", ix + 1));
+        for rec in &res.history.steps {
+            cand.push(
+                rec.size_before as f64,
+                rec.time_per_candidate().as_nanos() as f64 / 1000.0,
+            );
+            step.push(rec.size_before as f64, rec.step_time.as_micros() as f64);
+        }
+        // Sort by size ascending for readability.
+        cand.points.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite"));
+        step.points.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite"));
+        cand_fig.push(cand);
+        step_fig.push(step);
+    }
+    let _ = scale;
+    (cand_fig, step_fig)
+}
+
+/// The k-way ablation (the thesis's future work): distance and size vs k
+/// at a fixed step budget.
+pub fn kway_experiment(workloads: &[Workload<ProvExpr>], scale: Scale) -> Figure {
+    let ks = if scale.quick { vec![2, 3] } else { vec![2, 3, 4, 5] };
+    let max_steps = scale.max_steps();
+    let mut fig = Figure::new(
+        "A.1",
+        "k-way Merging: Distance and Size vs k (fixed step budget)",
+        "k",
+        "avg distance / avg size",
+    );
+    let mut dist = Series::new("distance");
+    let mut size = Series::new("size");
+    for &k in &ks {
+        let config = SummarizeConfig {
+            w_dist: 0.5,
+            w_size: 0.5,
+            k,
+            max_steps,
+            ..Default::default()
+        };
+        let mut d = 0.0;
+        let mut s = 0.0;
+        for w in workloads {
+            let res = run(w, Algo::ProvApprox, &config).expect("prov-approx runs");
+            d += res.final_distance;
+            s += res.final_size() as f64;
+        }
+        dist.push(k as f64, d / workloads.len() as f64);
+        size.push(k as f64, s / workloads.len() as f64);
+    }
+    fig.push(dist);
+    fig.push(size);
+    fig
+}
+
+/// The score-mode ablation: Rank vs Normalized scoring, distance vs wDist.
+pub fn score_mode_experiment(workloads: &[Workload<ProvExpr>], scale: Scale) -> Figure {
+    let grid = scale.wdist_grid();
+    let mut fig = Figure::new(
+        "A.2",
+        "Score-Mode Ablation: Distance vs wDist",
+        "wDist",
+        "avg normalized distance",
+    );
+    for (mode, label) in [(ScoreMode::Rank, "rank"), (ScoreMode::Normalized, "normalized")] {
+        let mut s = Series::new(label);
+        for &w_dist in &grid {
+            let config = SummarizeConfig {
+                w_dist,
+                w_size: 1.0 - w_dist,
+                score_mode: mode,
+                max_steps: scale.max_steps(),
+                ..Default::default()
+            };
+            let mut d = 0.0;
+            for w in workloads {
+                d += run(w, Algo::ProvApprox, &config)
+                    .expect("prov-approx runs")
+                    .final_distance;
+            }
+            s.push(w_dist, d / workloads.len() as f64);
+        }
+        fig.push(s);
+    }
+    fig
+}
+
+/// Sampler accuracy (validating Prop 4.1.2 empirically): absolute error of
+/// the sampled distance vs the exhaustive one, per ε.
+pub fn sampler_accuracy_experiment(scale: Scale) -> Figure {
+    let mut fig = Figure::new(
+        "A.3",
+        "Sampling Approximation Accuracy (Prop 4.1.2)",
+        "epsilon",
+        "absolute estimation error",
+    );
+    let epsilons: Vec<f64> = if scale.quick {
+        vec![0.05, 0.1]
+    } else {
+        vec![0.01, 0.02, 0.05, 0.1]
+    };
+    // A tiny dedicated workload (≤ 16 annotations) so the exhaustive 2ⁿ
+    // reference stays feasible.
+    let data = prox_datasets::MovieLens::generate(prox_datasets::MovieLensConfig {
+        users: 6,
+        movies: 2,
+        ratings_per_user: 1,
+        seed: 4,
+    });
+    let small = data.provenance(AggKind::Max);
+    let mut store = data.store.clone();
+    let phi = prox_provenance::PhiMap::uniform(prox_provenance::Phi::Or);
+    let val_func = prox_core::ValFuncKind::Euclidean;
+    let users: Vec<AnnId> = data.users.clone();
+    let dom = store.domain("users");
+    let g = store.add_summary("G", dom, &[users[0], users[1]]);
+    let h = Mapping::group(&[users[0], users[1]], g);
+    let summary = small.map(&h);
+    let exact = exact_distance_all(&small, &summary, &h, &store, &phi, val_func);
+
+    let mut err = Series::new("observed |error|");
+    let mut bound = Series::new("epsilon bound");
+    for &eps in &epsilons {
+        let est = approx_distance(
+            &small,
+            &summary,
+            &h,
+            &store,
+            &HashMap::new(),
+            &phi,
+            val_func,
+            SamplerConfig {
+                epsilon: eps,
+                delta: 0.05,
+                seed: 7,
+                max_samples: None,
+            },
+        );
+        err.push(eps, (est.distance - exact).abs());
+        bound.push(eps, eps);
+    }
+    fig.push(err);
+    fig.push(bound);
+    fig
+}
+
+/// Greedy-vs-optimal ablation (A.4): on small random workloads, the
+/// greedy Algorithm 1's distance under a size bound vs the exhaustive
+/// optimum over all constraint-satisfying merge sequences.
+pub fn greedy_gap_experiment(scale: Scale) -> Figure {
+    use prox_core::greedy_gap;
+    let mut fig = Figure::new(
+        "A.4",
+        "Greedy vs Exhaustive Optimum (distance at fixed TARGET-SIZE)",
+        "instance",
+        "normalized distance",
+    );
+    let n = if scale.quick { 2 } else { 6 };
+    let mut greedy = Series::new("greedy (Algorithm 1)");
+    let mut optimal = Series::new("exhaustive optimum");
+    for ix in 0..n {
+        let mut data = prox_datasets::MovieLens::generate(prox_datasets::MovieLensConfig {
+            users: 7,
+            movies: 3,
+            ratings_per_user: 2,
+            seed: 5000 + ix as u64,
+        });
+        let p0 = data.provenance(AggKind::Max);
+        let vals = data.valuations(prox_provenance::ValuationClass::CancelSingleAnnotation);
+        let constraints = data.constraints();
+        let target = (p0.size() * 2 / 3).max(1);
+        match greedy_gap(&p0, &vals, &mut data.store, &constraints, None, target) {
+            Ok((g, o)) => {
+                greedy.push(ix as f64, g);
+                optimal.push(ix as f64, o);
+            }
+            Err(_) => continue, // bounds infeasible on this instance
+        }
+    }
+    fig.push(greedy);
+    fig.push(optimal);
+    fig
+}
+
+/// Render Table 5.1 (dataset/parameter matrix) as text.
+pub fn table51() -> String {
+    let rows = [
+        (
+            "Movies",
+            "(UserID·MovieTitle·MovieYear) ⊗ (Rating, 1) ⊕ …",
+            "Gender, Age Range, Occupation, Zip Code",
+            "MAX, SUM",
+            "Cancel Single Annotation / Cancel Single Attribute",
+            "Logical OR",
+            "Euclidean Distance",
+        ),
+        (
+            "Wikipedia",
+            "(Username·PageTitle) ⊗ (EditType, 1) ⊕ …",
+            "Users: isRegistered, Gender, Contribution Level; Pages: WordNet concept",
+            "SUM",
+            "Same, restricted to taxonomy-consistent valuations",
+            "Logical OR",
+            "Euclidean Distance",
+        ),
+        (
+            "DDP",
+            "⟨c₁,1⟩·⟨0,[d₁·d₂]≠0⟩ + ⟨0,[d₂·d₃]=0⟩·⟨c₂,1⟩ …",
+            "DB vars: relation; cost vars: cost value",
+            "Tropical (min, +) over costs",
+            "Cancel Single Annotation / Cancel Single Attribute",
+            "DB vars: OR; cost vars: MAX",
+            "Absolute Difference",
+        ),
+    ];
+    let mut out = String::from("Table 5.1 — Provenance and Summarization Parameters per Dataset\n\n");
+    for (name, structure, constraints, agg, vals, phi, vf) in rows {
+        out.push_str(&format!(
+            "{name}\n  Structure:   {structure}\n  Constraints: {constraints}\n  Aggregation: {agg}\n  Valuations:  {vals}\n  φ:           {phi}\n  VAL-FUNC:    {vf}\n\n"
+        ));
+    }
+    out
+}
+
+/// Shared helper for the experiments binary: average a list of series.
+pub fn averaged(label: &str, runs: &[Series]) -> Series {
+    average(label, runs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload;
+    use prox_cluster::Linkage;
+    use prox_provenance::ValuationClass;
+
+    fn ml() -> Vec<Workload<ProvExpr>> {
+        workload::movielens(
+            1,
+            ValuationClass::CancelSingleAttribute,
+            AggKind::Max,
+            Linkage::Single,
+        )
+    }
+
+    #[test]
+    fn wdist_experiment_produces_all_algorithms() {
+        let ws = ml();
+        let (d, s) = wdist_experiment(&ws, Scale::quick(), 3, "6.1a", "6.2a", "MovieLens");
+        assert_eq!(d.series.len(), 3);
+        assert_eq!(s.series.len(), 3);
+        assert_eq!(d.series[0].points.len(), 3);
+    }
+
+    #[test]
+    fn wdist_distance_decreases_with_weight() {
+        let ws = ml();
+        let (d, s) = wdist_experiment(&ws, Scale::quick(), 5, "t", "t2", "ML");
+        let pa = &d.series[0];
+        let first = pa.points.first().expect("points").1;
+        let last = pa.points.last().expect("points").1;
+        assert!(last <= first + 1e-9, "distance at wDist=1 ≤ at wDist=0");
+        let pa_s = &s.series[0];
+        assert!(
+            pa_s.points.last().expect("points").1 >= pa_s.points.first().expect("points").1 - 1e-9,
+            "size grows with wDist"
+        );
+    }
+
+    #[test]
+    fn target_size_experiment_respects_bounds() {
+        let ws = ml();
+        let fig = target_size_experiment(&ws, Scale::quick(), "6.1b", "MovieLens");
+        assert!(fig.series.len() >= 2);
+        for s in &fig.series {
+            for &(_, d) in &s.points {
+                assert!((0.0..=1.0).contains(&d));
+            }
+        }
+    }
+
+    #[test]
+    fn target_dist_size_decreases_in_bound() {
+        let ws = ml();
+        let fig = target_dist_experiment(&ws, Scale::quick(), "6.2b", "MovieLens");
+        let pa = &fig.series[0];
+        let first = pa.points.first().expect("points").1;
+        let last = pa.points.last().expect("points").1;
+        assert!(last <= first + 1e-9, "looser bound → smaller size");
+    }
+
+    #[test]
+    fn steps_experiment_runs() {
+        let ws = ml();
+        let (d, s) = steps_experiment(&ws, Scale::quick(), "6.3b", "6.3a", "MovieLens");
+        assert_eq!(d.series.len(), 2);
+        assert_eq!(s.series.len(), 2);
+    }
+
+    #[test]
+    fn usage_time_ratio_below_or_near_one() {
+        let ws = ml();
+        let figs = usage_time_experiment(&ws, Scale::quick(), &[("6.4a", 5)]);
+        let pa = &figs[0].series[0];
+        // Summaries are smaller, so evaluation should not be slower than
+        // ~parity (allow noise).
+        for &(_, r) in &pa.points {
+            assert!(r < 1.6, "ratio {r}");
+        }
+    }
+
+    #[test]
+    fn timing_experiment_emits_per_step_points() {
+        let ws = ml();
+        let (cand, step) = timing_experiment(&ws, Scale::quick(), "6.5a", "6.5b");
+        assert_eq!(cand.series.len(), 1);
+        assert!(!cand.series[0].points.is_empty());
+        assert!(!step.series[0].points.is_empty());
+    }
+
+    #[test]
+    fn table51_mentions_all_datasets() {
+        let t = table51();
+        for name in ["Movies", "Wikipedia", "DDP"] {
+            assert!(t.contains(name));
+        }
+    }
+
+    #[test]
+    fn sampler_accuracy_within_bound() {
+        let fig = sampler_accuracy_experiment(Scale::quick());
+        if fig.series.is_empty() {
+            return;
+        }
+        let err = &fig.series[0];
+        let bound = &fig.series[1];
+        for (&(x, e), &(_, b)) in err.points.iter().zip(&bound.points) {
+            assert!(e <= b + 0.05, "eps {x}: error {e} vs bound {b}");
+        }
+    }
+
+    #[test]
+    fn kway_and_score_mode_run() {
+        let ws = ml();
+        let k = kway_experiment(&ws, Scale::quick());
+        assert_eq!(k.series.len(), 2);
+        let sm = score_mode_experiment(&ws, Scale::quick());
+        assert_eq!(sm.series.len(), 2);
+    }
+}

@@ -1,0 +1,58 @@
+//! Report output: aligned text tables to stdout plus text/JSON files under
+//! `reports/`.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use crate::series::Figure;
+
+/// Where reports land (relative to the workspace root / current dir).
+pub fn reports_dir() -> PathBuf {
+    PathBuf::from("reports")
+}
+
+/// Emit a figure: print the table and write `<id>.txt` / `<id>.json`.
+pub fn emit(figure: &Figure) -> std::io::Result<()> {
+    emit_to(figure, &reports_dir())
+}
+
+/// Emit into a specific directory (used by tests).
+pub fn emit_to(figure: &Figure, dir: &Path) -> std::io::Result<()> {
+    fs::create_dir_all(dir)?;
+    let table = figure.render_table();
+    println!("{table}");
+    let stem = figure.id.replace('.', "_");
+    fs::write(dir.join(format!("fig{stem}.txt")), &table)?;
+    let json = serde_json::to_string_pretty(figure).expect("figures serialize");
+    fs::write(dir.join(format!("fig{stem}.json")), json)?;
+    Ok(())
+}
+
+/// Emit a free-form text report.
+pub fn emit_text(name: &str, body: &str) -> std::io::Result<()> {
+    let dir = reports_dir();
+    fs::create_dir_all(&dir)?;
+    println!("{body}");
+    fs::write(dir.join(format!("{name}.txt")), body)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::series::Series;
+
+    #[test]
+    fn emit_writes_both_files() {
+        let dir = std::env::temp_dir().join("prox_report_test");
+        let _ = fs::remove_dir_all(&dir);
+        let mut fig = Figure::new("9.9z", "test", "x", "y");
+        let mut s = Series::new("a");
+        s.push(1.0, 2.0);
+        fig.push(s);
+        emit_to(&fig, &dir).unwrap();
+        assert!(dir.join("fig9_9z.txt").exists());
+        let json = fs::read_to_string(dir.join("fig9_9z.json")).unwrap();
+        assert!(json.contains("\"label\": \"a\""));
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

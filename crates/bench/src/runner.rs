@@ -1,0 +1,177 @@
+//! Running the three algorithms (§6.1) on a workload.
+
+use prox_cluster::{random_summarize, replay};
+use prox_core::{SummarizeConfig, Summarizer, SummaryResult};
+use prox_provenance::Summarizable;
+
+use crate::workload::Workload;
+
+/// Which algorithm to run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Algo {
+    /// Algorithm 1 (this paper).
+    ProvApprox,
+    /// Constrained hierarchical agglomerative clustering, replayed.
+    Clustering,
+    /// Uniformly random constraint-satisfying merges.
+    Random {
+        /// RNG seed.
+        seed: u64,
+    },
+}
+
+impl Algo {
+    /// Legend label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Algo::ProvApprox => "Prov-Approx",
+            Algo::Clustering => "Clustering",
+            Algo::Random { .. } => "Random",
+        }
+    }
+}
+
+/// Run one algorithm on a workload. The workload's store is cloned so runs
+/// stay independent; φ and VAL-FUNC come from the workload, stop conditions
+/// and weights from `config`.
+pub fn run<E: Summarizable>(
+    workload: &Workload<E>,
+    algo: Algo,
+    config: &SummarizeConfig,
+) -> Option<SummaryResult<E>> {
+    let mut store = workload.store.clone();
+    let mut config = config.clone();
+    config.phi = workload.phi.clone();
+    config.val_func = workload.val_func;
+    match algo {
+        Algo::ProvApprox => {
+            let mut s = Summarizer::new(&mut store, workload.constraints.clone(), config);
+            let res = match &workload.taxonomy {
+                Some(t) => s.with_taxonomy(t).summarize(&workload.p0, &workload.valuations),
+                None => s.summarize(&workload.p0, &workload.valuations),
+            };
+            Some(res.expect("validated config"))
+        }
+        Algo::Clustering => {
+            let merges = workload.cluster_merges.as_ref()?;
+            Some(replay(
+                &workload.p0,
+                merges,
+                &mut store,
+                &workload.valuations,
+                &config,
+            ))
+        }
+        Algo::Random { seed } => Some(random_summarize(
+            &workload.p0,
+            &mut store,
+            &workload.constraints,
+            workload.taxonomy.as_ref(),
+            &workload.valuations,
+            &config,
+            seed,
+        )),
+    }
+}
+
+/// Average `(distance, size)` of an algorithm across workloads.
+pub fn average_dist_size<E: Summarizable>(
+    workloads: &[Workload<E>],
+    algo: Algo,
+    config: &SummarizeConfig,
+) -> Option<(f64, f64)> {
+    let mut dist = 0.0;
+    let mut size = 0.0;
+    let mut n = 0usize;
+    for w in workloads {
+        let res = run(w, algo, config)?;
+        dist += res.final_distance;
+        size += res.final_size() as f64;
+        n += 1;
+    }
+    (n > 0).then(|| (dist / n as f64, size / n as f64))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload;
+    use prox_cluster::Linkage;
+    use prox_provenance::{AggKind, ValuationClass};
+
+    fn small_ml() -> Vec<workload::Workload<prox_provenance::ProvExpr>> {
+        workload::movielens(
+            1,
+            ValuationClass::CancelSingleAttribute,
+            AggKind::Max,
+            Linkage::Single,
+        )
+    }
+
+    #[test]
+    fn all_algorithms_run_on_movielens() {
+        let ws = small_ml();
+        let config = SummarizeConfig {
+            max_steps: 3,
+            ..Default::default()
+        };
+        for algo in [Algo::ProvApprox, Algo::Clustering, Algo::Random { seed: 1 }] {
+            let res = run(&ws[0], algo, &config).expect("available");
+            assert!(res.final_size() <= ws[0].initial_size(), "{algo:?}");
+        }
+    }
+
+    #[test]
+    fn clustering_unavailable_for_ddp() {
+        let ws = workload::ddp(1, ValuationClass::CancelSingleAttribute);
+        let config = SummarizeConfig {
+            max_steps: 2,
+            ..Default::default()
+        };
+        assert!(run(&ws[0], Algo::Clustering, &config).is_none());
+        assert!(run(&ws[0], Algo::ProvApprox, &config).is_some());
+    }
+
+    #[test]
+    fn prov_approx_beats_random_on_distance_with_wdist_1() {
+        let ws = small_ml();
+        let config = SummarizeConfig {
+            w_dist: 1.0,
+            w_size: 0.0,
+            max_steps: 5,
+            ..Default::default()
+        };
+        let pa = run(&ws[0], Algo::ProvApprox, &config).unwrap();
+        // Average a few random seeds for stability.
+        let rnd: f64 = (0..5)
+            .map(|s| {
+                run(&ws[0], Algo::Random { seed: s }, &config)
+                    .unwrap()
+                    .final_distance
+            })
+            .sum::<f64>()
+            / 5.0;
+        assert!(
+            pa.final_distance <= rnd + 1e-9,
+            "prov-approx {} vs random {rnd}",
+            pa.final_distance
+        );
+    }
+
+    #[test]
+    fn averaging_runs_across_workloads() {
+        let ws = workload::movielens(
+            2,
+            ValuationClass::CancelSingleAttribute,
+            AggKind::Max,
+            Linkage::Single,
+        );
+        let config = SummarizeConfig {
+            max_steps: 2,
+            ..Default::default()
+        };
+        let (d, s) = average_dist_size(&ws, Algo::ProvApprox, &config).unwrap();
+        assert!(d >= 0.0);
+        assert!(s > 0.0);
+    }
+}

@@ -1,0 +1,198 @@
+//! Data series and text tables for experiment output.
+//!
+//! Each figure of the paper is regenerated as a set of labelled series
+//! (one per algorithm/configuration); the harness renders them as aligned
+//! text tables and machine-readable JSON.
+
+use serde::Serialize;
+
+/// One labelled series of `(x, y)` points.
+#[derive(Clone, Debug, Serialize)]
+pub struct Series {
+    /// Legend label ("Prov-Approx", "Clustering", "Random").
+    pub label: String,
+    /// Points in x order.
+    pub points: Vec<(f64, f64)>,
+}
+
+impl Series {
+    /// Create an empty series.
+    pub fn new(label: impl Into<String>) -> Self {
+        Series {
+            label: label.into(),
+            points: Vec::new(),
+        }
+    }
+
+    /// Append a point.
+    pub fn push(&mut self, x: f64, y: f64) {
+        self.points.push((x, y));
+    }
+
+    /// The y value at a given x, if present.
+    pub fn y_at(&self, x: f64) -> Option<f64> {
+        self.points
+            .iter()
+            .find(|(px, _)| (px - x).abs() < 1e-9)
+            .map(|&(_, y)| y)
+    }
+}
+
+/// A figure: several series over a shared x axis.
+#[derive(Clone, Debug, Serialize)]
+pub struct Figure {
+    /// Identifier matching the paper ("6.1a").
+    pub id: String,
+    /// Human title.
+    pub title: String,
+    /// X axis label.
+    pub xlabel: String,
+    /// Y axis label.
+    pub ylabel: String,
+    /// The series.
+    pub series: Vec<Series>,
+}
+
+impl Figure {
+    /// Create an empty figure.
+    pub fn new(
+        id: impl Into<String>,
+        title: impl Into<String>,
+        xlabel: impl Into<String>,
+        ylabel: impl Into<String>,
+    ) -> Self {
+        Figure {
+            id: id.into(),
+            title: title.into(),
+            xlabel: xlabel.into(),
+            ylabel: ylabel.into(),
+            series: Vec::new(),
+        }
+    }
+
+    /// Add a series.
+    pub fn push(&mut self, s: Series) {
+        self.series.push(s);
+    }
+
+    /// All x values across series, sorted and deduplicated.
+    pub fn xs(&self) -> Vec<f64> {
+        let mut xs: Vec<f64> = self
+            .series
+            .iter()
+            .flat_map(|s| s.points.iter().map(|&(x, _)| x))
+            .collect();
+        xs.sort_by(|a, b| a.partial_cmp(b).expect("finite x"));
+        xs.dedup_by(|a, b| (*a - *b).abs() < 1e-9);
+        xs
+    }
+
+    /// Render an aligned text table: one row per x, one column per series.
+    pub fn render_table(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("Figure {} — {}\n", self.id, self.title));
+        out.push_str(&format!("{:<12}", self.xlabel));
+        for s in &self.series {
+            out.push_str(&format!(" {:>14}", truncate(&s.label, 14)));
+        }
+        out.push('\n');
+        for x in self.xs() {
+            out.push_str(&format!("{x:<12.3}"));
+            for s in &self.series {
+                match s.y_at(x) {
+                    Some(y) => out.push_str(&format!(" {y:>14.4}")),
+                    None => out.push_str(&format!(" {:>14}", "—")),
+                }
+            }
+            out.push('\n');
+        }
+        out.push_str(&format!("(y axis: {})\n", self.ylabel));
+        out
+    }
+}
+
+fn truncate(s: &str, max: usize) -> String {
+    if s.len() <= max {
+        s.to_owned()
+    } else {
+        s[..max].to_owned()
+    }
+}
+
+/// Average several y values per x across runs: input is per-run series
+/// with identical x grids.
+pub fn average(label: &str, runs: &[Series]) -> Series {
+    let mut out = Series::new(label);
+    if runs.is_empty() {
+        return out;
+    }
+    let xs = runs[0].points.iter().map(|&(x, _)| x).collect::<Vec<_>>();
+    for x in xs {
+        let mut sum = 0.0;
+        let mut n = 0usize;
+        for r in runs {
+            if let Some(y) = r.y_at(x) {
+                sum += y;
+                n += 1;
+            }
+        }
+        if n > 0 {
+            out.push(x, sum / n as f64);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn series_lookup() {
+        let mut s = Series::new("a");
+        s.push(0.1, 2.0);
+        s.push(0.2, 3.0);
+        assert_eq!(s.y_at(0.2), Some(3.0));
+        assert_eq!(s.y_at(0.3), None);
+    }
+
+    #[test]
+    fn figure_table_renders_all_series() {
+        let mut f = Figure::new("6.1a", "distance vs wDist", "wDist", "avg distance");
+        let mut a = Series::new("Prov-Approx");
+        a.push(0.0, 0.5);
+        a.push(1.0, 0.1);
+        let mut b = Series::new("Random");
+        b.push(0.0, 0.9);
+        f.push(a);
+        f.push(b);
+        let t = f.render_table();
+        assert!(t.contains("Prov-Approx"));
+        assert!(t.contains("Random"));
+        assert!(t.contains("0.5000"));
+        assert!(t.contains("—"), "missing point renders as dash");
+    }
+
+    #[test]
+    fn average_combines_runs() {
+        let mut r1 = Series::new("x");
+        r1.push(1.0, 2.0);
+        let mut r2 = Series::new("x");
+        r2.push(1.0, 4.0);
+        let avg = average("avg", &[r1, r2]);
+        assert_eq!(avg.y_at(1.0), Some(3.0));
+    }
+
+    #[test]
+    fn xs_are_sorted_unique() {
+        let mut f = Figure::new("t", "t", "x", "y");
+        let mut a = Series::new("a");
+        a.push(2.0, 0.0);
+        a.push(1.0, 0.0);
+        let mut b = Series::new("b");
+        b.push(1.0, 0.0);
+        f.push(a);
+        f.push(b);
+        assert_eq!(f.xs(), vec![1.0, 2.0]);
+    }
+}

@@ -1,0 +1,217 @@
+//! Experiment workloads: dataset instance + everything a summarization run
+//! needs (constraints, valuations, φ, VAL-FUNC, clustering queue).
+//!
+//! Each experiment generates several instances per dataset (different
+//! seeds) and averages results, as the paper does ("we generated multiple
+//! input provenance expressions, executed the experiments and averaged the
+//! results").
+
+use prox_cluster::{
+    cluster, matrix_of, merges_to_ann, page_dissimilarity, page_features, user_dissimilarity,
+    user_features, AnnMerge, Linkage,
+};
+use prox_core::{ConstraintConfig, ValFuncKind};
+use prox_datasets::{Ddp, DdpConfig, MovieLens, MovieLensConfig, Wikipedia, WikipediaConfig};
+use prox_provenance::{
+    AggKind, AnnStore, DdpExpr, Phi, PhiMap, ProvExpr, Summarizable, Valuation, ValuationClass,
+};
+use prox_taxonomy::Taxonomy;
+
+/// A ready-to-run workload over expression type `E`.
+pub struct Workload<E> {
+    /// Short dataset tag ("movielens", "wikipedia", "ddp").
+    pub name: &'static str,
+    /// Annotation store (cloned per run so runs stay independent).
+    pub store: AnnStore,
+    /// The original provenance.
+    pub p0: E,
+    /// Mapping constraints.
+    pub constraints: ConstraintConfig,
+    /// Taxonomy, when the dataset has one.
+    pub taxonomy: Option<Taxonomy>,
+    /// The valuation class.
+    pub valuations: Vec<Valuation>,
+    /// Precomputed constrained-HAC merge queue (None for DDP — "it is not
+    /// clear how to construct feature vectors" for it, §6.1).
+    pub cluster_merges: Option<Vec<AnnMerge>>,
+    /// φ assignment.
+    pub phi: PhiMap,
+    /// VAL-FUNC.
+    pub val_func: ValFuncKind,
+}
+
+impl<E: Summarizable> Workload<E> {
+    /// Size of the original expression.
+    pub fn initial_size(&self) -> usize {
+        self.p0.size()
+    }
+}
+
+/// Build `n` MovieLens workloads with distinct seeds.
+///
+/// Defaults follow §6.4: "Cancel Single Attribute" valuations and MAX
+/// aggregation; pass a different class/aggregation for other experiments.
+pub fn movielens(n: usize, class: ValuationClass, agg: AggKind, linkage: Linkage) -> Vec<Workload<ProvExpr>> {
+    (0..n)
+        .map(|ix| {
+            // Dense co-rating (each user rates 3 of 5 movies) so merges
+            // carry real provisioning cost and the distance/size trade-off
+            // has teeth — with sparse ratings almost every merge is
+            // lossless and all algorithms look alike.
+            let mut data = MovieLens::generate(MovieLensConfig {
+                users: 25,
+                movies: 5,
+                ratings_per_user: 3,
+                seed: 1000 + ix as u64,
+            });
+            let p0 = data.provenance(agg);
+            let constraints = data.constraints();
+            let valuations = data.valuations(class);
+
+            // Clustering queue over user feature vectors.
+            let interactions: Vec<_> = data
+                .ratings
+                .iter()
+                .map(|r| (r.user, r.movie, r.stars))
+                .collect();
+            let feats = user_features(&data.users, &interactions, &data.store);
+            let matrix = matrix_of(&feats, user_dissimilarity);
+            let users = data.users.clone();
+            let store_ref = data.store.clone();
+            let cfg = constraints.clone();
+            let merges = cluster(&matrix, linkage, |l, r| {
+                let members: Vec<_> = l.iter().chain(r).map(|&ix| users[ix]).collect();
+                cfg.group_ok(&members, &store_ref, None)
+            });
+            let queue = merges_to_ann(&merges, &users);
+
+            Workload {
+                name: "movielens",
+                store: data.store,
+                p0,
+                constraints,
+                taxonomy: None,
+                valuations,
+                cluster_merges: Some(queue),
+                phi: PhiMap::uniform(Phi::Or),
+                val_func: ValFuncKind::Euclidean,
+            }
+        })
+        .collect()
+}
+
+/// Build `n` Wikipedia workloads (SUM aggregation, taxonomy-consistent
+/// valuations, users + pages clustered separately then interleaved).
+pub fn wikipedia(n: usize, class: ValuationClass, linkage: Linkage) -> Vec<Workload<ProvExpr>> {
+    (0..n)
+        .map(|ix| {
+            let mut data = Wikipedia::generate(WikipediaConfig {
+                users: 16,
+                pages: 10,
+                edits_per_user: 2,
+                major_prob: 0.6,
+                seed: 2000 + ix as u64,
+            });
+            let p0 = data.provenance();
+            let constraints = data.constraints();
+            let valuations = data.valuations(class);
+
+            let interactions: Vec<_> = data
+                .edits
+                .iter()
+                .map(|e| (e.user, e.page, e.edit_type))
+                .collect();
+            // Users and pages are clustered separately (§6.2), then the
+            // merge queues interleave by dissimilarity.
+            let ufeats = user_features(&data.users, &interactions, &data.store);
+            let umatrix = matrix_of(&ufeats, user_dissimilarity);
+            let users = data.users.clone();
+            let store_ref = data.store.clone();
+            let cfg = constraints.clone();
+            let umerges = cluster(&umatrix, linkage, |l, r| {
+                let members: Vec<_> = l.iter().chain(r).map(|&ix| users[ix]).collect();
+                cfg.group_ok(&members, &store_ref, None)
+            });
+            let pfeats = page_features(&data.pages, &interactions, &data.store, &data.taxonomy);
+            let pmatrix = matrix_of(&pfeats, page_dissimilarity);
+            let pages = data.pages.clone();
+            let tax_ref = data.taxonomy.clone();
+            let pmerges = cluster(&pmatrix, linkage, |l, r| {
+                let members: Vec<_> = l.iter().chain(r).map(|&ix| pages[ix]).collect();
+                cfg.group_ok(&members, &store_ref, Some(&tax_ref))
+            });
+            let queue = prox_cluster::interleave(vec![
+                merges_to_ann(&umerges, &users),
+                merges_to_ann(&pmerges, &pages),
+            ]);
+
+            Workload {
+                name: "wikipedia",
+                store: data.store,
+                p0,
+                constraints,
+                taxonomy: Some(data.taxonomy),
+                valuations,
+                cluster_merges: Some(queue),
+                phi: PhiMap::uniform(Phi::Or),
+                val_func: ValFuncKind::Euclidean,
+            }
+        })
+        .collect()
+}
+
+/// Build `n` DDP workloads (no clustering baseline, per §6.1).
+pub fn ddp(n: usize, class: ValuationClass) -> Vec<Workload<DdpExpr>> {
+    (0..n)
+        .map(|ix| {
+            let mut data = Ddp::generate(DdpConfig {
+                seed: 3000 + ix as u64,
+                ..Default::default()
+            });
+            let constraints = data.constraints();
+            let valuations = data.valuations(class);
+            let phi = data.phi();
+            Workload {
+                name: "ddp",
+                store: data.store,
+                p0: data.provenance,
+                constraints,
+                taxonomy: None,
+                valuations,
+                cluster_merges: None,
+                phi,
+                val_func: ValFuncKind::DdpDiff,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn movielens_workloads_build() {
+        let ws = movielens(2, ValuationClass::CancelSingleAttribute, AggKind::Max, Linkage::Single);
+        assert_eq!(ws.len(), 2);
+        for w in &ws {
+            assert!(w.initial_size() > 0);
+            assert!(!w.valuations.is_empty());
+            assert!(w.cluster_merges.as_ref().is_some_and(|m| !m.is_empty()));
+        }
+    }
+
+    #[test]
+    fn wikipedia_workloads_have_taxonomy() {
+        let ws = wikipedia(1, ValuationClass::CancelSingleAnnotation, Linkage::Single);
+        assert!(ws[0].taxonomy.is_some());
+        assert!(ws[0].cluster_merges.is_some());
+    }
+
+    #[test]
+    fn ddp_workloads_have_no_clustering() {
+        let ws = ddp(1, ValuationClass::CancelSingleAttribute);
+        assert!(ws[0].cluster_merges.is_none());
+        assert_eq!(ws[0].val_func, ValFuncKind::DdpDiff);
+    }
+}

@@ -1,0 +1,185 @@
+//! Dendrogram construction and rendering from a merge sequence.
+//!
+//! Turns the flat [`MergeStep`] list produced by [`crate::hac::cluster`]
+//! into a navigable tree and an indented text rendering — the standard way
+//! to inspect what the clustering baseline actually did.
+
+use crate::hac::MergeStep;
+
+/// A dendrogram node: a leaf observation or a merge of two subtrees.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Dendrogram {
+    /// A single observation (by its index).
+    Leaf(usize),
+    /// A merge at the given linkage dissimilarity.
+    Node {
+        /// Dissimilarity at which the children merged.
+        dissimilarity: f64,
+        /// Left subtree.
+        left: Box<Dendrogram>,
+        /// Right subtree.
+        right: Box<Dendrogram>,
+    },
+}
+
+impl Dendrogram {
+    /// Observation indices covered by this subtree, sorted.
+    pub fn members(&self) -> Vec<usize> {
+        match self {
+            Dendrogram::Leaf(ix) => vec![*ix],
+            Dendrogram::Node { left, right, .. } => {
+                let mut m = left.members();
+                m.extend(right.members());
+                m.sort_unstable();
+                m
+            }
+        }
+    }
+
+    /// Height: the dissimilarity at the root (0 for leaves).
+    pub fn height(&self) -> f64 {
+        match self {
+            Dendrogram::Leaf(_) => 0.0,
+            Dendrogram::Node { dissimilarity, .. } => *dissimilarity,
+        }
+    }
+
+    /// Number of leaves.
+    pub fn len(&self) -> usize {
+        match self {
+            Dendrogram::Leaf(_) => 1,
+            Dendrogram::Node { left, right, .. } => left.len() + right.len(),
+        }
+    }
+
+    /// True for a single leaf.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Indented text rendering with a label resolver.
+    pub fn render(&self, label: &dyn Fn(usize) -> String) -> String {
+        let mut out = String::new();
+        self.render_into(label, 0, &mut out);
+        out
+    }
+
+    fn render_into(&self, label: &dyn Fn(usize) -> String, depth: usize, out: &mut String) {
+        let pad = "  ".repeat(depth);
+        match self {
+            Dendrogram::Leaf(ix) => {
+                out.push_str(&format!("{pad}• {}\n", label(*ix)));
+            }
+            Dendrogram::Node {
+                dissimilarity,
+                left,
+                right,
+            } => {
+                out.push_str(&format!("{pad}┬ d={dissimilarity:.4}\n"));
+                left.render_into(label, depth + 1, out);
+                right.render_into(label, depth + 1, out);
+            }
+        }
+    }
+}
+
+/// Build the dendrogram forest from a merge sequence over `n` observations.
+/// Returns the remaining roots — a single tree when clustering ran to
+/// completion, several when constraints stopped it early.
+pub fn build(merges: &[MergeStep], n: usize) -> Vec<Dendrogram> {
+    let mut roots: Vec<Dendrogram> = (0..n).map(Dendrogram::Leaf).collect();
+    for merge in merges {
+        let left_members = {
+            let mut m = merge.left.clone();
+            m.sort_unstable();
+            m
+        };
+        let right_members = {
+            let mut m = merge.right.clone();
+            m.sort_unstable();
+            m
+        };
+        let lpos = roots
+            .iter()
+            .position(|r| r.members() == left_members)
+            .expect("merge references an existing cluster");
+        let left = roots.swap_remove(lpos);
+        let rpos = roots
+            .iter()
+            .position(|r| r.members() == right_members)
+            .expect("merge references an existing cluster");
+        let right = roots.swap_remove(rpos);
+        roots.push(Dendrogram::Node {
+            dissimilarity: merge.dissimilarity,
+            left: Box::new(left),
+            right: Box::new(right),
+        });
+    }
+    roots
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hac::cluster;
+    use crate::linkage::Linkage;
+    use crate::matrix::DissimilarityMatrix;
+
+    fn line_matrix() -> DissimilarityMatrix {
+        let pos: [f64; 4] = [0.0, 1.0, 5.0, 6.0];
+        DissimilarityMatrix::from_fn(4, |i, j| (pos[i] - pos[j]).abs())
+    }
+
+    #[test]
+    fn full_clustering_yields_one_tree() {
+        let merges = cluster(&line_matrix(), Linkage::Single, |_, _| true);
+        let roots = build(&merges, 4);
+        assert_eq!(roots.len(), 1);
+        let tree = &roots[0];
+        assert_eq!(tree.len(), 4);
+        assert_eq!(tree.members(), vec![0, 1, 2, 3]);
+        assert_eq!(tree.height(), 4.0, "single-linkage gap between groups");
+    }
+
+    #[test]
+    fn constrained_clustering_yields_forest() {
+        let merges = cluster(&line_matrix(), Linkage::Single, |l, r| {
+            let mut m = l.to_vec();
+            m.extend_from_slice(r);
+            !(m.contains(&0) && m.contains(&3))
+        });
+        let roots = build(&merges, 4);
+        assert_eq!(roots.len(), 2);
+        let mut sizes: Vec<usize> = roots.iter().map(Dendrogram::len).collect();
+        sizes.sort_unstable();
+        assert_eq!(sizes, vec![2, 2]);
+    }
+
+    #[test]
+    fn render_shows_structure() {
+        let merges = cluster(&line_matrix(), Linkage::Single, |_, _| true);
+        let roots = build(&merges, 4);
+        let txt = roots[0].render(&|ix| format!("obs{ix}"));
+        assert!(txt.contains("┬ d=4.0000"));
+        for ix in 0..4 {
+            assert!(txt.contains(&format!("obs{ix}")));
+        }
+        // Nested merges are indented deeper than the root.
+        assert!(txt.contains("\n  ┬"));
+    }
+
+    #[test]
+    fn merge_heights_are_monotone_up_the_tree() {
+        let merges = cluster(&line_matrix(), Linkage::Single, |_, _| true);
+        let roots = build(&merges, 4);
+        fn check(d: &Dendrogram) {
+            if let Dendrogram::Node { dissimilarity, left, right } = d {
+                assert!(left.height() <= *dissimilarity + 1e-12);
+                assert!(right.height() <= *dissimilarity + 1e-12);
+                check(left);
+                check(right);
+            }
+        }
+        check(&roots[0]);
+    }
+}

@@ -1,0 +1,232 @@
+//! Feature vectors and dissimilarity measures for the clustering baseline
+//! (§6.2).
+//!
+//! MovieLens users: `(UID, Gender, AgeRange, Occupation, ZipCode,
+//! (MovieTitle₁=Rating₁, …))` — attribute mismatch combined with the
+//! Pearson dissimilarity of the rating vectors. Wikipedia users are
+//! analogous over major-edit counts; Wikipedia pages combine taxonomy
+//! ancestor overlap (Jaccard) with the Pearson dissimilarity of their
+//! editor vectors.
+
+use std::collections::{HashMap, HashSet};
+
+use prox_provenance::{AnnId, AnnStore};
+use prox_taxonomy::Taxonomy;
+
+use crate::matrix::DissimilarityMatrix;
+use crate::pearson::{pearson_dissimilarity, SparseVec};
+
+/// A feature vector: interned attribute values plus a sparse numeric
+/// vector (ratings or edit counts).
+#[derive(Clone, Debug, Default)]
+pub struct FeatureVector {
+    /// `(attr, value)` pairs as raw interned ids.
+    pub attrs: Vec<(u16, u32)>,
+    /// Sparse item → value vector (item = annotation index).
+    pub values: SparseVec,
+    /// Ancestor concept ids (pages only).
+    pub ancestors: HashSet<u32>,
+}
+
+/// Build user feature vectors from a store and an interaction list
+/// (`(user, item, value)` triples).
+pub fn user_features(
+    users: &[AnnId],
+    interactions: &[(AnnId, AnnId, f64)],
+    store: &AnnStore,
+) -> Vec<FeatureVector> {
+    let mut by_user: HashMap<AnnId, SparseVec> = HashMap::new();
+    for &(u, item, v) in interactions {
+        *by_user
+            .entry(u)
+            .or_default()
+            .entry(item.index() as u32)
+            .or_insert(0.0) += v;
+    }
+    users
+        .iter()
+        .map(|&u| FeatureVector {
+            attrs: store
+                .get(u)
+                .attrs
+                .iter()
+                .map(|&(a, v)| (a.index() as u16, v.index() as u32))
+                .collect(),
+            values: by_user.get(&u).cloned().unwrap_or_default(),
+            ancestors: HashSet::new(),
+        })
+        .collect()
+}
+
+/// Build page feature vectors: taxonomy ancestors + editor vectors.
+pub fn page_features(
+    pages: &[AnnId],
+    interactions: &[(AnnId, AnnId, f64)],
+    store: &AnnStore,
+    taxonomy: &Taxonomy,
+) -> Vec<FeatureVector> {
+    let mut by_page: HashMap<AnnId, SparseVec> = HashMap::new();
+    for &(u, p, v) in interactions {
+        *by_page
+            .entry(p)
+            .or_default()
+            .entry(u.index() as u32)
+            .or_insert(0.0) += v;
+    }
+    pages
+        .iter()
+        .map(|&p| {
+            let ancestors = store
+                .get(p)
+                .concept
+                .map(|c| {
+                    taxonomy
+                        .ancestors(prox_taxonomy::ConceptId(c))
+                        .into_iter()
+                        .map(|x| x.0)
+                        .collect()
+                })
+                .unwrap_or_default();
+            FeatureVector {
+                attrs: Vec::new(),
+                values: by_page.get(&p).cloned().unwrap_or_default(),
+                ancestors,
+            }
+        })
+        .collect()
+}
+
+/// Dissimilarity between two user feature vectors: mean of the attribute
+/// mismatch fraction and the Pearson dissimilarity of the value vectors.
+pub fn user_dissimilarity(a: &FeatureVector, b: &FeatureVector) -> f64 {
+    let attr_d = attr_mismatch(a, b);
+    let rating_d = pearson_dissimilarity(&a.values, &b.values);
+    0.5 * attr_d + 0.5 * rating_d
+}
+
+/// Dissimilarity between two page feature vectors: mean of the Jaccard
+/// distance of ancestor sets and the Pearson dissimilarity of editor
+/// vectors.
+pub fn page_dissimilarity(a: &FeatureVector, b: &FeatureVector) -> f64 {
+    let jaccard = {
+        let inter = a.ancestors.intersection(&b.ancestors).count() as f64;
+        let union = a.ancestors.union(&b.ancestors).count() as f64;
+        if union == 0.0 {
+            1.0
+        } else {
+            1.0 - inter / union
+        }
+    };
+    let editor_d = pearson_dissimilarity(&a.values, &b.values);
+    0.5 * jaccard + 0.5 * editor_d
+}
+
+/// Fraction of attributes on which two vectors disagree (union of attrs).
+fn attr_mismatch(a: &FeatureVector, b: &FeatureVector) -> f64 {
+    let keys: HashSet<u16> = a
+        .attrs
+        .iter()
+        .map(|&(k, _)| k)
+        .chain(b.attrs.iter().map(|&(k, _)| k))
+        .collect();
+    if keys.is_empty() {
+        return 0.0;
+    }
+    let lookup = |f: &FeatureVector, k: u16| f.attrs.iter().find(|&&(a, _)| a == k).map(|&(_, v)| v);
+    let mismatches = keys
+        .iter()
+        .filter(|&&k| lookup(a, k) != lookup(b, k))
+        .count();
+    mismatches as f64 / keys.len() as f64
+}
+
+/// Build the full dissimilarity matrix for a feature set.
+pub fn matrix_of(
+    features: &[FeatureVector],
+    dissimilarity: impl Fn(&FeatureVector, &FeatureVector) -> f64,
+) -> DissimilarityMatrix {
+    DissimilarityMatrix::from_fn(features.len(), |i, j| dissimilarity(&features[i], &features[j]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn store() -> (AnnStore, Vec<AnnId>, Vec<AnnId>) {
+        let mut s = AnnStore::new();
+        let u1 = s.add_base_with("U1", "users", &[("gender", "F"), ("age", "18-24")]);
+        let u2 = s.add_base_with("U2", "users", &[("gender", "F"), ("age", "18-24")]);
+        let u3 = s.add_base_with("U3", "users", &[("gender", "M"), ("age", "45-49")]);
+        let m1 = s.add_base_with("M1", "movies", &[]);
+        let m2 = s.add_base_with("M2", "movies", &[]);
+        let m3 = s.add_base_with("M3", "movies", &[]);
+        (s, vec![u1, u2, u3], vec![m1, m2, m3])
+    }
+
+    #[test]
+    fn similar_users_have_small_dissimilarity() {
+        let (s, users, movies) = store();
+        // U1 and U2 rate identically; U3 rates oppositely.
+        let interactions = vec![
+            (users[0], movies[0], 1.0),
+            (users[0], movies[1], 3.0),
+            (users[0], movies[2], 5.0),
+            (users[1], movies[0], 1.0),
+            (users[1], movies[1], 3.0),
+            (users[1], movies[2], 5.0),
+            (users[2], movies[0], 5.0),
+            (users[2], movies[1], 3.0),
+            (users[2], movies[2], 1.0),
+        ];
+        let feats = user_features(&users, &interactions, &s);
+        let d_twin = user_dissimilarity(&feats[0], &feats[1]);
+        let d_opposite = user_dissimilarity(&feats[0], &feats[2]);
+        assert!(d_twin < 1e-9, "identical users: {d_twin}");
+        assert!(d_opposite > 0.9, "opposite users: {d_opposite}");
+    }
+
+    #[test]
+    fn attribute_mismatch_contributes() {
+        let (s, users, movies) = store();
+        // Same ratings, different attributes (U1 vs U3-with-U1-ratings).
+        let interactions = vec![
+            (users[0], movies[0], 1.0),
+            (users[0], movies[1], 5.0),
+            (users[2], movies[0], 1.0),
+            (users[2], movies[1], 5.0),
+        ];
+        let feats = user_features(&users, &interactions, &s);
+        let d = user_dissimilarity(&feats[0], &feats[2]);
+        // Ratings agree perfectly (pearson part 0) but both attributes
+        // differ (attr part 1) → 0.5.
+        assert!((d - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn page_features_use_taxonomy_ancestors() {
+        let mut s = AnnStore::new();
+        let u = s.add_base_with("U", "users", &[]);
+        let p1 = s.add_base_with("Adele", "pages", &[]);
+        let p2 = s.add_base_with("LoriBlack", "pages", &[]);
+        let p3 = s.add_base_with("TelAviv", "pages", &[]);
+        let t = prox_taxonomy::wordnet_fragment();
+        s.set_concept(p1, t.by_name("wordnet_singer").unwrap().0);
+        s.set_concept(p2, t.by_name("wordnet_guitarist").unwrap().0);
+        s.set_concept(p3, t.by_name("wordnet_city").unwrap().0);
+        let interactions = vec![(u, p1, 1.0), (u, p2, 1.0), (u, p3, 1.0)];
+        let feats = page_features(&[p1, p2, p3], &interactions, &s, &t);
+        let d_siblings = page_dissimilarity(&feats[0], &feats[1]);
+        let d_far = page_dissimilarity(&feats[0], &feats[2]);
+        assert!(d_siblings < d_far, "{d_siblings} vs {d_far}");
+    }
+
+    #[test]
+    fn matrix_of_builds_symmetric_matrix() {
+        let (s, users, movies) = store();
+        let interactions = vec![(users[0], movies[0], 3.0), (users[1], movies[0], 4.0)];
+        let feats = user_features(&users, &interactions, &s);
+        let m = matrix_of(&feats, user_dissimilarity);
+        assert_eq!(m.len(), 3);
+        assert_eq!(m.get(0, 1), m.get(1, 0));
+    }
+}

@@ -1,0 +1,155 @@
+//! Constrained hierarchical agglomerative clustering (§6.2).
+//!
+//! Bottom-up: every observation starts as a singleton; each step merges the
+//! pair of clusters with minimal linkage dissimilarity *whose union
+//! satisfies the mapping constraints* (the paper's modification: "we do not
+//! allow two clusters to merge if the users that belong to these clusters
+//! do not have at least one attribute in common"). Dissimilarities are
+//! maintained with the Lance–Williams update.
+
+use crate::linkage::Linkage;
+use crate::matrix::DissimilarityMatrix;
+
+/// One merge performed by the algorithm.
+#[derive(Clone, Debug, PartialEq)]
+pub struct MergeStep {
+    /// Observation indices of the first cluster.
+    pub left: Vec<usize>,
+    /// Observation indices of the second cluster.
+    pub right: Vec<usize>,
+    /// Linkage dissimilarity at which the merge happened.
+    pub dissimilarity: f64,
+}
+
+impl MergeStep {
+    /// All observation indices of the merged cluster.
+    pub fn merged(&self) -> Vec<usize> {
+        let mut m = self.left.clone();
+        m.extend_from_slice(&self.right);
+        m.sort_unstable();
+        m
+    }
+}
+
+/// Run constrained HAC to completion (or until no merge is allowed).
+///
+/// `allowed` receives the member index sets of the two clusters about to
+/// merge and may veto the merge. Returns the merge sequence in execution
+/// order (ascending dissimilarity for monotone linkages).
+pub fn cluster(
+    matrix: &DissimilarityMatrix,
+    linkage: Linkage,
+    mut allowed: impl FnMut(&[usize], &[usize]) -> bool,
+) -> Vec<MergeStep> {
+    let n = matrix.len();
+    if n < 2 {
+        return Vec::new();
+    }
+    let mut d = matrix.clone();
+    let mut members: Vec<Option<Vec<usize>>> = (0..n).map(|i| Some(vec![i])).collect();
+    let mut merges = Vec::new();
+
+    loop {
+        // Find the minimal-dissimilarity allowed pair among active clusters.
+        let mut best: Option<(usize, usize, f64)> = None;
+        let active: Vec<usize> = (0..n).filter(|&i| members[i].is_some()).collect();
+        if active.len() < 2 {
+            break;
+        }
+        for (ai, &i) in active.iter().enumerate() {
+            for &j in &active[ai + 1..] {
+                let dij = d.get(i, j);
+                if best.is_none_or(|(_, _, b)| dij < b) {
+                    let (mi, mj) = (
+                        members[i].as_deref().expect("active"),
+                        members[j].as_deref().expect("active"),
+                    );
+                    if allowed(mi, mj) {
+                        best = Some((i, j, dij));
+                    }
+                }
+            }
+        }
+        let Some((i, j, dij)) = best else {
+            break;
+        };
+        let left = members[i].clone().expect("active");
+        let right = members[j].take().expect("active");
+        let (ni, nj) = (left.len() as f64, right.len() as f64);
+
+        // Lance–Williams update: the merged cluster lives at slot `i`.
+        for &k in &active {
+            if k == i || k == j {
+                continue;
+            }
+            let nk = members[k].as_ref().expect("active").len() as f64;
+            let updated = linkage.update(d.get(k, i), d.get(k, j), dij, ni, nj, nk);
+            d.set(k, i, updated);
+        }
+        let mut merged_members = left.clone();
+        merged_members.extend_from_slice(&right);
+        merged_members.sort_unstable();
+        members[i] = Some(merged_members);
+
+        merges.push(MergeStep {
+            left,
+            right,
+            dissimilarity: dij,
+        });
+    }
+    merges
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Points on a line: 0, 1, 5, 6 — natural clusters {0,1} and {2,3}.
+    fn line_matrix() -> DissimilarityMatrix {
+        let pos: [f64; 4] = [0.0, 1.0, 5.0, 6.0];
+        DissimilarityMatrix::from_fn(4, |i, j| (pos[i] - pos[j]).abs())
+    }
+
+    #[test]
+    fn single_linkage_merges_nearest_first() {
+        let merges = cluster(&line_matrix(), Linkage::Single, |_, _| true);
+        assert_eq!(merges.len(), 3);
+        assert_eq!(merges[0].merged(), vec![0, 1]);
+        assert_eq!(merges[1].merged(), vec![2, 3]);
+        assert_eq!(merges[2].merged(), vec![0, 1, 2, 3]);
+        // Single linkage gap between the two groups is 4.
+        assert_eq!(merges[2].dissimilarity, 4.0);
+    }
+
+    #[test]
+    fn complete_linkage_uses_farthest_distance() {
+        let merges = cluster(&line_matrix(), Linkage::Complete, |_, _| true);
+        assert_eq!(merges[2].dissimilarity, 6.0);
+    }
+
+    #[test]
+    fn constraint_vetoes_merges() {
+        // Disallow any cluster containing both 0 and 3.
+        let merges = cluster(&line_matrix(), Linkage::Single, |l, r| {
+            let mut m = l.to_vec();
+            m.extend_from_slice(r);
+            !(m.contains(&0) && m.contains(&3))
+        });
+        // {0,1} and {2,3} form, but the final merge is blocked.
+        assert_eq!(merges.len(), 2);
+    }
+
+    #[test]
+    fn all_linkages_terminate() {
+        for l in Linkage::ALL {
+            let merges = cluster(&line_matrix(), l, |_, _| true);
+            assert_eq!(merges.len(), 3, "{}", l.name());
+        }
+    }
+
+    #[test]
+    fn trivial_inputs() {
+        assert!(cluster(&DissimilarityMatrix::zeros(0), Linkage::Single, |_, _| true).is_empty());
+        assert!(cluster(&DissimilarityMatrix::zeros(1), Linkage::Single, |_, _| true).is_empty());
+    }
+}

@@ -1,0 +1,35 @@
+//! # prox-cluster
+//!
+//! Baseline summarizers the PROX evaluation compares against (§6.1–6.2):
+//!
+//! * **Clustering** — constrained hierarchical agglomerative clustering
+//!   with all seven linkage criteria (Lance–Williams updates), Pearson
+//!   dissimilarity over rating/edit vectors, the paper's mapping
+//!   constraints as merge vetoes, and a replay layer turning merge
+//!   sequences into provenance summaries with Prov-Approx's stop
+//!   conditions;
+//! * **Random** — uniformly random constraint-satisfying pair merges.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod dendrogram;
+pub mod features;
+pub mod hac;
+pub mod linkage;
+pub mod matrix;
+pub mod pearson;
+pub mod random;
+pub mod replay;
+
+pub use features::{
+    matrix_of, page_dissimilarity, page_features, user_dissimilarity, user_features,
+    FeatureVector,
+};
+pub use dendrogram::{build as build_dendrogram, Dendrogram};
+pub use hac::{cluster, MergeStep};
+pub use linkage::Linkage;
+pub use matrix::DissimilarityMatrix;
+pub use pearson::{pearson, pearson_dissimilarity, SparseVec};
+pub use random::random_summarize;
+pub use replay::{interleave, merges_to_ann, replay, AnnMerge};

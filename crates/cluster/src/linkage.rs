@@ -1,0 +1,136 @@
+//! Linkage criteria for hierarchical agglomerative clustering (§6.2).
+//!
+//! All seven criteria the paper's HAC library supports, implemented through
+//! the Lance–Williams update: after merging clusters `i` and `j`, the
+//! dissimilarity of any other cluster `k` to the merged cluster is
+//!
+//! `d(k, i∪j) = αᵢ·d(k,i) + αⱼ·d(k,j) + β·d(i,j) + γ·|d(k,i) − d(k,j)|`
+//!
+//! with coefficients depending on the criterion (and cluster sizes).
+
+use serde::{Deserialize, Serialize};
+
+/// The linkage criterion.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Linkage {
+    /// Smallest distance between objects in opposite clusters.
+    Single,
+    /// Largest distance between objects in opposite clusters.
+    Complete,
+    /// Average of all cross-cluster pairwise distances (UPGMA).
+    Average,
+    /// Average linkage with clusters weighted equally (WPGMA).
+    WeightedAverage,
+    /// Distance between cluster centroids (UPGMC).
+    Centroid,
+    /// Euclidean distance between weighted centroids (WPGMC).
+    Median,
+    /// Minimal increase of within-group error sum of squares.
+    Ward,
+}
+
+impl Linkage {
+    /// All criteria, for exhaustive experiments.
+    pub const ALL: [Linkage; 7] = [
+        Linkage::Single,
+        Linkage::Complete,
+        Linkage::Average,
+        Linkage::WeightedAverage,
+        Linkage::Centroid,
+        Linkage::Median,
+        Linkage::Ward,
+    ];
+
+    /// Lance–Williams coefficients `(αᵢ, αⱼ, β, γ)` for merging clusters of
+    /// sizes `ni`, `nj`, observed from a cluster of size `nk`.
+    pub fn coefficients(self, ni: f64, nj: f64, nk: f64) -> (f64, f64, f64, f64) {
+        match self {
+            Linkage::Single => (0.5, 0.5, 0.0, -0.5),
+            Linkage::Complete => (0.5, 0.5, 0.0, 0.5),
+            Linkage::Average => {
+                let s = ni + nj;
+                (ni / s, nj / s, 0.0, 0.0)
+            }
+            Linkage::WeightedAverage => (0.5, 0.5, 0.0, 0.0),
+            Linkage::Centroid => {
+                let s = ni + nj;
+                (ni / s, nj / s, -(ni * nj) / (s * s), 0.0)
+            }
+            Linkage::Median => (0.5, 0.5, -0.25, 0.0),
+            Linkage::Ward => {
+                let s = ni + nj + nk;
+                ((ni + nk) / s, (nj + nk) / s, -nk / s, 0.0)
+            }
+        }
+    }
+
+    /// Apply the Lance–Williams update.
+    pub fn update(self, d_ki: f64, d_kj: f64, d_ij: f64, ni: f64, nj: f64, nk: f64) -> f64 {
+        let (ai, aj, beta, gamma) = self.coefficients(ni, nj, nk);
+        ai * d_ki + aj * d_kj + beta * d_ij + gamma * (d_ki - d_kj).abs()
+    }
+
+    /// Name matching §6.2's vocabulary.
+    pub fn name(self) -> &'static str {
+        match self {
+            Linkage::Single => "Single Linkage",
+            Linkage::Complete => "Complete Linkage",
+            Linkage::Average => "Average Linkage",
+            Linkage::WeightedAverage => "Weighted Average",
+            Linkage::Centroid => "Centroid Linkage",
+            Linkage::Median => "Median Linkage",
+            Linkage::Ward => "Ward Linkage",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_is_min_of_distances() {
+        // d(k, i∪j) under single linkage = min(d_ki, d_kj).
+        for (d_ki, d_kj) in [(1.0, 3.0), (4.0, 2.0), (5.0, 5.0)] {
+            let d = Linkage::Single.update(d_ki, d_kj, 9.9, 1.0, 1.0, 1.0);
+            assert_eq!(d, d_ki.min(d_kj));
+        }
+    }
+
+    #[test]
+    fn complete_is_max_of_distances() {
+        for (d_ki, d_kj) in [(1.0, 3.0), (4.0, 2.0)] {
+            let d = Linkage::Complete.update(d_ki, d_kj, 0.0, 1.0, 1.0, 1.0);
+            assert_eq!(d, d_ki.max(d_kj));
+        }
+    }
+
+    #[test]
+    fn average_weights_by_cluster_size() {
+        // Cluster i of size 3, j of size 1: d = 3/4·d_ki + 1/4·d_kj.
+        let d = Linkage::Average.update(4.0, 8.0, 0.0, 3.0, 1.0, 1.0);
+        assert!((d - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn weighted_average_ignores_sizes() {
+        let d = Linkage::WeightedAverage.update(4.0, 8.0, 0.0, 30.0, 1.0, 1.0);
+        assert_eq!(d, 6.0);
+    }
+
+    #[test]
+    fn ward_reduces_to_known_formula() {
+        // ni=nj=nk=1: d = (2 d_ki + 2 d_kj - d_ij)/3.
+        let d = Linkage::Ward.update(3.0, 6.0, 3.0, 1.0, 1.0, 1.0);
+        assert!((d - (2.0 * 3.0 + 2.0 * 6.0 - 3.0) / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn all_criteria_listed_once() {
+        let set: std::collections::HashSet<_> = Linkage::ALL.iter().collect();
+        assert_eq!(set.len(), 7);
+        for l in Linkage::ALL {
+            assert!(!l.name().is_empty());
+        }
+    }
+}

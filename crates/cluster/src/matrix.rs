@@ -1,0 +1,117 @@
+//! Condensed symmetric dissimilarity matrix.
+//!
+//! Stores the strict upper triangle of an `n × n` symmetric matrix in a
+//! flat buffer — the standard representation for agglomerative clustering.
+
+/// A symmetric `n × n` dissimilarity matrix with zero diagonal.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DissimilarityMatrix {
+    n: usize,
+    data: Vec<f64>,
+}
+
+impl DissimilarityMatrix {
+    /// Matrix of `n` observations, all dissimilarities zero.
+    pub fn zeros(n: usize) -> Self {
+        DissimilarityMatrix {
+            n,
+            data: vec![0.0; n * n.saturating_sub(1) / 2],
+        }
+    }
+
+    /// Build from a pairwise function.
+    pub fn from_fn(n: usize, mut f: impl FnMut(usize, usize) -> f64) -> Self {
+        let mut m = DissimilarityMatrix::zeros(n);
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let d = f(i, j);
+                debug_assert!(d.is_finite(), "non-finite dissimilarity at ({i},{j})");
+                m.set(i, j, d);
+            }
+        }
+        m
+    }
+
+    /// Number of observations.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// True for an empty matrix.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    #[inline]
+    fn index(&self, i: usize, j: usize) -> usize {
+        debug_assert!(i != j && i < self.n && j < self.n);
+        let (i, j) = if i < j { (i, j) } else { (j, i) };
+        // Offset of row i in the condensed triangle plus column offset.
+        i * self.n - i * (i + 1) / 2 + (j - i - 1)
+    }
+
+    /// The dissimilarity between observations `i` and `j` (0 when `i == j`).
+    #[inline]
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        if i == j {
+            0.0
+        } else {
+            self.data[self.index(i, j)]
+        }
+    }
+
+    /// Set the dissimilarity between `i` and `j` (`i ≠ j`).
+    #[inline]
+    pub fn set(&mut self, i: usize, j: usize, d: f64) {
+        let ix = self.index(i, j);
+        self.data[ix] = d;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn symmetric_access() {
+        let mut m = DissimilarityMatrix::zeros(4);
+        m.set(1, 3, 2.5);
+        assert_eq!(m.get(1, 3), 2.5);
+        assert_eq!(m.get(3, 1), 2.5);
+        assert_eq!(m.get(2, 2), 0.0);
+    }
+
+    #[test]
+    fn from_fn_fills_triangle() {
+        let m = DissimilarityMatrix::from_fn(3, |i, j| (i + j) as f64);
+        assert_eq!(m.get(0, 1), 1.0);
+        assert_eq!(m.get(0, 2), 2.0);
+        assert_eq!(m.get(1, 2), 3.0);
+    }
+
+    #[test]
+    fn condensed_indexing_covers_all_pairs() {
+        let n = 7;
+        let mut m = DissimilarityMatrix::zeros(n);
+        let mut v = 1.0;
+        for i in 0..n {
+            for j in (i + 1)..n {
+                m.set(i, j, v);
+                v += 1.0;
+            }
+        }
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let d = m.get(i, j);
+                assert!(seen.insert(d.to_bits()), "index collision at ({i},{j})");
+            }
+        }
+    }
+
+    #[test]
+    fn empty_matrix() {
+        let m = DissimilarityMatrix::zeros(0);
+        assert!(m.is_empty());
+    }
+}

@@ -1,0 +1,99 @@
+//! Pearson correlation over sparse rating vectors (§6.2).
+//!
+//! The clustering baseline measures user similarity by the Pearson
+//! correlation coefficient of their co-rated items; the dissimilarity used
+//! in the matrix is `(1 − r) / 2 ∈ [0, 1]`. Pairs with fewer than two
+//! common items (or zero variance) fall back to maximal dissimilarity.
+
+use std::collections::HashMap;
+
+/// A sparse item → value vector.
+pub type SparseVec = HashMap<u32, f64>;
+
+/// Pearson correlation over the common support of two sparse vectors.
+/// Returns `None` when fewer than two common items exist or either side
+/// has zero variance on the common support.
+pub fn pearson(a: &SparseVec, b: &SparseVec) -> Option<f64> {
+    let common: Vec<u32> = a.keys().filter(|k| b.contains_key(k)).copied().collect();
+    if common.len() < 2 {
+        return None;
+    }
+    let n = common.len() as f64;
+    let (mut sa, mut sb) = (0.0, 0.0);
+    for &k in &common {
+        sa += a[&k];
+        sb += b[&k];
+    }
+    let (ma, mb) = (sa / n, sb / n);
+    let (mut cov, mut va, mut vb) = (0.0, 0.0, 0.0);
+    for &k in &common {
+        let da = a[&k] - ma;
+        let db = b[&k] - mb;
+        cov += da * db;
+        va += da * da;
+        vb += db * db;
+    }
+    if va == 0.0 || vb == 0.0 {
+        return None;
+    }
+    Some(cov / (va.sqrt() * vb.sqrt()))
+}
+
+/// Dissimilarity derived from Pearson correlation: `(1 − r) / 2`, with 1.0
+/// for incomparable pairs.
+pub fn pearson_dissimilarity(a: &SparseVec, b: &SparseVec) -> f64 {
+    match pearson(a, b) {
+        Some(r) => (1.0 - r) / 2.0,
+        None => 1.0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sv(items: &[(u32, f64)]) -> SparseVec {
+        items.iter().copied().collect()
+    }
+
+    #[test]
+    fn perfectly_correlated() {
+        let a = sv(&[(1, 1.0), (2, 2.0), (3, 3.0)]);
+        let b = sv(&[(1, 2.0), (2, 4.0), (3, 6.0)]);
+        assert!((pearson(&a, &b).unwrap() - 1.0).abs() < 1e-12);
+        assert!(pearson_dissimilarity(&a, &b) < 1e-12);
+    }
+
+    #[test]
+    fn anti_correlated() {
+        let a = sv(&[(1, 1.0), (2, 2.0), (3, 3.0)]);
+        let b = sv(&[(1, 3.0), (2, 2.0), (3, 1.0)]);
+        assert!((pearson(&a, &b).unwrap() + 1.0).abs() < 1e-12);
+        assert!((pearson_dissimilarity(&a, &b) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn insufficient_overlap_is_incomparable() {
+        let a = sv(&[(1, 1.0), (2, 2.0)]);
+        let b = sv(&[(3, 1.0), (4, 2.0)]);
+        assert_eq!(pearson(&a, &b), None);
+        assert_eq!(pearson_dissimilarity(&a, &b), 1.0);
+        let c = sv(&[(1, 5.0)]);
+        assert_eq!(pearson(&a, &c), None);
+    }
+
+    #[test]
+    fn zero_variance_is_incomparable() {
+        let a = sv(&[(1, 3.0), (2, 3.0)]);
+        let b = sv(&[(1, 1.0), (2, 5.0)]);
+        assert_eq!(pearson(&a, &b), None);
+    }
+
+    #[test]
+    fn only_common_support_counts() {
+        // Items outside the intersection must not affect the result.
+        let a = sv(&[(1, 1.0), (2, 2.0), (9, 100.0)]);
+        let b = sv(&[(1, 1.0), (2, 2.0), (8, -50.0)]);
+        assert!((pearson(&a, &b).unwrap() - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,315 @@
+//! Replaying a clustering merge sequence as provenance summarization
+//! (§6.2).
+//!
+//! "Each step of the Clustering algorithm, in which two clusters are
+//! merged, corresponds to a mapping of 2 annotations to an annotation
+//! summary" — the merge sequence is replayed onto the provenance
+//! expression, checking the same stop conditions (`TARGET-SIZE`,
+//! `TARGET-DIST`, max steps) as Prov-Approx so the two are comparable.
+
+use std::collections::HashMap;
+use std::time::Instant;
+
+use prox_core::{
+    DistanceEngine, History, StepRecord, StopReason, SummarizeConfig, SummaryResult,
+};
+use prox_provenance::{AnnId, AnnStore, Mapping, Summarizable, Valuation};
+
+use crate::hac::MergeStep;
+
+/// A merge step translated to annotation space.
+#[derive(Clone, Debug)]
+pub struct AnnMerge {
+    /// Base annotations of both clusters.
+    pub members: Vec<AnnId>,
+    /// Linkage dissimilarity (used to order interleaved queues).
+    pub dissimilarity: f64,
+}
+
+/// Translate observation-index merges to annotation merges.
+pub fn merges_to_ann(merges: &[MergeStep], items: &[AnnId]) -> Vec<AnnMerge> {
+    merges
+        .iter()
+        .map(|m| AnnMerge {
+            members: m.merged().iter().map(|&ix| items[ix]).collect(),
+            dissimilarity: m.dissimilarity,
+        })
+        .collect()
+}
+
+/// Interleave several merge queues (e.g. user merges and page merges) by
+/// ascending dissimilarity, preserving each queue's internal order.
+pub fn interleave(queues: Vec<Vec<AnnMerge>>) -> Vec<AnnMerge> {
+    let mut cursors: Vec<std::vec::IntoIter<AnnMerge>> =
+        queues.into_iter().map(|q| q.into_iter()).collect();
+    let mut heads: Vec<Option<AnnMerge>> = cursors.iter_mut().map(|c| c.next()).collect();
+    let mut out = Vec::new();
+    loop {
+        let mut best: Option<usize> = None;
+        for (ix, head) in heads.iter().enumerate() {
+            if let Some(h) = head {
+                if best.is_none_or(|b| {
+                    h.dissimilarity < heads[b].as_ref().expect("best is set").dissimilarity
+                }) {
+                    best = Some(ix);
+                }
+            }
+        }
+        let Some(b) = best else { break };
+        out.push(heads[b].take().expect("chosen head exists"));
+        heads[b] = cursors[b].next();
+    }
+    out
+}
+
+/// Replay annotation merges onto a provenance expression with Prov-Approx's
+/// stop conditions. Each merge's members are first mapped through the
+/// cumulative homomorphism (clusters may contain annotations already
+/// merged), then mapped to a fresh summary annotation.
+pub fn replay<E: Summarizable>(
+    p0: &E,
+    merges: &[AnnMerge],
+    store: &mut AnnStore,
+    valuations: &[Valuation],
+    config: &SummarizeConfig,
+) -> SummaryResult<E> {
+    let engine = DistanceEngine::new(p0, valuations, config.phi.clone(), config.val_func);
+    let no_override = HashMap::new();
+    let initial_size = p0.size();
+
+    let mut current = p0.clone();
+    let mut cumulative = Mapping::identity();
+    let mut current_dist = 0.0f64;
+    let mut history = History::default();
+    let mut snapshots = Vec::new();
+    if config.record_snapshots {
+        snapshots.push(current.clone());
+    }
+    let mut stop_reason = StopReason::NoCandidates; // merges exhausted
+
+    for (ix, merge) in merges.iter().enumerate() {
+        if current.size() <= config.target_size {
+            stop_reason = StopReason::TargetSize;
+            break;
+        }
+        // Budget counts *executed* merges — queue entries that were already
+        // subsumed by earlier steps (see `continue` below) are free.
+        if history.steps.len() >= config.max_steps {
+            stop_reason = StopReason::MaxSteps;
+            break;
+        }
+        let step_start = Instant::now();
+        let size_before = current.size();
+
+        // Current-level members: images of the cluster members.
+        let mut level: Vec<AnnId> = merge.members.iter().map(|&a| cumulative.image(a)).collect();
+        level.sort_unstable();
+        level.dedup();
+        if level.len() < 2 {
+            continue; // already fully merged by earlier steps
+        }
+        let name = store
+            .shared_attrs(&merge.members)
+            .first()
+            .map(|&(_, v)| store.value_name(v).to_owned())
+            .unwrap_or_else(|| format!("C{}", ix + 1));
+        let domain = store.get(level[0]).domain;
+        let summary = store.add_summary(&name, domain, &level);
+        let step_map = Mapping::group(&level, summary);
+
+        let cand_start = Instant::now();
+        let next = current.apply_mapping(&step_map);
+        let mut h = cumulative.clone();
+        h.compose_with(&step_map);
+        let distance = engine.distance(&next, &h, store, &no_override);
+        let candidate_time = cand_start.elapsed();
+
+        if config.target_dist < 1.0 && distance >= config.target_dist {
+            // Crossing the distance bound: keep the previous expression.
+            stop_reason = StopReason::TargetDist;
+            break;
+        }
+
+        cumulative = h;
+        current = next;
+        current_dist = distance;
+        history.steps.push(StepRecord {
+            step: history.steps.len() + 1,
+            merged: level,
+            target: summary,
+            score: merge.dissimilarity,
+            distance,
+            size: current.size(),
+            candidates: 1,
+            candidate_time,
+            step_time: step_start.elapsed(),
+            size_before,
+        });
+        if config.record_snapshots {
+            snapshots.push(current.clone());
+        }
+    }
+    if current.size() <= config.target_size {
+        stop_reason = StopReason::TargetSize;
+    }
+
+    SummaryResult {
+        summary: current,
+        mapping: cumulative,
+        history,
+        snapshots,
+        initial_size,
+        final_distance: current_dist,
+        stop_reason,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prox_provenance::{AggKind, AggValue, Polynomial, ProvExpr, Tensor, ValuationClass};
+
+    fn setup() -> (AnnStore, ProvExpr, Vec<AnnId>) {
+        let mut s = AnnStore::new();
+        let users: Vec<AnnId> = (0..4)
+            .map(|i| {
+                let gender = if i < 2 { "F" } else { "M" };
+                s.add_base_with(&format!("U{i}"), "users", &[("gender", gender)])
+            })
+            .collect();
+        let m = s.add_base_with("M", "movies", &[]);
+        let mut p = ProvExpr::new(AggKind::Max);
+        for (i, &u) in users.iter().enumerate() {
+            p.push(m, Tensor::new(Polynomial::var(u), AggValue::single(1.0 + i as f64)));
+        }
+        (s, p, users)
+    }
+
+    #[test]
+    fn replay_applies_merges_in_order() {
+        let (mut s, p, users) = setup();
+        let vals = ValuationClass::CancelSingleAnnotation.generate(&s, &users, &[]);
+        let merges = vec![
+            AnnMerge {
+                members: vec![users[0], users[1]],
+                dissimilarity: 0.1,
+            },
+            AnnMerge {
+                members: vec![users[2], users[3]],
+                dissimilarity: 0.2,
+            },
+        ];
+        let config = SummarizeConfig {
+            max_steps: 10,
+            ..Default::default()
+        };
+        let res = replay(&p, &merges, &mut s, &vals, &config);
+        assert_eq!(res.history.len(), 2);
+        assert_eq!(res.final_size(), 2);
+        assert!(res.final_distance > 0.0);
+    }
+
+    #[test]
+    fn replay_respects_target_size() {
+        let (mut s, p, users) = setup();
+        let vals = ValuationClass::CancelSingleAnnotation.generate(&s, &users, &[]);
+        let merges = vec![
+            AnnMerge {
+                members: vec![users[0], users[1]],
+                dissimilarity: 0.1,
+            },
+            AnnMerge {
+                members: vec![users[2], users[3]],
+                dissimilarity: 0.2,
+            },
+        ];
+        let config = SummarizeConfig {
+            target_size: 3,
+            max_steps: 10,
+            ..Default::default()
+        };
+        let res = replay(&p, &merges, &mut s, &vals, &config);
+        assert_eq!(res.history.len(), 1);
+        assert_eq!(res.final_size(), 3);
+        assert_eq!(res.stop_reason, StopReason::TargetSize);
+    }
+
+    #[test]
+    fn replay_backs_off_on_target_dist() {
+        let (mut s, p, users) = setup();
+        let vals = ValuationClass::CancelSingleAnnotation.generate(&s, &users, &[]);
+        // Merging the two *top* raters is lossy under MAX: cancelling the
+        // best rater no longer removes their rating from the group.
+        let merges = vec![AnnMerge {
+            members: vec![users[2], users[3]],
+            dissimilarity: 0.1,
+        }];
+        let config = SummarizeConfig {
+            target_dist: 1e-9,
+            max_steps: 10,
+            ..Default::default()
+        };
+        let res = replay(&p, &merges, &mut s, &vals, &config);
+        assert_eq!(res.history.len(), 0);
+        assert_eq!(res.stop_reason, StopReason::TargetDist);
+        assert_eq!(res.final_size(), p.size());
+    }
+
+    #[test]
+    fn nested_cluster_merges_use_images() {
+        // HAC merge sequence: {0,1}, then {0,1,2} — the second merge's
+        // members include already-merged annotations.
+        let (mut s, p, users) = setup();
+        let vals = ValuationClass::CancelSingleAnnotation.generate(&s, &users, &[]);
+        let merges = vec![
+            AnnMerge {
+                members: vec![users[0], users[1]],
+                dissimilarity: 0.1,
+            },
+            AnnMerge {
+                members: vec![users[0], users[1], users[2]],
+                dissimilarity: 0.3,
+            },
+        ];
+        let config = SummarizeConfig {
+            max_steps: 10,
+            ..Default::default()
+        };
+        let res = replay(&p, &merges, &mut s, &vals, &config);
+        assert_eq!(res.history.len(), 2);
+        assert_eq!(res.final_size(), 2); // {U0,U1,U2} + U3
+    }
+
+    #[test]
+    fn interleave_orders_by_dissimilarity() {
+        let q1 = vec![
+            AnnMerge {
+                members: vec![],
+                dissimilarity: 0.1,
+            },
+            AnnMerge {
+                members: vec![],
+                dissimilarity: 0.5,
+            },
+        ];
+        let q2 = vec![AnnMerge {
+            members: vec![],
+            dissimilarity: 0.3,
+        }];
+        let merged = interleave(vec![q1, q2]);
+        let ds: Vec<f64> = merged.iter().map(|m| m.dissimilarity).collect();
+        assert_eq!(ds, vec![0.1, 0.3, 0.5]);
+    }
+
+    #[test]
+    fn merges_to_ann_translates_indices() {
+        let (_, _, users) = setup();
+        let merges = vec![MergeStep {
+            left: vec![0],
+            right: vec![2],
+            dissimilarity: 0.4,
+        }];
+        let anns = merges_to_ann(&merges, &users);
+        assert_eq!(anns[0].members, vec![users[0], users[2]]);
+    }
+}

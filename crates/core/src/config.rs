@@ -1,0 +1,213 @@
+//! Configuration for the summarization algorithm (the knobs of the PROX
+//! UI's summarization view, Fig 7.4, plus §3.2/§4.2 parameters).
+
+use prox_provenance::{Phi, PhiMap};
+use serde::{Deserialize, Serialize};
+
+use crate::val_func::ValFuncKind;
+
+/// How candidate distance and size combine into a `CandidateScore`
+/// (Definition 3.2.4).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ScoreMode {
+    /// The paper's formulation: candidates are *ranked* by distance and by
+    /// size; normalized ranks are combined by the weights.
+    Rank,
+    /// Ablation: raw normalized distance and size (size relative to the
+    /// original expression) are combined directly.
+    Normalized,
+}
+
+/// Fold used when taxonomy distances break ties between candidates (§4.2).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TieBreak {
+    /// Maximum member-to-target taxonomy distance.
+    TaxonomyMax,
+    /// Sum of member-to-target taxonomy distances.
+    TaxonomySum,
+    /// No taxonomy tie-breaking: first minimal candidate wins.
+    First,
+}
+
+/// Full configuration of Algorithm 1.
+#[derive(Clone, Debug)]
+pub struct SummarizeConfig {
+    /// Weight of the distance rank in the candidate score (`wDist`).
+    pub w_dist: f64,
+    /// Weight of the size rank (`wSize`); the paper requires
+    /// `wDist + wSize = 1`.
+    pub w_size: f64,
+    /// Weight of the taxonomy-distance rank added on top of the
+    /// distance/size score (§3.2: "taxonomic information ... may be
+    /// incorporated as part of the computation"). 0 disables it (default);
+    /// positive values prefer candidates whose members sit taxonomically
+    /// close to the proposed group concept.
+    pub w_tax: f64,
+    /// Stop once the expression size is ≤ this bound (`TARGET-SIZE`).
+    /// Set to 1 to disable (minimum possible size).
+    pub target_size: usize,
+    /// Stop before the distance reaches this bound (`TARGET-DIST`), in
+    /// normalized `[0,1]`. Set to 1.0 to disable (maximum distance).
+    pub target_dist: f64,
+    /// Maximum number of algorithm steps (§6.7); `usize::MAX` to disable.
+    pub max_steps: usize,
+    /// The combiner function(s) φ.
+    pub phi: PhiMap,
+    /// The VAL-FUNC measuring per-valuation disagreement.
+    pub val_func: ValFuncKind,
+    /// Score combination mode.
+    pub score_mode: ScoreMode,
+    /// Tie-breaking rule for equal-score candidates.
+    pub tie_break: TieBreak,
+    /// Number of annotations merged per step (2 in Algorithm 1; larger
+    /// values exercise the thesis's future-work k-way generalization).
+    pub k: usize,
+    /// Record a snapshot of the expression after every step (needed by the
+    /// system UI's step-through view; costs memory).
+    pub record_snapshots: bool,
+    /// Skip the initial `GroupEquivalent` phase (ablation).
+    pub skip_group_equivalent: bool,
+}
+
+impl Default for SummarizeConfig {
+    fn default() -> Self {
+        SummarizeConfig {
+            w_dist: 0.5,
+            w_size: 0.5,
+            w_tax: 0.0,
+            target_size: 1,
+            target_dist: 1.0,
+            max_steps: 20,
+            phi: PhiMap::uniform(Phi::Or),
+            val_func: ValFuncKind::Euclidean,
+            score_mode: ScoreMode::Rank,
+            tie_break: TieBreak::TaxonomyMax,
+            k: 2,
+            record_snapshots: false,
+            skip_group_equivalent: false,
+        }
+    }
+}
+
+impl SummarizeConfig {
+    /// Problem flavor 1 (§3.2): weighted optimization with explicit weights.
+    pub fn weighted(w_dist: f64, max_steps: usize) -> Self {
+        SummarizeConfig {
+            w_dist,
+            w_size: 1.0 - w_dist,
+            max_steps,
+            ..SummarizeConfig::default()
+        }
+    }
+
+    /// Problem flavor 2 (§3.2): minimize distance subject to a size bound —
+    /// `wDist = 1`, `TARGET-DIST = 1` (disabled).
+    pub fn target_size(size: usize) -> Self {
+        SummarizeConfig {
+            w_dist: 1.0,
+            w_size: 0.0,
+            target_size: size,
+            target_dist: 1.0,
+            max_steps: usize::MAX,
+            ..SummarizeConfig::default()
+        }
+    }
+
+    /// Problem flavor 3 (§3.2): minimize size subject to a distance bound —
+    /// `wSize = 1`, `TARGET-SIZE = 1` (disabled).
+    pub fn target_dist(dist: f64) -> Self {
+        SummarizeConfig {
+            w_dist: 0.0,
+            w_size: 1.0,
+            target_size: 1,
+            target_dist: dist,
+            max_steps: usize::MAX,
+            ..SummarizeConfig::default()
+        }
+    }
+
+    /// Builder-style override of the VAL-FUNC.
+    pub fn with_val_func(mut self, vf: ValFuncKind) -> Self {
+        self.val_func = vf;
+        self
+    }
+
+    /// Builder-style override of φ.
+    pub fn with_phi(mut self, phi: PhiMap) -> Self {
+        self.phi = phi;
+        self
+    }
+
+    /// Builder-style snapshot recording.
+    pub fn with_snapshots(mut self) -> Self {
+        self.record_snapshots = true;
+        self
+    }
+
+    /// Validate invariants (weights sum to 1, k ≥ 2, bounds in range).
+    pub fn validate(&self) -> Result<(), String> {
+        if (self.w_dist + self.w_size - 1.0).abs() > 1e-9 {
+            return Err(format!(
+                "wDist + wSize must equal 1 (got {} + {})",
+                self.w_dist, self.w_size
+            ));
+        }
+        if !(0.0..=1.0).contains(&self.w_dist) {
+            return Err("wDist must lie in [0,1]".into());
+        }
+        if self.k < 2 {
+            return Err("k must be at least 2".into());
+        }
+        if !(0.0..=1.0).contains(&self.w_tax) {
+            return Err("wTax must lie in [0,1]".into());
+        }
+        if !(0.0..=1.0).contains(&self.target_dist) {
+            return Err("TARGET-DIST must lie in [0,1]".into());
+        }
+        if self.target_size == 0 {
+            return Err("TARGET-SIZE must be at least 1".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_valid() {
+        assert!(SummarizeConfig::default().validate().is_ok());
+    }
+
+    #[test]
+    fn flavors_match_paper_settings() {
+        let f2 = SummarizeConfig::target_size(100);
+        assert_eq!(f2.w_dist, 1.0);
+        assert_eq!(f2.target_dist, 1.0);
+        assert_eq!(f2.target_size, 100);
+        assert!(f2.validate().is_ok());
+
+        let f3 = SummarizeConfig::target_dist(0.05);
+        assert_eq!(f3.w_size, 1.0);
+        assert_eq!(f3.target_size, 1);
+        assert!(f3.validate().is_ok());
+    }
+
+    #[test]
+    fn validation_rejects_bad_weights() {
+        let mut c = SummarizeConfig {
+            w_dist: 0.8,
+            w_size: 0.8,
+            ..Default::default()
+        };
+        assert!(c.validate().is_err());
+        c.w_size = 0.2;
+        assert!(c.validate().is_ok());
+        c.k = 1;
+        assert!(c.validate().is_err());
+        c.k = 2;
+        c.target_size = 0;
+        assert!(c.validate().is_err());
+    }
+}

@@ -1,0 +1,242 @@
+//! Semantic constraints on summarization mappings (§3.2).
+//!
+//! Unrelated annotations make useless summaries, so mappings are restricted:
+//! annotations may only be grouped when they annotate tuples in the same
+//! input table (same *domain*), and additionally satisfy a per-domain rule —
+//! sharing an attribute value (so the group gets a meaningful name like
+//! "Female"), sharing a taxonomy ancestor, or both alternatives.
+
+use prox_provenance::{AnnId, AnnStore, AttrId, DomainId};
+use prox_taxonomy::{ConceptId, Taxonomy};
+
+/// The merge rule applied within one domain.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum MergeRule {
+    /// Members must all share at least one attribute value. When `attrs`
+    /// is non-empty, only the listed attributes count (gender, age group,
+    /// occupation, zip code for MovieLens).
+    SharedAttribute {
+        /// Attributes eligible for the shared-value test (empty = all).
+        attrs: Vec<AttrId>,
+    },
+    /// Members' taxonomy concepts must share a common ancestor.
+    TaxonomyAncestor,
+    /// Either of the above suffices.
+    SharedAttributeOrTaxonomy {
+        /// Attributes eligible for the shared-value test (empty = all).
+        attrs: Vec<AttrId>,
+    },
+    /// Any two annotations of the domain may merge.
+    Any,
+}
+
+/// Per-domain constraint configuration. Domains with no rule are not
+/// mergeable at all.
+#[derive(Clone, Debug, Default)]
+pub struct ConstraintConfig {
+    rules: Vec<(DomainId, MergeRule)>,
+}
+
+impl ConstraintConfig {
+    /// Empty configuration (nothing mergeable).
+    pub fn new() -> Self {
+        ConstraintConfig::default()
+    }
+
+    /// Allow merging in `domain` under `rule` (builder style).
+    pub fn allow(mut self, domain: DomainId, rule: MergeRule) -> Self {
+        self.rules.retain(|(d, _)| *d != domain);
+        self.rules.push((domain, rule));
+        self
+    }
+
+    /// The rule for a domain, if mergeable.
+    pub fn rule(&self, domain: DomainId) -> Option<&MergeRule> {
+        self.rules
+            .iter()
+            .find(|(d, _)| *d == domain)
+            .map(|(_, r)| r)
+    }
+
+    /// Domains that allow merging.
+    pub fn mergeable_domains(&self) -> impl Iterator<Item = DomainId> + '_ {
+        self.rules.iter().map(|(d, _)| *d)
+    }
+
+    /// May this whole group be mapped to one annotation? Checks the same
+    /// domain across members plus the domain's rule.
+    pub fn group_ok(
+        &self,
+        members: &[AnnId],
+        store: &AnnStore,
+        taxonomy: Option<&Taxonomy>,
+    ) -> bool {
+        let Some((&first, rest)) = members.split_first() else {
+            return false;
+        };
+        let domain = store.get(first).domain;
+        if rest.iter().any(|&m| store.get(m).domain != domain) {
+            return false;
+        }
+        let Some(rule) = self.rule(domain) else {
+            return false;
+        };
+        match rule {
+            MergeRule::Any => true,
+            MergeRule::SharedAttribute { attrs } => shared_attr(members, store, attrs).is_some(),
+            MergeRule::TaxonomyAncestor => taxonomy_compatible(members, store, taxonomy),
+            MergeRule::SharedAttributeOrTaxonomy { attrs } => {
+                shared_attr(members, store, attrs).is_some()
+                    || taxonomy_compatible(members, store, taxonomy)
+            }
+        }
+    }
+
+    /// Convenience pair test.
+    pub fn pair_ok(
+        &self,
+        a: AnnId,
+        b: AnnId,
+        store: &AnnStore,
+        taxonomy: Option<&Taxonomy>,
+    ) -> bool {
+        self.group_ok(&[a, b], store, taxonomy)
+    }
+}
+
+/// First attribute/value shared by all members, restricted to `attrs` when
+/// non-empty. Attribute order follows the first member's (interning) order,
+/// which keeps naming deterministic.
+pub fn shared_attr(
+    members: &[AnnId],
+    store: &AnnStore,
+    attrs: &[AttrId],
+) -> Option<(AttrId, prox_provenance::AttrValueId)> {
+    let shared = store.shared_attrs(members);
+    shared
+        .into_iter()
+        .find(|(a, _)| attrs.is_empty() || attrs.contains(a))
+}
+
+/// Do all members carry concepts sharing a common taxonomy ancestor?
+pub fn taxonomy_compatible(
+    members: &[AnnId],
+    store: &AnnStore,
+    taxonomy: Option<&Taxonomy>,
+) -> bool {
+    let Some(t) = taxonomy else {
+        return false;
+    };
+    concepts_of(members, store)
+        .map(|cs| t.lcs_many(&cs).is_some())
+        .unwrap_or(false)
+}
+
+/// Concepts of all members (None when any member lacks one).
+pub fn concepts_of(members: &[AnnId], store: &AnnStore) -> Option<Vec<ConceptId>> {
+    members
+        .iter()
+        .map(|&m| store.get(m).concept.map(ConceptId))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn store() -> (AnnStore, Vec<AnnId>) {
+        let mut s = AnnStore::new();
+        let u1 = s.add_base_with("U1", "users", &[("gender", "F"), ("age", "18-24")]);
+        let u2 = s.add_base_with("U2", "users", &[("gender", "F"), ("age", "25-34")]);
+        let u3 = s.add_base_with("U3", "users", &[("gender", "M"), ("age", "25-34")]);
+        let m1 = s.add_base_with("M1", "movies", &[("year", "1995")]);
+        (s, vec![u1, u2, u3, m1])
+    }
+
+    #[test]
+    fn unconfigured_domain_is_not_mergeable() {
+        let (s, anns) = store();
+        let cfg = ConstraintConfig::new();
+        assert!(!cfg.pair_ok(anns[0], anns[1], &s, None));
+    }
+
+    #[test]
+    fn cross_domain_pairs_rejected() {
+        let (mut s, anns) = store();
+        let users = s.domain("users");
+        let movies = s.domain("movies");
+        let cfg = ConstraintConfig::new()
+            .allow(users, MergeRule::Any)
+            .allow(movies, MergeRule::Any);
+        assert!(!cfg.pair_ok(anns[0], anns[3], &s, None));
+        assert!(cfg.pair_ok(anns[0], anns[2], &s, None));
+    }
+
+    #[test]
+    fn shared_attribute_rule() {
+        let (mut s, anns) = store();
+        let users = s.domain("users");
+        let cfg = ConstraintConfig::new().allow(
+            users,
+            MergeRule::SharedAttribute { attrs: vec![] },
+        );
+        assert!(cfg.pair_ok(anns[0], anns[1], &s, None)); // gender=F
+        assert!(cfg.pair_ok(anns[1], anns[2], &s, None)); // age=25-34
+        assert!(!cfg.pair_ok(anns[0], anns[2], &s, None)); // nothing shared
+        // Triple needs a *common* attribute across all:
+        assert!(!cfg.group_ok(&[anns[0], anns[1], anns[2]], &s, None));
+    }
+
+    #[test]
+    fn attribute_whitelist_restricts_shared_test() {
+        let (mut s, anns) = store();
+        let users = s.domain("users");
+        let age = s.attr("age");
+        let cfg = ConstraintConfig::new().allow(
+            users,
+            MergeRule::SharedAttribute { attrs: vec![age] },
+        );
+        assert!(!cfg.pair_ok(anns[0], anns[1], &s, None), "gender excluded");
+        assert!(cfg.pair_ok(anns[1], anns[2], &s, None), "age shared");
+    }
+
+    #[test]
+    fn taxonomy_rule_requires_concepts_and_common_ancestor() {
+        let (mut s, _) = store();
+        let pages = s.domain("pages");
+        let p1 = s.add_base("P1", pages, vec![]);
+        let p2 = s.add_base("P2", pages, vec![]);
+        let p3 = s.add_base("P3", pages, vec![]);
+        let mut t = Taxonomy::new();
+        t.subclass("singer", "musician");
+        t.subclass("guitarist", "musician");
+        let lone = t.concept("lone");
+        s.set_concept(p1, t.by_name("singer").unwrap().0);
+        s.set_concept(p2, t.by_name("guitarist").unwrap().0);
+        s.set_concept(p3, lone.0);
+        let cfg = ConstraintConfig::new().allow(pages, MergeRule::TaxonomyAncestor);
+        assert!(cfg.pair_ok(p1, p2, &s, Some(&t)));
+        assert!(!cfg.pair_ok(p1, p3, &s, Some(&t)), "no common ancestor");
+        assert!(!cfg.pair_ok(p1, p2, &s, None), "no taxonomy supplied");
+    }
+
+    #[test]
+    fn either_rule_accepts_both_paths() {
+        let (mut s, anns) = store();
+        let users = s.domain("users");
+        let cfg = ConstraintConfig::new().allow(
+            users,
+            MergeRule::SharedAttributeOrTaxonomy { attrs: vec![] },
+        );
+        assert!(cfg.pair_ok(anns[0], anns[1], &s, None), "attribute path");
+    }
+
+    #[test]
+    fn shared_attr_reports_the_pair() {
+        let (mut s, anns) = store();
+        let gender = s.attr("gender");
+        let f = s.value("F");
+        let found = shared_attr(&[anns[0], anns[1]], &s, &[]);
+        assert_eq!(found, Some((gender, f)));
+    }
+}

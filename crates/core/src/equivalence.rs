@@ -1,0 +1,216 @@
+//! `GroupEquivalent` (Prop 4.2.1): the zero-distance pre-pass of
+//! Algorithm 1.
+//!
+//! Two annotations are equivalent w.r.t. `V_Ann` when every valuation in the
+//! class assigns them the same truth value — they can never be told apart,
+//! so mapping them together costs nothing. Equivalence classes are computed
+//! by partition refinement: start from one block and split by each
+//! valuation's true/false sets, exactly as in the proposition's proof.
+
+use prox_provenance::{AnnId, AnnStore, Mapping, Summarizable, Valuation};
+use prox_taxonomy::Taxonomy;
+
+use crate::constraints::{shared_attr, ConstraintConfig};
+
+/// Partition `anns` into equivalence classes w.r.t. the valuation class.
+pub fn equivalence_classes(anns: &[AnnId], valuations: &[Valuation]) -> Vec<Vec<AnnId>> {
+    let mut classes: Vec<Vec<AnnId>> = vec![anns.to_vec()];
+    for v in valuations {
+        let mut next = Vec::with_capacity(classes.len());
+        for class in classes {
+            let (t, f): (Vec<AnnId>, Vec<AnnId>) =
+                class.into_iter().partition(|&a| v.truth(a));
+            if !t.is_empty() {
+                next.push(t);
+            }
+            if !f.is_empty() {
+                next.push(f);
+            }
+        }
+        classes = next;
+    }
+    classes
+}
+
+/// Result of the grouping pre-pass.
+#[derive(Debug)]
+pub struct GroupEquivalentResult<E> {
+    /// The expression after grouping (unchanged when no class merged).
+    pub expr: E,
+    /// The mapping performed (identity when nothing merged).
+    pub mapping: Mapping,
+    /// Summary annotations created, one per merged class.
+    pub created: Vec<AnnId>,
+}
+
+/// Apply `GroupEquivalent` to an expression: merge every equivalence class
+/// with ≥ 2 members that also satisfies the semantic constraints. Classes
+/// violating constraints are greedily split into constraint-satisfying
+/// subgroups (first-fit) before merging.
+pub fn group_equivalent<E: Summarizable>(
+    expr: &E,
+    valuations: &[Valuation],
+    store: &mut AnnStore,
+    constraints: &ConstraintConfig,
+    taxonomy: Option<&Taxonomy>,
+) -> GroupEquivalentResult<E> {
+    let anns = expr.annotations();
+    let mergeable: Vec<AnnId> = anns
+        .iter()
+        .copied()
+        .filter(|&a| constraints.rule(store.get(a).domain).is_some())
+        .collect();
+    let classes = equivalence_classes(&mergeable, valuations);
+
+    let mut mapping = Mapping::identity();
+    let mut created = Vec::new();
+    for class in classes {
+        if class.len() < 2 {
+            continue;
+        }
+        // Split the class by domain, then greedily into constraint-ok
+        // subgroups.
+        let mut remaining = class;
+        while let Some(seed) = remaining.first().copied() {
+            let mut group = vec![seed];
+            remaining.remove(0);
+            let mut ix = 0;
+            while ix < remaining.len() {
+                let mut attempt = group.clone();
+                attempt.push(remaining[ix]);
+                if constraints.group_ok(&attempt, store, taxonomy) {
+                    group.push(remaining.remove(ix));
+                } else {
+                    ix += 1;
+                }
+            }
+            if group.len() < 2 {
+                continue;
+            }
+            let domain = store.get(group[0]).domain;
+            let name = shared_attr(&group, store, &[])
+                .map(|(_, v)| store.value_name(v).to_owned())
+                .unwrap_or_else(|| format!("Eq({})", store.name(group[0])));
+            let summary = store.add_summary(&name, domain, &group);
+            for &m in &group {
+                mapping.set(m, summary);
+            }
+            created.push(summary);
+        }
+    }
+    let result = if mapping.is_identity() {
+        expr.clone()
+    } else {
+        expr.apply_mapping(&mapping)
+    };
+    GroupEquivalentResult {
+        expr: result,
+        mapping,
+        created,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::constraints::MergeRule;
+    use prox_provenance::{
+        AggKind, AggValue, Phi, PhiMap, Polynomial, ProvExpr, Tensor, ValuationClass,
+    };
+
+    fn a(ix: usize) -> AnnId {
+        AnnId::from_index(ix)
+    }
+
+    #[test]
+    fn refinement_splits_by_each_valuation() {
+        let anns: Vec<AnnId> = (0..4).map(a).collect();
+        // v1 cancels {0,1}; v2 cancels {1}.
+        let v1 = Valuation::cancel(&[a(0), a(1)]);
+        let v2 = Valuation::cancel(&[a(1)]);
+        let classes = equivalence_classes(&anns, &[v1, v2]);
+        let mut sorted: Vec<Vec<AnnId>> = classes;
+        sorted.sort();
+        assert_eq!(sorted, vec![vec![a(0)], vec![a(1)], vec![a(2), a(3)]]);
+    }
+
+    #[test]
+    fn no_valuations_one_class() {
+        let anns: Vec<AnnId> = (0..3).map(a).collect();
+        let classes = equivalence_classes(&anns, &[]);
+        assert_eq!(classes.len(), 1);
+        assert_eq!(classes[0].len(), 3);
+    }
+
+    #[test]
+    fn cancel_single_annotation_makes_singletons() {
+        // Under "cancel single annotation" no two annotations agree on all
+        // valuations, so GroupEquivalent is a no-op.
+        let mut s = AnnStore::new();
+        let anns: Vec<AnnId> = (0..3)
+            .map(|i| s.add_base_with(&format!("U{i}"), "users", &[("g", "x")]))
+            .collect();
+        let vals = ValuationClass::CancelSingleAnnotation.generate(&s, &anns, &[]);
+        let classes = equivalence_classes(&anns, &vals);
+        assert_eq!(classes.len(), 3);
+    }
+
+    #[test]
+    fn group_equivalent_merges_attribute_twins_and_preserves_distance() {
+        // Two users with identical attributes are indistinguishable under
+        // "cancel single attribute" — they merge with distance 0.
+        let mut s = AnnStore::new();
+        let u1 = s.add_base_with("U1", "users", &[("gender", "F")]);
+        let u2 = s.add_base_with("U2", "users", &[("gender", "F")]);
+        let u3 = s.add_base_with("U3", "users", &[("gender", "M")]);
+        let mv = s.add_base_with("M", "movies", &[]);
+        let mut p = ProvExpr::new(AggKind::Max);
+        for (u, r) in [(u1, 3.0), (u2, 4.0), (u3, 5.0)] {
+            p.push(mv, Tensor::new(Polynomial::var(u), AggValue::single(r)));
+        }
+        let users = s.domain("users");
+        let vals =
+            ValuationClass::CancelSingleAttribute.generate(&s, &[u1, u2, u3], &[users]);
+        let cfg = ConstraintConfig::new().allow(
+            users,
+            MergeRule::SharedAttribute { attrs: vec![] },
+        );
+        let res = group_equivalent(&p, &vals, &mut s, &cfg, None);
+        assert_eq!(res.created.len(), 1);
+        assert_eq!(res.expr.size(), 2);
+        assert_eq!(s.base_of(res.created[0]), vec![u1, u2]);
+        assert_eq!(s.name(res.created[0]), "F");
+
+        // Distance of the grouped expression is exactly 0.
+        let engine = crate::distance::DistanceEngine::new(
+            &p,
+            &vals,
+            PhiMap::uniform(Phi::Or),
+            crate::val_func::ValFuncKind::Euclidean,
+        );
+        let d = engine.distance(&res.expr, &res.mapping, &s, &Default::default());
+        assert_eq!(d, 0.0);
+    }
+
+    #[test]
+    fn constraint_violating_class_is_split() {
+        // U1,U2 equivalent but share no attribute → cannot merge.
+        let mut s = AnnStore::new();
+        let u1 = s.add_base_with("U1", "users", &[("gender", "F")]);
+        let u2 = s.add_base_with("U2", "users", &[("gender", "M")]);
+        let mv = s.add_base_with("M", "movies", &[]);
+        let mut p = ProvExpr::new(AggKind::Max);
+        p.push(mv, Tensor::new(Polynomial::var(u1), AggValue::single(3.0)));
+        p.push(mv, Tensor::new(Polynomial::var(u2), AggValue::single(4.0)));
+        let users = s.domain("users");
+        let cfg = ConstraintConfig::new().allow(
+            users,
+            MergeRule::SharedAttribute { attrs: vec![] },
+        );
+        // Empty valuation set → everything equivalent, but constraints block.
+        let res = group_equivalent(&p, &[], &mut s, &cfg, None);
+        assert!(res.created.is_empty());
+        assert!(res.mapping.is_identity());
+        assert_eq!(res.expr.size(), p.size());
+    }
+}

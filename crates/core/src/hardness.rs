@@ -1,0 +1,179 @@
+//! The #P-hardness reduction of Prop 4.1.1, made executable.
+//!
+//! `DIST-COMP` — computing the exact distance over all valuations — is
+//! #P-hard by reduction from #DNF: map every variable of a DNF formula `f`
+//! (an `N[Ann]` polynomial read as a disjunction of conjunctive clauses) to
+//! a single annotation `A`; then the number of *unsatisfying* valuations of
+//! `f` is recoverable from the number of valuations on which `f` and
+//! `h(f)` disagree. This module implements both directions exhaustively so
+//! tests can certify the reduction on small formulas. It is deliberately
+//! exponential — the point of the proposition is that no polynomial
+//! algorithm exists (unless P = NP); the practical path is the sampler.
+
+use prox_provenance::{AnnId, Mapping, Polynomial, Valuation};
+
+/// Count satisfying valuations of a DNF formula over `vars` by exhaustive
+/// enumeration (≤ 24 variables).
+pub fn count_models_exhaustive(f: &Polynomial, vars: &[AnnId]) -> u64 {
+    assert!(vars.len() <= 24, "too many variables for exhaustive count");
+    let mut models = 0u64;
+    for bits in 0..(1u64 << vars.len()) {
+        let v = valuation_from_bits(vars, bits);
+        if f.eval_bool(&v) {
+            models += 1;
+        }
+    }
+    models
+}
+
+/// The number of valuations on which `f` and `h(f)` disagree, where `h`
+/// maps every variable to the single annotation `a` and the lifted
+/// valuation assigns `a` the disjunction of the variables' values —
+/// the un-normalized distance of the reduction (disagreement VAL-FUNC,
+/// `w(v) = 1`, summed rather than averaged).
+pub fn disagreement_count(f: &Polynomial, vars: &[AnnId], a: AnnId) -> u64 {
+    assert!(vars.len() <= 24, "too many variables for exhaustive count");
+    let h = Mapping::group(vars, a);
+    let hf = f.map(&h);
+    let mut disagreements = 0u64;
+    for bits in 0..(1u64 << vars.len()) {
+        let v = valuation_from_bits(vars, bits);
+        let orig = f.eval_bool(&v);
+        // φ = ∨ over all variables mapped to `a`.
+        let mut lifted = Valuation::all_true();
+        lifted.set(a, vars.iter().any(|&x| v.truth(x)));
+        let summ = hf.eval_bool(&lifted);
+        if orig != summ {
+            disagreements += 1;
+        }
+    }
+    disagreements
+}
+
+/// Recover the model count of `f` from the disagreement count, following
+/// the proof of Prop 4.1.1: `h(f)` is true exactly when some variable is
+/// true (for constant-free `f`), so disagreements are the unsatisfying
+/// valuations minus the all-false valuation (where both sides are false).
+pub fn count_models_via_distance(f: &Polynomial, vars: &[AnnId], scratch: AnnId) -> u64 {
+    let n = vars.len() as u32;
+    let total = 1u64 << n;
+    if f.is_zero() {
+        // Degenerate case outside the reduction's scope: both sides are
+        // identically false, the distance is 0, and there are no models.
+        return 0;
+    }
+    let disagreements = disagreement_count(f, vars, scratch);
+    // Check agreement on the all-false valuation (step 1 of the proof's
+    // decision procedure, adapted to φ = ∨):
+    let all_false = {
+        let mut v = Valuation::all_true();
+        for &x in vars {
+            v.set(x, false);
+        }
+        v
+    };
+    let f_all_false = f.eval_bool(&all_false);
+    // h(f) under all-false lifts to A=false, hence false (no constant term
+    // assumed). If f is also false there they agree; that valuation is
+    // unsatisfying but not a disagreement.
+    let unsat = if f_all_false {
+        disagreements
+    } else {
+        disagreements + 1
+    };
+    total - unsat
+}
+
+fn valuation_from_bits(vars: &[AnnId], bits: u64) -> Valuation {
+    let mut v = Valuation::all_true();
+    for (ix, &a) in vars.iter().enumerate() {
+        v.set(a, bits >> ix & 1 == 1);
+    }
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prox_provenance::Monomial;
+
+    fn a(ix: usize) -> AnnId {
+        AnnId::from_index(ix)
+    }
+
+    fn vars(n: usize) -> Vec<AnnId> {
+        (0..n).map(a).collect()
+    }
+
+    /// x0·x1 + x2
+    fn sample_dnf() -> Polynomial {
+        Polynomial::from_monomial(Monomial::from_factors(vec![a(0), a(1)]))
+            .add(&Polynomial::var(a(2)))
+    }
+
+    #[test]
+    fn exhaustive_count_is_correct() {
+        // Models of x0x1 ∨ x2 over 3 vars: x2 true (4) + x0x1 true & x2
+        // false (1) = 5.
+        assert_eq!(count_models_exhaustive(&sample_dnf(), &vars(3)), 5);
+    }
+
+    #[test]
+    fn reduction_recovers_model_count() {
+        let f = sample_dnf();
+        let vs = vars(3);
+        let scratch = a(10);
+        assert_eq!(
+            count_models_via_distance(&f, &vs, scratch),
+            count_models_exhaustive(&f, &vs)
+        );
+    }
+
+    #[test]
+    fn reduction_on_various_formulas() {
+        let scratch = a(10);
+        let cases: Vec<(Polynomial, usize)> = vec![
+            // single positive literal
+            (Polynomial::var(a(0)), 1),
+            // x0 + x1 over 2 vars
+            (Polynomial::var(a(0)).add(&Polynomial::var(a(1))), 2),
+            // x0·x1·x2 over 3 vars
+            (
+                Polynomial::from_monomial(Monomial::from_factors(vec![a(0), a(1), a(2)])),
+                3,
+            ),
+            // x0·x1 + x1·x2 + x0·x2 over 3 vars ("majority-ish")
+            (
+                Polynomial::from_monomial(Monomial::from_factors(vec![a(0), a(1)]))
+                    .add(&Polynomial::from_monomial(Monomial::from_factors(vec![
+                        a(1),
+                        a(2),
+                    ])))
+                    .add(&Polynomial::from_monomial(Monomial::from_factors(vec![
+                        a(0),
+                        a(2),
+                    ]))),
+                3,
+            ),
+        ];
+        for (f, n) in cases {
+            let vs = vars(n);
+            assert_eq!(
+                count_models_via_distance(&f, &vs, scratch),
+                count_models_exhaustive(&f, &vs),
+                "formula {f:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn unsatisfiable_formula_counts_zero() {
+        // The zero polynomial has no models; h(0) = 0 agrees everywhere
+        // except where some var is true... actually both sides are always
+        // false, so disagreements = 0 and unsat = 2^n.
+        let f = Polynomial::zero();
+        let vs = vars(2);
+        assert_eq!(count_models_exhaustive(&f, &vs), 0);
+        assert_eq!(count_models_via_distance(&f, &vs, a(10)), 0);
+    }
+}

@@ -1,0 +1,168 @@
+//! Per-step records of a summarization run.
+//!
+//! Each algorithm step logs what was merged, the resulting measurements,
+//! and wall-clock timings — the raw material for the paper's Figures 6.3
+//! (progress over steps) and 6.5 (candidate-computation and summarization
+//! times), and for the PROX UI's step-through view.
+
+use std::time::Duration;
+
+use prox_provenance::AnnId;
+
+/// Why the algorithm stopped.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StopReason {
+    /// The expression reached `TARGET-SIZE`.
+    TargetSize,
+    /// The next step would have crossed `TARGET-DIST`
+    /// (the previous expression was returned, per Algorithm 1).
+    TargetDist,
+    /// The step budget ran out (§6.7).
+    MaxSteps,
+    /// No candidate mapping satisfied the constraints.
+    NoCandidates,
+}
+
+/// Record of one algorithm step.
+#[derive(Clone, Debug)]
+pub struct StepRecord {
+    /// 1-based step index.
+    pub step: usize,
+    /// Annotations merged in this step (current-level members).
+    pub merged: Vec<AnnId>,
+    /// The summary annotation created.
+    pub target: AnnId,
+    /// `CandidateScore` of the chosen candidate.
+    pub score: f64,
+    /// Normalized distance from the original after this step.
+    pub distance: f64,
+    /// Expression size after this step.
+    pub size: usize,
+    /// Number of candidates examined this step.
+    pub candidates: usize,
+    /// Total time spent measuring candidates this step.
+    pub candidate_time: Duration,
+    /// Total wall time of the step.
+    pub step_time: Duration,
+    /// Expression size *before* this step (for per-size timing plots).
+    pub size_before: usize,
+}
+
+impl StepRecord {
+    /// Average time spent per examined candidate.
+    pub fn time_per_candidate(&self) -> Duration {
+        if self.candidates == 0 {
+            Duration::ZERO
+        } else {
+            self.candidate_time / self.candidates as u32
+        }
+    }
+}
+
+/// A full run's step history, with convenience accessors for the
+/// experiment harness.
+#[derive(Clone, Debug, Default)]
+pub struct History {
+    /// Steps in execution order.
+    pub steps: Vec<StepRecord>,
+}
+
+impl History {
+    /// Number of steps executed.
+    pub fn len(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// True when no step was executed.
+    pub fn is_empty(&self) -> bool {
+        self.steps.is_empty()
+    }
+
+    /// Distance trajectory across steps.
+    pub fn distances(&self) -> Vec<f64> {
+        self.steps.iter().map(|s| s.distance).collect()
+    }
+
+    /// Size trajectory across steps.
+    pub fn sizes(&self) -> Vec<usize> {
+        self.steps.iter().map(|s| s.size).collect()
+    }
+
+    /// Verify Prop 4.2.2's monotonicity on this run: distances
+    /// non-decreasing, sizes non-increasing. Returns the first violating
+    /// step index if any.
+    pub fn check_monotone(&self) -> Result<(), usize> {
+        for w in self.steps.windows(2) {
+            if w[1].distance + 1e-9 < w[0].distance || w[1].size > w[0].size {
+                return Err(w[1].step);
+            }
+        }
+        Ok(())
+    }
+
+    /// Total candidate-measurement time across the run.
+    pub fn total_candidate_time(&self) -> Duration {
+        self.steps.iter().map(|s| s.candidate_time).sum()
+    }
+
+    /// Total run time across steps.
+    pub fn total_step_time(&self) -> Duration {
+        self.steps.iter().map(|s| s.step_time).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(step: usize, distance: f64, size: usize) -> StepRecord {
+        StepRecord {
+            step,
+            merged: vec![],
+            target: AnnId::from_index(0),
+            score: 0.0,
+            distance,
+            size,
+            candidates: 4,
+            candidate_time: Duration::from_micros(100),
+            step_time: Duration::from_micros(150),
+            size_before: size + 1,
+        }
+    }
+
+    #[test]
+    fn monotone_check_accepts_valid_runs() {
+        let h = History {
+            steps: vec![rec(1, 0.0, 10), rec(2, 0.1, 9), rec(3, 0.1, 8)],
+        };
+        assert!(h.check_monotone().is_ok());
+    }
+
+    #[test]
+    fn monotone_check_flags_violations() {
+        let h = History {
+            steps: vec![rec(1, 0.2, 10), rec(2, 0.1, 9)],
+        };
+        assert_eq!(h.check_monotone(), Err(2));
+        let h2 = History {
+            steps: vec![rec(1, 0.1, 9), rec(2, 0.2, 10)],
+        };
+        assert_eq!(h2.check_monotone(), Err(2));
+    }
+
+    #[test]
+    fn per_candidate_time_divides() {
+        let r = rec(1, 0.0, 5);
+        assert_eq!(r.time_per_candidate(), Duration::from_micros(25));
+    }
+
+    #[test]
+    fn trajectories_extract_series() {
+        let h = History {
+            steps: vec![rec(1, 0.0, 10), rec(2, 0.3, 7)],
+        };
+        assert_eq!(h.distances(), vec![0.0, 0.3]);
+        assert_eq!(h.sizes(), vec![10, 7]);
+        assert_eq!(h.total_step_time(), Duration::from_micros(300));
+    }
+}

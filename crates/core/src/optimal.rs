@@ -1,0 +1,341 @@
+//! Exhaustive reference summarizer for small inputs.
+//!
+//! Algorithm 1 is a greedy heuristic; this module searches the *entire*
+//! space of constraint-satisfying merge sequences (with memoization on the
+//! reached partition) and returns the summary minimizing the chosen
+//! objective. Exponential — usable only for ≲ 10 mergeable annotations —
+//! but it turns "greedy is good" from a claim into a measured optimality
+//! gap (ablation A.4).
+
+use std::collections::HashSet;
+
+use prox_provenance::{AnnId, AnnStore, Mapping, Summarizable, Valuation};
+use prox_taxonomy::Taxonomy;
+
+use crate::config::SummarizeConfig;
+use crate::constraints::ConstraintConfig;
+use crate::distance::{DistanceEngine, MemberOverride};
+
+/// What the exhaustive search minimizes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Objective {
+    /// Minimal distance among summaries with size ≤ the config's
+    /// `TARGET-SIZE`.
+    DistanceUnderSizeBound,
+    /// Minimal size among summaries with distance < the config's
+    /// `TARGET-DIST`.
+    SizeUnderDistanceBound,
+    /// Minimal `wDist·distance + wSize·size/|p₀|` (normalized-score
+    /// objective) over all reachable summaries.
+    Weighted,
+}
+
+/// The best summary found.
+#[derive(Clone, Debug)]
+pub struct OptimalResult<E> {
+    /// The optimal expression.
+    pub summary: E,
+    /// Its cumulative mapping.
+    pub mapping: Mapping,
+    /// Normalized distance from the original.
+    pub distance: f64,
+    /// Its size.
+    pub size: usize,
+    /// Number of distinct partitions explored.
+    pub explored: usize,
+}
+
+/// Exhaustively search merge sequences. `config` supplies the bounds,
+/// weights, φ and VAL-FUNC; constraints/taxonomy gate the merges exactly as
+/// in the greedy algorithm.
+pub fn optimal_summary<E: Summarizable>(
+    p0: &E,
+    valuations: &[Valuation],
+    store: &mut AnnStore,
+    constraints: &ConstraintConfig,
+    taxonomy: Option<&Taxonomy>,
+    config: &SummarizeConfig,
+    objective: Objective,
+) -> Result<OptimalResult<E>, String> {
+    config.validate()?;
+    let mergeable: Vec<AnnId> = p0
+        .annotations()
+        .into_iter()
+        .filter(|&a| constraints.rule(store.get(a).domain).is_some())
+        .collect();
+    if mergeable.len() > 12 {
+        return Err(format!(
+            "exhaustive search over {} mergeable annotations is infeasible",
+            mergeable.len()
+        ));
+    }
+    let engine = DistanceEngine::new(p0, valuations, config.phi.clone(), config.val_func);
+    let initial_size = p0.size().max(1);
+
+    // Search state: a partition of `mergeable` represented canonically as
+    // sorted groups of sorted members. Every state's expression is derived
+    // by mapping each non-singleton group onto its first member with a
+    // member override (identical scoring semantics to the greedy path).
+    let initial: Vec<Vec<AnnId>> = mergeable.iter().map(|&a| vec![a]).collect();
+    let mut seen: HashSet<Vec<Vec<AnnId>>> = HashSet::new();
+    let mut stack = vec![initial];
+    let mut best: Option<OptimalResult<E>> = None;
+    let mut explored = 0usize;
+
+    while let Some(partition) = stack.pop() {
+        if !seen.insert(partition.clone()) {
+            continue;
+        }
+        explored += 1;
+
+        // Evaluate this partition.
+        let mut h = Mapping::identity();
+        let mut overrides = MemberOverride::new();
+        for group in &partition {
+            if group.len() > 1 {
+                let rep = group[0];
+                for &m in &group[1..] {
+                    h.set(m, rep);
+                }
+                let mut base = Vec::new();
+                for &m in group {
+                    base.extend(store.base_of(m));
+                }
+                overrides.insert(rep, base);
+            }
+        }
+        let expr = p0.apply_mapping(&h);
+        let distance = engine.distance(&expr, &h, store, &overrides);
+        let size = expr.size();
+
+        let feasible = match objective {
+            Objective::DistanceUnderSizeBound => size <= config.target_size,
+            Objective::SizeUnderDistanceBound => distance < config.target_dist,
+            Objective::Weighted => true,
+        };
+        if feasible {
+            let better = match (&best, objective) {
+                (None, _) => true,
+                (Some(b), Objective::DistanceUnderSizeBound) => distance < b.distance - 1e-12,
+                (Some(b), Objective::SizeUnderDistanceBound) => size < b.size,
+                (Some(b), Objective::Weighted) => {
+                    let score = |d: f64, s: usize| {
+                        config.w_dist * d + config.w_size * s as f64 / initial_size as f64
+                    };
+                    score(distance, size) < score(b.distance, b.size) - 1e-12
+                }
+            };
+            if better {
+                best = Some(OptimalResult {
+                    summary: expr,
+                    mapping: h.clone(),
+                    distance,
+                    size,
+                    explored: 0,
+                });
+            }
+        }
+
+        // Expand: merge every constraint-satisfying pair of groups.
+        for i in 0..partition.len() {
+            for j in (i + 1)..partition.len() {
+                let mut merged: Vec<AnnId> = partition[i]
+                    .iter()
+                    .chain(partition[j].iter())
+                    .copied()
+                    .collect();
+                merged.sort_unstable();
+                if !constraints.group_ok(&merged, store, taxonomy) {
+                    continue;
+                }
+                let mut next: Vec<Vec<AnnId>> = partition
+                    .iter()
+                    .enumerate()
+                    .filter(|&(ix, _)| ix != i && ix != j)
+                    .map(|(_, g)| g.clone())
+                    .collect();
+                next.push(merged);
+                next.sort();
+                if !seen.contains(&next) {
+                    stack.push(next);
+                }
+            }
+        }
+    }
+
+    match best {
+        Some(mut b) => {
+            b.explored = explored;
+            Ok(b)
+        }
+        None => Err("no feasible summary under the requested bounds".to_owned()),
+    }
+}
+
+/// Memo-friendly canonical key of a partition (used in tests).
+#[allow(dead_code)]
+fn canonical(partition: &[Vec<AnnId>]) -> Vec<Vec<AnnId>> {
+    let mut p: Vec<Vec<AnnId>> = partition
+        .iter()
+        .map(|g| {
+            let mut g = g.clone();
+            g.sort_unstable();
+            g
+        })
+        .collect();
+    p.sort();
+    p
+}
+
+/// Compare the greedy algorithm against the exhaustive optimum on the same
+/// input; returns `(greedy, optimal)` distances for
+/// [`Objective::DistanceUnderSizeBound`].
+pub fn greedy_gap<E: Summarizable>(
+    p0: &E,
+    valuations: &[Valuation],
+    store: &mut AnnStore,
+    constraints: &ConstraintConfig,
+    taxonomy: Option<&Taxonomy>,
+    target_size: usize,
+) -> Result<(f64, f64), String> {
+    let config = SummarizeConfig::target_size(target_size);
+    let mut greedy_store = store.clone();
+    let mut summarizer =
+        crate::summarize::Summarizer::new(&mut greedy_store, constraints.clone(), config.clone());
+    let greedy = match taxonomy {
+        Some(t) => summarizer.with_taxonomy(t).summarize(p0, valuations)?,
+        None => summarizer.summarize(p0, valuations)?,
+    };
+    let optimal = optimal_summary(
+        p0,
+        valuations,
+        store,
+        constraints,
+        taxonomy,
+        &config,
+        Objective::DistanceUnderSizeBound,
+    )?;
+    Ok((greedy.final_distance, optimal.distance))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::constraints::MergeRule;
+    use prox_provenance::{AggKind, AggValue, Polynomial, ProvExpr, Tensor, ValuationClass};
+
+    fn setup() -> (AnnStore, ProvExpr, Vec<AnnId>, ConstraintConfig) {
+        let mut s = AnnStore::new();
+        let users: Vec<AnnId> = (0..5)
+            .map(|i| s.add_base_with(&format!("U{i}"), "users", &[("g", "x")]))
+            .collect();
+        let m = s.add_base_with("M", "movies", &[]);
+        let mut p = ProvExpr::new(AggKind::Max);
+        for (i, &u) in users.iter().enumerate() {
+            p.push(m, Tensor::new(Polynomial::var(u), AggValue::single(1.0 + i as f64)));
+        }
+        let dom = s.domain("users");
+        let cfg = ConstraintConfig::new().allow(dom, MergeRule::SharedAttribute { attrs: vec![] });
+        (s, p, users, cfg)
+    }
+
+    #[test]
+    fn finds_a_lossless_merge_when_one_exists() {
+        // Under MAX and single-cancellation valuations, merging the two
+        // lowest raters is lossless; the optimum at target size-1 must be
+        // distance 0.
+        let (mut s, p, users, cfg) = setup();
+        let vals = ValuationClass::CancelSingleAnnotation.generate(&s, &users, &[]);
+        let config = SummarizeConfig::target_size(p.size() - 1);
+        let res = optimal_summary(
+            &p,
+            &vals,
+            &mut s,
+            &cfg,
+            None,
+            &config,
+            Objective::DistanceUnderSizeBound,
+        )
+        .expect("feasible");
+        assert_eq!(res.distance, 0.0);
+        assert!(res.size < p.size());
+        assert!(res.explored > 1);
+    }
+
+    #[test]
+    fn greedy_matches_optimum_on_small_inputs() {
+        let (mut s, p, users, cfg) = setup();
+        let vals = ValuationClass::CancelSingleAnnotation.generate(&s, &users, &[]);
+        let (greedy, optimal) =
+            greedy_gap(&p, &vals, &mut s, &cfg, None, p.size() - 2).expect("feasible");
+        assert!(greedy + 1e-12 >= optimal, "optimum is a lower bound");
+        // On this simple workload the greedy heuristic is optimal.
+        assert!((greedy - optimal).abs() < 1e-9, "{greedy} vs {optimal}");
+    }
+
+    #[test]
+    fn size_objective_respects_distance_bound() {
+        let (mut s, p, users, cfg) = setup();
+        let vals = ValuationClass::CancelSingleAnnotation.generate(&s, &users, &[]);
+        let mut config = SummarizeConfig::target_dist(0.5);
+        config.target_dist = 0.5;
+        let res = optimal_summary(
+            &p,
+            &vals,
+            &mut s,
+            &cfg,
+            None,
+            &config,
+            Objective::SizeUnderDistanceBound,
+        )
+        .expect("feasible");
+        assert!(res.distance < 0.5);
+        assert!(res.size <= p.size());
+    }
+
+    #[test]
+    fn infeasible_bounds_error() {
+        let (mut s, p, users, cfg) = setup();
+        let vals = ValuationClass::CancelSingleAnnotation.generate(&s, &users, &[]);
+        // Size bound 0 is unreachable (validate requires ≥ 1; use 1 with a
+        // structure that cannot reach it: 5 users, one movie → min size 1
+        // is actually reachable by merging all → use distance bound 0).
+        let mut config = SummarizeConfig::target_dist(0.0);
+        config.target_dist = 0.0;
+        let err = optimal_summary(
+            &p,
+            &vals,
+            &mut s,
+            &cfg,
+            None,
+            &config,
+            Objective::SizeUnderDistanceBound,
+        );
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn too_many_annotations_rejected() {
+        let mut s = AnnStore::new();
+        let users: Vec<AnnId> = (0..15)
+            .map(|i| s.add_base_with(&format!("U{i}"), "users", &[("g", "x")]))
+            .collect();
+        let m = s.add_base_with("M", "movies", &[]);
+        let mut p = ProvExpr::new(AggKind::Max);
+        for &u in &users {
+            p.push(m, Tensor::new(Polynomial::var(u), AggValue::single(1.0)));
+        }
+        let dom = s.domain("users");
+        let cfg = ConstraintConfig::new().allow(dom, MergeRule::Any);
+        let err = optimal_summary(
+            &p,
+            &[],
+            &mut s,
+            &cfg,
+            None,
+            &SummarizeConfig::target_size(1),
+            Objective::DistanceUnderSizeBound,
+        );
+        assert!(err.is_err());
+    }
+}

@@ -1,0 +1,320 @@
+//! Sampling approximation of the distance over *all* truth valuations
+//! (Prop 4.1.2).
+//!
+//! Computing the exact distance over the full `2ⁿ` valuation space is
+//! #P-hard (Prop 4.1.1), but an `(ε, δ)` absolute approximation is
+//! obtained by sampling valuations uniformly: each sample draws a truth
+//! valuation, evaluates both expressions, and accumulates the VAL-FUNC
+//! value. The required sample count follows from a concentration bound on
+//! values normalized into `[0,1]` (the paper cites Chebyshev; we use the
+//! tighter Hoeffding count and expose the Chebyshev count as well).
+
+use std::collections::HashMap;
+
+use prox_provenance::{
+    AnnId, AnnStore, EvalOutcome, Mapping, PhiMap, Summarizable, Valuation,
+};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use crate::distance::MemberOverride;
+use crate::val_func::{ValFuncCtx, ValFuncKind};
+
+/// Configuration for the sampling approximator.
+#[derive(Clone, Copy, Debug)]
+pub struct SamplerConfig {
+    /// Absolute error bound ε.
+    pub epsilon: f64,
+    /// Failure probability δ (the estimate is within ε with prob ≥ 1−δ).
+    pub delta: f64,
+    /// RNG seed for reproducibility.
+    pub seed: u64,
+    /// Optional hard cap on the sample count.
+    pub max_samples: Option<usize>,
+}
+
+impl Default for SamplerConfig {
+    fn default() -> Self {
+        SamplerConfig {
+            epsilon: 0.05,
+            delta: 0.05,
+            seed: 0xD15EA5E,
+            max_samples: None,
+        }
+    }
+}
+
+impl SamplerConfig {
+    /// Hoeffding sample count for values in `[0,1]`:
+    /// `n ≥ ln(2/δ) / (2ε²)`.
+    pub fn hoeffding_samples(&self) -> usize {
+        ((2.0 / self.delta).ln() / (2.0 * self.epsilon * self.epsilon)).ceil() as usize
+    }
+
+    /// Chebyshev sample count for values in `[0,1]` (variance ≤ 1/4):
+    /// `n ≥ 1 / (4δε²)` — the bound the paper's proof invokes.
+    pub fn chebyshev_samples(&self) -> usize {
+        (1.0 / (4.0 * self.delta * self.epsilon * self.epsilon)).ceil() as usize
+    }
+
+    fn effective_samples(&self) -> usize {
+        let n = self.hoeffding_samples().max(1);
+        match self.max_samples {
+            Some(cap) => n.min(cap),
+            None => n,
+        }
+    }
+}
+
+/// Result of a sampling run.
+#[derive(Clone, Copy, Debug)]
+pub struct SampleEstimate {
+    /// The estimated normalized distance.
+    pub distance: f64,
+    /// Number of samples drawn (`SampleCounter`).
+    pub samples: usize,
+}
+
+/// Approximate the normalized distance between `original` and `summary`
+/// over the space of all truth valuations of the original's annotations,
+/// following the constructive proof of Prop 4.1.2:
+///
+/// 1. draw a truth valuation for the annotations of `p`;
+/// 2. compute `v(p)`;
+/// 3. lift to the summary's annotations via `h, φ`;
+/// 4. add the (normalized) VAL-FUNC value to `SuccCounter`;
+/// 5. increment `SampleCounter`; output the ratio.
+#[allow(clippy::too_many_arguments)]
+pub fn approx_distance<E: Summarizable>(
+    original: &E,
+    summary: &E,
+    h: &Mapping,
+    store: &AnnStore,
+    overrides: &MemberOverride,
+    phis: &PhiMap,
+    val_func: ValFuncKind,
+    cfg: SamplerConfig,
+) -> SampleEstimate {
+    let anns = original.annotations();
+    let summary_anns = summary.annotations();
+    let max_error = original.max_error().max(f64::MIN_POSITIVE);
+    let ctx = ValFuncCtx {
+        weight: 1.0,
+        mismatch_penalty: max_error,
+    };
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let n = cfg.effective_samples();
+    let mut succ = 0.0f64;
+    for _ in 0..n {
+        // (1) uniform random truth valuation
+        let mut v = Valuation::all_true();
+        for &a in &anns {
+            v.set(a, rng.random::<bool>());
+        }
+        // (2) evaluate the original
+        let orig_out = original.evaluate(&v);
+        // (3) lift through h, φ
+        let lifted = lift(&v, &summary_anns, store, overrides, phis);
+        let summ_out = summary.evaluate(&lifted);
+        // (4) accumulate normalized VAL-FUNC
+        let projected;
+        let orig_ref = match &orig_out {
+            EvalOutcome::Vector(vec) => {
+                projected = EvalOutcome::Vector(vec.project(h));
+                &projected
+            }
+            other => other,
+        };
+        succ += (val_func.eval(orig_ref, &summ_out, ctx) / max_error).min(1.0);
+    }
+    SampleEstimate {
+        distance: succ / n as f64,
+        samples: n,
+    }
+}
+
+fn lift(
+    v: &Valuation,
+    summary_anns: &[AnnId],
+    store: &AnnStore,
+    overrides: &MemberOverride,
+    phis: &PhiMap,
+) -> Valuation {
+    let mut out = v.clone();
+    for &a in summary_anns {
+        let ann = store.get(a);
+        let phi = phis.for_domain(ann.domain);
+        if let Some(members) = overrides.get(&a) {
+            out.set(a, phi.combine_bool(members.iter().map(|&m| v.truth(m))));
+        } else if ann.kind.is_summary() {
+            out.set(
+                a,
+                phi.combine_bool(ann.base_members().iter().map(|&m| v.truth(m))),
+            );
+        }
+    }
+    out
+}
+
+/// Exact distance over all `2ⁿ` valuations by exhaustive enumeration —
+/// exponential; only for validating the sampler on small inputs.
+pub fn exact_distance_all<E: Summarizable>(
+    original: &E,
+    summary: &E,
+    h: &Mapping,
+    store: &AnnStore,
+    phis: &PhiMap,
+    val_func: ValFuncKind,
+) -> f64 {
+    let anns = original.annotations();
+    assert!(
+        anns.len() <= 20,
+        "exhaustive enumeration over {} annotations is infeasible",
+        anns.len()
+    );
+    let summary_anns = summary.annotations();
+    let max_error = original.max_error().max(f64::MIN_POSITIVE);
+    let ctx = ValFuncCtx {
+        weight: 1.0,
+        mismatch_penalty: max_error,
+    };
+    let n = anns.len();
+    let total = 1u64 << n;
+    let mut acc = 0.0;
+    let no_overrides = HashMap::new();
+    for bits in 0..total {
+        let mut v = Valuation::all_true();
+        for (ix, &a) in anns.iter().enumerate() {
+            v.set(a, bits >> ix & 1 == 1);
+        }
+        let orig_out = original.evaluate(&v);
+        let lifted = lift(&v, &summary_anns, store, &no_overrides, phis);
+        let summ_out = summary.evaluate(&lifted);
+        let projected;
+        let orig_ref = match &orig_out {
+            EvalOutcome::Vector(vec) => {
+                projected = EvalOutcome::Vector(vec.project(h));
+                &projected
+            }
+            other => other,
+        };
+        acc += (val_func.eval(orig_ref, &summ_out, ctx) / max_error).min(1.0);
+    }
+    acc / total as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prox_provenance::{AggKind, AggValue, Phi, Polynomial, ProvExpr, Tensor};
+
+    fn setup() -> (AnnStore, ProvExpr, Vec<AnnId>) {
+        let mut s = AnnStore::new();
+        let u1 = s.add_base_with("U1", "users", &[]);
+        let u2 = s.add_base_with("U2", "users", &[]);
+        let u3 = s.add_base_with("U3", "users", &[]);
+        let m = s.add_base_with("M", "movies", &[]);
+        let mut p = ProvExpr::new(AggKind::Max);
+        for (u, r) in [(u1, 3.0), (u2, 5.0), (u3, 3.0)] {
+            p.push(m, Tensor::new(Polynomial::var(u), AggValue::single(r)));
+        }
+        (s, p, vec![u1, u2, u3])
+    }
+
+    #[test]
+    fn sample_counts_follow_bounds() {
+        let cfg = SamplerConfig {
+            epsilon: 0.1,
+            delta: 0.05,
+            ..Default::default()
+        };
+        assert_eq!(cfg.hoeffding_samples(), 185);
+        assert_eq!(cfg.chebyshev_samples(), 500);
+        assert!(cfg.hoeffding_samples() < cfg.chebyshev_samples());
+    }
+
+    #[test]
+    fn identity_summary_samples_to_zero() {
+        let (s, p, _) = setup();
+        let est = approx_distance(
+            &p,
+            &p,
+            &Mapping::identity(),
+            &s,
+            &HashMap::new(),
+            &PhiMap::uniform(Phi::Or),
+            ValFuncKind::Euclidean,
+            SamplerConfig::default(),
+        );
+        assert_eq!(est.distance, 0.0);
+        assert!(est.samples > 0);
+    }
+
+    #[test]
+    fn sampler_converges_to_exact() {
+        let (mut s, p, users) = setup();
+        let dom = s.domain("users");
+        let g = s.add_summary("G", dom, &[users[0], users[1]]);
+        let h = Mapping::group(&[users[0], users[1]], g);
+        let summary = p.map(&h);
+        let phis = PhiMap::uniform(Phi::Or);
+        let exact = exact_distance_all(&p, &summary, &h, &s, &phis, ValFuncKind::Euclidean);
+        let est = approx_distance(
+            &p,
+            &summary,
+            &h,
+            &s,
+            &HashMap::new(),
+            &phis,
+            ValFuncKind::Euclidean,
+            SamplerConfig {
+                epsilon: 0.02,
+                delta: 0.01,
+                seed: 42,
+                max_samples: None,
+            },
+        );
+        assert!(
+            (est.distance - exact).abs() <= 0.02,
+            "estimate {} vs exact {exact}",
+            est.distance
+        );
+    }
+
+    #[test]
+    fn max_samples_caps_work() {
+        let (s, p, _) = setup();
+        let est = approx_distance(
+            &p,
+            &p,
+            &Mapping::identity(),
+            &s,
+            &HashMap::new(),
+            &PhiMap::uniform(Phi::Or),
+            ValFuncKind::Euclidean,
+            SamplerConfig {
+                max_samples: Some(10),
+                ..Default::default()
+            },
+        );
+        assert_eq!(est.samples, 10);
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let (mut s, p, users) = setup();
+        let dom = s.domain("users");
+        let g = s.add_summary("G", dom, &[users[0], users[2]]);
+        let h = Mapping::group(&[users[0], users[2]], g);
+        let summary = p.map(&h);
+        let phis = PhiMap::uniform(Phi::Or);
+        let cfg = SamplerConfig {
+            seed: 7,
+            max_samples: Some(200),
+            ..Default::default()
+        };
+        let a = approx_distance(&p, &summary, &h, &s, &HashMap::new(), &phis, ValFuncKind::Euclidean, cfg);
+        let b = approx_distance(&p, &summary, &h, &s, &HashMap::new(), &phis, ValFuncKind::Euclidean, cfg);
+        assert_eq!(a.distance, b.distance);
+    }
+}

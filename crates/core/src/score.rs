@@ -1,0 +1,153 @@
+//! Candidate scoring (Definition 3.2.4).
+//!
+//! `CandidateScore = wDist · rDist + wSize · rSize`, where `rDist` is the
+//! candidate's approximated-distance rank and `rSize` its size rank. Ranks
+//! are competition ranks normalized to `[0,1]` (ties share a rank), so the
+//! two components are commensurable regardless of their raw magnitudes.
+//! A `Normalized` mode combining the raw normalized distance with
+//! size/|p₀| is provided as an ablation.
+
+use crate::config::ScoreMode;
+
+/// Distance/size measurements for one candidate.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct CandidateMeasure {
+    /// Normalized distance from the original expression, in `[0,1]`.
+    pub distance: f64,
+    /// Size of the candidate expression.
+    pub size: usize,
+}
+
+/// Compute `CandidateScore` for every candidate.
+///
+/// `p0_size` is the original expression's size (used by the `Normalized`
+/// mode). Returns one score per measure, lower = better.
+pub fn score_all(
+    measures: &[CandidateMeasure],
+    mode: ScoreMode,
+    w_dist: f64,
+    w_size: f64,
+    p0_size: usize,
+) -> Vec<f64> {
+    match mode {
+        ScoreMode::Rank => {
+            let r_dist = normalized_ranks(measures.iter().map(|m| m.distance).collect());
+            let r_size = normalized_ranks(measures.iter().map(|m| m.size as f64).collect());
+            r_dist
+                .iter()
+                .zip(&r_size)
+                .map(|(d, s)| w_dist * d + w_size * s)
+                .collect()
+        }
+        ScoreMode::Normalized => measures
+            .iter()
+            .map(|m| {
+                let rel_size = if p0_size == 0 {
+                    0.0
+                } else {
+                    m.size as f64 / p0_size as f64
+                };
+                w_dist * m.distance + w_size * rel_size
+            })
+            .collect(),
+    }
+}
+
+/// Competition ranks normalized to `[0,1]`: the minimum value ranks 0, the
+/// maximum ranks 1, ties share the rank of their first position. A single
+/// candidate ranks 0.
+pub fn normalized_ranks(values: Vec<f64>) -> Vec<f64> {
+    let n = values.len();
+    if n <= 1 {
+        return vec![0.0; n];
+    }
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&i, &j| values[i].partial_cmp(&values[j]).expect("NaN in scores"));
+    let denom = (n - 1) as f64;
+    let mut ranks = vec![0.0; n];
+    let mut ix = 0;
+    while ix < n {
+        // Find the tie run starting at ix.
+        let mut jx = ix;
+        while jx + 1 < n && values[order[jx + 1]] == values[order[ix]] {
+            jx += 1;
+        }
+        let rank = ix as f64 / denom;
+        for &orig in &order[ix..=jx] {
+            ranks[orig] = rank;
+        }
+        ix = jx + 1;
+    }
+    ranks
+}
+
+/// Indices of all minimal entries (within `eps`) — the tie set handed to
+/// the taxonomy tie-breaker.
+pub fn minimal_indices(scores: &[f64], eps: f64) -> Vec<usize> {
+    let Some(min) = scores
+        .iter()
+        .copied()
+        .min_by(|a, b| a.partial_cmp(b).expect("NaN in scores"))
+    else {
+        return Vec::new();
+    };
+    scores
+        .iter()
+        .enumerate()
+        .filter(|&(_, s)| (s - min).abs() <= eps)
+        .map(|(i, _)| i)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m(distance: f64, size: usize) -> CandidateMeasure {
+        CandidateMeasure { distance, size }
+    }
+
+    #[test]
+    fn rank_mode_orders_by_weighted_ranks() {
+        let measures = [m(0.0, 10), m(0.5, 8), m(1.0, 6)];
+        // wDist=1: scores follow distance ranks 0, .5, 1
+        let s = score_all(&measures, ScoreMode::Rank, 1.0, 0.0, 12);
+        assert_eq!(s, vec![0.0, 0.5, 1.0]);
+        // wSize=1: size ranks reversed
+        let s = score_all(&measures, ScoreMode::Rank, 0.0, 1.0, 12);
+        assert_eq!(s, vec![1.0, 0.5, 0.0]);
+        // Balanced: all equal
+        let s = score_all(&measures, ScoreMode::Rank, 0.5, 0.5, 12);
+        assert!(s.iter().all(|&x| (x - 0.5).abs() < 1e-12));
+    }
+
+    #[test]
+    fn ties_share_rank() {
+        let measures = [m(0.3, 5), m(0.3, 5), m(0.7, 5)];
+        let s = score_all(&measures, ScoreMode::Rank, 1.0, 0.0, 10);
+        assert_eq!(s[0], s[1]);
+        assert!(s[2] > s[0]);
+    }
+
+    #[test]
+    fn single_candidate_scores_zero() {
+        let s = score_all(&[m(0.9, 100)], ScoreMode::Rank, 0.5, 0.5, 100);
+        assert_eq!(s, vec![0.0]);
+    }
+
+    #[test]
+    fn normalized_mode_uses_raw_values() {
+        let measures = [m(0.2, 50), m(0.4, 25)];
+        let s = score_all(&measures, ScoreMode::Normalized, 0.5, 0.5, 100);
+        assert!((s[0] - (0.1 + 0.25)).abs() < 1e-12);
+        assert!((s[1] - (0.2 + 0.125)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn minimal_indices_returns_tie_set() {
+        let scores = [0.5, 0.1, 0.1 + 1e-12, 0.9];
+        let min = minimal_indices(&scores, 1e-9);
+        assert_eq!(min, vec![1, 2]);
+        assert!(minimal_indices(&[], 0.0).is_empty());
+    }
+}

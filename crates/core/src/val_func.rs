@@ -1,0 +1,185 @@
+//! VAL-FUNC functions (§3.2): per-valuation disagreement measures between
+//! the original provenance and its summary.
+//!
+//! `dist(p, p') = (Σ_v VAL-FUNC(v, v^{h,φ}, p, p')) / |V_Ann|`. The choice
+//! of VAL-FUNC depends on the intended provenance use; the paper's examples
+//! are implemented here, plus the DDP difference function of Example 5.2.2.
+
+use prox_provenance::EvalOutcome;
+use serde::{Deserialize, Serialize};
+
+/// Which VAL-FUNC to apply.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub enum ValFuncKind {
+    /// Expected error: `w(v) · |v(p) − v'(p')|` on scalar outcomes.
+    AbsDiff,
+    /// Weighted fraction of disagreeing valuations: `0` when the outcomes
+    /// agree, `w(v)` otherwise.
+    Disagreement,
+    /// Euclidean distance between aggregation vectors (the original vector
+    /// must be projected into the summary key space first).
+    Euclidean,
+    /// The DDP difference function: `|ΔC|` when both outcomes are feasible,
+    /// `0` when both are infeasible, and the maximum possible cost
+    /// difference (max cost per transition × transitions per execution)
+    /// on a feasibility mismatch.
+    DdpDiff,
+}
+
+/// Context for one VAL-FUNC evaluation.
+#[derive(Clone, Copy, Debug)]
+pub struct ValFuncCtx {
+    /// The valuation weight `w(v)` (1 for the uniform weighting used in
+    /// the experiments).
+    pub weight: f64,
+    /// The feasibility-mismatch penalty for [`ValFuncKind::DdpDiff`]
+    /// (the paper's `10 × 5 = 50`).
+    pub mismatch_penalty: f64,
+}
+
+impl Default for ValFuncCtx {
+    fn default() -> Self {
+        ValFuncCtx {
+            weight: 1.0,
+            mismatch_penalty: 50.0,
+        }
+    }
+}
+
+impl ValFuncKind {
+    /// Evaluate the VAL-FUNC on a pair of outcomes. `orig` must already be
+    /// projected into the summary key space for vector outcomes.
+    pub fn eval(self, orig: &EvalOutcome, summ: &EvalOutcome, ctx: ValFuncCtx) -> f64 {
+        match self {
+            ValFuncKind::AbsDiff => {
+                let a = scalarize(orig);
+                let b = scalarize(summ);
+                ctx.weight * (a - b).abs()
+            }
+            ValFuncKind::Disagreement => {
+                let agree = match (orig, summ) {
+                    (EvalOutcome::Vector(x), EvalOutcome::Vector(y)) => x.euclidean(y) == 0.0,
+                    (EvalOutcome::Ddp { cost: a }, EvalOutcome::Ddp { cost: b }) => a == b,
+                    _ => (scalarize(orig) - scalarize(summ)).abs() < f64::EPSILON,
+                };
+                if agree {
+                    0.0
+                } else {
+                    ctx.weight
+                }
+            }
+            ValFuncKind::Euclidean => match (orig, summ) {
+                (EvalOutcome::Vector(x), EvalOutcome::Vector(y)) => ctx.weight * x.euclidean(y),
+                _ => ctx.weight * (scalarize(orig) - scalarize(summ)).abs(),
+            },
+            ValFuncKind::DdpDiff => match (orig, summ) {
+                (EvalOutcome::Ddp { cost: a }, EvalOutcome::Ddp { cost: b }) => {
+                    match (a, b) {
+                        (Some(ca), Some(cb)) => ctx.weight * (ca - cb).abs(),
+                        (None, None) => 0.0,
+                        _ => ctx.weight * ctx.mismatch_penalty,
+                    }
+                }
+                _ => ctx.weight * (scalarize(orig) - scalarize(summ)).abs(),
+            },
+        }
+    }
+
+    /// Human-readable name (matches the PROX UI's VAL-FUNC selector).
+    pub fn name(self) -> &'static str {
+        match self {
+            ValFuncKind::AbsDiff => "Expected Error",
+            ValFuncKind::Disagreement => "Disagreeing Valuations",
+            ValFuncKind::Euclidean => "Euclidean Distance",
+            ValFuncKind::DdpDiff => "Absolute Difference (DDP)",
+        }
+    }
+}
+
+fn scalarize(o: &EvalOutcome) -> f64 {
+    match o {
+        EvalOutcome::Scalar(x) => *x,
+        EvalOutcome::Vector(v) => v.coords().iter().map(|(_, a)| a.result()).sum(),
+        EvalOutcome::Ddp { cost } => cost.unwrap_or(0.0),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prox_provenance::{AggKind, AggValue, AnnId, EvalVector};
+
+    fn vecout(items: &[(usize, f64)]) -> EvalOutcome {
+        EvalOutcome::Vector(EvalVector::new(
+            items
+                .iter()
+                .map(|&(o, v)| (AnnId::from_index(o), AggValue::new(v, 1)))
+                .collect(),
+            AggKind::Max,
+        ))
+    }
+
+    #[test]
+    fn abs_diff_on_scalars() {
+        let ctx = ValFuncCtx::default();
+        let d = ValFuncKind::AbsDiff.eval(
+            &EvalOutcome::Scalar(5.0),
+            &EvalOutcome::Scalar(3.0),
+            ctx,
+        );
+        assert_eq!(d, 2.0);
+    }
+
+    #[test]
+    fn abs_diff_respects_weight() {
+        let ctx = ValFuncCtx {
+            weight: 0.25,
+            ..Default::default()
+        };
+        let d = ValFuncKind::AbsDiff.eval(
+            &EvalOutcome::Scalar(5.0),
+            &EvalOutcome::Scalar(1.0),
+            ctx,
+        );
+        assert_eq!(d, 1.0);
+    }
+
+    #[test]
+    fn disagreement_is_zero_one() {
+        let ctx = ValFuncCtx::default();
+        let same = ValFuncKind::Disagreement.eval(&vecout(&[(1, 3.0)]), &vecout(&[(1, 3.0)]), ctx);
+        assert_eq!(same, 0.0);
+        let diff = ValFuncKind::Disagreement.eval(&vecout(&[(1, 3.0)]), &vecout(&[(1, 4.0)]), ctx);
+        assert_eq!(diff, 1.0);
+    }
+
+    #[test]
+    fn euclidean_on_vectors() {
+        let ctx = ValFuncCtx::default();
+        let d = ValFuncKind::Euclidean.eval(
+            &vecout(&[(1, 3.0), (2, 0.0)]),
+            &vecout(&[(1, 0.0), (2, 4.0)]),
+            ctx,
+        );
+        assert!((d - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ddp_diff_cases() {
+        let ctx = ValFuncCtx {
+            weight: 1.0,
+            mismatch_penalty: 50.0,
+        };
+        let feasible = |c: f64| EvalOutcome::Ddp { cost: Some(c) };
+        let infeasible = EvalOutcome::Ddp { cost: None };
+        assert_eq!(ValFuncKind::DdpDiff.eval(&feasible(3.0), &feasible(5.0), ctx), 2.0);
+        assert_eq!(ValFuncKind::DdpDiff.eval(&infeasible, &infeasible, ctx), 0.0);
+        assert_eq!(ValFuncKind::DdpDiff.eval(&feasible(3.0), &infeasible, ctx), 50.0);
+        assert_eq!(ValFuncKind::DdpDiff.eval(&infeasible, &feasible(0.0), ctx), 50.0);
+    }
+
+    #[test]
+    fn names_are_stable() {
+        assert_eq!(ValFuncKind::Euclidean.name(), "Euclidean Distance");
+    }
+}

@@ -1,0 +1,140 @@
+//! Property-based tests for prox-core's building blocks: scoring,
+//! equivalence classes, and distance bounds.
+
+use proptest::prelude::*;
+use prox_core::{
+    equivalence_classes, score::{minimal_indices, score_all}, CandidateMeasure, DistanceEngine,
+    ScoreMode, ValFuncKind,
+};
+use prox_provenance::{
+    AggKind, AggValue, AnnId, AnnStore, Mapping, Phi, PhiMap, Polynomial, ProvExpr, Tensor,
+    Valuation,
+};
+
+fn ann(ix: usize) -> AnnId {
+    AnnId::from_index(ix)
+}
+
+fn arb_measures() -> impl Strategy<Value = Vec<CandidateMeasure>> {
+    prop::collection::vec(
+        (0.0f64..1.0, 1usize..100).prop_map(|(distance, size)| CandidateMeasure { distance, size }),
+        1..12,
+    )
+}
+
+proptest! {
+    /// Rank scores lie in [0,1] and the minimal-distance candidate has the
+    /// minimal score when wDist = 1.
+    #[test]
+    fn rank_scores_bounded_and_faithful(measures in arb_measures()) {
+        let scores = score_all(&measures, ScoreMode::Rank, 1.0, 0.0, 100);
+        prop_assert!(scores.iter().all(|s| (0.0..=1.0).contains(s)));
+        let best_ix = minimal_indices(&scores, 1e-9)[0];
+        let min_dist = measures
+            .iter()
+            .map(|m| m.distance)
+            .fold(f64::INFINITY, f64::min);
+        prop_assert!((measures[best_ix].distance - min_dist).abs() < 1e-12);
+    }
+
+    /// With wSize = 1 the minimal-size candidate wins.
+    #[test]
+    fn size_weight_selects_smallest(measures in arb_measures()) {
+        let scores = score_all(&measures, ScoreMode::Rank, 0.0, 1.0, 100);
+        let best_ix = minimal_indices(&scores, 1e-9)[0];
+        let min_size = measures.iter().map(|m| m.size).min().expect("nonempty");
+        prop_assert_eq!(measures[best_ix].size, min_size);
+    }
+
+    /// Normalized scores are monotone in both inputs.
+    #[test]
+    fn normalized_scores_monotone(
+        d1 in 0.0f64..1.0, d2 in 0.0f64..1.0,
+        s1 in 1usize..100, s2 in 1usize..100,
+    ) {
+        let m = [
+            CandidateMeasure { distance: d1, size: s1 },
+            CandidateMeasure { distance: d2, size: s2 },
+        ];
+        let scores = score_all(&m, ScoreMode::Normalized, 0.5, 0.5, 100);
+        if d1 <= d2 && s1 <= s2 {
+            prop_assert!(scores[0] <= scores[1] + 1e-12);
+        }
+    }
+
+    /// Equivalence classes form a partition, and members of one class agree
+    /// with each other under every valuation.
+    #[test]
+    fn equivalence_classes_partition(
+        truth_rows in prop::collection::vec(prop::collection::vec(any::<bool>(), 6), 0..5),
+    ) {
+        let anns: Vec<AnnId> = (0..6).map(ann).collect();
+        let valuations: Vec<Valuation> = truth_rows
+            .iter()
+            .map(|row| {
+                let mut v = Valuation::all_true();
+                for (ix, &b) in row.iter().enumerate() {
+                    v.set(ann(ix), b);
+                }
+                v
+            })
+            .collect();
+        let classes = equivalence_classes(&anns, &valuations);
+        // Partition: every annotation appears exactly once.
+        let mut seen: Vec<AnnId> = classes.iter().flatten().copied().collect();
+        seen.sort();
+        prop_assert_eq!(seen, anns.clone());
+        // Agreement within classes, disagreement across classes.
+        for class in &classes {
+            for pair in class.windows(2) {
+                for v in &valuations {
+                    prop_assert_eq!(v.truth(pair[0]), v.truth(pair[1]));
+                }
+            }
+        }
+        for (ix, c1) in classes.iter().enumerate() {
+            for c2 in &classes[ix + 1..] {
+                let a = c1[0];
+                let b = c2[0];
+                prop_assert!(
+                    valuations.iter().any(|v| v.truth(a) != v.truth(b)),
+                    "distinct classes must be separated by some valuation"
+                );
+            }
+        }
+    }
+
+    /// The normalized distance is within [0,1] for arbitrary merges on a
+    /// small random workload.
+    #[test]
+    fn distance_is_bounded(
+        ratings in prop::collection::vec((0usize..5, 1u8..=5), 3..10),
+        merge in prop::collection::vec(0usize..5, 2..4),
+    ) {
+        let mut store = AnnStore::new();
+        let users: Vec<AnnId> = (0..5)
+            .map(|i| store.add_base_with(&format!("U{i}"), "users", &[]))
+            .collect();
+        let movie = store.add_base_with("M", "movies", &[]);
+        let mut p = ProvExpr::new(AggKind::Max);
+        for &(u, s) in &ratings {
+            p.push(movie, Tensor::new(Polynomial::var(users[u]), AggValue::single(s as f64)));
+        }
+        p.simplify();
+        let vals: Vec<Valuation> = users.iter().map(|&u| Valuation::cancel(&[u])).collect();
+        let engine = DistanceEngine::new(&p, &vals, PhiMap::uniform(Phi::Or), ValFuncKind::Euclidean);
+
+        let mut members: Vec<AnnId> = merge.into_iter().map(|ix| users[ix]).collect();
+        members.sort();
+        members.dedup();
+        if members.len() < 2 {
+            return Ok(());
+        }
+        let dom = store.domain("users");
+        let g = store.add_summary("G", dom, &members);
+        let h = Mapping::group(&members, g);
+        let summary = p.map(&h);
+        let d = engine.distance(&summary, &h, &store, &Default::default());
+        prop_assert!((0.0..=1.0).contains(&d), "distance {d}");
+    }
+}

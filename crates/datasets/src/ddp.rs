@@ -1,0 +1,269 @@
+//! Synthetic Data-Dependent Process dataset (§5.1, Table 5.1 row 3;
+//! Example 5.2.2; structure of \[17\]).
+//!
+//! Generates DDP provenance: sums of executions, each a product of at most
+//! five transitions mixing user choices `⟨c_k, 1⟩` (cost 1..10) and
+//! database conditions `⟨0, [dᵢ·dⱼ] {=,≠} 0⟩`. Cost variables carry their
+//! cost as an attribute (equal-cost variables may merge — "transitions
+//! have more or less the same cost"), and DB variables carry a relation
+//! attribute (variables of the same relation may merge).
+
+use prox_core::{ConstraintConfig, MergeRule};
+use prox_provenance::{
+    AnnId, AnnStore, DbCondOp, DdpExecution, DdpExpr, DdpTransition, DomainId, Phi, PhiMap,
+    Valuation, ValuationClass,
+};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Generator parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct DdpConfig {
+    /// Number of database variables.
+    pub db_vars: usize,
+    /// Number of cost variables.
+    pub cost_vars: usize,
+    /// Number of executions in the provenance sum.
+    pub executions: usize,
+    /// Maximum transitions per execution (the paper's bound is 5).
+    pub max_transitions: usize,
+    /// Number of distinct relations DB variables belong to.
+    pub relations: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for DdpConfig {
+    fn default() -> Self {
+        DdpConfig {
+            db_vars: 16,
+            cost_vars: 10,
+            executions: 16,
+            max_transitions: 5,
+            relations: 3,
+            seed: 31,
+        }
+    }
+}
+
+/// The generated DDP dataset.
+#[derive(Clone, Debug)]
+pub struct Ddp {
+    /// Annotation store (db + cost variables).
+    pub store: AnnStore,
+    /// Database variable annotations.
+    pub db_vars: Vec<AnnId>,
+    /// Cost variable annotations.
+    pub cost_vars: Vec<AnnId>,
+    /// The provenance expression.
+    pub provenance: DdpExpr,
+    db_domain: DomainId,
+    cost_domain: DomainId,
+}
+
+impl Ddp {
+    /// Generate a dataset.
+    pub fn generate(cfg: DdpConfig) -> Self {
+        assert!(cfg.db_vars > 0 && cfg.cost_vars > 0 && cfg.executions > 0);
+        assert!(cfg.max_transitions >= 2);
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let mut store = AnnStore::new();
+        let db_domain = store.domain("db_vars");
+        let cost_domain = store.domain("cost_vars");
+
+        // Besides the relation (the merge constraint), DB variables carry a
+        // finer "partition" attribute so that attribute-level valuations
+        // can distinguish variables within one relation — otherwise the
+        // GroupEquivalent pre-pass would saturate the whole relation at
+        // distance 0 and leave the greedy phase nothing to do.
+        let db_vars: Vec<AnnId> = (0..cfg.db_vars)
+            .map(|ix| {
+                let rel = format!("R{}", ix % cfg.relations + 1);
+                let part = format!("P{}", ix / cfg.relations + 1);
+                store.add_base_with(
+                    &format!("d{}", ix + 1),
+                    "db_vars",
+                    &[("relation", &rel), ("partition", &part)],
+                )
+            })
+            .collect();
+
+        let mut provenance = DdpExpr::new();
+        provenance.max_transitions_per_execution = cfg.max_transitions;
+        // Cost variables likewise carry a "phase" attribute finer than the
+        // cost-equality merge constraint. Costs are drawn from a small
+        // range so that equal-cost pairs (the mergeable ones) are common.
+        let cost_vars: Vec<AnnId> = (0..cfg.cost_vars)
+            .map(|ix| {
+                let cost = rng.random_range(1..=5) as f64;
+                let c = store.add_base_with(
+                    &format!("c{}", ix + 1),
+                    "cost_vars",
+                    &[
+                        ("cost", &format!("{cost}")),
+                        ("phase", &format!("ph{}", ix % 3 + 1)),
+                    ],
+                );
+                provenance.set_cost(c, cost);
+                c
+            })
+            .collect();
+
+        for _ in 0..cfg.executions {
+            let n = rng.random_range(2..=cfg.max_transitions);
+            let mut transitions = Vec::with_capacity(n);
+            for _ in 0..n {
+                if rng.random_bool(0.5) {
+                    let c = cost_vars[rng.random_range(0..cost_vars.len())];
+                    transitions.push(DdpTransition::user(c));
+                } else {
+                    let a = db_vars[rng.random_range(0..db_vars.len())];
+                    let b = db_vars[rng.random_range(0..db_vars.len())];
+                    let vars = if a == b { vec![a] } else { vec![a, b] };
+                    let op = if rng.random_bool(0.7) {
+                        DbCondOp::NonZero
+                    } else {
+                        DbCondOp::Zero
+                    };
+                    transitions.push(DdpTransition::db(vars, op));
+                }
+            }
+            provenance.push(DdpExecution::new(transitions));
+        }
+
+        Ddp {
+            store,
+            db_vars,
+            cost_vars,
+            provenance,
+            db_domain,
+            cost_domain,
+        }
+    }
+
+    /// The DB-variable domain.
+    pub fn db_domain(&self) -> DomainId {
+        self.db_domain
+    }
+
+    /// The cost-variable domain.
+    pub fn cost_domain(&self) -> DomainId {
+        self.cost_domain
+    }
+
+    /// Mapping constraints (Table 5.1): DB variables merge within a
+    /// relation; cost variables merge when their costs match.
+    pub fn constraints(&mut self) -> ConstraintConfig {
+        let relation = self.store.attr("relation");
+        let cost = self.store.attr("cost");
+        ConstraintConfig::new()
+            .allow(
+                self.db_domain,
+                MergeRule::SharedAttribute {
+                    attrs: vec![relation],
+                },
+            )
+            .allow(
+                self.cost_domain,
+                MergeRule::SharedAttribute { attrs: vec![cost] },
+            )
+    }
+
+    /// The φ assignment of Table 5.1: logical OR for DB variables, MAX for
+    /// cost variables.
+    pub fn phi(&self) -> PhiMap {
+        PhiMap::uniform(Phi::Or).with(self.cost_domain, Phi::Max)
+    }
+
+    /// Valuation class over all variables.
+    pub fn valuations(&self, class: ValuationClass) -> Vec<Valuation> {
+        let mut anns = self.db_vars.clone();
+        anns.extend_from_slice(&self.cost_vars);
+        class.generate(&self.store, &anns, &[])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prox_provenance::{EvalOutcome, Summarizable};
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = Ddp::generate(DdpConfig::default());
+        let b = Ddp::generate(DdpConfig::default());
+        assert_eq!(a.provenance, b.provenance);
+    }
+
+    #[test]
+    fn respects_transition_bound() {
+        let d = Ddp::generate(DdpConfig::default());
+        for e in d.provenance.executions() {
+            assert!(e.transitions.len() <= 5);
+            assert!(e.transitions.len() >= 2);
+        }
+        assert_eq!(d.provenance.executions().len(), 16);
+    }
+
+    #[test]
+    fn max_error_matches_paper_constants() {
+        let d = Ddp::generate(DdpConfig::default());
+        assert_eq!(Summarizable::max_error(&d.provenance), 50.0);
+    }
+
+    #[test]
+    fn all_true_valuation_evaluates() {
+        let d = Ddp::generate(DdpConfig::default());
+        match d.provenance.eval(&Valuation::all_true()) {
+            EvalOutcome::Ddp { cost } => {
+                if let Some(c) = cost {
+                    assert!(c >= 0.0);
+                }
+            }
+            other => panic!("unexpected outcome {other:?}"),
+        }
+    }
+
+    #[test]
+    fn equal_cost_vars_may_merge() {
+        let mut d = Ddp::generate(DdpConfig {
+            cost_vars: 20,
+            ..Default::default()
+        });
+        let cfg = d.constraints();
+        let cost = d.store.attr("cost");
+        // Find two cost vars with equal cost.
+        let mut by_cost: std::collections::HashMap<_, Vec<AnnId>> = Default::default();
+        for &c in &d.cost_vars {
+            by_cost
+                .entry(d.store.get(c).attr(cost).unwrap())
+                .or_default()
+                .push(c);
+        }
+        let twin = by_cost.values().find(|v| v.len() >= 2).expect("twins exist");
+        assert!(cfg.pair_ok(twin[0], twin[1], &d.store, None));
+        // Different relations never merge for db vars:
+        let d1 = d.db_vars[0]; // R1
+        let d2 = d.db_vars[1]; // R2
+        assert!(!cfg.pair_ok(d1, d2, &d.store, None));
+        let d4 = d.db_vars[3]; // R1 again (3 alternating relations)
+        assert!(cfg.pair_ok(d1, d4, &d.store, None));
+    }
+
+    #[test]
+    fn phi_map_uses_max_for_costs() {
+        let d = Ddp::generate(DdpConfig::default());
+        let phis = d.phi();
+        assert_eq!(phis.for_domain(d.cost_domain()), Phi::Max);
+        assert_eq!(phis.for_domain(d.db_domain()), Phi::Or);
+    }
+
+    #[test]
+    fn valuations_cover_both_domains() {
+        let d = Ddp::generate(DdpConfig::default());
+        let vals = d.valuations(ValuationClass::CancelSingleAnnotation);
+        assert_eq!(vals.len(), d.db_vars.len() + d.cost_vars.len());
+        let attr_vals = d.valuations(ValuationClass::CancelSingleAttribute);
+        assert!(!attr_vals.is_empty());
+    }
+}

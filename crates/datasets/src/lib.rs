@@ -1,0 +1,25 @@
+//! # prox-datasets
+//!
+//! Seeded synthetic dataset generators for the three provenance workloads
+//! of the PROX evaluation (§5.1): MovieLens-style movie ratings,
+//! Wikipedia-style page edits over a WordNet taxonomy, and Data-Dependent
+//! Process executions. Each generator produces an annotation store, the
+//! provenance expression in the paper's structure (Table 5.1), the
+//! matching mapping constraints, and valuation-class builders.
+//!
+//! The original paper uses the real MovieLens dump, the MediaWiki API and
+//! DDP traces; these generators substitute seeded synthetic equivalents
+//! with the same schema and structure (see DESIGN.md §1 for the
+//! substitution argument).
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod ddp;
+pub mod movielens;
+pub mod names;
+pub mod wikipedia;
+
+pub use ddp::{Ddp, DdpConfig};
+pub use movielens::{MovieLens, MovieLensConfig, Rating};
+pub use wikipedia::{Edit, Wikipedia, WikipediaConfig};

@@ -1,0 +1,167 @@
+//! Name pools for the synthetic dataset generators.
+//!
+//! The pools deliberately include the names the paper's running examples
+//! use ("Match Point", "Blue Jasmine", "Adele", "Lori Black", ...) so the
+//! generated provenance reads like the thesis's figures.
+
+/// Movie titles (MovieLens-flavoured).
+pub const MOVIE_TITLES: &[&str] = &[
+    "MatchPoint",
+    "BlueJasmine",
+    "PartyGirl",
+    "ByeByeLove",
+    "Sleepover",
+    "ManOfTheHouse",
+    "Friday",
+    "TheFury",
+    "NearDark",
+    "Titanic",
+    "RaiseTheTitanic",
+    "RememberTheTitans",
+    "TitanAE",
+    "TheChambermaidOnTheTitanic",
+    "TwelveMonkeys",
+    "Braveheart",
+    "ApolloThirteen",
+    "Babe",
+    "Casino",
+    "SenseAndSensibility",
+    "FourRooms",
+    "MoneyTrain",
+    "GetShorty",
+    "Copycat",
+    "Assassins",
+    "Powder",
+    "LeavingLasVegas",
+    "Othello",
+    "NowAndThen",
+    "Persuasion",
+    "CityOfLostChildren",
+    "ShanghaiTriad",
+    "DangerousMinds",
+    "TwoBits",
+    "FrenchTwist",
+    "WingsOfCourage",
+    "BabysittersClub",
+    "DeadManWalking",
+    "AcrossTheSeaOfTime",
+    "ItTakesTwo",
+];
+
+/// Occupations (the MovieLens occupation vocabulary, trimmed).
+pub const OCCUPATIONS: &[&str] = &[
+    "academic",
+    "artist",
+    "clerical",
+    "college_student",
+    "customer_service",
+    "doctor",
+    "executive",
+    "farmer",
+    "homemaker",
+    "lawyer",
+    "programmer",
+    "retired",
+    "sales",
+    "scientist",
+    "self_employed",
+    "technician",
+    "tradesman",
+    "unemployed",
+    "writer",
+];
+
+/// Age ranges (MovieLens buckets).
+pub const AGE_RANGES: &[&str] = &["under-18", "18-24", "25-34", "35-44", "45-49", "50-55", "56+"];
+
+/// Zip-code prefixes (coarse buckets so that sharing is possible).
+pub const ZIP_PREFIXES: &[&str] = &[
+    "02xxx", "10xxx", "19xxx", "30xxx", "48xxx", "55xxx", "60xxx", "77xxx", "90xxx", "98xxx",
+];
+
+/// Wikipedia usernames (including the paper's Example 5.2.1 cast).
+pub const WIKI_USERNAMES: &[&str] = &[
+    "SalubriousToxin",
+    "Dubulge",
+    "DrBackInTheStreet",
+    "JaspertheFriendlyPunk",
+    "Ebyabe",
+    "Smalljim",
+    "Koavf",
+    "RichFarmbrough",
+    "WaackaData",
+    "BlueMoonlet",
+    "TangentCube",
+    "QuietOwl",
+    "VelvetRedactor",
+    "MarbleArchivist",
+    "NimbleCitator",
+    "PatientGnome",
+    "RapidReverter",
+    "SteadyScribe",
+    "LucidLinker",
+    "CarefulCurator",
+];
+
+/// Wikipedia page titles per leaf concept (concept name → pages).
+pub const WIKI_PAGES: &[(&str, &[&str])] = &[
+    ("wordnet_singer", &["Adele", "CelineDion", "EttaJames", "NinaSimone"]),
+    ("wordnet_guitarist", &["LoriBlack", "AlecBaillie", "DannyCedrone", "EddieLang"]),
+    ("wordnet_pianist", &["BillEvans", "MaryLouWilliams"]),
+    ("wordnet_actor", &["TakeshiKitano", "SetsukoHara"]),
+    ("wordnet_comedian", &["TotoMiranda", "GildaRadner"]),
+    ("wordnet_physicist", &["LiseMeitner", "EmmyNoether"]),
+    ("wordnet_chemist", &["RosalindFranklin", "GlennSeaborg"]),
+    ("wordnet_politician", &["ShirleyChisholm", "WillyBrandt"]),
+    ("wordnet_footballer", &["FerencPuskas", "GarrinchaSantos"]),
+    ("wordnet_swimmer", &["DawnFraser", "JohnnyWeissmuller"]),
+    ("wordnet_novelist", &["ItaloCalvino", "ClariceLispector"]),
+    ("wordnet_poet", &["WislawaSzymborska", "FernandoPessoa"]),
+    ("wordnet_movie", &["MatchPointFilm", "BlueJasmineFilm"]),
+    ("wordnet_album", &["NineteenAlbum", "KindOfBlue"]),
+    ("wordnet_city", &["TelAviv", "Lille"]),
+    ("wordnet_country", &["Andorra", "Bhutan"]),
+];
+
+/// Movie genres.
+pub const GENRES: &[&str] = &[
+    "Drama", "Comedy", "Action", "Thriller", "Romance", "SciFi", "Crime", "Adventure",
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn pools_are_nonempty_and_unique() {
+        for pool in [MOVIE_TITLES, OCCUPATIONS, AGE_RANGES, ZIP_PREFIXES, WIKI_USERNAMES, GENRES] {
+            assert!(!pool.is_empty());
+            let set: HashSet<_> = pool.iter().collect();
+            assert_eq!(set.len(), pool.len(), "duplicate in pool");
+        }
+    }
+
+    #[test]
+    fn wiki_pages_have_unique_titles_across_concepts() {
+        let mut seen = HashSet::new();
+        for (_, pages) in WIKI_PAGES {
+            for p in *pages {
+                assert!(seen.insert(p), "duplicate page {p}");
+            }
+        }
+    }
+
+    #[test]
+    fn paper_examples_are_present() {
+        assert!(MOVIE_TITLES.contains(&"MatchPoint"));
+        assert!(MOVIE_TITLES.contains(&"BlueJasmine"));
+        assert!(WIKI_USERNAMES.contains(&"Dubulge"));
+        let singers = WIKI_PAGES
+            .iter()
+            .find(|(c, _)| *c == "wordnet_singer")
+            .unwrap()
+            .1;
+        assert!(singers.contains(&"Adele"));
+    }
+}

@@ -1,0 +1,307 @@
+//! Synthetic Wikipedia dataset (§5.1, Table 5.1 row 2).
+//!
+//! Users carry `isRegistered`, `gender` and `contribution_level`
+//! attributes; pages attach to leaf concepts of the WordNet-style taxonomy;
+//! edits are minor (0) or major (1). The provenance structure is
+//!
+//! `(Username₁·PageTitle₁) ⊗ (EditType₁, 1) ⊕ …`
+//!
+//! keyed per page, with SUM aggregation (total major edits per page). Both
+//! user annotations (shared attribute) and page annotations (taxonomy
+//! ancestor) are mergeable, and valuations are filtered for taxonomy
+//! consistency.
+
+use prox_core::{ConstraintConfig, MergeRule};
+use prox_provenance::{
+    AggKind, AggValue, AnnId, AnnStore, DomainId, Polynomial, ProvExpr, Tensor, Valuation,
+    ValuationClass,
+};
+use prox_taxonomy::{filter_consistent, wordnet_fragment, Taxonomy};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use crate::names;
+
+/// Generator parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct WikipediaConfig {
+    /// Number of users.
+    pub users: usize,
+    /// Number of pages (cycled over the per-concept pools).
+    pub pages: usize,
+    /// Expected edits per user.
+    pub edits_per_user: usize,
+    /// Probability an edit is major.
+    pub major_prob: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for WikipediaConfig {
+    fn default() -> Self {
+        WikipediaConfig {
+            users: 20,
+            pages: 12,
+            edits_per_user: 3,
+            major_prob: 0.6,
+            seed: 23,
+        }
+    }
+}
+
+/// One edit event.
+#[derive(Clone, Copy, Debug)]
+pub struct Edit {
+    /// Editing user.
+    pub user: AnnId,
+    /// Edited page.
+    pub page: AnnId,
+    /// 1.0 for a major edit, 0.0 for minor.
+    pub edit_type: f64,
+}
+
+/// The generated dataset.
+#[derive(Clone, Debug)]
+pub struct Wikipedia {
+    /// Annotation store (users + pages).
+    pub store: AnnStore,
+    /// The WordNet-style taxonomy pages attach to.
+    pub taxonomy: Taxonomy,
+    /// User annotations.
+    pub users: Vec<AnnId>,
+    /// Page annotations.
+    pub pages: Vec<AnnId>,
+    /// Edits in generation order.
+    pub edits: Vec<Edit>,
+    users_domain: DomainId,
+    pages_domain: DomainId,
+}
+
+impl Wikipedia {
+    /// Generate a dataset.
+    pub fn generate(cfg: WikipediaConfig) -> Self {
+        assert!(cfg.users > 0 && cfg.pages > 0);
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let mut store = AnnStore::new();
+        let users_domain = store.domain("users");
+        let pages_domain = store.domain("pages");
+        let taxonomy = wordnet_fragment();
+
+        // Pages: walk the per-concept pools round-robin so concepts are
+        // populated evenly (summarization needs siblings to group).
+        let mut pages = Vec::with_capacity(cfg.pages);
+        let mut pool: Vec<(&str, &str)> = Vec::new();
+        let mut depth = 0usize;
+        while pool.len() < cfg.pages {
+            let mut added = false;
+            for (concept, titles) in names::WIKI_PAGES {
+                if let Some(t) = titles.get(depth) {
+                    pool.push((concept, t));
+                    added = true;
+                }
+            }
+            if !added {
+                // Pools exhausted: synthesize extra pages.
+                let (concept, _) = names::WIKI_PAGES[pool.len() % names::WIKI_PAGES.len()];
+                // Leak-free synthetic title handled below via owned names.
+                pool.push((concept, ""));
+            }
+            depth += 1;
+        }
+        for (ix, &(concept, title)) in pool.iter().take(cfg.pages).enumerate() {
+            let owned;
+            let title = if title.is_empty() {
+                owned = format!("Page{}", ix + 1);
+                owned.as_str()
+            } else {
+                title
+            };
+            let p = store.add_base_with(title, "pages", &[]);
+            let c = taxonomy
+                .by_name(concept)
+                .expect("page pool concepts exist in the fragment");
+            store.set_concept(p, c.0);
+            pages.push(p);
+        }
+
+        // Users.
+        let levels = ["Top-Contributor", "Reviewer", "Novice"];
+        let mut users = Vec::with_capacity(cfg.users);
+        for ix in 0..cfg.users {
+            let base = names::WIKI_USERNAMES[ix % names::WIKI_USERNAMES.len()];
+            let name = if ix < names::WIKI_USERNAMES.len() {
+                base.to_owned()
+            } else {
+                format!("{base}{}", ix / names::WIKI_USERNAMES.len() + 2)
+            };
+            let registered = rng.random_bool(0.8);
+            let gender = if rng.random_bool(0.5) { "Male" } else { "Female" };
+            let level = levels[rng.random_range(0..levels.len())];
+            let u = store.add_base_with(
+                &name,
+                "users",
+                &[
+                    ("isRegistered", if registered { "yes" } else { "no" }),
+                    ("gender", gender),
+                    ("contribution_level", level),
+                ],
+            );
+            users.push(u);
+        }
+
+        // Edits: contribution level drives volume.
+        let mut edits = Vec::new();
+        for &user in &users {
+            let level_attr = store.attr("contribution_level");
+            let level = store.value_name(store.get(user).attr(level_attr).expect("set above"));
+            let factor = match level {
+                "Top-Contributor" => 2,
+                "Reviewer" => 1,
+                _ => 1,
+            };
+            let n = (cfg.edits_per_user * factor).max(1);
+            for _ in 0..n {
+                let page = pages[rng.random_range(0..pages.len())];
+                let major = rng.random_bool(cfg.major_prob);
+                edits.push(Edit {
+                    user,
+                    page,
+                    edit_type: if major { 1.0 } else { 0.0 },
+                });
+            }
+        }
+
+        Wikipedia {
+            store,
+            taxonomy,
+            users,
+            pages,
+            edits,
+            users_domain,
+            pages_domain,
+        }
+    }
+
+    /// The users domain id.
+    pub fn users_domain(&self) -> DomainId {
+        self.users_domain
+    }
+
+    /// The pages domain id.
+    pub fn pages_domain(&self) -> DomainId {
+        self.pages_domain
+    }
+
+    /// Build the per-page SUM provenance over all pages.
+    pub fn provenance(&self) -> ProvExpr {
+        let mut p = ProvExpr::new(AggKind::Sum);
+        for e in &self.edits {
+            let prov = Polynomial::var(e.user).mul(&Polynomial::var(e.page));
+            p.push(e.page, Tensor::new(prov, AggValue::single(e.edit_type)));
+        }
+        p.simplify();
+        p
+    }
+
+    /// Mapping constraints: users merge on a shared attribute; pages merge
+    /// when their concepts share a taxonomy ancestor.
+    pub fn constraints(&mut self) -> ConstraintConfig {
+        let attrs = ["isRegistered", "gender", "contribution_level"]
+            .iter()
+            .map(|a| self.store.attr(a))
+            .collect();
+        ConstraintConfig::new()
+            .allow(self.users_domain, MergeRule::SharedAttribute { attrs })
+            .allow(self.pages_domain, MergeRule::TaxonomyAncestor)
+    }
+
+    /// Taxonomy-consistent valuations over users *and* pages
+    /// (Table 5.1: "only valuations that are consistent with the taxonomy").
+    pub fn valuations(&self, class: ValuationClass) -> Vec<Valuation> {
+        let mut anns = self.users.clone();
+        anns.extend_from_slice(&self.pages);
+        let raw = class.generate(&self.store, &anns, &[]);
+        filter_consistent(raw, &anns, &self.store, &self.taxonomy)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prox_provenance::Summarizable;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = Wikipedia::generate(WikipediaConfig::default());
+        let b = Wikipedia::generate(WikipediaConfig::default());
+        let sig = |d: &Wikipedia| {
+            d.edits
+                .iter()
+                .map(|e| (e.user, e.page, e.edit_type as i64))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(sig(&a), sig(&b));
+    }
+
+    #[test]
+    fn pages_have_concepts() {
+        let d = Wikipedia::generate(WikipediaConfig::default());
+        for &p in &d.pages {
+            let c = d.store.get(p).concept.expect("every page has a concept");
+            assert!((c as usize) < d.taxonomy.len());
+        }
+    }
+
+    #[test]
+    fn provenance_size_counts_two_per_edit() {
+        let d = Wikipedia::generate(WikipediaConfig::default());
+        let p = d.provenance();
+        // Simplification may merge duplicate (user, page) edits, so size is
+        // at most 2 per edit and positive.
+        assert!(Summarizable::size(&p) <= d.edits.len() * 2);
+        assert!(Summarizable::size(&p) > 0);
+    }
+
+    #[test]
+    fn sum_aggregation_counts_major_edits() {
+        let d = Wikipedia::generate(WikipediaConfig::default());
+        let p = d.provenance();
+        let v = p.eval(&Valuation::all_true());
+        let total: f64 = v.coords().iter().map(|(_, a)| a.result()).sum();
+        let expected: f64 = d.edits.iter().map(|e| e.edit_type).sum();
+        assert_eq!(total, expected);
+    }
+
+    #[test]
+    fn valuations_are_taxonomy_consistent() {
+        let d = Wikipedia::generate(WikipediaConfig::default());
+        let vals = d.valuations(ValuationClass::CancelSingleAnnotation);
+        // Every user cancellation is consistent; page cancellations of leaf
+        // concepts survive. At least the users' worth must be present.
+        assert!(vals.len() >= d.users.len());
+        let mut anns = d.users.clone();
+        anns.extend_from_slice(&d.pages);
+        for v in &vals {
+            assert!(prox_taxonomy::is_consistent(v, &anns, &d.store, &d.taxonomy));
+        }
+    }
+
+    #[test]
+    fn constraints_allow_sibling_pages() {
+        let mut d = Wikipedia::generate(WikipediaConfig::default());
+        let cfg = d.constraints();
+        // Adele (singer) and LoriBlack (guitarist) share wordnet_musician.
+        let adele = d.store.by_name("Adele").unwrap();
+        let lori = d.store.by_name("LoriBlack").unwrap();
+        assert!(cfg.pair_ok(adele, lori, &d.store, Some(&d.taxonomy)));
+    }
+
+    #[test]
+    fn many_pages_synthesize_names() {
+        let d = Wikipedia::generate(WikipediaConfig {
+            pages: 60,
+            ..Default::default()
+        });
+        assert_eq!(d.pages.len(), 60);
+    }
+}

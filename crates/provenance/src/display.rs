@@ -1,0 +1,159 @@
+//! Paper-style rendering of provenance expressions.
+//!
+//! Expressions print with real annotation names resolved through an
+//! [`AnnStore`], in the thesis's notation:
+//! `(UID245·Friday·1995) ⊗ (5, 1) ⊕ …` and
+//! `⟨c1,1⟩·⟨0,[d1·d2] ≠ 0⟩ + …`.
+
+use crate::aggexpr::AggExpr;
+use crate::ddp::{DdpExpr, DdpTransition};
+use crate::guard::Guard;
+use crate::provexpr::ProvExpr;
+use crate::store::AnnStore;
+use crate::tensor::Tensor;
+
+/// Render a tensor: `prov · [guards] ⊗ (value, count)`.
+pub fn render_tensor(t: &Tensor, store: &AnnStore) -> String {
+    let name = |a: crate::annot::AnnId| store.name(a).to_owned();
+    let mut prov = t.prov.render(&name);
+    let needs_parens = t.prov.terms().len() > 1
+        || t.prov
+            .terms()
+            .first()
+            .is_some_and(|(m, _)| m.degree() > 1);
+    if needs_parens {
+        prov = format!("({prov})");
+    }
+    let guards: String = t
+        .guards
+        .iter()
+        .map(|g| format!(" · {}", render_guard(g, store)))
+        .collect();
+    format!("{prov}{guards} ⊗ {}", t.value)
+}
+
+/// Render a guard: `[prov ⊗ w  op  rhs]`.
+pub fn render_guard(g: &Guard, store: &AnnStore) -> String {
+    let name = |a: crate::annot::AnnId| store.name(a).to_owned();
+    let lhs = g
+        .lhs
+        .iter()
+        .map(|(p, w)| format!("{} ⊗ {}", p.render(&name), w))
+        .collect::<Vec<_>>()
+        .join(" ⊕ ");
+    format!("[{lhs} {} {}]", g.op, g.rhs)
+}
+
+/// Render an aggregated expression: tensors joined by `⊕`.
+pub fn render_aggexpr(e: &AggExpr, store: &AnnStore) -> String {
+    if e.is_empty() {
+        return "0".to_owned();
+    }
+    e.tensors()
+        .iter()
+        .map(|t| render_tensor(t, store))
+        .collect::<Vec<_>>()
+        .join(" ⊕ ")
+}
+
+/// Render a full object-keyed expression, coordinates joined by `⊕_M`.
+pub fn render_provexpr(p: &ProvExpr, store: &AnnStore) -> String {
+    if p.entries().is_empty() {
+        return "0".to_owned();
+    }
+    p.entries()
+        .iter()
+        .map(|(_, e)| render_aggexpr(e, store))
+        .collect::<Vec<_>>()
+        .join(" ⊕M ")
+}
+
+/// Render a DDP expression: executions joined by `+`.
+pub fn render_ddp(p: &DdpExpr, store: &AnnStore) -> String {
+    if p.executions().is_empty() {
+        return "0".to_owned();
+    }
+    p.executions()
+        .iter()
+        .map(|e| {
+            e.transitions
+                .iter()
+                .map(|t| match t {
+                    DdpTransition::User { cost_var } => {
+                        format!("⟨{},1⟩", store.name(*cost_var))
+                    }
+                    DdpTransition::Db { vars, op } => {
+                        let prod = vars
+                            .iter()
+                            .map(|&d| store.name(d).to_owned())
+                            .collect::<Vec<_>>()
+                            .join("·");
+                        format!("⟨0,[{prod}] {}⟩", op.symbol())
+                    }
+                })
+                .collect::<Vec<_>>()
+                .join("·")
+        })
+        .collect::<Vec<_>>()
+        .join(" + ")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ddp::{DbCondOp, DdpExecution};
+    use crate::monoid::{AggKind, AggValue};
+    use crate::polynomial::Polynomial;
+
+    #[test]
+    fn renders_movie_tensor_in_paper_notation() {
+        let mut s = AnnStore::new();
+        let u = s.add_base_with("UID245", "users", &[]);
+        let m = s.add_base_with("Friday", "movies", &[]);
+        let y = s.add_base_with("Y1995", "years", &[]);
+        let prov = Polynomial::var(u)
+            .mul(&Polynomial::var(m))
+            .mul(&Polynomial::var(y));
+        let t = Tensor::new(prov, AggValue::single(5.0));
+        // Factors sort by annotation id (creation order here).
+        assert_eq!(render_tensor(&t, &s), "(UID245·Friday·Y1995) ⊗ (5, 1)");
+    }
+
+    #[test]
+    fn renders_aggexpr_with_oplus() {
+        let mut s = AnnStore::new();
+        let u1 = s.add_base_with("U1", "users", &[]);
+        let u2 = s.add_base_with("U2", "users", &[]);
+        let e = AggExpr::from_tensors(
+            vec![
+                Tensor::new(Polynomial::var(u1), AggValue::single(3.0)),
+                Tensor::new(Polynomial::var(u2), AggValue::single(5.0)),
+            ],
+            AggKind::Max,
+        );
+        assert_eq!(render_aggexpr(&e, &s), "U1 ⊗ (3, 1) ⊕ U2 ⊗ (5, 1)");
+    }
+
+    #[test]
+    fn renders_ddp_in_angle_notation() {
+        let mut s = AnnStore::new();
+        let c1 = s.add_base_with("c1", "cost_vars", &[]);
+        let d1 = s.add_base_with("d1", "db_vars", &[]);
+        let d2 = s.add_base_with("d2", "db_vars", &[]);
+        let mut p = DdpExpr::new();
+        p.set_cost(c1, 3.0);
+        p.push(DdpExecution::new(vec![
+            DdpTransition::user(c1),
+            DdpTransition::db(vec![d1, d2], DbCondOp::NonZero),
+        ]));
+        assert_eq!(render_ddp(&p, &s), "⟨c1,1⟩·⟨0,[d1·d2] ≠ 0⟩");
+    }
+
+    #[test]
+    fn empty_expressions_render_zero() {
+        let s = AnnStore::new();
+        assert_eq!(render_aggexpr(&AggExpr::new(AggKind::Max), &s), "0");
+        assert_eq!(render_provexpr(&ProvExpr::new(AggKind::Max), &s), "0");
+        assert_eq!(render_ddp(&DdpExpr::new(), &s), "0");
+    }
+}

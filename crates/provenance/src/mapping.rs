@@ -1,0 +1,163 @@
+//! Summarization mappings `h : Ann → Ann'` (§3.1).
+//!
+//! A [`Mapping`] sends each annotation to its image, defaulting to identity.
+//! Mappings extend to homomorphisms on `N[Ann]` (see
+//! [`crate::polynomial::Polynomial::map`]) and further to tensor expressions
+//! by `h(k ⊗ m) = h(k) ⊗ m`.
+//!
+//! The summarization algorithm builds its final mapping *gradually*: each
+//! step contributes a small single-step mapping (two annotations to one new
+//! summary) and the cumulative mapping is their composition.
+
+use std::collections::HashMap;
+
+use crate::annot::AnnId;
+
+/// A (partial) annotation mapping; unmapped annotations map to themselves.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Mapping {
+    image: HashMap<AnnId, AnnId>,
+}
+
+impl Mapping {
+    /// The identity mapping.
+    pub fn identity() -> Self {
+        Mapping::default()
+    }
+
+    /// Single-step mapping sending every annotation in `from` to `to`.
+    pub fn group(from: &[AnnId], to: AnnId) -> Self {
+        let mut m = Mapping::identity();
+        for &a in from {
+            m.set(a, to);
+        }
+        m
+    }
+
+    /// Explicitly map `from ↦ to`. Mapping an annotation to itself erases
+    /// the entry (keeps the map minimal).
+    pub fn set(&mut self, from: AnnId, to: AnnId) {
+        if from == to {
+            self.image.remove(&from);
+        } else {
+            self.image.insert(from, to);
+        }
+    }
+
+    /// Image of `a` under the mapping (identity when unmapped).
+    #[inline]
+    pub fn image(&self, a: AnnId) -> AnnId {
+        // Follow chains so that composed mappings built with `compose_with`
+        // stay correct even if a later step remaps an earlier target.
+        let mut cur = a;
+        let mut hops = 0usize;
+        while let Some(&next) = self.image.get(&cur) {
+            cur = next;
+            hops += 1;
+            debug_assert!(hops <= self.image.len(), "cycle in mapping");
+        }
+        cur
+    }
+
+    /// True when the mapping is the identity.
+    pub fn is_identity(&self) -> bool {
+        self.image.is_empty()
+    }
+
+    /// Number of explicitly mapped annotations.
+    pub fn len(&self) -> usize {
+        self.image.len()
+    }
+
+    /// True when no annotation is explicitly mapped.
+    pub fn is_empty(&self) -> bool {
+        self.image.is_empty()
+    }
+
+    /// Compose in application order: `self` then `later`
+    /// (`result.image(a) = later.image(self.image(a))`).
+    pub fn compose_with(&mut self, later: &Mapping) {
+        for target in self.image.values_mut() {
+            *target = later.image(*target);
+        }
+        for (&from, &to) in &later.image {
+            self.image.entry(from).or_insert(to);
+        }
+        // Normalize: drop entries that became identity.
+        self.image.retain(|&from, to| from != *to);
+    }
+
+    /// The set of annotations whose image is `target`, among `universe`.
+    pub fn preimage_of<'a>(
+        &'a self,
+        target: AnnId,
+        universe: impl IntoIterator<Item = AnnId> + 'a,
+    ) -> impl Iterator<Item = AnnId> + 'a {
+        universe.into_iter().filter(move |&a| self.image(a) == target)
+    }
+
+    /// Iterate explicit `(from, to)` pairs in unspecified order.
+    pub fn iter(&self) -> impl Iterator<Item = (AnnId, AnnId)> + '_ {
+        self.image.iter().map(|(&f, &t)| (f, t))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn a(ix: usize) -> AnnId {
+        AnnId::from_index(ix)
+    }
+
+    #[test]
+    fn identity_maps_everything_to_itself() {
+        let m = Mapping::identity();
+        assert!(m.is_identity());
+        assert_eq!(m.image(a(7)), a(7));
+    }
+
+    #[test]
+    fn group_maps_members() {
+        let m = Mapping::group(&[a(0), a(1)], a(9));
+        assert_eq!(m.image(a(0)), a(9));
+        assert_eq!(m.image(a(1)), a(9));
+        assert_eq!(m.image(a(2)), a(2));
+        assert_eq!(m.len(), 2);
+    }
+
+    #[test]
+    fn self_mapping_is_erased() {
+        let mut m = Mapping::identity();
+        m.set(a(3), a(3));
+        assert!(m.is_identity());
+    }
+
+    #[test]
+    fn composition_applies_left_then_right() {
+        // step1: {0,1} -> 9 ; step2: {9,2} -> 10
+        let mut cum = Mapping::group(&[a(0), a(1)], a(9));
+        let step2 = Mapping::group(&[a(9), a(2)], a(10));
+        cum.compose_with(&step2);
+        assert_eq!(cum.image(a(0)), a(10));
+        assert_eq!(cum.image(a(1)), a(10));
+        assert_eq!(cum.image(a(2)), a(10));
+        assert_eq!(cum.image(a(9)), a(10));
+        assert_eq!(cum.image(a(4)), a(4));
+    }
+
+    #[test]
+    fn chained_lookup_follows_links() {
+        let mut m = Mapping::identity();
+        m.set(a(0), a(1));
+        m.set(a(1), a(2));
+        assert_eq!(m.image(a(0)), a(2));
+    }
+
+    #[test]
+    fn preimage_filters_universe() {
+        let m = Mapping::group(&[a(0), a(1)], a(9));
+        let pre: Vec<_> = m.preimage_of(a(9), (0..4).map(a)).collect();
+        assert_eq!(pre, vec![a(0), a(1)]);
+    }
+}

@@ -1,0 +1,330 @@
+//! A text parser for aggregated provenance expressions, accepting the
+//! paper's notation as rendered by [`crate::display`]:
+//!
+//! ```text
+//! (U1·MatchPoint) ⊗ (3, 1) ⊕ U2 ⊗ (5, 1) ⊕M U2 ⊗ (4, 1)
+//! ```
+//!
+//! ASCII fallbacks are accepted too (`*` for `·`, `(+)` for `⊕`,
+//! `(+)M` for `⊕M`, `(x)` for `⊗`). Annotation names are interned into the
+//! supplied store on first sight (domain `"parsed"` unless they already
+//! exist). The object key of each `⊕M` coordinate is its first-listed
+//! annotation unless the coordinate mentions an existing annotation of a
+//! `"movies"`/`"pages"` domain.
+//!
+//! The parser covers the tensor fragment (no guards) — enough for tests,
+//! examples, and interactive use.
+
+use crate::aggexpr::AggExpr;
+use crate::annot::AnnId;
+use crate::monoid::{AggKind, AggValue};
+use crate::monomial::Monomial;
+use crate::polynomial::Polynomial;
+use crate::provexpr::ProvExpr;
+use crate::store::AnnStore;
+use crate::tensor::Tensor;
+
+/// Parse error with position information.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseError {
+    /// Human-readable message.
+    pub message: String,
+    /// Byte offset in the input.
+    pub at: usize,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "parse error at byte {}: {}", self.at, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+struct Parser<'a> {
+    src: &'a str,
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(src: &'a str) -> Self {
+        Parser { src, pos: 0 }
+    }
+
+    fn rest(&self) -> &'a str {
+        &self.src[self.pos..]
+    }
+
+    fn skip_ws(&mut self) {
+        let trimmed = self.rest().trim_start();
+        self.pos = self.src.len() - trimmed.len();
+    }
+
+    fn eat(&mut self, token: &str) -> bool {
+        self.skip_ws();
+        if self.rest().starts_with(token) {
+            self.pos += token.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn err(&self, message: impl Into<String>) -> ParseError {
+        ParseError {
+            message: message.into(),
+            at: self.pos,
+        }
+    }
+
+    fn parse_name(&mut self) -> Result<&'a str, ParseError> {
+        self.skip_ws();
+        let rest = self.rest();
+        let end = rest
+            .char_indices()
+            .find(|&(_, c)| !(c.is_alphanumeric() || c == '_' || c == '-' || c == '#' || c == '+'))
+            .map(|(ix, _)| ix)
+            .unwrap_or(rest.len());
+        if end == 0 {
+            return Err(self.err("expected an annotation name"));
+        }
+        let name = &rest[..end];
+        self.pos += end;
+        Ok(name)
+    }
+
+    fn parse_number(&mut self) -> Result<f64, ParseError> {
+        self.skip_ws();
+        let rest = self.rest();
+        let end = rest
+            .char_indices()
+            .find(|&(_, c)| !(c.is_ascii_digit() || c == '.' || c == '-'))
+            .map(|(ix, _)| ix)
+            .unwrap_or(rest.len());
+        if end == 0 {
+            return Err(self.err("expected a number"));
+        }
+        let n: f64 = rest[..end]
+            .parse()
+            .map_err(|e| self.err(format!("bad number: {e}")))?;
+        self.pos += end;
+        Ok(n)
+    }
+
+    /// `name (· name)*`, optionally parenthesized.
+    fn parse_monomial(&mut self, store: &mut AnnStore) -> Result<Vec<AnnId>, ParseError> {
+        let parened = self.eat("(");
+        let mut factors = Vec::new();
+        loop {
+            let name = self.parse_name()?;
+            let id = store
+                .by_name(name)
+                .unwrap_or_else(|| store.add_base_with(name, "parsed", &[]));
+            factors.push(id);
+            if !(self.eat("·") || self.eat("*")) {
+                break;
+            }
+        }
+        if parened && !self.eat(")") {
+            return Err(self.err("expected ')'"));
+        }
+        Ok(factors)
+    }
+
+    /// `monomial ⊗ (value, count)` or `monomial ⊗ value`.
+    fn parse_tensor(&mut self, store: &mut AnnStore) -> Result<Tensor, ParseError> {
+        let factors = self.parse_monomial(store)?;
+        if !(self.eat("⊗") || self.eat("(x)")) {
+            return Err(self.err("expected '⊗'"));
+        }
+        let (value, count) = if self.eat("(") {
+            let v = self.parse_number()?;
+            if !self.eat(",") {
+                return Err(self.err("expected ',' in (value, count)"));
+            }
+            let c = self.parse_number()?;
+            if !self.eat(")") {
+                return Err(self.err("expected ')' after count"));
+            }
+            (v, c as u64)
+        } else {
+            (self.parse_number()?, 1)
+        };
+        Ok(Tensor::new(
+            Polynomial::from_monomial(Monomial::from_factors(factors)),
+            AggValue::new(value, count),
+        ))
+    }
+}
+
+/// Parse one aggregated expression (no `⊕M`).
+pub fn parse_aggexpr(
+    src: &str,
+    kind: AggKind,
+    store: &mut AnnStore,
+) -> Result<AggExpr, ParseError> {
+    let mut p = Parser::new(src);
+    let mut tensors = vec![p.parse_tensor(store)?];
+    loop {
+        // Ensure we do not consume ⊕M as ⊕ + stray name.
+        let save = p.pos;
+        if p.eat("⊕M") || p.eat("(+)M") {
+            p.pos = save;
+            break;
+        }
+        if p.eat("⊕") || p.eat("(+)") {
+            tensors.push(p.parse_tensor(store)?);
+        } else {
+            break;
+        }
+    }
+    p.skip_ws();
+    if !p.rest().is_empty() {
+        return Err(p.err("trailing input"));
+    }
+    Ok(AggExpr::from_tensors(tensors, kind))
+}
+
+/// Parse a full object-keyed expression (`⊕M`-separated coordinates).
+/// Coordinates are keyed by the first annotation of their first tensor
+/// whose store domain is `"movies"` or `"pages"`, falling back to the very
+/// first annotation.
+pub fn parse_provexpr(
+    src: &str,
+    kind: AggKind,
+    store: &mut AnnStore,
+) -> Result<ProvExpr, ParseError> {
+    let mut expr = ProvExpr::new(kind);
+    for (offset, chunk) in split_coordinates(src) {
+        let agg = parse_aggexpr(chunk, kind, store).map_err(|mut e| {
+            e.at += offset;
+            e
+        })?;
+        let key = coordinate_key(&agg, store)
+            .ok_or_else(|| ParseError {
+                message: "empty coordinate".into(),
+                at: offset,
+            })?;
+        expr.insert(key, agg);
+    }
+    Ok(expr)
+}
+
+fn split_coordinates(src: &str) -> Vec<(usize, &str)> {
+    let mut out = Vec::new();
+    let mut start = 0;
+    let mut search = 0;
+    loop {
+        let rest = &src[search..];
+        let hit = rest.find("⊕M").map(|ix| (ix, "⊕M".len()));
+        let hit = match (hit, rest.find("(+)M")) {
+            (Some((a, _)), Some(b)) if b < a => Some((b, "(+)M".len())),
+            (None, Some(b)) => Some((b, "(+)M".len())),
+            (h, _) => h,
+        };
+        match hit {
+            Some((ix, len)) => {
+                out.push((start, &src[start..search + ix]));
+                start = search + ix + len;
+                search = start;
+            }
+            None => {
+                out.push((start, &src[start..]));
+                break;
+            }
+        }
+    }
+    out
+}
+
+fn coordinate_key(agg: &AggExpr, store: &AnnStore) -> Option<AnnId> {
+    let anns = agg.annotations();
+    anns.iter()
+        .copied()
+        .find(|&a| {
+            let d = store.domain_name(store.get(a).domain);
+            d == "movies" || d == "pages"
+        })
+        .or_else(|| anns.first().copied())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::display;
+    use crate::valuation::Valuation;
+
+    #[test]
+    fn parses_simple_tensor_sum() {
+        let mut s = AnnStore::new();
+        let e = parse_aggexpr("U1 ⊗ (3, 1) ⊕ U2 ⊗ (5, 1)", AggKind::Max, &mut s).unwrap();
+        assert_eq!(e.len(), 2);
+        assert_eq!(e.eval(&Valuation::all_true()).result(), 5.0);
+    }
+
+    #[test]
+    fn parses_ascii_fallbacks() {
+        let mut s = AnnStore::new();
+        let e = parse_aggexpr("U1 (x) (3, 1) (+) U2 (x) 5", AggKind::Max, &mut s).unwrap();
+        assert_eq!(e.len(), 2);
+        assert_eq!(e.eval(&Valuation::all_true()).result(), 5.0);
+    }
+
+    #[test]
+    fn parses_monomials_with_parens() {
+        let mut s = AnnStore::new();
+        let e =
+            parse_aggexpr("(U1·MatchPoint·Y1995) ⊗ (4, 1)", AggKind::Max, &mut s).unwrap();
+        assert_eq!(e.tensors()[0].prov.annotations().len(), 3);
+    }
+
+    #[test]
+    fn roundtrips_through_display() {
+        let mut s = AnnStore::new();
+        let src = "U1 ⊗ (3, 1) ⊕ U2 ⊗ (5, 2)";
+        let e = parse_aggexpr(src, AggKind::Max, &mut s).unwrap();
+        assert_eq!(display::render_aggexpr(&e, &s), src);
+    }
+
+    #[test]
+    fn parses_object_keyed_expression() {
+        let mut s = AnnStore::new();
+        // Pre-intern movies so coordinates key correctly.
+        s.add_base_with("MatchPoint", "movies", &[]);
+        s.add_base_with("BlueJasmine", "movies", &[]);
+        let e = parse_provexpr(
+            "(U1·MatchPoint) ⊗ (3, 1) ⊕ (U2·MatchPoint) ⊗ (5, 1) ⊕M (U2·BlueJasmine) ⊗ (4, 1)",
+            AggKind::Max,
+            &mut s,
+        )
+        .unwrap();
+        assert_eq!(e.num_objects(), 2);
+        let v = e.eval(&Valuation::all_true());
+        assert_eq!(v.scalar_for(s.by_name("MatchPoint").unwrap()), Some(5.0));
+        assert_eq!(v.scalar_for(s.by_name("BlueJasmine").unwrap()), Some(4.0));
+    }
+
+    #[test]
+    fn reuses_existing_annotations() {
+        let mut s = AnnStore::new();
+        let u1 = s.add_base_with("U1", "users", &[("gender", "F")]);
+        let e = parse_aggexpr("U1 ⊗ (3, 1)", AggKind::Max, &mut s).unwrap();
+        assert_eq!(e.annotations(), vec![u1]);
+    }
+
+    #[test]
+    fn errors_carry_positions() {
+        let mut s = AnnStore::new();
+        let err = parse_aggexpr("U1 ⊗", AggKind::Max, &mut s).unwrap_err();
+        assert!(err.message.contains("number"));
+        assert!(err.to_string().contains("parse error"));
+        let err2 = parse_aggexpr("U1 ⊗ (3, 1) garbage!!", AggKind::Max, &mut s).unwrap_err();
+        assert!(err2.message.contains("trailing"));
+    }
+
+    #[test]
+    fn rejects_empty_input() {
+        let mut s = AnnStore::new();
+        assert!(parse_aggexpr("", AggKind::Max, &mut s).is_err());
+    }
+}

@@ -1,0 +1,175 @@
+//! JSON persistence for stores and provenance expressions.
+//!
+//! Experiment workloads and summarization results can be saved and
+//! reloaded — useful for sharing reproducible inputs, archiving experiment
+//! runs, and feeding the CLI from files. All expression types and the
+//! annotation store serialize with `serde`; this module provides typed
+//! JSON entry points and the serde adapter for `AnnId`-keyed maps (JSON
+//! objects require string keys).
+
+use serde::de::DeserializeOwned;
+use serde::Serialize;
+
+use crate::ddp::DdpExpr;
+use crate::provexpr::ProvExpr;
+use crate::store::AnnStore;
+
+/// Serialize any persistable value to pretty JSON.
+pub fn to_json<T: Serialize>(value: &T) -> String {
+    serde_json::to_string_pretty(value).expect("provenance types serialize infallibly")
+}
+
+/// Deserialize a persistable value from JSON.
+pub fn from_json<T: DeserializeOwned>(json: &str) -> Result<T, serde_json::Error> {
+    serde_json::from_str(json)
+}
+
+/// A saved workload: store + expression together, so annotation ids stay
+/// consistent across the round trip.
+#[derive(Clone, Debug, serde::Serialize, serde::Deserialize)]
+pub struct SavedWorkload {
+    /// The annotation store.
+    pub store: AnnStore,
+    /// The aggregated provenance, when the workload is MovieLens/Wikipedia
+    /// shaped.
+    pub provenance: Option<ProvExpr>,
+    /// The DDP provenance, when DDP shaped.
+    pub ddp: Option<DdpExpr>,
+}
+
+impl SavedWorkload {
+    /// Bundle an aggregated-provenance workload.
+    pub fn aggregated(store: AnnStore, provenance: ProvExpr) -> Self {
+        SavedWorkload {
+            store,
+            provenance: Some(provenance),
+            ddp: None,
+        }
+    }
+
+    /// Bundle a DDP workload.
+    pub fn ddp(store: AnnStore, ddp: DdpExpr) -> Self {
+        SavedWorkload {
+            store,
+            provenance: None,
+            ddp: Some(ddp),
+        }
+    }
+}
+
+/// Serde adapter serializing `HashMap<AnnId, V>` as a vector of pairs
+/// (JSON object keys must be strings; annotation ids are integers).
+pub mod ann_keyed_map {
+    use std::collections::HashMap;
+
+    use serde::{Deserialize, Deserializer, Serialize, Serializer};
+
+    use crate::annot::AnnId;
+
+    /// Serialize as `[(ann, value), …]`, sorted for determinism.
+    pub fn serialize<V, S>(map: &HashMap<AnnId, V>, ser: S) -> Result<S::Ok, S::Error>
+    where
+        V: Serialize + Clone,
+        S: Serializer,
+    {
+        let mut pairs: Vec<(AnnId, V)> = map.iter().map(|(k, v)| (*k, v.clone())).collect();
+        pairs.sort_by_key(|&(k, _)| k);
+        pairs.serialize(ser)
+    }
+
+    /// Deserialize from `[(ann, value), …]`.
+    pub fn deserialize<'de, V, D>(de: D) -> Result<HashMap<AnnId, V>, D::Error>
+    where
+        V: Deserialize<'de>,
+        D: Deserializer<'de>,
+    {
+        let pairs: Vec<(AnnId, V)> = Vec::deserialize(de)?;
+        Ok(pairs.into_iter().collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ddp::{DbCondOp, DdpExecution, DdpTransition};
+    use crate::guard::{CmpOp, Guard};
+    use crate::monoid::{AggKind, AggValue};
+    use crate::polynomial::Polynomial;
+    use crate::tensor::Tensor;
+    use crate::valuation::Valuation;
+
+    fn workload() -> (AnnStore, ProvExpr) {
+        let mut s = AnnStore::new();
+        let u1 = s.add_base_with("U1", "users", &[("gender", "F")]);
+        let u2 = s.add_base_with("U2", "users", &[("gender", "M")]);
+        let st = s.add_base_with("S_U1", "stats", &[]);
+        let m = s.add_base_with("MatchPoint", "movies", &[]);
+        let dom = s.domain("users");
+        let g = s.add_summary("All", dom, &[u1, u2]);
+        let _ = g;
+        let mut p = ProvExpr::new(AggKind::Max);
+        p.push(
+            m,
+            Tensor::guarded(
+                Polynomial::var(u1),
+                vec![Guard::single(Polynomial::var(st), 3.0, CmpOp::Gt, 2.0)],
+                AggValue::single(4.0),
+            ),
+        );
+        p.push(m, Tensor::new(Polynomial::var(u2), AggValue::single(2.0)));
+        (s, p)
+    }
+
+    #[test]
+    fn provexpr_roundtrips_with_store() {
+        let (s, p) = workload();
+        let saved = SavedWorkload::aggregated(s, p.clone());
+        let json = to_json(&saved);
+        let loaded: SavedWorkload = from_json(&json).expect("valid json");
+        let lp = loaded.provenance.expect("aggregated workload");
+        assert_eq!(lp, p);
+        // Semantics preserved: same evaluation results.
+        let u1 = loaded.store.by_name("U1").expect("interned");
+        let v = Valuation::cancel(&[u1]);
+        assert_eq!(
+            lp.eval(&v).coords()[0].1.result(),
+            p.eval(&v).coords()[0].1.result()
+        );
+        // Summary metadata survives.
+        let g = loaded.store.by_name("All").expect("summary");
+        assert_eq!(loaded.store.base_of(g).len(), 2);
+    }
+
+    #[test]
+    fn ddp_roundtrips_including_costs() {
+        let mut s = AnnStore::new();
+        let c1 = s.add_base_with("c1", "cost_vars", &[]);
+        let d1 = s.add_base_with("d1", "db_vars", &[]);
+        let mut p = DdpExpr::new();
+        p.set_cost(c1, 7.0);
+        p.push(DdpExecution::new(vec![
+            DdpTransition::user(c1),
+            DdpTransition::db(vec![d1], DbCondOp::NonZero),
+        ]));
+        let saved = SavedWorkload::ddp(s, p.clone());
+        let json = to_json(&saved);
+        let loaded: SavedWorkload = from_json(&json).expect("valid json");
+        let lp = loaded.ddp.expect("ddp workload");
+        assert_eq!(lp, p);
+        assert_eq!(lp.cost_of(c1), 7.0);
+    }
+
+    #[test]
+    fn json_is_human_readable() {
+        let (s, p) = workload();
+        let json = to_json(&SavedWorkload::aggregated(s, p));
+        assert!(json.contains("\"MatchPoint\""));
+        assert!(json.contains("\"Gt\""));
+    }
+
+    #[test]
+    fn malformed_json_errors() {
+        let res: Result<SavedWorkload, _> = from_json("{\"nope\": 1}");
+        assert!(res.is_err());
+    }
+}

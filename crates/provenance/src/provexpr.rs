@@ -1,0 +1,282 @@
+//! Object-keyed vector provenance: `P = P_movie1 ⊕_M P_movie2 ⊕_M …`
+//! (Example 4.2.3).
+//!
+//! Evaluating such a provenance under a valuation yields a *vector* of
+//! aggregated values, one coordinate per object (movie, Wikipedia page, …).
+//! Objects are themselves annotations, so a mapping may merge object keys
+//! too (Wikipedia pages mapped to a WordNet concept) — entries then re-key
+//! and combine, exactly the "vectors of different size" transformation of
+//! Example 5.2.1.
+
+use std::collections::HashMap;
+
+use crate::aggexpr::AggExpr;
+use crate::annot::AnnId;
+use crate::eval::EvalVector;
+use crate::mapping::Mapping;
+use crate::monoid::{AggKind, AggValue};
+use crate::tensor::Tensor;
+use crate::valuation::Valuation;
+
+/// A provenance expression over multiple objects.
+#[derive(Clone, Debug, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct ProvExpr {
+    /// `(object annotation, aggregated expression)`, in insertion order.
+    entries: Vec<(AnnId, AggExpr)>,
+    kind: AggKind,
+}
+
+impl ProvExpr {
+    /// Empty expression with the given aggregation.
+    pub fn new(kind: AggKind) -> Self {
+        ProvExpr {
+            entries: Vec::new(),
+            kind,
+        }
+    }
+
+    /// The aggregation kind shared by all coordinates.
+    pub fn kind(&self) -> AggKind {
+        self.kind
+    }
+
+    /// Add a tensor to the given object's aggregation (creating the entry
+    /// when absent). Call [`ProvExpr::simplify`] after bulk insertion.
+    pub fn push(&mut self, object: AnnId, t: Tensor) {
+        match self.entries.iter_mut().find(|(o, _)| *o == object) {
+            Some((_, e)) => e.push(t),
+            None => {
+                let mut e = AggExpr::new(self.kind);
+                e.push(t);
+                self.entries.push((object, e));
+            }
+        }
+    }
+
+    /// Insert a complete aggregated expression for an object.
+    pub fn insert(&mut self, object: AnnId, expr: AggExpr) {
+        debug_assert_eq!(expr.kind(), self.kind);
+        match self.entries.iter_mut().find(|(o, _)| *o == object) {
+            Some((_, existing)) => {
+                let mut tensors: Vec<Tensor> = existing.tensors().to_vec();
+                tensors.extend(expr.tensors().iter().cloned());
+                *existing = AggExpr::from_tensors(tensors, self.kind);
+            }
+            None => self.entries.push((object, expr)),
+        }
+    }
+
+    /// `(object, expression)` coordinates.
+    pub fn entries(&self) -> &[(AnnId, AggExpr)] {
+        &self.entries
+    }
+
+    /// Number of object coordinates.
+    pub fn num_objects(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Provenance size: total annotation occurrences, with repetitions.
+    pub fn size(&self) -> usize {
+        self.entries.iter().map(|(_, e)| e.size()).sum()
+    }
+
+    /// Distinct annotations mentioned anywhere (objects included, since
+    /// object keys also appear inside tensor monomials in our datasets).
+    pub fn annotations(&self) -> Vec<AnnId> {
+        let mut out: Vec<AnnId> = self
+            .entries
+            .iter()
+            .flat_map(|(o, e)| {
+                let mut v = e.annotations();
+                v.push(*o);
+                v
+            })
+            .collect();
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// Simplify every coordinate.
+    pub fn simplify(&mut self) {
+        for (_, e) in &mut self.entries {
+            e.simplify();
+        }
+    }
+
+    /// Apply a mapping: map every aggregation, re-key objects through `h`,
+    /// and merge coordinates that collide (the object-merging congruence).
+    pub fn map(&self, h: &Mapping) -> ProvExpr {
+        let mut out = ProvExpr::new(self.kind);
+        let mut index: HashMap<AnnId, usize> = HashMap::new();
+        for (object, expr) in &self.entries {
+            let new_object = h.image(*object);
+            let mapped = expr.map(h);
+            match index.get(&new_object) {
+                Some(&ix) => {
+                    let mut tensors: Vec<Tensor> = out.entries[ix].1.tensors().to_vec();
+                    tensors.extend(mapped.tensors().iter().cloned());
+                    out.entries[ix].1 = AggExpr::from_tensors(tensors, self.kind);
+                }
+                None => {
+                    index.insert(new_object, out.entries.len());
+                    out.entries.push((new_object, mapped));
+                }
+            }
+        }
+        out
+    }
+
+    /// Evaluate under a valuation into a coordinate vector. A cancelled
+    /// object annotation zeroes its coordinate implicitly (its tensors all
+    /// mention the object, so they die with it) — but we also respect a
+    /// direct cancellation of the key itself for datasets whose tensors do
+    /// not embed the object.
+    pub fn eval(&self, v: &Valuation) -> EvalVector {
+        let coords = self
+            .entries
+            .iter()
+            .map(|(o, e)| {
+                let agg = if v.truth(*o) { e.eval(v) } else { AggValue::empty() };
+                (*o, agg)
+            })
+            .collect();
+        EvalVector::new(coords, self.kind)
+    }
+
+    /// Iterate all tensors with their object key.
+    pub fn tensors(&self) -> impl Iterator<Item = (AnnId, &Tensor)> {
+        self.entries
+            .iter()
+            .flat_map(|(o, e)| e.tensors().iter().map(move |t| (*o, t)))
+    }
+
+    /// Discharge all guards under the given partial valuation: guards that
+    /// hold are removed, tensors whose guards fail are dropped. This is
+    /// Example 3.1.1's simplification ("map all Sᵢ annotations to 1 so we
+    /// can discard the inequality terms") generalized to any assumption.
+    pub fn discharge_guards(&self, assumption: &Valuation) -> ProvExpr {
+        let mut out = ProvExpr::new(self.kind);
+        for (object, expr) in &self.entries {
+            let tensors: Vec<Tensor> = expr
+                .tensors()
+                .iter()
+                .filter(|t| t.guards.iter().all(|g| g.eval(assumption)))
+                .map(|t| Tensor::new(t.prov.clone(), t.value))
+                .collect();
+            if !tensors.is_empty() {
+                out.entries
+                    .push((*object, AggExpr::from_tensors(tensors, self.kind)));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::polynomial::Polynomial;
+
+    fn a(ix: usize) -> AnnId {
+        AnnId::from_index(ix)
+    }
+
+    /// Example 4.2.3: P₀ = P_MP ⊕_M P_BJ with
+    /// P_MP = U₁⊗(3,1) ⊕ U₂⊗(5,1) ⊕ U₃⊗(3,1), P_BJ = U₂⊗(4,1).
+    /// Users are a1..a3; movies are a10 (MatchPoint), a11 (BlueJasmine).
+    fn p0() -> ProvExpr {
+        let mut p = ProvExpr::new(AggKind::Max);
+        for (user, score) in [(1, 3.0), (2, 5.0), (3, 3.0)] {
+            p.push(
+                a(10),
+                Tensor::new(Polynomial::var(a(user)), AggValue::single(score)),
+            );
+        }
+        p.push(a(11), Tensor::new(Polynomial::var(a(2)), AggValue::single(4.0)));
+        p.simplify();
+        p
+    }
+
+    #[test]
+    fn eval_yields_one_coordinate_per_object() {
+        let p = p0();
+        let v = p.eval(&Valuation::all_true());
+        assert_eq!(v.scalar_for(a(10)), Some(5.0));
+        assert_eq!(v.scalar_for(a(11)), Some(4.0));
+    }
+
+    #[test]
+    fn cancelling_u2_zeroes_blue_jasmine() {
+        let p = p0();
+        let v = p.eval(&Valuation::cancel(&[a(2)]));
+        assert_eq!(v.scalar_for(a(10)), Some(3.0));
+        assert_eq!(v.scalar_for(a(11)), Some(0.0));
+    }
+
+    #[test]
+    fn mapping_users_keeps_object_keys() {
+        // Example 4.2.3's P₀′: Female = {U1,U2} → a20.
+        let p = p0().map(&Mapping::group(&[a(1), a(2)], a(20)));
+        assert_eq!(p.num_objects(), 2);
+        // MatchPoint: Female⊗(5,2) ⊕ U3⊗(3,1); BlueJasmine: Female⊗(4,1)
+        assert_eq!(p.entries()[0].1.len(), 2);
+        assert_eq!(p.entries()[1].1.len(), 1);
+        assert_eq!(p.size(), 3, "merging U1,U2 removed one occurrence");
+    }
+
+    #[test]
+    fn mapping_objects_merges_coordinates() {
+        // Merge the two movies into one "WoodyAllen" object (a30): the two
+        // aggregations concatenate and simplify.
+        let p = p0().map(&Mapping::group(&[a(10), a(11)], a(30)));
+        assert_eq!(p.num_objects(), 1);
+        let v = p.eval(&Valuation::all_true());
+        assert_eq!(v.scalar_for(a(30)), Some(5.0)); // MAX over all ratings
+    }
+
+    #[test]
+    fn cancelling_object_key_zeroes_coordinate() {
+        let p = p0();
+        let v = p.eval(&Valuation::cancel(&[a(11)]));
+        assert_eq!(v.scalar_for(a(11)), Some(0.0));
+        assert_eq!(v.scalar_for(a(10)), Some(5.0));
+    }
+
+    #[test]
+    fn size_counts_all_occurrences() {
+        assert_eq!(p0().size(), 4);
+    }
+
+    #[test]
+    fn discharge_guards_removes_satisfied_and_drops_failed() {
+        use crate::guard::{CmpOp, Guard};
+        let mut p = ProvExpr::new(AggKind::Max);
+        // Tensor guarded on a2 being live with weight 5 > 2 (holds when a2
+        // is assumed true) and one guarded on weight 1 > 2 (never holds).
+        p.push(
+            a(10),
+            Tensor::guarded(
+                Polynomial::var(a(0)),
+                vec![Guard::single(Polynomial::var(a(2)), 5.0, CmpOp::Gt, 2.0)],
+                AggValue::single(3.0),
+            ),
+        );
+        p.push(
+            a(10),
+            Tensor::guarded(
+                Polynomial::var(a(1)),
+                vec![Guard::single(Polynomial::var(a(2)), 1.0, CmpOp::Gt, 2.0)],
+                AggValue::single(5.0),
+            ),
+        );
+        let simplified = p.discharge_guards(&Valuation::all_true());
+        assert_eq!(simplified.size(), 1, "one tensor kept, guard removed");
+        assert!(simplified.tensors().all(|(_, t)| t.guards.is_empty()));
+        assert_eq!(
+            simplified.eval(&Valuation::all_true()).scalar_for(a(10)),
+            Some(3.0)
+        );
+    }
+}

@@ -1,0 +1,181 @@
+//! Commutative semirings (§2.2).
+//!
+//! A commutative semiring `(K, +, ·, 0, 1)` has two commutative monoids with
+//! `·` distributing over `+` and `0` annihilating. The provenance semiring
+//! `N[Ann]` captures positive relational queries; specializations
+//! (boolean, counting, tropical) arise as homomorphic images and drive
+//! evaluation under valuations.
+
+/// A commutative semiring.
+pub trait Semiring: Clone + PartialEq {
+    /// Additive identity.
+    fn zero() -> Self;
+    /// Multiplicative identity.
+    fn one() -> Self;
+    /// Addition (alternative use of data).
+    fn add(&self, other: &Self) -> Self;
+    /// Multiplication (joint use of data).
+    fn mul(&self, other: &Self) -> Self;
+
+    /// True when equal to [`Semiring::zero`].
+    fn is_zero(&self) -> bool {
+        *self == Self::zero()
+    }
+    /// True when equal to [`Semiring::one`].
+    fn is_one(&self) -> bool {
+        *self == Self::one()
+    }
+}
+
+/// The boolean semiring `({false,true}, ∨, ∧, false, true)` — the image of
+/// `N[Ann]` under a truth valuation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Bool(pub bool);
+
+impl Semiring for Bool {
+    fn zero() -> Self {
+        Bool(false)
+    }
+    fn one() -> Self {
+        Bool(true)
+    }
+    fn add(&self, other: &Self) -> Self {
+        Bool(self.0 || other.0)
+    }
+    fn mul(&self, other: &Self) -> Self {
+        Bool(self.0 && other.0)
+    }
+}
+
+/// The counting semiring `(ℕ, +, ×, 0, 1)` — evaluates `N[Ann]` polynomials
+/// numerically when annotations are mapped to multiplicities.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Count(pub u64);
+
+impl Semiring for Count {
+    fn zero() -> Self {
+        Count(0)
+    }
+    fn one() -> Self {
+        Count(1)
+    }
+    fn add(&self, other: &Self) -> Self {
+        Count(self.0.saturating_add(other.0))
+    }
+    fn mul(&self, other: &Self) -> Self {
+        Count(self.0.saturating_mul(other.0))
+    }
+}
+
+/// The tropical semiring `(ℕ^∞, min, +, ∞, 0)` used for DDP cost aggregation
+/// (Example 5.2.2): addition is minimum (best execution), multiplication is
+/// cost accumulation along an execution.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Tropical {
+    /// A finite cost.
+    Cost(f64),
+    /// The additive identity `∞` (no feasible execution).
+    Infinity,
+}
+
+impl Tropical {
+    /// Finite cost accessor.
+    pub fn cost(&self) -> Option<f64> {
+        match self {
+            Tropical::Cost(c) => Some(*c),
+            Tropical::Infinity => None,
+        }
+    }
+}
+
+impl Semiring for Tropical {
+    fn zero() -> Self {
+        Tropical::Infinity
+    }
+    fn one() -> Self {
+        Tropical::Cost(0.0)
+    }
+    fn add(&self, other: &Self) -> Self {
+        match (self, other) {
+            (Tropical::Infinity, x) | (x, Tropical::Infinity) => *x,
+            (Tropical::Cost(a), Tropical::Cost(b)) => Tropical::Cost(a.min(*b)),
+        }
+    }
+    fn mul(&self, other: &Self) -> Self {
+        match (self, other) {
+            (Tropical::Infinity, _) | (_, Tropical::Infinity) => Tropical::Infinity,
+            (Tropical::Cost(a), Tropical::Cost(b)) => Tropical::Cost(a + b),
+        }
+    }
+}
+
+/// Fold a sequence with the semiring's addition, starting from `0`.
+pub fn sum<K: Semiring>(items: impl IntoIterator<Item = K>) -> K {
+    items.into_iter().fold(K::zero(), |acc, x| acc.add(&x))
+}
+
+/// Fold a sequence with the semiring's multiplication, starting from `1`.
+pub fn product<K: Semiring>(items: impl IntoIterator<Item = K>) -> K {
+    items.into_iter().fold(K::one(), |acc, x| acc.mul(&x))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check_semiring_axioms<K: Semiring + std::fmt::Debug>(a: K, b: K, c: K) {
+        // Commutativity
+        assert_eq!(a.add(&b), b.add(&a));
+        assert_eq!(a.mul(&b), b.mul(&a));
+        // Associativity
+        assert_eq!(a.add(&b).add(&c), a.add(&b.add(&c)));
+        assert_eq!(a.mul(&b).mul(&c), a.mul(&b.mul(&c)));
+        // Identities
+        assert_eq!(a.add(&K::zero()), a);
+        assert_eq!(a.mul(&K::one()), a);
+        // Annihilation
+        assert_eq!(a.mul(&K::zero()), K::zero());
+        // Distributivity
+        assert_eq!(a.mul(&b.add(&c)), a.mul(&b).add(&a.mul(&c)));
+    }
+
+    #[test]
+    fn bool_semiring_axioms() {
+        for a in [false, true] {
+            for b in [false, true] {
+                for c in [false, true] {
+                    check_semiring_axioms(Bool(a), Bool(b), Bool(c));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn count_semiring_axioms() {
+        check_semiring_axioms(Count(2), Count(3), Count(5));
+        check_semiring_axioms(Count(0), Count(7), Count(1));
+    }
+
+    #[test]
+    fn tropical_semiring_axioms() {
+        check_semiring_axioms(Tropical::Cost(2.0), Tropical::Cost(3.0), Tropical::Cost(5.0));
+        check_semiring_axioms(Tropical::Infinity, Tropical::Cost(7.0), Tropical::Cost(1.0));
+        // min/plus specifics
+        assert_eq!(
+            Tropical::Cost(2.0).add(&Tropical::Cost(3.0)),
+            Tropical::Cost(2.0)
+        );
+        assert_eq!(
+            Tropical::Cost(2.0).mul(&Tropical::Cost(3.0)),
+            Tropical::Cost(5.0)
+        );
+    }
+
+    #[test]
+    fn sum_product_helpers() {
+        assert_eq!(sum([Count(1), Count(2), Count(3)]), Count(6));
+        assert_eq!(product([Count(2), Count(3)]), Count(6));
+        assert_eq!(sum(Vec::<Count>::new()), Count(0));
+        assert_eq!(product(Vec::<Count>::new()), Count(1));
+    }
+}

@@ -1,0 +1,171 @@
+//! Descriptive statistics over provenance expressions — the numbers the
+//! PROX UI surfaces next to an expression (size, tensors, annotation
+//! breakdown) and the experiment reports aggregate.
+
+use std::collections::HashMap;
+
+use crate::annot::DomainId;
+use crate::provexpr::ProvExpr;
+use crate::store::AnnStore;
+
+/// Summary statistics of a provenance expression.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ExprStats {
+    /// Provenance size (annotation occurrences, with repetitions).
+    pub size: usize,
+    /// Number of object coordinates.
+    pub objects: usize,
+    /// Number of tensors across all coordinates.
+    pub tensors: usize,
+    /// Number of guarded tensors.
+    pub guarded_tensors: usize,
+    /// Distinct annotations mentioned.
+    pub distinct_annotations: usize,
+    /// Distinct summary annotations mentioned.
+    pub summary_annotations: usize,
+    /// Distinct annotations per domain.
+    pub per_domain: Vec<(DomainId, usize)>,
+    /// Largest tensor degree (annotation occurrences in one tensor).
+    pub max_tensor_size: usize,
+    /// Total contributor count folded into the expression's values.
+    pub total_contributions: u64,
+}
+
+impl ExprStats {
+    /// Compute statistics for an expression.
+    pub fn of(expr: &ProvExpr, store: &AnnStore) -> Self {
+        let mut tensors = 0usize;
+        let mut guarded_tensors = 0usize;
+        let mut max_tensor_size = 0usize;
+        let mut total_contributions = 0u64;
+        for (_, t) in expr.tensors() {
+            tensors += 1;
+            if !t.guards.is_empty() {
+                guarded_tensors += 1;
+            }
+            max_tensor_size = max_tensor_size.max(t.size());
+            total_contributions += t.value.count;
+        }
+        let anns = expr.annotations();
+        let mut per_domain: HashMap<DomainId, usize> = HashMap::new();
+        let mut summary_annotations = 0usize;
+        for &a in &anns {
+            let ann = store.get(a);
+            *per_domain.entry(ann.domain).or_default() += 1;
+            if ann.kind.is_summary() {
+                summary_annotations += 1;
+            }
+        }
+        let mut per_domain: Vec<(DomainId, usize)> = per_domain.into_iter().collect();
+        per_domain.sort_by_key(|&(d, _)| d);
+        ExprStats {
+            size: expr.size(),
+            objects: expr.num_objects(),
+            tensors,
+            guarded_tensors,
+            distinct_annotations: anns.len(),
+            summary_annotations,
+            per_domain,
+            max_tensor_size,
+            total_contributions,
+        }
+    }
+
+    /// Compression ratio relative to an original size (1.0 = unchanged).
+    pub fn compression_vs(&self, original_size: usize) -> f64 {
+        if original_size == 0 {
+            1.0
+        } else {
+            self.size as f64 / original_size as f64
+        }
+    }
+
+    /// Render as a short text block.
+    pub fn render(&self, store: &AnnStore) -> String {
+        let domains = self
+            .per_domain
+            .iter()
+            .map(|&(d, n)| format!("{}: {n}", store.domain_name(d)))
+            .collect::<Vec<_>>()
+            .join(", ");
+        format!(
+            "size {} | {} objects | {} tensors ({} guarded) | {} annotations \
+             ({} summaries) | domains: {domains} | contributions: {}",
+            self.size,
+            self.objects,
+            self.tensors,
+            self.guarded_tensors,
+            self.distinct_annotations,
+            self.summary_annotations,
+            self.total_contributions,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::guard::{CmpOp, Guard};
+    use crate::monoid::{AggKind, AggValue};
+    use crate::polynomial::Polynomial;
+    use crate::tensor::Tensor;
+
+    fn setup() -> (AnnStore, ProvExpr) {
+        let mut s = AnnStore::new();
+        let u1 = s.add_base_with("U1", "users", &[]);
+        let u2 = s.add_base_with("U2", "users", &[]);
+        let m = s.add_base_with("M", "movies", &[]);
+        let dom = s.domain("users");
+        let g = s.add_summary("G", dom, &[u1, u2]);
+        let mut p = ProvExpr::new(AggKind::Max);
+        p.push(m, Tensor::new(Polynomial::var(g), AggValue::new(5.0, 2)));
+        p.push(
+            m,
+            Tensor::guarded(
+                Polynomial::var(u1),
+                vec![Guard::single(Polynomial::var(u2), 3.0, CmpOp::Gt, 2.0)],
+                AggValue::single(3.0),
+            ),
+        );
+        (s, p)
+    }
+
+    #[test]
+    fn counts_are_correct() {
+        let (s, p) = setup();
+        let st = ExprStats::of(&p, &s);
+        assert_eq!(st.objects, 1);
+        assert_eq!(st.tensors, 2);
+        assert_eq!(st.guarded_tensors, 1);
+        assert_eq!(st.size, 3); // g + u1 + u2(in guard)
+        assert_eq!(st.summary_annotations, 1);
+        assert_eq!(st.total_contributions, 3);
+        assert_eq!(st.max_tensor_size, 2);
+    }
+
+    #[test]
+    fn per_domain_breakdown() {
+        let (mut s, p) = setup();
+        let st = ExprStats::of(&p, &s);
+        // users domain: u1, u2, g; movies: m (object key counts as mention)
+        let users = s.domain("users");
+        let found = st.per_domain.iter().find(|&&(d, _)| d == users).map(|&(_, n)| n);
+        assert_eq!(found, Some(3));
+    }
+
+    #[test]
+    fn compression_ratio() {
+        let (s, p) = setup();
+        let st = ExprStats::of(&p, &s);
+        assert!((st.compression_vs(6) - 0.5).abs() < 1e-12);
+        assert_eq!(st.compression_vs(0), 1.0);
+    }
+
+    #[test]
+    fn render_mentions_key_numbers() {
+        let (s, p) = setup();
+        let txt = ExprStats::of(&p, &s).render(&s);
+        assert!(txt.contains("size 3"));
+        assert!(txt.contains("1 guarded"));
+    }
+}

@@ -1,0 +1,331 @@
+//! The annotation store: interner for annotations, domains, attribute names
+//! and attribute values.
+//!
+//! A store is created once per provenance workload and grows monotonically:
+//! summarization adds summary annotations but never removes or mutates base
+//! ones, so `AnnId`s handed out earlier stay valid for the lifetime of the
+//! store.
+
+use std::collections::HashMap;
+
+use crate::annot::{AnnId, AnnKind, Annotation, AttrId, AttrValueId, DomainId};
+
+/// Interner and registry for everything annotation-related.
+#[derive(Clone, Debug, Default, serde::Serialize, serde::Deserialize)]
+pub struct AnnStore {
+    anns: Vec<Annotation>,
+    ann_by_name: HashMap<String, AnnId>,
+    domains: Vec<String>,
+    domain_by_name: HashMap<String, DomainId>,
+    attrs: Vec<String>,
+    attr_by_name: HashMap<String, AttrId>,
+    values: Vec<String>,
+    value_by_name: HashMap<String, AttrValueId>,
+}
+
+impl AnnStore {
+    /// Create an empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of annotations (base + summary).
+    pub fn len(&self) -> usize {
+        self.anns.len()
+    }
+
+    /// True when no annotation has been interned yet.
+    pub fn is_empty(&self) -> bool {
+        self.anns.is_empty()
+    }
+
+    /// Intern a domain name, returning its id (idempotent).
+    pub fn domain(&mut self, name: &str) -> DomainId {
+        if let Some(&id) = self.domain_by_name.get(name) {
+            return id;
+        }
+        let id = DomainId(u16::try_from(self.domains.len()).expect("too many domains"));
+        self.domains.push(name.to_owned());
+        self.domain_by_name.insert(name.to_owned(), id);
+        id
+    }
+
+    /// Intern an attribute name, returning its id (idempotent).
+    pub fn attr(&mut self, name: &str) -> AttrId {
+        if let Some(&id) = self.attr_by_name.get(name) {
+            return id;
+        }
+        let id = AttrId(u16::try_from(self.attrs.len()).expect("too many attributes"));
+        self.attrs.push(name.to_owned());
+        self.attr_by_name.insert(name.to_owned(), id);
+        id
+    }
+
+    /// Intern an attribute value, returning its id (idempotent).
+    pub fn value(&mut self, name: &str) -> AttrValueId {
+        if let Some(&id) = self.value_by_name.get(name) {
+            return id;
+        }
+        let id = AttrValueId(u32::try_from(self.values.len()).expect("too many values"));
+        self.values.push(name.to_owned());
+        self.value_by_name.insert(name.to_owned(), id);
+        id
+    }
+
+    /// Add a base annotation. Names must be unique within the store;
+    /// re-adding an existing name returns the existing id only when domain
+    /// matches, and panics otherwise (a name collision across domains is a
+    /// dataset construction bug worth failing loudly on).
+    pub fn add_base(
+        &mut self,
+        name: &str,
+        domain: DomainId,
+        mut attrs: Vec<(AttrId, AttrValueId)>,
+    ) -> AnnId {
+        if let Some(&id) = self.ann_by_name.get(name) {
+            assert_eq!(
+                self.anns[id.index()].domain,
+                domain,
+                "annotation {name:?} re-added with a different domain"
+            );
+            return id;
+        }
+        attrs.sort_unstable_by_key(|&(a, _)| a);
+        attrs.dedup_by_key(|&mut (a, _)| a);
+        let id = AnnId::from_index(self.anns.len());
+        self.anns.push(Annotation {
+            name: name.to_owned(),
+            domain,
+            attrs,
+            kind: AnnKind::Base,
+            concept: None,
+        });
+        self.ann_by_name.insert(name.to_owned(), id);
+        id
+    }
+
+    /// Add a summary annotation over `members` (which may themselves be
+    /// summaries; they are flattened to base annotations here). The summary
+    /// keeps exactly the attribute values shared by all base members.
+    pub fn add_summary(&mut self, name: &str, domain: DomainId, members: &[AnnId]) -> AnnId {
+        assert!(!members.is_empty(), "summary annotation needs members");
+        let mut base = Vec::new();
+        for &m in members {
+            match &self.anns[m.index()].kind {
+                AnnKind::Base => base.push(m),
+                AnnKind::Summary { members } => base.extend_from_slice(members),
+            }
+        }
+        base.sort_unstable();
+        base.dedup();
+        for &b in &base {
+            assert_eq!(
+                self.anns[b.index()].domain,
+                domain,
+                "summary {name:?} mixes annotation domains"
+            );
+        }
+        let shared = self.shared_attrs(&base);
+        // Summary names need not be globally unique (two different selections
+        // may both produce "Female"); disambiguate on collision.
+        let unique_name = if self.ann_by_name.contains_key(name) {
+            let mut n = 2usize;
+            loop {
+                let cand = format!("{name}#{n}");
+                if !self.ann_by_name.contains_key(&cand) {
+                    break cand;
+                }
+                n += 1;
+            }
+        } else {
+            name.to_owned()
+        };
+        let concept = self.shared_concept(&base);
+        let id = AnnId::from_index(self.anns.len());
+        self.anns.push(Annotation {
+            name: unique_name.clone(),
+            domain,
+            attrs: shared,
+            kind: AnnKind::Summary { members: base },
+            concept,
+        });
+        self.ann_by_name.insert(unique_name, id);
+        id
+    }
+
+    /// Attribute values common to every annotation in `ids`.
+    pub fn shared_attrs(&self, ids: &[AnnId]) -> Vec<(AttrId, AttrValueId)> {
+        let Some((&first, rest)) = ids.split_first() else {
+            return Vec::new();
+        };
+        let mut shared = self.anns[first.index()].attrs.clone();
+        for &id in rest {
+            let ann = &self.anns[id.index()];
+            shared.retain(|&(a, v)| ann.attr(a) == Some(v));
+            if shared.is_empty() {
+                break;
+            }
+        }
+        shared
+    }
+
+    fn shared_concept(&self, ids: &[AnnId]) -> Option<u32> {
+        let first = self.anns[ids.first()?.index()].concept?;
+        ids.iter()
+            .all(|&id| self.anns[id.index()].concept == Some(first))
+            .then_some(first)
+    }
+
+    /// Attach a taxonomy concept to an annotation.
+    pub fn set_concept(&mut self, id: AnnId, concept: u32) {
+        self.anns[id.index()].concept = Some(concept);
+    }
+
+    /// Look up an annotation record.
+    #[inline]
+    pub fn get(&self, id: AnnId) -> &Annotation {
+        &self.anns[id.index()]
+    }
+
+    /// Look up an annotation by name.
+    pub fn by_name(&self, name: &str) -> Option<AnnId> {
+        self.ann_by_name.get(name).copied()
+    }
+
+    /// Name of an annotation.
+    pub fn name(&self, id: AnnId) -> &str {
+        &self.anns[id.index()].name
+    }
+
+    /// Name of a domain.
+    pub fn domain_name(&self, id: DomainId) -> &str {
+        &self.domains[id.index()]
+    }
+
+    /// Name of an attribute.
+    pub fn attr_name(&self, id: AttrId) -> &str {
+        &self.attrs[id.0 as usize]
+    }
+
+    /// Name of an attribute value.
+    pub fn value_name(&self, id: AttrValueId) -> &str {
+        &self.values[id.0 as usize]
+    }
+
+    /// Iterate over all annotation ids currently interned.
+    pub fn ids(&self) -> impl Iterator<Item = AnnId> + '_ {
+        (0..self.anns.len()).map(AnnId::from_index)
+    }
+
+    /// Iterate over all `(id, annotation)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (AnnId, &Annotation)> {
+        self.anns
+            .iter()
+            .enumerate()
+            .map(|(ix, a)| (AnnId::from_index(ix), a))
+    }
+
+    /// All base annotations an id stands for: `[id]` when base, its flattened
+    /// members when a summary.
+    pub fn base_of(&self, id: AnnId) -> Vec<AnnId> {
+        match &self.anns[id.index()].kind {
+            AnnKind::Base => vec![id],
+            AnnKind::Summary { members } => members.clone(),
+        }
+    }
+
+    /// Convenience: intern a base annotation giving attribute name/value
+    /// strings directly.
+    pub fn add_base_with(
+        &mut self,
+        name: &str,
+        domain: &str,
+        attrs: &[(&str, &str)],
+    ) -> AnnId {
+        let dom = self.domain(domain);
+        let attrs = attrs
+            .iter()
+            .map(|&(a, v)| (self.attr(a), self.value(v)))
+            .collect();
+        self.add_base(name, dom, attrs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_idempotent() {
+        let mut s = AnnStore::new();
+        let d1 = s.domain("users");
+        let d2 = s.domain("users");
+        assert_eq!(d1, d2);
+        let a1 = s.attr("gender");
+        let a2 = s.attr("gender");
+        assert_eq!(a1, a2);
+        let v1 = s.value("Female");
+        let v2 = s.value("Female");
+        assert_eq!(v1, v2);
+    }
+
+    #[test]
+    fn base_annotation_roundtrip() {
+        let mut s = AnnStore::new();
+        let id = s.add_base_with("U1", "users", &[("gender", "F"), ("age", "25-34")]);
+        assert_eq!(s.name(id), "U1");
+        assert_eq!(s.by_name("U1"), Some(id));
+        let gender = s.attr("gender");
+        let f = s.value("F");
+        assert_eq!(s.get(id).attr(gender), Some(f));
+        assert_eq!(s.base_of(id), vec![id]);
+    }
+
+    #[test]
+    fn summary_keeps_shared_attributes_only() {
+        let mut s = AnnStore::new();
+        let u1 = s.add_base_with("U1", "users", &[("gender", "F"), ("age", "25-34")]);
+        let u2 = s.add_base_with("U2", "users", &[("gender", "F"), ("age", "35-44")]);
+        let dom = s.domain("users");
+        let g = s.add_summary("Female", dom, &[u1, u2]);
+        let gender = s.attr("gender");
+        let age = s.attr("age");
+        let f = s.value("F");
+        assert_eq!(s.get(g).attr(gender), Some(f));
+        assert_eq!(s.get(g).attr(age), None);
+        assert_eq!(s.base_of(g), vec![u1, u2]);
+        assert!(s.get(g).kind.is_summary());
+    }
+
+    #[test]
+    fn nested_summary_flattens_members() {
+        let mut s = AnnStore::new();
+        let u1 = s.add_base_with("U1", "users", &[("gender", "F")]);
+        let u2 = s.add_base_with("U2", "users", &[("gender", "F")]);
+        let u3 = s.add_base_with("U3", "users", &[("gender", "F")]);
+        let dom = s.domain("users");
+        let g1 = s.add_summary("Female", dom, &[u1, u2]);
+        let g2 = s.add_summary("FemaleAll", dom, &[g1, u3]);
+        assert_eq!(s.base_of(g2), vec![u1, u2, u3]);
+    }
+
+    #[test]
+    fn summary_name_collision_is_disambiguated() {
+        let mut s = AnnStore::new();
+        let u1 = s.add_base_with("U1", "users", &[]);
+        let u2 = s.add_base_with("U2", "users", &[]);
+        let u3 = s.add_base_with("U3", "users", &[]);
+        let dom = s.domain("users");
+        let g1 = s.add_summary("G", dom, &[u1, u2]);
+        let g2 = s.add_summary("G", dom, &[g1, u3]);
+        assert_ne!(s.name(g1), s.name(g2));
+    }
+
+    #[test]
+    #[should_panic(expected = "different domain")]
+    fn reusing_a_name_across_domains_panics() {
+        let mut s = AnnStore::new();
+        s.add_base_with("X", "users", &[]);
+        s.add_base_with("X", "movies", &[]);
+    }
+}

@@ -1,0 +1,202 @@
+//! Property-based tests for the provenance substrate's core data
+//! structures: monoid/semiring laws, simplification idempotence, mapping
+//! homomorphism at the expression level, and DDP invariants.
+
+use proptest::prelude::*;
+use prox_provenance::{
+    AggExpr, AggKind, AggValue, AnnId, DbCondOp, DdpExecution, DdpExpr, DdpTransition, Mapping,
+    Monomial, Polynomial, ProvExpr, Tensor, Valuation,
+};
+
+fn ann(ix: usize) -> AnnId {
+    AnnId::from_index(ix)
+}
+
+/// Equality up to f64 rounding (SUM is only approximately associative).
+fn agg_eq(a: AggValue, b: AggValue) -> bool {
+    a.count == b.count && (a.value - b.value).abs() < 1e-9
+}
+
+fn arb_aggvalue() -> impl Strategy<Value = AggValue> {
+    (0.0f64..10.0, 0u64..5).prop_map(|(v, c)| {
+        if c == 0 {
+            AggValue::empty()
+        } else {
+            AggValue::new(v, c)
+        }
+    })
+}
+
+fn arb_kind() -> impl Strategy<Value = AggKind> {
+    prop_oneof![
+        Just(AggKind::Max),
+        Just(AggKind::Min),
+        Just(AggKind::Sum),
+        Just(AggKind::Count),
+    ]
+}
+
+fn arb_tensor() -> impl Strategy<Value = Tensor> {
+    (
+        prop::collection::vec(0usize..6, 1..=3),
+        0.0f64..10.0,
+    )
+        .prop_map(|(vars, value)| {
+            Tensor::new(
+                Polynomial::from_monomial(Monomial::from_factors(
+                    vars.into_iter().map(ann).collect(),
+                )),
+                AggValue::single(value),
+            )
+        })
+}
+
+fn arb_valuation() -> impl Strategy<Value = Valuation> {
+    prop::collection::vec(any::<bool>(), 8).prop_map(|bits| {
+        let mut v = Valuation::all_true();
+        for (ix, b) in bits.into_iter().enumerate() {
+            v.set(ann(ix), b);
+        }
+        v
+    })
+}
+
+proptest! {
+    /// The (value, count) aggregation monoid is commutative, associative
+    /// (up to f64 rounding for SUM), and absorbs the empty element — for
+    /// every aggregation kind.
+    #[test]
+    fn aggvalue_monoid_laws(
+        a in arb_aggvalue(),
+        b in arb_aggvalue(),
+        c in arb_aggvalue(),
+        kind in arb_kind(),
+    ) {
+        prop_assert!(agg_eq(a.combine(b, kind), b.combine(a, kind)));
+        prop_assert!(agg_eq(
+            a.combine(b, kind).combine(c, kind),
+            a.combine(b.combine(c, kind), kind)
+        ));
+        prop_assert!(agg_eq(a.combine(AggValue::empty(), kind), a));
+        prop_assert!(agg_eq(AggValue::empty().combine(a, kind), a));
+    }
+
+    /// Simplification is idempotent and preserves evaluation under every
+    /// valuation.
+    #[test]
+    fn simplify_is_idempotent_and_sound(
+        tensors in prop::collection::vec(arb_tensor(), 0..8),
+        kind in arb_kind(),
+        v in arb_valuation(),
+    ) {
+        let raw = {
+            let mut e = AggExpr::new(kind);
+            for t in tensors.clone() {
+                e.push(t);
+            }
+            e
+        };
+        let once = AggExpr::from_tensors(tensors.clone(), kind);
+        let twice = {
+            let mut e = once.clone();
+            e.simplify();
+            e
+        };
+        prop_assert_eq!(&once, &twice, "simplify is idempotent");
+        // SUM folds in a different order after merging; allow f64 rounding.
+        prop_assert!(
+            agg_eq(raw.eval(&v), once.eval(&v)),
+            "simplify preserves eval: {:?} vs {:?}",
+            raw.eval(&v),
+            once.eval(&v)
+        );
+    }
+
+    /// Mapping application commutes with evaluation when the valuation
+    /// treats every merged annotation identically (the congruence that
+    /// justifies homomorphic summarization).
+    #[test]
+    fn mapping_commutes_with_uniform_valuations(
+        tensors in prop::collection::vec(arb_tensor(), 1..6),
+        kind in arb_kind(),
+        all in any::<bool>(),
+    ) {
+        let e = AggExpr::from_tensors(tensors, kind);
+        let h = Mapping::group(&(0..6).map(ann).collect::<Vec<_>>(), ann(10));
+        let mapped = e.map(&h);
+        let v = if all { Valuation::all_true() } else { Valuation::all_false() };
+        // Uniform valuations assign the group the same value as members.
+        let mut v2 = v.clone();
+        v2.set(ann(10), all);
+        // SUM folds in a different order after merging; allow f64 rounding.
+        let lhs = e.eval(&v).result();
+        let rhs = mapped.eval(&v2).result();
+        prop_assert!((lhs - rhs).abs() < 1e-9, "{lhs} vs {rhs}");
+    }
+
+    /// Expression size is the sum of tensor degrees and never grows under
+    /// mapping.
+    #[test]
+    fn size_accounting(tensors in prop::collection::vec(arb_tensor(), 0..8), kind in arb_kind()) {
+        let e = AggExpr::from_tensors(tensors, kind);
+        let total: usize = e.tensors().iter().map(|t| t.size()).sum();
+        prop_assert_eq!(e.size(), total);
+        let h = Mapping::group(&[ann(0), ann(1), ann(2)], ann(10));
+        prop_assert!(e.map(&h).size() <= e.size());
+    }
+
+    /// ProvExpr evaluation restricted to one object equals that object's
+    /// AggExpr evaluation.
+    #[test]
+    fn provexpr_coordinates_are_independent(
+        t1 in prop::collection::vec(arb_tensor(), 1..4),
+        t2 in prop::collection::vec(arb_tensor(), 1..4),
+        kind in arb_kind(),
+        v in arb_valuation(),
+    ) {
+        let o1 = ann(20);
+        let o2 = ann(21);
+        let mut p = ProvExpr::new(kind);
+        for t in t1.clone() {
+            p.push(o1, t);
+        }
+        for t in t2 {
+            p.push(o2, t);
+        }
+        p.simplify();
+        let vec = p.eval(&v);
+        let solo = AggExpr::from_tensors(t1, kind);
+        prop_assert_eq!(vec.scalar_for(o1), Some(solo.eval(&v).result()));
+    }
+
+    /// DDP mapping never increases size, and deduplication keeps
+    /// evaluation under the all-true valuation unchanged when no condition
+    /// polarity conflicts exist.
+    #[test]
+    fn ddp_mapping_size_monotone(
+        execs in prop::collection::vec(
+            prop::collection::vec((0usize..6, any::<bool>(), 0usize..3), 1..4),
+            1..5,
+        ),
+    ) {
+        let mut p = DdpExpr::new();
+        for (ix, spec) in execs.iter().enumerate() {
+            let transitions = spec
+                .iter()
+                .map(|&(var, is_user, extra)| {
+                    if is_user {
+                        p.set_cost(ann(var), (var + 1) as f64);
+                        DdpTransition::user(ann(var))
+                    } else {
+                        DdpTransition::db(vec![ann(var), ann(extra)], DbCondOp::NonZero)
+                    }
+                })
+                .collect();
+            let _ = ix;
+            p.push(DdpExecution::new(transitions));
+        }
+        let h = Mapping::group(&[ann(0), ann(1)], ann(10));
+        let mapped = p.map(&h);
+        prop_assert!(mapped.size() <= p.size());
+    }
+}

@@ -1,0 +1,236 @@
+//! The PROX CLI: a terminal rendition of the web UI's three views
+//! (selection → summarization → summary/provisioning, §7.2).
+//!
+//! Usage:
+//!   prox demo                 — scripted walkthrough (non-interactive)
+//!   prox                      — interactive shell
+//!
+//! Interactive commands:
+//! ```text
+//!   search <needle>           — select movies by title substring
+//!   genre <genre> [year]      — select movies by genre and year
+//!   all                       — select every movie
+//!   params                    — show the current summarization parameters
+//!   set wdist|steps|tsize|tdist <value>
+//!   summarize                 — run Algorithm 1 on the selection
+//!   expr | groups             — summary subviews
+//!   back | forward            — step through the algorithm
+//!   insights                  — ranked group-vs-complement trends
+//!   cancel <name> [...]       — provision: evaluate with annotations false
+//!   cancelattr <attr>=<value> — provision: cancel an attribute value
+//!   quit
+//! ```
+
+use std::io::{self, BufRead, Write};
+
+use prox_datasets::{MovieLens, MovieLensConfig};
+use prox_system::evaluator::{evaluate_both, Assignment};
+use prox_system::render;
+use prox_system::selection::{select, Selected, Selection};
+use prox_system::session::Session;
+use prox_system::summarization::{summarize, SummarizationRequest};
+
+struct App {
+    data: MovieLens,
+    request: SummarizationRequest,
+    selected: Option<Selected>,
+    session: Option<Session>,
+}
+
+impl App {
+    fn new() -> Self {
+        App {
+            data: MovieLens::generate(MovieLensConfig {
+                users: 40,
+                movies: 8,
+                ratings_per_user: 2,
+                seed: 2016,
+            }),
+            request: SummarizationRequest::default(),
+            selected: None,
+            session: None,
+        }
+    }
+
+    fn select(&mut self, selection: Selection) -> String {
+        let sel = select(&mut self.data, &selection, self.request.aggregation);
+        let view = render::selection_view(&sel.provenance, &self.data.store);
+        self.selected = Some(sel);
+        self.session = None;
+        view
+    }
+
+    fn summarize(&mut self) -> String {
+        let Some(sel) = &self.selected else {
+            return "select provenance first (try: all)".to_owned();
+        };
+        match summarize(&mut self.data, sel, self.request.clone()) {
+            Ok(out) => {
+                let steps = out.result.history.len();
+                let session = Session::new(out);
+                let view = render::expression_view(&session, &self.data.store);
+                self.session = Some(session);
+                format!("ran {steps} steps\n{view}")
+            }
+            Err(e) => format!("error: {e}"),
+        }
+    }
+
+    fn provision(&mut self, assignment: Assignment) -> String {
+        let Some(session) = &self.session else {
+            return "summarize first".to_owned();
+        };
+        let original = &session.summarized().original;
+        let summary = session.expression();
+        let (orig, summ) = evaluate_both(original, summary, &assignment, &self.data.store);
+        format!(
+            "On the ORIGINAL provenance:\n{}\nOn the SUMMARY (approximate):\n{}",
+            render::evaluation_view(&orig),
+            render::evaluation_view(&summ),
+        )
+    }
+
+    fn dispatch(&mut self, line: &str) -> Option<String> {
+        let mut parts = line.split_whitespace();
+        let cmd = parts.next()?;
+        let rest: Vec<&str> = parts.collect();
+        Some(match cmd {
+            "search" => self.select(Selection::Search(rest.join(" "))),
+            "genre" => {
+                let genre = rest.first().map(|s| s.to_string());
+                let year = rest.get(1).and_then(|s| s.parse().ok());
+                self.select(Selection::GenreYear { genre, year })
+            }
+            "all" => self.select(Selection::All),
+            "params" => render::summarization_view(&self.request),
+            "set" => match (rest.first(), rest.get(1)) {
+                (Some(&"wdist"), Some(v)) => {
+                    self.request.w_dist = v.parse().unwrap_or(self.request.w_dist);
+                    format!("wDist = {}", self.request.w_dist)
+                }
+                (Some(&"steps"), Some(v)) => {
+                    self.request.steps = v.parse().unwrap_or(self.request.steps);
+                    format!("steps = {}", self.request.steps)
+                }
+                (Some(&"tsize"), Some(v)) => {
+                    self.request.target_size = v.parse().unwrap_or(self.request.target_size);
+                    format!("TARGET-SIZE = {}", self.request.target_size)
+                }
+                (Some(&"tdist"), Some(v)) => {
+                    self.request.target_dist = v.parse().unwrap_or(self.request.target_dist);
+                    format!("TARGET-DIST = {}", self.request.target_dist)
+                }
+                _ => "usage: set wdist|steps|tsize|tdist <value>".to_owned(),
+            },
+            "summarize" => self.summarize(),
+            "expr" => match &self.session {
+                Some(s) => render::expression_view(s, &self.data.store),
+                None => "summarize first".to_owned(),
+            },
+            "groups" => match &self.session {
+                Some(s) => render::groups_view(&s.groups(&self.data.store)),
+                None => "summarize first".to_owned(),
+            },
+            "back" => match &mut self.session {
+                Some(s) => {
+                    s.back();
+                    render::expression_view(s, &self.data.store)
+                }
+                None => "summarize first".to_owned(),
+            },
+            "forward" => match &mut self.session {
+                Some(s) => {
+                    s.forward();
+                    render::expression_view(s, &self.data.store)
+                }
+                None => "summarize first".to_owned(),
+            },
+            "insights" => match &self.session {
+                Some(sess) => {
+                    let ins = prox_system::insights(sess.summarized(), &self.data.store);
+                    if ins.is_empty() {
+                        "no group trends detected".to_owned()
+                    } else {
+                        ins.iter()
+                            .take(10)
+                            .map(|i| format!("  {}", i.statement))
+                            .collect::<Vec<_>>()
+                            .join("\n")
+                    }
+                }
+                None => "summarize first".to_owned(),
+            },
+            "cancel" => self.provision(Assignment::FalseAnnotations(
+                rest.iter().map(|s| s.to_string()).collect(),
+            )),
+            "cancelattr" => {
+                let pairs: Vec<(String, String)> = rest
+                    .iter()
+                    .filter_map(|s| {
+                        s.split_once('=')
+                            .map(|(a, v)| (a.to_owned(), v.to_owned()))
+                    })
+                    .collect();
+                self.provision(Assignment::FalseAttributes(pairs))
+            }
+            "help" => HELP.to_owned(),
+            "quit" | "exit" => return None,
+            other => format!("unknown command {other:?} — try `help`"),
+        })
+    }
+}
+
+const HELP: &str = "commands: search <s> | genre <g> [year] | all | params | \
+set wdist|steps|tsize|tdist <v> | summarize | expr | groups | back | forward | \
+cancel <names…> | cancelattr a=v | insights | quit";
+
+fn demo() {
+    let mut app = App::new();
+    let script = [
+        "all",
+        "params",
+        "set wdist 0.7",
+        "set steps 8",
+        "summarize",
+        "groups",
+        "back",
+        "forward",
+        "cancelattr gender=M",
+        "insights",
+    ];
+    for cmd in script {
+        println!("prox> {cmd}");
+        match app.dispatch(cmd) {
+            Some(out) => println!("{out}"),
+            None => break,
+        }
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    if args.get(1).map(String::as_str) == Some("demo") {
+        demo();
+        return;
+    }
+    println!("PROX — approximated summarization of data provenance");
+    println!("{HELP}");
+    let stdin = io::stdin();
+    let mut app = App::new();
+    loop {
+        print!("prox> ");
+        io::stdout().flush().ok();
+        let mut line = String::new();
+        if stdin.lock().read_line(&mut line).unwrap_or(0) == 0 {
+            break;
+        }
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        match app.dispatch(line) {
+            Some(out) => println!("{out}"),
+            None => break,
+        }
+    }
+}

@@ -1,0 +1,181 @@
+//! Trend insights from summaries — the introduction's motivating payoff:
+//! "this compact representation will enable the user to see trends, for
+//! example that women aged 20-25 have tended to rate a particular movie
+//! more highly than men aged 20-25."
+//!
+//! Given a summarization result, this module compares each group's
+//! contribution against its complement per movie and emits ranked,
+//! human-readable trend statements.
+
+use prox_provenance::{AnnId, AnnStore, ProvExpr, Valuation};
+
+use crate::summarization::Summarized;
+
+/// One detected trend.
+#[derive(Clone, Debug)]
+pub struct Insight {
+    /// The group annotation the trend is about.
+    pub group: AnnId,
+    /// The object (movie) the trend concerns.
+    pub object: AnnId,
+    /// Aggregate when only the group's members contribute.
+    pub group_value: f64,
+    /// Aggregate when everyone *except* the group contributes.
+    pub complement_value: f64,
+    /// Human-readable statement.
+    pub statement: String,
+}
+
+impl Insight {
+    /// Absolute gap between the group and its complement.
+    pub fn gap(&self) -> f64 {
+        (self.group_value - self.complement_value).abs()
+    }
+}
+
+/// Detect group-vs-complement trends across the summary's groups and the
+/// original provenance. Returns insights sorted by descending gap.
+pub fn insights(summarized: &Summarized, store: &AnnStore) -> Vec<Insight> {
+    let original = &summarized.original;
+    let mut out = Vec::new();
+    for step in &summarized.result.history.steps {
+        let group = step.target;
+        let members = store.get(group).base_members().to_vec();
+        if members.is_empty() {
+            continue;
+        }
+        out.extend(group_insights(original, group, &members, store));
+    }
+    out.sort_by(|a, b| b.gap().partial_cmp(&a.gap()).expect("finite gaps"));
+    // Nested merges can produce near-identical statements (a group and its
+    // superset with the same shared attributes); keep the strongest.
+    let mut seen = std::collections::HashSet::new();
+    out.retain(|i| seen.insert(i.statement.clone()));
+    out
+}
+
+/// Trends for one explicit group of base annotations.
+pub fn group_insights(
+    original: &ProvExpr,
+    group: AnnId,
+    members: &[AnnId],
+    store: &AnnStore,
+) -> Vec<Insight> {
+    // Only the group contributes: cancel every *other* user annotation
+    // appearing in the expression (objects and non-user domains are left
+    // alone — they are part of the query, not contributors).
+    let contributors: Vec<AnnId> = original
+        .annotations()
+        .into_iter()
+        .filter(|&a| store.get(a).domain == store.get(members[0]).domain)
+        .collect();
+    let others: Vec<AnnId> = contributors
+        .iter()
+        .copied()
+        .filter(|a| !members.contains(a))
+        .collect();
+    let only_group = Valuation::cancel(&others);
+    let only_others = Valuation::cancel(members);
+
+    let group_vec = original.eval(&only_group);
+    let other_vec = original.eval(&only_others);
+
+    let descr = describe_group(group, store);
+    let mut out = Vec::new();
+    for &(object, gv) in group_vec.coords() {
+        let g = gv.result();
+        let o = other_vec.scalar_for(object).unwrap_or(0.0);
+        if gv.is_empty() {
+            continue; // the group did not touch this object
+        }
+        let movie = store.name(object);
+        let relation = if g > o {
+            "higher than"
+        } else if g < o {
+            "lower than"
+        } else {
+            "the same as"
+        };
+        out.push(Insight {
+            group,
+            object,
+            group_value: g,
+            complement_value: o,
+            statement: format!(
+                "{descr} rated {movie} {g} — {relation} everyone else ({o})"
+            ),
+        });
+    }
+    out
+}
+
+/// Describe a group by its shared attributes ("gender=F, age_range=25-34
+/// users (3 members)"), falling back to the group name.
+pub fn describe_group(group: AnnId, store: &AnnStore) -> String {
+    let ann = store.get(group);
+    let members = ann.base_members().len();
+    if ann.attrs.is_empty() {
+        format!("{} ({} members)", ann.name, members)
+    } else {
+        let attrs = ann
+            .attrs
+            .iter()
+            .map(|&(a, v)| format!("{}={}", store.attr_name(a), store.value_name(v)))
+            .collect::<Vec<_>>()
+            .join(", ");
+        format!("{attrs} users ({members} members)")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prox_provenance::{AggKind, AggValue, Polynomial, Tensor};
+
+    fn setup() -> (AnnStore, ProvExpr, Vec<AnnId>, AnnId) {
+        let mut s = AnnStore::new();
+        let u1 = s.add_base_with("U1", "users", &[("gender", "F")]);
+        let u2 = s.add_base_with("U2", "users", &[("gender", "F")]);
+        let u3 = s.add_base_with("U3", "users", &[("gender", "M")]);
+        let m = s.add_base_with("MatchPoint", "movies", &[]);
+        let mut p = ProvExpr::new(AggKind::Max);
+        for (u, r) in [(u1, 5.0), (u2, 4.0), (u3, 2.0)] {
+            p.push(m, Tensor::new(Polynomial::var(u), AggValue::single(r)));
+        }
+        let dom = s.domain("users");
+        let g = s.add_summary("F", dom, &[u1, u2]);
+        (s, p, vec![u1, u2, u3], g)
+    }
+
+    #[test]
+    fn group_vs_complement_gap() {
+        let (s, p, _, g) = setup();
+        let members = s.base_of(g);
+        let ins = group_insights(&p, g, &members, &s);
+        assert_eq!(ins.len(), 1);
+        assert_eq!(ins[0].group_value, 5.0, "female max");
+        assert_eq!(ins[0].complement_value, 2.0, "male max");
+        assert_eq!(ins[0].gap(), 3.0);
+        assert!(ins[0].statement.contains("higher than"));
+        assert!(ins[0].statement.contains("gender=F"));
+    }
+
+    #[test]
+    fn describe_uses_shared_attributes() {
+        let (s, _, _, g) = setup();
+        let d = describe_group(g, &s);
+        assert!(d.contains("gender=F"));
+        assert!(d.contains("2 members"));
+    }
+
+    #[test]
+    fn untouched_objects_are_skipped() {
+        let (mut s, mut p, users, g) = setup();
+        // A movie only U3 rated: the F group has no insight there.
+        let m2 = s.add_base_with("Other", "movies", &[]);
+        p.push(m2, Tensor::new(Polynomial::var(users[2]), AggValue::single(3.0)));
+        let members = s.base_of(g);
+        let ins = group_insights(&p, g, &members, &s);
+        assert_eq!(ins.len(), 1, "only MatchPoint produces an insight");
+    }
+}

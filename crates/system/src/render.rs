@@ -1,0 +1,143 @@
+//! Text rendering of the PROX views (§7.2) for the CLI.
+
+use prox_provenance::{display, AnnStore, ProvExpr, Summarizable};
+
+use crate::evaluator::Evaluation;
+use crate::session::{GroupView, Session};
+use crate::summarization::SummarizationRequest;
+
+/// Render the selection view: selected provenance + size.
+pub fn selection_view(p: &ProvExpr, store: &AnnStore) -> String {
+    let mut out = String::new();
+    out.push_str("── Selected Provenance Expression ──\n");
+    out.push_str(&truncate(&display::render_provexpr(p, store), 800));
+    out.push_str(&format!("\n\nProvenance Size: {}\n", Summarizable::size(p)));
+    out
+}
+
+/// Render the summarization view: the request parameters.
+pub fn summarization_view(req: &SummarizationRequest) -> String {
+    format!(
+        "── Summarization Parameters ──\n\
+         Distance weight: {}\n\
+         Size weight: {}\n\
+         Distance bound: {}\n\
+         Size bound: {}\n\
+         Number of steps: {}\n\
+         Aggregation: {}\n\
+         Valuation class: {}\n\
+         VAL-FUNC: {}\n",
+        req.w_dist,
+        1.0 - req.w_dist,
+        req.target_dist,
+        req.target_size,
+        req.steps,
+        req.aggregation,
+        req.valuation_class.name(),
+        req.val_func.name(),
+    )
+}
+
+/// Render the expression subview of the summary view.
+pub fn expression_view(session: &Session, store: &AnnStore) -> String {
+    let expr = session.expression();
+    format!(
+        "── Summary Provenance - Expression (step {}/{}) ──\n{}\n\nProvenance Size: {}\n",
+        session.cursor(),
+        session.steps(),
+        truncate(&display::render_provexpr(expr, store), 800),
+        session.size(),
+    )
+}
+
+/// Render the groups subview of the summary view.
+pub fn groups_view(groups: &[GroupView]) -> String {
+    if groups.is_empty() {
+        return "── Summary Provenance - Groups ──\n(no groups at this step)\n".to_owned();
+    }
+    let mut out = String::from("── Summary Provenance - Groups ──\n");
+    for g in groups {
+        out.push_str(&format!(
+            "Group {:<16} size {:<3} members: {}\n",
+            g.name,
+            g.size,
+            g.members.join(", ")
+        ));
+        if !g.shared_attrs.is_empty() {
+            out.push_str(&format!("  shared: {}\n", g.shared_attrs.join(", ")));
+        }
+        if let Some(agg) = g.aggregated {
+            out.push_str(&format!("  AGG: {agg}\n"));
+        }
+    }
+    out
+}
+
+/// Render an evaluation-result table with its timing (Figs 7.9–7.10).
+pub fn evaluation_view(ev: &Evaluation) -> String {
+    let mut out = String::from("── Evaluation Result ──\n");
+    out.push_str(&format!("{:<28} Aggregated Rating\n", "Movie Title"));
+    for row in &ev.rows {
+        out.push_str(&format!("{:<28} {}\n", row.title, row.aggregated));
+    }
+    out.push_str(&format!("Evaluation Time: {} nanoseconds\n", ev.eval_time_ns));
+    out
+}
+
+fn truncate(s: &str, max: usize) -> String {
+    if s.chars().count() <= max {
+        s.to_owned()
+    } else {
+        let cut: String = s.chars().take(max).collect();
+        format!("{cut} …")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::evaluator::ResultRow;
+    use prox_provenance::{AggKind, AggValue, Polynomial, Tensor};
+
+    #[test]
+    fn selection_view_includes_size() {
+        let mut s = AnnStore::new();
+        let u = s.add_base_with("U1", "users", &[]);
+        let m = s.add_base_with("M1", "movies", &[]);
+        let mut p = ProvExpr::new(AggKind::Max);
+        p.push(m, Tensor::new(Polynomial::var(u), AggValue::single(4.0)));
+        let view = selection_view(&p, &s);
+        assert!(view.contains("Provenance Size: 1"));
+        assert!(view.contains("U1"));
+    }
+
+    #[test]
+    fn summarization_view_lists_parameters() {
+        let view = summarization_view(&SummarizationRequest::default());
+        assert!(view.contains("Distance weight: 0.5"));
+        assert!(view.contains("Valuation class: Cancel Single Annotation"));
+        assert!(view.contains("VAL-FUNC: Euclidean Distance"));
+    }
+
+    #[test]
+    fn evaluation_view_formats_table() {
+        let ev = Evaluation {
+            rows: vec![
+                ResultRow { title: "Friday".into(), aggregated: 5.0 },
+                ResultRow { title: "Sleepover".into(), aggregated: 0.0 },
+            ],
+            eval_time_ns: 48118,
+        };
+        let view = evaluation_view(&ev);
+        assert!(view.contains("Friday"));
+        assert!(view.contains("48118 nanoseconds"));
+    }
+
+    #[test]
+    fn truncate_long_expressions() {
+        let long = "x".repeat(2000);
+        let t = truncate(&long, 100);
+        assert!(t.chars().count() <= 102);
+        assert!(t.ends_with('…'));
+    }
+}

@@ -1,0 +1,147 @@
+//! The summarization service (§7.1): runs Algorithm 1 on selected
+//! provenance with the parameters of the summarization view (Fig 7.4).
+
+use prox_core::{StopReason, SummarizeConfig, Summarizer, SummaryResult, ValFuncKind};
+use prox_datasets::MovieLens;
+use prox_provenance::{AggKind, ProvExpr, Valuation, ValuationClass};
+
+use crate::selection::Selected;
+
+/// The parameters exposed by the summarization view.
+#[derive(Clone, Debug)]
+pub struct SummarizationRequest {
+    /// Distance weight (`wDist`); `wSize` is its complement.
+    pub w_dist: f64,
+    /// Distance bound (`TARGET-DIST`) in `[0,1]`.
+    pub target_dist: f64,
+    /// Size bound (`TARGET-SIZE`).
+    pub target_size: usize,
+    /// Maximum number of steps.
+    pub steps: usize,
+    /// Aggregation function.
+    pub aggregation: AggKind,
+    /// Valuation class.
+    pub valuation_class: ValuationClass,
+    /// VAL-FUNC.
+    pub val_func: ValFuncKind,
+}
+
+impl Default for SummarizationRequest {
+    fn default() -> Self {
+        SummarizationRequest {
+            w_dist: 0.5,
+            target_dist: 1.0,
+            target_size: 1,
+            steps: 10,
+            aggregation: AggKind::Max,
+            valuation_class: ValuationClass::CancelSingleAnnotation,
+            val_func: ValFuncKind::Euclidean,
+        }
+    }
+}
+
+/// The service's output: the algorithm result plus the inputs needed by
+/// the summary view (original provenance, valuations).
+#[derive(Debug)]
+pub struct Summarized {
+    /// The algorithm's result, with per-step snapshots for the UI arrows.
+    pub result: SummaryResult<ProvExpr>,
+    /// The original (selected) provenance.
+    pub original: ProvExpr,
+    /// The valuation class used.
+    pub valuations: Vec<Valuation>,
+    /// Echo of the request.
+    pub request: SummarizationRequest,
+}
+
+impl Summarized {
+    /// Whether the run ended because no more merges were possible.
+    pub fn exhausted(&self) -> bool {
+        self.result.stop_reason == StopReason::NoCandidates
+    }
+}
+
+/// Run the summarization service on a selection.
+pub fn summarize(
+    data: &mut MovieLens,
+    selected: &Selected,
+    request: SummarizationRequest,
+) -> Result<Summarized, String> {
+    let valuations = data.valuations(request.valuation_class);
+    let constraints = data.constraints();
+    let config = SummarizeConfig {
+        w_dist: request.w_dist,
+        w_size: 1.0 - request.w_dist,
+        target_dist: request.target_dist,
+        target_size: request.target_size,
+        max_steps: request.steps,
+        val_func: request.val_func,
+        record_snapshots: true,
+        ..Default::default()
+    };
+    let mut summarizer = Summarizer::new(&mut data.store, constraints, config);
+    let result = summarizer.summarize(&selected.provenance, &valuations)?;
+    Ok(Summarized {
+        result,
+        original: selected.provenance.clone(),
+        valuations,
+        request,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::selection::{select, Selection};
+    use prox_datasets::MovieLensConfig;
+
+    fn run(request: SummarizationRequest) -> (MovieLens, Summarized) {
+        let mut d = MovieLens::generate(MovieLensConfig {
+            users: 15,
+            movies: 5,
+            ratings_per_user: 2,
+            seed: 3,
+        });
+        let sel = select(&mut d, &Selection::All, request.aggregation);
+        let out = summarize(&mut d, &sel, request).unwrap();
+        (d, out)
+    }
+
+    #[test]
+    fn default_request_summarizes() {
+        let (_, out) = run(SummarizationRequest::default());
+        assert!(out.result.final_size() < out.original.size());
+        assert!(!out.result.history.is_empty());
+        assert_eq!(out.result.snapshots.len(), out.result.history.len() + 1);
+    }
+
+    #[test]
+    fn size_bound_is_respected() {
+        let (_, out) = run(SummarizationRequest {
+            w_dist: 1.0,
+            target_size: 40,
+            steps: usize::MAX,
+            ..Default::default()
+        });
+        assert!(out.result.final_size() <= 40 || out.exhausted());
+    }
+
+    #[test]
+    fn summary_annotations_exist_in_store() {
+        let (d, out) = run(SummarizationRequest::default());
+        for step in &out.result.history.steps {
+            assert!(d.store.get(step.target).kind.is_summary());
+        }
+    }
+
+    #[test]
+    fn invalid_weights_are_rejected() {
+        let mut d = MovieLens::generate(MovieLensConfig::default());
+        let sel = select(&mut d, &Selection::All, AggKind::Max);
+        let req = SummarizationRequest {
+            w_dist: 1.5,
+            ..Default::default()
+        };
+        assert!(summarize(&mut d, &sel, req).is_err());
+    }
+}

@@ -1,0 +1,123 @@
+//! Taxonomy-consistent valuations (Example 5.2.1).
+//!
+//! "A valuation is considered to be inconsistent if it assigns false to a
+//! Wikipedia category/WordNet concept A, but assigns true to a concept B
+//! s.t. B is a child of A in the taxonomy." Annotations attached to
+//! concepts inherit this rule: cancelling an annotation whose concept
+//! subsumes another live annotation's concept is inconsistent.
+
+use prox_provenance::{AnnId, AnnStore, Valuation};
+
+use crate::dag::{ConceptId, Taxonomy};
+
+/// Is the valuation consistent with the taxonomy over the given annotations?
+///
+/// For every pair of concept-attached annotations `(x, y)` where `x`'s
+/// concept is a strict ancestor of `y`'s (or the same concept), assigning
+/// `x` false and `y` true is inconsistent.
+pub fn is_consistent(
+    v: &Valuation,
+    anns: &[AnnId],
+    store: &AnnStore,
+    taxonomy: &Taxonomy,
+) -> bool {
+    // Only cancelled, concept-attached annotations can trigger violations.
+    let cancelled: Vec<(AnnId, ConceptId)> = anns
+        .iter()
+        .copied()
+        .filter(|&a| !v.truth(a))
+        .filter_map(|a| store.get(a).concept.map(|c| (a, ConceptId(c))))
+        .collect();
+    if cancelled.is_empty() {
+        return true;
+    }
+    for &(_, dead_concept) in &cancelled {
+        for &live in anns {
+            if !v.truth(live) {
+                continue;
+            }
+            let Some(live_concept) = store.get(live).concept.map(ConceptId) else {
+                continue;
+            };
+            if live_concept != dead_concept
+                && taxonomy.is_ancestor(dead_concept, live_concept)
+            {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// Filter a valuation class down to the taxonomy-consistent ones.
+pub fn filter_consistent(
+    valuations: Vec<Valuation>,
+    anns: &[AnnId],
+    store: &AnnStore,
+    taxonomy: &Taxonomy,
+) -> Vec<Valuation> {
+    valuations
+        .into_iter()
+        .filter(|v| is_consistent(v, anns, store, taxonomy))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prox_provenance::ValuationClass;
+
+    fn setup() -> (AnnStore, Taxonomy, Vec<AnnId>) {
+        let mut t = Taxonomy::new();
+        t.subclass("musician", "person");
+        t.subclass("singer", "musician");
+        let mut s = AnnStore::new();
+        let p_person = s.add_base_with("PagePerson", "pages", &[]);
+        let p_musician = s.add_base_with("PageMusician", "pages", &[]);
+        let p_singer = s.add_base_with("PageSinger", "pages", &[]);
+        s.set_concept(p_person, t.by_name("person").unwrap().0);
+        s.set_concept(p_musician, t.by_name("musician").unwrap().0);
+        s.set_concept(p_singer, t.by_name("singer").unwrap().0);
+        (s, t, vec![p_person, p_musician, p_singer])
+    }
+
+    #[test]
+    fn cancelling_a_leaf_is_consistent() {
+        let (s, t, anns) = setup();
+        let v = Valuation::cancel(&[anns[2]]); // singer page
+        assert!(is_consistent(&v, &anns, &s, &t));
+    }
+
+    #[test]
+    fn cancelling_an_ancestor_with_live_descendant_is_inconsistent() {
+        let (s, t, anns) = setup();
+        let v = Valuation::cancel(&[anns[0]]); // person page, musician+singer live
+        assert!(!is_consistent(&v, &anns, &s, &t));
+    }
+
+    #[test]
+    fn cancelling_whole_subtree_is_consistent() {
+        let (s, t, anns) = setup();
+        let v = Valuation::cancel(&anns.clone());
+        assert!(is_consistent(&v, &anns, &s, &t));
+    }
+
+    #[test]
+    fn filter_keeps_only_consistent_singletons() {
+        let (s, t, anns) = setup();
+        let class = ValuationClass::CancelSingleAnnotation.generate(&s, &anns, &[]);
+        let kept = filter_consistent(class, &anns, &s, &t);
+        // Only the leaf (singer) can be cancelled alone.
+        assert_eq!(kept.len(), 1);
+        assert!(!kept[0].truth(anns[2]));
+    }
+
+    #[test]
+    fn conceptless_annotations_never_violate() {
+        let (mut s, t, mut anns) = setup();
+        let u = s.add_base_with("User", "users", &[]);
+        anns.push(u);
+        let v = Valuation::cancel(&[u]);
+        assert!(is_consistent(&v, &anns, &s, &t));
+    }
+}

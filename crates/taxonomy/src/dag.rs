@@ -1,0 +1,278 @@
+//! The concept taxonomy: a rooted DAG of `rdfs:subClassOf`-style facts
+//! (YAGO/WordNet in the paper, §5.1).
+//!
+//! Concepts are interned; each may have multiple parents. The structure
+//! supports the queries summarization needs: ancestor sets, common
+//! ancestors, lowest common subsumers, and depths (for Wu–Palmer).
+
+use std::collections::{HashMap, HashSet};
+
+/// Handle to an interned concept.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ConceptId(pub u32);
+
+impl ConceptId {
+    /// Raw index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A rooted taxonomy DAG.
+#[derive(Clone, Debug, Default)]
+pub struct Taxonomy {
+    names: Vec<String>,
+    by_name: HashMap<String, ConceptId>,
+    parents: Vec<Vec<ConceptId>>,
+    children: Vec<Vec<ConceptId>>,
+    /// Minimal distance from a root (roots have depth 0), memoized.
+    depths: Vec<u32>,
+}
+
+impl Taxonomy {
+    /// Empty taxonomy.
+    pub fn new() -> Self {
+        Taxonomy::default()
+    }
+
+    /// Intern a concept (idempotent). New concepts start as roots.
+    pub fn concept(&mut self, name: &str) -> ConceptId {
+        if let Some(&id) = self.by_name.get(name) {
+            return id;
+        }
+        let id = ConceptId(u32::try_from(self.names.len()).expect("too many concepts"));
+        self.names.push(name.to_owned());
+        self.by_name.insert(name.to_owned(), id);
+        self.parents.push(Vec::new());
+        self.children.push(Vec::new());
+        self.depths.push(0);
+        id
+    }
+
+    /// Record `child subClassOf parent`, updating depths.
+    pub fn add_edge(&mut self, child: ConceptId, parent: ConceptId) {
+        assert_ne!(child, parent, "self-loop in taxonomy");
+        if !self.parents[child.index()].contains(&parent) {
+            self.parents[child.index()].push(parent);
+            self.children[parent.index()].push(child);
+            self.recompute_depths();
+        }
+    }
+
+    /// Convenience: add an edge by names, interning as needed.
+    pub fn subclass(&mut self, child: &str, parent: &str) -> (ConceptId, ConceptId) {
+        let c = self.concept(child);
+        let p = self.concept(parent);
+        self.add_edge(c, p);
+        (c, p)
+    }
+
+    fn recompute_depths(&mut self) {
+        // BFS from all roots; a DAG's depth is the minimum root distance.
+        let n = self.names.len();
+        let mut depth = vec![u32::MAX; n];
+        let mut queue: Vec<ConceptId> = (0..n)
+            .map(|i| ConceptId(i as u32))
+            .filter(|c| self.parents[c.index()].is_empty())
+            .collect();
+        for &c in &queue {
+            depth[c.index()] = 0;
+        }
+        let mut head = 0;
+        while head < queue.len() {
+            let cur = queue[head];
+            head += 1;
+            let next = depth[cur.index()] + 1;
+            for &ch in &self.children[cur.index()] {
+                if depth[ch.index()] > next {
+                    depth[ch.index()] = next;
+                    queue.push(ch);
+                }
+            }
+        }
+        // Unreachable nodes (cycles would cause these; we treat them as
+        // roots to stay total).
+        for d in &mut depth {
+            if *d == u32::MAX {
+                *d = 0;
+            }
+        }
+        self.depths = depth;
+    }
+
+    /// Number of concepts.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// True when no concept is interned.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Name of a concept.
+    pub fn name(&self, c: ConceptId) -> &str {
+        &self.names[c.index()]
+    }
+
+    /// Look up a concept by name.
+    pub fn by_name(&self, name: &str) -> Option<ConceptId> {
+        self.by_name.get(name).copied()
+    }
+
+    /// Direct parents.
+    pub fn parents(&self, c: ConceptId) -> &[ConceptId] {
+        &self.parents[c.index()]
+    }
+
+    /// Direct children.
+    pub fn children(&self, c: ConceptId) -> &[ConceptId] {
+        &self.children[c.index()]
+    }
+
+    /// Depth (minimal distance from a root).
+    pub fn depth(&self, c: ConceptId) -> u32 {
+        self.depths[c.index()]
+    }
+
+    /// All ancestors of `c`, including `c` itself.
+    pub fn ancestors(&self, c: ConceptId) -> HashSet<ConceptId> {
+        let mut seen = HashSet::new();
+        let mut stack = vec![c];
+        while let Some(cur) = stack.pop() {
+            if seen.insert(cur) {
+                stack.extend(self.parents[cur.index()].iter().copied());
+            }
+        }
+        seen
+    }
+
+    /// Is `anc` an ancestor of `c` (reflexive)?
+    pub fn is_ancestor(&self, anc: ConceptId, c: ConceptId) -> bool {
+        self.ancestors(c).contains(&anc)
+    }
+
+    /// Do two concepts share any common ancestor? (The semantic-constraint
+    /// test of §3.2.)
+    pub fn share_ancestor(&self, a: ConceptId, b: ConceptId) -> bool {
+        let aa = self.ancestors(a);
+        self.ancestors(b).iter().any(|c| aa.contains(c))
+    }
+
+    /// Lowest common subsumer: the deepest concept subsuming both, if any.
+    /// Ties break toward the smaller id for determinism.
+    pub fn lcs(&self, a: ConceptId, b: ConceptId) -> Option<ConceptId> {
+        let aa = self.ancestors(a);
+        let bb = self.ancestors(b);
+        let mut common: Vec<ConceptId> = aa.intersection(&bb).copied().collect();
+        common.sort_unstable();
+        common.into_iter().max_by_key(|&c| (self.depth(c), std::cmp::Reverse(c)))
+    }
+
+    /// Lowest common subsumer of many concepts.
+    pub fn lcs_many(&self, concepts: &[ConceptId]) -> Option<ConceptId> {
+        let (&first, rest) = concepts.split_first()?;
+        let mut common = self.ancestors(first);
+        for &c in rest {
+            let anc = self.ancestors(c);
+            common.retain(|x| anc.contains(x));
+        }
+        let mut v: Vec<ConceptId> = common.into_iter().collect();
+        v.sort_unstable();
+        v.into_iter().max_by_key(|&c| (self.depth(c), std::cmp::Reverse(c)))
+    }
+
+    /// Iterate all concept ids.
+    pub fn ids(&self) -> impl Iterator<Item = ConceptId> + '_ {
+        (0..self.names.len()).map(|i| ConceptId(i as u32))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> Taxonomy {
+        let mut t = Taxonomy::new();
+        t.subclass("person", "entity");
+        t.subclass("entertainer", "person");
+        t.subclass("performer", "entertainer");
+        t.subclass("musician", "performer");
+        t.subclass("singer", "musician");
+        t.subclass("guitarist", "musician");
+        t.subclass("scientist", "person");
+        t
+    }
+
+    #[test]
+    fn depths_follow_edges() {
+        let t = small();
+        assert_eq!(t.depth(t.by_name("entity").unwrap()), 0);
+        assert_eq!(t.depth(t.by_name("person").unwrap()), 1);
+        assert_eq!(t.depth(t.by_name("singer").unwrap()), 5);
+    }
+
+    #[test]
+    fn ancestors_are_reflexive_and_transitive() {
+        let t = small();
+        let singer = t.by_name("singer").unwrap();
+        let anc = t.ancestors(singer);
+        for n in ["singer", "musician", "performer", "entertainer", "person", "entity"] {
+            assert!(anc.contains(&t.by_name(n).unwrap()), "{n}");
+        }
+        assert!(!anc.contains(&t.by_name("guitarist").unwrap()));
+    }
+
+    #[test]
+    fn lcs_finds_deepest_common_subsumer() {
+        let t = small();
+        let singer = t.by_name("singer").unwrap();
+        let guitarist = t.by_name("guitarist").unwrap();
+        let scientist = t.by_name("scientist").unwrap();
+        assert_eq!(t.lcs(singer, guitarist), t.by_name("musician"));
+        assert_eq!(t.lcs(singer, scientist), t.by_name("person"));
+        assert_eq!(t.lcs(singer, singer), Some(singer));
+    }
+
+    #[test]
+    fn lcs_many_generalizes_pairwise() {
+        let t = small();
+        let ids: Vec<_> = ["singer", "guitarist", "scientist"]
+            .iter()
+            .map(|n| t.by_name(n).unwrap())
+            .collect();
+        assert_eq!(t.lcs_many(&ids), t.by_name("person"));
+        assert_eq!(t.lcs_many(&ids[..2]), t.by_name("musician"));
+        assert_eq!(t.lcs_many(&[]), None);
+    }
+
+    #[test]
+    fn share_ancestor_in_connected_taxonomy() {
+        let t = small();
+        let singer = t.by_name("singer").unwrap();
+        let scientist = t.by_name("scientist").unwrap();
+        assert!(t.share_ancestor(singer, scientist));
+    }
+
+    #[test]
+    fn disconnected_roots_share_nothing() {
+        let mut t = Taxonomy::new();
+        let a = t.concept("a");
+        let b = t.concept("b");
+        assert!(!t.share_ancestor(a, b));
+        assert_eq!(t.lcs(a, b), None);
+    }
+
+    #[test]
+    fn multi_parent_dag_depth_is_min() {
+        let mut t = Taxonomy::new();
+        t.subclass("mid", "root");
+        t.subclass("deep1", "mid");
+        t.subclass("leaf", "deep1");
+        // leaf also directly under root:
+        let leaf = t.by_name("leaf").unwrap();
+        let root = t.by_name("root").unwrap();
+        t.add_edge(leaf, root);
+        assert_eq!(t.depth(leaf), 1);
+    }
+}

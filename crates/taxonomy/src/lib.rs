@@ -1,0 +1,27 @@
+//! # prox-taxonomy
+//!
+//! Concept taxonomies for provenance summarization (§5.1 of the PROX
+//! paper): a rooted DAG of `subClassOf` facts (YAGO/WordNet style),
+//! Wu–Palmer semantic relatedness, a built-in WordNet-like fragment, and
+//! taxonomy-consistent valuation filtering.
+//!
+//! Summarization uses taxonomies in three ways:
+//! * as a *mapping constraint* — annotations may merge only when their
+//!   concepts share a common ancestor;
+//! * as a *tie-breaker* — between equal-score candidates, prefer the one
+//!   whose members are taxonomically closest to the target concept;
+//! * as a *valuation filter* — valuations cancelling a concept while one
+//!   of its descendants stays live are dropped from the distance average.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod consistency;
+pub mod dag;
+pub mod wordnet;
+pub mod wu_palmer;
+
+pub use consistency::{filter_consistent, is_consistent};
+pub use dag::{ConceptId, Taxonomy};
+pub use wordnet::{page_leaf_concepts, wordnet_fragment};
+pub use wu_palmer::{distance as wu_palmer_distance, group_distance, similarity, TaxonomyFold};

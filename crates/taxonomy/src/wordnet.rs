@@ -1,0 +1,122 @@
+//! A built-in WordNet-style taxonomy fragment mirroring the YAGO concepts
+//! the paper's Wikipedia examples use (Example 5.2.1 lists the ancestor
+//! chain of the "Adele" page: singer → musician → performer → entertainer
+//! → person → causal_agent → physical_entity).
+
+use crate::dag::Taxonomy;
+
+/// Build the WordNet-like fragment used by the synthetic Wikipedia dataset.
+///
+/// Leaves under `wordnet_musician` and other mid-level concepts give the
+/// summarizer realistic grouping choices; the shared spine up to
+/// `wordnet_entity` keeps everything connected.
+pub fn wordnet_fragment() -> Taxonomy {
+    let mut t = Taxonomy::new();
+    // Spine
+    t.subclass("wordnet_physical_entity", "wordnet_entity");
+    t.subclass("wordnet_object", "wordnet_physical_entity");
+    t.subclass("wordnet_causal_agent", "wordnet_physical_entity");
+    t.subclass("wordnet_person", "wordnet_causal_agent");
+    // People
+    t.subclass("wordnet_entertainer", "wordnet_person");
+    t.subclass("wordnet_performer", "wordnet_entertainer");
+    t.subclass("wordnet_musician", "wordnet_performer");
+    t.subclass("wordnet_singer", "wordnet_musician");
+    t.subclass("wordnet_guitarist", "wordnet_musician");
+    t.subclass("wordnet_pianist", "wordnet_musician");
+    t.subclass("wordnet_actor", "wordnet_performer");
+    t.subclass("wordnet_comedian", "wordnet_performer");
+    t.subclass("wordnet_scientist", "wordnet_person");
+    t.subclass("wordnet_physicist", "wordnet_scientist");
+    t.subclass("wordnet_chemist", "wordnet_scientist");
+    t.subclass("wordnet_politician", "wordnet_person");
+    t.subclass("wordnet_athlete", "wordnet_person");
+    t.subclass("wordnet_footballer", "wordnet_athlete");
+    t.subclass("wordnet_swimmer", "wordnet_athlete");
+    t.subclass("wordnet_writer", "wordnet_person");
+    t.subclass("wordnet_novelist", "wordnet_writer");
+    t.subclass("wordnet_poet", "wordnet_writer");
+    // Non-person objects (film/city pages etc.)
+    t.subclass("wordnet_artifact", "wordnet_object");
+    t.subclass("wordnet_creation", "wordnet_artifact");
+    t.subclass("wordnet_movie", "wordnet_creation");
+    t.subclass("wordnet_album", "wordnet_creation");
+    t.subclass("wordnet_location", "wordnet_object");
+    t.subclass("wordnet_city", "wordnet_location");
+    t.subclass("wordnet_country", "wordnet_location");
+    t
+}
+
+/// The leaf concepts suitable for attaching Wikipedia pages to.
+pub fn page_leaf_concepts() -> &'static [&'static str] {
+    &[
+        "wordnet_singer",
+        "wordnet_guitarist",
+        "wordnet_pianist",
+        "wordnet_actor",
+        "wordnet_comedian",
+        "wordnet_physicist",
+        "wordnet_chemist",
+        "wordnet_politician",
+        "wordnet_footballer",
+        "wordnet_swimmer",
+        "wordnet_novelist",
+        "wordnet_poet",
+        "wordnet_movie",
+        "wordnet_album",
+        "wordnet_city",
+        "wordnet_country",
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wu_palmer::similarity;
+
+    #[test]
+    fn fragment_is_rooted_at_entity() {
+        let t = wordnet_fragment();
+        let entity = t.by_name("wordnet_entity").unwrap();
+        for c in t.ids() {
+            assert!(
+                t.is_ancestor(entity, c),
+                "{} not under entity",
+                t.name(c)
+            );
+        }
+    }
+
+    #[test]
+    fn paper_ancestor_chain_exists() {
+        let t = wordnet_fragment();
+        let singer = t.by_name("wordnet_singer").unwrap();
+        for anc in [
+            "wordnet_musician",
+            "wordnet_performer",
+            "wordnet_entertainer",
+            "wordnet_person",
+            "wordnet_causal_agent",
+            "wordnet_physical_entity",
+        ] {
+            assert!(t.is_ancestor(t.by_name(anc).unwrap(), singer), "{anc}");
+        }
+    }
+
+    #[test]
+    fn all_leaf_concepts_resolve() {
+        let t = wordnet_fragment();
+        for leaf in page_leaf_concepts() {
+            assert!(t.by_name(leaf).is_some(), "{leaf}");
+        }
+    }
+
+    #[test]
+    fn singer_guitarist_lcs_is_musician() {
+        let t = wordnet_fragment();
+        let s = t.by_name("wordnet_singer").unwrap();
+        let g = t.by_name("wordnet_guitarist").unwrap();
+        assert_eq!(t.lcs(s, g), t.by_name("wordnet_musician"));
+        assert!(similarity(&t, s, g) > 0.5);
+    }
+}

@@ -1,0 +1,130 @@
+//! Wu–Palmer semantic relatedness (\[29\] in the paper).
+//!
+//! `sim(a, b) = 2·depth(lcs(a,b)) / (depth(a) + depth(b))`, in `(0, 1]`
+//! when a common subsumer exists; we define the distance as `1 − sim`.
+//! The summarization algorithm uses these distances to (a) prefer mapping
+//! annotations to nearby concepts ("Guitarist" over "Person") and (b) break
+//! ties between equal-score candidates (§3.2, §4.2).
+
+use crate::dag::{ConceptId, Taxonomy};
+
+/// Wu–Palmer similarity between two concepts. Returns 0 when the concepts
+/// share no ancestor. Two root concepts (depth 0) compared with themselves
+/// yield 1 by convention.
+pub fn similarity(t: &Taxonomy, a: ConceptId, b: ConceptId) -> f64 {
+    if a == b {
+        return 1.0;
+    }
+    let Some(lcs) = t.lcs(a, b) else {
+        return 0.0;
+    };
+    let da = t.depth(a) as f64;
+    let db = t.depth(b) as f64;
+    let dl = t.depth(lcs) as f64;
+    if da + db == 0.0 {
+        return 1.0;
+    }
+    (2.0 * dl) / (da + db)
+}
+
+/// Wu–Palmer distance: `1 − similarity`.
+pub fn distance(t: &Taxonomy, a: ConceptId, b: ConceptId) -> f64 {
+    1.0 - similarity(t, a, b)
+}
+
+/// Aggregation used to fold member-to-target taxonomy distances when
+/// scoring or tie-breaking a candidate mapping (§3.2 offers MAX or SUM).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TaxonomyFold {
+    /// Maximum member distance.
+    Max,
+    /// Sum of member distances.
+    Sum,
+}
+
+/// Distance of a group of member concepts from a target concept, folded
+/// with the requested aggregation.
+pub fn group_distance(
+    t: &Taxonomy,
+    members: &[ConceptId],
+    target: ConceptId,
+    fold: TaxonomyFold,
+) -> f64 {
+    let ds = members.iter().map(|&m| distance(t, m, target));
+    match fold {
+        TaxonomyFold::Max => ds.fold(0.0, f64::max),
+        TaxonomyFold::Sum => ds.sum(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn taxonomy() -> Taxonomy {
+        let mut t = Taxonomy::new();
+        t.subclass("person", "entity");
+        t.subclass("performer", "person");
+        t.subclass("musician", "performer");
+        t.subclass("singer", "musician");
+        t.subclass("guitarist", "musician");
+        t
+    }
+
+    #[test]
+    fn identical_concepts_have_similarity_one() {
+        let t = taxonomy();
+        let s = t.by_name("singer").unwrap();
+        assert_eq!(similarity(&t, s, s), 1.0);
+        assert_eq!(distance(&t, s, s), 0.0);
+    }
+
+    #[test]
+    fn siblings_are_closer_than_distant_cousins() {
+        let t = taxonomy();
+        let singer = t.by_name("singer").unwrap();
+        let guitarist = t.by_name("guitarist").unwrap();
+        let person = t.by_name("person").unwrap();
+        let sib = similarity(&t, singer, guitarist);
+        let far = similarity(&t, singer, person);
+        assert!(sib > far, "{sib} vs {far}");
+        // singer depth 4, guitarist depth 4, lcs musician depth 3:
+        assert!((sib - 2.0 * 3.0 / 8.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mapping_to_nearby_concept_is_preferred() {
+        // "mapping user annotations to 'Guitarist' is preferable to mapping
+        // them to 'Person'" — i.e. smaller group distance.
+        let t = taxonomy();
+        let guitarist = t.by_name("guitarist").unwrap();
+        let musician = t.by_name("musician").unwrap();
+        let person = t.by_name("person").unwrap();
+        let members = [guitarist];
+        let d_close = group_distance(&t, &members, musician, TaxonomyFold::Max);
+        let d_far = group_distance(&t, &members, person, TaxonomyFold::Max);
+        assert!(d_close < d_far);
+    }
+
+    #[test]
+    fn unrelated_concepts_have_zero_similarity() {
+        let mut t = Taxonomy::new();
+        let a = t.concept("a");
+        let b = t.concept("b");
+        assert_eq!(similarity(&t, a, b), 0.0);
+        assert_eq!(distance(&t, a, b), 1.0);
+    }
+
+    #[test]
+    fn group_folds_differ() {
+        let t = taxonomy();
+        let singer = t.by_name("singer").unwrap();
+        let guitarist = t.by_name("guitarist").unwrap();
+        let musician = t.by_name("musician").unwrap();
+        let members = [singer, guitarist];
+        let mx = group_distance(&t, &members, musician, TaxonomyFold::Max);
+        let sm = group_distance(&t, &members, musician, TaxonomyFold::Sum);
+        assert!(sm >= mx);
+        assert!(mx > 0.0);
+    }
+}

@@ -1,0 +1,33 @@
+//! # prox-workflow
+//!
+//! The workflow substrate of Chapter 2: applications are captured as
+//! FSM-like specifications whose modules are queries over their inputs and
+//! an underlying annotated database, which they may also update. Running a
+//! workflow *produces* the semiring provenance that PROX then summarizes —
+//! this crate closes that loop with:
+//!
+//! * annotated `K`-relations and values ([`relation`]);
+//! * provenance-aware relational operators — selection, duplicate-
+//!   eliminating projection (`+`), natural join (`·`), union, and
+//!   aggregation into tensor sums ([`query`]);
+//! * the module/specification/run model over a persistent [`Database`]
+//!   ([`module`]);
+//! * the paper's movie-rating workflow of Fig 2.1, including the `Stats`
+//!   updates and the symbolic activity guards `[Sᵢ·Uᵢ ⊗ NumRate > 2]` of
+//!   Example 2.2.1 ([`movies`]).
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod module;
+pub mod movies;
+pub mod query;
+pub mod relation;
+
+pub use module::{Database, Module, Node, Workflow, WorkflowError};
+pub use movies::{
+    demo_database, movie_workflow, movies_provenance, reviews_relation, AggregatorModule,
+    ReviewingModule, ACTIVITY_THRESHOLD,
+};
+pub use query::{aggregate, join, project, select, union};
+pub use relation::{Relation, Tuple, Value};

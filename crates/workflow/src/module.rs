@@ -1,0 +1,242 @@
+//! Workflow specifications and executions (§2.1).
+//!
+//! A workflow is an FSM-like specification: modules represent processing
+//! steps, edges indicate dataflow from one module's output port to the next
+//! module's input port. The workflow operates in the context of a global
+//! persistent state — an underlying [`Database`] — which atomic modules may
+//! query *and update*. A run is a repeated application of modules in
+//! specification order.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use prox_provenance::AnnStore;
+
+use crate::relation::Relation;
+
+/// The global persistent state: named annotated relations.
+#[derive(Clone, Debug, Default)]
+pub struct Database {
+    relations: HashMap<String, Relation>,
+}
+
+impl Database {
+    /// Empty database.
+    pub fn new() -> Self {
+        Database::default()
+    }
+
+    /// Install (or replace) a relation.
+    pub fn insert(&mut self, relation: Relation) {
+        self.relations.insert(relation.name.clone(), relation);
+    }
+
+    /// Read a relation.
+    pub fn get(&self, name: &str) -> Option<&Relation> {
+        self.relations.get(name)
+    }
+
+    /// Mutably access a relation (modules update `Stats` this way).
+    pub fn get_mut(&mut self, name: &str) -> Option<&mut Relation> {
+        self.relations.get_mut(name)
+    }
+
+    /// Names of all relations, sorted.
+    pub fn names(&self) -> Vec<&str> {
+        let mut v: Vec<&str> = self.relations.keys().map(String::as_str).collect();
+        v.sort_unstable();
+        v
+    }
+}
+
+/// Errors raised during a workflow run.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum WorkflowError {
+    /// A module referenced a database relation that does not exist.
+    MissingRelation(String),
+    /// A module was wired to an output port that was never produced.
+    MissingInput(String),
+    /// A module rejected its input.
+    BadInput(String),
+}
+
+impl fmt::Display for WorkflowError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WorkflowError::MissingRelation(n) => write!(f, "missing database relation {n:?}"),
+            WorkflowError::MissingInput(n) => write!(f, "missing input port {n:?}"),
+            WorkflowError::BadInput(m) => write!(f, "bad module input: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for WorkflowError {}
+
+/// An atomic module: a query over its inputs and the underlying database,
+/// possibly updating the database.
+pub trait Module {
+    /// Module name (for the specification and error messages).
+    fn name(&self) -> &str;
+
+    /// Execute the module.
+    fn run(
+        &self,
+        inputs: &[&Relation],
+        db: &mut Database,
+        store: &mut AnnStore,
+    ) -> Result<Relation, WorkflowError>;
+}
+
+/// One node of the specification: a module plus the names of the output
+/// ports it consumes.
+pub struct Node {
+    /// The module.
+    pub module: Box<dyn Module>,
+    /// Input port names (either workflow inputs or earlier nodes' outputs).
+    pub inputs: Vec<String>,
+    /// The name of this node's output port.
+    pub output: String,
+}
+
+/// A workflow specification: nodes in execution (topological) order.
+#[derive(Default)]
+pub struct Workflow {
+    nodes: Vec<Node>,
+}
+
+impl Workflow {
+    /// Empty workflow.
+    pub fn new() -> Self {
+        Workflow::default()
+    }
+
+    /// Append a node (builder style). Nodes run in insertion order, so
+    /// inputs must name workflow inputs or outputs of earlier nodes.
+    pub fn then(
+        mut self,
+        module: impl Module + 'static,
+        inputs: &[&str],
+        output: &str,
+    ) -> Self {
+        self.nodes.push(Node {
+            module: Box::new(module),
+            inputs: inputs.iter().map(|s| (*s).to_owned()).collect(),
+            output: output.to_owned(),
+        });
+        self
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True when the specification has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Execute a run: feed `inputs` (named port → relation), apply each
+    /// module in order, return all produced ports (inputs included).
+    pub fn run(
+        &self,
+        inputs: Vec<(String, Relation)>,
+        db: &mut Database,
+        store: &mut AnnStore,
+    ) -> Result<HashMap<String, Relation>, WorkflowError> {
+        let mut ports: HashMap<String, Relation> = inputs.into_iter().collect();
+        for node in &self.nodes {
+            let resolved: Vec<&Relation> = node
+                .inputs
+                .iter()
+                .map(|name| {
+                    ports
+                        .get(name)
+                        .ok_or_else(|| WorkflowError::MissingInput(name.clone()))
+                })
+                .collect::<Result<_, _>>()?;
+            let out = node.module.run(&resolved, db, store)?;
+            ports.insert(node.output.clone(), out);
+        }
+        Ok(ports)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::relation::Value;
+    use prox_provenance::Polynomial;
+
+    /// A module that copies its input and appends a row counter column to
+    /// a database relation (exercising state updates).
+    struct CountingModule;
+
+    impl Module for CountingModule {
+        fn name(&self) -> &str {
+            "counter"
+        }
+
+        fn run(
+            &self,
+            inputs: &[&Relation],
+            db: &mut Database,
+            _store: &mut AnnStore,
+        ) -> Result<Relation, WorkflowError> {
+            let input = inputs
+                .first()
+                .ok_or_else(|| WorkflowError::BadInput("no input".into()))?;
+            let stats = db
+                .get_mut("Counts")
+                .ok_or_else(|| WorkflowError::MissingRelation("Counts".into()))?;
+            stats.push(
+                vec![Value::Num(input.len() as f64)],
+                Polynomial::one(),
+            );
+            Ok((*input).clone())
+        }
+    }
+
+    #[test]
+    fn run_executes_in_order_and_updates_state() {
+        let mut db = Database::new();
+        db.insert(Relation::new("Counts", &["n"]));
+        let mut store = AnnStore::new();
+        let wf = Workflow::new()
+            .then(CountingModule, &["in"], "mid")
+            .then(CountingModule, &["mid"], "out");
+        let mut input = Relation::new("R", &["x"]);
+        input.push(vec![Value::Num(1.0)], Polynomial::one());
+        let ports = wf
+            .run(vec![("in".into(), input)], &mut db, &mut store)
+            .expect("runs");
+        assert!(ports.contains_key("out"));
+        assert_eq!(db.get("Counts").map(Relation::len), Some(2));
+    }
+
+    #[test]
+    fn missing_input_port_errors() {
+        let mut db = Database::new();
+        db.insert(Relation::new("Counts", &["n"]));
+        let mut store = AnnStore::new();
+        let wf = Workflow::new().then(CountingModule, &["absent"], "out");
+        let err = wf.run(vec![], &mut db, &mut store).unwrap_err();
+        assert_eq!(err, WorkflowError::MissingInput("absent".into()));
+    }
+
+    #[test]
+    fn missing_relation_errors() {
+        let mut db = Database::new(); // no Counts table
+        let mut store = AnnStore::new();
+        let wf = Workflow::new().then(CountingModule, &["in"], "out");
+        let err = wf
+            .run(
+                vec![("in".into(), Relation::new("R", &["x"]))],
+                &mut db,
+                &mut store,
+            )
+            .unwrap_err();
+        assert!(matches!(err, WorkflowError::MissingRelation(_)));
+        assert!(err.to_string().contains("Counts"));
+    }
+}

@@ -1,0 +1,229 @@
+//! Provenance-aware relational operators over annotated relations (§2.2):
+//! `+` for alternative use (union, duplicate-eliminating projection), `·`
+//! for joint use (join), and aggregation producing tensor expressions.
+
+use std::collections::HashMap;
+
+use prox_provenance::{AggExpr, AggKind, AggValue, Tensor};
+
+use crate::relation::{Relation, Tuple, Value};
+
+/// Selection: keep tuples satisfying the predicate; annotations unchanged.
+pub fn select(r: &Relation, pred: impl Fn(&Tuple, &Relation) -> bool) -> Relation {
+    let mut out = Relation::new(format!("σ({})", r.name), &[]);
+    out.schema = r.schema.clone();
+    for t in &r.tuples {
+        if pred(t, r) {
+            out.tuples.push(t.clone());
+        }
+    }
+    out
+}
+
+/// Projection onto named columns, eliminating duplicates: annotations of
+/// collapsed tuples add (`+` = alternative use).
+pub fn project(r: &Relation, cols: &[&str]) -> Relation {
+    let ixs: Vec<usize> = cols.iter().map(|c| r.col(c)).collect();
+    let mut out = Relation::new(format!("π({})", r.name), cols);
+    let mut index: HashMap<String, usize> = HashMap::new();
+    for t in &r.tuples {
+        let values: Vec<Value> = ixs.iter().map(|&ix| t.values[ix].clone()).collect();
+        let key = values.iter().map(Value::to_string).collect::<Vec<_>>().join("\u{1}");
+        match index.get(&key) {
+            Some(&row) => {
+                let existing = &mut out.tuples[row];
+                existing.ann = existing.ann.add(&t.ann);
+            }
+            None => {
+                index.insert(key, out.tuples.len());
+                out.tuples.push(Tuple::new(values, t.ann.clone()));
+            }
+        }
+    }
+    out
+}
+
+/// Natural join on a single shared column: annotations multiply
+/// (`·` = joint use). Output schema is `left ++ (right minus join col)`.
+pub fn join(left: &Relation, right: &Relation, on: &str) -> Relation {
+    let lix = left.col(on);
+    let rix = right.col(on);
+    let mut schema: Vec<&str> = left.schema.iter().map(String::as_str).collect();
+    let right_cols: Vec<(usize, &str)> = right
+        .schema
+        .iter()
+        .enumerate()
+        .filter(|&(ix, _)| ix != rix)
+        .map(|(ix, c)| (ix, c.as_str()))
+        .collect();
+    schema.extend(right_cols.iter().map(|&(_, c)| c));
+    let mut out = Relation::new(format!("({} ⋈ {})", left.name, right.name), &schema);
+
+    // Hash join on the rendered key.
+    let mut index: HashMap<String, Vec<usize>> = HashMap::new();
+    for (row, t) in right.tuples.iter().enumerate() {
+        index.entry(t.values[rix].to_string()).or_default().push(row);
+    }
+    for lt in &left.tuples {
+        let key = lt.values[lix].to_string();
+        if let Some(rows) = index.get(&key) {
+            for &row in rows {
+                let rt = &right.tuples[row];
+                let mut values = lt.values.clone();
+                values.extend(right_cols.iter().map(|&(ix, _)| rt.values[ix].clone()));
+                out.tuples.push(Tuple::new(values, lt.ann.mul(&rt.ann)));
+            }
+        }
+    }
+    out
+}
+
+/// Union of two relations with identical schemas: tuples concatenate and
+/// duplicates (by value) have their annotations added.
+pub fn union(a: &Relation, b: &Relation) -> Relation {
+    assert_eq!(a.schema, b.schema, "union requires identical schemas");
+    let mut combined = Relation::new(format!("({} ∪ {})", a.name, b.name), &[]);
+    combined.schema = a.schema.clone();
+    combined.tuples = a.tuples.iter().chain(&b.tuples).cloned().collect();
+    let cols: Vec<&str> = combined.schema.iter().map(String::as_str).collect();
+    let mut out = project(&combined, &cols);
+    out.name = format!("({} ∪ {})", a.name, b.name);
+    out
+}
+
+/// Group-by aggregation producing a provenance-aware value per group
+/// (§2.2's extension of K-relations with aggregated values): each group's
+/// value is the formal sum `⊕ᵢ tᵢ ⊗ vᵢ` over its tuples.
+pub fn aggregate(
+    r: &Relation,
+    group_col: &str,
+    value_col: &str,
+    kind: AggKind,
+) -> Vec<(Value, AggExpr)> {
+    let gix = r.col(group_col);
+    let vix = r.col(value_col);
+    let mut order: Vec<String> = Vec::new();
+    let mut groups: HashMap<String, (Value, Vec<Tensor>)> = HashMap::new();
+    for t in &r.tuples {
+        let key = t.values[gix].to_string();
+        let value = t.values[vix].as_num().expect("aggregating a numeric column");
+        let entry = groups.entry(key.clone()).or_insert_with(|| {
+            order.push(key);
+            (t.values[gix].clone(), Vec::new())
+        });
+        entry
+            .1
+            .push(Tensor::new(t.ann.clone(), AggValue::single(value)));
+    }
+    order
+        .into_iter()
+        .map(|key| {
+            let (group, tensors) = groups.remove(&key).expect("group recorded");
+            (group, AggExpr::from_tensors(tensors, kind))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prox_provenance::{AnnId, Polynomial, Valuation};
+
+    fn ann(ix: usize) -> AnnId {
+        AnnId::from_index(ix)
+    }
+
+    fn users() -> Relation {
+        let mut r = Relation::new("Users", &["uid", "role"]);
+        r.push(vec!["U1".into(), "audience".into()], Polynomial::var(ann(0)));
+        r.push(vec!["U2".into(), "critic".into()], Polynomial::var(ann(1)));
+        r.push(vec!["U3".into(), "audience".into()], Polynomial::var(ann(2)));
+        r
+    }
+
+    fn reviews() -> Relation {
+        let mut r = Relation::new("Reviews", &["uid", "movie", "score"]);
+        r.push(
+            vec!["U1".into(), "MP".into(), 3.0.into()],
+            Polynomial::var(ann(10)),
+        );
+        r.push(
+            vec!["U2".into(), "MP".into(), 5.0.into()],
+            Polynomial::var(ann(11)),
+        );
+        r.push(
+            vec!["U2".into(), "BJ".into(), 4.0.into()],
+            Polynomial::var(ann(12)),
+        );
+        r
+    }
+
+    #[test]
+    fn select_keeps_annotations() {
+        let r = users();
+        let audience = select(&r, |t, rel| {
+            t.values[rel.col("role")].as_str() == Some("audience")
+        });
+        assert_eq!(audience.len(), 2);
+        assert_eq!(audience.tuples[0].ann, Polynomial::var(ann(0)));
+    }
+
+    #[test]
+    fn project_adds_annotations_of_duplicates() {
+        let r = users();
+        let roles = project(&r, &["role"]);
+        assert_eq!(roles.len(), 2);
+        let audience_row = roles
+            .tuples
+            .iter()
+            .find(|t| t.values[0].as_str() == Some("audience"))
+            .expect("audience role present");
+        // audience provenance = a0 + a2
+        assert_eq!(
+            audience_row.ann,
+            Polynomial::var(ann(0)).add(&Polynomial::var(ann(2)))
+        );
+    }
+
+    #[test]
+    fn join_multiplies_annotations() {
+        let joined = join(&reviews(), &users(), "uid");
+        assert_eq!(joined.len(), 3);
+        let u1 = &joined.tuples[0];
+        assert_eq!(u1.ann, Polynomial::var(ann(10)).mul(&Polynomial::var(ann(0))));
+        assert_eq!(joined.schema, vec!["uid", "movie", "score", "role"]);
+    }
+
+    #[test]
+    fn union_merges_duplicates() {
+        let a = users();
+        let b = users();
+        let u = union(&a, &b);
+        assert_eq!(u.len(), 3, "duplicates collapse");
+        // Each tuple's annotation doubles: a + a = 2a.
+        assert_eq!(u.tuples[0].ann.terms()[0].1, 2);
+    }
+
+    #[test]
+    fn aggregate_builds_tensor_sums() {
+        let groups = aggregate(&reviews(), "movie", "score", AggKind::Max);
+        assert_eq!(groups.len(), 2);
+        let (mp, expr) = &groups[0];
+        assert_eq!(mp.as_str(), Some("MP"));
+        assert_eq!(expr.len(), 2);
+        assert_eq!(expr.eval(&Valuation::all_true()).result(), 5.0);
+        let v = Valuation::cancel(&[ann(11)]);
+        assert_eq!(expr.eval(&v).result(), 3.0);
+    }
+
+    #[test]
+    fn provisioning_via_join_provenance() {
+        // Cancelling a user's base tuple kills every joined row derived
+        // from it — joint use is multiplicative.
+        let joined = join(&reviews(), &users(), "uid");
+        let v = Valuation::cancel(&[ann(1)]); // cancel U2's Users tuple
+        let visible = joined.visible(&v);
+        assert_eq!(visible.len(), 1);
+        assert_eq!(visible[0].values[0].as_str(), Some("U1"));
+    }
+}

@@ -1,0 +1,198 @@
+//! Annotated relations: `K`-relations in the sense of \[21\] (§2.2), where
+//! every tuple carries an `N[Ann]` provenance annotation.
+
+use std::fmt;
+
+use prox_provenance::{AnnStore, Polynomial, Valuation};
+
+/// A relational value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    /// A string value.
+    Str(String),
+    /// A numeric value.
+    Num(f64),
+}
+
+impl Value {
+    /// String accessor.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            Value::Num(_) => None,
+        }
+    }
+
+    /// Numeric accessor.
+    pub fn as_num(&self) -> Option<f64> {
+        match self {
+            Value::Num(n) => Some(*n),
+            Value::Str(_) => None,
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Str(s) => f.write_str(s),
+            Value::Num(n) => {
+                if n.fract() == 0.0 {
+                    write!(f, "{}", *n as i64)
+                } else {
+                    write!(f, "{n}")
+                }
+            }
+        }
+    }
+}
+
+impl From<&str> for Value {
+    fn from(s: &str) -> Self {
+        Value::Str(s.to_owned())
+    }
+}
+
+impl From<f64> for Value {
+    fn from(n: f64) -> Self {
+        Value::Num(n)
+    }
+}
+
+/// One annotated tuple.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Tuple {
+    /// Attribute values, positionally matching the relation's schema.
+    pub values: Vec<Value>,
+    /// The tuple's provenance annotation.
+    pub ann: Polynomial,
+}
+
+impl Tuple {
+    /// Build a tuple.
+    pub fn new(values: Vec<Value>, ann: Polynomial) -> Self {
+        Tuple { values, ann }
+    }
+}
+
+/// An annotated relation with a named schema.
+#[derive(Clone, Debug, PartialEq, Default)]
+pub struct Relation {
+    /// Relation name.
+    pub name: String,
+    /// Column names.
+    pub schema: Vec<String>,
+    /// The tuples.
+    pub tuples: Vec<Tuple>,
+}
+
+impl Relation {
+    /// Empty relation with a schema.
+    pub fn new(name: impl Into<String>, schema: &[&str]) -> Self {
+        Relation {
+            name: name.into(),
+            schema: schema.iter().map(|s| (*s).to_owned()).collect(),
+            tuples: Vec::new(),
+        }
+    }
+
+    /// Column index by name; panics on unknown columns (schema errors are
+    /// construction bugs, not runtime conditions).
+    pub fn col(&self, name: &str) -> usize {
+        self.schema
+            .iter()
+            .position(|c| c == name)
+            .unwrap_or_else(|| panic!("relation {:?} has no column {name:?}", self.name))
+    }
+
+    /// Append a tuple.
+    pub fn push(&mut self, values: Vec<Value>, ann: Polynomial) {
+        debug_assert_eq!(values.len(), self.schema.len());
+        self.tuples.push(Tuple::new(values, ann));
+    }
+
+    /// Number of tuples.
+    pub fn len(&self) -> usize {
+        self.tuples.len()
+    }
+
+    /// True when the relation has no tuples.
+    pub fn is_empty(&self) -> bool {
+        self.tuples.is_empty()
+    }
+
+    /// The value at `(row, column-name)`.
+    pub fn value(&self, row: usize, col: &str) -> &Value {
+        &self.tuples[row].values[self.col(col)]
+    }
+
+    /// Tuples visible under a valuation (those whose annotation is truthy):
+    /// the relation's image under provisioning.
+    pub fn visible(&self, v: &Valuation) -> Vec<&Tuple> {
+        self.tuples.iter().filter(|t| t.ann.eval_bool(v)).collect()
+    }
+
+    /// Render as an aligned table with annotations, for debugging and the
+    /// CLI.
+    pub fn render(&self, store: &AnnStore) -> String {
+        let mut out = format!("{}({})\n", self.name, self.schema.join(", "));
+        for t in &self.tuples {
+            let row = t
+                .values
+                .iter()
+                .map(Value::to_string)
+                .collect::<Vec<_>>()
+                .join(" | ");
+            out.push_str(&format!(
+                "  {row}   ⟵ {}\n",
+                t.ann.render(&|a| store.name(a).to_owned())
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prox_provenance::AnnId;
+
+    fn ann(ix: usize) -> AnnId {
+        AnnId::from_index(ix)
+    }
+
+    #[test]
+    fn schema_and_access() {
+        let mut r = Relation::new("Users", &["uid", "gender"]);
+        r.push(vec!["U1".into(), "F".into()], Polynomial::var(ann(0)));
+        assert_eq!(r.col("gender"), 1);
+        assert_eq!(r.value(0, "uid").as_str(), Some("U1"));
+        assert_eq!(r.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "no column")]
+    fn unknown_column_panics() {
+        let r = Relation::new("R", &["a"]);
+        r.col("b");
+    }
+
+    #[test]
+    fn visibility_follows_annotations() {
+        let mut r = Relation::new("R", &["x"]);
+        r.push(vec![Value::Num(1.0)], Polynomial::var(ann(0)));
+        r.push(vec![Value::Num(2.0)], Polynomial::var(ann(1)));
+        let v = Valuation::cancel(&[ann(0)]);
+        let vis = r.visible(&v);
+        assert_eq!(vis.len(), 1);
+        assert_eq!(vis[0].values[0], Value::Num(2.0));
+    }
+
+    #[test]
+    fn value_conversions() {
+        assert_eq!(Value::from("x").as_str(), Some("x"));
+        assert_eq!(Value::from(2.5).as_num(), Some(2.5));
+        assert_eq!(Value::Num(3.0).to_string(), "3");
+        assert_eq!(Value::Num(2.5).to_string(), "2.5");
+    }
+}

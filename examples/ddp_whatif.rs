@@ -1,0 +1,96 @@
+//! What-if analysis on Data-Dependent Process provenance (Example 5.2.2):
+//! summarize a DDP's execution provenance, then explore hypothetical
+//! modifications — removing DB tuples, cancelling user transitions — on
+//! both the original and the summary.
+//!
+//! Run with `cargo run --release --example ddp_whatif`.
+
+use prox::core::{SummarizeConfig, Summarizer};
+use prox::datasets::{Ddp, DdpConfig};
+use prox::provenance::{display, EvalOutcome, Valuation, ValuationClass};
+
+fn outcome(o: &EvalOutcome) -> String {
+    match o {
+        EvalOutcome::Ddp { cost: Some(c) } => format!("feasible, best cost {c}"),
+        EvalOutcome::Ddp { cost: None } => "no feasible execution".to_owned(),
+        other => format!("{other:?}"),
+    }
+}
+
+fn main() {
+    let mut data = Ddp::generate(DdpConfig {
+        db_vars: 10,
+        cost_vars: 6,
+        executions: 8,
+        max_transitions: 5,
+        relations: 2,
+        seed: 8,
+    });
+    let p0 = data.provenance.clone();
+    println!(
+        "DDP provenance: {} executions, size {} (variables: {} db, {} cost).",
+        p0.executions().len(),
+        p0.size(),
+        data.db_vars.len(),
+        data.cost_vars.len(),
+    );
+    println!("  {}\n", display::render_ddp(&p0, &data.store));
+
+    let valuations = data.valuations(ValuationClass::CancelSingleAttribute);
+    let constraints = data.constraints();
+    let phi = data.phi();
+    let config = SummarizeConfig {
+        w_dist: 0.7,
+        w_size: 0.3,
+        max_steps: 10,
+        phi,
+        val_func: prox::core::ValFuncKind::DdpDiff,
+        ..Default::default()
+    };
+    let mut summarizer = Summarizer::new(&mut data.store, constraints, config);
+    let result = summarizer.summarize(&p0, &valuations).expect("valid config");
+    println!(
+        "Summary after {} steps: size {} → {}, distance {:.4}.",
+        result.history.len(),
+        result.initial_size,
+        result.final_size(),
+        result.final_distance,
+    );
+    println!("  {}\n", display::render_ddp(&result.summary, &data.store));
+
+    // What-if 1: the database loses every tuple of relation R1.
+    let relation = data.store.attr("relation");
+    let r1 = data.store.value("R1");
+    let r1_vars: Vec<_> = data
+        .db_vars
+        .iter()
+        .copied()
+        .filter(|&d| data.store.get(d).attr(relation) == Some(r1))
+        .collect();
+    let v1 = Valuation::cancel(&r1_vars).labeled("drop relation R1");
+    // What-if 2: user transitions of maximal cost are never taken.
+    let max_cost_var = data
+        .cost_vars
+        .iter()
+        .copied()
+        .max_by(|&a, &b| {
+            p0.cost_of(a)
+                .partial_cmp(&p0.cost_of(b))
+                .expect("finite costs")
+        })
+        .expect("cost vars exist");
+    let v2 = Valuation::cancel(&[max_cost_var]).labeled("skip priciest user step");
+
+    for v in [v1, v2] {
+        let lifted = v.lift_map(&result.mapping, &data.phi(), &data.store);
+        println!("What if we {}?", v.label.as_deref().unwrap_or("?"));
+        println!("  original: {}", outcome(&p0.eval(&v)));
+        println!("  summary:  {}", outcome(&result.summary.eval(&lifted)));
+    }
+    println!(
+        "\nOn the summary each question touches {} variables instead of {} —\n\
+         the analyst explores FSM/database modifications on a far smaller object.",
+        result.final_size(),
+        result.initial_size,
+    );
+}

@@ -1,0 +1,121 @@
+//! From application to summary, end to end: run the paper's movie-rating
+//! workflow (Fig 2.1) to *produce* guarded provenance, then summarize it —
+//! the complete PROX story in one program.
+//!
+//! Run with `cargo run --example workflow_provenance`.
+
+use prox::core::{ConstraintConfig, MergeRule, SummarizeConfig, Summarizer};
+use prox::provenance::{display, AggKind, AnnStore, Valuation, ValuationClass};
+use prox::workflow::{demo_database, movie_workflow, movies_provenance, reviews_relation};
+
+fn main() {
+    let mut store = AnnStore::new();
+
+    // ── The application: users, platforms, and the workflow ────────────
+    let mut db = demo_database(
+        &[
+            ("U1", "audience"),
+            ("U2", "critic"),
+            ("U3", "audience"),
+            ("U4", "audience"),
+            ("U5", "critic"),
+        ],
+        &mut store,
+    );
+    let audience = reviews_relation(
+        "audience_reviews",
+        &[
+            ("U1", "MatchPoint", 3.0),
+            ("U1", "Friday", 4.0),
+            ("U1", "PartyGirl", 2.0),
+            ("U3", "MatchPoint", 3.0),
+            ("U3", "Friday", 5.0),
+            ("U3", "PartyGirl", 4.0),
+            ("U4", "MatchPoint", 4.0),
+            ("U4", "BlueJasmine", 3.0),
+            ("U4", "Friday", 3.0),
+        ],
+    );
+    let critic = reviews_relation(
+        "critic_reviews",
+        &[
+            ("U2", "MatchPoint", 5.0),
+            ("U2", "BlueJasmine", 4.0),
+            ("U2", "Friday", 2.0),
+            ("U5", "BlueJasmine", 5.0),
+            ("U5", "PartyGirl", 3.0),
+            ("U5", "MatchPoint", 4.0),
+        ],
+    );
+
+    let workflow = movie_workflow();
+    let ports = workflow
+        .run(
+            vec![
+                ("audience_reviews".into(), audience),
+                ("critic_reviews".into(), critic),
+            ],
+            &mut db,
+            &mut store,
+        )
+        .expect("the workflow runs");
+
+    println!("── After the run, the underlying database holds ──");
+    println!("{}", db.get("Stats").expect("stats").render(&store));
+
+    // ── The produced provenance (Example 2.2.1's structure) ─────────────
+    let guarded = movies_provenance(&ports["sanitized"], &mut store, AggKind::Max);
+    let p0 = guarded.clone();
+    println!("── Provenance produced by the workflow (size {}) ──", p0.size());
+    let rendered = display::render_provexpr(&p0, &store);
+    println!("{}\n", rendered.chars().take(600).collect::<String>());
+
+    // ── Summarize it ────────────────────────────────────────────────────
+    // Example 3.1.1's first move: assume the statistics reliable and
+    // discard the satisfied inequality terms, so user merges can shrink
+    // the expression.
+    let p0 = p0.discharge_guards(&Valuation::all_true());
+    println!("After discharging guards (statistics assumed reliable): size {}\n", p0.size());
+
+    let users_dom = store.domain("users");
+    let user_anns: Vec<_> = ["U1", "U2", "U3", "U4", "U5"]
+        .iter()
+        .map(|u| store.by_name(u).expect("interned"))
+        .collect();
+    let valuations =
+        ValuationClass::CancelSingleAnnotation.generate(&store, &user_anns, &[users_dom]);
+    let constraints = ConstraintConfig::new().allow(
+        users_dom,
+        MergeRule::SharedAttribute { attrs: vec![] },
+    );
+    let config = SummarizeConfig {
+        w_dist: 0.8,
+        w_size: 0.2,
+        max_steps: 6,
+        ..Default::default()
+    };
+    let mut summarizer = Summarizer::new(&mut store, constraints, config);
+    let result = summarizer.summarize(&p0, &valuations).expect("valid config");
+
+    println!(
+        "── Summary: size {} → {} in {} steps, distance {:.4} ──",
+        result.initial_size,
+        result.final_size(),
+        result.history.len(),
+        result.final_distance,
+    );
+    println!("{}\n", display::render_provexpr(&result.summary, &store));
+
+    // ── Provision through the guards ────────────────────────────────────
+    // Cancelling U2's *stats* tuple breaks the activity guard and drops
+    // the review even though U2 itself stays trusted.
+    let s2 = store.by_name("S_U2").expect("stats annotation");
+    let v = Valuation::cancel(&[s2]).labeled("reset U2's statistics");
+    let mp = store.by_name("MatchPoint").expect("movie");
+    println!("What if U2's statistics are reset (activity guard fails)?");
+    println!(
+        "  MatchPoint exact rating: {} (was {})",
+        guarded.eval(&v).scalar_for(mp).unwrap_or(0.0),
+        guarded.eval(&Valuation::all_true()).scalar_for(mp).unwrap_or(0.0),
+    );
+}

@@ -1,0 +1,29 @@
+//! # prox
+//!
+//! Umbrella crate for the PROX reproduction (*Approximated Summarization of
+//! Data Provenance*, EDBT 2016): re-exports the workspace crates under one
+//! roof so examples and downstream users need a single dependency.
+//!
+//! * [`provenance`] — the semiring provenance substrate (`N[Ann]`
+//!   polynomials, aggregation tensors, valuations, mappings, DDPs);
+//! * [`taxonomy`] — concept DAGs with Wu–Palmer relatedness;
+//! * [`core`] — the summarization algorithm (distance, sampling,
+//!   equivalence grouping, Algorithm 1);
+//! * [`cluster`] — the clustering and random baselines;
+//! * [`datasets`] — seeded synthetic MovieLens / Wikipedia / DDP
+//!   generators;
+//! * [`system`] — the PROX system services and CLI building blocks;
+//! * [`workflow`] — the Chapter-2 workflow substrate that *produces*
+//!   provenance (annotated relations, modules, the Fig 2.1 pipeline).
+//!
+//! See the repository README for a walkthrough and `DESIGN.md` for the
+//! system inventory; run `cargo run --example quickstart` for a first
+//! taste.
+
+pub use prox_cluster as cluster;
+pub use prox_core as core;
+pub use prox_datasets as datasets;
+pub use prox_provenance as provenance;
+pub use prox_system as system;
+pub use prox_taxonomy as taxonomy;
+pub use prox_workflow as workflow;

@@ -1,0 +1,231 @@
+//! End-to-end integration tests: full pipelines over the three datasets,
+//! baseline comparability, and the PROX system flow.
+
+use prox::cluster::{random_summarize, replay, Linkage};
+use prox::core::{StopReason, SummarizeConfig, Summarizer, ValFuncKind};
+use prox::datasets::{Ddp, DdpConfig, MovieLens, MovieLensConfig, Wikipedia, WikipediaConfig};
+use prox::provenance::{AggKind, ValuationClass};
+use prox::system::{
+    evaluator::{evaluate_both, Assignment},
+    select, summarize as service_summarize, Selection, Session, SummarizationRequest,
+};
+
+#[test]
+fn movielens_full_pipeline() {
+    let mut data = MovieLens::generate(MovieLensConfig {
+        users: 20,
+        movies: 5,
+        ratings_per_user: 2,
+        seed: 101,
+    });
+    let p0 = data.provenance(AggKind::Max);
+    let valuations = data.valuations(ValuationClass::CancelSingleAttribute);
+    let constraints = data.constraints();
+    let config = SummarizeConfig {
+        w_dist: 0.7,
+        w_size: 0.3,
+        max_steps: 10,
+        ..Default::default()
+    };
+    let mut summarizer = Summarizer::new(&mut data.store, constraints, config);
+    let res = summarizer.summarize(&p0, &valuations).expect("valid config");
+
+    assert!(res.final_size() < p0.size());
+    assert!(res.history.check_monotone().is_ok(), "Prop 4.2.2 holds");
+    assert!((0.0..=1.0).contains(&res.final_distance));
+    // Every step's summary annotation groups ≥ 2 base members sharing an
+    // attribute (the semantic constraint).
+    for step in &res.history.steps {
+        let ann = data.store.get(step.target);
+        assert!(ann.base_members().len() >= 2);
+        assert!(
+            !ann.attrs.is_empty(),
+            "groups keep the shared attribute that names them"
+        );
+    }
+}
+
+#[test]
+fn wikipedia_full_pipeline_with_taxonomy() {
+    let mut data = Wikipedia::generate(WikipediaConfig {
+        users: 12,
+        pages: 8,
+        edits_per_user: 2,
+        major_prob: 0.5,
+        seed: 102,
+    });
+    let p0 = data.provenance();
+    let valuations = data.valuations(ValuationClass::CancelSingleAnnotation);
+    let constraints = data.constraints();
+    let taxonomy = data.taxonomy.clone();
+    let config = SummarizeConfig {
+        max_steps: 8,
+        ..Default::default()
+    };
+    let mut summarizer =
+        Summarizer::new(&mut data.store, constraints, config).with_taxonomy(&taxonomy);
+    let res = summarizer.summarize(&p0, &valuations).expect("valid config");
+    assert!(res.final_size() <= p0.size());
+    assert!(res.history.check_monotone().is_ok());
+    // Page groups, when formed, carry their LCS concept.
+    for step in &res.history.steps {
+        let ann = data.store.get(step.target);
+        if data.store.domain_name(ann.domain) == "pages" {
+            assert!(ann.concept.is_some(), "page groups get the LCS concept");
+        }
+    }
+}
+
+#[test]
+fn ddp_full_pipeline() {
+    let mut data = Ddp::generate(DdpConfig {
+        seed: 103,
+        ..Default::default()
+    });
+    let p0 = data.provenance.clone();
+    let valuations = data.valuations(ValuationClass::CancelSingleAttribute);
+    let constraints = data.constraints();
+    let config = SummarizeConfig {
+        max_steps: 10,
+        phi: data.phi(),
+        val_func: ValFuncKind::DdpDiff,
+        ..Default::default()
+    };
+    let mut summarizer = Summarizer::new(&mut data.store, constraints, config);
+    let res = summarizer.summarize(&p0, &valuations).expect("valid config");
+    assert!(res.final_size() <= p0.size());
+    assert!((0.0..=1.0).contains(&res.final_distance));
+}
+
+#[test]
+fn prov_approx_no_worse_than_random_on_distance() {
+    let mut data = MovieLens::generate(MovieLensConfig {
+        users: 20,
+        movies: 5,
+        ratings_per_user: 2,
+        seed: 104,
+    });
+    let p0 = data.provenance(AggKind::Max);
+    let valuations = data.valuations(ValuationClass::CancelSingleAttribute);
+    let constraints = data.constraints();
+    let config = SummarizeConfig {
+        w_dist: 1.0,
+        w_size: 0.0,
+        max_steps: 8,
+        ..Default::default()
+    };
+    let mut store_pa = data.store.clone();
+    let mut summarizer = Summarizer::new(&mut store_pa, constraints.clone(), config.clone());
+    let pa = summarizer.summarize(&p0, &valuations).expect("valid config");
+
+    let mut random_avg = 0.0;
+    const SEEDS: u64 = 5;
+    for seed in 0..SEEDS {
+        let mut store_r = data.store.clone();
+        let r = random_summarize(&p0, &mut store_r, &constraints, None, &valuations, &config, seed);
+        random_avg += r.final_distance;
+    }
+    random_avg /= SEEDS as f64;
+    assert!(
+        pa.final_distance <= random_avg + 1e-9,
+        "{} vs {random_avg}",
+        pa.final_distance
+    );
+}
+
+#[test]
+fn clustering_baseline_is_comparable() {
+    use prox::cluster::{cluster, matrix_of, merges_to_ann, user_dissimilarity, user_features};
+    let mut data = MovieLens::generate(MovieLensConfig {
+        users: 16,
+        movies: 4,
+        ratings_per_user: 2,
+        seed: 105,
+    });
+    let p0 = data.provenance(AggKind::Max);
+    let valuations = data.valuations(ValuationClass::CancelSingleAttribute);
+    let constraints = data.constraints();
+
+    let interactions: Vec<_> = data
+        .ratings
+        .iter()
+        .map(|r| (r.user, r.movie, r.stars))
+        .collect();
+    let feats = user_features(&data.users, &interactions, &data.store);
+    let matrix = matrix_of(&feats, user_dissimilarity);
+    let users = data.users.clone();
+    let store_ref = data.store.clone();
+    let cfg = constraints.clone();
+    let merges = cluster(&matrix, Linkage::Single, |l, r| {
+        let members: Vec<_> = l.iter().chain(r).map(|&ix| users[ix]).collect();
+        cfg.group_ok(&members, &store_ref, None)
+    });
+    let queue = merges_to_ann(&merges, &users);
+    let config = SummarizeConfig {
+        max_steps: 6,
+        ..Default::default()
+    };
+    let res = replay(&p0, &queue, &mut data.store, &valuations, &config);
+    assert!(res.final_size() <= p0.size());
+    assert!(res.history.len() <= 6);
+    assert!(res.history.check_monotone().is_ok());
+}
+
+#[test]
+fn system_flow_selection_to_provisioning() {
+    let mut data = MovieLens::generate(MovieLensConfig {
+        users: 20,
+        movies: 6,
+        ratings_per_user: 2,
+        seed: 106,
+    });
+    let sel = select(&mut data, &Selection::All, AggKind::Max);
+    let out = service_summarize(&mut data, &sel, SummarizationRequest::default())
+        .expect("valid request");
+    let session = Session::new(out);
+
+    let assignment = Assignment::FalseAttributes(vec![("gender".into(), "M".into())]);
+    let (orig, summ) = evaluate_both(
+        &session.summarized().original,
+        session.expression(),
+        &assignment,
+        &data.store,
+    );
+    assert_eq!(orig.rows.len(), summ.rows.len());
+    // Approximate provisioning may differ from exact, but is bounded by
+    // the rating scale on every coordinate.
+    for (o, s) in orig.rows.iter().zip(&summ.rows) {
+        assert!((o.aggregated - s.aggregated).abs() <= 5.0);
+    }
+}
+
+#[test]
+fn target_flavors_match_their_stop_reasons() {
+    let mut data = MovieLens::generate(MovieLensConfig {
+        users: 15,
+        movies: 4,
+        ratings_per_user: 2,
+        seed: 107,
+    });
+    let p0 = data.provenance(AggKind::Max);
+    let valuations = data.valuations(ValuationClass::CancelSingleAttribute);
+    let constraints = data.constraints();
+
+    // Flavor 2: TARGET-SIZE.
+    let target = p0.size() * 4 / 5;
+    let mut store2 = data.store.clone();
+    let mut s2 = Summarizer::new(&mut store2, constraints.clone(), SummarizeConfig::target_size(target));
+    let r2 = s2.summarize(&p0, &valuations).expect("valid config");
+    assert!(
+        r2.final_size() <= target || r2.stop_reason == StopReason::NoCandidates,
+        "size {} target {target} reason {:?}",
+        r2.final_size(),
+        r2.stop_reason
+    );
+
+    // Flavor 3: TARGET-DIST.
+    let mut store3 = data.store.clone();
+    let mut s3 = Summarizer::new(&mut store3, constraints, SummarizeConfig::target_dist(0.05));
+    let r3 = s3.summarize(&p0, &valuations).expect("valid config");
+    assert!(r3.final_distance < 0.05);
+}

@@ -1,0 +1,281 @@
+//! Integration tests encoding the paper's worked examples end to end,
+//! across all crates.
+
+use prox::core::{ConstraintConfig, MergeRule, SummarizeConfig, Summarizer};
+use prox::provenance::{
+    display, AggKind, AggValue, AnnStore, CmpOp, DbCondOp, DdpExecution, DdpExpr, DdpTransition,
+    EvalOutcome, Guard, Mapping, Phi, PhiMap, Polynomial, ProvExpr, Tensor, Valuation,
+    ValuationClass,
+};
+use prox::taxonomy::wordnet_fragment;
+
+/// Example 2.2.1 / 2.3.1: guarded tensors and their valuation semantics.
+#[test]
+fn example_2_3_1_guarded_review() {
+    let mut store = AnnStore::new();
+    let u1 = store.add_base_with("U1", "users", &[]);
+    let s1 = store.add_base_with("S1", "stats", &[]);
+    let movie = store.add_base_with("MatchPoint", "movies", &[]);
+
+    // U1 · [S1·U1 ⊗ 5 > 2] ⊗ (3, 1)
+    let guard = Guard::single(
+        Polynomial::var(s1).mul(&Polynomial::var(u1)),
+        5.0,
+        CmpOp::Gt,
+        2.0,
+    );
+    let tensor = Tensor::guarded(Polynomial::var(u1), vec![guard], AggValue::single(3.0));
+    let mut p = ProvExpr::new(AggKind::Max);
+    p.push(movie, tensor);
+
+    // S1 ↦ 0, U1 ↦ 1: the guard fails, the review is discarded.
+    let mut v = Valuation::all_true();
+    v.set(s1, false);
+    assert_eq!(p.eval(&v).scalar_for(movie), Some(0.0));
+
+    // S1 ↦ 1: the guard holds and the review value 3 is kept.
+    v.set(s1, true);
+    assert_eq!(p.eval(&v).scalar_for(movie), Some(3.0));
+}
+
+/// Example 3.1.1: the two candidate summaries of Pₛ.
+#[test]
+fn example_3_1_1_summaries() {
+    let mut store = AnnStore::new();
+    let u1 = store.add_base_with("U1", "users", &[]);
+    let u2 = store.add_base_with("U2", "users", &[]);
+    let u3 = store.add_base_with("U3", "users", &[]);
+    let movie = store.add_base_with("MatchPoint", "movies", &[]);
+    let users = store.domain("users");
+
+    let mut p_s = ProvExpr::new(AggKind::Max);
+    for (u, score) in [(u1, 3.0), (u2, 5.0), (u3, 3.0)] {
+        p_s.push(movie, Tensor::new(Polynomial::var(u), AggValue::single(score)));
+    }
+
+    // P′ₛ = Female ⊗ (5,2) ⊕ U₃ ⊗ (3,1)
+    let female = store.add_summary("Female", users, &[u1, u2]);
+    let p1 = p_s.map(&Mapping::group(&[u1, u2], female));
+    assert_eq!(
+        display::render_provexpr(&p1, &store),
+        "Female ⊗ (5, 2) ⊕ U3 ⊗ (3, 1)"
+    );
+
+    // P″ₛ = Audience ⊗ (3,2) ⊕ U₂ ⊗ (5,1)  (first-seen tensor order)
+    let audience = store.add_summary("Audience", users, &[u1, u3]);
+    let p2 = p_s.map(&Mapping::group(&[u1, u3], audience));
+    assert_eq!(
+        display::render_provexpr(&p2, &store),
+        "Audience ⊗ (3, 2) ⊕ U2 ⊗ (5, 1)"
+    );
+}
+
+/// Example 3.2.3: P″ₛ is at distance 0 from Pₛ w.r.t. single-user
+/// cancellations, while P′ₛ differs for the valuation cancelling U₂.
+#[test]
+fn example_3_2_3_distances() {
+    let mut store = AnnStore::new();
+    let u1 = store.add_base_with("U1", "users", &[]);
+    let u2 = store.add_base_with("U2", "users", &[]);
+    let u3 = store.add_base_with("U3", "users", &[]);
+    let movie = store.add_base_with("MatchPoint", "movies", &[]);
+    let users = store.domain("users");
+
+    let mut p_s = ProvExpr::new(AggKind::Max);
+    for (u, score) in [(u1, 3.0), (u2, 5.0), (u3, 3.0)] {
+        p_s.push(movie, Tensor::new(Polynomial::var(u), AggValue::single(score)));
+    }
+    let vals = ValuationClass::CancelSingleAnnotation.generate(&store, &[u1, u2, u3], &[]);
+    let engine = prox::core::DistanceEngine::new(
+        &p_s,
+        &vals,
+        PhiMap::uniform(Phi::Or),
+        prox::core::ValFuncKind::AbsDiff,
+    );
+
+    let audience = store.add_summary("Audience", users, &[u1, u3]);
+    let h2 = Mapping::group(&[u1, u3], audience);
+    let p2 = p_s.map(&h2);
+    assert_eq!(engine.distance(&p2, &h2, &store, &Default::default()), 0.0);
+
+    let female = store.add_summary("Female", users, &[u1, u2]);
+    let h1 = Mapping::group(&[u1, u2], female);
+    let p1 = p_s.map(&h1);
+    assert!(engine.distance(&p1, &h1, &store, &Default::default()) > 0.0);
+}
+
+/// Example 4.2.3: the full algorithm flow picks Audience over Female.
+#[test]
+fn example_4_2_3_algorithm_flow() {
+    let mut store = AnnStore::new();
+    let u1 = store.add_base_with("U1", "users", &[("gender", "F"), ("role", "audience")]);
+    let u2 = store.add_base_with("U2", "users", &[("gender", "F"), ("role", "critic")]);
+    let u3 = store.add_base_with("U3", "users", &[("gender", "M"), ("role", "audience")]);
+    let mp = store.add_base_with("MatchPoint", "movies", &[]);
+    let bj = store.add_base_with("BlueJasmine", "movies", &[]);
+    let users = store.domain("users");
+
+    let mut p0 = ProvExpr::new(AggKind::Max);
+    for (u, score) in [(u1, 3.0), (u2, 5.0), (u3, 3.0)] {
+        p0.push(mp, Tensor::new(Polynomial::var(u), AggValue::single(score)));
+    }
+    p0.push(bj, Tensor::new(Polynomial::var(u2), AggValue::single(4.0)));
+
+    let vals = ValuationClass::CancelSingleAnnotation.generate(&store, &[u1, u2, u3], &[users]);
+    let constraints =
+        ConstraintConfig::new().allow(users, MergeRule::SharedAttribute { attrs: vec![] });
+    let config = SummarizeConfig {
+        w_dist: 1.0,
+        w_size: 0.0,
+        max_steps: 1,
+        ..Default::default()
+    };
+    let mut summarizer = Summarizer::new(&mut store, constraints, config);
+    let res = summarizer.summarize(&p0, &vals).expect("valid config");
+
+    assert_eq!(res.history.steps[0].merged, vec![u1, u3]);
+    assert_eq!(res.final_distance, 0.0);
+    assert_eq!(res.final_size(), 3);
+}
+
+/// Example 5.2.1: Wikipedia provenance with taxonomy-named groups and the
+/// vector projection for the euclidean VAL-FUNC.
+#[test]
+fn example_5_2_1_wikipedia_summary() {
+    let mut store = AnnStore::new();
+    let taxonomy = wordnet_fragment();
+    let users_dom = store.domain("users");
+    let pages_dom = store.domain("pages");
+
+    let editors = [
+        ("SalubriousToxin", "Reviewer"),
+        ("Dubulge", "Reviewer"),
+        ("DrBackInTheStreet", "Top-Contributor"),
+        ("JaspertheFriendlyPunk", "Top-Contributor"),
+    ];
+    let users: Vec<_> = editors
+        .iter()
+        .map(|&(n, lvl)| store.add_base_with(n, "users", &[("contribution_level", lvl)]))
+        .collect();
+    let pages = [
+        ("Adele", "wordnet_singer"),
+        ("CelineDion", "wordnet_singer"),
+        ("LoriBlack", "wordnet_guitarist"),
+        ("AlecBaillie", "wordnet_guitarist"),
+    ];
+    let page_ids: Vec<_> = pages
+        .iter()
+        .map(|&(n, c)| {
+            let p = store.add_base_with(n, "pages", &[]);
+            store.set_concept(p, taxonomy.by_name(c).expect("concept").0);
+            p
+        })
+        .collect();
+
+    // P₀ = (SalubriousToxin·Adele)⊗(0,1) ⊕ (Dubulge·CelineDion)⊗(1,1) ⊕
+    //      (DrBack·LoriBlack)⊗(1,1) ⊕ (Jasper·AlecBaillie)⊗(1,1)
+    let mut p0 = ProvExpr::new(AggKind::Sum);
+    let edits = [(0usize, 0usize, 0.0), (1, 1, 1.0), (2, 2, 1.0), (3, 3, 1.0)];
+    for &(u, p, t) in &edits {
+        p0.push(
+            page_ids[p],
+            Tensor::new(
+                Polynomial::var(users[u]).mul(&Polynomial::var(page_ids[p])),
+                AggValue::single(t),
+            ),
+        );
+    }
+
+    // The summary of the example: Top-Contributors on guitarist pages,
+    // Reviewers on singer pages.
+    let top = store.add_summary("Top-Contributor", users_dom, &[users[2], users[3]]);
+    let rev = store.add_summary("Reviewer", users_dom, &[users[0], users[1]]);
+    let guitarist = store.add_summary("wordnet_guitarist", pages_dom, &[page_ids[2], page_ids[3]]);
+    let singer = store.add_summary("wordnet_singer", pages_dom, &[page_ids[0], page_ids[1]]);
+    let mut h = Mapping::identity();
+    for (m, t) in [
+        (users[2], top),
+        (users[3], top),
+        (users[0], rev),
+        (users[1], rev),
+        (page_ids[2], guitarist),
+        (page_ids[3], guitarist),
+        (page_ids[0], singer),
+        (page_ids[1], singer),
+    ] {
+        h.set(m, t);
+    }
+    let summary = p0.map(&h);
+    assert_eq!(
+        display::render_provexpr(&summary, &store),
+        "(Reviewer·wordnet_singer) ⊗ (1, 2) ⊕M (Top-Contributor·wordnet_guitarist) ⊗ (2, 2)"
+    );
+
+    // The valuation cancelling Dubulge: the original evaluates to
+    // (Adele:0, CelineDion:0, LoriBlack:1, AlecBaillie:1); projected into
+    // the summary key space it becomes (singer:0, guitarist:2).
+    let v = Valuation::cancel(&[users[1]]);
+    let orig = p0.eval(&v);
+    assert_eq!(orig.scalar_for(page_ids[1]), Some(0.0));
+    let projected = orig.project(&h);
+    assert_eq!(projected.scalar_for(singer), Some(0.0));
+    assert_eq!(projected.scalar_for(guitarist), Some(2.0));
+
+    // Lifting via φ=∨ keeps Reviewer alive, so the summary answers
+    // (singer:1, guitarist:2) — euclidean error 1.
+    let lifted = v.lift(&h, Phi::Or, &store);
+    let summ = summary.eval(&lifted);
+    assert_eq!(summ.scalar_for(singer), Some(1.0));
+    assert_eq!(summ.scalar_for(guitarist), Some(2.0));
+    assert!((projected.euclidean(&summ) - 1.0).abs() < 1e-12);
+}
+
+/// Example 5.2.2: the DDP summary and its valuation semantics.
+#[test]
+fn example_5_2_2_ddp_summary() {
+    let mut store = AnnStore::new();
+    let c1 = store.add_base_with("c1", "cost_vars", &[]);
+    let c2 = store.add_base_with("c2", "cost_vars", &[]);
+    let d1 = store.add_base_with("d1", "db_vars", &[]);
+    let d2 = store.add_base_with("d2", "db_vars", &[]);
+    let d3 = store.add_base_with("d3", "db_vars", &[]);
+    let costs_dom = store.domain("cost_vars");
+    let dbs_dom = store.domain("db_vars");
+
+    let mut p = DdpExpr::new();
+    p.set_cost(c1, 3.0);
+    p.set_cost(c2, 3.0);
+    p.push(DdpExecution::new(vec![
+        DdpTransition::user(c1),
+        DdpTransition::db(vec![d1, d2], DbCondOp::NonZero),
+    ]));
+    p.push(DdpExecution::new(vec![
+        DdpTransition::db(vec![d2, d3], DbCondOp::NonZero),
+        DdpTransition::user(c2),
+    ]));
+
+    // Map d1,d3 → D1 and c1,c2 → C1: executions collapse to one.
+    let big_d = store.add_summary("D1", dbs_dom, &[d1, d3]);
+    let big_c = store.add_summary("C1", costs_dom, &[c1, c2]);
+    let mut h = Mapping::identity();
+    h.set(d1, big_d);
+    h.set(d3, big_d);
+    h.set(c1, big_c);
+    h.set(c2, big_c);
+    let summary = p.map(&h);
+    assert_eq!(summary.executions().len(), 1);
+    assert_eq!(
+        display::render_ddp(&summary, &store),
+        "⟨C1,1⟩·⟨0,[d2·D1] ≠ 0⟩"
+    );
+
+    // The valuation cancelling all C1-cost variables: v(p) = ⟨0, true⟩ and
+    // the summary (with MAX φ on costs, OR on DB vars) agrees.
+    let v = Valuation::cancel(&[c1, c2]);
+    assert_eq!(p.eval(&v), EvalOutcome::Ddp { cost: Some(0.0) });
+    let phis = PhiMap::uniform(Phi::Or).with(costs_dom, Phi::Max);
+    let lifted = v.lift_map(&h, &phis, &store);
+    assert!(!lifted.truth(big_c));
+    assert!(lifted.truth(big_d));
+    assert_eq!(summary.eval(&lifted), EvalOutcome::Ddp { cost: Some(0.0) });
+}

@@ -1,0 +1,189 @@
+//! Property-based integration tests (proptest): algebraic laws of the
+//! provenance model and invariants of the summarization algorithm on
+//! randomly generated inputs.
+
+use proptest::prelude::*;
+use prox::core::{ConstraintConfig, MergeRule, SummarizeConfig, Summarizer};
+use prox::provenance::{
+    AggKind, AggValue, AnnId, AnnStore, Mapping, Monomial, Phi, PhiMap, Polynomial, ProvExpr,
+    Summarizable, Tensor, Valuation, ValuationClass,
+};
+
+const NVARS: usize = 6;
+
+fn ann(ix: usize) -> AnnId {
+    AnnId::from_index(ix)
+}
+
+/// Strategy: a random monomial over NVARS variables, degree ≤ 3.
+fn arb_monomial() -> impl Strategy<Value = Monomial> {
+    prop::collection::vec(0..NVARS, 0..=3).prop_map(|ixs| {
+        Monomial::from_factors(ixs.into_iter().map(ann).collect())
+    })
+}
+
+/// Strategy: a random polynomial with ≤ 4 terms, coefficients ≤ 3.
+fn arb_poly() -> impl Strategy<Value = Polynomial> {
+    prop::collection::vec((arb_monomial(), 1u64..=3), 0..=4)
+        .prop_map(Polynomial::from_terms)
+}
+
+/// Strategy: a random valuation over the NVARS variables.
+fn arb_valuation() -> impl Strategy<Value = Valuation> {
+    prop::collection::vec(any::<bool>(), NVARS).prop_map(|bits| {
+        let mut v = Valuation::all_true();
+        for (ix, b) in bits.into_iter().enumerate() {
+            v.set(ann(ix), b);
+        }
+        v
+    })
+}
+
+/// Strategy: a random mapping of the NVARS variables onto 3 targets.
+fn arb_mapping() -> impl Strategy<Value = Mapping> {
+    prop::collection::vec(0..3usize, NVARS).prop_map(|targets| {
+        let mut m = Mapping::identity();
+        for (from, t) in targets.into_iter().enumerate() {
+            // Targets live outside the variable range to avoid chains.
+            m.set(ann(from), ann(NVARS + t));
+        }
+        m
+    })
+}
+
+proptest! {
+    /// Semiring laws hold for random polynomials.
+    #[test]
+    fn polynomial_semiring_laws(a in arb_poly(), b in arb_poly(), c in arb_poly()) {
+        prop_assert_eq!(a.add(&b), b.add(&a));
+        prop_assert_eq!(a.mul(&b), b.mul(&a));
+        prop_assert_eq!(a.add(&b).add(&c), a.add(&b.add(&c)));
+        prop_assert_eq!(a.mul(&b).mul(&c), a.mul(&b.mul(&c)));
+        prop_assert_eq!(a.mul(&b.add(&c)), a.mul(&b).add(&a.mul(&c)));
+        prop_assert_eq!(a.add(&Polynomial::zero()), a.clone());
+        prop_assert_eq!(a.mul(&Polynomial::one()), a.clone());
+        prop_assert_eq!(a.mul(&Polynomial::zero()), Polynomial::zero());
+    }
+
+    /// Mapping application is a homomorphism: h(a+b) = h(a)+h(b) and
+    /// h(a·b) = h(a)·h(b).
+    #[test]
+    fn mapping_is_homomorphic(a in arb_poly(), b in arb_poly(), h in arb_mapping()) {
+        prop_assert_eq!(a.add(&b).map(&h), a.map(&h).add(&b.map(&h)));
+        prop_assert_eq!(a.mul(&b).map(&h), a.map(&h).mul(&b.map(&h)));
+    }
+
+    /// Boolean evaluation commutes with the counting evaluation's
+    /// positivity, for any valuation.
+    #[test]
+    fn eval_bool_matches_count_positivity(p in arb_poly(), v in arb_valuation()) {
+        prop_assert_eq!(p.eval_bool(&v), p.eval_count(&v) > 0);
+    }
+
+    /// Size never increases under a mapping (half of Prop 4.2.2, at the
+    /// polynomial level).
+    #[test]
+    fn mapping_never_grows_size(p in arb_poly(), h in arb_mapping()) {
+        prop_assert!(p.map(&h).size() <= p.size());
+    }
+
+    /// Valuation lifting with φ=∨: a summary is false iff all members are
+    /// false.
+    #[test]
+    fn lift_or_semantics(bits in prop::collection::vec(any::<bool>(), 4)) {
+        let mut store = AnnStore::new();
+        let members: Vec<AnnId> = (0..4)
+            .map(|i| store.add_base_with(&format!("U{i}"), "users", &[]))
+            .collect();
+        let dom = store.domain("users");
+        let g = store.add_summary("G", dom, &members);
+        let h = Mapping::group(&members, g);
+        let mut v = Valuation::all_true();
+        for (m, b) in members.iter().zip(&bits) {
+            v.set(*m, *b);
+        }
+        let lifted = v.lift(&h, Phi::Or, &store);
+        prop_assert_eq!(lifted.truth(g), bits.iter().any(|&b| b));
+        let lifted_and = v.lift(&h, Phi::And, &store);
+        prop_assert_eq!(lifted_and.truth(g), bits.iter().all(|&b| b));
+    }
+}
+
+/// Strategy: a random small ratings workload.
+fn arb_workload() -> impl Strategy<Value = (AnnStore, ProvExpr, Vec<AnnId>)> {
+    (
+        3usize..8,                                            // users
+        prop::collection::vec(0usize..3, 6..12),              // rating targets
+        prop::collection::vec(1u8..=5, 6..12),                // stars
+        prop::collection::vec(0usize..2, 8),                  // gender bits
+    )
+        .prop_map(|(nusers, movies_ix, stars, genders)| {
+            let mut store = AnnStore::new();
+            let users: Vec<AnnId> = (0..nusers)
+                .map(|i| {
+                    let g = if genders[i % genders.len()] == 0 { "M" } else { "F" };
+                    store.add_base_with(&format!("U{i}"), "users", &[("gender", g)])
+                })
+                .collect();
+            let movies: Vec<AnnId> = (0..3)
+                .map(|i| store.add_base_with(&format!("M{i}"), "movies", &[]))
+                .collect();
+            let mut p = ProvExpr::new(AggKind::Max);
+            for (ix, (&mix, &s)) in movies_ix.iter().zip(&stars).enumerate() {
+                let u = users[ix % nusers];
+                p.push(
+                    movies[mix],
+                    Tensor::new(Polynomial::var(u), AggValue::single(s as f64)),
+                );
+            }
+            p.simplify();
+            (store, p, users)
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Algorithm invariants on random workloads: monotone distance/size
+    /// along the run, distance in [0,1], final size ≤ initial.
+    #[test]
+    fn summarizer_invariants((mut store, p0, users) in arb_workload()) {
+        let dom = store.domain("users");
+        let vals = ValuationClass::CancelSingleAnnotation.generate(&store, &users, &[dom]);
+        let constraints = ConstraintConfig::new()
+            .allow(dom, MergeRule::SharedAttribute { attrs: vec![] });
+        let config = SummarizeConfig {
+            w_dist: 0.5,
+            w_size: 0.5,
+            max_steps: 6,
+            ..Default::default()
+        };
+        let mut summarizer = Summarizer::new(&mut store, constraints, config);
+        let res = summarizer.summarize(&p0, &vals).expect("valid config");
+        prop_assert!(res.final_size() <= p0.size());
+        prop_assert!((0.0..=1.0).contains(&res.final_distance));
+        prop_assert!(res.history.check_monotone().is_ok());
+        // The cumulative mapping reproduces the summary from the original.
+        let replayed = p0.apply_mapping(&res.mapping);
+        prop_assert_eq!(replayed.size(), res.final_size());
+    }
+
+    /// GroupEquivalent yields distance exactly 0 (Prop 4.2.1), on random
+    /// workloads under the attribute valuation class.
+    #[test]
+    fn group_equivalent_zero_distance((mut store, p0, users) in arb_workload()) {
+        let dom = store.domain("users");
+        let vals = ValuationClass::CancelSingleAttribute.generate(&store, &users, &[dom]);
+        let constraints = ConstraintConfig::new()
+            .allow(dom, MergeRule::SharedAttribute { attrs: vec![] });
+        let res = prox::core::group_equivalent(&p0, &vals, &mut store, &constraints, None);
+        let engine = prox::core::DistanceEngine::new(
+            &p0,
+            &vals,
+            PhiMap::uniform(Phi::Or),
+            prox::core::ValFuncKind::Euclidean,
+        );
+        let d = engine.distance(&res.expr, &res.mapping, &store, &Default::default());
+        prop_assert_eq!(d, 0.0);
+    }
+}
