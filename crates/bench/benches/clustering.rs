@@ -14,7 +14,11 @@ fn setup() -> (MovieLens, Vec<prox_cluster::FeatureVector>) {
         ratings_per_user: 4,
         seed: 21,
     });
-    let interactions: Vec<_> = d.ratings.iter().map(|r| (r.user, r.movie, r.stars)).collect();
+    let interactions: Vec<_> = d
+        .ratings
+        .iter()
+        .map(|r| (r.user, r.movie, r.stars))
+        .collect();
     let feats = user_features(&d.users, &interactions, &d.store);
     (d, feats)
 }

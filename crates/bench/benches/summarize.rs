@@ -3,9 +3,7 @@
 //! the components behind Fig 6.5b's summarization-time curve.
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
-use prox_core::{
-    candidates, equivalence_classes, group_equivalent, SummarizeConfig, Summarizer,
-};
+use prox_core::{candidates, equivalence_classes, group_equivalent, SummarizeConfig, Summarizer};
 use prox_datasets::{MovieLens, MovieLensConfig};
 use prox_provenance::{AggKind, ValuationClass};
 use std::hint::black_box;

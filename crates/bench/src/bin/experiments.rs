@@ -6,12 +6,13 @@
 //! tables and land in `reports/` as `.txt` + `.json`.
 
 use prox_bench::experiments::{
-    kway_experiment, sampler_accuracy_experiment, score_mode_experiment, steps_experiment,
-    table51, target_dist_experiment, target_size_experiment, timing_experiment,
-    usage_time_experiment, wdist_experiment, Scale,
+    kway_experiment, sampler_accuracy_experiment, score_mode_experiment, steps_experiment, table51,
+    target_dist_experiment, target_size_experiment, timing_experiment, usage_time_experiment,
+    wdist_experiment, Scale,
 };
 use prox_bench::report::{emit, emit_text};
 use prox_bench::workload;
+use prox_bench::RunManifest;
 use prox_cluster::Linkage;
 use prox_provenance::{AggKind, ValuationClass};
 
@@ -59,12 +60,13 @@ fn ddp(scale: Scale) -> Vec<prox_bench::Workload<prox_provenance::DdpExpr>> {
     workload::ddp(scale.instances, ValuationClass::CancelSingleAttribute)
 }
 
-fn run_experiment(name: &str, scale: Scale) -> bool {
+fn run_experiment(name: &str, scale: Scale, manifest: &mut RunManifest) -> bool {
     let ok = |r: std::io::Result<()>| r.expect("writing reports");
     match name {
         "table51" => ok(emit_text("table51", &table51())),
         "wdist-ml" => {
             let ws = ml(scale);
+            manifest.datasets(&ws);
             let steps = if scale.quick { 5 } else { 20 };
             let (d, s) = wdist_experiment(&ws, scale, steps, "6.1a", "6.2a", "MovieLens");
             ok(emit(&d));
@@ -72,32 +74,48 @@ fn run_experiment(name: &str, scale: Scale) -> bool {
         }
         "target-size-ml" => {
             let ws = ml(scale);
-            ok(emit(&target_size_experiment(&ws, scale, "6.1b", "MovieLens")));
+            manifest.datasets(&ws);
+            ok(emit(&target_size_experiment(
+                &ws,
+                scale,
+                "6.1b",
+                "MovieLens",
+            )));
         }
         "target-dist-ml" => {
             let ws = ml(scale);
-            ok(emit(&target_dist_experiment(&ws, scale, "6.2b", "MovieLens")));
+            manifest.datasets(&ws);
+            ok(emit(&target_dist_experiment(
+                &ws,
+                scale,
+                "6.2b",
+                "MovieLens",
+            )));
         }
         "steps-ml" => {
             let ws = ml(scale);
+            manifest.datasets(&ws);
             let (d, s) = steps_experiment(&ws, scale, "6.3b", "6.3a", "MovieLens");
             ok(emit(&s));
             ok(emit(&d));
         }
         "usage-time-ml" => {
             let ws = ml(scale);
+            manifest.datasets(&ws);
             for fig in usage_time_experiment(&ws, scale, &[("6.4a", 20), ("6.4b", 30)]) {
                 ok(emit(&fig));
             }
         }
         "timing-ml" => {
             let ws = ml(scale);
+            manifest.datasets(&ws);
             let (c, s) = timing_experiment(&ws, scale, "6.5a", "6.5b");
             ok(emit(&c));
             ok(emit(&s));
         }
         "wdist-wiki" => {
             let ws = wiki(scale);
+            manifest.datasets(&ws);
             let steps = if scale.quick { 5 } else { 20 };
             let (d, s) = wdist_experiment(&ws, scale, steps, "6.6a", "6.7a", "Wikipedia");
             ok(emit(&d));
@@ -105,14 +123,27 @@ fn run_experiment(name: &str, scale: Scale) -> bool {
         }
         "target-size-wiki" => {
             let ws = wiki(scale);
-            ok(emit(&target_size_experiment(&ws, scale, "6.6b", "Wikipedia")));
+            manifest.datasets(&ws);
+            ok(emit(&target_size_experiment(
+                &ws,
+                scale,
+                "6.6b",
+                "Wikipedia",
+            )));
         }
         "target-dist-wiki" => {
             let ws = wiki(scale);
-            ok(emit(&target_dist_experiment(&ws, scale, "6.7b", "Wikipedia")));
+            manifest.datasets(&ws);
+            ok(emit(&target_dist_experiment(
+                &ws,
+                scale,
+                "6.7b",
+                "Wikipedia",
+            )));
         }
         "wdist-ddp" => {
             let ws = ddp(scale);
+            manifest.datasets(&ws);
             let steps = if scale.quick { 4 } else { 10 };
             let (d, s) = wdist_experiment(&ws, scale, steps, "6.8a", "6.9a", "DDP");
             ok(emit(&d));
@@ -120,6 +151,7 @@ fn run_experiment(name: &str, scale: Scale) -> bool {
         }
         "target-size-ddp" => {
             let ws = ddp(scale);
+            manifest.datasets(&ws);
             let fractions = if scale.quick {
                 vec![0.9, 0.95]
             } else {
@@ -135,6 +167,7 @@ fn run_experiment(name: &str, scale: Scale) -> bool {
         }
         "target-dist-ddp" => {
             let ws = ddp(scale);
+            manifest.datasets(&ws);
             let grid = if scale.quick {
                 vec![0.002, 0.008]
             } else {
@@ -150,10 +183,12 @@ fn run_experiment(name: &str, scale: Scale) -> bool {
         }
         "kway-ml" => {
             let ws = ml(scale);
+            manifest.datasets(&ws);
             ok(emit(&kway_experiment(&ws, scale)));
         }
         "score-mode-ml" => {
             let ws = ml(scale);
+            manifest.datasets(&ws);
             ok(emit(&score_mode_experiment(&ws, scale)));
         }
         "sampler-accuracy" => {
@@ -187,11 +222,37 @@ const ALL: &[&str] = &[
     "greedy-gap",
 ];
 
+/// Run one experiment with a fresh observability window and write its
+/// manifest. Returns false for unknown experiment names.
+fn run_one(name: &str, scale: Scale) -> bool {
+    eprintln!("── running {name} ──");
+    prox_obs::reset();
+    let mut manifest = RunManifest::new(name, scale);
+    let t = std::time::Instant::now();
+    if !run_experiment(name, scale, &mut manifest) {
+        return false;
+    }
+    manifest.wall_time(t.elapsed());
+    match manifest.write() {
+        Ok(path) => eprintln!("   {} ({:.1?})", path.display(), t.elapsed()),
+        Err(e) => eprintln!("   manifest write failed: {e} ({:.1?})", t.elapsed()),
+    }
+    true
+}
+
 fn main() {
+    // Counters/spans are always collected in bench runs so manifests are
+    // complete; PROX_TRACE=<path> additionally streams a JSONL trace.
+    prox_obs::init_from_env();
+    prox_obs::set_enabled(true);
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
     let scale = if quick { Scale::quick() } else { Scale::full() };
-    let names: Vec<&str> = args.iter().filter(|a| *a != "--quick").map(String::as_str).collect();
+    let names: Vec<&str> = args
+        .iter()
+        .filter(|a| *a != "--quick")
+        .map(String::as_str)
+        .collect();
     if names.is_empty() {
         eprintln!("{USAGE}");
         std::process::exit(2);
@@ -199,14 +260,12 @@ fn main() {
     for name in names {
         if name == "all" {
             for exp in ALL {
-                eprintln!("── running {exp} ──");
-                let t = std::time::Instant::now();
-                run_experiment(exp, scale);
-                eprintln!("   ({:.1?})", t.elapsed());
+                run_one(exp, scale);
             }
-        } else if !run_experiment(name, scale) {
+        } else if !run_one(name, scale) {
             eprintln!("unknown experiment {name:?}\n{USAGE}");
             std::process::exit(2);
         }
     }
+    prox_obs::flush_sink();
 }

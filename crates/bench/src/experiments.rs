@@ -7,12 +7,8 @@
 
 use std::collections::HashMap;
 
-use prox_core::{
-    approx_distance, exact_distance_all, SamplerConfig, ScoreMode, SummarizeConfig,
-};
-use prox_provenance::{
-    AggKind, AnnId, Mapping, ProvExpr, Summarizable, Valuation,
-};
+use prox_core::{approx_distance, exact_distance_all, SamplerConfig, ScoreMode, SummarizeConfig};
+use prox_provenance::{AggKind, AnnId, Mapping, ProvExpr, Summarizable, Valuation};
 use prox_system::evaluator::time_valuations;
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
@@ -194,11 +190,8 @@ pub fn target_size_experiment_with<E: Summarizable>(
     dataset: &str,
     fractions: Option<Vec<f64>>,
 ) -> Figure {
-    let initial = workloads
-        .iter()
-        .map(|w| w.initial_size())
-        .sum::<usize>() as f64
-        / workloads.len() as f64;
+    let initial =
+        workloads.iter().map(|w| w.initial_size()).sum::<usize>() as f64 / workloads.len() as f64;
     let fractions: Vec<f64> = fractions.unwrap_or_else(|| {
         if scale.quick {
             vec![0.5, 0.7]
@@ -391,7 +384,11 @@ pub fn usage_time_experiment(
     let grid = scale.wdist_grid();
     let mut figures = Vec::new();
     for &(fig_id, max_steps) in fig_ids {
-        let max_steps = if scale.quick { max_steps.min(5) } else { max_steps };
+        let max_steps = if scale.quick {
+            max_steps.min(5)
+        } else {
+            max_steps
+        };
         let mut fig = Figure::new(
             fig_id,
             format!("Usage Time Ratio (summary/original), {max_steps} steps"),
@@ -517,8 +514,10 @@ pub fn timing_experiment(
             step.push(rec.size_before as f64, rec.step_time.as_micros() as f64);
         }
         // Sort by size ascending for readability.
-        cand.points.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite"));
-        step.points.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite"));
+        cand.points
+            .sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite"));
+        step.points
+            .sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite"));
         cand_fig.push(cand);
         step_fig.push(step);
     }
@@ -529,7 +528,11 @@ pub fn timing_experiment(
 /// The k-way ablation (the thesis's future work): distance and size vs k
 /// at a fixed step budget.
 pub fn kway_experiment(workloads: &[Workload<ProvExpr>], scale: Scale) -> Figure {
-    let ks = if scale.quick { vec![2, 3] } else { vec![2, 3, 4, 5] };
+    let ks = if scale.quick {
+        vec![2, 3]
+    } else {
+        vec![2, 3, 4, 5]
+    };
     let max_steps = scale.max_steps();
     let mut fig = Figure::new(
         "A.1",
@@ -571,7 +574,10 @@ pub fn score_mode_experiment(workloads: &[Workload<ProvExpr>], scale: Scale) -> 
         "wDist",
         "avg normalized distance",
     );
-    for (mode, label) in [(ScoreMode::Rank, "rank"), (ScoreMode::Normalized, "normalized")] {
+    for (mode, label) in [
+        (ScoreMode::Rank, "rank"),
+        (ScoreMode::Normalized, "normalized"),
+    ] {
         let mut s = Series::new(label);
         for &w_dist in &grid {
             let config = SummarizeConfig {
@@ -722,7 +728,8 @@ pub fn table51() -> String {
             "Absolute Difference",
         ),
     ];
-    let mut out = String::from("Table 5.1 — Provenance and Summarization Parameters per Dataset\n\n");
+    let mut out =
+        String::from("Table 5.1 — Provenance and Summarization Parameters per Dataset\n\n");
     for (name, structure, constraints, agg, vals, phi, vf) in rows {
         out.push_str(&format!(
             "{name}\n  Structure:   {structure}\n  Constraints: {constraints}\n  Aggregation: {agg}\n  Valuations:  {vals}\n  φ:           {phi}\n  VAL-FUNC:    {vf}\n\n"

@@ -23,12 +23,14 @@
 #![warn(rust_2018_idioms)]
 
 pub mod experiments;
+pub mod manifest;
 pub mod report;
 pub mod runner;
 pub mod series;
 pub mod workload;
 
 pub use experiments::Scale;
+pub use manifest::RunManifest;
 pub use runner::{run, Algo};
 pub use series::{Figure, Series};
 pub use workload::Workload;

@@ -1,0 +1,188 @@
+//! Run manifests: one JSON file per experiment under `reports/` capturing
+//! what ran (base config, dataset generator seeds, scale), how runs ended
+//! (stop-reason counters), and what they cost (per-phase span durations
+//! plus the full counter snapshot).
+//!
+//! The experiments binary resets the observability registry before each
+//! experiment and writes `manifest_<experiment>.json` after it, so every
+//! manifest's counters cover exactly one experiment.
+
+use std::fs;
+use std::io;
+use std::path::PathBuf;
+use std::time::Duration;
+
+use prox_core::SummarizeConfig;
+use prox_obs::Json;
+
+use crate::report::reports_dir;
+use crate::workload::Workload;
+use crate::Scale;
+
+/// Builder for one experiment's manifest. Metadata (datasets, config) is
+/// pushed in while the experiment runs; [`RunManifest::write`] folds in the
+/// observability snapshot at that moment and writes the file.
+pub struct RunManifest {
+    experiment: String,
+    scale: Json,
+    datasets: Vec<Json>,
+    config: Json,
+    wall_time_ms: Option<u64>,
+}
+
+impl RunManifest {
+    /// Start a manifest for `experiment` at `scale`. The config defaults to
+    /// [`SummarizeConfig::default`], the base every sweep perturbs.
+    pub fn new(experiment: &str, scale: Scale) -> Self {
+        RunManifest {
+            experiment: experiment.to_owned(),
+            scale: Json::obj()
+                .with("instances", scale.instances)
+                .with("random_seeds", scale.random_seeds)
+                .with("quick", scale.quick),
+            datasets: Vec::new(),
+            config: config_json(&SummarizeConfig::default()),
+            wall_time_ms: None,
+        }
+    }
+
+    /// Record the workloads (dataset name + generator seed) the experiment
+    /// ran over.
+    pub fn datasets<E>(&mut self, workloads: &[Workload<E>]) {
+        for w in workloads {
+            self.datasets
+                .push(Json::obj().with("name", w.name).with("seed", w.seed));
+        }
+    }
+
+    /// Override the recorded base config (for experiments whose base is not
+    /// the default).
+    pub fn config(&mut self, config: &SummarizeConfig) {
+        self.config = config_json(config);
+    }
+
+    /// Record the experiment's wall-clock time.
+    pub fn wall_time(&mut self, elapsed: Duration) {
+        self.wall_time_ms = Some(elapsed.as_millis() as u64);
+    }
+
+    /// Assemble the manifest, folding in the current observability
+    /// snapshot: `stop_reasons` (the `run/stop/*` counters), `phases`
+    /// (span durations), and the full `counters` object.
+    pub fn to_json(&self) -> Json {
+        let snapshot = prox_obs::snapshot();
+        let mut stop_reasons = Json::obj();
+        let mut counters = Json::obj();
+        if let Some(entries) = snapshot.get("counters").and_then(Json::entries) {
+            for (name, value) in entries {
+                counters.set(name, value.clone());
+                if let Some(reason) = name.strip_prefix("run/stop/") {
+                    stop_reasons.set(reason, value.clone());
+                }
+            }
+        }
+        // Per-phase durations: the span histograms minus their buckets.
+        let mut phases = Json::obj();
+        if let Some(entries) = snapshot.get("spans").and_then(Json::entries) {
+            for (name, span) in entries {
+                let mut phase = Json::obj();
+                for key in ["count", "total_ns", "mean_ns", "min_ns", "max_ns"] {
+                    if let Some(v) = span.get(key) {
+                        phase.set(key, v.clone());
+                    }
+                }
+                phases.set(name, phase);
+            }
+        }
+        let mut manifest = Json::obj()
+            .with("experiment", self.experiment.as_str())
+            .with("scale", self.scale.clone())
+            .with("config", self.config.clone())
+            .with("datasets", Json::Arr(self.datasets.clone()));
+        if let Some(ms) = self.wall_time_ms {
+            manifest.set("wall_time_ms", ms);
+        }
+        manifest
+            .with("stop_reasons", stop_reasons)
+            .with("phases", phases)
+            .with("counters", counters)
+    }
+
+    /// Write `manifest_<experiment>.json` (dots and dashes mapped to `_`)
+    /// under [`reports_dir`]; returns the path written.
+    pub fn write(&self) -> io::Result<PathBuf> {
+        let dir = reports_dir();
+        fs::create_dir_all(&dir)?;
+        let stem = self.experiment.replace(['.', '-'], "_");
+        let path = dir.join(format!("manifest_{stem}.json"));
+        fs::write(&path, self.to_json().pretty())?;
+        Ok(path)
+    }
+}
+
+fn config_json(c: &SummarizeConfig) -> Json {
+    Json::obj()
+        .with("w_dist", c.w_dist)
+        .with("w_size", c.w_size)
+        .with("w_tax", c.w_tax)
+        .with("target_size", c.target_size)
+        .with("target_dist", c.target_dist)
+        .with("max_steps", c.max_steps)
+        .with("k", c.k)
+        .with("score_mode", format!("{:?}", c.score_mode))
+        .with("tie_break", format!("{:?}", c.tie_break))
+        .with("val_func", format!("{:?}", c.val_func))
+        .with("skip_group_equivalent", c.skip_group_equivalent)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload;
+    use prox_cluster::Linkage;
+    use prox_provenance::{AggKind, ValuationClass};
+
+    #[test]
+    fn manifest_records_datasets_config_and_snapshot_sections() {
+        let ws = workload::movielens(
+            2,
+            ValuationClass::CancelSingleAttribute,
+            AggKind::Max,
+            Linkage::Single,
+        );
+        let mut m = RunManifest::new("9.9-test", Scale::quick());
+        m.datasets(&ws);
+        m.wall_time(Duration::from_millis(12));
+        let j = m.to_json();
+        assert_eq!(j.get("experiment").and_then(Json::as_str), Some("9.9-test"));
+        let datasets = match j.get("datasets") {
+            Some(Json::Arr(items)) => items,
+            other => panic!("datasets not an array: {other:?}"),
+        };
+        assert_eq!(datasets.len(), 2);
+        assert_eq!(
+            datasets[0].get("seed").and_then(Json::as_u64),
+            Some(1000),
+            "movielens seeds start at 1000"
+        );
+        assert_eq!(j.get("wall_time_ms").and_then(Json::as_u64), Some(12));
+        let config = j.get("config").expect("config present");
+        assert!(config.get("w_dist").is_some());
+        assert!(config.get("val_func").and_then(Json::as_str).is_some());
+        for section in ["stop_reasons", "phases", "counters"] {
+            assert!(j.get(section).is_some(), "missing {section}");
+        }
+        // The whole manifest round-trips through the serializer.
+        assert_eq!(Json::parse(&j.pretty()).unwrap(), j);
+    }
+
+    #[test]
+    fn write_lands_under_reports_with_sanitized_name() {
+        let m = RunManifest::new("9.9-wr.test", Scale::quick());
+        let path = m.write().unwrap();
+        assert!(path.ends_with("manifest_9_9_wr_test.json"));
+        let body = fs::read_to_string(&path).unwrap();
+        assert!(Json::parse(&body).is_ok());
+        let _ = fs::remove_file(&path);
+    }
+}

@@ -6,9 +6,18 @@ use std::path::{Path, PathBuf};
 
 use crate::series::Figure;
 
-/// Where reports land (relative to the workspace root / current dir).
+/// Where reports land: `<workspace root>/reports`, resolved from this
+/// crate's compile-time manifest dir so binaries invoked from any working
+/// directory agree on the location. Falls back to `./reports` when the
+/// build tree no longer exists (e.g. a binary copied to another machine).
 pub fn reports_dir() -> PathBuf {
-    PathBuf::from("reports")
+    // CARGO_MANIFEST_DIR = <root>/crates/bench → nth(2) = <root>.
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .filter(|root| root.exists())
+        .map(|root| root.join("reports"))
+        .unwrap_or_else(|| PathBuf::from("reports"))
 }
 
 /// Emit a figure: print the table and write `<id>.txt` / `<id>.json`.

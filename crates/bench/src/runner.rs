@@ -1,10 +1,29 @@
 //! Running the three algorithms (§6.1) on a workload.
 
 use prox_cluster::{random_summarize, replay};
-use prox_core::{SummarizeConfig, Summarizer, SummaryResult};
+use prox_core::{StopReason, SummarizeConfig, Summarizer, SummaryResult};
+use prox_obs::Counter;
 use prox_provenance::Summarizable;
 
 use crate::workload::Workload;
+
+/// Runs that hit the size bound.
+static STOP_TARGET_SIZE: Counter = Counter::new("run/stop/target_size");
+/// Runs that hit (and backed off from) the distance bound.
+static STOP_TARGET_DIST: Counter = Counter::new("run/stop/target_dist");
+/// Runs that exhausted the step budget.
+static STOP_MAX_STEPS: Counter = Counter::new("run/stop/max_steps");
+/// Runs that ran out of constraint-satisfying candidates.
+static STOP_NO_CANDIDATES: Counter = Counter::new("run/stop/no_candidates");
+
+fn count_stop(reason: StopReason) {
+    match reason {
+        StopReason::TargetSize => STOP_TARGET_SIZE.incr(),
+        StopReason::TargetDist => STOP_TARGET_DIST.incr(),
+        StopReason::MaxSteps => STOP_MAX_STEPS.incr(),
+        StopReason::NoCandidates => STOP_NO_CANDIDATES.incr(),
+    }
+}
 
 /// Which algorithm to run.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -43,11 +62,13 @@ pub fn run<E: Summarizable>(
     let mut config = config.clone();
     config.phi = workload.phi.clone();
     config.val_func = workload.val_func;
-    match algo {
+    let res = match algo {
         Algo::ProvApprox => {
             let mut s = Summarizer::new(&mut store, workload.constraints.clone(), config);
             let res = match &workload.taxonomy {
-                Some(t) => s.with_taxonomy(t).summarize(&workload.p0, &workload.valuations),
+                Some(t) => s
+                    .with_taxonomy(t)
+                    .summarize(&workload.p0, &workload.valuations),
                 None => s.summarize(&workload.p0, &workload.valuations),
             };
             Some(res.expect("validated config"))
@@ -71,7 +92,11 @@ pub fn run<E: Summarizable>(
             &config,
             seed,
         )),
+    };
+    if let Some(res) = &res {
+        count_stop(res.stop_reason);
     }
+    res
 }
 
 /// Average `(distance, size)` of an algorithm across workloads.

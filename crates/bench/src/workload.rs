@@ -38,6 +38,8 @@ pub struct Workload<E> {
     pub phi: PhiMap,
     /// VAL-FUNC.
     pub val_func: ValFuncKind,
+    /// Dataset generator seed (recorded in run manifests).
+    pub seed: u64,
 }
 
 impl<E: Summarizable> Workload<E> {
@@ -51,7 +53,12 @@ impl<E: Summarizable> Workload<E> {
 ///
 /// Defaults follow §6.4: "Cancel Single Attribute" valuations and MAX
 /// aggregation; pass a different class/aggregation for other experiments.
-pub fn movielens(n: usize, class: ValuationClass, agg: AggKind, linkage: Linkage) -> Vec<Workload<ProvExpr>> {
+pub fn movielens(
+    n: usize,
+    class: ValuationClass,
+    agg: AggKind,
+    linkage: Linkage,
+) -> Vec<Workload<ProvExpr>> {
     (0..n)
         .map(|ix| {
             // Dense co-rating (each user rates 3 of 5 movies) so merges
@@ -64,6 +71,7 @@ pub fn movielens(n: usize, class: ValuationClass, agg: AggKind, linkage: Linkage
                 ratings_per_user: 3,
                 seed: 1000 + ix as u64,
             });
+            let seed = 1000 + ix as u64;
             let p0 = data.provenance(agg);
             let constraints = data.constraints();
             let valuations = data.valuations(class);
@@ -95,6 +103,7 @@ pub fn movielens(n: usize, class: ValuationClass, agg: AggKind, linkage: Linkage
                 cluster_merges: Some(queue),
                 phi: PhiMap::uniform(Phi::Or),
                 val_func: ValFuncKind::Euclidean,
+                seed,
             }
         })
         .collect()
@@ -112,6 +121,7 @@ pub fn wikipedia(n: usize, class: ValuationClass, linkage: Linkage) -> Vec<Workl
                 major_prob: 0.6,
                 seed: 2000 + ix as u64,
             });
+            let seed = 2000 + ix as u64;
             let p0 = data.provenance();
             let constraints = data.constraints();
             let valuations = data.valuations(class);
@@ -155,6 +165,7 @@ pub fn wikipedia(n: usize, class: ValuationClass, linkage: Linkage) -> Vec<Workl
                 cluster_merges: Some(queue),
                 phi: PhiMap::uniform(Phi::Or),
                 val_func: ValFuncKind::Euclidean,
+                seed,
             }
         })
         .collect()
@@ -181,6 +192,7 @@ pub fn ddp(n: usize, class: ValuationClass) -> Vec<Workload<DdpExpr>> {
                 cluster_merges: None,
                 phi,
                 val_func: ValFuncKind::DdpDiff,
+                seed: 3000 + ix as u64,
             }
         })
         .collect()
@@ -192,7 +204,12 @@ mod tests {
 
     #[test]
     fn movielens_workloads_build() {
-        let ws = movielens(2, ValuationClass::CancelSingleAttribute, AggKind::Max, Linkage::Single);
+        let ws = movielens(
+            2,
+            ValuationClass::CancelSingleAttribute,
+            AggKind::Max,
+            Linkage::Single,
+        );
         assert_eq!(ws.len(), 2);
         for w in &ws {
             assert!(w.initial_size() > 0);

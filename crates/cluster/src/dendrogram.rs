@@ -173,7 +173,12 @@ mod tests {
         let merges = cluster(&line_matrix(), Linkage::Single, |_, _| true);
         let roots = build(&merges, 4);
         fn check(d: &Dendrogram) {
-            if let Dendrogram::Node { dissimilarity, left, right } = d {
+            if let Dendrogram::Node {
+                dissimilarity,
+                left,
+                right,
+            } = d
+            {
                 assert!(left.height() <= *dissimilarity + 1e-12);
                 assert!(right.height() <= *dissimilarity + 1e-12);
                 check(left);

@@ -132,7 +132,8 @@ fn attr_mismatch(a: &FeatureVector, b: &FeatureVector) -> f64 {
     if keys.is_empty() {
         return 0.0;
     }
-    let lookup = |f: &FeatureVector, k: u16| f.attrs.iter().find(|&&(a, _)| a == k).map(|&(_, v)| v);
+    let lookup =
+        |f: &FeatureVector, k: u16| f.attrs.iter().find(|&&(a, _)| a == k).map(|&(_, v)| v);
     let mismatches = keys
         .iter()
         .filter(|&&k| lookup(a, k) != lookup(b, k))
@@ -145,7 +146,9 @@ pub fn matrix_of(
     features: &[FeatureVector],
     dissimilarity: impl Fn(&FeatureVector, &FeatureVector) -> f64,
 ) -> DissimilarityMatrix {
-    DissimilarityMatrix::from_fn(features.len(), |i, j| dissimilarity(&features[i], &features[j]))
+    DissimilarityMatrix::from_fn(features.len(), |i, j| {
+        dissimilarity(&features[i], &features[j])
+    })
 }
 
 #[cfg(test)]

@@ -7,8 +7,17 @@
 //! do not have at least one attribute in common"). Dissimilarities are
 //! maintained with the Lance–Williams update.
 
+use prox_obs::{Counter, SpanTimer};
+
 use crate::linkage::Linkage;
 use crate::matrix::DissimilarityMatrix;
+
+/// One full constrained-HAC run.
+static SPAN_LINKAGE: SpanTimer = SpanTimer::new("hac/linkage");
+/// Merges performed across all runs.
+static MERGES: Counter = Counter::new("hac/merges");
+/// Minimal-dissimilarity pairs vetoed by the constraint callback.
+static VETOES: Counter = Counter::new("hac/vetoes");
 
 /// One merge performed by the algorithm.
 #[derive(Clone, Debug, PartialEq)]
@@ -45,6 +54,7 @@ pub fn cluster(
     if n < 2 {
         return Vec::new();
     }
+    let _span = SPAN_LINKAGE.start();
     let mut d = matrix.clone();
     let mut members: Vec<Option<Vec<usize>>> = (0..n).map(|i| Some(vec![i])).collect();
     let mut merges = Vec::new();
@@ -66,6 +76,8 @@ pub fn cluster(
                     );
                     if allowed(mi, mj) {
                         best = Some((i, j, dij));
+                    } else {
+                        VETOES.incr();
                     }
                 }
             }
@@ -91,6 +103,7 @@ pub fn cluster(
         merged_members.sort_unstable();
         members[i] = Some(merged_members);
 
+        MERGES.incr();
         merges.push(MergeStep {
             left,
             right,

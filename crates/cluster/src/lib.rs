@@ -22,11 +22,10 @@ pub mod pearson;
 pub mod random;
 pub mod replay;
 
-pub use features::{
-    matrix_of, page_dissimilarity, page_features, user_dissimilarity, user_features,
-    FeatureVector,
-};
 pub use dendrogram::{build as build_dendrogram, Dendrogram};
+pub use features::{
+    matrix_of, page_dissimilarity, page_features, user_dissimilarity, user_features, FeatureVector,
+};
 pub use hac::{cluster, MergeStep};
 pub use linkage::Linkage;
 pub use matrix::DissimilarityMatrix;

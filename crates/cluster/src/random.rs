@@ -3,11 +3,12 @@
 //! honouring the same stop conditions as Prov-Approx.
 
 use std::collections::HashMap;
-use std::time::Instant;
+
+use prox_obs::StepTimer;
 
 use prox_core::{
-    candidates::enumerate, ConstraintConfig, DistanceEngine, History, MemberOverride,
-    StepRecord, StopReason, SummarizeConfig, SummaryResult,
+    candidates::enumerate, ConstraintConfig, DistanceEngine, History, MemberOverride, StepRecord,
+    StopReason, SummarizeConfig, SummaryResult,
 };
 use prox_provenance::{AnnStore, Mapping, Summarizable, Valuation};
 use prox_taxonomy::Taxonomy;
@@ -45,7 +46,7 @@ pub fn random_summarize<E: Summarizable>(
             stop_reason = StopReason::MaxSteps;
             break;
         }
-        let step_start = Instant::now();
+        let mut timer = StepTimer::start();
         let size_before = current.size();
 
         let anns = current.annotations();
@@ -59,12 +60,13 @@ pub fn random_summarize<E: Summarizable>(
         let summary = store.add_summary(&chosen.name, chosen.domain, &chosen.members);
         let step_map = Mapping::group(&chosen.members, summary);
 
-        let cand_start = Instant::now();
-        let next = current.apply_mapping(&step_map);
-        let mut h = cumulative.clone();
-        h.compose_with(&step_map);
-        let distance = engine.distance(&next, &h, store, &no_override);
-        let candidate_time = cand_start.elapsed();
+        let (next, h, distance) = timer.candidates(|| {
+            let next = current.apply_mapping(&step_map);
+            let mut h = cumulative.clone();
+            h.compose_with(&step_map);
+            let distance = engine.distance(&next, &h, store, &no_override);
+            (next, h, distance)
+        });
 
         if config.target_dist < 1.0 && distance >= config.target_dist {
             stop_reason = StopReason::TargetDist;
@@ -83,8 +85,8 @@ pub fn random_summarize<E: Summarizable>(
             distance,
             size: current.size(),
             candidates: cands.len(),
-            candidate_time,
-            step_time: step_start.elapsed(),
+            candidate_time: timer.candidate_time(),
+            step_time: timer.step_time(),
             size_before,
         });
         if config.record_snapshots {
@@ -110,9 +112,7 @@ pub fn random_summarize<E: Summarizable>(
 mod tests {
     use super::*;
     use prox_core::MergeRule;
-    use prox_provenance::{
-        AggKind, AggValue, AnnId, Polynomial, ProvExpr, Tensor, ValuationClass,
-    };
+    use prox_provenance::{AggKind, AggValue, AnnId, Polynomial, ProvExpr, Tensor, ValuationClass};
 
     fn setup() -> (AnnStore, ProvExpr, Vec<AnnId>, ConstraintConfig) {
         let mut s = AnnStore::new();
@@ -122,11 +122,13 @@ mod tests {
         let m = s.add_base_with("M", "movies", &[]);
         let mut p = ProvExpr::new(AggKind::Max);
         for (i, &u) in users.iter().enumerate() {
-            p.push(m, Tensor::new(Polynomial::var(u), AggValue::single(1.0 + i as f64)));
+            p.push(
+                m,
+                Tensor::new(Polynomial::var(u), AggValue::single(1.0 + i as f64)),
+            );
         }
         let dom = s.domain("users");
-        let cfg =
-            ConstraintConfig::new().allow(dom, MergeRule::SharedAttribute { attrs: vec![] });
+        let cfg = ConstraintConfig::new().allow(dom, MergeRule::SharedAttribute { attrs: vec![] });
         (s, p, users, cfg)
     }
 

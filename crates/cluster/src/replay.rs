@@ -8,11 +8,10 @@
 //! `TARGET-DIST`, max steps) as Prov-Approx so the two are comparable.
 
 use std::collections::HashMap;
-use std::time::Instant;
 
-use prox_core::{
-    DistanceEngine, History, StepRecord, StopReason, SummarizeConfig, SummaryResult,
-};
+use prox_obs::StepTimer;
+
+use prox_core::{DistanceEngine, History, StepRecord, StopReason, SummarizeConfig, SummaryResult};
 use prox_provenance::{AnnId, AnnStore, Mapping, Summarizable, Valuation};
 
 use crate::hac::MergeStep;
@@ -98,7 +97,7 @@ pub fn replay<E: Summarizable>(
             stop_reason = StopReason::MaxSteps;
             break;
         }
-        let step_start = Instant::now();
+        let mut timer = StepTimer::start();
         let size_before = current.size();
 
         // Current-level members: images of the cluster members.
@@ -117,12 +116,13 @@ pub fn replay<E: Summarizable>(
         let summary = store.add_summary(&name, domain, &level);
         let step_map = Mapping::group(&level, summary);
 
-        let cand_start = Instant::now();
-        let next = current.apply_mapping(&step_map);
-        let mut h = cumulative.clone();
-        h.compose_with(&step_map);
-        let distance = engine.distance(&next, &h, store, &no_override);
-        let candidate_time = cand_start.elapsed();
+        let (next, h, distance) = timer.candidates(|| {
+            let next = current.apply_mapping(&step_map);
+            let mut h = cumulative.clone();
+            h.compose_with(&step_map);
+            let distance = engine.distance(&next, &h, store, &no_override);
+            (next, h, distance)
+        });
 
         if config.target_dist < 1.0 && distance >= config.target_dist {
             // Crossing the distance bound: keep the previous expression.
@@ -141,8 +141,8 @@ pub fn replay<E: Summarizable>(
             distance,
             size: current.size(),
             candidates: 1,
-            candidate_time,
-            step_time: step_start.elapsed(),
+            candidate_time: timer.candidate_time(),
+            step_time: timer.step_time(),
             size_before,
         });
         if config.record_snapshots {
@@ -180,7 +180,10 @@ mod tests {
         let m = s.add_base_with("M", "movies", &[]);
         let mut p = ProvExpr::new(AggKind::Max);
         for (i, &u) in users.iter().enumerate() {
-            p.push(m, Tensor::new(Polynomial::var(u), AggValue::single(1.0 + i as f64)));
+            p.push(
+                m,
+                Tensor::new(Polynomial::var(u), AggValue::single(1.0 + i as f64)),
+            );
         }
         (s, p, users)
     }

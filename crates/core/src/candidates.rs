@@ -7,10 +7,16 @@
 //! get — the shared attribute value ("Female") or the members' lowest
 //! common taxonomy subsumer ("wordnet_musician").
 
+use prox_obs::Counter;
 use prox_provenance::{AnnId, AnnStore, DomainId};
 use prox_taxonomy::{ConceptId, Taxonomy};
 
 use crate::constraints::{concepts_of, shared_attr, ConstraintConfig, MergeRule};
+
+/// Candidates produced by [`enumerate`] across all calls.
+static CANDIDATES_ENUMERATED: Counter = Counter::new("candidates/enumerated");
+/// Pairs rejected by the semantic constraints during enumeration.
+static CANDIDATES_REJECTED: Counter = Counter::new("candidates/rejected");
 
 /// One candidate single-step mapping.
 #[derive(Clone, Debug)]
@@ -48,12 +54,11 @@ fn name_for(
 ) -> (String, Option<ConceptId>) {
     // Prefer the taxonomy LCS when the rule is taxonomy-driven; otherwise
     // prefer the shared attribute value.
-    let lcs = taxonomy.and_then(|t| {
-        concepts_of(members, store).and_then(|cs| t.lcs_many(&cs))
-    });
+    let lcs = taxonomy.and_then(|t| concepts_of(members, store).and_then(|cs| t.lcs_many(&cs)));
     let attr = match rule {
-        MergeRule::SharedAttribute { attrs }
-        | MergeRule::SharedAttributeOrTaxonomy { attrs } => shared_attr(members, store, attrs),
+        MergeRule::SharedAttribute { attrs } | MergeRule::SharedAttributeOrTaxonomy { attrs } => {
+            shared_attr(members, store, attrs)
+        }
         _ => shared_attr(members, store, &[]),
     };
     if matches!(rule, MergeRule::TaxonomyAncestor) {
@@ -95,10 +100,12 @@ pub fn enumerate(
         .copied()
         .filter(|&a| constraints.rule(store.get(a).domain).is_some())
         .collect();
+    let mut rejected = 0u64;
     let mut out = Vec::new();
     for (i, &a) in mergeable.iter().enumerate() {
         for &b in &mergeable[i + 1..] {
             if !constraints.pair_ok(a, b, store, taxonomy) {
+                rejected += 1;
                 continue;
             }
             let mut members = vec![a, b];
@@ -130,6 +137,8 @@ pub fn enumerate(
             });
         }
     }
+    CANDIDATES_ENUMERATED.add(out.len() as u64);
+    CANDIDATES_REJECTED.add(rejected);
     out
 }
 
@@ -143,10 +152,8 @@ mod tests {
         let u2 = s.add_base_with("U2", "users", &[("gender", "F"), ("age", "25-34")]);
         let u3 = s.add_base_with("U3", "users", &[("gender", "M"), ("age", "25-34")]);
         let users = s.domain("users");
-        let cfg = ConstraintConfig::new().allow(
-            users,
-            MergeRule::SharedAttribute { attrs: vec![] },
-        );
+        let cfg =
+            ConstraintConfig::new().allow(users, MergeRule::SharedAttribute { attrs: vec![] });
         (s, vec![u1, u2, u3], cfg)
     }
 
@@ -183,10 +190,8 @@ mod tests {
             .map(|i| s.add_base_with(&format!("U{i}"), "users", &[("gender", "F")]))
             .collect();
         let users = s.domain("users");
-        let cfg = ConstraintConfig::new().allow(
-            users,
-            MergeRule::SharedAttribute { attrs: vec![] },
-        );
+        let cfg =
+            ConstraintConfig::new().allow(users, MergeRule::SharedAttribute { attrs: vec![] });
         let cands = enumerate(&anns, &s, &cfg, None, 3);
         assert!(cands.iter().all(|c| c.members.len() == 3));
         assert!(!cands.is_empty());

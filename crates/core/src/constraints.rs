@@ -176,14 +176,12 @@ mod tests {
     fn shared_attribute_rule() {
         let (mut s, anns) = store();
         let users = s.domain("users");
-        let cfg = ConstraintConfig::new().allow(
-            users,
-            MergeRule::SharedAttribute { attrs: vec![] },
-        );
+        let cfg =
+            ConstraintConfig::new().allow(users, MergeRule::SharedAttribute { attrs: vec![] });
         assert!(cfg.pair_ok(anns[0], anns[1], &s, None)); // gender=F
         assert!(cfg.pair_ok(anns[1], anns[2], &s, None)); // age=25-34
         assert!(!cfg.pair_ok(anns[0], anns[2], &s, None)); // nothing shared
-        // Triple needs a *common* attribute across all:
+                                                           // Triple needs a *common* attribute across all:
         assert!(!cfg.group_ok(&[anns[0], anns[1], anns[2]], &s, None));
     }
 
@@ -192,10 +190,8 @@ mod tests {
         let (mut s, anns) = store();
         let users = s.domain("users");
         let age = s.attr("age");
-        let cfg = ConstraintConfig::new().allow(
-            users,
-            MergeRule::SharedAttribute { attrs: vec![age] },
-        );
+        let cfg =
+            ConstraintConfig::new().allow(users, MergeRule::SharedAttribute { attrs: vec![age] });
         assert!(!cfg.pair_ok(anns[0], anns[1], &s, None), "gender excluded");
         assert!(cfg.pair_ok(anns[1], anns[2], &s, None), "age shared");
     }

@@ -11,11 +11,19 @@
 
 use std::collections::HashMap;
 
-use prox_provenance::{
-    AnnId, AnnStore, EvalOutcome, Mapping, PhiMap, Summarizable, Valuation,
-};
+use prox_obs::Counter;
+use prox_provenance::{AnnId, AnnStore, EvalOutcome, Mapping, PhiMap, Summarizable, Valuation};
 
 use crate::val_func::{ValFuncCtx, ValFuncKind};
+
+/// Distance computations (one per [`DistanceEngine::distance_raw`] call).
+static DISTANCE_EVALUATIONS: Counter = Counter::new("distance/evaluations");
+/// Per-valuation lookups of the original's cached outcome.
+static MEMO_LOOKUPS: Counter = Counter::new("distance/memo_lookups");
+/// Lookups served from the engine's cache (everything after `new`).
+static MEMO_HITS: Counter = Counter::new("distance/memo_hits");
+/// Lookups that had to evaluate the original (the `new` pre-pass).
+static MEMO_MISSES: Counter = Counter::new("distance/memo_misses");
 
 /// Overrides the member set of candidate target annotations during
 /// evaluation, so candidates can be scored without interning a summary
@@ -44,7 +52,12 @@ impl<'a, E: Summarizable> DistanceEngine<'a, E> {
         phis: PhiMap,
         val_func: ValFuncKind,
     ) -> Self {
-        let orig_outcomes = valuations.iter().map(|v| original.evaluate(v)).collect();
+        // Evaluating (and memoizing) `v(p₀)` here is the cache's fill
+        // pass: one miss per valuation, never repeated afterwards.
+        let orig_outcomes: Vec<EvalOutcome> =
+            valuations.iter().map(|v| original.evaluate(v)).collect();
+        MEMO_LOOKUPS.add(orig_outcomes.len() as u64);
+        MEMO_MISSES.add(orig_outcomes.len() as u64);
         let max_error = original.max_error().max(f64::MIN_POSITIVE);
         let ctx = ValFuncCtx {
             weight: 1.0,
@@ -124,9 +137,13 @@ impl<'a, E: Summarizable> DistanceEngine<'a, E> {
         store: &AnnStore,
         overrides: &MemberOverride,
     ) -> f64 {
+        DISTANCE_EVALUATIONS.incr();
         if self.valuations.is_empty() {
             return 0.0;
         }
+        // Every valuation's original outcome is served from the cache.
+        MEMO_LOOKUPS.add(self.valuations.len() as u64);
+        MEMO_HITS.add(self.valuations.len() as u64);
         let summary_anns = summary.annotations();
         let mut acc = 0.0f64;
         for (v, orig_out) in self.valuations.iter().zip(&self.orig_outcomes) {
@@ -151,9 +168,7 @@ impl<'a, E: Summarizable> DistanceEngine<'a, E> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use prox_provenance::{
-        AggKind, AggValue, Phi, Polynomial, ProvExpr, Tensor, ValuationClass,
-    };
+    use prox_provenance::{AggKind, AggValue, Phi, Polynomial, ProvExpr, Tensor, ValuationClass};
 
     /// Build Example 4.2.3's P₀ and the two single-step candidates.
     fn setup() -> (AnnStore, ProvExpr, Vec<AnnId>) {
@@ -176,14 +191,9 @@ mod tests {
     fn example_4_2_3_audience_beats_female() {
         let (mut s, p0, users) = setup();
         let users_dom = s.domain("users");
-        let vals =
-            ValuationClass::CancelSingleAnnotation.generate(&s, &users, &[users_dom]);
-        let engine = DistanceEngine::new(
-            &p0,
-            &vals,
-            PhiMap::uniform(Phi::Or),
-            ValFuncKind::Euclidean,
-        );
+        let vals = ValuationClass::CancelSingleAnnotation.generate(&s, &users, &[users_dom]);
+        let engine =
+            DistanceEngine::new(&p0, &vals, PhiMap::uniform(Phi::Or), ValFuncKind::Euclidean);
 
         let users_dom = s.domain("users");
         // Candidate 1: {U1,U2} -> Female
@@ -210,14 +220,9 @@ mod tests {
         // give the same distance as interning the summary annotation.
         let (mut s, p0, users) = setup();
         let users_dom = s.domain("users");
-        let vals =
-            ValuationClass::CancelSingleAnnotation.generate(&s, &users, &[users_dom]);
-        let engine = DistanceEngine::new(
-            &p0,
-            &vals,
-            PhiMap::uniform(Phi::Or),
-            ValFuncKind::Euclidean,
-        );
+        let vals = ValuationClass::CancelSingleAnnotation.generate(&s, &users, &[users_dom]);
+        let engine =
+            DistanceEngine::new(&p0, &vals, PhiMap::uniform(Phi::Or), ValFuncKind::Euclidean);
 
         // Via override: map U2 onto U1, overriding U1's members.
         let h_over = Mapping::group(&[users[1]], users[0]);
@@ -240,12 +245,8 @@ mod tests {
     fn identity_summary_has_zero_distance() {
         let (s, p0, users) = setup();
         let vals = ValuationClass::CancelSingleAnnotation.generate(&s, &users, &[]);
-        let engine = DistanceEngine::new(
-            &p0,
-            &vals,
-            PhiMap::uniform(Phi::Or),
-            ValFuncKind::Euclidean,
-        );
+        let engine =
+            DistanceEngine::new(&p0, &vals, PhiMap::uniform(Phi::Or), ValFuncKind::Euclidean);
         let d = engine.distance(&p0, &Mapping::identity(), &s, &HashMap::new());
         assert_eq!(d, 0.0);
     }
@@ -254,12 +255,8 @@ mod tests {
     fn distance_is_normalized() {
         let (mut s, p0, users) = setup();
         let vals = ValuationClass::CancelSingleAnnotation.generate(&s, &users, &[]);
-        let engine = DistanceEngine::new(
-            &p0,
-            &vals,
-            PhiMap::uniform(Phi::Or),
-            ValFuncKind::Euclidean,
-        );
+        let engine =
+            DistanceEngine::new(&p0, &vals, PhiMap::uniform(Phi::Or), ValFuncKind::Euclidean);
         // Merge everything (users and movies) — worst realistic summary.
         let dom = s.domain("users");
         let g = s.add_summary("All", dom, &[users[0], users[1], users[2]]);
@@ -273,12 +270,11 @@ mod tests {
     fn empty_valuation_class_yields_zero() {
         let (s, p0, _) = setup();
         let vals: Vec<Valuation> = Vec::new();
-        let engine = DistanceEngine::new(
-            &p0,
-            &vals,
-            PhiMap::uniform(Phi::Or),
-            ValFuncKind::Euclidean,
+        let engine =
+            DistanceEngine::new(&p0, &vals, PhiMap::uniform(Phi::Or), ValFuncKind::Euclidean);
+        assert_eq!(
+            engine.distance(&p0, &Mapping::identity(), &s, &HashMap::new()),
+            0.0
         );
-        assert_eq!(engine.distance(&p0, &Mapping::identity(), &s, &HashMap::new()), 0.0);
     }
 }

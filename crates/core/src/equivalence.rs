@@ -7,10 +7,17 @@
 //! by partition refinement: start from one block and split by each
 //! valuation's true/false sets, exactly as in the proposition's proof.
 
+use prox_obs::{Counter, SpanTimer};
 use prox_provenance::{AnnId, AnnStore, Mapping, Summarizable, Valuation};
 use prox_taxonomy::Taxonomy;
 
 use crate::constraints::{shared_attr, ConstraintConfig};
+
+/// The `GroupEquivalent` pre-pass.
+static SPAN_GROUP_EQUIVALENT: SpanTimer = SpanTimer::new("summarize/group_equivalent");
+/// Annotations collapsed into equivalence-group summaries (members merged
+/// away, i.e. `group.len() - 1` per created group).
+static GROUPS_COLLAPSED: Counter = Counter::new("equivalence/annotations_collapsed");
 
 /// Partition `anns` into equivalence classes w.r.t. the valuation class.
 pub fn equivalence_classes(anns: &[AnnId], valuations: &[Valuation]) -> Vec<Vec<AnnId>> {
@@ -18,8 +25,7 @@ pub fn equivalence_classes(anns: &[AnnId], valuations: &[Valuation]) -> Vec<Vec<
     for v in valuations {
         let mut next = Vec::with_capacity(classes.len());
         for class in classes {
-            let (t, f): (Vec<AnnId>, Vec<AnnId>) =
-                class.into_iter().partition(|&a| v.truth(a));
+            let (t, f): (Vec<AnnId>, Vec<AnnId>) = class.into_iter().partition(|&a| v.truth(a));
             if !t.is_empty() {
                 next.push(t);
             }
@@ -54,6 +60,7 @@ pub fn group_equivalent<E: Summarizable>(
     constraints: &ConstraintConfig,
     taxonomy: Option<&Taxonomy>,
 ) -> GroupEquivalentResult<E> {
+    let _span = SPAN_GROUP_EQUIVALENT.start();
     let anns = expr.annotations();
     let mergeable: Vec<AnnId> = anns
         .iter()
@@ -92,6 +99,7 @@ pub fn group_equivalent<E: Summarizable>(
                 .map(|(_, v)| store.value_name(v).to_owned())
                 .unwrap_or_else(|| format!("Eq({})", store.name(group[0])));
             let summary = store.add_summary(&name, domain, &group);
+            GROUPS_COLLAPSED.add(group.len() as u64 - 1);
             for &m in &group {
                 mapping.set(m, summary);
             }
@@ -169,12 +177,9 @@ mod tests {
             p.push(mv, Tensor::new(Polynomial::var(u), AggValue::single(r)));
         }
         let users = s.domain("users");
-        let vals =
-            ValuationClass::CancelSingleAttribute.generate(&s, &[u1, u2, u3], &[users]);
-        let cfg = ConstraintConfig::new().allow(
-            users,
-            MergeRule::SharedAttribute { attrs: vec![] },
-        );
+        let vals = ValuationClass::CancelSingleAttribute.generate(&s, &[u1, u2, u3], &[users]);
+        let cfg =
+            ConstraintConfig::new().allow(users, MergeRule::SharedAttribute { attrs: vec![] });
         let res = group_equivalent(&p, &vals, &mut s, &cfg, None);
         assert_eq!(res.created.len(), 1);
         assert_eq!(res.expr.size(), 2);
@@ -203,10 +208,8 @@ mod tests {
         p.push(mv, Tensor::new(Polynomial::var(u1), AggValue::single(3.0)));
         p.push(mv, Tensor::new(Polynomial::var(u2), AggValue::single(4.0)));
         let users = s.domain("users");
-        let cfg = ConstraintConfig::new().allow(
-            users,
-            MergeRule::SharedAttribute { attrs: vec![] },
-        );
+        let cfg =
+            ConstraintConfig::new().allow(users, MergeRule::SharedAttribute { attrs: vec![] });
         // Empty valuation set → everything equivalent, but constraints block.
         let res = group_equivalent(&p, &[], &mut s, &cfg, None);
         assert!(res.created.is_empty());

@@ -232,7 +232,10 @@ mod tests {
         let m = s.add_base_with("M", "movies", &[]);
         let mut p = ProvExpr::new(AggKind::Max);
         for (i, &u) in users.iter().enumerate() {
-            p.push(m, Tensor::new(Polynomial::var(u), AggValue::single(1.0 + i as f64)));
+            p.push(
+                m,
+                Tensor::new(Polynomial::var(u), AggValue::single(1.0 + i as f64)),
+            );
         }
         let dom = s.domain("users");
         let cfg = ConstraintConfig::new().allow(dom, MergeRule::SharedAttribute { attrs: vec![] });

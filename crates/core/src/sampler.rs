@@ -11,9 +11,7 @@
 
 use std::collections::HashMap;
 
-use prox_provenance::{
-    AnnId, AnnStore, EvalOutcome, Mapping, PhiMap, Summarizable, Valuation,
-};
+use prox_provenance::{AnnId, AnnStore, EvalOutcome, Mapping, PhiMap, Summarizable, Valuation};
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 
@@ -313,8 +311,26 @@ mod tests {
             max_samples: Some(200),
             ..Default::default()
         };
-        let a = approx_distance(&p, &summary, &h, &s, &HashMap::new(), &phis, ValFuncKind::Euclidean, cfg);
-        let b = approx_distance(&p, &summary, &h, &s, &HashMap::new(), &phis, ValFuncKind::Euclidean, cfg);
+        let a = approx_distance(
+            &p,
+            &summary,
+            &h,
+            &s,
+            &HashMap::new(),
+            &phis,
+            ValFuncKind::Euclidean,
+            cfg,
+        );
+        let b = approx_distance(
+            &p,
+            &summary,
+            &h,
+            &s,
+            &HashMap::new(),
+            &phis,
+            ValFuncKind::Euclidean,
+            cfg,
+        );
         assert_eq!(a.distance, b.distance);
     }
 }

@@ -14,8 +14,8 @@
 //!    algorithm's final lines), the step budget, or candidate exhaustion.
 
 use std::collections::HashMap;
-use std::time::Instant;
 
+use prox_obs::{Counter, SpanTimer, StepTimer};
 use prox_provenance::{AnnStore, Mapping, Summarizable, Valuation};
 use prox_taxonomy::{group_distance, Taxonomy, TaxonomyFold};
 
@@ -26,6 +26,19 @@ use crate::distance::{DistanceEngine, MemberOverride};
 use crate::equivalence::group_equivalent;
 use crate::history::{History, StepRecord, StopReason};
 use crate::score::{minimal_indices, score_all, CandidateMeasure};
+
+/// Whole `summarize` runs.
+static SPAN_SUMMARIZE: SpanTimer = SpanTimer::new("summarize");
+/// One committed greedy step (records exactly the `StepRecord::step_time`).
+static SPAN_STEP: SpanTimer = SpanTimer::new("summarize/step");
+/// Candidate enumeration within a step.
+static SPAN_ENUMERATE: SpanTimer = SpanTimer::new("summarize/step/enumerate");
+/// Scoring + tie-breaking within a step.
+static SPAN_SCORE: SpanTimer = SpanTimer::new("summarize/step/score");
+/// Steps committed across all runs.
+static STEPS_COMMITTED: Counter = Counter::new("summarize/steps_committed");
+/// Steps undone by the TARGET-DIST back-off rule.
+static STEPS_BACKED_OFF: Counter = Counter::new("summarize/steps_backed_off");
 
 /// The result of a summarization run.
 #[derive(Clone, Debug)]
@@ -91,17 +104,24 @@ impl<'a> Summarizer<'a> {
         valuations: &[Valuation],
     ) -> Result<SummaryResult<E>, String> {
         self.config.validate()?;
+        let _run_span = SPAN_SUMMARIZE.start();
         let initial_size = p0.size();
 
         // Line 1: GroupEquivalent.
         let (mut current, mut cumulative) = if self.config.skip_group_equivalent {
             (p0.clone(), Mapping::identity())
         } else {
-            let res = group_equivalent(p0, valuations, self.store, &self.constraints, self.taxonomy);
+            let res =
+                group_equivalent(p0, valuations, self.store, &self.constraints, self.taxonomy);
             (res.expr, res.mapping)
         };
 
-        let engine = DistanceEngine::new(p0, valuations, self.config.phi.clone(), self.config.val_func);
+        let engine = DistanceEngine::new(
+            p0,
+            valuations,
+            self.config.phi.clone(),
+            self.config.val_func,
+        );
         let no_override: MemberOverride = HashMap::new();
         let mut current_dist = engine.distance(&current, &cumulative, self.store, &no_override);
 
@@ -122,51 +142,54 @@ impl<'a> Summarizer<'a> {
         // conjunction — with an `or`, a disabled bound would keep the loop
         // alive forever. We therefore loop while *both* bounds are slack,
         // which reproduces all three problem flavors.
-        while current.size() > self.config.target_size
-            && current_dist < self.config.target_dist
-        {
+        while current.size() > self.config.target_size && current_dist < self.config.target_dist {
             if step >= self.config.max_steps {
                 break_reason = Some(StopReason::MaxSteps);
                 break;
             }
-            let step_start = Instant::now();
+            let mut timer = StepTimer::start();
             let size_before = current.size();
 
             // Lines 3-8: examine candidates, keep the minimal score.
             let anns = current.annotations();
-            let cands = enumerate(
-                &anns,
-                self.store,
-                &self.constraints,
-                self.taxonomy,
-                self.config.k,
-            );
+            let cands = {
+                let _span = SPAN_ENUMERATE.start();
+                enumerate(
+                    &anns,
+                    self.store,
+                    &self.constraints,
+                    self.taxonomy,
+                    self.config.k,
+                )
+            };
             if cands.is_empty() {
                 break_reason = Some(StopReason::NoCandidates);
                 break;
             }
 
-            let cand_start = Instant::now();
-            let mut measures = Vec::with_capacity(cands.len());
-            for cand in &cands {
-                // Evaluate by mapping all members onto the first one and
-                // overriding its base-member set — equivalent to mapping
-                // onto a fresh annotation, without interning per candidate.
-                let rep = cand.members[0];
-                let step_map = Mapping::group(&cand.members[1..], rep);
-                let expr = current.apply_mapping(&step_map);
-                let mut h = cumulative.clone();
-                h.compose_with(&step_map);
-                let mut overrides = MemberOverride::new();
-                overrides.insert(rep, cand.base_members(self.store));
-                let distance = engine.distance(&expr, &h, self.store, &overrides);
-                measures.push(CandidateMeasure {
-                    distance,
-                    size: expr.size(),
-                });
-            }
-            let candidate_time = cand_start.elapsed();
+            let measures = timer.candidates(|| {
+                let mut measures = Vec::with_capacity(cands.len());
+                for cand in &cands {
+                    // Evaluate by mapping all members onto the first one and
+                    // overriding its base-member set — equivalent to mapping
+                    // onto a fresh annotation, without interning per candidate.
+                    let rep = cand.members[0];
+                    let step_map = Mapping::group(&cand.members[1..], rep);
+                    let expr = current.apply_mapping(&step_map);
+                    let mut h = cumulative.clone();
+                    h.compose_with(&step_map);
+                    let mut overrides = MemberOverride::new();
+                    overrides.insert(rep, cand.base_members(self.store));
+                    let distance = engine.distance(&expr, &h, self.store, &overrides);
+                    measures.push(CandidateMeasure {
+                        distance,
+                        size: expr.size(),
+                    });
+                }
+                measures
+            });
 
+            let score_span = SPAN_SCORE.start();
             let mut scores = score_all(
                 &measures,
                 self.config.score_mode,
@@ -203,13 +226,14 @@ impl<'a> Summarizer<'a> {
             }
             let ties = minimal_indices(&scores, 1e-9);
             let chosen_ix = self.break_ties(&cands, &ties);
+            score_span.finish();
             let chosen = &cands[chosen_ix];
             let chosen_measure = measures[chosen_ix];
 
             // Commit: intern the real summary annotation and remap.
-            let summary_ann =
-                self.store
-                    .add_summary(&chosen.name, chosen.domain, &chosen.members);
+            let summary_ann = self
+                .store
+                .add_summary(&chosen.name, chosen.domain, &chosen.members);
             if let Some(c) = chosen.concept {
                 self.store.set_concept(summary_ann, c.0);
             }
@@ -223,6 +247,9 @@ impl<'a> Summarizer<'a> {
             current_dist = chosen_measure.distance;
             step += 1;
 
+            STEPS_COMMITTED.incr();
+            let step_time = timer.step_time();
+            SPAN_STEP.record(step_time);
             history.steps.push(StepRecord {
                 step,
                 merged: chosen.members.clone(),
@@ -231,8 +258,8 @@ impl<'a> Summarizer<'a> {
                 distance: current_dist,
                 size: current.size(),
                 candidates: cands.len(),
-                candidate_time,
-                step_time: step_start.elapsed(),
+                candidate_time: timer.candidate_time(),
+                step_time,
                 size_before,
             });
             if self.config.record_snapshots {
@@ -245,6 +272,7 @@ impl<'a> Summarizer<'a> {
         if self.config.target_dist < 1.0 && current_dist >= self.config.target_dist {
             if let Some((prev_expr, prev_map, prev_dist)) = prev {
                 // Drop the last step's record and snapshot — it was undone.
+                STEPS_BACKED_OFF.incr();
                 history.steps.pop();
                 if self.config.record_snapshots {
                     snapshots.pop();
@@ -327,9 +355,7 @@ mod tests {
     use crate::config::ScoreMode;
     use crate::constraints::MergeRule;
     use crate::val_func::ValFuncKind;
-    use prox_provenance::{
-        AggKind, AggValue, AnnId, Polynomial, ProvExpr, Tensor, ValuationClass,
-    };
+    use prox_provenance::{AggKind, AggValue, AnnId, Polynomial, ProvExpr, Tensor, ValuationClass};
 
     /// Example 4.2.3's setting: U1,U2 female; U1,U3 audience; ratings for
     /// two movies. The algorithm with wDist=1 must pick Audience first.
@@ -346,10 +372,8 @@ mod tests {
         }
         p.push(bj, Tensor::new(Polynomial::var(u2), AggValue::single(4.0)));
         let users = s.domain("users");
-        let cfg = ConstraintConfig::new().allow(
-            users,
-            MergeRule::SharedAttribute { attrs: vec![] },
-        );
+        let cfg =
+            ConstraintConfig::new().allow(users, MergeRule::SharedAttribute { attrs: vec![] });
         (s, p, vec![u1, u2, u3], cfg)
     }
 
@@ -357,8 +381,7 @@ mod tests {
     fn example_4_2_3_first_step_chooses_audience() {
         let (mut s, p0, users, constraints) = setup();
         let users_dom = s.domain("users");
-        let vals =
-            ValuationClass::CancelSingleAnnotation.generate(&s, &users, &[users_dom]);
+        let vals = ValuationClass::CancelSingleAnnotation.generate(&s, &users, &[users_dom]);
         let config = SummarizeConfig {
             w_dist: 1.0,
             w_size: 0.0,
@@ -378,8 +401,7 @@ mod tests {
     fn target_size_stops_at_bound() {
         let (mut s, p0, users, constraints) = setup();
         let users_dom = s.domain("users");
-        let vals =
-            ValuationClass::CancelSingleAnnotation.generate(&s, &users, &[users_dom]);
+        let vals = ValuationClass::CancelSingleAnnotation.generate(&s, &users, &[users_dom]);
         let config = SummarizeConfig::target_size(3);
         let mut summarizer = Summarizer::new(&mut s, constraints, config);
         let res = summarizer.summarize(&p0, &vals).unwrap();
@@ -391,8 +413,7 @@ mod tests {
     fn target_dist_backs_off_one_step() {
         let (mut s, p0, users, constraints) = setup();
         let users_dom = s.domain("users");
-        let vals =
-            ValuationClass::CancelSingleAnnotation.generate(&s, &users, &[users_dom]);
+        let vals = ValuationClass::CancelSingleAnnotation.generate(&s, &users, &[users_dom]);
         // A tiny positive bound: the first nonzero-distance step must be
         // undone.
         let config = SummarizeConfig {
@@ -413,8 +434,7 @@ mod tests {
     fn monotonicity_holds_along_the_run() {
         let (mut s, p0, users, constraints) = setup();
         let users_dom = s.domain("users");
-        let vals =
-            ValuationClass::CancelSingleAnnotation.generate(&s, &users, &[users_dom]);
+        let vals = ValuationClass::CancelSingleAnnotation.generate(&s, &users, &[users_dom]);
         let config = SummarizeConfig {
             w_dist: 1.0,
             w_size: 0.0,
@@ -430,8 +450,7 @@ mod tests {
     fn runs_until_no_candidates() {
         let (mut s, p0, users, constraints) = setup();
         let users_dom = s.domain("users");
-        let vals =
-            ValuationClass::CancelSingleAnnotation.generate(&s, &users, &[users_dom]);
+        let vals = ValuationClass::CancelSingleAnnotation.generate(&s, &users, &[users_dom]);
         let config = SummarizeConfig {
             max_steps: 100,
             ..Default::default()
@@ -449,8 +468,7 @@ mod tests {
     fn snapshots_track_steps() {
         let (mut s, p0, users, constraints) = setup();
         let users_dom = s.domain("users");
-        let vals =
-            ValuationClass::CancelSingleAnnotation.generate(&s, &users, &[users_dom]);
+        let vals = ValuationClass::CancelSingleAnnotation.generate(&s, &users, &[users_dom]);
         let config = SummarizeConfig {
             max_steps: 2,
             record_snapshots: true,
@@ -466,8 +484,7 @@ mod tests {
     fn normalized_score_mode_also_works() {
         let (mut s, p0, users, constraints) = setup();
         let users_dom = s.domain("users");
-        let vals =
-            ValuationClass::CancelSingleAnnotation.generate(&s, &users, &[users_dom]);
+        let vals = ValuationClass::CancelSingleAnnotation.generate(&s, &users, &[users_dom]);
         let config = SummarizeConfig {
             score_mode: ScoreMode::Normalized,
             val_func: ValFuncKind::Euclidean,
@@ -511,8 +528,7 @@ mod tests {
                 ),
             );
         }
-        let constraints = ConstraintConfig::new()
-            .allow(pages_dom, MergeRule::TaxonomyAncestor);
+        let constraints = ConstraintConfig::new().allow(pages_dom, MergeRule::TaxonomyAncestor);
         // No valuations: every candidate has distance 0; sizes tie too, so
         // only the taxonomy term separates candidates.
         let config = SummarizeConfig {

@@ -73,13 +73,11 @@ impl ValFuncKind {
                 _ => ctx.weight * (scalarize(orig) - scalarize(summ)).abs(),
             },
             ValFuncKind::DdpDiff => match (orig, summ) {
-                (EvalOutcome::Ddp { cost: a }, EvalOutcome::Ddp { cost: b }) => {
-                    match (a, b) {
-                        (Some(ca), Some(cb)) => ctx.weight * (ca - cb).abs(),
-                        (None, None) => 0.0,
-                        _ => ctx.weight * ctx.mismatch_penalty,
-                    }
-                }
+                (EvalOutcome::Ddp { cost: a }, EvalOutcome::Ddp { cost: b }) => match (a, b) {
+                    (Some(ca), Some(cb)) => ctx.weight * (ca - cb).abs(),
+                    (None, None) => 0.0,
+                    _ => ctx.weight * ctx.mismatch_penalty,
+                },
                 _ => ctx.weight * (scalarize(orig) - scalarize(summ)).abs(),
             },
         }
@@ -122,11 +120,8 @@ mod tests {
     #[test]
     fn abs_diff_on_scalars() {
         let ctx = ValFuncCtx::default();
-        let d = ValFuncKind::AbsDiff.eval(
-            &EvalOutcome::Scalar(5.0),
-            &EvalOutcome::Scalar(3.0),
-            ctx,
-        );
+        let d =
+            ValFuncKind::AbsDiff.eval(&EvalOutcome::Scalar(5.0), &EvalOutcome::Scalar(3.0), ctx);
         assert_eq!(d, 2.0);
     }
 
@@ -136,11 +131,8 @@ mod tests {
             weight: 0.25,
             ..Default::default()
         };
-        let d = ValFuncKind::AbsDiff.eval(
-            &EvalOutcome::Scalar(5.0),
-            &EvalOutcome::Scalar(1.0),
-            ctx,
-        );
+        let d =
+            ValFuncKind::AbsDiff.eval(&EvalOutcome::Scalar(5.0), &EvalOutcome::Scalar(1.0), ctx);
         assert_eq!(d, 1.0);
     }
 
@@ -172,10 +164,22 @@ mod tests {
         };
         let feasible = |c: f64| EvalOutcome::Ddp { cost: Some(c) };
         let infeasible = EvalOutcome::Ddp { cost: None };
-        assert_eq!(ValFuncKind::DdpDiff.eval(&feasible(3.0), &feasible(5.0), ctx), 2.0);
-        assert_eq!(ValFuncKind::DdpDiff.eval(&infeasible, &infeasible, ctx), 0.0);
-        assert_eq!(ValFuncKind::DdpDiff.eval(&feasible(3.0), &infeasible, ctx), 50.0);
-        assert_eq!(ValFuncKind::DdpDiff.eval(&infeasible, &feasible(0.0), ctx), 50.0);
+        assert_eq!(
+            ValFuncKind::DdpDiff.eval(&feasible(3.0), &feasible(5.0), ctx),
+            2.0
+        );
+        assert_eq!(
+            ValFuncKind::DdpDiff.eval(&infeasible, &infeasible, ctx),
+            0.0
+        );
+        assert_eq!(
+            ValFuncKind::DdpDiff.eval(&feasible(3.0), &infeasible, ctx),
+            50.0
+        );
+        assert_eq!(
+            ValFuncKind::DdpDiff.eval(&infeasible, &feasible(0.0), ctx),
+            50.0
+        );
     }
 
     #[test]

@@ -1,0 +1,123 @@
+//! Integration test: observability counters against run history.
+//!
+//! Lives in its own test file (= its own process) because the registry is
+//! process-global: unit tests of other crates would pollute the deltas if
+//! they shared the binary.
+
+use prox_core::{ConstraintConfig, MergeRule, StopReason, SummarizeConfig, Summarizer};
+use prox_provenance::{AggKind, AggValue, AnnStore, Polynomial, ProvExpr, Tensor, ValuationClass};
+
+fn counter(name: &str) -> u64 {
+    prox_obs::counter_value(name).unwrap_or(0)
+}
+
+/// MovieLens-flavoured input with enough users that the greedy loop runs
+/// several steps before candidates dry up.
+fn setup() -> (
+    AnnStore,
+    ProvExpr,
+    Vec<prox_provenance::AnnId>,
+    ConstraintConfig,
+) {
+    let mut s = AnnStore::new();
+    let genders = ["F", "F", "M", "M", "F", "M"];
+    let roles = [
+        "audience", "critic", "audience", "critic", "critic", "audience",
+    ];
+    let users: Vec<_> = (0..6)
+        .map(|ix| {
+            s.add_base_with(
+                &format!("U{ix}"),
+                "users",
+                &[("gender", genders[ix]), ("role", roles[ix])],
+            )
+        })
+        .collect();
+    let movies: Vec<_> = (0..3)
+        .map(|ix| s.add_base_with(&format!("M{ix}"), "movies", &[]))
+        .collect();
+    let mut p = ProvExpr::new(AggKind::Max);
+    for (ix, &u) in users.iter().enumerate() {
+        let m = movies[ix % movies.len()];
+        p.push(
+            m,
+            Tensor::new(Polynomial::var(u), AggValue::single(1.0 + ix as f64)),
+        );
+    }
+    let users_dom = s.domain("users");
+    let cfg =
+        ConstraintConfig::new().allow(users_dom, MergeRule::SharedAttribute { attrs: vec![] });
+    (s, p, users, cfg)
+}
+
+#[test]
+fn counters_reconcile_with_history() {
+    prox_obs::set_enabled(true);
+    let (mut s, p0, users, constraints) = setup();
+    let users_dom = s.domain("users");
+    let vals = ValuationClass::CancelSingleAnnotation.generate(&s, &users, &[users_dom]);
+
+    let before_enumerated = counter("candidates/enumerated");
+    let before_lookups = counter("distance/memo_lookups");
+    let before_hits = counter("distance/memo_hits");
+    let before_misses = counter("distance/memo_misses");
+    let before_evals = counter("distance/evaluations");
+    let before_committed = counter("summarize/steps_committed");
+
+    // Default target_dist = 1.0: the TARGET-DIST back-off never pops a
+    // step, so every non-empty enumeration commits exactly one record.
+    let config = SummarizeConfig {
+        max_steps: 100,
+        ..Default::default()
+    };
+    let mut summarizer = Summarizer::new(&mut s, constraints, config);
+    let res = summarizer.summarize(&p0, &vals).expect("valid config");
+    assert!(
+        matches!(
+            res.stop_reason,
+            StopReason::NoCandidates | StopReason::TargetSize
+        ),
+        "no back-off expected, got {:?}",
+        res.stop_reason
+    );
+    assert!(!res.history.steps.is_empty(), "run must commit steps");
+
+    // Candidate accounting: the counter sums every `enumerate` output; an
+    // exhausted final enumeration contributes zero, and each non-empty one
+    // matches its StepRecord's `candidates` field.
+    let recorded: u64 = res.history.steps.iter().map(|s| s.candidates as u64).sum();
+    assert_eq!(
+        counter("candidates/enumerated") - before_enumerated,
+        recorded,
+        "candidates/enumerated delta must equal the history's candidate sum"
+    );
+
+    assert_eq!(
+        counter("summarize/steps_committed") - before_committed,
+        res.history.steps.len() as u64
+    );
+
+    // Memo accounting: every lookup is either a hit or a miss.
+    let lookups = counter("distance/memo_lookups") - before_lookups;
+    let hits = counter("distance/memo_hits") - before_hits;
+    let misses = counter("distance/memo_misses") - before_misses;
+    assert!(lookups > 0, "distance engine must be consulted");
+    assert_eq!(hits + misses, lookups, "memo hits + misses == lookups");
+
+    assert!(
+        counter("distance/evaluations") - before_evals > 0,
+        "candidate measurement must evaluate distances"
+    );
+
+    // StepTimer semantics: candidate measurement is a sub-interval of the
+    // whole step.
+    for step in &res.history.steps {
+        assert!(
+            step.candidate_time <= step.step_time,
+            "step {}: candidate_time {:?} > step_time {:?}",
+            step.step,
+            step.candidate_time,
+            step.step_time
+        );
+    }
+}

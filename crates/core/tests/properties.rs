@@ -3,8 +3,9 @@
 
 use proptest::prelude::*;
 use prox_core::{
-    equivalence_classes, score::{minimal_indices, score_all}, CandidateMeasure, DistanceEngine,
-    ScoreMode, ValFuncKind,
+    equivalence_classes,
+    score::{minimal_indices, score_all},
+    CandidateMeasure, DistanceEngine, ScoreMode, ValFuncKind,
 };
 use prox_provenance::{
     AggKind, AggValue, AnnId, AnnStore, Mapping, Phi, PhiMap, Polynomial, ProvExpr, Tensor,

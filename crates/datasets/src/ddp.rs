@@ -240,7 +240,10 @@ mod tests {
                 .or_default()
                 .push(c);
         }
-        let twin = by_cost.values().find(|v| v.len() >= 2).expect("twins exist");
+        let twin = by_cost
+            .values()
+            .find(|v| v.len() >= 2)
+            .expect("twins exist");
         assert!(cfg.pair_ok(twin[0], twin[1], &d.store, None));
         // Different relations never merge for db vars:
         let d1 = d.db_vars[0]; // R1

@@ -140,8 +140,7 @@ impl MovieLens {
                 chosen.swap(i, j);
             }
             for &mix in &chosen[..n] {
-                let raw: f64 =
-                    3.0 + user_bias[uix] + movie_bias[mix] + rng.random_range(-1.0..1.0);
+                let raw: f64 = 3.0 + user_bias[uix] + movie_bias[mix] + rng.random_range(-1.0..1.0);
                 let stars = raw.round().clamp(1.0, 5.0);
                 ratings.push(Rating {
                     user,
@@ -201,10 +200,7 @@ impl MovieLens {
             .iter()
             .map(|a| self.store.attr(a))
             .collect();
-        ConstraintConfig::new().allow(
-            self.users_domain,
-            MergeRule::SharedAttribute { attrs },
-        )
+        ConstraintConfig::new().allow(self.users_domain, MergeRule::SharedAttribute { attrs })
     }
 
     /// Generate a valuation class over the rating users.

@@ -72,7 +72,9 @@ pub const OCCUPATIONS: &[&str] = &[
 ];
 
 /// Age ranges (MovieLens buckets).
-pub const AGE_RANGES: &[&str] = &["under-18", "18-24", "25-34", "35-44", "45-49", "50-55", "56+"];
+pub const AGE_RANGES: &[&str] = &[
+    "under-18", "18-24", "25-34", "35-44", "45-49", "50-55", "56+",
+];
 
 /// Zip-code prefixes (coarse buckets so that sharing is possible).
 pub const ZIP_PREFIXES: &[&str] = &[
@@ -105,8 +107,14 @@ pub const WIKI_USERNAMES: &[&str] = &[
 
 /// Wikipedia page titles per leaf concept (concept name → pages).
 pub const WIKI_PAGES: &[(&str, &[&str])] = &[
-    ("wordnet_singer", &["Adele", "CelineDion", "EttaJames", "NinaSimone"]),
-    ("wordnet_guitarist", &["LoriBlack", "AlecBaillie", "DannyCedrone", "EddieLang"]),
+    (
+        "wordnet_singer",
+        &["Adele", "CelineDion", "EttaJames", "NinaSimone"],
+    ),
+    (
+        "wordnet_guitarist",
+        &["LoriBlack", "AlecBaillie", "DannyCedrone", "EddieLang"],
+    ),
     ("wordnet_pianist", &["BillEvans", "MaryLouWilliams"]),
     ("wordnet_actor", &["TakeshiKitano", "SetsukoHara"]),
     ("wordnet_comedian", &["TotoMiranda", "GildaRadner"]),
@@ -125,7 +133,14 @@ pub const WIKI_PAGES: &[(&str, &[&str])] = &[
 
 /// Movie genres.
 pub const GENRES: &[&str] = &[
-    "Drama", "Comedy", "Action", "Thriller", "Romance", "SciFi", "Crime", "Adventure",
+    "Drama",
+    "Comedy",
+    "Action",
+    "Thriller",
+    "Romance",
+    "SciFi",
+    "Crime",
+    "Adventure",
 ];
 
 #[cfg(test)]
@@ -135,7 +150,14 @@ mod tests {
 
     #[test]
     fn pools_are_nonempty_and_unique() {
-        for pool in [MOVIE_TITLES, OCCUPATIONS, AGE_RANGES, ZIP_PREFIXES, WIKI_USERNAMES, GENRES] {
+        for pool in [
+            MOVIE_TITLES,
+            OCCUPATIONS,
+            AGE_RANGES,
+            ZIP_PREFIXES,
+            WIKI_USERNAMES,
+            GENRES,
+        ] {
             assert!(!pool.is_empty());
             let set: HashSet<_> = pool.iter().collect();
             assert_eq!(set.len(), pool.len(), "duplicate in pool");

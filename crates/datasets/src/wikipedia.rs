@@ -135,7 +135,11 @@ impl Wikipedia {
                 format!("{base}{}", ix / names::WIKI_USERNAMES.len() + 2)
             };
             let registered = rng.random_bool(0.8);
-            let gender = if rng.random_bool(0.5) { "Male" } else { "Female" };
+            let gender = if rng.random_bool(0.5) {
+                "Male"
+            } else {
+                "Female"
+            };
             let level = levels[rng.random_range(0..levels.len())];
             let u = store.add_base_with(
                 &name,
@@ -282,7 +286,12 @@ mod tests {
         let mut anns = d.users.clone();
         anns.extend_from_slice(&d.pages);
         for v in &vals {
-            assert!(prox_taxonomy::is_consistent(v, &anns, &d.store, &d.taxonomy));
+            assert!(prox_taxonomy::is_consistent(
+                v,
+                &anns,
+                &d.store,
+                &d.taxonomy
+            ));
         }
     }
 

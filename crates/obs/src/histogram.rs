@@ -1,0 +1,176 @@
+//! Fixed-bucket, log-spaced duration histograms.
+//!
+//! Durations are recorded in nanoseconds into power-of-two buckets:
+//! bucket `i` holds values whose bit length is `i` (i.e. `ns` in
+//! `[2^(i-1), 2^i)`; bucket 0 holds exactly 0). With [`NBUCKETS`] = 40
+//! the top bucket starts at `2^38` ns ≈ 4.6 minutes and absorbs
+//! everything longer. All state is atomic; recording never allocates
+//! or locks, so histograms are safe to update from hot loops.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Number of buckets. Covers 1 ns .. ~4.6 min at power-of-two resolution.
+pub const NBUCKETS: usize = 40;
+
+/// An atomic log-spaced histogram of durations (in nanoseconds).
+pub struct Histogram {
+    count: AtomicU64,
+    total_ns: AtomicU64,
+    min_ns: AtomicU64,
+    max_ns: AtomicU64,
+    buckets: [AtomicU64; NBUCKETS],
+}
+
+impl Histogram {
+    /// Create an empty histogram. `const`, so histograms can live in statics.
+    pub const fn new() -> Histogram {
+        // A const item is the only way to array-initialize atomics.
+        #[allow(clippy::declare_interior_mutable_const)]
+        const ZERO: AtomicU64 = AtomicU64::new(0);
+        Histogram {
+            count: AtomicU64::new(0),
+            total_ns: AtomicU64::new(0),
+            min_ns: AtomicU64::new(u64::MAX),
+            max_ns: AtomicU64::new(0),
+            buckets: [ZERO; NBUCKETS],
+        }
+    }
+
+    /// Record one duration, given in nanoseconds.
+    #[inline]
+    pub fn record_ns(&self, ns: u64) {
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.total_ns.fetch_add(ns, Ordering::Relaxed);
+        self.min_ns.fetch_min(ns, Ordering::Relaxed);
+        self.max_ns.fetch_max(ns, Ordering::Relaxed);
+        self.buckets[Self::bucket_index(ns)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// The bucket a value falls into: its bit length, clamped to the top.
+    #[inline]
+    pub fn bucket_index(ns: u64) -> usize {
+        ((u64::BITS - ns.leading_zeros()) as usize).min(NBUCKETS - 1)
+    }
+
+    /// Inclusive upper bound of bucket `ix`, in nanoseconds.
+    /// The top bucket is unbounded and reports `u64::MAX`.
+    pub fn bucket_upper_bound(ix: usize) -> u64 {
+        if ix >= NBUCKETS - 1 {
+            u64::MAX
+        } else {
+            (1u64 << ix) - 1
+        }
+    }
+
+    /// Number of recorded durations.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of recorded durations in nanoseconds.
+    pub fn total_ns(&self) -> u64 {
+        self.total_ns.load(Ordering::Relaxed)
+    }
+
+    /// Smallest recorded duration, or `None` when empty.
+    pub fn min_ns(&self) -> Option<u64> {
+        let v = self.min_ns.load(Ordering::Relaxed);
+        (v != u64::MAX).then_some(v)
+    }
+
+    /// Largest recorded duration, or `None` when empty.
+    pub fn max_ns(&self) -> Option<u64> {
+        (self.count() > 0).then(|| self.max_ns.load(Ordering::Relaxed))
+    }
+
+    /// Mean duration in nanoseconds, or `None` when empty.
+    pub fn mean_ns(&self) -> Option<u64> {
+        let n = self.count();
+        (n > 0).then(|| self.total_ns() / n)
+    }
+
+    /// Occupied buckets as `(upper_bound_ns, count)` pairs, low to high.
+    pub fn nonzero_buckets(&self) -> Vec<(u64, u64)> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter_map(|(ix, b)| {
+                let n = b.load(Ordering::Relaxed);
+                (n > 0).then(|| (Self::bucket_upper_bound(ix), n))
+            })
+            .collect()
+    }
+
+    pub(crate) fn reset(&self) {
+        self.count.store(0, Ordering::Relaxed);
+        self.total_ns.store(0, Ordering::Relaxed);
+        self.min_ns.store(u64::MAX, Ordering::Relaxed);
+        self.max_ns.store(0, Ordering::Relaxed);
+        for b in &self.buckets {
+            b.store(0, Ordering::Relaxed);
+        }
+    }
+}
+
+impl Default for Histogram {
+    fn default() -> Histogram {
+        Histogram::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_bounds_are_strictly_monotone() {
+        for ix in 1..NBUCKETS {
+            assert!(
+                Histogram::bucket_upper_bound(ix) > Histogram::bucket_upper_bound(ix - 1),
+                "bucket {ix} bound not increasing"
+            );
+        }
+    }
+
+    #[test]
+    fn values_land_in_the_bucket_that_bounds_them() {
+        for ns in [0u64, 1, 2, 3, 7, 8, 1000, 1 << 20, u64::MAX] {
+            let ix = Histogram::bucket_index(ns);
+            assert!(ns <= Histogram::bucket_upper_bound(ix), "ns={ns} ix={ix}");
+            if ix > 0 && ix < NBUCKETS - 1 {
+                assert!(
+                    ns > Histogram::bucket_upper_bound(ix - 1),
+                    "ns={ns} fits a lower bucket"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn captures_min_max_mean_and_count() {
+        let h = Histogram::new();
+        assert_eq!(h.min_ns(), None);
+        assert_eq!(h.max_ns(), None);
+        assert_eq!(h.mean_ns(), None);
+        for ns in [5u64, 1000, 125, 3] {
+            h.record_ns(ns);
+        }
+        assert_eq!(h.count(), 4);
+        assert_eq!(h.min_ns(), Some(3));
+        assert_eq!(h.max_ns(), Some(1000));
+        assert_eq!(h.total_ns(), 1133);
+        assert_eq!(h.mean_ns(), Some(283));
+        let occupied: u64 = h.nonzero_buckets().iter().map(|&(_, n)| n).sum();
+        assert_eq!(occupied, 4);
+    }
+
+    #[test]
+    fn reset_empties_everything() {
+        let h = Histogram::new();
+        h.record_ns(42);
+        h.reset();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.min_ns(), None);
+        assert!(h.nonzero_buckets().is_empty());
+    }
+}

@@ -1,0 +1,84 @@
+//! # prox-obs — workspace-wide instrumentation
+//!
+//! Dependency-free (std only) observability for the PROX workspace:
+//!
+//! * [`Span`]/[`SpanTimer`] — RAII timers with hierarchical names
+//!   (`"summarize/step/enumerate"`, `"hac/linkage"`, `"eval/phi"`) feeding
+//!   fixed-bucket log-spaced duration [`Histogram`]s;
+//! * [`Counter`] — atomic counters for hot quantities (candidates
+//!   enumerated, distance evaluations, memo hits/misses, ...);
+//! * a process-global registry with [`snapshot`]/[`reset`] and an optional
+//!   JSONL event sink enabled via `PROX_TRACE=<path>` (see
+//!   [`init_from_env`]);
+//! * [`StepTimer`] — the shared per-step `candidate_time`/`step_time`
+//!   bookkeeping used by all three summarization loops;
+//! * [`Json`] — a tiny ordered JSON value used for snapshots, trace
+//!   events, and bench run manifests.
+//!
+//! ## Cost model
+//!
+//! Everything except [`StepTimer`] is gated on one process-global relaxed
+//! `AtomicBool` (see [`enabled`]). While it is off — the default — every
+//! counter add and span start is a single relaxed load plus an early
+//! return: no clock reads, no locks, no allocation. Instrumentation can
+//! therefore live permanently in hot loops.
+//!
+//! ## Usage
+//!
+//! ```
+//! use prox_obs::{Counter, SpanTimer};
+//!
+//! static EVALS: Counter = Counter::new("demo/evals");
+//! static PHASE: SpanTimer = SpanTimer::new("demo/phase");
+//!
+//! prox_obs::set_enabled(true);
+//! {
+//!     let _span = PHASE.start(); // records on drop
+//!     EVALS.incr();
+//! }
+//! let snap = prox_obs::snapshot();
+//! assert_eq!(snap.get("counters").unwrap().get("demo/evals").unwrap().as_u64(), Some(1));
+//! ```
+
+mod counter;
+mod histogram;
+mod json;
+mod registry;
+mod sink;
+mod span;
+mod timer;
+
+pub use counter::Counter;
+pub use histogram::{Histogram, NBUCKETS};
+pub use json::Json;
+pub use registry::{
+    counter_value, enabled, init_from_env, render_snapshot, reset, set_enabled, snapshot,
+};
+pub use span::{SpanGuard, SpanTimer};
+pub use timer::StepTimer;
+
+/// Install a JSONL trace sink at `path` (also enables collection).
+pub fn install_sink(path: &str) -> std::io::Result<()> {
+    sink::install(path)
+}
+
+/// Is a trace sink currently installed?
+pub fn sink_active() -> bool {
+    sink::active()
+}
+
+/// Emit a custom event to the trace sink (no-op when none is installed).
+/// A `"type"` field is conventional; a `t_us` timestamp is added.
+pub fn emit_event(event: Json) {
+    sink::emit(event)
+}
+
+/// Flush the trace sink's buffer to disk.
+pub fn flush_sink() {
+    sink::flush()
+}
+
+/// Flush and close the trace sink (collection stays enabled).
+pub fn close_sink() {
+    sink::close()
+}

@@ -1,0 +1,197 @@
+//! The process-global observability registry.
+//!
+//! Holds every [`Counter`] and [`SpanTimer`] that has self-registered
+//! (i.e. has been touched at least once while enabled) and turns them
+//! into deterministic JSON snapshots. The enabled flag is a single
+//! relaxed `AtomicBool`: while it is off, every instrumentation call in
+//! the workspace reduces to one load and an early return, so shipping
+//! instrumented binaries costs ~nothing.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
+
+use crate::counter::Counter;
+use crate::json::Json;
+use crate::sink;
+use crate::span::SpanTimer;
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+static COUNTERS: Mutex<Vec<&'static Counter>> = Mutex::new(Vec::new());
+static SPANS: Mutex<Vec<&'static SpanTimer>> = Mutex::new(Vec::new());
+
+/// Is observability collection on? Inlined into every hot-path gate.
+#[inline(always)]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Turn collection on or off. Already-collected values are kept.
+pub fn set_enabled(on: bool) {
+    ENABLED.store(on, Ordering::Relaxed);
+}
+
+/// Enable collection — and install a JSONL trace sink — from the
+/// environment: `PROX_TRACE=<path>` enables tracing to `<path>`,
+/// `PROX_TRACE=1` (or empty) enables collection without a sink.
+/// Returns whether collection ended up enabled.
+pub fn init_from_env() -> bool {
+    match std::env::var("PROX_TRACE") {
+        Err(_) => enabled(),
+        Ok(v) if v.is_empty() || v == "1" || v == "true" => {
+            set_enabled(true);
+            true
+        }
+        Ok(path) => {
+            set_enabled(true);
+            if let Err(e) = sink::install(&path) {
+                eprintln!("prox-obs: cannot open PROX_TRACE={path}: {e}");
+            }
+            true
+        }
+    }
+}
+
+pub(crate) fn register_counter(c: &'static Counter) {
+    COUNTERS.lock().expect("obs registry poisoned").push(c);
+}
+
+pub(crate) fn register_span(s: &'static SpanTimer) {
+    SPANS.lock().expect("obs registry poisoned").push(s);
+}
+
+/// Zero every registered counter and histogram (registration is kept, so
+/// the next snapshot still lists them). Used between bench experiments.
+pub fn reset() {
+    for c in COUNTERS.lock().expect("obs registry poisoned").iter() {
+        c.reset();
+    }
+    for s in SPANS.lock().expect("obs registry poisoned").iter() {
+        s.reset();
+    }
+}
+
+/// Current value of a registered counter, by name.
+pub fn counter_value(name: &str) -> Option<u64> {
+    COUNTERS
+        .lock()
+        .expect("obs registry poisoned")
+        .iter()
+        .find(|c| c.name() == name)
+        .map(|c| c.get())
+}
+
+/// A deterministic JSON snapshot of everything registered:
+///
+/// ```json
+/// {"counters": {"distance/evaluations": 123, ...},
+///  "spans": {"summarize/step": {"count":..,"total_ns":..,"min_ns":..,
+///            "max_ns":..,"mean_ns":..,"buckets":[[ub_ns,count],..]}, ...}}
+/// ```
+///
+/// Counter and span names are sorted, bucket lists omit empty buckets.
+pub fn snapshot() -> Json {
+    let mut counters: Vec<(String, u64)> = COUNTERS
+        .lock()
+        .expect("obs registry poisoned")
+        .iter()
+        .map(|c| (c.name().to_owned(), c.get()))
+        .collect();
+    counters.sort();
+    let mut counters_json = Json::obj();
+    for (name, value) in counters {
+        counters_json.set(&name, value);
+    }
+
+    let mut spans: Vec<(String, Json)> = SPANS
+        .lock()
+        .expect("obs registry poisoned")
+        .iter()
+        .map(|s| {
+            let h = s.histogram();
+            let buckets: Vec<Json> = h
+                .nonzero_buckets()
+                .into_iter()
+                .map(|(ub, n)| Json::Arr(vec![Json::UInt(ub), Json::UInt(n)]))
+                .collect();
+            let entry = Json::obj()
+                .with("count", h.count())
+                .with("total_ns", h.total_ns())
+                .with("min_ns", h.min_ns().map_or(Json::Null, Json::UInt))
+                .with("max_ns", h.max_ns().map_or(Json::Null, Json::UInt))
+                .with("mean_ns", h.mean_ns().map_or(Json::Null, Json::UInt))
+                .with("buckets", Json::Arr(buckets));
+            (s.name().to_owned(), entry)
+        })
+        .collect();
+    spans.sort_by(|a, b| a.0.cmp(&b.0));
+    let mut spans_json = Json::obj();
+    for (name, entry) in spans {
+        spans_json.set(&name, entry);
+    }
+
+    Json::obj()
+        .with("counters", counters_json)
+        .with("spans", spans_json)
+}
+
+/// Render [`snapshot`] for humans: counters first, then span timings with
+/// totals in milliseconds.
+pub fn render_snapshot() -> String {
+    let snap = snapshot();
+    let mut out = String::new();
+    out.push_str("counters:\n");
+    let counters = snap.get("counters").and_then(Json::entries).unwrap_or(&[]);
+    if counters.is_empty() {
+        out.push_str("  (none recorded)\n");
+    }
+    for (name, value) in counters {
+        let v = value.as_u64().unwrap_or(0);
+        out.push_str(&format!("  {name:<40} {v}\n"));
+    }
+    out.push_str("spans:\n");
+    let spans = snap.get("spans").and_then(Json::entries).unwrap_or(&[]);
+    if spans.is_empty() {
+        out.push_str("  (none recorded)\n");
+    }
+    for (name, entry) in spans {
+        let count = entry.get("count").and_then(Json::as_u64).unwrap_or(0);
+        let total = entry.get("total_ns").and_then(Json::as_u64).unwrap_or(0);
+        let mean = entry.get("mean_ns").and_then(Json::as_u64).unwrap_or(0);
+        out.push_str(&format!(
+            "  {name:<40} n={count:<8} total={:.3}ms mean={:.3}ms\n",
+            total as f64 / 1e6,
+            mean as f64 / 1e6,
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    static SNAP_COUNTER: Counter = Counter::new("test/snapshot_counter");
+    static SNAP_SPAN: SpanTimer = SpanTimer::new("test/snapshot_span");
+
+    #[test]
+    fn snapshot_contains_registered_entries() {
+        set_enabled(true);
+        SNAP_COUNTER.add(7);
+        SNAP_SPAN.record(std::time::Duration::from_micros(10));
+        let snap = snapshot();
+        let counters = snap.get("counters").expect("counters");
+        assert!(counters.get("test/snapshot_counter").is_some());
+        assert!(counter_value("test/snapshot_counter").expect("registered") >= 7);
+        let span = snap
+            .get("spans")
+            .and_then(|s| s.get("test/snapshot_span"))
+            .expect("span entry");
+        assert!(span.get("count").and_then(Json::as_u64).unwrap() >= 1);
+        // Snapshot renders to valid JSON.
+        Json::parse(&snap.pretty()).expect("valid snapshot JSON");
+        // Human rendering mentions both.
+        let text = render_snapshot();
+        assert!(text.contains("test/snapshot_counter"));
+        assert!(text.contains("test/snapshot_span"));
+    }
+}

@@ -1,0 +1,122 @@
+//! RAII span timers with hierarchical names.
+//!
+//! A [`SpanTimer`] is a `static` naming one phase of the system
+//! (`"summarize/step/score"`, `"hac/linkage"`, ...). Calling
+//! [`SpanTimer::start`] returns a [`SpanGuard`]; when the guard drops, the
+//! elapsed time is recorded into the timer's log-spaced [`Histogram`] and,
+//! if a trace sink is installed, emitted as one JSONL event. While
+//! observability is disabled, `start` does one relaxed atomic load and
+//! returns an inert guard.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::{Duration, Instant};
+
+use crate::histogram::Histogram;
+use crate::json::Json;
+use crate::{registry, sink};
+
+/// A named span timer feeding a duration histogram.
+pub struct SpanTimer {
+    name: &'static str,
+    hist: Histogram,
+    registered: AtomicBool,
+}
+
+impl SpanTimer {
+    /// Create a span timer. `const`, so timers can be plain statics.
+    pub const fn new(name: &'static str) -> SpanTimer {
+        SpanTimer {
+            name,
+            hist: Histogram::new(),
+            registered: AtomicBool::new(false),
+        }
+    }
+
+    /// The span's hierarchical name, e.g. `"summarize/step/enumerate"`.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Start timing. The returned guard records on drop. Near-free (one
+    /// relaxed load, no clock read) while observability is disabled.
+    #[inline]
+    pub fn start(&'static self) -> SpanGuard {
+        if !registry::enabled() {
+            return SpanGuard { inner: None };
+        }
+        SpanGuard {
+            inner: Some((self, Instant::now())),
+        }
+    }
+
+    /// Record an externally measured duration into this span.
+    pub fn record(&'static self, d: Duration) {
+        if !registry::enabled() {
+            return;
+        }
+        self.register();
+        let ns = u64::try_from(d.as_nanos()).unwrap_or(u64::MAX);
+        self.hist.record_ns(ns);
+        if sink::active() {
+            sink::emit(
+                Json::obj()
+                    .with("type", "span")
+                    .with("name", self.name)
+                    .with("dur_ns", ns),
+            );
+        }
+    }
+
+    /// The underlying histogram (for snapshots and tests).
+    pub fn histogram(&self) -> &Histogram {
+        &self.hist
+    }
+
+    fn register(&'static self) {
+        if !self.registered.swap(true, Ordering::Relaxed) {
+            registry::register_span(self);
+        }
+    }
+
+    pub(crate) fn reset(&self) {
+        self.hist.reset();
+    }
+}
+
+/// RAII guard returned by [`SpanTimer::start`]; records elapsed time on drop.
+pub struct SpanGuard {
+    inner: Option<(&'static SpanTimer, Instant)>,
+}
+
+impl SpanGuard {
+    /// Record now instead of at end of scope.
+    pub fn finish(self) {}
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if let Some((timer, start)) = self.inner.take() {
+            timer.record(start.elapsed());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    static SPAN: SpanTimer = SpanTimer::new("test/span");
+
+    #[test]
+    fn guard_records_on_drop() {
+        crate::set_enabled(true);
+        let before = SPAN.histogram().count();
+        {
+            let _g = SPAN.start();
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        SPAN.start().finish();
+        assert_eq!(SPAN.histogram().count(), before + 2);
+        assert!(SPAN.histogram().max_ns().expect("recorded") >= 1_000_000);
+    }
+}

@@ -1,0 +1,76 @@
+//! Shared per-step timing for the three summarization loops.
+//!
+//! Prov-Approx, clustering replay, and the random baseline all fill the
+//! same two `StepRecord` fields: `candidate_time` (time spent producing
+//! and measuring candidates within the step) and `step_time` (the whole
+//! step). [`StepTimer`] centralizes that bookkeeping. It is always on —
+//! it feeds algorithm output (`History`), not the observability registry —
+//! and its semantics match the hand-rolled `Instant` pairs it replaced:
+//! `step_time` is the elapsed time since construction, `candidate_time`
+//! the accumulated time inside [`StepTimer::candidates`] closures.
+
+use std::time::{Duration, Instant};
+
+/// Times one step of a summarization loop.
+pub struct StepTimer {
+    step_start: Instant,
+    candidate_time: Duration,
+}
+
+impl StepTimer {
+    /// Start timing a step.
+    pub fn start() -> StepTimer {
+        StepTimer {
+            step_start: Instant::now(),
+            candidate_time: Duration::ZERO,
+        }
+    }
+
+    /// Run `f`, adding its elapsed time to the step's candidate time.
+    /// May be called multiple times per step; times accumulate.
+    pub fn candidates<T>(&mut self, f: impl FnOnce() -> T) -> T {
+        let t = Instant::now();
+        let result = f();
+        self.candidate_time += t.elapsed();
+        result
+    }
+
+    /// Accumulated candidate-phase time so far.
+    pub fn candidate_time(&self) -> Duration {
+        self.candidate_time
+    }
+
+    /// Elapsed time since the step started.
+    pub fn step_time(&self) -> Duration {
+        self.step_start.elapsed()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn candidate_time_accumulates_and_bounds_step_time() {
+        let mut t = StepTimer::start();
+        let x = t.candidates(|| {
+            std::thread::sleep(Duration::from_millis(2));
+            21
+        });
+        assert_eq!(x, 21);
+        let first = t.candidate_time();
+        assert!(first >= Duration::from_millis(2));
+        t.candidates(|| std::thread::sleep(Duration::from_millis(1)));
+        assert!(t.candidate_time() > first, "second closure accumulates");
+        assert!(
+            t.step_time() >= t.candidate_time(),
+            "candidate time is part of step time"
+        );
+    }
+
+    #[test]
+    fn fresh_timer_has_zero_candidate_time() {
+        let t = StepTimer::start();
+        assert_eq!(t.candidate_time(), Duration::ZERO);
+    }
+}

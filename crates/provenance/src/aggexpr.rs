@@ -60,11 +60,7 @@ impl AggExpr {
 
     /// Distinct annotations mentioned.
     pub fn annotations(&self) -> Vec<AnnId> {
-        let mut out: Vec<AnnId> = self
-            .tensors
-            .iter()
-            .flat_map(|t| t.annotations())
-            .collect();
+        let mut out: Vec<AnnId> = self.tensors.iter().flat_map(|t| t.annotations()).collect();
         out.sort_unstable();
         out.dedup();
         out
@@ -143,7 +139,10 @@ mod tests {
 
     /// Example 3.1.1: Pₛ = U₁⊗(3,1) ⊕ U₂⊗(5,1) ⊕ U₃⊗(3,1).
     fn p_s() -> AggExpr {
-        AggExpr::from_tensors(vec![rating(1, 3.0), rating(2, 5.0), rating(3, 3.0)], AggKind::Max)
+        AggExpr::from_tensors(
+            vec![rating(1, 3.0), rating(2, 5.0), rating(3, 3.0)],
+            AggKind::Max,
+        )
     }
 
     #[test]

@@ -53,15 +53,12 @@ impl ValuationClass {
         match self {
             ValuationClass::CancelSingleAnnotation => eligible
                 .iter()
-                .map(|&a| {
-                    Valuation::cancel(&[a]).labeled(format!("cancel {}", store.name(a)))
-                })
+                .map(|&a| Valuation::cancel(&[a]).labeled(format!("cancel {}", store.name(a))))
                 .collect(),
             ValuationClass::CancelSingleAttribute => {
                 // Collect distinct (attr, value) pairs in first-seen order
                 // for determinism.
-                let mut pairs: Vec<(crate::annot::AttrId, crate::annot::AttrValueId)> =
-                    Vec::new();
+                let mut pairs: Vec<(crate::annot::AttrId, crate::annot::AttrValueId)> = Vec::new();
                 for &a in &eligible {
                     for &(attr, val) in &store.get(a).attrs {
                         if !pairs.contains(&(attr, val)) {

@@ -88,7 +88,10 @@ impl DdpTransition {
                 // Within a boolean condition, a squared variable is the
                 // variable itself: D·D ≡ D.
                 mapped.dedup();
-                DdpTransition::Db { vars: mapped, op: *op }
+                DdpTransition::Db {
+                    vars: mapped,
+                    op: *op,
+                }
             }
         }
     }

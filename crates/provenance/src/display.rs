@@ -16,11 +16,8 @@ use crate::tensor::Tensor;
 pub fn render_tensor(t: &Tensor, store: &AnnStore) -> String {
     let name = |a: crate::annot::AnnId| store.name(a).to_owned();
     let mut prov = t.prov.render(&name);
-    let needs_parens = t.prov.terms().len() > 1
-        || t.prov
-            .terms()
-            .first()
-            .is_some_and(|(m, _)| m.degree() > 1);
+    let needs_parens =
+        t.prov.terms().len() > 1 || t.prov.terms().first().is_some_and(|(m, _)| m.degree() > 1);
     if needs_parens {
         prov = format!("({prov})");
     }

@@ -62,7 +62,10 @@ impl EvalVector {
                 }
             }
         }
-        EvalVector { coords, kind: self.kind }
+        EvalVector {
+            coords,
+            kind: self.kind,
+        }
     }
 
     /// Euclidean distance to another vector, aligning coordinates by key.
@@ -70,11 +73,8 @@ impl EvalVector {
     /// other side reads as 0).
     pub fn euclidean(&self, other: &EvalVector) -> f64 {
         let mut acc = 0.0f64;
-        let theirs: HashMap<AnnId, f64> = other
-            .coords
-            .iter()
-            .map(|&(o, v)| (o, v.result()))
-            .collect();
+        let theirs: HashMap<AnnId, f64> =
+            other.coords.iter().map(|&(o, v)| (o, v.result())).collect();
         let mut seen: Vec<AnnId> = Vec::with_capacity(self.coords.len());
         for &(o, v) in &self.coords {
             let d = v.result() - theirs.get(&o).copied().unwrap_or(0.0);
@@ -147,7 +147,10 @@ mod tests {
         // Original per-page vector (Adele:0, CelineDion:0, LoriBlack:1,
         // AlecBaillie:1) with pages {1,2}→singer(10), {3,4}→guitarist(11),
         // SUM aggregation ⇒ (guitarist:2, singer:0).
-        let orig = vec_of(AggKind::Sum, &[(1, 0.0, 0), (2, 0.0, 0), (3, 1.0, 1), (4, 1.0, 1)]);
+        let orig = vec_of(
+            AggKind::Sum,
+            &[(1, 0.0, 0), (2, 0.0, 0), (3, 1.0, 1), (4, 1.0, 1)],
+        );
         let mut h = Mapping::identity();
         for p in [1, 2] {
             h.set(a(p), a(10));

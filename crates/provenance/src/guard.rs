@@ -117,11 +117,7 @@ impl Guard {
 
     /// Distinct annotations mentioned by the guard.
     pub fn annotations(&self) -> Vec<crate::annot::AnnId> {
-        let mut out: Vec<_> = self
-            .lhs
-            .iter()
-            .flat_map(|(p, _)| p.annotations())
-            .collect();
+        let mut out: Vec<_> = self.lhs.iter().flat_map(|(p, _)| p.annotations()).collect();
         out.sort_unstable();
         out.dedup();
         out
@@ -200,10 +196,7 @@ mod tests {
     fn multi_tensor_lhs_sums_contributions() {
         // [x⊗2 ⊕ y⊗3 ≥ 5]
         let g = Guard {
-            lhs: vec![
-                (Polynomial::var(a(0)), 2.0),
-                (Polynomial::var(a(1)), 3.0),
-            ],
+            lhs: vec![(Polynomial::var(a(0)), 2.0), (Polynomial::var(a(1)), 3.0)],
             op: CmpOp::Ge,
             rhs: 5.0,
         };

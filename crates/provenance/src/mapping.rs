@@ -93,7 +93,9 @@ impl Mapping {
         target: AnnId,
         universe: impl IntoIterator<Item = AnnId> + 'a,
     ) -> impl Iterator<Item = AnnId> + 'a {
-        universe.into_iter().filter(move |&a| self.image(a) == target)
+        universe
+            .into_iter()
+            .filter(move |&a| self.image(a) == target)
     }
 
     /// Iterate explicit `(from, to)` pairs in unspecified order.

@@ -76,7 +76,10 @@ impl AggValue {
     /// with no live tensors yields 0 (cf. the UI's `Sleepover: 0` after a
     /// cancellation in Fig 7.9).
     pub fn empty() -> Self {
-        AggValue { value: 0.0, count: 0 }
+        AggValue {
+            value: 0.0,
+            count: 0,
+        }
     }
 
     /// True when no contribution was folded in.
@@ -152,7 +155,11 @@ mod tests {
 
     #[test]
     fn combine_is_associative_for_each_kind() {
-        let xs = [AggValue::single(3.0), AggValue::single(5.0), AggValue::single(1.0)];
+        let xs = [
+            AggValue::single(3.0),
+            AggValue::single(5.0),
+            AggValue::single(1.0),
+        ];
         for kind in [AggKind::Max, AggKind::Min, AggKind::Sum, AggKind::Count] {
             let left = xs[0].combine(xs[1], kind).combine(xs[2], kind);
             let right = xs[0].combine(xs[1].combine(xs[2], kind), kind);

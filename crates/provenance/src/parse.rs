@@ -200,11 +200,10 @@ pub fn parse_provexpr(
             e.at += offset;
             e
         })?;
-        let key = coordinate_key(&agg, store)
-            .ok_or_else(|| ParseError {
-                message: "empty coordinate".into(),
-                at: offset,
-            })?;
+        let key = coordinate_key(&agg, store).ok_or_else(|| ParseError {
+            message: "empty coordinate".into(),
+            at: offset,
+        })?;
         expr.insert(key, agg);
     }
     Ok(expr)
@@ -273,8 +272,7 @@ mod tests {
     #[test]
     fn parses_monomials_with_parens() {
         let mut s = AnnStore::new();
-        let e =
-            parse_aggexpr("(U1·MatchPoint·Y1995) ⊗ (4, 1)", AggKind::Max, &mut s).unwrap();
+        let e = parse_aggexpr("(U1·MatchPoint·Y1995) ⊗ (4, 1)", AggKind::Max, &mut s).unwrap();
         assert_eq!(e.tensors()[0].prov.annotations().len(), 3);
     }
 

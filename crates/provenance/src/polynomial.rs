@@ -42,7 +42,9 @@ impl Polynomial {
 
     /// A single monomial with coefficient 1.
     pub fn from_monomial(m: Monomial) -> Self {
-        Polynomial { terms: vec![(m, 1)] }
+        Polynomial {
+            terms: vec![(m, 1)],
+        }
     }
 
     /// Build from arbitrary `(monomial, coeff)` pairs, normalizing.

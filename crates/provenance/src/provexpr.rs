@@ -138,7 +138,11 @@ impl ProvExpr {
             .entries
             .iter()
             .map(|(o, e)| {
-                let agg = if v.truth(*o) { e.eval(v) } else { AggValue::empty() };
+                let agg = if v.truth(*o) {
+                    e.eval(v)
+                } else {
+                    AggValue::empty()
+                };
                 (*o, agg)
             })
             .collect();
@@ -194,7 +198,10 @@ mod tests {
                 Tensor::new(Polynomial::var(a(user)), AggValue::single(score)),
             );
         }
-        p.push(a(11), Tensor::new(Polynomial::var(a(2)), AggValue::single(4.0)));
+        p.push(
+            a(11),
+            Tensor::new(Polynomial::var(a(2)), AggValue::single(4.0)),
+        );
         p.simplify();
         p
     }

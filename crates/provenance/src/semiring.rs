@@ -158,7 +158,11 @@ mod tests {
 
     #[test]
     fn tropical_semiring_axioms() {
-        check_semiring_axioms(Tropical::Cost(2.0), Tropical::Cost(3.0), Tropical::Cost(5.0));
+        check_semiring_axioms(
+            Tropical::Cost(2.0),
+            Tropical::Cost(3.0),
+            Tropical::Cost(5.0),
+        );
         check_semiring_axioms(Tropical::Infinity, Tropical::Cost(7.0), Tropical::Cost(1.0));
         // min/plus specifics
         assert_eq!(

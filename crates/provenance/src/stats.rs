@@ -149,7 +149,11 @@ mod tests {
         let st = ExprStats::of(&p, &s);
         // users domain: u1, u2, g; movies: m (object key counts as mention)
         let users = s.domain("users");
-        let found = st.per_domain.iter().find(|&&(d, _)| d == users).map(|&(_, n)| n);
+        let found = st
+            .per_domain
+            .iter()
+            .find(|&&(d, _)| d == users)
+            .map(|&(_, n)| n);
         assert_eq!(found, Some(3));
     }
 

@@ -8,7 +8,14 @@
 
 use std::collections::HashMap;
 
+use prox_obs::Counter;
+
 use crate::annot::{AnnId, AnnKind, Annotation, AttrId, AttrValueId, DomainId};
+
+/// Base annotations interned across all stores.
+static BASE_CREATED: Counter = Counter::new("store/annotations_created");
+/// Summary annotations interned across all stores.
+static SUMMARIES_CREATED: Counter = Counter::new("store/summaries_created");
 
 /// Interner and registry for everything annotation-related.
 #[derive(Clone, Debug, Default, serde::Serialize, serde::Deserialize)]
@@ -92,6 +99,7 @@ impl AnnStore {
         }
         attrs.sort_unstable_by_key(|&(a, _)| a);
         attrs.dedup_by_key(|&mut (a, _)| a);
+        BASE_CREATED.incr();
         let id = AnnId::from_index(self.anns.len());
         self.anns.push(Annotation {
             name: name.to_owned(),
@@ -141,6 +149,7 @@ impl AnnStore {
             name.to_owned()
         };
         let concept = self.shared_concept(&base);
+        SUMMARIES_CREATED.incr();
         let id = AnnId::from_index(self.anns.len());
         self.anns.push(Annotation {
             name: unique_name.clone(),
@@ -236,12 +245,7 @@ impl AnnStore {
 
     /// Convenience: intern a base annotation giving attribute name/value
     /// strings directly.
-    pub fn add_base_with(
-        &mut self,
-        name: &str,
-        domain: &str,
-        attrs: &[(&str, &str)],
-    ) -> AnnId {
+    pub fn add_base_with(&mut self, name: &str, domain: &str, attrs: &[(&str, &str)]) -> AnnId {
         let dom = self.domain(domain);
         let attrs = attrs
             .iter()

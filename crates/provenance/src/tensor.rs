@@ -34,7 +34,11 @@ impl Tensor {
 
     /// Guarded tensor.
     pub fn guarded(prov: Polynomial, guards: Vec<Guard>, value: AggValue) -> Self {
-        Tensor { prov, guards, value }
+        Tensor {
+            prov,
+            guards,
+            value,
+        }
     }
 
     /// Is this tensor live under `v`? (Its provenance evaluates truthy and
@@ -67,7 +71,6 @@ impl Tensor {
         out.dedup();
         out
     }
-
 }
 
 #[cfg(test)]

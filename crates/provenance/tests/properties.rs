@@ -37,18 +37,12 @@ fn arb_kind() -> impl Strategy<Value = AggKind> {
 }
 
 fn arb_tensor() -> impl Strategy<Value = Tensor> {
-    (
-        prop::collection::vec(0usize..6, 1..=3),
-        0.0f64..10.0,
-    )
-        .prop_map(|(vars, value)| {
-            Tensor::new(
-                Polynomial::from_monomial(Monomial::from_factors(
-                    vars.into_iter().map(ann).collect(),
-                )),
-                AggValue::single(value),
-            )
-        })
+    (prop::collection::vec(0usize..6, 1..=3), 0.0f64..10.0).prop_map(|(vars, value)| {
+        Tensor::new(
+            Polynomial::from_monomial(Monomial::from_factors(vars.into_iter().map(ann).collect())),
+            AggValue::single(value),
+        )
+    })
 }
 
 fn arb_valuation() -> impl Strategy<Value = Valuation> {

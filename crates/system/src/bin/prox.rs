@@ -18,8 +18,12 @@
 //!   insights                  — ranked group-vs-complement trends
 //!   cancel <name> [...]       — provision: evaluate with annotations false
 //!   cancelattr <attr>=<value> — provision: cancel an attribute value
+//!   stats                     — print the observability registry snapshot
 //!   quit
 //! ```
+//!
+//! Observability: `--trace <path>` (or `PROX_TRACE=<path>`) writes a JSONL
+//! span trace; either also enables the counters/spans behind `stats`.
 
 use std::io::{self, BufRead, Write};
 
@@ -166,12 +170,16 @@ impl App {
             "cancelattr" => {
                 let pairs: Vec<(String, String)> = rest
                     .iter()
-                    .filter_map(|s| {
-                        s.split_once('=')
-                            .map(|(a, v)| (a.to_owned(), v.to_owned()))
-                    })
+                    .filter_map(|s| s.split_once('=').map(|(a, v)| (a.to_owned(), v.to_owned())))
                     .collect();
                 self.provision(Assignment::FalseAttributes(pairs))
+            }
+            "stats" => {
+                if prox_obs::enabled() {
+                    prox_obs::render_snapshot()
+                } else {
+                    "observability is off — run with --trace <path> or PROX_TRACE=1".to_owned()
+                }
             }
             "help" => HELP.to_owned(),
             "quit" | "exit" => return None,
@@ -182,7 +190,7 @@ impl App {
 
 const HELP: &str = "commands: search <s> | genre <g> [year] | all | params | \
 set wdist|steps|tsize|tdist <v> | summarize | expr | groups | back | forward | \
-cancel <names…> | cancelattr a=v | insights | quit";
+cancel <names…> | cancelattr a=v | insights | stats | quit";
 
 fn demo() {
     let mut app = App::new();
@@ -197,6 +205,7 @@ fn demo() {
         "forward",
         "cancelattr gender=M",
         "insights",
+        "stats",
     ];
     for cmd in script {
         println!("prox> {cmd}");
@@ -208,9 +217,25 @@ fn demo() {
 }
 
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
-    if args.get(1).map(String::as_str) == Some("demo") {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    // `--trace <path>` anywhere on the command line; PROX_TRACE also works.
+    if let Some(ix) = args.iter().position(|a| a == "--trace") {
+        if ix + 1 >= args.len() {
+            eprintln!("--trace requires a path");
+            std::process::exit(2);
+        }
+        let path = args.remove(ix + 1);
+        args.remove(ix);
+        if let Err(e) = prox_obs::install_sink(&path) {
+            eprintln!("cannot open trace file {path}: {e}");
+            std::process::exit(2);
+        }
+    }
+    prox_obs::init_from_env();
+
+    if args.first().map(String::as_str) == Some("demo") {
         demo();
+        prox_obs::flush_sink();
         return;
     }
     println!("PROX — approximated summarization of data provenance");
@@ -233,4 +258,5 @@ fn main() {
             None => break,
         }
     }
+    prox_obs::flush_sink();
 }

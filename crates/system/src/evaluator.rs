@@ -5,7 +5,13 @@
 
 use std::time::Instant;
 
+use prox_obs::SpanTimer;
 use prox_provenance::{AnnId, AnnStore, Mapping, Phi, ProvExpr, Valuation};
+
+/// One provisioning evaluation (assignment → aggregated table).
+static SPAN_EVALUATE: SpanTimer = SpanTimer::new("eval/evaluate");
+/// φ-lifting a batch of valuations plus evaluating them (usage time).
+static SPAN_PHI: SpanTimer = SpanTimer::new("eval/phi");
 
 /// An assignment specified in the UI: either explicit false annotations or
 /// false attribute values (cancel everything sharing them).
@@ -68,6 +74,7 @@ pub fn resolve_assignment(assignment: &Assignment, store: &AnnStore) -> Valuatio
 /// through φ = ∨ first — this is what makes provisioning on the summary
 /// *approximate*.
 pub fn evaluate(expr: &ProvExpr, assignment: &Assignment, store: &AnnStore) -> Evaluation {
+    let _span = SPAN_EVALUATE.start();
     let base = resolve_assignment(assignment, store);
     // Lift to summary annotations present in the expression.
     let lifted = base.lift(&Mapping::identity(), Phi::Or, store);
@@ -103,6 +110,7 @@ pub fn evaluate_both(
 /// Time the evaluation of a batch of valuations on an expression; returns
 /// total nanoseconds (the usage-time experiment's primitive).
 pub fn time_valuations(expr: &ProvExpr, valuations: &[Valuation], store: &AnnStore) -> u128 {
+    let _span = SPAN_PHI.start();
     let lifted: Vec<Valuation> = valuations
         .iter()
         .map(|v| v.lift(&Mapping::identity(), Phi::Or, store))
@@ -135,12 +143,14 @@ mod tests {
     #[test]
     fn false_annotations_cancel_by_name() {
         let (s, p) = setup();
-        let ev = evaluate(
-            &p,
-            &Assignment::FalseAnnotations(vec!["UID1".into()]),
-            &s,
+        let ev = evaluate(&p, &Assignment::FalseAnnotations(vec!["UID1".into()]), &s);
+        assert_eq!(
+            ev.rows[0],
+            ResultRow {
+                title: "Friday".into(),
+                aggregated: 3.0
+            }
         );
-        assert_eq!(ev.rows[0], ResultRow { title: "Friday".into(), aggregated: 3.0 });
         assert_eq!(ev.rows[1].aggregated, 4.0);
     }
 

@@ -101,9 +101,7 @@ pub fn group_insights(
             object,
             group_value: g,
             complement_value: o,
-            statement: format!(
-                "{descr} rated {movie} {g} — {relation} everyone else ({o})"
-            ),
+            statement: format!("{descr} rated {movie} {g} — {relation} everyone else ({o})"),
         });
     }
     out
@@ -173,7 +171,10 @@ mod tests {
         let (mut s, mut p, users, g) = setup();
         // A movie only U3 rated: the F group has no insight there.
         let m2 = s.add_base_with("Other", "movies", &[]);
-        p.push(m2, Tensor::new(Polynomial::var(users[2]), AggValue::single(3.0)));
+        p.push(
+            m2,
+            Tensor::new(Polynomial::var(users[2]), AggValue::single(3.0)),
+        );
         let members = s.base_of(g);
         let ins = group_insights(&p, g, &members, &s);
         assert_eq!(ins.len(), 1, "only MatchPoint produces an insight");

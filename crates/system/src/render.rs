@@ -80,7 +80,10 @@ pub fn evaluation_view(ev: &Evaluation) -> String {
     for row in &ev.rows {
         out.push_str(&format!("{:<28} {}\n", row.title, row.aggregated));
     }
-    out.push_str(&format!("Evaluation Time: {} nanoseconds\n", ev.eval_time_ns));
+    out.push_str(&format!(
+        "Evaluation Time: {} nanoseconds\n",
+        ev.eval_time_ns
+    ));
     out
 }
 
@@ -123,8 +126,14 @@ mod tests {
     fn evaluation_view_formats_table() {
         let ev = Evaluation {
             rows: vec![
-                ResultRow { title: "Friday".into(), aggregated: 5.0 },
-                ResultRow { title: "Sleepover".into(), aggregated: 0.0 },
+                ResultRow {
+                    title: "Friday".into(),
+                    aggregated: 5.0,
+                },
+                ResultRow {
+                    title: "Sleepover".into(),
+                    aggregated: 0.0,
+                },
             ],
             eval_time_ns: 48118,
         };

@@ -104,7 +104,11 @@ impl Session {
             let aggregated = expr
                 .entries()
                 .iter()
-                .find(|(_, e)| e.tensors().iter().any(|t| t.prov.annotations().contains(&a)))
+                .find(|(_, e)| {
+                    e.tensors()
+                        .iter()
+                        .any(|t| t.prov.annotations().contains(&a))
+                })
                 .and_then(|(o, _)| full.scalar_for(*o));
             out.push(GroupView {
                 target: a,

@@ -3,9 +3,14 @@
 
 use prox_core::{StopReason, SummarizeConfig, Summarizer, SummaryResult, ValFuncKind};
 use prox_datasets::MovieLens;
+use prox_obs::SpanTimer;
 use prox_provenance::{AggKind, ProvExpr, Valuation, ValuationClass};
 
 use crate::selection::Selected;
+
+/// One summarization-service request, end to end (valuation generation
+/// included — the extra over `summarize` is service overhead).
+static SPAN_SERVICE: SpanTimer = SpanTimer::new("service/summarize");
 
 /// The parameters exposed by the summarization view.
 #[derive(Clone, Debug)]
@@ -67,6 +72,7 @@ pub fn summarize(
     selected: &Selected,
     request: SummarizationRequest,
 ) -> Result<Summarized, String> {
+    let _span = SPAN_SERVICE.start();
     let valuations = data.valuations(request.valuation_class);
     let constraints = data.constraints();
     let config = SummarizeConfig {

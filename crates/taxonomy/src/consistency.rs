@@ -15,12 +15,7 @@ use crate::dag::{ConceptId, Taxonomy};
 /// For every pair of concept-attached annotations `(x, y)` where `x`'s
 /// concept is a strict ancestor of `y`'s (or the same concept), assigning
 /// `x` false and `y` true is inconsistent.
-pub fn is_consistent(
-    v: &Valuation,
-    anns: &[AnnId],
-    store: &AnnStore,
-    taxonomy: &Taxonomy,
-) -> bool {
+pub fn is_consistent(v: &Valuation, anns: &[AnnId], store: &AnnStore, taxonomy: &Taxonomy) -> bool {
     // Only cancelled, concept-attached annotations can trigger violations.
     let cancelled: Vec<(AnnId, ConceptId)> = anns
         .iter()
@@ -39,9 +34,7 @@ pub fn is_consistent(
             let Some(live_concept) = store.get(live).concept.map(ConceptId) else {
                 continue;
             };
-            if live_concept != dead_concept
-                && taxonomy.is_ancestor(dead_concept, live_concept)
-            {
+            if live_concept != dead_concept && taxonomy.is_ancestor(dead_concept, live_concept) {
                 return false;
             }
         }

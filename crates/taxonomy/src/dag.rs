@@ -166,7 +166,9 @@ impl Taxonomy {
         let bb = self.ancestors(b);
         let mut common: Vec<ConceptId> = aa.intersection(&bb).copied().collect();
         common.sort_unstable();
-        common.into_iter().max_by_key(|&c| (self.depth(c), std::cmp::Reverse(c)))
+        common
+            .into_iter()
+            .max_by_key(|&c| (self.depth(c), std::cmp::Reverse(c)))
     }
 
     /// Lowest common subsumer of many concepts.
@@ -179,7 +181,8 @@ impl Taxonomy {
         }
         let mut v: Vec<ConceptId> = common.into_iter().collect();
         v.sort_unstable();
-        v.into_iter().max_by_key(|&c| (self.depth(c), std::cmp::Reverse(c)))
+        v.into_iter()
+            .max_by_key(|&c| (self.depth(c), std::cmp::Reverse(c)))
     }
 
     /// Iterate all concept ids.
@@ -217,7 +220,14 @@ mod tests {
         let t = small();
         let singer = t.by_name("singer").unwrap();
         let anc = t.ancestors(singer);
-        for n in ["singer", "musician", "performer", "entertainer", "person", "entity"] {
+        for n in [
+            "singer",
+            "musician",
+            "performer",
+            "entertainer",
+            "person",
+            "entity",
+        ] {
             assert!(anc.contains(&t.by_name(n).unwrap()), "{n}");
         }
         assert!(!anc.contains(&t.by_name("guitarist").unwrap()));

@@ -79,11 +79,7 @@ mod tests {
         let t = wordnet_fragment();
         let entity = t.by_name("wordnet_entity").unwrap();
         for c in t.ids() {
-            assert!(
-                t.is_ancestor(entity, c),
-                "{} not under entity",
-                t.name(c)
-            );
+            assert!(t.is_ancestor(entity, c), "{} not under entity", t.name(c));
         }
     }
 

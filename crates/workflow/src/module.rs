@@ -112,12 +112,7 @@ impl Workflow {
 
     /// Append a node (builder style). Nodes run in insertion order, so
     /// inputs must name workflow inputs or outputs of earlier nodes.
-    pub fn then(
-        mut self,
-        module: impl Module + 'static,
-        inputs: &[&str],
-        output: &str,
-    ) -> Self {
+    pub fn then(mut self, module: impl Module + 'static, inputs: &[&str], output: &str) -> Self {
         self.nodes.push(Node {
             module: Box::new(module),
             inputs: inputs.iter().map(|s| (*s).to_owned()).collect(),
@@ -189,10 +184,7 @@ mod tests {
             let stats = db
                 .get_mut("Counts")
                 .ok_or_else(|| WorkflowError::MissingRelation("Counts".into()))?;
-            stats.push(
-                vec![Value::Num(input.len() as f64)],
-                Polynomial::one(),
-            );
+            stats.push(vec![Value::Num(input.len() as f64)], Polynomial::one());
             Ok((*input).clone())
         }
     }
@@ -202,9 +194,11 @@ mod tests {
         let mut db = Database::new();
         db.insert(Relation::new("Counts", &["n"]));
         let mut store = AnnStore::new();
-        let wf = Workflow::new()
-            .then(CountingModule, &["in"], "mid")
-            .then(CountingModule, &["mid"], "out");
+        let wf = Workflow::new().then(CountingModule, &["in"], "mid").then(
+            CountingModule,
+            &["mid"],
+            "out",
+        );
         let mut input = Relation::new("R", &["x"]);
         input.push(vec![Value::Num(1.0)], Polynomial::one());
         let ports = wf

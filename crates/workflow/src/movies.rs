@@ -85,10 +85,7 @@ impl Module for ReviewingModule {
                     }
                     None => {
                         let s_ann = store.add_base(&format!("S_{uid}"), stats_dom, vec![]);
-                        stats.push(
-                            vec![Value::Str(uid), Value::Num(n)],
-                            Polynomial::var(s_ann),
-                        );
+                        stats.push(vec![Value::Str(uid), Value::Num(n)], Polynomial::var(s_ann));
                     }
                 }
             }
@@ -173,11 +170,7 @@ pub fn movie_workflow() -> Workflow {
 /// Turn the aggregator's output into the provenance-aware `Movies` value of
 /// Example 2.2.1: one coordinate per movie, each tensor
 /// `Uᵢ · [Sᵢ·Uᵢ ⊗ NumRate > threshold] ⊗ (score, 1)`.
-pub fn movies_provenance(
-    sanitized: &Relation,
-    store: &mut AnnStore,
-    kind: AggKind,
-) -> ProvExpr {
+pub fn movies_provenance(sanitized: &Relation, store: &mut AnnStore, kind: AggKind) -> ProvExpr {
     let uid_col = sanitized.col("uid");
     let movie_col = sanitized.col("movie");
     let score_col = sanitized.col("score");

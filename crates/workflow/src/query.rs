@@ -28,7 +28,11 @@ pub fn project(r: &Relation, cols: &[&str]) -> Relation {
     let mut index: HashMap<String, usize> = HashMap::new();
     for t in &r.tuples {
         let values: Vec<Value> = ixs.iter().map(|&ix| t.values[ix].clone()).collect();
-        let key = values.iter().map(Value::to_string).collect::<Vec<_>>().join("\u{1}");
+        let key = values
+            .iter()
+            .map(Value::to_string)
+            .collect::<Vec<_>>()
+            .join("\u{1}");
         match index.get(&key) {
             Some(&row) => {
                 let existing = &mut out.tuples[row];
@@ -62,7 +66,10 @@ pub fn join(left: &Relation, right: &Relation, on: &str) -> Relation {
     // Hash join on the rendered key.
     let mut index: HashMap<String, Vec<usize>> = HashMap::new();
     for (row, t) in right.tuples.iter().enumerate() {
-        index.entry(t.values[rix].to_string()).or_default().push(row);
+        index
+            .entry(t.values[rix].to_string())
+            .or_default()
+            .push(row);
     }
     for lt in &left.tuples {
         let key = lt.values[lix].to_string();
@@ -106,7 +113,9 @@ pub fn aggregate(
     let mut groups: HashMap<String, (Value, Vec<Tensor>)> = HashMap::new();
     for t in &r.tuples {
         let key = t.values[gix].to_string();
-        let value = t.values[vix].as_num().expect("aggregating a numeric column");
+        let value = t.values[vix]
+            .as_num()
+            .expect("aggregating a numeric column");
         let entry = groups.entry(key.clone()).or_insert_with(|| {
             order.push(key);
             (t.values[gix].clone(), Vec::new())
@@ -135,9 +144,15 @@ mod tests {
 
     fn users() -> Relation {
         let mut r = Relation::new("Users", &["uid", "role"]);
-        r.push(vec!["U1".into(), "audience".into()], Polynomial::var(ann(0)));
+        r.push(
+            vec!["U1".into(), "audience".into()],
+            Polynomial::var(ann(0)),
+        );
         r.push(vec!["U2".into(), "critic".into()], Polynomial::var(ann(1)));
-        r.push(vec!["U3".into(), "audience".into()], Polynomial::var(ann(2)));
+        r.push(
+            vec!["U3".into(), "audience".into()],
+            Polynomial::var(ann(2)),
+        );
         r
     }
 
@@ -190,7 +205,10 @@ mod tests {
         let joined = join(&reviews(), &users(), "uid");
         assert_eq!(joined.len(), 3);
         let u1 = &joined.tuples[0];
-        assert_eq!(u1.ann, Polynomial::var(ann(10)).mul(&Polynomial::var(ann(0))));
+        assert_eq!(
+            u1.ann,
+            Polynomial::var(ann(10)).mul(&Polynomial::var(ann(0)))
+        );
         assert_eq!(joined.schema, vec!["uid", "movie", "score", "role"]);
     }
 

@@ -48,7 +48,9 @@ fn main() {
         ..Default::default()
     };
     let mut summarizer = Summarizer::new(&mut data.store, constraints, config);
-    let result = summarizer.summarize(&p0, &valuations).expect("valid config");
+    let result = summarizer
+        .summarize(&p0, &valuations)
+        .expect("valid config");
     println!(
         "Summary after {} steps: size {} → {}, distance {:.4}.",
         result.history.len(),

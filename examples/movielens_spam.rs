@@ -36,7 +36,9 @@ fn main() {
         ..Default::default()
     };
     let mut summarizer = Summarizer::new(&mut data.store, constraints, config);
-    let result = summarizer.summarize(&p0, &valuations).expect("valid config");
+    let result = summarizer
+        .summarize(&p0, &valuations)
+        .expect("valid config");
     println!(
         "Summary: size {} → {} in {} steps, distance {:.4}.\n",
         result.initial_size,

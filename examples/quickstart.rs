@@ -9,8 +9,7 @@
 
 use prox::core::{ConstraintConfig, MergeRule, SummarizeConfig, Summarizer};
 use prox::provenance::{
-    display, AggKind, AggValue, AnnStore, Polynomial, ProvExpr, Tensor, Valuation,
-    ValuationClass,
+    display, AggKind, AggValue, AnnStore, Polynomial, ProvExpr, Tensor, Valuation, ValuationClass,
 };
 
 fn main() {
@@ -25,27 +24,31 @@ fn main() {
     // ── P₀ = U₁⊗(3,1) ⊕ U₂⊗(5,1) ⊕ U₃⊗(3,1) ⊕M U₂⊗(4,1) ───────────────
     let mut p0 = ProvExpr::new(AggKind::Max);
     for (u, score) in [(u1, 3.0), (u2, 5.0), (u3, 3.0)] {
-        p0.push(match_point, Tensor::new(Polynomial::var(u), AggValue::single(score)));
+        p0.push(
+            match_point,
+            Tensor::new(Polynomial::var(u), AggValue::single(score)),
+        );
     }
-    p0.push(blue_jasmine, Tensor::new(Polynomial::var(u2), AggValue::single(4.0)));
+    p0.push(
+        blue_jasmine,
+        Tensor::new(Polynomial::var(u2), AggValue::single(4.0)),
+    );
 
     println!("Original provenance (size {}):", p0.size());
     println!("  {}\n", display::render_provexpr(&p0, &store));
 
     // ── Valuations: cancel a single (possibly spamming) user ───────────
     let users_dom = store.domain("users");
-    let valuations = ValuationClass::CancelSingleAnnotation.generate(
-        &store,
-        &[u1, u2, u3],
-        &[users_dom],
+    let valuations =
+        ValuationClass::CancelSingleAnnotation.generate(&store, &[u1, u2, u3], &[users_dom]);
+    println!(
+        "Valuation class: {} valuations (cancel a single user)\n",
+        valuations.len()
     );
-    println!("Valuation class: {} valuations (cancel a single user)\n", valuations.len());
 
     // ── Summarize with wDist = 1 (distance only) ────────────────────────
-    let constraints = ConstraintConfig::new().allow(
-        users_dom,
-        MergeRule::SharedAttribute { attrs: vec![] },
-    );
+    let constraints =
+        ConstraintConfig::new().allow(users_dom, MergeRule::SharedAttribute { attrs: vec![] });
     let config = SummarizeConfig {
         w_dist: 1.0,
         w_size: 0.0,

@@ -41,7 +41,9 @@ fn main() {
     };
     let mut summarizer =
         Summarizer::new(&mut data.store, constraints, config).with_taxonomy(&taxonomy);
-    let result = summarizer.summarize(&p0, &valuations).expect("valid config");
+    let result = summarizer
+        .summarize(&p0, &valuations)
+        .expect("valid config");
 
     println!(
         "Summary after {} steps: size {} → {}, distance {:.4}.",
@@ -50,7 +52,10 @@ fn main() {
         result.final_size(),
         result.final_distance,
     );
-    println!("  {}\n", display::render_provexpr(&result.summary, &data.store));
+    println!(
+        "  {}\n",
+        display::render_provexpr(&result.summary, &data.store)
+    );
 
     println!("Groups formed (name ⇐ members):");
     for step in &result.history.steps {
@@ -70,7 +75,9 @@ fn main() {
             "  {:<22} ⇐ {} {}",
             data.store.name(step.target),
             members.join(", "),
-            concept.map(|c| format!("(concept {c})")).unwrap_or_default(),
+            concept
+                .map(|c| format!("(concept {c})"))
+                .unwrap_or_default(),
         );
     }
     println!(

@@ -66,7 +66,10 @@ fn main() {
     // ── The produced provenance (Example 2.2.1's structure) ─────────────
     let guarded = movies_provenance(&ports["sanitized"], &mut store, AggKind::Max);
     let p0 = guarded.clone();
-    println!("── Provenance produced by the workflow (size {}) ──", p0.size());
+    println!(
+        "── Provenance produced by the workflow (size {}) ──",
+        p0.size()
+    );
     let rendered = display::render_provexpr(&p0, &store);
     println!("{}\n", rendered.chars().take(600).collect::<String>());
 
@@ -75,7 +78,10 @@ fn main() {
     // discard the satisfied inequality terms, so user merges can shrink
     // the expression.
     let p0 = p0.discharge_guards(&Valuation::all_true());
-    println!("After discharging guards (statistics assumed reliable): size {}\n", p0.size());
+    println!(
+        "After discharging guards (statistics assumed reliable): size {}\n",
+        p0.size()
+    );
 
     let users_dom = store.domain("users");
     let user_anns: Vec<_> = ["U1", "U2", "U3", "U4", "U5"]
@@ -84,10 +90,8 @@ fn main() {
         .collect();
     let valuations =
         ValuationClass::CancelSingleAnnotation.generate(&store, &user_anns, &[users_dom]);
-    let constraints = ConstraintConfig::new().allow(
-        users_dom,
-        MergeRule::SharedAttribute { attrs: vec![] },
-    );
+    let constraints =
+        ConstraintConfig::new().allow(users_dom, MergeRule::SharedAttribute { attrs: vec![] });
     let config = SummarizeConfig {
         w_dist: 0.8,
         w_size: 0.2,
@@ -95,7 +99,9 @@ fn main() {
         ..Default::default()
     };
     let mut summarizer = Summarizer::new(&mut store, constraints, config);
-    let result = summarizer.summarize(&p0, &valuations).expect("valid config");
+    let result = summarizer
+        .summarize(&p0, &valuations)
+        .expect("valid config");
 
     println!(
         "── Summary: size {} → {} in {} steps, distance {:.4} ──",
@@ -116,6 +122,9 @@ fn main() {
     println!(
         "  MatchPoint exact rating: {} (was {})",
         guarded.eval(&v).scalar_for(mp).unwrap_or(0.0),
-        guarded.eval(&Valuation::all_true()).scalar_for(mp).unwrap_or(0.0),
+        guarded
+            .eval(&Valuation::all_true())
+            .scalar_for(mp)
+            .unwrap_or(0.0),
     );
 }

@@ -14,7 +14,9 @@
 //!   generators;
 //! * [`system`] — the PROX system services and CLI building blocks;
 //! * [`workflow`] — the Chapter-2 workflow substrate that *produces*
-//!   provenance (annotated relations, modules, the Fig 2.1 pipeline).
+//!   provenance (annotated relations, modules, the Fig 2.1 pipeline);
+//! * [`obs`] — the zero-dependency observability layer (span timers,
+//!   counters, JSONL trace sink) instrumenting all of the above.
 //!
 //! See the repository README for a walkthrough and `DESIGN.md` for the
 //! system inventory; run `cargo run --example quickstart` for a first
@@ -23,6 +25,7 @@
 pub use prox_cluster as cluster;
 pub use prox_core as core;
 pub use prox_datasets as datasets;
+pub use prox_obs as obs;
 pub use prox_provenance as provenance;
 pub use prox_system as system;
 pub use prox_taxonomy as taxonomy;

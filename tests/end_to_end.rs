@@ -28,7 +28,9 @@ fn movielens_full_pipeline() {
         ..Default::default()
     };
     let mut summarizer = Summarizer::new(&mut data.store, constraints, config);
-    let res = summarizer.summarize(&p0, &valuations).expect("valid config");
+    let res = summarizer
+        .summarize(&p0, &valuations)
+        .expect("valid config");
 
     assert!(res.final_size() < p0.size());
     assert!(res.history.check_monotone().is_ok(), "Prop 4.2.2 holds");
@@ -64,7 +66,9 @@ fn wikipedia_full_pipeline_with_taxonomy() {
     };
     let mut summarizer =
         Summarizer::new(&mut data.store, constraints, config).with_taxonomy(&taxonomy);
-    let res = summarizer.summarize(&p0, &valuations).expect("valid config");
+    let res = summarizer
+        .summarize(&p0, &valuations)
+        .expect("valid config");
     assert!(res.final_size() <= p0.size());
     assert!(res.history.check_monotone().is_ok());
     // Page groups, when formed, carry their LCS concept.
@@ -92,7 +96,9 @@ fn ddp_full_pipeline() {
         ..Default::default()
     };
     let mut summarizer = Summarizer::new(&mut data.store, constraints, config);
-    let res = summarizer.summarize(&p0, &valuations).expect("valid config");
+    let res = summarizer
+        .summarize(&p0, &valuations)
+        .expect("valid config");
     assert!(res.final_size() <= p0.size());
     assert!((0.0..=1.0).contains(&res.final_distance));
 }
@@ -116,13 +122,23 @@ fn prov_approx_no_worse_than_random_on_distance() {
     };
     let mut store_pa = data.store.clone();
     let mut summarizer = Summarizer::new(&mut store_pa, constraints.clone(), config.clone());
-    let pa = summarizer.summarize(&p0, &valuations).expect("valid config");
+    let pa = summarizer
+        .summarize(&p0, &valuations)
+        .expect("valid config");
 
     let mut random_avg = 0.0;
     const SEEDS: u64 = 5;
     for seed in 0..SEEDS {
         let mut store_r = data.store.clone();
-        let r = random_summarize(&p0, &mut store_r, &constraints, None, &valuations, &config, seed);
+        let r = random_summarize(
+            &p0,
+            &mut store_r,
+            &constraints,
+            None,
+            &valuations,
+            &config,
+            seed,
+        );
         random_avg += r.final_distance;
     }
     random_avg /= SEEDS as f64;
@@ -180,8 +196,8 @@ fn system_flow_selection_to_provisioning() {
         seed: 106,
     });
     let sel = select(&mut data, &Selection::All, AggKind::Max);
-    let out = service_summarize(&mut data, &sel, SummarizationRequest::default())
-        .expect("valid request");
+    let out =
+        service_summarize(&mut data, &sel, SummarizationRequest::default()).expect("valid request");
     let session = Session::new(out);
 
     let assignment = Assignment::FalseAttributes(vec![("gender".into(), "M".into())]);
@@ -214,7 +230,11 @@ fn target_flavors_match_their_stop_reasons() {
     // Flavor 2: TARGET-SIZE.
     let target = p0.size() * 4 / 5;
     let mut store2 = data.store.clone();
-    let mut s2 = Summarizer::new(&mut store2, constraints.clone(), SummarizeConfig::target_size(target));
+    let mut s2 = Summarizer::new(
+        &mut store2,
+        constraints.clone(),
+        SummarizeConfig::target_size(target),
+    );
     let r2 = s2.summarize(&p0, &valuations).expect("valid config");
     assert!(
         r2.final_size() <= target || r2.stop_reason == StopReason::NoCandidates,

@@ -50,7 +50,10 @@ fn example_3_1_1_summaries() {
 
     let mut p_s = ProvExpr::new(AggKind::Max);
     for (u, score) in [(u1, 3.0), (u2, 5.0), (u3, 3.0)] {
-        p_s.push(movie, Tensor::new(Polynomial::var(u), AggValue::single(score)));
+        p_s.push(
+            movie,
+            Tensor::new(Polynomial::var(u), AggValue::single(score)),
+        );
     }
 
     // P′ₛ = Female ⊗ (5,2) ⊕ U₃ ⊗ (3,1)
@@ -83,7 +86,10 @@ fn example_3_2_3_distances() {
 
     let mut p_s = ProvExpr::new(AggKind::Max);
     for (u, score) in [(u1, 3.0), (u2, 5.0), (u3, 3.0)] {
-        p_s.push(movie, Tensor::new(Polynomial::var(u), AggValue::single(score)));
+        p_s.push(
+            movie,
+            Tensor::new(Polynomial::var(u), AggValue::single(score)),
+        );
     }
     let vals = ValuationClass::CancelSingleAnnotation.generate(&store, &[u1, u2, u3], &[]);
     let engine = prox::core::DistanceEngine::new(

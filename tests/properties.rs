@@ -17,15 +17,13 @@ fn ann(ix: usize) -> AnnId {
 
 /// Strategy: a random monomial over NVARS variables, degree ≤ 3.
 fn arb_monomial() -> impl Strategy<Value = Monomial> {
-    prop::collection::vec(0..NVARS, 0..=3).prop_map(|ixs| {
-        Monomial::from_factors(ixs.into_iter().map(ann).collect())
-    })
+    prop::collection::vec(0..NVARS, 0..=3)
+        .prop_map(|ixs| Monomial::from_factors(ixs.into_iter().map(ann).collect()))
 }
 
 /// Strategy: a random polynomial with ≤ 4 terms, coefficients ≤ 3.
 fn arb_poly() -> impl Strategy<Value = Polynomial> {
-    prop::collection::vec((arb_monomial(), 1u64..=3), 0..=4)
-        .prop_map(Polynomial::from_terms)
+    prop::collection::vec((arb_monomial(), 1u64..=3), 0..=4).prop_map(Polynomial::from_terms)
 }
 
 /// Strategy: a random valuation over the NVARS variables.
@@ -112,16 +110,20 @@ proptest! {
 /// Strategy: a random small ratings workload.
 fn arb_workload() -> impl Strategy<Value = (AnnStore, ProvExpr, Vec<AnnId>)> {
     (
-        3usize..8,                                            // users
-        prop::collection::vec(0usize..3, 6..12),              // rating targets
-        prop::collection::vec(1u8..=5, 6..12),                // stars
-        prop::collection::vec(0usize..2, 8),                  // gender bits
+        3usize..8,                               // users
+        prop::collection::vec(0usize..3, 6..12), // rating targets
+        prop::collection::vec(1u8..=5, 6..12),   // stars
+        prop::collection::vec(0usize..2, 8),     // gender bits
     )
         .prop_map(|(nusers, movies_ix, stars, genders)| {
             let mut store = AnnStore::new();
             let users: Vec<AnnId> = (0..nusers)
                 .map(|i| {
-                    let g = if genders[i % genders.len()] == 0 { "M" } else { "F" };
+                    let g = if genders[i % genders.len()] == 0 {
+                        "M"
+                    } else {
+                        "F"
+                    };
                     store.add_base_with(&format!("U{i}"), "users", &[("gender", g)])
                 })
                 .collect();

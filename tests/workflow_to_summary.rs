@@ -72,12 +72,9 @@ fn workflow_output_summarizes_end_to_end() {
         .iter()
         .map(|u| store.by_name(u).expect("interned by the run"))
         .collect();
-    let valuations =
-        ValuationClass::CancelSingleAnnotation.generate(&store, &users, &[users_dom]);
-    let constraints = ConstraintConfig::new().allow(
-        users_dom,
-        MergeRule::SharedAttribute { attrs: vec![] },
-    );
+    let valuations = ValuationClass::CancelSingleAnnotation.generate(&store, &users, &[users_dom]);
+    let constraints =
+        ConstraintConfig::new().allow(users_dom, MergeRule::SharedAttribute { attrs: vec![] });
     let config = SummarizeConfig {
         w_dist: 0.7,
         w_size: 0.3,
@@ -85,7 +82,9 @@ fn workflow_output_summarizes_end_to_end() {
         ..Default::default()
     };
     let mut summarizer = Summarizer::new(&mut store, constraints, config);
-    let res = summarizer.summarize(&p0, &valuations).expect("valid config");
+    let res = summarizer
+        .summarize(&p0, &valuations)
+        .expect("valid config");
     assert!(res.final_size() < p0.size());
     assert!(res.history.check_monotone().is_ok());
 
