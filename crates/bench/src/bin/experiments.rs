@@ -222,28 +222,93 @@ const ALL: &[&str] = &[
     "greedy-gap",
 ];
 
-/// Run one experiment with a fresh observability window and write its
-/// manifest. Returns false for unknown experiment names.
+/// Per-experiment wall-clock timeout (milliseconds): `PROX_EXP_TIMEOUT_MS`
+/// overrides the defaults (2 minutes quick, 30 minutes full). The runner
+/// tightens every run's execution budget to this deadline, so a slow
+/// experiment degrades to best-so-far summaries instead of hanging the
+/// suite.
+fn experiment_timeout_ms(scale: Scale) -> u64 {
+    std::env::var("PROX_EXP_TIMEOUT_MS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(if scale.quick { 120_000 } else { 1_800_000 })
+}
+
+/// Executions per experiment before it is marked `skipped`.
+const MAX_ATTEMPTS: u32 = 2;
+
+/// The `run/stop/*` counters that mark a run as budget-degraded.
+const BUDGET_STOPS: [&str; 3] = [
+    "run/stop/deadline_exceeded",
+    "run/stop/budget_exhausted",
+    "run/stop/cancelled",
+];
+
+/// Run one experiment with a fresh observability window, a per-experiment
+/// deadline, and bounded retry on panic; write its manifest with the
+/// outcome (`completed` / `degraded` / `skipped`). Returns false for
+/// unknown experiment names.
 fn run_one(name: &str, scale: Scale) -> bool {
-    eprintln!("── running {name} ──");
-    prox_obs::reset();
-    let mut manifest = RunManifest::new(name, scale);
-    let t = std::time::Instant::now();
-    if !run_experiment(name, scale, &mut manifest) {
-        return false;
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+
+    use prox_bench::runner::{clear_experiment_deadline, set_experiment_deadline};
+
+    let timeout_ms = experiment_timeout_ms(scale);
+    let mut attempts = 0u32;
+    loop {
+        attempts += 1;
+        eprintln!("── running {name} (attempt {attempts}/{MAX_ATTEMPTS}) ──");
+        prox_obs::reset();
+        let mut manifest = RunManifest::new(name, scale);
+        let t = std::time::Instant::now();
+        set_experiment_deadline(t + std::time::Duration::from_millis(timeout_ms));
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            run_experiment(name, scale, &mut manifest)
+        }));
+        clear_experiment_deadline();
+        match outcome {
+            // Unknown experiment name: no manifest, caller prints usage.
+            Ok(false) => return false,
+            Ok(true) => {
+                let degraded = BUDGET_STOPS
+                    .iter()
+                    .any(|c| prox_obs::counter_value(c).unwrap_or(0) > 0);
+                let status = if degraded { "degraded" } else { "completed" };
+                manifest.wall_time(t.elapsed());
+                manifest.outcome(status, attempts, Some(timeout_ms));
+                match manifest.write() {
+                    Ok(path) => {
+                        eprintln!("   {status}: {} ({:.1?})", path.display(), t.elapsed())
+                    }
+                    Err(e) => eprintln!("   manifest write failed: {e} ({:.1?})", t.elapsed()),
+                }
+                return true;
+            }
+            Err(_) => {
+                eprintln!("   {name} panicked on attempt {attempts}/{MAX_ATTEMPTS}");
+                if attempts >= MAX_ATTEMPTS {
+                    // Record the failure so the suite's output is complete,
+                    // then move on to the next experiment.
+                    let mut manifest = RunManifest::new(name, scale);
+                    manifest.wall_time(t.elapsed());
+                    manifest.outcome("skipped", attempts, Some(timeout_ms));
+                    match manifest.write() {
+                        Ok(path) => eprintln!("   skipped: {}", path.display()),
+                        Err(e) => eprintln!("   manifest write failed: {e}"),
+                    }
+                    return true;
+                }
+            }
+        }
     }
-    manifest.wall_time(t.elapsed());
-    match manifest.write() {
-        Ok(path) => eprintln!("   {} ({:.1?})", path.display(), t.elapsed()),
-        Err(e) => eprintln!("   manifest write failed: {e} ({:.1?})", t.elapsed()),
-    }
-    true
 }
 
 fn main() {
     // Counters/spans are always collected in bench runs so manifests are
     // complete; PROX_TRACE=<path> additionally streams a JSONL trace.
     prox_obs::init_from_env();
+    // PROX_FAULT arms the deterministic fault harness for chaos runs.
+    prox_robust::fault::init_from_env();
     prox_obs::set_enabled(true);
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");

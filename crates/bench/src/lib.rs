@@ -31,6 +31,6 @@ pub mod workload;
 
 pub use experiments::Scale;
 pub use manifest::RunManifest;
-pub use runner::{run, Algo};
+pub use runner::{clear_experiment_deadline, run, set_experiment_deadline, Algo};
 pub use series::{Figure, Series};
 pub use workload::Workload;

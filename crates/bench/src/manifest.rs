@@ -28,6 +28,9 @@ pub struct RunManifest {
     datasets: Vec<Json>,
     config: Json,
     wall_time_ms: Option<u64>,
+    status: Option<String>,
+    attempts: Option<u32>,
+    timeout_ms: Option<u64>,
 }
 
 impl RunManifest {
@@ -43,6 +46,9 @@ impl RunManifest {
             datasets: Vec::new(),
             config: config_json(&SummarizeConfig::default()),
             wall_time_ms: None,
+            status: None,
+            attempts: None,
+            timeout_ms: None,
         }
     }
 
@@ -64,6 +70,18 @@ impl RunManifest {
     /// Record the experiment's wall-clock time.
     pub fn wall_time(&mut self, elapsed: Duration) {
         self.wall_time_ms = Some(elapsed.as_millis() as u64);
+    }
+
+    /// Record how the experiment ended: `status` is `completed` (all runs
+    /// finished normally), `degraded` (runs were cut short by the
+    /// per-experiment timeout or an injected budget), or `skipped` (the
+    /// experiment panicked on every attempt); `attempts` counts executions
+    /// including retries; `timeout_ms` is the per-experiment deadline that
+    /// was in force, if any.
+    pub fn outcome(&mut self, status: &str, attempts: u32, timeout_ms: Option<u64>) {
+        self.status = Some(status.to_owned());
+        self.attempts = Some(attempts);
+        self.timeout_ms = timeout_ms;
     }
 
     /// Assemble the manifest, folding in the current observability
@@ -102,6 +120,15 @@ impl RunManifest {
         if let Some(ms) = self.wall_time_ms {
             manifest.set("wall_time_ms", ms);
         }
+        if let Some(status) = &self.status {
+            manifest.set("status", status.as_str());
+        }
+        if let Some(attempts) = self.attempts {
+            manifest.set("attempts", attempts);
+        }
+        if let Some(ms) = self.timeout_ms {
+            manifest.set("timeout_ms", ms);
+        }
         manifest
             .with("stop_reasons", stop_reasons)
             .with("phases", phases)
@@ -121,6 +148,19 @@ impl RunManifest {
 }
 
 fn config_json(c: &SummarizeConfig) -> Json {
+    // Budget limits are opt-in; only the ones actually set are recorded
+    // (absolute `deadline` instants are process-relative and omitted).
+    let mut budget = Json::obj();
+    if let Some(ms) = c.budget.max_millis {
+        budget.set("max_millis", ms);
+    }
+    if let Some(steps) = c.budget.max_steps {
+        budget.set("max_steps", steps);
+    }
+    if let Some(entries) = c.budget.max_memo_entries {
+        budget.set("max_memo_entries", entries);
+    }
+    budget.set("cancellable", c.budget.cancel.is_some());
     Json::obj()
         .with("w_dist", c.w_dist)
         .with("w_size", c.w_size)
@@ -133,6 +173,7 @@ fn config_json(c: &SummarizeConfig) -> Json {
         .with("tie_break", format!("{:?}", c.tie_break))
         .with("val_func", format!("{:?}", c.val_func))
         .with("skip_group_equivalent", c.skip_group_equivalent)
+        .with("budget", budget)
 }
 
 #[cfg(test)]
@@ -174,6 +215,27 @@ mod tests {
         }
         // The whole manifest round-trips through the serializer.
         assert_eq!(Json::parse(&j.pretty()).unwrap(), j);
+    }
+
+    #[test]
+    fn outcome_and_budget_appear_in_the_manifest() {
+        let mut m = RunManifest::new("9.9-outcome", Scale::quick());
+        m.outcome("degraded", 2, Some(120_000));
+        let mut config = SummarizeConfig::default();
+        config.budget = config.budget.with_deadline_ms(50).with_max_steps(7);
+        m.config(&config);
+        let j = m.to_json();
+        assert_eq!(j.get("status").and_then(Json::as_str), Some("degraded"));
+        assert_eq!(j.get("attempts").and_then(Json::as_u64), Some(2));
+        assert_eq!(j.get("timeout_ms").and_then(Json::as_u64), Some(120_000));
+        let budget = j
+            .get("config")
+            .and_then(|c| c.get("budget"))
+            .expect("budget section");
+        assert_eq!(budget.get("max_millis").and_then(Json::as_u64), Some(50));
+        assert_eq!(budget.get("max_steps").and_then(Json::as_u64), Some(7));
+        assert_eq!(budget.get("max_memo_entries"), None);
+        assert!(budget.get("cancellable").is_some());
     }
 
     #[test]

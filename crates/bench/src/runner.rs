@@ -1,9 +1,12 @@
 //! Running the three algorithms (§6.1) on a workload.
 
+use std::sync::Mutex;
+use std::time::Instant;
+
 use prox_cluster::{random_summarize, replay};
-use prox_core::{StopReason, SummarizeConfig, Summarizer, SummaryResult};
+use prox_core::{History, ProxError, StopReason, SummarizeConfig, Summarizer, SummaryResult};
 use prox_obs::Counter;
-use prox_provenance::Summarizable;
+use prox_provenance::{Mapping, Summarizable};
 
 use crate::workload::Workload;
 
@@ -15,6 +18,12 @@ static STOP_TARGET_DIST: Counter = Counter::new("run/stop/target_dist");
 static STOP_MAX_STEPS: Counter = Counter::new("run/stop/max_steps");
 /// Runs that ran out of constraint-satisfying candidates.
 static STOP_NO_CANDIDATES: Counter = Counter::new("run/stop/no_candidates");
+/// Runs stopped by an execution-budget wall-clock deadline.
+static STOP_DEADLINE: Counter = Counter::new("run/stop/deadline_exceeded");
+/// Runs stopped by a non-deadline budget limit (steps, injected faults).
+static STOP_BUDGET: Counter = Counter::new("run/stop/budget_exhausted");
+/// Runs stopped by a cooperative cancellation flag.
+static STOP_CANCELLED: Counter = Counter::new("run/stop/cancelled");
 
 fn count_stop(reason: StopReason) {
     match reason {
@@ -22,7 +31,36 @@ fn count_stop(reason: StopReason) {
         StopReason::TargetDist => STOP_TARGET_DIST.incr(),
         StopReason::MaxSteps => STOP_MAX_STEPS.incr(),
         StopReason::NoCandidates => STOP_NO_CANDIDATES.incr(),
+        StopReason::DeadlineExceeded => STOP_DEADLINE.incr(),
+        StopReason::BudgetExhausted => STOP_BUDGET.incr(),
+        StopReason::Cancelled => STOP_CANCELLED.incr(),
     }
+}
+
+/// Wall-clock deadline for the experiment currently running, installed by
+/// the experiments binary; [`run`] tightens every config's budget to it so
+/// a stuck workload degrades into a budget stop instead of hanging the
+/// whole suite.
+static EXPERIMENT_DEADLINE: Mutex<Option<Instant>> = Mutex::new(None);
+
+/// Install a per-experiment deadline (see [`EXPERIMENT_DEADLINE`]).
+pub fn set_experiment_deadline(at: Instant) {
+    *EXPERIMENT_DEADLINE
+        .lock()
+        .unwrap_or_else(|e| e.into_inner()) = Some(at);
+}
+
+/// Remove the per-experiment deadline.
+pub fn clear_experiment_deadline() {
+    *EXPERIMENT_DEADLINE
+        .lock()
+        .unwrap_or_else(|e| e.into_inner()) = None;
+}
+
+fn experiment_deadline() -> Option<Instant> {
+    *EXPERIMENT_DEADLINE
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
 }
 
 /// Which algorithm to run.
@@ -62,6 +100,9 @@ pub fn run<E: Summarizable>(
     let mut config = config.clone();
     config.phi = workload.phi.clone();
     config.val_func = workload.val_func;
+    if let Some(at) = experiment_deadline() {
+        config.budget = config.budget.clone().with_deadline_at(at);
+    }
     let res = match algo {
         Algo::ProvApprox => {
             let mut s = Summarizer::new(&mut store, workload.constraints.clone(), config);
@@ -71,7 +112,22 @@ pub fn run<E: Summarizable>(
                     .summarize(&workload.p0, &workload.valuations),
                 None => s.summarize(&workload.p0, &workload.valuations),
             };
-            Some(res.expect("validated config"))
+            match res {
+                Ok(res) => Some(res),
+                // A budget exhausted before the first step still yields a
+                // manifest row: a degenerate zero-step result carrying the
+                // budget stop, so the anytime contract holds end to end.
+                Err(ProxError::Budget(stop)) => Some(SummaryResult {
+                    summary: workload.p0.clone(),
+                    mapping: Mapping::identity(),
+                    history: History::default(),
+                    snapshots: Vec::new(),
+                    initial_size: workload.p0.size(),
+                    final_distance: 0.0,
+                    stop_reason: stop.into(),
+                }),
+                Err(e) => panic!("summarize failed: {e}"),
+            }
         }
         Algo::Clustering => {
             let merges = workload.cluster_merges.as_ref()?;
@@ -180,6 +236,36 @@ mod tests {
             pa.final_distance <= rnd + 1e-9,
             "prov-approx {} vs random {rnd}",
             pa.final_distance
+        );
+    }
+
+    #[test]
+    fn deadline_exhausted_run_degrades_and_reaches_the_manifest() {
+        // The acceptance path end to end: an expired experiment deadline
+        // turns a Prov-Approx run into a zero-step best-so-far result whose
+        // stop reason lands in the `run/stop/*` counters and, from there,
+        // in the manifest's `stop_reasons` section.
+        prox_obs::set_enabled(true);
+        let ws = small_ml();
+        let config = SummarizeConfig::default();
+        set_experiment_deadline(Instant::now());
+        let res = run(&ws[0], Algo::ProvApprox, &config).expect("degenerate result");
+        clear_experiment_deadline();
+        assert_eq!(res.stop_reason, StopReason::DeadlineExceeded);
+        assert!(res.history.is_empty());
+        assert_eq!(res.final_size(), ws[0].initial_size());
+        assert!(prox_obs::counter_value("run/stop/deadline_exceeded").unwrap_or(0) >= 1);
+
+        let m = crate::manifest::RunManifest::new("9.9-deadline", crate::Scale::quick());
+        let j = m.to_json();
+        let stops = j.get("stop_reasons").expect("stop_reasons section");
+        assert!(
+            stops
+                .get("deadline_exceeded")
+                .and_then(prox_obs::Json::as_u64)
+                .unwrap_or(0)
+                >= 1,
+            "deadline stop must appear in the manifest"
         );
     }
 

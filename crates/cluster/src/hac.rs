@@ -8,6 +8,7 @@
 //! maintained with the Lance–Williams update.
 
 use prox_obs::{Counter, SpanTimer};
+use prox_robust::{BudgetSession, BudgetStop, ExecutionBudget};
 
 use crate::linkage::Linkage;
 use crate::matrix::DissimilarityMatrix;
@@ -48,11 +49,25 @@ impl MergeStep {
 pub fn cluster(
     matrix: &DissimilarityMatrix,
     linkage: Linkage,
-    mut allowed: impl FnMut(&[usize], &[usize]) -> bool,
+    allowed: impl FnMut(&[usize], &[usize]) -> bool,
 ) -> Vec<MergeStep> {
+    let mut session = ExecutionBudget::unlimited().start();
+    cluster_with_budget(matrix, linkage, allowed, &mut session).0
+}
+
+/// Budget-aware [`cluster`]: polls the session once per merge iteration and
+/// stops early when the budget trips, returning the merge prefix found so
+/// far plus the stop. A prefix of a HAC dendrogram is itself a valid merge
+/// sequence, so callers replay it unchanged under the anytime contract.
+pub fn cluster_with_budget(
+    matrix: &DissimilarityMatrix,
+    linkage: Linkage,
+    mut allowed: impl FnMut(&[usize], &[usize]) -> bool,
+    session: &mut BudgetSession,
+) -> (Vec<MergeStep>, Option<BudgetStop>) {
     let n = matrix.len();
     if n < 2 {
-        return Vec::new();
+        return (Vec::new(), None);
     }
     let _span = SPAN_LINKAGE.start();
     let mut d = matrix.clone();
@@ -60,6 +75,9 @@ pub fn cluster(
     let mut merges = Vec::new();
 
     loop {
+        if let Err(stop) = session.check() {
+            return (merges, Some(stop));
+        }
         // Find the minimal-dissimilarity allowed pair among active clusters.
         let mut best: Option<(usize, usize, f64)> = None;
         let active: Vec<usize> = (0..n).filter(|&i| members[i].is_some()).collect();
@@ -110,7 +128,7 @@ pub fn cluster(
             dissimilarity: dij,
         });
     }
-    merges
+    (merges, None)
 }
 
 #[cfg(test)]
@@ -158,6 +176,23 @@ mod tests {
             let merges = cluster(&line_matrix(), l, |_, _| true);
             assert_eq!(merges.len(), 3, "{}", l.name());
         }
+    }
+
+    #[test]
+    fn tripped_budget_returns_merge_prefix() {
+        let budget = ExecutionBudget::unlimited().with_deadline_at(std::time::Instant::now());
+        let mut session = budget.start();
+        let (merges, stop) =
+            cluster_with_budget(&line_matrix(), Linkage::Single, |_, _| true, &mut session);
+        assert!(merges.is_empty());
+        assert_eq!(stop, Some(BudgetStop::Deadline));
+
+        // An unlimited session reproduces the plain run.
+        let mut unlimited = ExecutionBudget::unlimited().start();
+        let (merges, stop) =
+            cluster_with_budget(&line_matrix(), Linkage::Single, |_, _| true, &mut unlimited);
+        assert_eq!(merges.len(), 3);
+        assert_eq!(stop, None);
     }
 
     #[test]

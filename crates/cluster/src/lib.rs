@@ -26,7 +26,7 @@ pub use dendrogram::{build as build_dendrogram, Dendrogram};
 pub use features::{
     matrix_of, page_dissimilarity, page_features, user_dissimilarity, user_features, FeatureVector,
 };
-pub use hac::{cluster, MergeStep};
+pub use hac::{cluster, cluster_with_budget, MergeStep};
 pub use linkage::Linkage;
 pub use matrix::DissimilarityMatrix;
 pub use pearson::{pearson, pearson_dissimilarity, SparseVec};

@@ -25,6 +25,8 @@ pub fn random_summarize<E: Summarizable>(
     config: &SummarizeConfig,
     seed: u64,
 ) -> SummaryResult<E> {
+    let mut session = config.budget.start();
+    let valuations = &valuations[..session.memo_cap(valuations.len())];
     let engine = DistanceEngine::new(p0, valuations, config.phi.clone(), config.val_func);
     let no_override: MemberOverride = HashMap::new();
     let mut rng = StdRng::seed_from_u64(seed);
@@ -44,6 +46,12 @@ pub fn random_summarize<E: Summarizable>(
     while current.size() > config.target_size {
         if step >= config.max_steps {
             stop_reason = StopReason::MaxSteps;
+            break;
+        }
+        // Budget exhaustion mid-run keeps the best-so-far summary (anytime
+        // contract) — same semantics as Prov-Approx.
+        if let Err(stop) = session.note_step() {
+            stop_reason = stop.into();
             break;
         }
         let mut timer = StepTimer::start();
@@ -184,6 +192,21 @@ mod tests {
         let res = random_summarize(&p, &mut s, &cfg, None, &vals, &config, 7);
         assert!(res.final_size() <= 4);
         assert_eq!(res.stop_reason, StopReason::TargetSize);
+    }
+
+    #[test]
+    fn budget_step_limit_returns_best_so_far() {
+        let (mut s, p, users, cfg) = setup();
+        let vals = ValuationClass::CancelSingleAnnotation.generate(&s, &users, &[]);
+        let config = SummarizeConfig {
+            max_steps: 100,
+            budget: prox_core::ExecutionBudget::unlimited().with_max_steps(1),
+            ..Default::default()
+        };
+        let res = random_summarize(&p, &mut s, &cfg, None, &vals, &config, 7);
+        assert_eq!(res.history.len(), 1);
+        assert_eq!(res.stop_reason, StopReason::BudgetExhausted);
+        assert!(res.history.check_monotone().is_ok());
     }
 
     #[test]

@@ -72,6 +72,8 @@ pub fn replay<E: Summarizable>(
     valuations: &[Valuation],
     config: &SummarizeConfig,
 ) -> SummaryResult<E> {
+    let mut session = config.budget.start();
+    let valuations = &valuations[..session.memo_cap(valuations.len())];
     let engine = DistanceEngine::new(p0, valuations, config.phi.clone(), config.val_func);
     let no_override = HashMap::new();
     let initial_size = p0.size();
@@ -95,6 +97,12 @@ pub fn replay<E: Summarizable>(
         // subsumed by earlier steps (see `continue` below) are free.
         if history.steps.len() >= config.max_steps {
             stop_reason = StopReason::MaxSteps;
+            break;
+        }
+        // Budget exhaustion keeps the prefix replayed so far (anytime
+        // contract) — same semantics as Prov-Approx.
+        if let Err(stop) = session.note_step() {
+            stop_reason = stop.into();
             break;
         }
         let mut timer = StepTimer::start();
@@ -256,6 +264,30 @@ mod tests {
         assert_eq!(res.history.len(), 0);
         assert_eq!(res.stop_reason, StopReason::TargetDist);
         assert_eq!(res.final_size(), p.size());
+    }
+
+    #[test]
+    fn budget_limits_replayed_merges() {
+        let (mut s, p, users) = setup();
+        let vals = ValuationClass::CancelSingleAnnotation.generate(&s, &users, &[]);
+        let merges = vec![
+            AnnMerge {
+                members: vec![users[0], users[1]],
+                dissimilarity: 0.1,
+            },
+            AnnMerge {
+                members: vec![users[2], users[3]],
+                dissimilarity: 0.2,
+            },
+        ];
+        let config = SummarizeConfig {
+            max_steps: 10,
+            budget: prox_core::ExecutionBudget::unlimited().with_max_steps(1),
+            ..Default::default()
+        };
+        let res = replay(&p, &merges, &mut s, &vals, &config);
+        assert_eq!(res.history.len(), 1);
+        assert_eq!(res.stop_reason, StopReason::BudgetExhausted);
     }
 
     #[test]

@@ -9,6 +9,7 @@
 
 use prox_obs::Counter;
 use prox_provenance::{AnnId, AnnStore, DomainId};
+use prox_robust::{BudgetSession, BudgetStop};
 use prox_taxonomy::{ConceptId, Taxonomy};
 
 use crate::constraints::{concepts_of, shared_attr, ConstraintConfig, MergeRule};
@@ -94,6 +95,21 @@ pub fn enumerate(
     taxonomy: Option<&Taxonomy>,
     k: usize,
 ) -> Vec<Candidate> {
+    enumerate_with(anns, store, constraints, taxonomy, k, None).0
+}
+
+/// Budget-aware [`enumerate`]: polls the session once per outer annotation
+/// and stops early when the budget trips, returning the candidates found
+/// so far plus the stop. Callers treat a partial enumeration as
+/// best-so-far input for the anytime contract.
+pub fn enumerate_with(
+    anns: &[AnnId],
+    store: &AnnStore,
+    constraints: &ConstraintConfig,
+    taxonomy: Option<&Taxonomy>,
+    k: usize,
+    mut budget: Option<&mut BudgetSession>,
+) -> (Vec<Candidate>, Option<BudgetStop>) {
     assert!(k >= 2);
     let mergeable: Vec<AnnId> = anns
         .iter()
@@ -101,8 +117,15 @@ pub fn enumerate(
         .filter(|&a| constraints.rule(store.get(a).domain).is_some())
         .collect();
     let mut rejected = 0u64;
+    let mut stopped = None;
     let mut out = Vec::new();
-    for (i, &a) in mergeable.iter().enumerate() {
+    'outer: for (i, &a) in mergeable.iter().enumerate() {
+        if let Some(session) = budget.as_deref_mut() {
+            if let Err(stop) = session.check() {
+                stopped = Some(stop);
+                break 'outer;
+            }
+        }
         for &b in &mergeable[i + 1..] {
             if !constraints.pair_ok(a, b, store, taxonomy) {
                 rejected += 1;
@@ -139,7 +162,7 @@ pub fn enumerate(
     }
     CANDIDATES_ENUMERATED.add(out.len() as u64);
     CANDIDATES_REJECTED.add(rejected);
-    out
+    (out, stopped)
 }
 
 #[cfg(test)]
@@ -220,6 +243,21 @@ mod tests {
             v.sort();
             v
         });
+    }
+
+    #[test]
+    fn tripped_budget_stops_enumeration_early() {
+        use prox_robust::ExecutionBudget;
+        let (s, anns, cfg) = setup();
+        let budget = ExecutionBudget::unlimited().with_deadline_at(std::time::Instant::now());
+        let mut session = budget.start();
+        let (cands, stop) = enumerate_with(&anns, &s, &cfg, None, 2, Some(&mut session));
+        assert!(cands.is_empty());
+        assert_eq!(stop, Some(BudgetStop::Deadline));
+        // Without a session the same call is the plain enumeration.
+        let (cands, stop) = enumerate_with(&anns, &s, &cfg, None, 2, None);
+        assert_eq!(cands.len(), 2);
+        assert_eq!(stop, None);
     }
 
     #[test]

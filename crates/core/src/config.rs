@@ -2,6 +2,7 @@
 //! UI's summarization view, Fig 7.4, plus §3.2/§4.2 parameters).
 
 use prox_provenance::{Phi, PhiMap};
+use prox_robust::{ExecutionBudget, ProxError};
 use serde::{Deserialize, Serialize};
 
 use crate::val_func::ValFuncKind;
@@ -67,6 +68,11 @@ pub struct SummarizeConfig {
     pub record_snapshots: bool,
     /// Skip the initial `GroupEquivalent` phase (ablation).
     pub skip_group_equivalent: bool,
+    /// Execution limits (wall-clock deadline, step ceiling, memo cap,
+    /// cooperative cancel). Unlimited by default. Exhaustion mid-run
+    /// returns the best-so-far summary with a budget `StopReason`;
+    /// exhaustion before any work is a `ProxError::Budget`.
+    pub budget: ExecutionBudget,
 }
 
 impl Default for SummarizeConfig {
@@ -85,6 +91,7 @@ impl Default for SummarizeConfig {
             k: 2,
             record_snapshots: false,
             skip_group_equivalent: false,
+            budget: ExecutionBudget::unlimited(),
         }
     }
 }
@@ -144,28 +151,34 @@ impl SummarizeConfig {
         self
     }
 
+    /// Builder-style execution budget.
+    pub fn with_budget(mut self, budget: ExecutionBudget) -> Self {
+        self.budget = budget;
+        self
+    }
+
     /// Validate invariants (weights sum to 1, k ≥ 2, bounds in range).
-    pub fn validate(&self) -> Result<(), String> {
+    pub fn validate(&self) -> Result<(), ProxError> {
         if (self.w_dist + self.w_size - 1.0).abs() > 1e-9 {
-            return Err(format!(
+            return Err(ProxError::config(format!(
                 "wDist + wSize must equal 1 (got {} + {})",
                 self.w_dist, self.w_size
-            ));
+            )));
         }
         if !(0.0..=1.0).contains(&self.w_dist) {
-            return Err("wDist must lie in [0,1]".into());
+            return Err(ProxError::config("wDist must lie in [0,1]"));
         }
         if self.k < 2 {
-            return Err("k must be at least 2".into());
+            return Err(ProxError::config("k must be at least 2"));
         }
         if !(0.0..=1.0).contains(&self.w_tax) {
-            return Err("wTax must lie in [0,1]".into());
+            return Err(ProxError::config("wTax must lie in [0,1]"));
         }
         if !(0.0..=1.0).contains(&self.target_dist) {
-            return Err("TARGET-DIST must lie in [0,1]".into());
+            return Err(ProxError::config("TARGET-DIST must lie in [0,1]"));
         }
         if self.target_size == 0 {
-            return Err("TARGET-SIZE must be at least 1".into());
+            return Err(ProxError::config("TARGET-SIZE must be at least 1"));
         }
         Ok(())
     }

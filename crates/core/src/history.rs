@@ -8,6 +8,7 @@
 use std::time::Duration;
 
 use prox_provenance::AnnId;
+use prox_robust::BudgetStop;
 
 /// Why the algorithm stopped.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -21,6 +22,25 @@ pub enum StopReason {
     MaxSteps,
     /// No candidate mapping satisfied the constraints.
     NoCandidates,
+    /// The execution budget's wall-clock deadline passed mid-run; the
+    /// best-so-far summary was returned (anytime contract).
+    DeadlineExceeded,
+    /// The execution budget's step ceiling (or a fault-injected budget
+    /// trip) ended the run; the best-so-far summary was returned.
+    BudgetExhausted,
+    /// The cooperative cancel flag was raised; the best-so-far summary
+    /// was returned.
+    Cancelled,
+}
+
+impl From<BudgetStop> for StopReason {
+    fn from(stop: BudgetStop) -> Self {
+        match stop {
+            BudgetStop::Deadline => StopReason::DeadlineExceeded,
+            BudgetStop::Steps | BudgetStop::Injected => StopReason::BudgetExhausted,
+            BudgetStop::Cancelled => StopReason::Cancelled,
+        }
+    }
 }
 
 /// Record of one algorithm step.

@@ -65,13 +65,18 @@ pub mod score;
 pub mod summarize;
 pub mod val_func;
 
-pub use candidates::Candidate;
+pub use candidates::{enumerate_with, Candidate};
 pub use config::{ScoreMode, SummarizeConfig, TieBreak};
+// Re-exported so downstream crates keep a single import surface for the
+// robustness types threaded through the summarization APIs.
 pub use constraints::{ConstraintConfig, MergeRule};
 pub use distance::{DistanceEngine, MemberOverride};
 pub use equivalence::{equivalence_classes, group_equivalent};
 pub use history::{History, StepRecord, StopReason};
 pub use optimal::{greedy_gap, optimal_summary, Objective, OptimalResult};
+pub use prox_robust::{
+    BudgetSession, BudgetStop, CancelFlag, ErrorKind, ExecutionBudget, ProxError,
+};
 pub use sampler::{approx_distance, exact_distance_all, SampleEstimate, SamplerConfig};
 pub use score::CandidateMeasure;
 pub use summarize::{Summarizer, SummaryResult};

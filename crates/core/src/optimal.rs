@@ -10,6 +10,7 @@
 use std::collections::HashSet;
 
 use prox_provenance::{AnnId, AnnStore, Mapping, Summarizable, Valuation};
+use prox_robust::ProxError;
 use prox_taxonomy::Taxonomy;
 
 use crate::config::SummarizeConfig;
@@ -56,7 +57,7 @@ pub fn optimal_summary<E: Summarizable>(
     taxonomy: Option<&Taxonomy>,
     config: &SummarizeConfig,
     objective: Objective,
-) -> Result<OptimalResult<E>, String> {
+) -> Result<OptimalResult<E>, ProxError> {
     config.validate()?;
     let mergeable: Vec<AnnId> = p0
         .annotations()
@@ -64,10 +65,10 @@ pub fn optimal_summary<E: Summarizable>(
         .filter(|&a| constraints.rule(store.get(a).domain).is_some())
         .collect();
     if mergeable.len() > 12 {
-        return Err(format!(
+        return Err(ProxError::unsupported(format!(
             "exhaustive search over {} mergeable annotations is infeasible",
             mergeable.len()
-        ));
+        )));
     }
     let engine = DistanceEngine::new(p0, valuations, config.phi.clone(), config.val_func);
     let initial_size = p0.size().max(1);
@@ -168,7 +169,9 @@ pub fn optimal_summary<E: Summarizable>(
             b.explored = explored;
             Ok(b)
         }
-        None => Err("no feasible summary under the requested bounds".to_owned()),
+        None => Err(ProxError::unsupported(
+            "no feasible summary under the requested bounds",
+        )),
     }
 }
 
@@ -197,7 +200,7 @@ pub fn greedy_gap<E: Summarizable>(
     constraints: &ConstraintConfig,
     taxonomy: Option<&Taxonomy>,
     target_size: usize,
-) -> Result<(f64, f64), String> {
+) -> Result<(f64, f64), ProxError> {
     let config = SummarizeConfig::target_size(target_size);
     let mut greedy_store = store.clone();
     let mut summarizer =

@@ -17,9 +17,10 @@ use std::collections::HashMap;
 
 use prox_obs::{Counter, SpanTimer, StepTimer};
 use prox_provenance::{AnnStore, Mapping, Summarizable, Valuation};
+use prox_robust::{BudgetStop, ProxError};
 use prox_taxonomy::{group_distance, Taxonomy, TaxonomyFold};
 
-use crate::candidates::{enumerate, Candidate};
+use crate::candidates::{enumerate_with, Candidate};
 use crate::config::{SummarizeConfig, TieBreak};
 use crate::constraints::{concepts_of, ConstraintConfig};
 use crate::distance::{DistanceEngine, MemberOverride};
@@ -98,12 +99,28 @@ impl<'a> Summarizer<'a> {
     }
 
     /// Run Algorithm 1 on `p0` with the given valuation class.
+    ///
+    /// Anytime contract: if the configured [`prox_robust::ExecutionBudget`]
+    /// is exhausted *mid-run*, the best-so-far valid summary is returned
+    /// with a budget [`StopReason`] (`DeadlineExceeded`, `BudgetExhausted`,
+    /// or `Cancelled`). Only a budget that is already exhausted before any
+    /// work starts yields `Err(ProxError::Budget)`.
     pub fn summarize<E: Summarizable>(
         &mut self,
         p0: &E,
         valuations: &[Valuation],
-    ) -> Result<SummaryResult<E>, String> {
+    ) -> Result<SummaryResult<E>, ProxError> {
         self.config.validate()?;
+        let mut session = self.config.budget.start();
+        // An already-exhausted budget (deadline in the past, pre-raised
+        // cancel flag) means no work at all: that is an error, not an
+        // empty summary.
+        if let Err(stop) = session.check() {
+            return Err(stop.into());
+        }
+        // The memo cap bounds distance-evaluation memory by truncating the
+        // valuation class (silent degradation, recorded in obs counters).
+        let valuations = &valuations[..session.memo_cap(valuations.len())];
         let _run_span = SPAN_SUMMARIZE.start();
         let initial_size = p0.size();
 
@@ -147,29 +164,48 @@ impl<'a> Summarizer<'a> {
                 break_reason = Some(StopReason::MaxSteps);
                 break;
             }
+            if let Err(stop) = session.note_step() {
+                break_reason = Some(stop.into());
+                break;
+            }
             let mut timer = StepTimer::start();
             let size_before = current.size();
 
             // Lines 3-8: examine candidates, keep the minimal score.
             let anns = current.annotations();
-            let cands = {
+            let (cands, enum_stop) = {
                 let _span = SPAN_ENUMERATE.start();
-                enumerate(
+                enumerate_with(
                     &anns,
                     self.store,
                     &self.constraints,
                     self.taxonomy,
                     self.config.k,
+                    Some(&mut session),
                 )
             };
+            if let Some(stop) = enum_stop {
+                break_reason = Some(stop.into());
+                break;
+            }
             if cands.is_empty() {
                 break_reason = Some(StopReason::NoCandidates);
                 break;
             }
 
+            // Candidate measurement dominates step time, so poll the budget
+            // every few candidates; a mid-measure trip abandons the step
+            // (the best-so-far summary from prior steps stands).
+            let mut measure_stop: Option<BudgetStop> = None;
             let measures = timer.candidates(|| {
                 let mut measures = Vec::with_capacity(cands.len());
-                for cand in &cands {
+                for (ix, cand) in cands.iter().enumerate() {
+                    if ix % 32 == 31 {
+                        if let Err(stop) = session.check() {
+                            measure_stop = Some(stop);
+                            break;
+                        }
+                    }
                     // Evaluate by mapping all members onto the first one and
                     // overriding its base-member set — equivalent to mapping
                     // onto a fresh annotation, without interning per candidate.
@@ -188,6 +224,10 @@ impl<'a> Summarizer<'a> {
                 }
                 measures
             });
+            if let Some(stop) = measure_stop {
+                break_reason = Some(stop.into());
+                break;
+            }
 
             let score_span = SPAN_SCORE.start();
             let mut scores = score_all(
@@ -570,5 +610,75 @@ mod tests {
         };
         let mut summarizer = Summarizer::new(&mut s, constraints, config);
         assert!(summarizer.summarize(&p0, &[]).is_err());
+    }
+
+    #[test]
+    fn expired_deadline_before_any_work_is_an_error() {
+        use prox_robust::ExecutionBudget;
+        let (mut s, p0, users, constraints) = setup();
+        let users_dom = s.domain("users");
+        let vals = ValuationClass::CancelSingleAnnotation.generate(&s, &users, &[users_dom]);
+        let config = SummarizeConfig::default()
+            .with_budget(ExecutionBudget::unlimited().with_deadline_at(std::time::Instant::now()));
+        let mut summarizer = Summarizer::new(&mut s, constraints, config);
+        match summarizer.summarize(&p0, &vals) {
+            Err(ProxError::Budget(BudgetStop::Deadline)) => {}
+            other => panic!("expected upfront budget error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn step_budget_returns_best_so_far() {
+        use prox_robust::ExecutionBudget;
+        let (mut s, p0, users, constraints) = setup();
+        let users_dom = s.domain("users");
+        let vals = ValuationClass::CancelSingleAnnotation.generate(&s, &users, &[users_dom]);
+        let config = SummarizeConfig {
+            w_dist: 1.0,
+            w_size: 0.0,
+            max_steps: 100,
+            ..Default::default()
+        }
+        .with_budget(ExecutionBudget::unlimited().with_max_steps(1));
+        let mut summarizer = Summarizer::new(&mut s, constraints, config);
+        let res = summarizer.summarize(&p0, &vals).unwrap();
+        assert_eq!(res.stop_reason, StopReason::BudgetExhausted);
+        // Exactly one step was allowed; its summary is valid and monotone.
+        assert_eq!(res.history.len(), 1);
+        assert!(res.final_size() < p0.size());
+        assert!(res.history.check_monotone().is_ok());
+    }
+
+    #[test]
+    fn pre_raised_cancel_flag_is_an_upfront_error() {
+        use prox_robust::{CancelFlag, ExecutionBudget};
+        let (mut s, p0, _, constraints) = setup();
+        let flag = CancelFlag::new();
+        flag.cancel();
+        let config =
+            SummarizeConfig::default().with_budget(ExecutionBudget::unlimited().with_cancel(flag));
+        let mut summarizer = Summarizer::new(&mut s, constraints, config);
+        match summarizer.summarize(&p0, &[]) {
+            Err(ProxError::Budget(BudgetStop::Cancelled)) => {}
+            other => panic!("expected cancelled error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn memo_cap_truncates_the_valuation_class() {
+        use prox_robust::ExecutionBudget;
+        let (mut s, p0, users, constraints) = setup();
+        let users_dom = s.domain("users");
+        let vals = ValuationClass::CancelSingleAnnotation.generate(&s, &users, &[users_dom]);
+        assert!(vals.len() > 1);
+        let config = SummarizeConfig {
+            max_steps: 2,
+            ..Default::default()
+        }
+        .with_budget(ExecutionBudget::unlimited().with_memo_cap(1));
+        let mut summarizer = Summarizer::new(&mut s, constraints, config);
+        // Degraded but valid: the run completes on the truncated class.
+        let res = summarizer.summarize(&p0, &vals).unwrap();
+        assert!(res.final_size() <= p0.size());
     }
 }

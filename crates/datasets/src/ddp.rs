@@ -109,7 +109,9 @@ impl Ddp {
             })
             .collect();
 
-        for _ in 0..cfg.executions {
+        // Fault injection: a `truncate` site simulates a partially-recorded
+        // workload by keeping only a prefix of the executions.
+        for _ in 0..prox_robust::fault::truncate_keep(cfg.executions) {
             let n = rng.random_range(2..=cfg.max_transitions);
             let mut transitions = Vec::with_capacity(n);
             for _ in 0..n {

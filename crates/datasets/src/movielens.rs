@@ -150,6 +150,9 @@ impl MovieLens {
                 });
             }
         }
+        // Fault injection: a `truncate` site simulates a partially-read
+        // dataset by dropping a suffix of the generated ratings.
+        ratings.truncate(prox_robust::fault::truncate_keep(ratings.len()));
 
         MovieLens {
             store,

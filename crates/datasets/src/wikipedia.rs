@@ -174,6 +174,9 @@ impl Wikipedia {
                 });
             }
         }
+        // Fault injection: a `truncate` site simulates a partially-read
+        // edit log by dropping a suffix of the generated edits.
+        edits.truncate(prox_robust::fault::truncate_keep(edits.len()));
 
         Wikipedia {
             store,

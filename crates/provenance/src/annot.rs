@@ -27,7 +27,8 @@ impl AnnId {
     /// came from the same store; out-of-range ids panic on first use.
     #[inline]
     pub fn from_index(ix: usize) -> Self {
-        AnnId(u32::try_from(ix).expect("annotation index exceeds u32"))
+        assert!(ix <= u32::MAX as usize, "annotation index exceeds u32");
+        AnnId(ix as u32)
     }
 }
 

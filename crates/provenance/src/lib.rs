@@ -54,6 +54,10 @@
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
+// Library code must surface failures as typed errors, not panics: corrupt
+// or truncated provenance files are expected inputs, not bugs. Tests are
+// exempt — panicking on setup failure is exactly what a test should do.
+#![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod aggexpr;
 pub mod annot;
@@ -88,7 +92,7 @@ pub use mapping::Mapping;
 pub use monoid::{AggKind, AggValue};
 pub use monomial::Monomial;
 pub use parse::{parse_aggexpr, parse_provexpr, ParseError};
-pub use persist::{from_json, to_json, SavedWorkload};
+pub use persist::{from_json, load_workload, save_workload, to_json, SavedWorkload};
 pub use phi::{Phi, PhiMap};
 pub use polynomial::Polynomial;
 pub use provexpr::ProvExpr;

@@ -41,6 +41,15 @@ impl std::fmt::Display for ParseError {
 
 impl std::error::Error for ParseError {}
 
+impl From<ParseError> for prox_robust::ProxError {
+    fn from(e: ParseError) -> Self {
+        prox_robust::ProxError::Parse {
+            message: e.message,
+            offset: e.at,
+        }
+    }
+}
+
 struct Parser<'a> {
     src: &'a str,
     pos: usize,

@@ -7,21 +7,48 @@
 //! JSON entry points and the serde adapter for `AnnId`-keyed maps (JSON
 //! objects require string keys).
 
+use std::path::Path;
+
 use serde::de::DeserializeOwned;
 use serde::Serialize;
+
+use prox_robust::{fault, ProxError};
 
 use crate::ddp::DdpExpr;
 use crate::provexpr::ProvExpr;
 use crate::store::AnnStore;
 
 /// Serialize any persistable value to pretty JSON.
-pub fn to_json<T: Serialize>(value: &T) -> String {
-    serde_json::to_string_pretty(value).expect("provenance types serialize infallibly")
+pub fn to_json<T: Serialize>(value: &T) -> Result<String, ProxError> {
+    serde_json::to_string_pretty(value)
+        .map_err(|e| ProxError::internal(format!("serializing provenance: {e}")))
 }
 
 /// Deserialize a persistable value from JSON.
-pub fn from_json<T: DeserializeOwned>(json: &str) -> Result<T, serde_json::Error> {
-    serde_json::from_str(json)
+pub fn from_json<T: DeserializeOwned>(json: &str) -> Result<T, ProxError> {
+    serde_json::from_str(json).map_err(|e| ProxError::corrupt("provenance json", e.to_string()))
+}
+
+/// Save a workload to a file as pretty JSON.
+pub fn save_workload(path: &Path, workload: &SavedWorkload) -> Result<(), ProxError> {
+    let json = to_json(workload)?;
+    std::fs::write(path, json).map_err(|e| ProxError::io(path.display().to_string(), &e))
+}
+
+/// Load a workload from a file, validating structural invariants.
+///
+/// The raw bytes pass through the fault-injection `corrupt` hook, so a
+/// `PROX_FAULT=corrupt@p:seed` run exercises exactly this path: corruption
+/// must surface as a typed [`ProxError`], never a panic.
+pub fn load_workload(path: &Path) -> Result<SavedWorkload, ProxError> {
+    let mut bytes =
+        std::fs::read(path).map_err(|e| ProxError::io(path.display().to_string(), &e))?;
+    fault::corrupt_bytes(&mut bytes);
+    let json = String::from_utf8(bytes)
+        .map_err(|e| ProxError::corrupt(path.display().to_string(), e.to_string()))?;
+    let workload: SavedWorkload = from_json(&json)?;
+    workload.validate()?;
+    Ok(workload)
 }
 
 /// A saved workload: store + expression together, so annotation ids stay
@@ -54,6 +81,36 @@ impl SavedWorkload {
             provenance: None,
             ddp: Some(ddp),
         }
+    }
+
+    /// Check structural invariants a freshly-deserialized workload must
+    /// satisfy before any algorithm touches it: an expression is present,
+    /// and every annotation id it references resolves in the store.
+    /// Violations are [`ProxError::Corrupt`] — corrupt or truncated files
+    /// fail here instead of panicking deep inside evaluation.
+    pub fn validate(&self) -> Result<(), ProxError> {
+        let referenced = match (&self.provenance, &self.ddp) {
+            (Some(p), _) => p.annotations(),
+            (None, Some(d)) => d.annotations(),
+            (None, None) => {
+                return Err(ProxError::corrupt(
+                    "saved workload",
+                    "neither aggregated nor ddp provenance present",
+                ))
+            }
+        };
+        let n = self.store.len();
+        for ann in referenced {
+            if ann.index() >= n {
+                return Err(ProxError::corrupt(
+                    "saved workload",
+                    format!(
+                        "expression references annotation {ann:?} but the store holds only {n}"
+                    ),
+                ));
+            }
+        }
+        Ok(())
     }
 }
 
@@ -124,7 +181,7 @@ mod tests {
     fn provexpr_roundtrips_with_store() {
         let (s, p) = workload();
         let saved = SavedWorkload::aggregated(s, p.clone());
-        let json = to_json(&saved);
+        let json = to_json(&saved).expect("serializes");
         let loaded: SavedWorkload = from_json(&json).expect("valid json");
         let lp = loaded.provenance.expect("aggregated workload");
         assert_eq!(lp, p);
@@ -152,7 +209,7 @@ mod tests {
             DdpTransition::db(vec![d1], DbCondOp::NonZero),
         ]));
         let saved = SavedWorkload::ddp(s, p.clone());
-        let json = to_json(&saved);
+        let json = to_json(&saved).expect("serializes");
         let loaded: SavedWorkload = from_json(&json).expect("valid json");
         let lp = loaded.ddp.expect("ddp workload");
         assert_eq!(lp, p);
@@ -162,9 +219,46 @@ mod tests {
     #[test]
     fn json_is_human_readable() {
         let (s, p) = workload();
-        let json = to_json(&SavedWorkload::aggregated(s, p));
+        let json = to_json(&SavedWorkload::aggregated(s, p)).expect("serializes");
         assert!(json.contains("\"MatchPoint\""));
         assert!(json.contains("\"Gt\""));
+    }
+
+    #[test]
+    fn validate_rejects_dangling_annotation_ids() {
+        let (s, p) = workload();
+        let mut saved = SavedWorkload::aggregated(s, p);
+        // Drop the store out from under the expression, as a truncated or
+        // hand-edited file would.
+        saved.store = AnnStore::new();
+        assert!(matches!(saved.validate(), Err(ProxError::Corrupt { .. })));
+    }
+
+    #[test]
+    fn validate_rejects_expressionless_workloads() {
+        let empty = SavedWorkload {
+            store: AnnStore::new(),
+            provenance: None,
+            ddp: None,
+        };
+        assert!(matches!(empty.validate(), Err(ProxError::Corrupt { .. })));
+    }
+
+    #[test]
+    fn workload_roundtrips_through_a_file() {
+        let (s, p) = workload();
+        let saved = SavedWorkload::aggregated(s, p);
+        let path = std::env::temp_dir().join(format!(
+            "prox_persist_roundtrip_{}.json",
+            std::process::id()
+        ));
+        save_workload(&path, &saved).expect("writable temp dir");
+        let loaded = load_workload(&path).expect("roundtrip");
+        let _ = std::fs::remove_file(&path);
+        assert_eq!(loaded.provenance, saved.provenance);
+        // Missing files are io errors, not panics.
+        let missing = std::env::temp_dir().join("prox_persist_does_not_exist.json");
+        assert!(matches!(load_workload(&missing), Err(ProxError::Io { .. })));
     }
 
     #[test]

@@ -51,7 +51,8 @@ impl AnnStore {
         if let Some(&id) = self.domain_by_name.get(name) {
             return id;
         }
-        let id = DomainId(u16::try_from(self.domains.len()).expect("too many domains"));
+        assert!(self.domains.len() <= u16::MAX as usize, "too many domains");
+        let id = DomainId(self.domains.len() as u16);
         self.domains.push(name.to_owned());
         self.domain_by_name.insert(name.to_owned(), id);
         id
@@ -62,7 +63,8 @@ impl AnnStore {
         if let Some(&id) = self.attr_by_name.get(name) {
             return id;
         }
-        let id = AttrId(u16::try_from(self.attrs.len()).expect("too many attributes"));
+        assert!(self.attrs.len() <= u16::MAX as usize, "too many attributes");
+        let id = AttrId(self.attrs.len() as u16);
         self.attrs.push(name.to_owned());
         self.attr_by_name.insert(name.to_owned(), id);
         id
@@ -73,7 +75,8 @@ impl AnnStore {
         if let Some(&id) = self.value_by_name.get(name) {
             return id;
         }
-        let id = AttrValueId(u32::try_from(self.values.len()).expect("too many values"));
+        assert!(self.values.len() <= u32::MAX as usize, "too many values");
+        let id = AttrValueId(self.values.len() as u32);
         self.values.push(name.to_owned());
         self.value_by_name.insert(name.to_owned(), id);
         id

@@ -3,7 +3,14 @@
 //!
 //! Usage:
 //!   prox demo                 — scripted walkthrough (non-interactive)
+//!   prox summarize [flags]    — one-shot run with typed exit codes
 //!   prox                      — interactive shell
+//!
+//! One-shot flags: `--wdist <f>`, `--steps <n>`, `--tsize <n>`,
+//! `--tdist <f>`, `--budget-ms <n>`, `--load <workload.json>`. Exit codes
+//! classify failures: 2 = invalid input, 3 = budget exhausted before any
+//! work, 4 = internal error. A budget that trips *mid-run* is not a
+//! failure — the best-so-far summary is printed and the exit code is 0.
 //!
 //! Interactive commands:
 //! ```text
@@ -26,7 +33,11 @@
 //! span trace; either also enables the counters/spans behind `stats`.
 
 use std::io::{self, BufRead, Write};
+use std::path::Path;
 
+use prox_core::{
+    ConstraintConfig, ExecutionBudget, MergeRule, ProxError, SummarizeConfig, Summarizer,
+};
 use prox_datasets::{MovieLens, MovieLensConfig};
 use prox_system::evaluator::{evaluate_both, Assignment};
 use prox_system::render;
@@ -192,6 +203,97 @@ const HELP: &str = "commands: search <s> | genre <g> [year] | all | params | \
 set wdist|steps|tsize|tdist <v> | summarize | expr | groups | back | forward | \
 cancel <names…> | cancelattr a=v | insights | stats | quit";
 
+fn parse_flag<T: std::str::FromStr>(flag: &str, value: &str) -> Result<T, ProxError> {
+    value
+        .parse()
+        .map_err(|_| ProxError::config(format!("invalid value for {flag}: {value:?}")))
+}
+
+/// `prox summarize [flags]`: one run, report on stdout, typed exit code.
+fn one_shot_summarize(args: &[String]) -> Result<String, ProxError> {
+    let mut request = SummarizationRequest::default();
+    let mut load: Option<String> = None;
+    let mut ix = 0;
+    while ix < args.len() {
+        let flag = args[ix].as_str();
+        let value = args
+            .get(ix + 1)
+            .ok_or_else(|| ProxError::config(format!("{flag} requires a value")))?;
+        match flag {
+            "--wdist" => request.w_dist = parse_flag(flag, value)?,
+            "--steps" => request.steps = parse_flag(flag, value)?,
+            "--tsize" => request.target_size = parse_flag(flag, value)?,
+            "--tdist" => request.target_dist = parse_flag(flag, value)?,
+            "--budget-ms" => {
+                let ms: u64 = parse_flag(flag, value)?;
+                request.budget = ExecutionBudget::unlimited().with_deadline_ms(ms);
+            }
+            "--load" => load = Some(value.clone()),
+            other => {
+                return Err(ProxError::config(format!(
+                    "unknown flag {other:?} — see `prox summarize` usage in --help"
+                )))
+            }
+        }
+        ix += 2;
+    }
+
+    let result = match load {
+        Some(path) => {
+            // A saved workload carries its own store; merge within each
+            // domain on any shared attribute.
+            let mut workload = prox_provenance::load_workload(Path::new(&path))?;
+            let p0 = workload.provenance.clone().ok_or_else(|| {
+                ProxError::unsupported("one-shot summarize needs an aggregated-provenance workload")
+            })?;
+            let mut domains = Vec::new();
+            for (_, ann) in workload.store.iter() {
+                if !domains.contains(&ann.domain) {
+                    domains.push(ann.domain);
+                }
+            }
+            let mut constraints = ConstraintConfig::new();
+            for &d in &domains {
+                constraints = constraints.allow(d, MergeRule::SharedAttribute { attrs: vec![] });
+            }
+            let anns = p0.annotations();
+            let valuations = request
+                .valuation_class
+                .generate(&workload.store, &anns, &domains);
+            let config = SummarizeConfig {
+                w_dist: request.w_dist,
+                w_size: 1.0 - request.w_dist,
+                target_dist: request.target_dist,
+                target_size: request.target_size,
+                max_steps: request.steps,
+                val_func: request.val_func,
+                budget: request.budget.clone(),
+                ..Default::default()
+            };
+            let mut summarizer = Summarizer::new(&mut workload.store, constraints, config);
+            summarizer.summarize(&p0, &valuations)?
+        }
+        None => {
+            let mut data = MovieLens::generate(MovieLensConfig {
+                users: 40,
+                movies: 8,
+                ratings_per_user: 2,
+                seed: 2016,
+            });
+            let sel = select(&mut data, &Selection::All, request.aggregation);
+            summarize(&mut data, &sel, request)?.result
+        }
+    };
+    Ok(format!(
+        "steps: {}\nsize: {} -> {}\ndistance: {:.4}\nstop: {:?}",
+        result.history.len(),
+        result.initial_size,
+        result.final_size(),
+        result.final_distance,
+        result.stop_reason,
+    ))
+}
+
 fn demo() {
     let mut app = App::new();
     let script = [
@@ -232,10 +334,25 @@ fn main() {
         }
     }
     prox_obs::init_from_env();
+    prox_robust::fault::init_from_env();
 
     if args.first().map(String::as_str) == Some("demo") {
         demo();
         prox_obs::flush_sink();
+        return;
+    }
+    if args.first().map(String::as_str) == Some("summarize") {
+        match one_shot_summarize(&args[1..]) {
+            Ok(report) => {
+                println!("{report}");
+                prox_obs::flush_sink();
+            }
+            Err(e) => {
+                eprintln!("error: {e}");
+                prox_obs::flush_sink();
+                std::process::exit(e.kind().exit_code());
+            }
+        }
         return;
     }
     println!("PROX — approximated summarization of data provenance");

@@ -46,7 +46,7 @@ pub fn insights(summarized: &Summarized, store: &AnnStore) -> Vec<Insight> {
         }
         out.extend(group_insights(original, group, &members, store));
     }
-    out.sort_by(|a, b| b.gap().partial_cmp(&a.gap()).expect("finite gaps"));
+    out.sort_by(|a, b| b.gap().total_cmp(&a.gap()));
     // Nested merges can produce near-identical statements (a group and its
     // superset with the same shared attributes); keep the strongest.
     let mut seen = std::collections::HashSet::new();

@@ -16,6 +16,9 @@
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
+// Library code must surface failures as typed `ProxError`s, never panic on
+// them; tests keep the terse unwrap/expect style.
+#![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod evaluator;
 pub mod insights;

@@ -5,6 +5,7 @@ use prox_core::{StopReason, SummarizeConfig, Summarizer, SummaryResult, ValFuncK
 use prox_datasets::MovieLens;
 use prox_obs::SpanTimer;
 use prox_provenance::{AggKind, ProvExpr, Valuation, ValuationClass};
+use prox_robust::{ExecutionBudget, ProxError};
 
 use crate::selection::Selected;
 
@@ -29,6 +30,9 @@ pub struct SummarizationRequest {
     pub valuation_class: ValuationClass,
     /// VAL-FUNC.
     pub val_func: ValFuncKind,
+    /// Execution budget (deadline / step cap / cancellation); unlimited by
+    /// default. Mid-run exhaustion keeps the best-so-far summary.
+    pub budget: ExecutionBudget,
 }
 
 impl Default for SummarizationRequest {
@@ -41,6 +45,7 @@ impl Default for SummarizationRequest {
             aggregation: AggKind::Max,
             valuation_class: ValuationClass::CancelSingleAnnotation,
             val_func: ValFuncKind::Euclidean,
+            budget: ExecutionBudget::unlimited(),
         }
     }
 }
@@ -67,11 +72,17 @@ impl Summarized {
 }
 
 /// Run the summarization service on a selection.
+///
+/// Errors are typed: invalid view parameters surface as
+/// [`ProxError::Config`] (an input error), and a budget that is exhausted
+/// before any work as [`ProxError::Budget`]. Mid-run budget exhaustion is
+/// *not* an error — the best-so-far summary is returned with a budget
+/// [`StopReason`].
 pub fn summarize(
     data: &mut MovieLens,
     selected: &Selected,
     request: SummarizationRequest,
-) -> Result<Summarized, String> {
+) -> Result<Summarized, ProxError> {
     let _span = SPAN_SERVICE.start();
     let valuations = data.valuations(request.valuation_class);
     let constraints = data.constraints();
@@ -83,6 +94,7 @@ pub fn summarize(
         max_steps: request.steps,
         val_func: request.val_func,
         record_snapshots: true,
+        budget: request.budget.clone(),
         ..Default::default()
     };
     let mut summarizer = Summarizer::new(&mut data.store, constraints, config);
@@ -141,13 +153,48 @@ mod tests {
     }
 
     #[test]
-    fn invalid_weights_are_rejected() {
+    fn invalid_weights_are_an_input_error() {
         let mut d = MovieLens::generate(MovieLensConfig::default());
         let sel = select(&mut d, &Selection::All, AggKind::Max);
         let req = SummarizationRequest {
             w_dist: 1.5,
             ..Default::default()
         };
-        assert!(summarize(&mut d, &sel, req).is_err());
+        let err = summarize(&mut d, &sel, req).unwrap_err();
+        assert_eq!(err.kind(), prox_robust::ErrorKind::Input);
+        assert_eq!(err.kind().exit_code(), 2);
+    }
+
+    #[test]
+    fn upfront_exhausted_budget_is_a_budget_error() {
+        let mut d = MovieLens::generate(MovieLensConfig::default());
+        let sel = select(&mut d, &Selection::All, AggKind::Max);
+        let req = SummarizationRequest {
+            budget: ExecutionBudget::unlimited().with_deadline_at(std::time::Instant::now()),
+            ..Default::default()
+        };
+        let err = summarize(&mut d, &sel, req).unwrap_err();
+        assert_eq!(err.kind(), prox_robust::ErrorKind::Budget);
+        assert_eq!(err.kind().exit_code(), 3);
+    }
+
+    #[test]
+    fn mid_run_deadline_returns_best_so_far() {
+        let mut d = MovieLens::generate(MovieLensConfig {
+            users: 40,
+            movies: 8,
+            ratings_per_user: 3,
+            seed: 11,
+        });
+        let sel = select(&mut d, &Selection::All, AggKind::Max);
+        let req = SummarizationRequest {
+            steps: usize::MAX,
+            budget: ExecutionBudget::unlimited().with_max_steps(2),
+            ..Default::default()
+        };
+        let out = summarize(&mut d, &sel, req).expect("anytime contract");
+        assert_eq!(out.result.stop_reason, StopReason::BudgetExhausted);
+        assert!(out.result.history.len() <= 2);
+        assert!(out.result.history.check_monotone().is_ok());
     }
 }

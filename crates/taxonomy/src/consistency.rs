@@ -7,8 +7,27 @@
 //! subsumes another live annotation's concept is inconsistent.
 
 use prox_provenance::{AnnId, AnnStore, Valuation};
+use prox_robust::ProxError;
 
 use crate::dag::{ConceptId, Taxonomy};
+
+/// Check a taxonomy is well-formed enough for consistency filtering and
+/// Wu–Palmer relatedness: subclass edges must be acyclic. Returns a
+/// [`ProxError::Taxonomy`] naming the offending cycle otherwise.
+///
+/// The query layer itself stays total on cyclic inputs (visited-set
+/// guards), so this is a *diagnostic* gate callers run on untrusted
+/// taxonomies before summarizing, not a safety requirement.
+pub fn check_taxonomy(taxonomy: &Taxonomy) -> Result<(), ProxError> {
+    if let Some(cycle) = taxonomy.find_cycle() {
+        let names: Vec<&str> = cycle.iter().map(|&c| taxonomy.name(c)).collect();
+        return Err(ProxError::taxonomy(format!(
+            "subclass cycle: {}",
+            names.join(" -> ")
+        )));
+    }
+    Ok(())
+}
 
 /// Is the valuation consistent with the taxonomy over the given annotations?
 ///
@@ -103,6 +122,20 @@ mod tests {
         // Only the leaf (singer) can be cancelled alone.
         assert_eq!(kept.len(), 1);
         assert!(!kept[0].truth(anns[2]));
+    }
+
+    #[test]
+    fn check_taxonomy_accepts_dags_and_names_cycles() {
+        let (_, t, _) = setup();
+        assert!(check_taxonomy(&t).is_ok());
+        let mut bad = Taxonomy::new();
+        bad.subclass("x", "y");
+        bad.subclass("y", "z");
+        let x = bad.by_name("x").unwrap();
+        let z = bad.by_name("z").unwrap();
+        bad.add_edge(z, x);
+        let err = check_taxonomy(&bad).unwrap_err();
+        assert!(err.to_string().contains("cycle"), "{err}");
     }
 
     #[test]

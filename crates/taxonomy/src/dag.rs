@@ -189,6 +189,87 @@ impl Taxonomy {
     pub fn ids(&self) -> impl Iterator<Item = ConceptId> + '_ {
         (0..self.names.len()).map(|i| ConceptId(i as u32))
     }
+
+    /// All `(child, parent)` edges, in deterministic order.
+    pub fn edges(&self) -> Vec<(ConceptId, ConceptId)> {
+        let mut out = Vec::new();
+        for child in self.ids() {
+            for &parent in &self.parents[child.index()] {
+                out.push((child, parent));
+            }
+        }
+        out
+    }
+
+    /// Reverse a `child subClassOf parent` edge so it reads
+    /// `parent subClassOf child`, recomputing depths. Returns whether the
+    /// edge existed. Reversal can create cycles — that is the point: the
+    /// fault-injection harness uses it to manufacture degenerate
+    /// taxonomies, and [`Taxonomy::find_cycle`] detects them.
+    pub fn flip_edge(&mut self, child: ConceptId, parent: ConceptId) -> bool {
+        let Some(pos) = self.parents[child.index()]
+            .iter()
+            .position(|&p| p == parent)
+        else {
+            return false;
+        };
+        self.parents[child.index()].remove(pos);
+        if let Some(cpos) = self.children[parent.index()]
+            .iter()
+            .position(|&c| c == child)
+        {
+            self.children[parent.index()].remove(cpos);
+        }
+        if !self.parents[parent.index()].contains(&child) {
+            self.parents[parent.index()].push(child);
+            self.children[child.index()].push(parent);
+        }
+        self.recompute_depths();
+        true
+    }
+
+    /// Find a cycle among the subclass edges, if one exists, as a list of
+    /// concepts where consecutive entries are child → parent and the last
+    /// links back to the first. `None` for a proper DAG.
+    pub fn find_cycle(&self) -> Option<Vec<ConceptId>> {
+        // Iterative three-color DFS over parent edges.
+        const WHITE: u8 = 0;
+        const GRAY: u8 = 1;
+        const BLACK: u8 = 2;
+        let n = self.names.len();
+        let mut color = vec![WHITE; n];
+        for start in self.ids() {
+            if color[start.index()] != WHITE {
+                continue;
+            }
+            // Stack of (node, next-parent-index); `path` mirrors the gray chain.
+            let mut stack = vec![(start, 0usize)];
+            let mut path = vec![start];
+            color[start.index()] = GRAY;
+            while let Some(&mut (node, ref mut next)) = stack.last_mut() {
+                if let Some(&parent) = self.parents[node.index()].get(*next) {
+                    *next += 1;
+                    match color[parent.index()] {
+                        WHITE => {
+                            color[parent.index()] = GRAY;
+                            stack.push((parent, 0));
+                            path.push(parent);
+                        }
+                        GRAY => {
+                            let at = path.iter().position(|&c| c == parent).unwrap_or(0);
+                            return Some(path[at..].to_vec());
+                        }
+                        _ => {}
+                    }
+                } else {
+                    color[node.index()] = BLACK;
+                    stack.pop();
+                    path.pop();
+                }
+            }
+        }
+        None
+    }
 }
 
 #[cfg(test)]
@@ -271,6 +352,70 @@ mod tests {
         let b = t.concept("b");
         assert!(!t.share_ancestor(a, b));
         assert_eq!(t.lcs(a, b), None);
+    }
+
+    #[test]
+    fn edges_enumerate_every_subclass_fact() {
+        let t = small();
+        let edges = t.edges();
+        assert_eq!(edges.len(), 7);
+        let person = t.by_name("person").unwrap();
+        let entity = t.by_name("entity").unwrap();
+        assert!(edges.contains(&(person, entity)));
+    }
+
+    #[test]
+    fn flip_edge_reverses_and_can_create_cycles() {
+        let mut t = small();
+        assert!(t.find_cycle().is_none());
+        let person = t.by_name("person").unwrap();
+        let entity = t.by_name("entity").unwrap();
+        assert!(t.flip_edge(person, entity));
+        // person → entity became entity → person: still acyclic, new root.
+        assert!(t.find_cycle().is_none());
+        assert_eq!(t.depth(person), 0);
+        // Flipping a deeper edge now closes a loop: entertainer → person
+        // becomes person → entertainer while performer → entertainer → …
+        // still reaches person the other way? Build an explicit cycle
+        // instead: a → b plus flip of b's only path back.
+        let mut c = Taxonomy::new();
+        c.subclass("a", "b");
+        c.subclass("b", "c");
+        let (a, _) = (c.by_name("a").unwrap(), ());
+        let cc = c.by_name("c").unwrap();
+        c.add_edge(cc, a); // c → a closes the cycle a → b → c → a
+        let cycle = c.find_cycle().expect("cycle exists");
+        assert!(cycle.len() >= 2);
+        // Flipping a nonexistent edge is a no-op.
+        assert!(!c.flip_edge(a, cc));
+    }
+
+    #[test]
+    fn cycle_detection_ignores_diamonds() {
+        let mut t = Taxonomy::new();
+        t.subclass("left", "root");
+        t.subclass("right", "root");
+        t.subclass("leaf", "left");
+        t.subclass("leaf", "right");
+        assert!(t.find_cycle().is_none());
+    }
+
+    #[test]
+    fn queries_stay_total_on_cyclic_taxonomies() {
+        let mut t = Taxonomy::new();
+        t.subclass("a", "b");
+        t.subclass("b", "c");
+        let a = t.by_name("a").unwrap();
+        let c = t.by_name("c").unwrap();
+        t.add_edge(c, a);
+        assert!(t.find_cycle().is_some());
+        // Ancestor/LCS/depth queries terminate and stay consistent.
+        assert!(t.is_ancestor(c, a));
+        assert!(t.share_ancestor(a, c));
+        assert!(t.lcs(a, c).is_some());
+        for id in t.ids() {
+            let _ = t.depth(id);
+        }
     }
 
     #[test]

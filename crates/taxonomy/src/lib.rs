@@ -21,7 +21,7 @@ pub mod dag;
 pub mod wordnet;
 pub mod wu_palmer;
 
-pub use consistency::{filter_consistent, is_consistent};
+pub use consistency::{check_taxonomy, filter_consistent, is_consistent};
 pub use dag::{ConceptId, Taxonomy};
 pub use wordnet::{page_leaf_concepts, wordnet_fragment};
 pub use wu_palmer::{distance as wu_palmer_distance, group_distance, similarity, TaxonomyFold};

@@ -44,6 +44,17 @@ pub fn wordnet_fragment() -> Taxonomy {
     t.subclass("wordnet_location", "wordnet_object");
     t.subclass("wordnet_city", "wordnet_location");
     t.subclass("wordnet_country", "wordnet_location");
+    // Fault injection (PROX_FAULT=taxflip@n:seed): reverse n edges so
+    // downstream code faces a degenerate — possibly cyclic — taxonomy.
+    // A no-op unless the harness is active, so the fragment's invariants
+    // (everything under wordnet_entity) hold in normal runs.
+    if prox_robust::fault::enabled() {
+        let edges = t.edges();
+        for ix in prox_robust::fault::taxonomy_flip_edges(edges.len()) {
+            let (child, parent) = edges[ix];
+            t.flip_edge(child, parent);
+        }
+    }
     t
 }
 

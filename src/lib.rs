@@ -16,7 +16,10 @@
 //! * [`workflow`] — the Chapter-2 workflow substrate that *produces*
 //!   provenance (annotated relations, modules, the Fig 2.1 pipeline);
 //! * [`obs`] — the zero-dependency observability layer (span timers,
-//!   counters, JSONL trace sink) instrumenting all of the above.
+//!   counters, JSONL trace sink) instrumenting all of the above;
+//! * [`robust`] — typed errors ([`robust::ProxError`]), execution budgets
+//!   with an anytime best-so-far contract, and the seeded `PROX_FAULT`
+//!   fault-injection harness.
 //!
 //! See the repository README for a walkthrough and `DESIGN.md` for the
 //! system inventory; run `cargo run --example quickstart` for a first
@@ -27,6 +30,7 @@ pub use prox_core as core;
 pub use prox_datasets as datasets;
 pub use prox_obs as obs;
 pub use prox_provenance as provenance;
+pub use prox_robust as robust;
 pub use prox_system as system;
 pub use prox_taxonomy as taxonomy;
 pub use prox_workflow as workflow;

@@ -1,0 +1,207 @@
+//! Adversarial-input tests: degenerate workloads must produce a valid
+//! summary or a typed [`prox::robust::ProxError`] — never a panic, never a
+//! hang. These exercise the robustness contract end to end through the
+//! umbrella crate's public API.
+
+use prox::core::{
+    CancelFlag, ConstraintConfig, ErrorKind, ExecutionBudget, MergeRule, StopReason,
+    SummarizeConfig, Summarizer,
+};
+use prox::datasets::{MovieLens, MovieLensConfig};
+use prox::provenance::{AggKind, AggValue, AnnStore, Polynomial, ProvExpr, Tensor, ValuationClass};
+use prox::taxonomy::{check_taxonomy, Taxonomy};
+
+#[test]
+fn empty_polynomial_summarizes_without_panicking() {
+    let mut store = AnnStore::new();
+    let users = store.domain("users");
+    let constraints =
+        ConstraintConfig::new().allow(users, MergeRule::SharedAttribute { attrs: vec![] });
+    let p0 = ProvExpr::new(AggKind::Max);
+    let mut summarizer = Summarizer::new(&mut store, constraints, SummarizeConfig::default());
+    let res = summarizer
+        .summarize(&p0, &[])
+        .expect("an empty expression is valid input, not an error");
+    assert_eq!(res.final_size(), 0);
+    assert!(res.history.is_empty());
+}
+
+#[test]
+fn single_annotation_workload_is_a_fixed_point() {
+    let mut store = AnnStore::new();
+    let u = store.add_base_with("U1", "users", &[("gender", "F")]);
+    let m = store.add_base_with("M1", "movies", &[]);
+    let users = store.domain("users");
+    let mut p0 = ProvExpr::new(AggKind::Max);
+    p0.push(m, Tensor::new(Polynomial::var(u), AggValue::single(4.0)));
+
+    let valuations = ValuationClass::CancelSingleAnnotation.generate(&store, &[u], &[users]);
+    let constraints =
+        ConstraintConfig::new().allow(users, MergeRule::SharedAttribute { attrs: vec![] });
+    let mut summarizer = Summarizer::new(&mut store, constraints, SummarizeConfig::default());
+    let res = summarizer
+        .summarize(&p0, &valuations)
+        .expect("a single annotation has nothing to merge");
+    assert_eq!(res.final_size(), p0.size());
+    assert!(res.history.is_empty(), "no merge is possible");
+}
+
+#[test]
+fn all_identical_annotations_collapse_without_panicking() {
+    // Five users with identical attributes and identical ratings: every
+    // pair is mergeable at distance zero.
+    let mut store = AnnStore::new();
+    let m = store.add_base_with("M1", "movies", &[]);
+    let mut p0 = ProvExpr::new(AggKind::Max);
+    let mut anns = Vec::new();
+    for i in 0..5 {
+        let u = store.add_base_with(&format!("U{i}"), "users", &[("gender", "F")]);
+        p0.push(m, Tensor::new(Polynomial::var(u), AggValue::single(3.0)));
+        anns.push(u);
+    }
+    let users = store.domain("users");
+    let valuations = ValuationClass::CancelSingleAnnotation.generate(&store, &anns, &[users]);
+    let constraints =
+        ConstraintConfig::new().allow(users, MergeRule::SharedAttribute { attrs: vec![] });
+    let config = SummarizeConfig {
+        max_steps: 20,
+        ..Default::default()
+    };
+    let mut summarizer = Summarizer::new(&mut store, constraints, config);
+    let res = summarizer
+        .summarize(&p0, &valuations)
+        .expect("identical annotations are valid input");
+    assert!(res.final_size() <= p0.size());
+    assert!(res.history.check_monotone().is_ok());
+    assert!(
+        (0.0..=1.0).contains(&res.final_distance),
+        "distance stays normalized: {}",
+        res.final_distance
+    );
+}
+
+#[test]
+fn cyclic_taxonomy_is_a_typed_input_error() {
+    let mut t = Taxonomy::new();
+    t.subclass("a", "b");
+    t.subclass("b", "c");
+    assert!(check_taxonomy(&t).is_ok(), "a chain is consistent");
+    t.subclass("c", "a"); // closes the cycle a → b → c → a
+    let err = check_taxonomy(&t).expect_err("cycle must be reported");
+    assert_eq!(err.kind(), ErrorKind::Input);
+    assert_eq!(err.kind().exit_code(), 2);
+}
+
+#[test]
+fn summarizing_under_a_cyclic_taxonomy_terminates() {
+    // A degenerate taxonomy must not hang or panic the summarizer — the
+    // ancestor walks are visited-set guarded, so queries terminate and the
+    // run either merges or reports no candidates.
+    let mut t = Taxonomy::new();
+    t.subclass("a", "b");
+    t.subclass("b", "a");
+    assert!(check_taxonomy(&t).is_err());
+
+    let mut store = AnnStore::new();
+    let pages = store.domain("pages");
+    let p1 = store.add_base("P1", pages, vec![]);
+    let p2 = store.add_base("P2", pages, vec![]);
+    store.set_concept(p1, t.by_name("a").expect("interned").0);
+    store.set_concept(p2, t.by_name("b").expect("interned").0);
+
+    let mut p0 = ProvExpr::new(AggKind::Sum);
+    p0.push(p1, Tensor::new(Polynomial::var(p1), AggValue::single(1.0)));
+    p0.push(p2, Tensor::new(Polynomial::var(p2), AggValue::single(2.0)));
+    let valuations = ValuationClass::CancelSingleAnnotation.generate(&store, &[p1, p2], &[pages]);
+    let constraints = ConstraintConfig::new().allow(pages, MergeRule::TaxonomyAncestor);
+    let config = SummarizeConfig {
+        max_steps: 4,
+        ..Default::default()
+    };
+    let mut summarizer = Summarizer::new(&mut store, constraints, config).with_taxonomy(&t);
+    let res = summarizer
+        .summarize(&p0, &valuations)
+        .expect("cyclic taxonomy degrades, it does not panic");
+    assert!(res.final_size() <= p0.size());
+}
+
+#[test]
+fn mid_run_deadline_returns_best_so_far() {
+    // A workload far too large to finish in 10ms: the deadline trips
+    // mid-run and the anytime contract returns the best summary reached.
+    let mut data = MovieLens::generate(MovieLensConfig {
+        users: 120,
+        movies: 10,
+        ratings_per_user: 3,
+        seed: 77,
+    });
+    let p0 = data.provenance(AggKind::Max);
+    let valuations = data.valuations(ValuationClass::CancelSingleAnnotation);
+    let constraints = data.constraints();
+    let config = SummarizeConfig {
+        max_steps: usize::MAX,
+        budget: ExecutionBudget::unlimited().with_deadline_ms(10),
+        ..Default::default()
+    };
+    let mut summarizer = Summarizer::new(&mut data.store, constraints, config);
+    let res = summarizer
+        .summarize(&p0, &valuations)
+        .expect("mid-run deadline exhaustion is not an error");
+    assert_eq!(res.stop_reason, StopReason::DeadlineExceeded);
+    assert!(res.final_size() <= p0.size());
+    assert!(res.history.check_monotone().is_ok());
+}
+
+#[test]
+fn cancellation_from_another_thread_stops_the_run() {
+    let flag = CancelFlag::new();
+    let watcher = flag.clone();
+    let canceller = std::thread::spawn(move || {
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        watcher.cancel();
+    });
+
+    let mut data = MovieLens::generate(MovieLensConfig {
+        users: 120,
+        movies: 10,
+        ratings_per_user: 3,
+        seed: 78,
+    });
+    let p0 = data.provenance(AggKind::Max);
+    let valuations = data.valuations(ValuationClass::CancelSingleAnnotation);
+    let constraints = data.constraints();
+    let config = SummarizeConfig {
+        max_steps: usize::MAX,
+        budget: ExecutionBudget::unlimited().with_cancel(flag),
+        ..Default::default()
+    };
+    let mut summarizer = Summarizer::new(&mut data.store, constraints, config);
+    // The flag is normally raised mid-run (best-so-far result); under
+    // pathological scheduling it can already be up at the first check
+    // (typed budget error). Both are fine — panicking is not.
+    match summarizer.summarize(&p0, &valuations) {
+        Ok(res) => {
+            assert_eq!(res.stop_reason, StopReason::Cancelled);
+            assert!(res.final_size() <= p0.size());
+        }
+        Err(e) => assert_eq!(e.kind(), ErrorKind::Budget),
+    }
+    canceller.join().expect("canceller thread exits");
+}
+
+#[test]
+fn pre_raised_cancel_is_a_budget_error_through_the_service() {
+    use prox::system::{select, summarize, Selection, SummarizationRequest};
+
+    let mut data = MovieLens::generate(MovieLensConfig::default());
+    let sel = select(&mut data, &Selection::All, AggKind::Max);
+    let flag = CancelFlag::new();
+    flag.cancel();
+    let request = SummarizationRequest {
+        budget: ExecutionBudget::unlimited().with_cancel(flag),
+        ..Default::default()
+    };
+    let err = summarize(&mut data, &sel, request).expect_err("cancelled before any work");
+    assert_eq!(err.kind(), ErrorKind::Budget);
+    assert_eq!(err.kind().exit_code(), 3);
+}

@@ -108,7 +108,7 @@ fn workflow_output_summarizes_end_to_end() {
 #[test]
 fn workflow_provenance_roundtrips_through_json() {
     let (store, guarded) = run_workflow();
-    let json = to_json(&SavedWorkload::aggregated(store, guarded.clone()));
+    let json = to_json(&SavedWorkload::aggregated(store, guarded.clone())).expect("serializes");
     let loaded: SavedWorkload = from_json(&json).expect("valid json");
     let lp = loaded.provenance.expect("aggregated");
     assert_eq!(lp, guarded);
