@@ -5,9 +5,9 @@
 //! instance counts so integration tests can exercise every experiment in
 //! seconds; the `experiments` binary runs the full versions.
 
-use std::collections::HashMap;
-
-use prox_core::{approx_distance, exact_distance_all, SamplerConfig, ScoreMode, SummarizeConfig};
+use prox_core::{
+    approx_distance, exact_distance_all, MemberOverride, SamplerConfig, ScoreMode, SummarizeConfig,
+};
 use prox_provenance::{AggKind, AnnId, Mapping, ProvExpr, Summarizable, Valuation};
 use prox_system::evaluator::time_valuations;
 use rand::rngs::StdRng;
@@ -514,10 +514,8 @@ pub fn timing_experiment(
             step.push(rec.size_before as f64, rec.step_time.as_micros() as f64);
         }
         // Sort by size ascending for readability.
-        cand.points
-            .sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite"));
-        step.points
-            .sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite"));
+        cand.points.sort_by(|a, b| a.0.total_cmp(&b.0));
+        step.points.sort_by(|a, b| a.0.total_cmp(&b.0));
         cand_fig.push(cand);
         step_fig.push(step);
     }
@@ -641,7 +639,7 @@ pub fn sampler_accuracy_experiment(scale: Scale) -> Figure {
             &summary,
             &h,
             &store,
-            &HashMap::new(),
+            &MemberOverride::new(),
             &phi,
             val_func,
             SamplerConfig {

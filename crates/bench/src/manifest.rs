@@ -31,6 +31,7 @@ pub struct RunManifest {
     status: Option<String>,
     attempts: Option<u32>,
     timeout_ms: Option<u64>,
+    deterministic: bool,
 }
 
 impl RunManifest {
@@ -49,7 +50,17 @@ impl RunManifest {
             status: None,
             attempts: None,
             timeout_ms: None,
+            deterministic: deterministic_from_env(),
         }
+    }
+
+    /// Switch deterministic mode on or off explicitly (the default follows
+    /// the `PROX_DETERMINISTIC` environment variable). In deterministic
+    /// mode the manifest omits wall-clock measurements — `wall_time_ms`
+    /// and the per-phase timing statistics (only `count` is kept) — so two
+    /// same-seed runs write byte-identical files (rule L2).
+    pub fn set_deterministic(&mut self, on: bool) {
+        self.deterministic = on;
     }
 
     /// Record the workloads (dataset name + generator seed) the experiment
@@ -100,11 +111,18 @@ impl RunManifest {
             }
         }
         // Per-phase durations: the span histograms minus their buckets.
+        // Deterministic mode keeps only the call counts — durations are
+        // wall-clock and would differ between same-seed runs.
+        let timing_keys: &[&str] = if self.deterministic {
+            &["count"]
+        } else {
+            &["count", "total_ns", "mean_ns", "min_ns", "max_ns"]
+        };
         let mut phases = Json::obj();
         if let Some(entries) = snapshot.get("spans").and_then(Json::entries) {
             for (name, span) in entries {
                 let mut phase = Json::obj();
-                for key in ["count", "total_ns", "mean_ns", "min_ns", "max_ns"] {
+                for key in timing_keys {
                     if let Some(v) = span.get(key) {
                         phase.set(key, v.clone());
                     }
@@ -118,7 +136,9 @@ impl RunManifest {
             .with("config", self.config.clone())
             .with("datasets", Json::Arr(self.datasets.clone()));
         if let Some(ms) = self.wall_time_ms {
-            manifest.set("wall_time_ms", ms);
+            if !self.deterministic {
+                manifest.set("wall_time_ms", ms);
+            }
         }
         if let Some(status) = &self.status {
             manifest.set("status", status.as_str());
@@ -142,9 +162,17 @@ impl RunManifest {
         fs::create_dir_all(&dir)?;
         let stem = self.experiment.replace(['.', '-'], "_");
         let path = dir.join(format!("manifest_{stem}.json"));
-        fs::write(&path, self.to_json().pretty())?;
+        // Sorted keys: the on-disk form never depends on assembly order,
+        // so same-seed runs diff clean byte for byte (rule L2).
+        fs::write(&path, self.to_json().sorted().pretty())?;
         Ok(path)
     }
+}
+
+/// Whether `PROX_DETERMINISTIC` asks for reproducible manifests (any value
+/// except `0` or empty counts as on).
+fn deterministic_from_env() -> bool {
+    std::env::var("PROX_DETERMINISTIC").is_ok_and(|v| !v.is_empty() && v != "0")
 }
 
 fn config_json(c: &SummarizeConfig) -> Json {

@@ -32,8 +32,10 @@ pub fn emit_to(figure: &Figure, dir: &Path) -> std::io::Result<()> {
     println!("{table}");
     let stem = figure.id.replace('.', "_");
     fs::write(dir.join(format!("fig{stem}.txt")), &table)?;
-    let json = serde_json::to_string_pretty(figure).expect("figures serialize");
-    fs::write(dir.join(format!("fig{stem}.json")), json)?;
+    fs::write(
+        dir.join(format!("fig{stem}.json")),
+        figure.to_json().pretty(),
+    )?;
     Ok(())
 }
 

@@ -126,7 +126,12 @@ pub fn run<E: Summarizable>(
                     final_distance: 0.0,
                     stop_reason: stop.into(),
                 }),
-                Err(e) => panic!("summarize failed: {e}"),
+                Err(e) => {
+                    // No-panic contract (L1): report and skip the run; the
+                    // experiment driver records the missing row.
+                    eprintln!("runner: summarize failed: {e}");
+                    None
+                }
             }
         }
         Algo::Clustering => {

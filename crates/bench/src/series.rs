@@ -4,10 +4,10 @@
 //! (one per algorithm/configuration); the harness renders them as aligned
 //! text tables and machine-readable JSON.
 
-use serde::Serialize;
+use prox_obs::Json;
 
 /// One labelled series of `(x, y)` points.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct Series {
     /// Legend label ("Prov-Approx", "Clustering", "Random").
     pub label: String,
@@ -36,10 +36,22 @@ impl Series {
             .find(|(px, _)| (px - x).abs() < 1e-9)
             .map(|&(_, y)| y)
     }
+
+    /// JSON form: `{"label": …, "points": [[x, y], …]}`.
+    pub fn to_json(&self) -> Json {
+        let points: Vec<Json> = self
+            .points
+            .iter()
+            .map(|&(x, y)| Json::Arr(vec![Json::Float(x), Json::Float(y)]))
+            .collect();
+        Json::obj()
+            .with("label", self.label.as_str())
+            .with("points", Json::Arr(points))
+    }
 }
 
 /// A figure: several series over a shared x axis.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct Figure {
     /// Identifier matching the paper ("6.1a").
     pub id: String,
@@ -82,9 +94,21 @@ impl Figure {
             .iter()
             .flat_map(|s| s.points.iter().map(|&(x, _)| x))
             .collect();
-        xs.sort_by(|a, b| a.partial_cmp(b).expect("finite x"));
+        xs.sort_by(|a, b| a.total_cmp(b));
         xs.dedup_by(|a, b| (*a - *b).abs() < 1e-9);
         xs
+    }
+
+    /// JSON form mirroring the struct. Field order is fixed, so the
+    /// rendering is byte-stable for identical figures (rule L2).
+    pub fn to_json(&self) -> Json {
+        let series: Vec<Json> = self.series.iter().map(Series::to_json).collect();
+        Json::obj()
+            .with("id", self.id.as_str())
+            .with("title", self.title.as_str())
+            .with("xlabel", self.xlabel.as_str())
+            .with("ylabel", self.ylabel.as_str())
+            .with("series", Json::Arr(series))
     }
 
     /// Render an aligned text table: one row per x, one column per series.

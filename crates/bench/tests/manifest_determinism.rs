@@ -1,0 +1,48 @@
+//! Same-seed runs must emit byte-identical reports (rule L2).
+//!
+//! Runs a small experiment twice from a clean observability window and
+//! diffs the deterministic-mode manifest and the figure JSON byte for
+//! byte. Wall-clock fields are excluded by deterministic mode; everything
+//! else — counters, stop reasons, datasets, config — must reproduce.
+
+use prox_bench::experiments::wdist_experiment;
+use prox_bench::manifest::RunManifest;
+use prox_bench::{workload, Scale};
+use prox_cluster::Linkage;
+use prox_provenance::{AggKind, ValuationClass};
+
+/// One full experiment pass: reset counters, run, and render both the
+/// manifest (deterministic mode, sorted keys) and the figure JSON.
+fn one_pass() -> (String, String) {
+    prox_obs::set_enabled(true);
+    prox_obs::reset();
+    let ws = workload::movielens(
+        1,
+        ValuationClass::CancelSingleAttribute,
+        AggKind::Max,
+        Linkage::Single,
+    );
+    let scale = Scale::quick();
+    let (fig, _) = wdist_experiment(&ws, scale, 3, "6.1a-det", "6.2a-det", "MovieLens");
+    let mut m = RunManifest::new("6.1a-det", scale);
+    m.set_deterministic(true);
+    m.datasets(&ws);
+    m.wall_time(std::time::Duration::from_millis(1));
+    m.outcome("completed", 1, Some(120_000));
+    (m.to_json().sorted().pretty(), fig.to_json().pretty())
+}
+
+#[test]
+fn same_seed_runs_emit_identical_bytes() {
+    let (manifest_a, figure_a) = one_pass();
+    let (manifest_b, figure_b) = one_pass();
+    assert_eq!(manifest_a, manifest_b, "manifest must be byte-identical");
+    assert_eq!(figure_b, figure_a, "figure JSON must be byte-identical");
+    // Deterministic mode must drop every wall-clock field.
+    assert!(!manifest_a.contains("wall_time_ms"));
+    assert!(!manifest_a.contains("total_ns"));
+    assert!(!manifest_a.contains("mean_ns"));
+    // ... but keep what ran and how it ended.
+    assert!(manifest_a.contains("\"stop_reasons\""));
+    assert!(manifest_a.contains("\"status\": \"completed\""));
+}

@@ -99,16 +99,29 @@ pub fn build(merges: &[MergeStep], n: usize) -> Vec<Dendrogram> {
             m.sort_unstable();
             m
         };
-        let lpos = roots
-            .iter()
-            .position(|r| r.members() == left_members)
-            .expect("merge references an existing cluster");
-        let left = roots.swap_remove(lpos);
-        let rpos = roots
-            .iter()
-            .position(|r| r.members() == right_members)
-            .expect("merge references an existing cluster");
-        let right = roots.swap_remove(rpos);
+        let lpos = roots.iter().position(|r| r.members() == left_members);
+        let rpos = roots.iter().position(|r| r.members() == right_members);
+        let (Some(lpos), Some(rpos)) = (lpos, rpos) else {
+            // A merge naming a cluster we don't have cannot come from our
+            // own HAC output; stop and return the forest built so far.
+            break;
+        };
+        if lpos == rpos {
+            break;
+        }
+        // Remove the higher index first so the lower one stays valid.
+        let (hi, lo) = if lpos > rpos {
+            (lpos, rpos)
+        } else {
+            (rpos, lpos)
+        };
+        let hi_tree = roots.swap_remove(hi);
+        let lo_tree = roots.swap_remove(lo);
+        let (left, right) = if lpos > rpos {
+            (hi_tree, lo_tree)
+        } else {
+            (lo_tree, hi_tree)
+        };
         roots.push(Dendrogram::Node {
             dissimilarity: merge.dissimilarity,
             left: Box::new(left),

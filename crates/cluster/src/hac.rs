@@ -88,10 +88,10 @@ pub fn cluster_with_budget(
             for &j in &active[ai + 1..] {
                 let dij = d.get(i, j);
                 if best.is_none_or(|(_, _, b)| dij < b) {
-                    let (mi, mj) = (
-                        members[i].as_deref().expect("active"),
-                        members[j].as_deref().expect("active"),
-                    );
+                    let (Some(mi), Some(mj)) = (members[i].as_deref(), members[j].as_deref())
+                    else {
+                        continue; // unreachable: `active` filtered on is_some
+                    };
                     if allowed(mi, mj) {
                         best = Some((i, j, dij));
                     } else {
@@ -103,8 +103,12 @@ pub fn cluster_with_budget(
         let Some((i, j, dij)) = best else {
             break;
         };
-        let left = members[i].clone().expect("active");
-        let right = members[j].take().expect("active");
+        let Some(left) = members[i].clone() else {
+            break;
+        };
+        let Some(right) = members[j].take() else {
+            break;
+        };
         let (ni, nj) = (left.len() as f64, right.len() as f64);
 
         // Lance–Williams update: the merged cluster lives at slot `i`.
@@ -112,7 +116,10 @@ pub fn cluster_with_budget(
             if k == i || k == j {
                 continue;
             }
-            let nk = members[k].as_ref().expect("active").len() as f64;
+            let Some(mk) = members[k].as_ref() else {
+                continue; // unreachable: only slot j was taken above
+            };
+            let nk = mk.len() as f64;
             let updated = linkage.update(d.get(k, i), d.get(k, j), dij, ni, nj, nk);
             d.set(k, i, updated);
         }

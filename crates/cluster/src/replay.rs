@@ -44,18 +44,17 @@ pub fn interleave(queues: Vec<Vec<AnnMerge>>) -> Vec<AnnMerge> {
     let mut heads: Vec<Option<AnnMerge>> = cursors.iter_mut().map(|c| c.next()).collect();
     let mut out = Vec::new();
     loop {
-        let mut best: Option<usize> = None;
+        let mut best: Option<(usize, f64)> = None;
         for (ix, head) in heads.iter().enumerate() {
             if let Some(h) = head {
-                if best.is_none_or(|b| {
-                    h.dissimilarity < heads[b].as_ref().expect("best is set").dissimilarity
-                }) {
-                    best = Some(ix);
+                if best.is_none_or(|(_, d)| h.dissimilarity < d) {
+                    best = Some((ix, h.dissimilarity));
                 }
             }
         }
-        let Some(b) = best else { break };
-        out.push(heads[b].take().expect("chosen head exists"));
+        let Some((b, _)) = best else { break };
+        let Some(head) = heads[b].take() else { break };
+        out.push(head);
         heads[b] = cursors[b].next();
     }
     out

@@ -148,9 +148,9 @@ pub fn enumerate_with(
                 }
             }
             let domain = store.get(a).domain;
-            let rule = constraints
-                .rule(domain)
-                .expect("mergeable annotations have a rule");
+            let Some(rule) = constraints.rule(domain) else {
+                continue; // unreachable: mergeable() requires a rule per domain
+            };
             let (name, concept) = name_for(&members, store, taxonomy, rule);
             out.push(Candidate {
                 members,

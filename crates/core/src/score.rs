@@ -62,7 +62,7 @@ pub fn normalized_ranks(values: Vec<f64>) -> Vec<f64> {
         return vec![0.0; n];
     }
     let mut order: Vec<usize> = (0..n).collect();
-    order.sort_by(|&i, &j| values[i].partial_cmp(&values[j]).expect("NaN in scores"));
+    order.sort_by(|&i, &j| values[i].total_cmp(&values[j]));
     let denom = (n - 1) as f64;
     let mut ranks = vec![0.0; n];
     let mut ix = 0;
@@ -84,11 +84,7 @@ pub fn normalized_ranks(values: Vec<f64>) -> Vec<f64> {
 /// Indices of all minimal entries (within `eps`) — the tie set handed to
 /// the taxonomy tie-breaker.
 pub fn minimal_indices(scores: &[f64], eps: f64) -> Vec<usize> {
-    let Some(min) = scores
-        .iter()
-        .copied()
-        .min_by(|a, b| a.partial_cmp(b).expect("NaN in scores"))
-    else {
+    let Some(min) = scores.iter().copied().min_by(|a, b| a.total_cmp(b)) else {
         return Vec::new();
     };
     scores

@@ -92,7 +92,7 @@ impl MovieLens {
                 format!("{title}{}", ix / names::MOVIE_TITLES.len() + 2)
             };
             let year: i32 = 1990 + rng.random_range(0..14);
-            let genre = *names::GENRES.choose(&mut rng).expect("nonempty");
+            let genre = *names::GENRES.choose(&mut rng).unwrap_or(&names::GENRES[0]);
             let m = store.add_base_with(
                 &title,
                 "movies",
@@ -108,9 +108,15 @@ impl MovieLens {
         let mut user_bias = Vec::with_capacity(cfg.users);
         for ix in 0..cfg.users {
             let gender = if rng.random_bool(0.5) { "M" } else { "F" };
-            let age = *names::AGE_RANGES.choose(&mut rng).expect("nonempty");
-            let occupation = *names::OCCUPATIONS.choose(&mut rng).expect("nonempty");
-            let zip = *names::ZIP_PREFIXES.choose(&mut rng).expect("nonempty");
+            let age = *names::AGE_RANGES
+                .choose(&mut rng)
+                .unwrap_or(&names::AGE_RANGES[0]);
+            let occupation = *names::OCCUPATIONS
+                .choose(&mut rng)
+                .unwrap_or(&names::OCCUPATIONS[0]);
+            let zip = *names::ZIP_PREFIXES
+                .choose(&mut rng)
+                .unwrap_or(&names::ZIP_PREFIXES[0]);
             let u = store.add_base_with(
                 &format!("UID{}", ix + 1),
                 "users",

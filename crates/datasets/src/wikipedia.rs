@@ -116,10 +116,10 @@ impl Wikipedia {
             } else {
                 title
             };
+            let Some(c) = taxonomy.by_name(concept) else {
+                continue; // unreachable: the pool only holds fragment concepts
+            };
             let p = store.add_base_with(title, "pages", &[]);
-            let c = taxonomy
-                .by_name(concept)
-                .expect("page pool concepts exist in the fragment");
             store.set_concept(p, c.0);
             pages.push(p);
         }
@@ -157,7 +157,10 @@ impl Wikipedia {
         let mut edits = Vec::new();
         for &user in &users {
             let level_attr = store.attr("contribution_level");
-            let level = store.value_name(store.get(user).attr(level_attr).expect("set above"));
+            let Some(level_val) = store.get(user).attr(level_attr) else {
+                continue; // unreachable: set when the user was created above
+            };
+            let level = store.value_name(level_val);
             let factor = match level {
                 "Top-Contributor" => 2,
                 "Reviewer" => 1,

@@ -1,0 +1,167 @@
+//! The audited-exception list (`lint.allow` at the workspace root).
+//!
+//! Every entry is one line: `RULE PATH [NEEDLE]`.
+//!
+//! * `RULE` — a rule ID (`L1`..`L5`).
+//! * `PATH` — a workspace-relative file, or a directory prefix ending in
+//!   `/` to cover a subtree.
+//! * `NEEDLE` — the rest of the line; the entry only matches diagnostics
+//!   whose source line contains it. Matching on line *text* instead of
+//!   line *numbers* keeps entries stable across unrelated edits. Omitted
+//!   needle matches any line in the file.
+//!
+//! `#` starts a comment (whole line, or trailing after ` # `). Policy:
+//! every entry carries a justification comment — the allowlist is an audit
+//! trail, not an escape hatch. Entries that stop matching anything are
+//! reported so the list cannot rot.
+
+use crate::Diagnostic;
+use std::fmt;
+
+/// One parsed allowlist entry.
+#[derive(Clone, Debug)]
+pub struct AllowEntry {
+    pub rule: String,
+    pub path: String,
+    pub needle: String,
+    /// 1-based line in the allowlist file (for unused-entry reports).
+    pub line: u32,
+}
+
+/// The parsed allowlist.
+#[derive(Clone, Debug, Default)]
+pub struct Allowlist {
+    pub entries: Vec<AllowEntry>,
+}
+
+/// A malformed allowlist line.
+#[derive(Debug)]
+pub struct AllowParseError {
+    pub line: u32,
+    pub reason: String,
+}
+
+impl fmt::Display for AllowParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lint.allow:{}: {}", self.line, self.reason)
+    }
+}
+
+impl std::error::Error for AllowParseError {}
+
+impl Allowlist {
+    /// Parse the allowlist text.
+    pub fn parse(text: &str) -> Result<Allowlist, AllowParseError> {
+        let mut entries = Vec::new();
+        for (n, raw) in text.lines().enumerate() {
+            let line_no = (n + 1) as u32;
+            // Trailing comments need the ` # ` form so a `#` inside a
+            // needle (rare but possible) survives.
+            let body = match raw.split_once(" # ") {
+                Some((b, _)) => b,
+                None => raw,
+            };
+            let body = body.trim();
+            if body.is_empty() || body.starts_with('#') {
+                continue;
+            }
+            let (rule, rest) = body.split_once(char::is_whitespace).unwrap_or((body, ""));
+            let rest = rest.trim_start();
+            let (path, needle) = rest
+                .split_once(char::is_whitespace)
+                .map(|(p, n)| (p, n.trim()))
+                .unwrap_or((rest, ""));
+            if path.is_empty() {
+                return Err(AllowParseError {
+                    line: line_no,
+                    reason: "expected `RULE PATH [NEEDLE]`".to_string(),
+                });
+            }
+            if !matches!(rule, "L1" | "L2" | "L3" | "L4" | "L5") {
+                return Err(AllowParseError {
+                    line: line_no,
+                    reason: format!("unknown rule ID '{rule}' (expected L1..L5)"),
+                });
+            }
+            entries.push(AllowEntry {
+                rule: rule.to_string(),
+                path: path.to_string(),
+                needle: needle.to_string(),
+                line: line_no,
+            });
+        }
+        Ok(Allowlist { entries })
+    }
+
+    /// Index of the first entry covering this diagnostic, if any.
+    pub fn matches(&self, d: &Diagnostic) -> Option<usize> {
+        self.entries.iter().position(|e| {
+            e.rule == d.rule
+                && (e.path == d.file || (e.path.ends_with('/') && d.file.starts_with(&e.path)))
+                && (e.needle.is_empty() || d.line_text.contains(&e.needle))
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diag(rule: &'static str, file: &str, line_text: &str) -> Diagnostic {
+        Diagnostic {
+            rule,
+            file: file.to_string(),
+            line: 1,
+            line_text: line_text.to_string(),
+            message: String::new(),
+        }
+    }
+
+    #[test]
+    fn entries_match_by_rule_path_and_needle() {
+        let text = "\
+# audited exceptions
+L1 crates/obs/src/json.rs panic!(\"Json::set on non-object\") # documented invariant
+L2 crates/workflow/ # workflow graphs are unordered inputs
+";
+        let allow = Allowlist::parse(text).unwrap();
+        assert_eq!(allow.entries.len(), 2);
+
+        let hit = diag(
+            "L1",
+            "crates/obs/src/json.rs",
+            "other => panic!(\"Json::set on non-object\"),",
+        );
+        assert_eq!(allow.matches(&hit), Some(0));
+
+        let wrong_line = diag("L1", "crates/obs/src/json.rs", "x.unwrap()");
+        assert_eq!(allow.matches(&wrong_line), None);
+
+        let prefixed = diag("L2", "crates/workflow/src/query.rs", "HashMap::new()");
+        assert_eq!(allow.matches(&prefixed), Some(1));
+
+        let wrong_rule = diag("L1", "crates/workflow/src/query.rs", "x.unwrap()");
+        assert_eq!(allow.matches(&wrong_rule), None);
+    }
+
+    #[test]
+    fn needleless_entry_covers_whole_file() {
+        let allow = Allowlist::parse("L4 crates/foo/src/lib.rs\n").unwrap();
+        let d = diag(
+            "L4",
+            "crates/foo/src/lib.rs",
+            "pub fn f() -> Result<(), String>",
+        );
+        assert_eq!(allow.matches(&d), Some(0));
+    }
+
+    #[test]
+    fn malformed_lines_are_typed_errors() {
+        assert!(Allowlist::parse("L1\n").is_err());
+        assert!(Allowlist::parse("L9 crates/foo.rs\n").is_err());
+        assert!(Allowlist::parse("\n# just comments\n")
+            .unwrap()
+            .entries
+            .is_empty());
+    }
+}

@@ -1,0 +1,371 @@
+//! A hand-rolled, comment- and string-aware token scanner for Rust sources.
+//!
+//! The linter's rules operate on token streams, never on raw text, so a
+//! `panic!` inside a comment, a doc example, or a string literal is never
+//! mistaken for a call site. The scanner is deliberately lossy — numbers
+//! keep no value, escapes are not decoded — because the rules only need
+//! identifier spelling, string contents, punctuation shape, and line
+//! numbers.
+
+/// Token classification.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`unwrap`, `while`, `pub`).
+    Ident,
+    /// String literal; `text` holds the raw content without quotes.
+    Str,
+    /// Character or byte literal (`'a'`, `b'\n'`).
+    Char,
+    /// Lifetime (`'a`) or loop label (`'outer`), without the quote.
+    Lifetime,
+    /// Numeric literal, raw text.
+    Num,
+    /// One punctuation character (`.`, `!`, `{`, …).
+    Punct,
+}
+
+/// One token with its 1-based source line.
+#[derive(Clone, Debug)]
+pub struct Tok {
+    /// Classification.
+    pub kind: TokKind,
+    /// Raw text (content only for strings, single char for punctuation).
+    pub text: String,
+    /// 1-based line of the token's first character.
+    pub line: u32,
+}
+
+impl Tok {
+    /// Is this punctuation `c`?
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokKind::Punct && self.text.as_bytes().first() == Some(&(c as u8))
+    }
+
+    /// Is this the identifier/keyword `s`?
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == s
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Tokenize Rust source. Unterminated constructs end quietly at EOF — the
+/// linter reports on what it can see rather than failing the file.
+pub fn lex(src: &str) -> Vec<Tok> {
+    let chars: Vec<char> = src.chars().collect();
+    let len = chars.len();
+    let mut toks = Vec::new();
+    let mut i = 0usize;
+    let mut line = 1u32;
+
+    macro_rules! push {
+        ($kind:expr, $text:expr, $line:expr) => {
+            toks.push(Tok {
+                kind: $kind,
+                text: $text,
+                line: $line,
+            })
+        };
+    }
+
+    while i < len {
+        let c = chars[i];
+        if c == '\n' {
+            line += 1;
+            i += 1;
+            continue;
+        }
+        if c.is_whitespace() {
+            i += 1;
+            continue;
+        }
+        // Line comment (also doc comments).
+        if c == '/' && chars.get(i + 1) == Some(&'/') {
+            while i < len && chars[i] != '\n' {
+                i += 1;
+            }
+            continue;
+        }
+        // Block comment; Rust block comments nest.
+        if c == '/' && chars.get(i + 1) == Some(&'*') {
+            let mut depth = 1usize;
+            i += 2;
+            while i < len && depth > 0 {
+                if chars[i] == '\n' {
+                    line += 1;
+                    i += 1;
+                } else if chars[i] == '/' && chars.get(i + 1) == Some(&'*') {
+                    depth += 1;
+                    i += 2;
+                } else if chars[i] == '*' && chars.get(i + 1) == Some(&'/') {
+                    depth -= 1;
+                    i += 2;
+                } else {
+                    i += 1;
+                }
+            }
+            continue;
+        }
+        // Raw strings (r"", r#""#), byte strings (b"", br#""#), byte chars
+        // (b'x'), and raw identifiers (r#type).
+        if c == 'r' || c == 'b' {
+            let mut j = i + 1;
+            if c == 'b' && chars.get(j) == Some(&'r') {
+                j += 1;
+            }
+            let mut hashes = 0usize;
+            while chars.get(j) == Some(&'#') {
+                hashes += 1;
+                j += 1;
+            }
+            if chars.get(j) == Some(&'"')
+                && (hashes > 0 || c == 'b' || chars.get(i + 1) == Some(&'"'))
+            {
+                // Raw or byte string: scan to closing quote + hashes.
+                let start_line = line;
+                let raw = hashes > 0 || (c == 'r') || (c == 'b' && chars.get(i + 1) == Some(&'r'));
+                let mut k = j + 1;
+                let mut content = String::new();
+                while k < len {
+                    if chars[k] == '\n' {
+                        line += 1;
+                    }
+                    if chars[k] == '\\' && !raw {
+                        // Escaped char in a (non-raw) byte string.
+                        content.push(chars[k]);
+                        if k + 1 < len {
+                            content.push(chars[k + 1]);
+                        }
+                        k += 2;
+                        continue;
+                    }
+                    if chars[k] == '"' {
+                        let mut h = 0usize;
+                        while h < hashes && chars.get(k + 1 + h) == Some(&'#') {
+                            h += 1;
+                        }
+                        if h == hashes {
+                            k += 1 + hashes;
+                            break;
+                        }
+                    }
+                    content.push(chars[k]);
+                    k += 1;
+                }
+                push!(TokKind::Str, content, start_line);
+                i = k;
+                continue;
+            }
+            if c == 'b' && chars.get(i + 1) == Some(&'\'') {
+                // Byte char b'x' / b'\n'.
+                let start_line = line;
+                let mut k = i + 2;
+                if chars.get(k) == Some(&'\\') {
+                    k += 2;
+                } else {
+                    k += 1;
+                }
+                if chars.get(k) == Some(&'\'') {
+                    k += 1;
+                }
+                push!(TokKind::Char, String::new(), start_line);
+                i = k;
+                continue;
+            }
+            if hashes > 0 && chars.get(j).copied().is_some_and(is_ident_start) {
+                // Raw identifier r#type.
+                let mut k = j;
+                while k < len && is_ident_continue(chars[k]) {
+                    k += 1;
+                }
+                push!(TokKind::Ident, chars[j..k].iter().collect(), line);
+                i = k;
+                continue;
+            }
+            // Fall through: plain identifier starting with r/b.
+        }
+        if c == '"' {
+            let start_line = line;
+            let mut k = i + 1;
+            let mut content = String::new();
+            while k < len {
+                match chars[k] {
+                    '\\' => {
+                        content.push('\\');
+                        if k + 1 < len {
+                            if chars[k + 1] == '\n' {
+                                line += 1;
+                            }
+                            content.push(chars[k + 1]);
+                        }
+                        k += 2;
+                    }
+                    '"' => {
+                        k += 1;
+                        break;
+                    }
+                    ch => {
+                        if ch == '\n' {
+                            line += 1;
+                        }
+                        content.push(ch);
+                        k += 1;
+                    }
+                }
+            }
+            push!(TokKind::Str, content, start_line);
+            i = k;
+            continue;
+        }
+        if c == '\'' {
+            // Lifetime/label ('a, 'outer) vs char literal ('a', '\n', '(').
+            let next = chars.get(i + 1).copied();
+            let after = chars.get(i + 2).copied();
+            if next.is_some_and(is_ident_start) && after != Some('\'') {
+                let mut k = i + 1;
+                while k < len && is_ident_continue(chars[k]) {
+                    k += 1;
+                }
+                push!(TokKind::Lifetime, chars[i + 1..k].iter().collect(), line);
+                i = k;
+                continue;
+            }
+            let mut k = i + 1;
+            if chars.get(k) == Some(&'\\') {
+                k += 2;
+                // Multi-char escapes like '\u{1f}' run to the closing quote.
+                while k < len && chars[k] != '\'' {
+                    k += 1;
+                }
+            } else if k < len {
+                k += 1;
+            }
+            if chars.get(k) == Some(&'\'') {
+                k += 1;
+            }
+            push!(TokKind::Char, String::new(), line);
+            i = k;
+            continue;
+        }
+        if is_ident_start(c) {
+            let mut k = i;
+            while k < len && is_ident_continue(chars[k]) {
+                k += 1;
+            }
+            push!(TokKind::Ident, chars[i..k].iter().collect(), line);
+            i = k;
+            continue;
+        }
+        if c.is_ascii_digit() {
+            let mut k = i;
+            while k < len
+                && (is_ident_continue(chars[k])
+                    || (chars[k] == '.'
+                        && chars
+                            .get(k + 1)
+                            .copied()
+                            .is_some_and(|d| d.is_ascii_digit())
+                        && !chars.get(k.wrapping_sub(1)).copied().eq(&Some('.'))))
+            {
+                if chars[k] == '.' && chars.get(k + 1) == Some(&'.') {
+                    break;
+                }
+                k += 1;
+            }
+            push!(TokKind::Num, chars[i..k].iter().collect(), line);
+            i = k;
+            continue;
+        }
+        push!(TokKind::Punct, c.to_string(), line);
+        i += 1;
+    }
+    toks
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .into_iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text)
+            .collect()
+    }
+
+    #[test]
+    fn comments_and_strings_hide_tokens() {
+        let src = r##"
+            // x.unwrap() in a line comment
+            /* panic!() in /* a nested */ block */
+            let s = "y.unwrap() in a string";
+            let r = r#"panic!() in a raw string"#;
+            real.unwrap();
+        "##;
+        let ids = idents(src);
+        assert_eq!(
+            ids.iter().filter(|s| s.as_str() == "unwrap").count(),
+            1,
+            "{ids:?}"
+        );
+        assert!(!ids.contains(&"panic".to_owned()));
+    }
+
+    #[test]
+    fn string_contents_are_captured() {
+        let toks = lex(r#"install("corrupt@0.5:1")"#);
+        let s: Vec<&Tok> = toks.iter().filter(|t| t.kind == TokKind::Str).collect();
+        assert_eq!(s.len(), 1);
+        assert_eq!(s[0].text, "corrupt@0.5:1");
+    }
+
+    #[test]
+    fn lifetimes_are_not_chars() {
+        let toks = lex("fn f<'a>(x: &'a str, c: char) { let y = 'z'; }");
+        let lifetimes: Vec<&Tok> = toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Lifetime)
+            .collect();
+        assert_eq!(lifetimes.len(), 2);
+        assert!(toks.iter().any(|t| t.kind == TokKind::Char));
+    }
+
+    #[test]
+    fn loop_labels_lex_as_lifetimes() {
+        let toks = lex("'outer: for x in v { break 'outer; }");
+        assert_eq!(toks[0].kind, TokKind::Lifetime);
+        assert_eq!(toks[0].text, "outer");
+        assert!(toks.iter().any(|t| t.is_ident("for")));
+    }
+
+    #[test]
+    fn line_numbers_track_newlines_everywhere() {
+        let src = "a\n/* c\nc */ b\n\"s\ns\" d";
+        let toks = lex(src);
+        let find = |name: &str| toks.iter().find(|t| t.text == name).map(|t| t.line);
+        assert_eq!(find("a"), Some(1));
+        assert_eq!(find("b"), Some(3));
+        assert_eq!(find("d"), Some(5));
+    }
+
+    #[test]
+    fn raw_identifiers_lex_as_idents() {
+        let toks = lex("let r#type = 1;");
+        assert!(toks.iter().any(|t| t.is_ident("type")));
+    }
+
+    #[test]
+    fn numbers_do_not_swallow_ranges() {
+        let toks = lex("for i in 0..n.unwrap() {}");
+        assert!(toks.iter().any(|t| t.kind == TokKind::Num && t.text == "0"));
+        assert!(toks.iter().any(|t| t.is_ident("unwrap")));
+        assert_eq!(toks.iter().filter(|t| t.is_punct('.')).count(), 3);
+    }
+}

@@ -1,0 +1,376 @@
+//! prox-lint: the workspace invariant linter.
+//!
+//! PROX's claims rest on contracts that rustc cannot check: seeded
+//! determinism of every figure, the anytime best-so-far budget contract,
+//! the typed-error discipline, and the fault-injection registry. This
+//! crate makes those contracts machine-checked properties of the source
+//! tree — a zero-dependency static pass (`cargo run -p prox-lint`) that
+//! lexes every Rust file in the workspace and enforces rules L1–L5 (see
+//! [`rules`]), with audited exceptions in `lint.allow` (see [`allow`]).
+
+pub mod allow;
+pub mod lexer;
+pub mod rules;
+pub mod scope;
+
+use std::fmt;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use allow::{AllowEntry, AllowParseError, Allowlist};
+use rules::FaultRegistry;
+use scope::Scope;
+
+/// One rule violation, anchored to a source line.
+#[derive(Clone, Debug)]
+pub struct Diagnostic {
+    /// Rule ID (`L1`..`L5`).
+    pub rule: &'static str,
+    /// Workspace-relative path (forward slashes).
+    pub file: String,
+    /// 1-based source line.
+    pub line: u32,
+    /// Trimmed text of that line (what allowlist needles match against).
+    pub line_text: String,
+    /// Human explanation.
+    pub message: String,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}\n    | {}",
+            self.file, self.line, self.rule, self.message, self.line_text
+        )
+    }
+}
+
+/// Failures of the linter itself (not of the linted code).
+#[derive(Debug)]
+pub enum LintError {
+    /// Reading a source file or directory failed.
+    Io { path: PathBuf, source: io::Error },
+    /// `lint.allow` is malformed.
+    Allow(AllowParseError),
+}
+
+impl fmt::Display for LintError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LintError::Io { path, source } => write!(f, "{}: {}", path.display(), source),
+            LintError::Allow(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for LintError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            LintError::Io { source, .. } => Some(source),
+            LintError::Allow(e) => Some(e),
+        }
+    }
+}
+
+/// Which files each targeted rule applies to.
+#[derive(Clone, Debug)]
+pub struct LintConfig {
+    /// L3: budget-governed hot modules (every loop must be poll-covered).
+    pub budget_files: Vec<String>,
+    /// L2 (hash-order half): files whose output must be byte-stable.
+    pub det_files: Vec<String>,
+    /// L5: the file whose `"site" =>` match arms define the fault grammar.
+    pub fault_grammar_file: String,
+}
+
+impl Default for LintConfig {
+    fn default() -> Self {
+        let s = |x: &str| x.to_string();
+        LintConfig {
+            budget_files: vec![
+                s("crates/core/src/candidates.rs"),
+                s("crates/core/src/summarize.rs"),
+                s("crates/cluster/src/hac.rs"),
+                s("crates/cluster/src/random.rs"),
+            ],
+            det_files: vec![
+                s("crates/bench/src/report.rs"),
+                s("crates/bench/src/manifest.rs"),
+                s("crates/bench/src/series.rs"),
+                s("crates/bench/src/experiments.rs"),
+                s("crates/bench/src/runner.rs"),
+                s("crates/bench/src/workload.rs"),
+                s("crates/bench/src/bin/experiments.rs"),
+                s("crates/obs/src/json.rs"),
+                s("crates/obs/src/registry.rs"),
+                s("crates/obs/src/sink.rs"),
+                s("crates/system/src/render.rs"),
+                s("crates/system/src/insights.rs"),
+            ],
+            fault_grammar_file: s("crates/robust/src/fault.rs"),
+        }
+    }
+}
+
+/// Accumulates diagnostics across files (L5 needs the whole workspace
+/// before it can report anything).
+pub struct Linter {
+    cfg: LintConfig,
+    registry: FaultRegistry,
+    diags: Vec<Diagnostic>,
+    files_scanned: usize,
+}
+
+impl Linter {
+    pub fn new(cfg: LintConfig) -> Self {
+        Linter {
+            cfg,
+            registry: FaultRegistry::default(),
+            diags: Vec::new(),
+            files_scanned: 0,
+        }
+    }
+
+    /// Lint one Rust source file.
+    pub fn check_source(&mut self, rel: &str, src: &str) {
+        self.files_scanned += 1;
+        let toks = lexer::lex(src);
+        let exempt = scope::test_exempt(&toks);
+        let file_scope = scope::classify(rel);
+
+        self.registry.collect_strings(rel, src, &toks);
+        if rel == self.cfg.fault_grammar_file {
+            self.registry.collect_grammar(src, &toks, &exempt);
+        }
+        if file_scope == Scope::Test {
+            return;
+        }
+        // L2 ambient sources apply to libraries and binaries alike: the
+        // experiments binary writes the manifests.
+        self.diags
+            .extend(rules::l2_ambient(rel, src, &toks, &exempt));
+        if file_scope == Scope::Lib {
+            self.diags
+                .extend(rules::l1_no_panic(rel, src, &toks, &exempt));
+            self.diags
+                .extend(rules::l4_typed_errors(rel, src, &toks, &exempt));
+        }
+        if self.cfg.det_files.iter().any(|f| f == rel) {
+            self.diags
+                .extend(rules::l2_hash_order(rel, src, &toks, &exempt));
+        }
+        if self.cfg.budget_files.iter().any(|f| f == rel) {
+            self.diags
+                .extend(rules::l3_budget(rel, src, &toks, &exempt));
+        }
+    }
+
+    /// Scan a CI workflow file for fault specs (L5).
+    pub fn check_yaml(&mut self, rel: &str, text: &str) {
+        self.files_scanned += 1;
+        self.registry.collect_yaml(rel, text);
+    }
+
+    /// Reconcile L5 and return all diagnostics sorted by location.
+    pub fn finish(mut self) -> (Vec<Diagnostic>, usize) {
+        let grammar_file = self.cfg.fault_grammar_file.clone();
+        self.diags.extend(self.registry.finish(&grammar_file));
+        self.diags
+            .sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
+        (self.diags, self.files_scanned)
+    }
+}
+
+/// The outcome of a workspace lint run.
+pub struct Report {
+    /// Non-allowlisted violations (the build-failing set).
+    pub violations: Vec<Diagnostic>,
+    /// Diagnostics suppressed by `lint.allow`.
+    pub allowed: Vec<Diagnostic>,
+    /// Allowlist entries that matched nothing (stale; reported as notes).
+    pub unused_allow: Vec<AllowEntry>,
+    /// How many files were scanned.
+    pub files_scanned: usize,
+}
+
+/// Lint the workspace rooted at `root`. `allow_path` overrides the
+/// default `<root>/lint.allow`; a missing allowlist file means no
+/// exceptions.
+pub fn run_workspace(root: &Path, allow_path: Option<&Path>) -> Result<Report, LintError> {
+    let default_allow = root.join("lint.allow");
+    let allow_path = allow_path.unwrap_or(&default_allow);
+    let allowlist = match fs::read_to_string(allow_path) {
+        Ok(text) => Allowlist::parse(&text).map_err(LintError::Allow)?,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => Allowlist::default(),
+        Err(e) => {
+            return Err(LintError::Io {
+                path: allow_path.to_path_buf(),
+                source: e,
+            })
+        }
+    };
+
+    let mut linter = Linter::new(LintConfig::default());
+
+    let mut sources = Vec::new();
+    walk_rs(root, &mut sources).map_err(|(path, source)| LintError::Io { path, source })?;
+    sources.sort();
+    for path in &sources {
+        let src = fs::read_to_string(path).map_err(|e| LintError::Io {
+            path: path.clone(),
+            source: e,
+        })?;
+        linter.check_source(&rel_path(root, path), &src);
+    }
+
+    let workflows = root.join(".github").join("workflows");
+    if workflows.is_dir() {
+        let mut ymls = Vec::new();
+        list_dir(&workflows, &mut ymls).map_err(|(path, source)| LintError::Io { path, source })?;
+        ymls.sort();
+        for path in &ymls {
+            let name = path.file_name().map(|n| n.to_string_lossy().into_owned());
+            let is_yaml = name
+                .as_deref()
+                .is_some_and(|n| n.ends_with(".yml") || n.ends_with(".yaml"));
+            if !is_yaml {
+                continue;
+            }
+            let text = fs::read_to_string(path).map_err(|e| LintError::Io {
+                path: path.clone(),
+                source: e,
+            })?;
+            linter.check_yaml(&rel_path(root, path), &text);
+        }
+    }
+
+    let (diags, files_scanned) = linter.finish();
+    let mut violations = Vec::new();
+    let mut allowed = Vec::new();
+    let mut used = vec![false; allowlist.entries.len()];
+    for d in diags {
+        match allowlist.matches(&d) {
+            Some(i) => {
+                used[i] = true;
+                allowed.push(d);
+            }
+            None => violations.push(d),
+        }
+    }
+    let unused_allow = allowlist
+        .entries
+        .into_iter()
+        .zip(used)
+        .filter(|(_, u)| !u)
+        .map(|(e, _)| e)
+        .collect();
+    Ok(Report {
+        violations,
+        allowed,
+        unused_allow,
+        files_scanned,
+    })
+}
+
+fn rel_path(root: &Path, path: &Path) -> String {
+    path.strip_prefix(root)
+        .unwrap_or(path)
+        .components()
+        .map(|c| c.as_os_str().to_string_lossy())
+        .collect::<Vec<_>>()
+        .join("/")
+}
+
+/// Deterministic recursive walk collecting `.rs` files; skips build
+/// output, VCS metadata, and generated reports.
+fn walk_rs(dir: &Path, out: &mut Vec<PathBuf>) -> Result<(), (PathBuf, io::Error)> {
+    let rd = fs::read_dir(dir).map_err(|e| (dir.to_path_buf(), e))?;
+    let mut entries = Vec::new();
+    for e in rd {
+        entries.push(e.map_err(|e| (dir.to_path_buf(), e))?);
+    }
+    entries.sort_by_key(|e| e.file_name());
+    for e in entries {
+        let path = e.path();
+        let name = e.file_name();
+        let name = name.to_string_lossy();
+        let ft = e.file_type().map_err(|err| (path.clone(), err))?;
+        if ft.is_dir() {
+            if matches!(name.as_ref(), "target" | ".git" | ".github" | "reports") {
+                continue;
+            }
+            walk_rs(&path, out)?;
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+fn list_dir(dir: &Path, out: &mut Vec<PathBuf>) -> Result<(), (PathBuf, io::Error)> {
+    let rd = fs::read_dir(dir).map_err(|e| (dir.to_path_buf(), e))?;
+    for e in rd {
+        let e = e.map_err(|e| (dir.to_path_buf(), e))?;
+        out.push(e.path());
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linter_runs_all_rules_per_file() {
+        let mut linter = Linter::new(LintConfig {
+            budget_files: vec!["crates/x/src/hot.rs".to_string()],
+            det_files: vec!["crates/x/src/emit.rs".to_string()],
+            fault_grammar_file: "crates/x/src/fault.rs".to_string(),
+        });
+        linter.check_source("crates/x/src/hot.rs", "pub fn spin() { loop { step(); } }");
+        linter.check_source(
+            "crates/x/src/emit.rs",
+            "use std::collections::HashMap;\npub fn f(x: Option<u8>) -> u8 { x.unwrap() }",
+        );
+        linter.check_source(
+            "crates/x/src/fault.rs",
+            "fn p(s: &str) -> u8 { match s { \"zap\" => 1, _ => 0 } }",
+        );
+        let (diags, files) = linter.finish();
+        assert_eq!(files, 3);
+        let rules: Vec<&str> = diags.iter().map(|d| d.rule).collect();
+        // emit.rs: L1 unwrap + L2 HashMap; hot.rs: L3; fault.rs: L5
+        // ('zap' documented but never exercised).
+        assert!(rules.contains(&"L1"), "{diags:?}");
+        assert!(rules.contains(&"L2"), "{diags:?}");
+        assert!(rules.contains(&"L3"), "{diags:?}");
+        assert!(rules.contains(&"L5"), "{diags:?}");
+    }
+
+    #[test]
+    fn test_files_only_feed_l5() {
+        let mut linter = Linter::new(LintConfig::default());
+        linter.check_source(
+            "crates/x/tests/adversarial.rs",
+            "fn f(x: Option<u8>) -> u8 { x.unwrap() }",
+        );
+        let (diags, _) = linter.finish();
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn diagnostics_render_with_location_and_rule() {
+        let d = Diagnostic {
+            rule: "L1",
+            file: "crates/x/src/lib.rs".to_string(),
+            line: 7,
+            line_text: "x.unwrap();".to_string(),
+            message: "boom".to_string(),
+        };
+        let s = d.to_string();
+        assert!(s.contains("crates/x/src/lib.rs:7: [L1] boom"));
+        assert!(s.contains("x.unwrap();"));
+    }
+}

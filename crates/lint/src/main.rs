@@ -1,0 +1,76 @@
+//! CLI entry point: `cargo run -p prox-lint [-- --root DIR --allow FILE]`.
+//!
+//! Exit codes: 0 = clean, 1 = violations, 2 = the linter itself failed
+//! (IO error, malformed allowlist, bad arguments).
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut root: Option<PathBuf> = None;
+    let mut allow: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => match args.next() {
+                Some(v) => root = Some(PathBuf::from(v)),
+                None => return usage("--root requires a path"),
+            },
+            "--allow" => match args.next() {
+                Some(v) => allow = Some(PathBuf::from(v)),
+                None => return usage("--allow requires a path"),
+            },
+            "--help" | "-h" => {
+                println!(
+                    "prox-lint: enforce the PROX workspace invariants (rules L1-L5)\n\n\
+                     USAGE: prox-lint [--root DIR] [--allow FILE]\n\n\
+                     --root DIR    workspace root (default: this crate's workspace)\n\
+                     --allow FILE  allowlist (default: <root>/lint.allow)"
+                );
+                return ExitCode::SUCCESS;
+            }
+            other => return usage(&format!("unknown argument '{other}'")),
+        }
+    }
+    // When run via `cargo run -p prox-lint`, the manifest dir is
+    // crates/lint; the workspace root is two levels up.
+    let root = root.unwrap_or_else(|| {
+        PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+            .join("..")
+            .join("..")
+    });
+
+    let report = match prox_lint::run_workspace(&root, allow.as_deref()) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("prox-lint: error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    for d in &report.violations {
+        println!("{d}");
+    }
+    for e in &report.unused_allow {
+        eprintln!(
+            "prox-lint: note: lint.allow:{}: entry never matched ({} {}), remove it",
+            e.line, e.rule, e.path
+        );
+    }
+    println!(
+        "prox-lint: {} violation(s), {} allowlisted, {} file(s) scanned",
+        report.violations.len(),
+        report.allowed.len(),
+        report.files_scanned
+    );
+    if report.violations.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    }
+}
+
+fn usage(msg: &str) -> ExitCode {
+    eprintln!("prox-lint: {msg} (see --help)");
+    ExitCode::from(2)
+}

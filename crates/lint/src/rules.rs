@@ -1,0 +1,839 @@
+//! The five PROX invariant rules.
+//!
+//! | rule | contract |
+//! |------|----------|
+//! | L1   | no-panic: `unwrap`/`expect`/`panic!`/`unreachable!` forbidden in library code |
+//! | L2   | determinism: no ambient clocks/randomness; no hash-order iteration in result paths |
+//! | L3   | budget coverage: loops in the designated hot modules poll a `BudgetSession` |
+//! | L4   | typed errors: no `Result<_, String>` / `Box<dyn Error>` in public library APIs |
+//! | L5   | fault-site registry: `PROX_FAULT` specs and the documented grammar stay in sync |
+//!
+//! Every rule works on the lexed token stream (see [`crate::lexer`]), so
+//! comments and string literals can never produce false positives for
+//! L1–L4, and string literals are exactly what L5 inspects.
+
+use crate::lexer::{Tok, TokKind};
+use crate::scope::skip_brace_group;
+use crate::Diagnostic;
+
+/// The trimmed source text of a 1-based line (empty if out of range).
+pub fn line_text(src: &str, line: u32) -> String {
+    src.lines()
+        .nth(line.saturating_sub(1) as usize)
+        .unwrap_or("")
+        .trim()
+        .to_string()
+}
+
+fn diag(rule: &'static str, file: &str, line: u32, src: &str, message: String) -> Diagnostic {
+    Diagnostic {
+        rule,
+        file: file.to_string(),
+        line,
+        line_text: line_text(src, line),
+        message,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// L1 — no-panic
+// ---------------------------------------------------------------------------
+
+/// Flag `.unwrap()`, `.expect(...)`, and the panic-family macros outside
+/// test code. Library code reports failures as `ProxError`; a panic tears
+/// down the anytime best-so-far contract.
+pub fn l1_no_panic(file: &str, src: &str, toks: &[Tok], exempt: &[bool]) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    for (i, t) in toks.iter().enumerate() {
+        if exempt[i] || t.kind != TokKind::Ident {
+            continue;
+        }
+        let prev_dot = i > 0 && toks[i - 1].is_punct('.');
+        let next_paren = toks.get(i + 1).is_some_and(|n| n.is_punct('('));
+        let next_bang = toks.get(i + 1).is_some_and(|n| n.is_punct('!'));
+        match t.text.as_str() {
+            "unwrap" | "expect" if prev_dot && next_paren => out.push(diag(
+                "L1",
+                file,
+                t.line,
+                src,
+                format!(
+                    ".{}() in library code: handle the None/Err (no-panic contract)",
+                    t.text
+                ),
+            )),
+            "panic" | "unreachable" | "todo" | "unimplemented" if next_bang => out.push(diag(
+                "L1",
+                file,
+                t.line,
+                src,
+                format!(
+                    "{}! in library code: return a ProxError instead (no-panic contract)",
+                    t.text
+                ),
+            )),
+            _ => {}
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// L2 — determinism
+// ---------------------------------------------------------------------------
+
+/// Flag ambient time and ambient randomness: `SystemTime::now`,
+/// `thread_rng`/`from_entropy`/`OsRng`, `rand::random`. Every source of
+/// variation must flow from an explicit seed or be confined to
+/// observability metadata. (`Instant` is allowed: span timing never feeds
+/// summary content.)
+pub fn l2_ambient(file: &str, src: &str, toks: &[Tok], exempt: &[bool]) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    for (i, t) in toks.iter().enumerate() {
+        if exempt[i] || t.kind != TokKind::Ident {
+            continue;
+        }
+        let path_call = |name: &str| {
+            toks.get(i + 1).is_some_and(|a| a.is_punct(':'))
+                && toks.get(i + 2).is_some_and(|b| b.is_punct(':'))
+                && toks.get(i + 3).is_some_and(|c| c.is_ident(name))
+        };
+        match t.text.as_str() {
+            "SystemTime" if path_call("now") => out.push(diag(
+                "L2",
+                file,
+                t.line,
+                src,
+                "SystemTime::now(): ambient wall-clock time; results must be \
+                 reproducible from the seed"
+                    .to_string(),
+            )),
+            "thread_rng" | "from_entropy" | "OsRng" | "ThreadRng" => out.push(diag(
+                "L2",
+                file,
+                t.line,
+                src,
+                format!(
+                    "{}: ambient randomness; derive every RNG from an explicit seed",
+                    t.text
+                ),
+            )),
+            "rand" if path_call("random") => out.push(diag(
+                "L2",
+                file,
+                t.line,
+                src,
+                "rand::random(): ambient randomness; derive every RNG from an explicit seed"
+                    .to_string(),
+            )),
+            _ => {}
+        }
+    }
+    out
+}
+
+/// Flag `HashMap`/`HashSet` in files that produce user-visible output
+/// (reports, manifests, rendered summaries): their iteration order is
+/// seeded per-process and leaks into the bytes written.
+pub fn l2_hash_order(file: &str, src: &str, toks: &[Tok], exempt: &[bool]) -> Vec<Diagnostic> {
+    let mut out: Vec<Diagnostic> = Vec::new();
+    for (i, t) in toks.iter().enumerate() {
+        if exempt[i] || t.kind != TokKind::Ident {
+            continue;
+        }
+        if t.text == "HashMap" || t.text == "HashSet" {
+            if out.last().is_some_and(|d| d.line == t.line) {
+                continue; // one diagnostic per line is enough
+            }
+            out.push(diag(
+                "L2",
+                file,
+                t.line,
+                src,
+                format!(
+                    "{} in a result-producing path: iteration order leaks into \
+                     output; use BTreeMap/BTreeSet or sort explicitly",
+                    t.text
+                ),
+            ));
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// L3 — budget coverage
+// ---------------------------------------------------------------------------
+
+struct LoopSite {
+    kw: usize,
+    kind: &'static str,
+    line: u32,
+    /// `(open_brace, past_close_brace)` token range of the body.
+    body: (usize, usize),
+}
+
+/// Find loop constructs in non-exempt code. `for` in `impl Trait for Type`
+/// and higher-ranked `for<'a>` bounds are not loops and are skipped.
+fn find_loops(toks: &[Tok], exempt: &[bool]) -> Vec<LoopSite> {
+    let mut loops = Vec::new();
+    for (i, t) in toks.iter().enumerate() {
+        if exempt[i] || t.kind != TokKind::Ident {
+            continue;
+        }
+        let kind = match t.text.as_str() {
+            "loop" => "loop",
+            "while" => "while",
+            "for" => "for",
+            _ => continue,
+        };
+        if kind == "for" {
+            let prev = i.checked_sub(1).and_then(|p| toks.get(p));
+            if prev.is_some_and(|p| p.kind == TokKind::Ident || p.is_punct('>')) {
+                continue; // `impl Trait for Type`
+            }
+            if toks.get(i + 1).is_some_and(|n| n.is_punct('<')) {
+                continue; // `for<'a> Fn(...)`
+            }
+        }
+        // Body = first `{` at zero paren/bracket depth after the keyword.
+        let mut paren = 0i32;
+        let mut bracket = 0i32;
+        let mut k = i + 1;
+        let mut open = None;
+        while k < toks.len() {
+            let p = &toks[k];
+            if p.kind == TokKind::Punct {
+                match p.text.as_bytes().first() {
+                    Some(b'(') => paren += 1,
+                    Some(b')') => paren -= 1,
+                    Some(b'[') => bracket += 1,
+                    Some(b']') => bracket -= 1,
+                    Some(b'{') if paren == 0 && bracket == 0 => {
+                        open = Some(k);
+                        break;
+                    }
+                    Some(b';') if paren == 0 && bracket == 0 => break,
+                    _ => {}
+                }
+            }
+            k += 1;
+        }
+        let Some(open) = open else { continue };
+        loops.push(LoopSite {
+            kw: i,
+            kind,
+            line: t.line,
+            body: (open, skip_brace_group(toks, open)),
+        });
+    }
+    loops
+}
+
+/// In the designated hot modules, every `loop`/`while` must poll a budget
+/// session (`.check()`, `.note_step()`, or `.memo_cap()`) in its own body,
+/// and every `for` that nests another loop must poll in its own body or be
+/// covered by an enclosing loop that does.
+pub fn l3_budget(file: &str, src: &str, toks: &[Tok], exempt: &[bool]) -> Vec<Diagnostic> {
+    let loops = find_loops(toks, exempt);
+    let polls: Vec<usize> = toks
+        .iter()
+        .enumerate()
+        .filter(|(i, t)| {
+            matches!(t.text.as_str(), "check" | "note_step" | "memo_cap")
+                && t.kind == TokKind::Ident
+                && i.checked_sub(1)
+                    .and_then(|p| toks.get(p))
+                    .is_some_and(|p| p.is_punct('.'))
+        })
+        .map(|(i, _)| i)
+        .collect();
+    // Coverage spans the whole construct from the keyword: a poll in a
+    // `while` condition (`while session.note_step() { ... }`) counts.
+    let polled = |range: (usize, usize)| polls.iter().any(|&p| range.0 < p && p < range.1);
+
+    let mut out = Vec::new();
+    for l in &loops {
+        let own = polled((l.kw, l.body.1));
+        match l.kind {
+            "loop" | "while" => {
+                if !own {
+                    out.push(diag(
+                        "L3",
+                        file,
+                        l.line,
+                        src,
+                        format!(
+                            "{} loop in a budget-governed module never polls the \
+                             BudgetSession (.check()/.note_step()) in its body",
+                            l.kind
+                        ),
+                    ));
+                }
+            }
+            _ => {
+                // `for`: unbounded only when it multiplies another loop.
+                let nests = loops.iter().any(|n| l.body.0 < n.kw && n.kw < l.body.1);
+                if !nests || own {
+                    continue;
+                }
+                let covered = loops
+                    .iter()
+                    .any(|a| a.body.0 < l.kw && l.body.1 <= a.body.1 && polled((a.kw, a.body.1)));
+                if !covered {
+                    out.push(diag(
+                        "L3",
+                        file,
+                        l.line,
+                        src,
+                        "nested for loop in a budget-governed module is not covered \
+                         by any BudgetSession poll (own or enclosing loop body)"
+                            .to_string(),
+                    ));
+                }
+            }
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// L4 — typed errors
+// ---------------------------------------------------------------------------
+
+/// Flag `pub fn` signatures whose error channel is stringly or erased:
+/// `Result<_, String>` or `Box<dyn ... Error ...>`. Public library APIs
+/// carry `ProxError` (or a crate error convertible into it) so exit codes
+/// and retry classification survive the call chain.
+pub fn l4_typed_errors(file: &str, src: &str, toks: &[Tok], exempt: &[bool]) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i < toks.len() {
+        if exempt[i] || !toks[i].is_ident("pub") {
+            i += 1;
+            continue;
+        }
+        let mut j = i + 1;
+        if toks.get(j).is_some_and(|t| t.is_punct('(')) {
+            // pub(crate) / pub(super) / pub(in ...): not public API.
+            i = j;
+            continue;
+        }
+        while toks.get(j).is_some_and(|t| {
+            t.is_ident("async")
+                || t.is_ident("unsafe")
+                || t.is_ident("const")
+                || t.is_ident("extern")
+                || t.kind == TokKind::Str
+        }) {
+            j += 1;
+        }
+        if !toks.get(j).is_some_and(|t| t.is_ident("fn")) {
+            i = j;
+            continue;
+        }
+        let fn_line = toks[j].line;
+        // Signature runs to the body `{` or a trait-decl `;` at zero
+        // paren/bracket depth.
+        let mut paren = 0i32;
+        let mut bracket = 0i32;
+        let mut k = j + 1;
+        let mut end = toks.len();
+        while k < toks.len() {
+            let t = &toks[k];
+            if t.kind == TokKind::Punct {
+                match t.text.as_bytes().first() {
+                    Some(b'(') => paren += 1,
+                    Some(b')') => paren -= 1,
+                    Some(b'[') => bracket += 1,
+                    Some(b']') => bracket -= 1,
+                    Some(b'{') | Some(b';') if paren == 0 && bracket == 0 => {
+                        end = k;
+                        break;
+                    }
+                    _ => {}
+                }
+            }
+            k += 1;
+        }
+        let sig = &toks[j..end];
+        if let Some(found) = banned_error_channel(sig) {
+            out.push(diag("L4", file, fn_line, src, found));
+        }
+        i = end;
+    }
+    out
+}
+
+/// Scan one `fn` signature for a banned error channel; returns the message.
+fn banned_error_channel(sig: &[Tok]) -> Option<String> {
+    // `dyn ... Error` anywhere in the signature (covers Box<dyn Error> in
+    // both return and argument position).
+    for (d, t) in sig.iter().enumerate() {
+        if !t.is_ident("dyn") {
+            continue;
+        }
+        let mut k = d + 1;
+        while sig
+            .get(k)
+            .is_some_and(|t| t.kind == TokKind::Ident || t.is_punct(':') || t.is_punct('+'))
+        {
+            if sig[k].is_ident("Error") {
+                return Some(
+                    "public API uses a type-erased Box<dyn Error>; use ProxError \
+                     (typed-error contract)"
+                        .to_string(),
+                );
+            }
+            k += 1;
+        }
+    }
+    // `Result<_, String>`.
+    for r in 0..sig.len() {
+        if !sig[r].is_ident("Result") || !sig.get(r + 1).is_some_and(|t| t.is_punct('<')) {
+            continue;
+        }
+        let mut depth = 1i32;
+        let mut k = r + 2;
+        let mut arg_start = k;
+        let mut args: Vec<(usize, usize)> = Vec::new();
+        while k < sig.len() && depth > 0 {
+            let t = &sig[k];
+            if t.is_punct('<') {
+                depth += 1;
+            } else if t.is_punct('>') {
+                // A `>` directly after `-` is the `->` arrow, not a closer.
+                if !(k > 0 && sig[k - 1].is_punct('-')) {
+                    depth -= 1;
+                    if depth == 0 {
+                        args.push((arg_start, k));
+                    }
+                }
+            } else if t.is_punct(',') && depth == 1 {
+                args.push((arg_start, k));
+                arg_start = k + 1;
+            }
+            k += 1;
+        }
+        if args.len() < 2 {
+            continue;
+        }
+        let (es, ee) = args[1];
+        let ids: Vec<&str> = sig[es..ee]
+            .iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text.as_str())
+            .collect();
+        let is_string = ids.contains(&"String")
+            && ids
+                .iter()
+                .all(|s| matches!(*s, "String" | "std" | "string"));
+        if is_string {
+            return Some(
+                "public API returns Result<_, String>; use ProxError (typed-error contract)"
+                    .to_string(),
+            );
+        }
+    }
+    None
+}
+
+// ---------------------------------------------------------------------------
+// L5 — fault-site registry
+// ---------------------------------------------------------------------------
+
+/// One string literal that parses as a `PROX_FAULT` spec (shape
+/// `site[@param]:seed[,site[@param]:seed...]`).
+pub struct SpecUse {
+    pub file: String,
+    pub line: u32,
+    pub line_text: String,
+    pub raw: String,
+    pub sites: Vec<String>,
+    pub has_at: bool,
+    pub has_comma: bool,
+}
+
+/// Cross-file state for L5: the grammar (match arms in the fault parser)
+/// on one side, every spec-shaped string in sources and CI workflows on
+/// the other. [`FaultRegistry::finish`] reconciles the two.
+#[derive(Default)]
+pub struct FaultRegistry {
+    grammar: Vec<(String, u32, String)>,
+    candidates: Vec<SpecUse>,
+}
+
+/// Validate one comma-separated clause; returns `(site, has_param)`.
+fn parse_clause(clause: &str) -> Option<(String, bool)> {
+    let (head, seed) = clause.rsplit_once(':')?;
+    if seed.is_empty() || !seed.bytes().all(|b| b.is_ascii_digit()) {
+        return None;
+    }
+    let (site, has_at) = match head.split_once('@') {
+        Some((s, param)) => {
+            param.parse::<f64>().ok()?;
+            (s, true)
+        }
+        None => (head, false),
+    };
+    let mut bytes = site.bytes();
+    let first_ok = bytes
+        .next()
+        .is_some_and(|b| b.is_ascii_lowercase() || b == b'_');
+    if !first_ok
+        || !site
+            .bytes()
+            .all(|b| b.is_ascii_lowercase() || b.is_ascii_digit() || b == b'_')
+    {
+        return None;
+    }
+    Some((site.to_string(), has_at))
+}
+
+/// Parse a whole candidate string into clauses; `None` if any clause is
+/// not spec-shaped.
+fn parse_spec(s: &str) -> Option<(Vec<String>, bool)> {
+    let mut sites = Vec::new();
+    let mut has_at = false;
+    for clause in s.split(',') {
+        let (site, at) = parse_clause(clause.trim())?;
+        has_at = has_at || at;
+        sites.push(site);
+    }
+    if sites.is_empty() {
+        None
+    } else {
+        Some((sites, has_at))
+    }
+}
+
+impl FaultRegistry {
+    /// Extract grammar sites from the fault parser: a string literal
+    /// immediately followed by `=>` in non-test code is a match arm of
+    /// `FaultSite::parse`.
+    pub fn collect_grammar(&mut self, src: &str, toks: &[Tok], exempt: &[bool]) {
+        for (i, t) in toks.iter().enumerate() {
+            if exempt[i] || t.kind != TokKind::Str {
+                continue;
+            }
+            let arm = toks.get(i + 1).is_some_and(|a| a.is_punct('='))
+                && toks.get(i + 2).is_some_and(|b| b.is_punct('>'));
+            if !arm {
+                continue;
+            }
+            let ident_shaped = !t.text.is_empty()
+                && t.text
+                    .bytes()
+                    .all(|b| b.is_ascii_lowercase() || b.is_ascii_digit() || b == b'_');
+            if ident_shaped && !self.grammar.iter().any(|(s, _, _)| *s == t.text) {
+                self.grammar
+                    .push((t.text.clone(), t.line, line_text(src, t.line)));
+            }
+        }
+    }
+
+    /// Record spec-shaped string literals from a Rust source file
+    /// (including tests: a spec in a test must still name a real site).
+    pub fn collect_strings(&mut self, file: &str, src: &str, toks: &[Tok]) {
+        for t in toks {
+            if t.kind != TokKind::Str {
+                continue;
+            }
+            if let Some((sites, has_at)) = parse_spec(&t.text) {
+                self.candidates.push(SpecUse {
+                    file: file.to_string(),
+                    line: t.line,
+                    line_text: line_text(src, t.line),
+                    raw: t.text.clone(),
+                    sites,
+                    has_at,
+                    has_comma: t.text.contains(','),
+                });
+            }
+        }
+    }
+
+    /// Record spec-shaped words from a CI workflow file (the fault
+    /// injection matrix lives there).
+    pub fn collect_yaml(&mut self, file: &str, text: &str) {
+        for (n, line) in text.lines().enumerate() {
+            for word in line.split_whitespace() {
+                let word = word.trim_matches(|c| c == '"' || c == '\'' || c == ',');
+                if word.is_empty() {
+                    continue;
+                }
+                if let Some((sites, has_at)) = parse_spec(word) {
+                    self.candidates.push(SpecUse {
+                        file: file.to_string(),
+                        line: (n + 1) as u32,
+                        line_text: line.trim().to_string(),
+                        raw: word.to_string(),
+                        sites,
+                        has_at,
+                        has_comma: word.contains(','),
+                    });
+                }
+            }
+        }
+    }
+
+    /// Reconcile: every used site must be in the grammar; every grammar
+    /// site must be exercised somewhere.
+    pub fn finish(self, grammar_file: &str) -> Vec<Diagnostic> {
+        let known: Vec<&str> = self.grammar.iter().map(|(s, _, _)| s.as_str()).collect();
+        let mut out = Vec::new();
+        let mut exercised: Vec<&str> = Vec::new();
+        for c in &self.candidates {
+            // A candidate counts as a fault spec when it is unambiguous: a
+            // parameter or a multi-clause list, or it names a known site.
+            let spec_like =
+                c.has_at || c.has_comma || c.sites.iter().any(|s| known.contains(&s.as_str()));
+            if !spec_like {
+                continue;
+            }
+            for site in &c.sites {
+                if known.contains(&site.as_str()) {
+                    if !exercised.contains(&site.as_str()) {
+                        exercised.push(site.as_str());
+                    }
+                } else {
+                    out.push(Diagnostic {
+                        rule: "L5",
+                        file: c.file.clone(),
+                        line: c.line,
+                        line_text: c.line_text.clone(),
+                        message: format!(
+                            "fault spec \"{}\" names unknown site '{}'; documented \
+                             sites: {}",
+                            c.raw,
+                            site,
+                            known.join(", ")
+                        ),
+                    });
+                }
+            }
+        }
+        for (site, line, line_text) in &self.grammar {
+            if !exercised.contains(&site.as_str()) {
+                out.push(Diagnostic {
+                    rule: "L5",
+                    file: grammar_file.to_string(),
+                    line: *line,
+                    line_text: line_text.clone(),
+                    message: format!(
+                        "fault site '{site}' is documented in the grammar but never \
+                         exercised by any PROX_FAULT spec in code or CI"
+                    ),
+                });
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+    use crate::scope::test_exempt;
+
+    fn run(rule: fn(&str, &str, &[Tok], &[bool]) -> Vec<Diagnostic>, src: &str) -> Vec<Diagnostic> {
+        let toks = lex(src);
+        let exempt = test_exempt(&toks);
+        rule("fixture.rs", src, &toks, &exempt)
+    }
+
+    #[test]
+    fn l1_flags_unwrap_expect_and_macros() {
+        let src = r#"
+            pub fn f(x: Option<u32>) -> u32 {
+                let a = x.unwrap();
+                let b = x.expect("present");
+                if a > b { panic!("nope"); }
+                unreachable!()
+            }
+        "#;
+        let d = run(l1_no_panic, src);
+        assert_eq!(d.len(), 4, "{d:?}");
+        assert!(d.iter().all(|d| d.rule == "L1"));
+        assert_eq!(d[0].line, 3);
+        assert!(d[0].line_text.contains("x.unwrap()"));
+    }
+
+    #[test]
+    fn l1_skips_test_code_and_lookalikes() {
+        let src = r#"
+            pub fn f(x: Option<u32>) -> u32 { x.unwrap_or(0) }
+            #[cfg(test)]
+            mod tests {
+                fn g(x: Option<u32>) -> u32 { x.unwrap() }
+            }
+        "#;
+        assert!(run(l1_no_panic, src).is_empty());
+    }
+
+    #[test]
+    fn l2_flags_ambient_time_and_randomness() {
+        let src = r#"
+            fn stamp() -> u64 { SystemTime::now().elapsed() }
+            fn roll() -> u64 { let mut r = thread_rng(); rand::random() }
+            fn fine() { let t = Instant::now(); }
+        "#;
+        let d = run(l2_ambient, src);
+        assert_eq!(d.len(), 3, "{d:?}");
+    }
+
+    #[test]
+    fn l2_flags_hash_iteration_in_det_paths() {
+        let src = r#"
+            use std::collections::HashMap;
+            fn emit(m: &HashMap<String, u32>) {}
+        "#;
+        let d = run(l2_hash_order, src);
+        assert_eq!(d.len(), 2, "{d:?}");
+        assert_eq!(d[0].line, 2);
+    }
+
+    #[test]
+    fn l3_flags_unpolled_while_and_loop() {
+        let src = r#"
+            fn run(session: &mut BudgetSession) {
+                while work_left() { step(); }
+                loop { if done() { break; } }
+            }
+        "#;
+        let d = run(l3_budget, src);
+        assert_eq!(d.len(), 2, "{d:?}");
+    }
+
+    #[test]
+    fn l3_accepts_polled_loops_and_covered_nesting() {
+        let src = r#"
+            fn run(session: &mut BudgetSession) {
+                while session.note_step() { step(); }
+                'outer: for a in xs {
+                    if session.check().is_err() { break 'outer; }
+                    for b in ys {
+                        for c in zs { combine(a, b, c); }
+                    }
+                }
+                for simple in xs { push(simple); }
+            }
+        "#;
+        let d = run(l3_budget, src);
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn l3_flags_uncovered_nested_for() {
+        let src = r#"
+            fn run() {
+                for a in xs {
+                    for b in ys { combine(a, b); }
+                }
+            }
+        "#;
+        let d = run(l3_budget, src);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert_eq!(d[0].line, 3);
+    }
+
+    #[test]
+    fn l3_ignores_impl_for_and_hrtb() {
+        let src = r#"
+            impl Display for Foo { }
+            impl<T> Trait<T> for Bar<T> { }
+            fn takes(f: impl for<'a> Fn(&'a str)) { }
+        "#;
+        assert!(run(l3_budget, src).is_empty());
+    }
+
+    #[test]
+    fn l4_flags_stringly_and_erased_errors() {
+        let src = r#"
+            pub fn parse(s: &str) -> Result<Json, String> { body() }
+            pub fn load(p: &Path) -> Result<Data, Box<dyn std::error::Error>> { body() }
+        "#;
+        let d = run(l4_typed_errors, src);
+        assert_eq!(d.len(), 2, "{d:?}");
+        assert!(d[0].message.contains("Result<_, String>"));
+        assert!(d[1].message.contains("dyn Error"));
+    }
+
+    #[test]
+    fn l4_accepts_typed_and_private_errors() {
+        let src = r#"
+            pub fn good(s: &str) -> Result<Json, ProxError> { body() }
+            pub fn ok_payload(s: &str) -> Result<String, ProxError> { body() }
+            pub(crate) fn internal(s: &str) -> Result<(), String> { body() }
+            fn private(s: &str) -> Result<(), String> { body() }
+            pub fn generic<E: Error>(s: &str) -> Result<(), E> { body() }
+        "#;
+        let d = run(l4_typed_errors, src);
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn l5_reconciles_specs_against_grammar() {
+        let grammar_src = r#"
+            fn parse(s: &str) -> Option<Self> {
+                match s {
+                    "corrupt" => Some(Self::Corrupt),
+                    "budget" => Some(Self::Budget),
+                    _ => None,
+                }
+            }
+        "#;
+        let use_src = r#"
+            fn wire() {
+                install("corrupt@0.5:1");
+                install("explode@0.5:3");
+            }
+        "#;
+        let mut reg = FaultRegistry::default();
+        let gtoks = lex(grammar_src);
+        let gex = test_exempt(&gtoks);
+        reg.collect_grammar(grammar_src, &gtoks, &gex);
+        reg.collect_strings("use.rs", use_src, &lex(use_src));
+        let d = reg.finish("fault.rs");
+        // One unknown site, plus 'budget' documented-but-unused.
+        assert_eq!(d.len(), 2, "{d:?}");
+        assert!(d[0].message.contains("unknown site 'explode'"));
+        assert!(d[1].message.contains("'budget'"));
+    }
+
+    #[test]
+    fn l5_skips_non_spec_strings() {
+        let use_src = r#"
+            fn other() {
+                let a = "corrupt@x:1";   // bad param: not spec-shaped
+                let b = "explode:3";     // no @/comma, unknown site: ambiguous
+                let c = "label:1";       // plain key:value string
+                let d = "12:30";         // clock time, site not ident-shaped
+            }
+        "#;
+        let mut reg = FaultRegistry::default();
+        let gtoks = lex("fn g() { match s { \"corrupt\" => 1, _ => 0 } }");
+        let gex = test_exempt(&gtoks);
+        reg.collect_grammar("", &gtoks, &gex);
+        reg.collect_strings("use.rs", use_src, &lex(use_src));
+        // Also exercise the one known site so the reverse check passes.
+        let yaml = "env:\n  PROX_FAULT: \"corrupt@0.5:1\"\n";
+        reg.collect_yaml("ci.yml", yaml);
+        let d = reg.finish("fault.rs");
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn l5_yaml_matrix_entries_count_as_uses() {
+        let mut reg = FaultRegistry::default();
+        let gtoks = lex("fn g() { match s { \"corrupt\" => 1, \"budget\" => 2, _ => 0 } }");
+        let gex = test_exempt(&gtoks);
+        reg.collect_grammar("", &gtoks, &gex);
+        let yaml =
+            "matrix:\n  fault:\n    - \"corrupt@0.05:11\"\n    - \"budget@40:9,corrupt@0.01:7\"\n";
+        reg.collect_yaml("ci.yml", yaml);
+        let d = reg.finish("fault.rs");
+        assert!(d.is_empty(), "{d:?}");
+    }
+}

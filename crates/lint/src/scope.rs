@@ -1,0 +1,268 @@
+//! File classification and `#[cfg(test)]` region detection.
+//!
+//! Rules L1–L4 apply to *library* code only: integration tests, benches,
+//! examples, and `#[cfg(test)]` modules are exempt (the no-panic and
+//! determinism contracts are about what ships, not about assertions).
+//! Rule L5 scans everything — a fault spec in a test must still name a
+//! real site.
+
+use crate::lexer::{Tok, TokKind};
+
+/// What kind of compilation target a file belongs to.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Scope {
+    /// Library source (`crates/*/src`, `src/`).
+    Lib,
+    /// Binary source (`src/bin`, `src/main.rs`).
+    Bin,
+    /// Test, bench, or example source.
+    Test,
+}
+
+/// Classify a workspace-relative path (forward slashes).
+pub fn classify(rel_path: &str) -> Scope {
+    let p = rel_path;
+    if p.starts_with("tests/")
+        || p.contains("/tests/")
+        || p.contains("/benches/")
+        || p.starts_with("examples/")
+        || p.contains("/examples/")
+    {
+        Scope::Test
+    } else if p.contains("/bin/") || p.ends_with("/main.rs") || p == "src/main.rs" {
+        Scope::Bin
+    } else {
+        Scope::Lib
+    }
+}
+
+/// For each token, whether it sits inside a `#[cfg(test)]`- or
+/// `#[test]`-gated item (attribute plus the braced or `;`-terminated item
+/// that follows). `#[cfg(not(test))]` and `#[cfg_attr(...)]` do not gate.
+pub fn test_exempt(toks: &[Tok]) -> Vec<bool> {
+    let mut exempt = vec![false; toks.len()];
+    let mut i = 0usize;
+    while i < toks.len() {
+        if !toks[i].is_punct('#') {
+            i += 1;
+            continue;
+        }
+        // Inner attribute `#![...]`: applies to the enclosing scope, never
+        // gates the next item; skip it.
+        if toks.get(i + 1).is_some_and(|t| t.is_punct('!')) {
+            i = skip_bracket_group(toks, i + 2);
+            continue;
+        }
+        if !toks.get(i + 1).is_some_and(|t| t.is_punct('[')) {
+            i += 1;
+            continue;
+        }
+        let attr_start = i + 2;
+        let attr_end = skip_bracket_group(toks, i + 1); // index after `]`
+        let mut gated = attr_gates_test(&toks[attr_start..attr_end.saturating_sub(1)]);
+        // Skip any further attributes stacked on the same item; any one of
+        // them gating on test exempts the whole item.
+        let mut j = attr_end;
+        while toks.get(j).is_some_and(|t| t.is_punct('#'))
+            && toks.get(j + 1).is_some_and(|t| t.is_punct('['))
+        {
+            let inner_start = j + 2;
+            let inner_end = skip_bracket_group(toks, j + 1);
+            gated = gated || attr_gates_test(&toks[inner_start..inner_end.saturating_sub(1)]);
+            j = inner_end;
+        }
+        if !gated {
+            i = attr_end;
+            continue;
+        }
+        // Find the gated item's extent: the first `{ ... }` block or `;` at
+        // zero bracket/paren depth.
+        let mut paren = 0i32;
+        let mut bracket = 0i32;
+        let mut k = j;
+        let mut end = toks.len();
+        while k < toks.len() {
+            let t = &toks[k];
+            if t.kind == TokKind::Punct {
+                match t.text.as_bytes().first() {
+                    Some(b'(') => paren += 1,
+                    Some(b')') => paren -= 1,
+                    Some(b'[') => bracket += 1,
+                    Some(b']') => bracket -= 1,
+                    Some(b';') if paren == 0 && bracket == 0 => {
+                        end = k + 1;
+                        break;
+                    }
+                    Some(b'{') if paren == 0 && bracket == 0 => {
+                        end = skip_brace_group(toks, k);
+                        break;
+                    }
+                    _ => {}
+                }
+            }
+            k += 1;
+        }
+        for slot in exempt.iter_mut().take(end.min(toks.len())).skip(i) {
+            *slot = true;
+        }
+        i = end.max(attr_end);
+    }
+    exempt
+}
+
+/// Does an attribute body (tokens between `[` and `]`) gate on `test`?
+fn attr_gates_test(body: &[Tok]) -> bool {
+    let Some(first) = body.first() else {
+        return false;
+    };
+    if first.is_ident("test") {
+        return true; // #[test]
+    }
+    if !first.is_ident("cfg") {
+        return false; // #[cfg_attr(...)], #[allow(...)], ...
+    }
+    // Inside cfg(...): `test` counts only outside any not(...) group.
+    let mut not_depth = 0i32;
+    let mut pending_not = false;
+    let mut k = 0usize;
+    while k < body.len() {
+        let t = &body[k];
+        if t.is_ident("not") {
+            pending_not = true;
+        } else if t.is_punct('(') {
+            if pending_not {
+                not_depth += 1;
+            } else if not_depth > 0 {
+                not_depth += 1;
+            }
+            pending_not = false;
+        } else if t.is_punct(')') {
+            if not_depth > 0 {
+                not_depth -= 1;
+            }
+        } else {
+            pending_not = false;
+            if t.is_ident("test") && not_depth == 0 {
+                return true;
+            }
+        }
+        k += 1;
+    }
+    false
+}
+
+/// Index just past the `]` matching the `[` at `open` (or `toks.len()`).
+fn skip_bracket_group(toks: &[Tok], open: usize) -> usize {
+    let mut depth = 0i32;
+    let mut k = open;
+    while k < toks.len() {
+        if toks[k].is_punct('[') {
+            depth += 1;
+        } else if toks[k].is_punct(']') {
+            depth -= 1;
+            if depth == 0 {
+                return k + 1;
+            }
+        }
+        k += 1;
+    }
+    toks.len()
+}
+
+/// Index just past the `}` matching the `{` at `open` (or `toks.len()`).
+pub fn skip_brace_group(toks: &[Tok], open: usize) -> usize {
+    let mut depth = 0i32;
+    let mut k = open;
+    while k < toks.len() {
+        if toks[k].is_punct('{') {
+            depth += 1;
+        } else if toks[k].is_punct('}') {
+            depth -= 1;
+            if depth == 0 {
+                return k + 1;
+            }
+        }
+        k += 1;
+    }
+    toks.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn exempt_idents(src: &str) -> Vec<(String, bool)> {
+        let toks = lex(src);
+        let ex = test_exempt(&toks);
+        toks.iter()
+            .zip(&ex)
+            .filter(|(t, _)| t.kind == TokKind::Ident)
+            .map(|(t, &e)| (t.text.clone(), e))
+            .collect()
+    }
+
+    #[test]
+    fn cfg_test_mod_is_exempt() {
+        let src = "fn live() {} #[cfg(test)] mod tests { fn dead() {} } fn live2() {}";
+        let ids = exempt_idents(src);
+        let get = |name: &str| ids.iter().find(|(n, _)| n == name).map(|&(_, e)| e);
+        assert_eq!(get("live"), Some(false));
+        assert_eq!(get("dead"), Some(true));
+        assert_eq!(get("live2"), Some(false));
+    }
+
+    #[test]
+    fn test_attr_fn_is_exempt() {
+        let src = "#[test] fn check_it() { x.unwrap(); } fn real() {}";
+        let ids = exempt_idents(src);
+        assert!(ids.iter().any(|(n, e)| n == "unwrap" && *e));
+        assert!(ids.iter().any(|(n, e)| n == "real" && !*e));
+    }
+
+    #[test]
+    fn cfg_not_test_is_not_exempt() {
+        let src = "#[cfg(not(test))] fn shipped() {}";
+        let ids = exempt_idents(src);
+        assert!(ids.iter().any(|(n, e)| n == "shipped" && !*e));
+    }
+
+    #[test]
+    fn cfg_any_with_test_is_exempt() {
+        let src = "#[cfg(any(test, feature = \"x\"))] fn gated() {}";
+        let ids = exempt_idents(src);
+        assert!(ids.iter().any(|(n, e)| n == "gated" && *e));
+    }
+
+    #[test]
+    fn cfg_attr_does_not_gate() {
+        let src = "#![cfg_attr(not(test), warn(clippy::unwrap_used))] fn live() {}";
+        let ids = exempt_idents(src);
+        assert!(ids.iter().any(|(n, e)| n == "live" && !*e));
+    }
+
+    #[test]
+    fn stacked_attributes_still_gate() {
+        let src = "#[cfg(test)] #[allow(dead_code)] mod tests { fn inner() {} }";
+        let ids = exempt_idents(src);
+        assert!(ids.iter().any(|(n, e)| n == "inner" && *e));
+    }
+
+    #[test]
+    fn semicolon_items_end_the_gate() {
+        let src = "#[cfg(test)] use helpers::x; fn live() {}";
+        let ids = exempt_idents(src);
+        assert!(ids.iter().any(|(n, e)| n == "live" && !*e));
+    }
+
+    #[test]
+    fn paths_classify_by_target() {
+        assert_eq!(classify("crates/core/src/summarize.rs"), Scope::Lib);
+        assert_eq!(classify("crates/system/src/bin/prox.rs"), Scope::Bin);
+        assert_eq!(classify("crates/core/tests/properties.rs"), Scope::Test);
+        assert_eq!(classify("tests/end_to_end.rs"), Scope::Test);
+        assert_eq!(classify("examples/quickstart.rs"), Scope::Test);
+        assert_eq!(classify("crates/bench/benches/distance.rs"), Scope::Test);
+        assert_eq!(classify("src/lib.rs"), Scope::Lib);
+    }
+}

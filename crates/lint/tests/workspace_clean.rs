@@ -1,0 +1,24 @@
+//! Tier-1 gate: the workspace must carry zero non-allowlisted violations
+//! of the PROX invariants. This is the same check CI runs via
+//! `cargo run -p prox-lint`; keeping it as a test means `cargo test`
+//! alone catches regressions.
+
+use std::path::Path;
+
+#[test]
+fn workspace_has_no_invariant_violations() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let report = prox_lint::run_workspace(&root, None).expect("linter runs on the workspace");
+    assert!(
+        report.files_scanned > 50,
+        "suspiciously few files scanned ({}); wrong root?",
+        report.files_scanned
+    );
+    let rendered: Vec<String> = report.violations.iter().map(|d| d.to_string()).collect();
+    assert!(
+        report.violations.is_empty(),
+        "{} invariant violation(s):\n{}",
+        report.violations.len(),
+        rendered.join("\n")
+    );
+}

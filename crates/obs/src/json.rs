@@ -160,18 +160,58 @@ impl Json {
         }
     }
 
+    /// A copy with all object keys sorted recursively. Rendering a sorted
+    /// value is byte-stable regardless of how the object was assembled —
+    /// the manifest determinism guarantee (rule L2).
+    pub fn sorted(&self) -> Json {
+        match self {
+            Json::Arr(items) => Json::Arr(items.iter().map(Json::sorted).collect()),
+            Json::Obj(entries) => {
+                let mut entries: Vec<(String, Json)> = entries
+                    .iter()
+                    .map(|(k, v)| (k.clone(), v.sorted()))
+                    .collect();
+                entries.sort_by(|a, b| a.0.cmp(&b.0));
+                Json::Obj(entries)
+            }
+            other => other.clone(),
+        }
+    }
+
     /// Parse a JSON document (strict: the whole input must be one value).
-    pub fn parse(input: &str) -> Result<Json, String> {
+    pub fn parse(input: &str) -> Result<Json, JsonError> {
         let bytes = input.as_bytes();
         let mut pos = 0usize;
-        let value = parse_value(bytes, &mut pos)?;
+        let value = parse_value(bytes, &mut pos).map_err(JsonError)?;
         skip_ws(bytes, &mut pos);
         if pos != bytes.len() {
-            return Err(format!("trailing characters at byte {pos}"));
+            return Err(JsonError(format!("trailing characters at byte {pos}")));
         }
         Ok(value)
     }
 }
+
+/// A [`Json::parse`] failure: what was expected and at which byte.
+/// (Typed-error contract, rule L4 — `prox-obs` sits below `prox-robust`
+/// in the dependency order, so it carries its own error type rather than
+/// `ProxError`; callers convert via the `Display` form.)
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct JsonError(String);
+
+impl JsonError {
+    /// Human-readable description (also the `Display` form).
+    pub fn message(&self) -> &str {
+        &self.0
+    }
+}
+
+impl fmt::Display for JsonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid JSON: {}", self.0)
+    }
+}
+
+impl std::error::Error for JsonError {}
 
 impl fmt::Display for Json {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
@@ -299,7 +339,9 @@ fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
     {
         *pos += 1;
     }
-    let text = std::str::from_utf8(&bytes[start..*pos]).expect("ascii");
+    // The matched bytes are all ASCII, so this cannot fail; an empty
+    // fallback falls through to the "invalid number" error below.
+    let text = std::str::from_utf8(&bytes[start..*pos]).unwrap_or("");
     if !text.contains(['.', 'e', 'E']) {
         if let Ok(n) = text.parse::<u64>() {
             return Ok(Json::UInt(n));
@@ -506,5 +548,25 @@ mod tests {
     fn unicode_roundtrips() {
         let j = Json::Str("héllo ☃ 中".into());
         assert_eq!(Json::parse(&j.render()).unwrap(), j);
+    }
+
+    #[test]
+    fn sorted_orders_keys_recursively() {
+        let j = Json::obj()
+            .with("z", Json::obj().with("b", 1u64).with("a", 2u64))
+            .with("a", vec![Json::obj().with("y", 1u64).with("x", 2u64)]);
+        assert_eq!(
+            j.sorted().render(),
+            r#"{"a":[{"x":2,"y":1}],"z":{"a":2,"b":1}}"#
+        );
+        // Already-sorted input is a fixpoint.
+        assert_eq!(j.sorted(), j.sorted().sorted());
+    }
+
+    #[test]
+    fn parse_errors_are_typed_and_descriptive() {
+        let err = Json::parse("{\"a\": }").unwrap_err();
+        assert!(err.to_string().contains("invalid JSON"), "{err}");
+        assert!(!err.message().is_empty());
     }
 }

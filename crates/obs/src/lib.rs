@@ -50,12 +50,21 @@ mod timer;
 
 pub use counter::Counter;
 pub use histogram::{Histogram, NBUCKETS};
-pub use json::Json;
+pub use json::{Json, JsonError};
 pub use registry::{
     counter_value, enabled, init_from_env, render_snapshot, reset, set_enabled, snapshot,
 };
 pub use span::{SpanGuard, SpanTimer};
 pub use timer::StepTimer;
+
+/// Lock a mutex, recovering the data if a panicking holder poisoned it.
+/// Observability state is monotonic (append-only registration, buffered
+/// trace lines), so a poisoned lock cannot be logically inconsistent —
+/// and instrumentation must never take the process down (no-panic
+/// contract, rule L1).
+pub(crate) fn lock<T>(m: &std::sync::Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
 
 /// Install a JSONL trace sink at `path` (also enables collection).
 pub fn install_sink(path: &str) -> std::io::Result<()> {

@@ -52,29 +52,27 @@ pub fn init_from_env() -> bool {
 }
 
 pub(crate) fn register_counter(c: &'static Counter) {
-    COUNTERS.lock().expect("obs registry poisoned").push(c);
+    crate::lock(&COUNTERS).push(c);
 }
 
 pub(crate) fn register_span(s: &'static SpanTimer) {
-    SPANS.lock().expect("obs registry poisoned").push(s);
+    crate::lock(&SPANS).push(s);
 }
 
 /// Zero every registered counter and histogram (registration is kept, so
 /// the next snapshot still lists them). Used between bench experiments.
 pub fn reset() {
-    for c in COUNTERS.lock().expect("obs registry poisoned").iter() {
+    for c in crate::lock(&COUNTERS).iter() {
         c.reset();
     }
-    for s in SPANS.lock().expect("obs registry poisoned").iter() {
+    for s in crate::lock(&SPANS).iter() {
         s.reset();
     }
 }
 
 /// Current value of a registered counter, by name.
 pub fn counter_value(name: &str) -> Option<u64> {
-    COUNTERS
-        .lock()
-        .expect("obs registry poisoned")
+    crate::lock(&COUNTERS)
         .iter()
         .find(|c| c.name() == name)
         .map(|c| c.get())
@@ -90,9 +88,7 @@ pub fn counter_value(name: &str) -> Option<u64> {
 ///
 /// Counter and span names are sorted, bucket lists omit empty buckets.
 pub fn snapshot() -> Json {
-    let mut counters: Vec<(String, u64)> = COUNTERS
-        .lock()
-        .expect("obs registry poisoned")
+    let mut counters: Vec<(String, u64)> = crate::lock(&COUNTERS)
         .iter()
         .map(|c| (c.name().to_owned(), c.get()))
         .collect();
@@ -102,9 +98,7 @@ pub fn snapshot() -> Json {
         counters_json.set(&name, value);
     }
 
-    let mut spans: Vec<(String, Json)> = SPANS
-        .lock()
-        .expect("obs registry poisoned")
+    let mut spans: Vec<(String, Json)> = crate::lock(&SPANS)
         .iter()
         .map(|s| {
             let h = s.histogram();

@@ -31,7 +31,7 @@ pub fn active() -> bool {
 /// observability collection — a sink without collection records nothing.
 pub fn install(path: &str) -> io::Result<()> {
     let file = File::create(path)?;
-    let mut guard = SINK.lock().expect("obs sink poisoned");
+    let mut guard = crate::lock(&SINK);
     *guard = Some(SinkInner {
         writer: BufWriter::new(file),
         t0: Instant::now(),
@@ -47,7 +47,7 @@ pub fn emit(event: Json) {
     if !active() {
         return;
     }
-    let mut guard = SINK.lock().expect("obs sink poisoned");
+    let mut guard = crate::lock(&SINK);
     if let Some(inner) = guard.as_mut() {
         let t_us = u64::try_from(inner.t0.elapsed().as_micros()).unwrap_or(u64::MAX);
         let line = event.with("t_us", t_us).render();
@@ -58,14 +58,14 @@ pub fn emit(event: Json) {
 
 /// Flush buffered events to disk.
 pub fn flush() {
-    if let Some(inner) = SINK.lock().expect("obs sink poisoned").as_mut() {
+    if let Some(inner) = crate::lock(&SINK).as_mut() {
         let _ = inner.writer.flush();
     }
 }
 
 /// Flush and close the sink. Collection stays enabled.
 pub fn close() {
-    let mut guard = SINK.lock().expect("obs sink poisoned");
+    let mut guard = crate::lock(&SINK);
     if let Some(mut inner) = guard.take() {
         let _ = inner.writer.flush();
     }

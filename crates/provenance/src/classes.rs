@@ -90,9 +90,9 @@ impl ValuationClass {
 /// Prop 4.2.1's precondition: here, that every valuation assigns each
 /// annotation exactly one value (guaranteed by construction) and that the
 /// set is non-empty for equivalence grouping to be meaningful.
-pub fn validate_class(valuations: &[Valuation]) -> Result<(), String> {
+pub fn validate_class(valuations: &[Valuation]) -> Result<(), prox_robust::ProxError> {
     if valuations.is_empty() {
-        return Err("empty valuation class".to_owned());
+        return Err(prox_robust::ProxError::config("empty valuation class"));
     }
     Ok(())
 }

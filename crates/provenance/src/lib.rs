@@ -55,9 +55,9 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 // Library code must surface failures as typed errors, not panics: corrupt
-// or truncated provenance files are expected inputs, not bugs. Tests are
-// exempt — panicking on setup failure is exactly what a test should do.
-#![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
+// or truncated provenance files are expected inputs, not bugs. The
+// clippy::unwrap_used/expect_used warnings come from [workspace.lints];
+// tests are exempt via clippy.toml.
 
 pub mod aggexpr;
 pub mod annot;

@@ -1,0 +1,160 @@
+//! Property tests for the semiring laws (§2.2) on randomly generated
+//! elements.
+//!
+//! `N[Ann]` (the [`Polynomial`] semiring) and its homomorphic images
+//! ([`Bool`], [`Count`], [`Tropical`]) must each form a commutative
+//! semiring: `⊕` and `⊗` are commutative monoids with identities `0` and
+//! `1`, `⊗` distributes over `⊕`, and `0` annihilates. Random elements
+//! come from the workspace's deterministic splitmix64 generator
+//! ([`prox_robust::fault::DetRng`]) so failures replay from the seed.
+
+use prox_provenance::{AnnId, AnnStore, Bool, Count, Monomial, Polynomial, Semiring, Tropical};
+use prox_robust::fault::DetRng;
+
+const CASES: usize = 64;
+
+/// A small annotation pool for random polynomials.
+fn pool() -> Vec<AnnId> {
+    let mut store = AnnStore::new();
+    (0..6)
+        .map(|ix| store.add_base_with(&format!("a{ix}"), "users", &[]))
+        .collect()
+}
+
+/// A random polynomial: up to 4 terms of degree ≤ 3 with coefficient ≤ 3,
+/// occasionally the constants 0 and 1 so identity edge cases are hit.
+fn random_poly(rng: &mut DetRng, pool: &[AnnId]) -> Polynomial {
+    match rng.next_u64() % 8 {
+        0 => return Polynomial::zero(),
+        1 => return Polynomial::one(),
+        _ => {}
+    }
+    let terms = (rng.next_u64() % 4 + 1) as usize;
+    Polynomial::from_terms((0..terms).map(|_| {
+        let degree = (rng.next_u64() % 4) as usize;
+        let factors: Vec<AnnId> = (0..degree)
+            .map(|_| pool[(rng.next_u64() as usize) % pool.len()])
+            .collect();
+        let coeff = rng.next_u64() % 3 + 1;
+        (Monomial::from_factors(factors), coeff)
+    }))
+}
+
+/// Assert every commutative-semiring law on one triple of elements.
+fn check_laws<K: Semiring + std::fmt::Debug>(a: &K, b: &K, c: &K, case: usize) {
+    let zero = K::zero();
+    let one = K::one();
+    // ⊕ is a commutative monoid with identity 0.
+    assert_eq!(a.add(b).add(c), a.add(&b.add(c)), "⊕ assoc (case {case})");
+    assert_eq!(a.add(b), b.add(a), "⊕ comm (case {case})");
+    assert_eq!(a.add(&zero), *a, "0 is ⊕-identity (case {case})");
+    // ⊗ is a commutative monoid with identity 1.
+    assert_eq!(a.mul(b).mul(c), a.mul(&b.mul(c)), "⊗ assoc (case {case})");
+    assert_eq!(a.mul(b), b.mul(a), "⊗ comm (case {case})");
+    assert_eq!(a.mul(&one), *a, "1 is ⊗-identity (case {case})");
+    // 0 annihilates and ⊗ distributes over ⊕.
+    assert!(a.mul(&zero).is_zero(), "0 annihilates (case {case})");
+    assert_eq!(
+        a.mul(&b.add(c)),
+        a.mul(b).add(&a.mul(c)),
+        "distributivity (case {case})"
+    );
+}
+
+#[test]
+fn polynomial_semiring_laws_hold() {
+    let pool = pool();
+    let mut rng = DetRng::new(0x5eed_1);
+    for case in 0..CASES {
+        let a = random_poly(&mut rng, &pool);
+        let b = random_poly(&mut rng, &pool);
+        let c = random_poly(&mut rng, &pool);
+        // Polynomial's inherent add/mul are the semiring ops; route through
+        // a thin wrapper so `check_laws` sees the Semiring trait surface.
+        check_laws(&Poly(a), &Poly(b), &Poly(c), case);
+    }
+}
+
+/// Wrapper giving [`Polynomial`] the [`Semiring`] trait surface (its
+/// inherent `add`/`mul`/`zero`/`one` already implement the operations).
+#[derive(Clone, Debug, PartialEq)]
+struct Poly(Polynomial);
+
+impl Semiring for Poly {
+    fn zero() -> Self {
+        Poly(Polynomial::zero())
+    }
+    fn one() -> Self {
+        Poly(Polynomial::one())
+    }
+    fn add(&self, other: &Self) -> Self {
+        Poly(self.0.add(&other.0))
+    }
+    fn mul(&self, other: &Self) -> Self {
+        Poly(self.0.mul(&other.0))
+    }
+}
+
+#[test]
+fn bool_semiring_laws_hold() {
+    let mut rng = DetRng::new(0x5eed_2);
+    for case in 0..CASES {
+        let mut next = || Bool(rng.next_u64() % 2 == 0);
+        let (a, b, c) = (next(), next(), next());
+        check_laws(&a, &b, &c, case);
+    }
+}
+
+#[test]
+fn count_semiring_laws_hold() {
+    let mut rng = DetRng::new(0x5eed_3);
+    for case in 0..CASES {
+        // Small values: the laws must hold exactly, away from saturation.
+        let mut next = || Count(rng.next_u64() % 17);
+        let (a, b, c) = (next(), next(), next());
+        check_laws(&a, &b, &c, case);
+    }
+}
+
+#[test]
+fn tropical_semiring_laws_hold() {
+    let mut rng = DetRng::new(0x5eed_4);
+    for case in 0..CASES {
+        // Whole-valued costs keep `+` exact so associativity is strict.
+        let mut next = || match rng.next_u64() % 4 {
+            0 => Tropical::Infinity,
+            _ => Tropical::Cost((rng.next_u64() % 100) as f64),
+        };
+        let (a, b, c) = (next(), next(), next());
+        check_laws(&a, &b, &c, case);
+    }
+}
+
+#[test]
+fn eval_in_is_a_semiring_homomorphism() {
+    // h(p ⊕ q) = h(p) ⊕ h(q) and h(p ⊗ q) = h(p) ⊗ h(q) for the
+    // evaluation homomorphism into Count induced by any assignment.
+    let pool = pool();
+    let mut rng = DetRng::new(0x5eed_5);
+    for case in 0..CASES {
+        let p = random_poly(&mut rng, &pool);
+        let q = random_poly(&mut rng, &pool);
+        let weights: Vec<u64> = pool.iter().map(|_| rng.next_u64() % 4).collect();
+        let assign = |a: AnnId| {
+            let ix = pool.iter().position(|&x| x == a).unwrap_or(0);
+            Count(weights[ix])
+        };
+        let hp = p.eval_in::<Count>(&assign);
+        let hq = q.eval_in::<Count>(&assign);
+        assert_eq!(
+            p.add(&q).eval_in::<Count>(&assign),
+            hp.add(&hq),
+            "⊕ preserved (case {case})"
+        );
+        assert_eq!(
+            p.mul(&q).eval_in::<Count>(&assign),
+            hp.mul(&hq),
+            "⊗ preserved (case {case})"
+        );
+    }
+}

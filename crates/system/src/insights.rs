@@ -49,7 +49,8 @@ pub fn insights(summarized: &Summarized, store: &AnnStore) -> Vec<Insight> {
     out.sort_by(|a, b| b.gap().total_cmp(&a.gap()));
     // Nested merges can produce near-identical statements (a group and its
     // superset with the same shared attributes); keep the strongest.
-    let mut seen = std::collections::HashSet::new();
+    // BTreeSet, not HashSet: insights are user-visible output (rule L2).
+    let mut seen = std::collections::BTreeSet::new();
     out.retain(|i| seen.insert(i.statement.clone()));
     out
 }

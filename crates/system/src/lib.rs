@@ -16,9 +16,8 @@
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
-// Library code must surface failures as typed `ProxError`s, never panic on
-// them; tests keep the terse unwrap/expect style.
-#![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
+// Panic hygiene (clippy::unwrap_used/expect_used) comes from
+// [workspace.lints]; test code is exempt via clippy.toml.
 
 pub mod evaluator;
 pub mod insights;
