@@ -34,6 +34,7 @@ const USAGE: &str = "experiments -- <exp> [--quick]
   score-mode-ml      Ablation A.2 (rank vs normalized score)
   sampler-accuracy   Ablation A.3 (Prop 4.1.2 empirically)
   greedy-gap         Ablation A.4 (greedy vs exhaustive optimum)
+  serve              prox-serve load: latency percentiles + cache hit rate
   all                everything above";
 
 fn ml(scale: Scale) -> Vec<prox_bench::Workload<prox_provenance::ProvExpr>> {
@@ -197,6 +198,13 @@ fn run_experiment(name: &str, scale: Scale, manifest: &mut RunManifest) -> bool 
         "greedy-gap" => {
             ok(emit(&prox_bench::experiments::greedy_gap_experiment(scale)));
         }
+        "serve" => {
+            // A failure to even start/drive the server is an experiment
+            // failure: panic so the runner's retry/skip machinery records it.
+            if let Err(e) = prox_bench::serve_load::serve_load_experiment(scale, manifest) {
+                panic!("serve load experiment failed: {e}");
+            }
+        }
         _ => return false,
     }
     true
@@ -220,6 +228,7 @@ const ALL: &[&str] = &[
     "score-mode-ml",
     "sampler-accuracy",
     "greedy-gap",
+    "serve",
 ];
 
 /// Per-experiment wall-clock timeout (milliseconds): `PROX_EXP_TIMEOUT_MS`

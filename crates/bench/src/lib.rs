@@ -14,6 +14,7 @@
 //! | 6.6–6.7 | Wikipedia sweeps | same functions over [`workload::wikipedia`] |
 //! | 6.8–6.9 | DDP sweeps | same functions over [`workload::ddp`] |
 //! | Table 5.1 | dataset matrix | [`experiments::table51`] |
+//! | — | service-layer load (latency/cache) | [`serve_load::serve_load_experiment`] |
 //! | A.1–A.3 | k-way, score-mode, sampler ablations | [`experiments`] |
 //!
 //! Run everything with
@@ -27,6 +28,7 @@ pub mod manifest;
 pub mod report;
 pub mod runner;
 pub mod series;
+pub mod serve_load;
 pub mod workload;
 
 pub use experiments::Scale;

@@ -32,6 +32,7 @@ pub struct RunManifest {
     attempts: Option<u32>,
     timeout_ms: Option<u64>,
     deterministic: bool,
+    extra: Vec<(String, Json)>,
 }
 
 impl RunManifest {
@@ -51,6 +52,7 @@ impl RunManifest {
             attempts: None,
             timeout_ms: None,
             deterministic: deterministic_from_env(),
+            extra: Vec::new(),
         }
     }
 
@@ -61,6 +63,19 @@ impl RunManifest {
     /// same-seed runs write byte-identical files (rule L2).
     pub fn set_deterministic(&mut self, on: bool) {
         self.deterministic = on;
+    }
+
+    /// Whether the manifest is in deterministic mode (the default follows
+    /// `PROX_DETERMINISTIC`; see [`RunManifest::set_deterministic`]).
+    pub fn deterministic(&self) -> bool {
+        self.deterministic
+    }
+
+    /// Attach an experiment-specific top-level section under `key`
+    /// (e.g. the `serve` load report). Use keys that don't collide with
+    /// the builder's own sections (`counters`, `phases`, ...).
+    pub fn extra(&mut self, key: &str, value: Json) {
+        self.extra.push((key.to_owned(), value));
     }
 
     /// Record the workloads (dataset name + generator seed) the experiment
@@ -135,6 +150,9 @@ impl RunManifest {
             .with("scale", self.scale.clone())
             .with("config", self.config.clone())
             .with("datasets", Json::Arr(self.datasets.clone()));
+        for (key, value) in &self.extra {
+            manifest.set(key, value.clone());
+        }
         if let Some(ms) = self.wall_time_ms {
             if !self.deterministic {
                 manifest.set("wall_time_ms", ms);

@@ -1,0 +1,305 @@
+//! In-process load experiment against `prox-serve`.
+//!
+//! Starts a server on an ephemeral port and drives it with N client
+//! threads, each replaying a deterministic request schedule: `distinct`
+//! parameter sets (unique per thread) sent `repeats` times in rounds, so
+//! round one misses the summary cache and every later round hits it. The
+//! cache is sized to hold the whole working set, which makes the expected
+//! hit rate exactly `(repeats - 1) / repeats` — asserted nowhere, but
+//! recorded in the manifest where a regression is visible.
+//!
+//! The report lands as the `serve` section of
+//! `reports/manifest_serve.json`: request/response counts, cache
+//! hits/misses/rate, and — when not in deterministic mode — latency
+//! percentiles (p50/p95/p99) and throughput. Wall-clock numbers are
+//! omitted under `PROX_DETERMINISTIC` so same-seed runs diff clean, the
+//! same rule the rest of the manifest follows.
+
+use std::thread;
+use std::time::Instant;
+
+use prox_obs::Json;
+use prox_robust::ProxError;
+use prox_serve::http::client_request;
+use prox_serve::{Server, ServerConfig};
+
+use crate::manifest::RunManifest;
+use crate::Scale;
+
+/// Load shape: client threads, distinct parameter sets per thread, and
+/// how many rounds each set is replayed.
+#[derive(Clone, Copy, Debug)]
+pub struct LoadPlan {
+    /// Concurrent client threads.
+    pub clients: usize,
+    /// Distinct request bodies per thread (all unique across threads).
+    pub distinct: usize,
+    /// Rounds: each body is sent this many times in total.
+    pub repeats: usize,
+}
+
+impl LoadPlan {
+    /// The schedule for `scale`: 2×2×3 quick, 4×4×6 full.
+    pub fn for_scale(scale: Scale) -> LoadPlan {
+        if scale.quick {
+            LoadPlan {
+                clients: 2,
+                distinct: 2,
+                repeats: 3,
+            }
+        } else {
+            LoadPlan {
+                clients: 4,
+                distinct: 4,
+                repeats: 6,
+            }
+        }
+    }
+
+    /// Total requests the plan issues.
+    pub fn total(&self) -> usize {
+        self.clients * self.distinct * self.repeats
+    }
+}
+
+/// One client thread's observations.
+struct ClientReport {
+    latencies_ns: Vec<u64>,
+    ok: u64,
+    non_ok: u64,
+    transport_errors: u64,
+}
+
+/// The request body for client `client`, parameter set `d`. Bodies are
+/// unique per `(client, d)` (distinct cache keys) and fully deterministic.
+fn body_for(client: usize, d: usize) -> String {
+    format!(
+        "{{\"dataset\": \"small\", \"steps\": {}, \"target_size\": {}}}",
+        d + 1,
+        client + 1
+    )
+}
+
+/// Replay one client's schedule against `addr`, timing each request.
+fn client_run(addr: &str, client: usize, plan: LoadPlan) -> ClientReport {
+    let mut report = ClientReport {
+        latencies_ns: Vec::with_capacity(plan.distinct * plan.repeats),
+        ok: 0,
+        non_ok: 0,
+        transport_errors: 0,
+    };
+    for _round in 0..plan.repeats {
+        for d in 0..plan.distinct {
+            let body = body_for(client, d);
+            let t = Instant::now();
+            match client_request(addr, "POST", "/summarize", &[], body.as_bytes(), 30_000) {
+                Ok((200, _)) => report.ok += 1,
+                Ok((_, _)) => report.non_ok += 1,
+                Err(_) => report.transport_errors += 1,
+            }
+            report.latencies_ns.push(t.elapsed().as_nanos() as u64);
+        }
+    }
+    report
+}
+
+/// `sorted` must be ascending; `q` in [0, 1]. Nearest-rank on the last
+/// index for an empty-safe percentile.
+fn percentile_us(sorted: &[u64], q: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let ix = ((sorted.len() - 1) as f64 * q).round() as usize;
+    sorted[ix.min(sorted.len() - 1)] / 1_000
+}
+
+/// Run the load experiment and record the report as the manifest's
+/// `serve` section. The server is in-process (loopback TCP, ephemeral
+/// port), so the numbers measure the service layer, not the network.
+pub fn serve_load_experiment(scale: Scale, manifest: &mut RunManifest) -> Result<(), ProxError> {
+    let plan = LoadPlan::for_scale(scale);
+    let config = ServerConfig {
+        addr: "127.0.0.1:0".to_owned(),
+        workers: plan.clients,
+        queue_capacity: plan.clients * 4,
+        // Exactly the working set: every distinct body stays resident, so
+        // rounds after the first are all hits and nothing is evicted.
+        cache_capacity: plan.clients * plan.distinct,
+        default_budget_ms: 30_000,
+        io_deadline_ms: 30_000,
+    };
+    let workers = config.workers;
+    let queue_capacity = config.queue_capacity;
+    let cache_capacity = config.cache_capacity;
+    let handle = Server::start(config)?;
+    let addr = handle.addr().to_string();
+
+    let hits0 = prox_obs::counter_value("serve/cache_hit").unwrap_or(0);
+    let misses0 = prox_obs::counter_value("serve/cache_miss").unwrap_or(0);
+
+    let t = Instant::now();
+    let mut joins = Vec::with_capacity(plan.clients);
+    for client in 0..plan.clients {
+        let addr = addr.clone();
+        let spawned = thread::Builder::new()
+            .name(format!("prox-bench-client-{client}"))
+            .spawn(move || client_run(&addr, client, plan))
+            .map_err(|e| ProxError::io("spawning load client", &e))?;
+        joins.push(spawned);
+    }
+    let mut latencies_ns: Vec<u64> = Vec::with_capacity(plan.total());
+    let (mut ok, mut non_ok, mut transport_errors) = (0u64, 0u64, 0u64);
+    for join in joins {
+        match join.join() {
+            Ok(report) => {
+                latencies_ns.extend(report.latencies_ns);
+                ok += report.ok;
+                non_ok += report.non_ok;
+                transport_errors += report.transport_errors;
+            }
+            Err(_) => {
+                return Err(ProxError::internal("load client thread panicked"));
+            }
+        }
+    }
+    let elapsed = t.elapsed();
+    handle.shutdown();
+
+    let hits = prox_obs::counter_value("serve/cache_hit")
+        .unwrap_or(0)
+        .saturating_sub(hits0);
+    let misses = prox_obs::counter_value("serve/cache_miss")
+        .unwrap_or(0)
+        .saturating_sub(misses0);
+    let lookups = hits + misses;
+
+    latencies_ns.sort_unstable();
+    let mut report = Json::obj()
+        .with(
+            "server",
+            Json::obj()
+                .with("workers", workers)
+                .with("queue_capacity", queue_capacity)
+                .with("cache_capacity", cache_capacity),
+        )
+        .with(
+            "load",
+            Json::obj()
+                .with("clients", plan.clients)
+                .with("distinct_requests", plan.clients * plan.distinct)
+                .with("repeats", plan.repeats)
+                .with("total_requests", plan.total()),
+        )
+        .with(
+            "responses",
+            Json::obj()
+                .with("ok", ok)
+                .with("non_ok", non_ok)
+                .with("transport_errors", transport_errors),
+        )
+        .with(
+            "cache",
+            Json::obj().with("hits", hits).with("misses", misses).with(
+                "hit_rate",
+                if lookups == 0 {
+                    0.0
+                } else {
+                    hits as f64 / lookups as f64
+                },
+            ),
+        );
+    // Latency and throughput are wall-clock: deterministic manifests drop
+    // them, exactly as the builder drops `wall_time_ms` and span timings.
+    if !manifest.deterministic() {
+        let total_ns: u64 = latencies_ns.iter().sum();
+        let mean_us = if latencies_ns.is_empty() {
+            0
+        } else {
+            total_ns / latencies_ns.len() as u64 / 1_000
+        };
+        report.set(
+            "latency_us",
+            Json::obj()
+                .with("p50", percentile_us(&latencies_ns, 0.50))
+                .with("p95", percentile_us(&latencies_ns, 0.95))
+                .with("p99", percentile_us(&latencies_ns, 0.99))
+                .with("mean", mean_us),
+        );
+        let secs = elapsed.as_secs_f64();
+        report.set(
+            "throughput_rps",
+            if secs > 0.0 {
+                plan.total() as f64 / secs
+            } else {
+                0.0
+            },
+        );
+    }
+    manifest.extra("serve", report);
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plan_totals() {
+        let quick = LoadPlan::for_scale(Scale::quick());
+        assert_eq!(
+            quick.total(),
+            quick.clients * quick.distinct * quick.repeats
+        );
+    }
+
+    #[test]
+    fn bodies_are_unique_per_client_and_set() {
+        let mut seen = std::collections::BTreeSet::new();
+        for client in 0..4 {
+            for d in 0..4 {
+                assert!(seen.insert(body_for(client, d)));
+            }
+        }
+    }
+
+    #[test]
+    fn percentiles_are_empty_safe_and_monotone() {
+        assert_eq!(percentile_us(&[], 0.5), 0);
+        let sorted: Vec<u64> = (1..=100).map(|i| i * 1_000).collect();
+        let p50 = percentile_us(&sorted, 0.50);
+        let p99 = percentile_us(&sorted, 0.99);
+        assert!(p50 <= p99);
+        assert_eq!(p99, 99, "nearest rank of 0.99 over 100 samples");
+        assert_eq!(percentile_us(&sorted, 1.0), 100);
+    }
+
+    #[test]
+    fn quick_load_reports_full_cache_hit_tail() {
+        prox_obs::set_enabled(true);
+        let scale = Scale::quick();
+        let mut manifest = RunManifest::new("serve", scale);
+        manifest.set_deterministic(true);
+        serve_load_experiment(scale, &mut manifest).expect("load run completes");
+        let json = manifest.to_json();
+        let serve = json.get("serve").expect("serve section recorded");
+        let plan = LoadPlan::for_scale(scale);
+        let responses = serve.get("responses").expect("responses");
+        assert_eq!(
+            responses.get("ok").and_then(Json::as_u64),
+            Some(plan.total() as u64)
+        );
+        // Deterministic by construction: round one misses, the rest hit.
+        let cache = serve.get("cache").expect("cache");
+        assert_eq!(
+            cache.get("misses").and_then(Json::as_u64),
+            Some((plan.clients * plan.distinct) as u64)
+        );
+        assert_eq!(
+            cache.get("hits").and_then(Json::as_u64),
+            Some((plan.clients * plan.distinct * (plan.repeats - 1)) as u64)
+        );
+        // Deterministic mode: no wall-clock sections.
+        assert!(serve.get("latency_us").is_none());
+        assert!(serve.get("throughput_rps").is_none());
+    }
+}

@@ -94,6 +94,10 @@ impl Default for LintConfig {
                 s("crates/core/src/summarize.rs"),
                 s("crates/cluster/src/hac.rs"),
                 s("crates/cluster/src/random.rs"),
+                s("crates/serve/src/http.rs"),
+                s("crates/serve/src/queue.rs"),
+                s("crates/serve/src/server.rs"),
+                s("crates/serve/src/service.rs"),
             ],
             det_files: vec![
                 s("crates/bench/src/report.rs"),
@@ -101,6 +105,7 @@ impl Default for LintConfig {
                 s("crates/bench/src/series.rs"),
                 s("crates/bench/src/experiments.rs"),
                 s("crates/bench/src/runner.rs"),
+                s("crates/bench/src/serve_load.rs"),
                 s("crates/bench/src/workload.rs"),
                 s("crates/bench/src/bin/experiments.rs"),
                 s("crates/obs/src/json.rs"),

@@ -394,6 +394,7 @@ fn banned_error_channel(sig: &[Tok]) -> Option<String> {
             continue;
         }
         let mut depth = 1i32;
+        let mut parens = 0i32;
         let mut k = r + 2;
         let mut arg_start = k;
         let mut args: Vec<(usize, usize)> = Vec::new();
@@ -409,7 +410,13 @@ fn banned_error_channel(sig: &[Tok]) -> Option<String> {
                         args.push((arg_start, k));
                     }
                 }
-            } else if t.is_punct(',') && depth == 1 {
+            } else if t.is_punct('(') {
+                parens += 1;
+            } else if t.is_punct(')') {
+                parens -= 1;
+            } else if t.is_punct(',') && depth == 1 && parens == 0 {
+                // Commas inside tuples (`Result<(u16, String), E>`) do not
+                // separate the Ok and Err arguments.
                 args.push((arg_start, k));
                 arg_start = k + 1;
             }
@@ -768,6 +775,7 @@ mod tests {
             pub(crate) fn internal(s: &str) -> Result<(), String> { body() }
             fn private(s: &str) -> Result<(), String> { body() }
             pub fn generic<E: Error>(s: &str) -> Result<(), E> { body() }
+            pub fn tuple_ok(s: &str) -> Result<(u16, String), ProxError> { body() }
         "#;
         let d = run(l4_typed_errors, src);
         assert!(d.is_empty(), "{d:?}");

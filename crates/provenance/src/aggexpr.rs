@@ -15,10 +15,10 @@ use crate::valuation::Valuation;
 
 /// An aggregated value: a formal sum of tensors plus the aggregation used
 /// to interpret it.
-#[derive(Clone, Debug, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct AggExpr {
-    tensors: Vec<Tensor>,
-    kind: AggKind,
+    pub(crate) tensors: Vec<Tensor>,
+    pub(crate) kind: AggKind,
 }
 
 impl AggExpr {

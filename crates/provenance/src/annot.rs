@@ -7,13 +7,11 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 /// Handle to an interned annotation inside an [`crate::store::AnnStore`].
 ///
 /// Ordering follows creation order, which the algorithms rely on only for
 /// determinism (stable candidate enumeration), never for semantics.
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct AnnId(pub(crate) u32);
 
 impl AnnId {
@@ -42,7 +40,7 @@ impl fmt::Debug for AnnId {
 ///
 /// Two annotations may only be merged by a summarization mapping when they
 /// share a domain — the simplest semantic constraint of §3.2.
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct DomainId(pub(crate) u16);
 
 impl DomainId {
@@ -60,7 +58,7 @@ impl fmt::Debug for DomainId {
 }
 
 /// Handle to an interned attribute name ("gender", "age_range", ...).
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct AttrId(pub(crate) u16);
 
 impl AttrId {
@@ -78,7 +76,7 @@ impl fmt::Debug for AttrId {
 }
 
 /// Handle to an interned attribute value ("Female", "25-34", ...).
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct AttrValueId(pub(crate) u32);
 
 impl AttrValueId {
@@ -96,7 +94,7 @@ impl fmt::Debug for AttrValueId {
 }
 
 /// How an annotation came to exist.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub enum AnnKind {
     /// A base annotation from the original provenance (`Ann`).
     Base,
@@ -116,7 +114,7 @@ impl AnnKind {
 }
 
 /// Full record for one annotation.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct Annotation {
     /// Human-readable name ("UID245", "Female", "wordnet_singer").
     pub name: String,

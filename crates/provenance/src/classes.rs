@@ -11,14 +11,12 @@
 //!
 //! Taxonomy-consistent filtering of these classes lives in `prox-taxonomy`.
 
-use serde::{Deserialize, Serialize};
-
 use crate::annot::{AnnId, DomainId};
 use crate::store::AnnStore;
 use crate::valuation::Valuation;
 
 /// Which valuation class to generate.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum ValuationClass {
     /// Cancel one annotation per valuation.
     CancelSingleAnnotation,

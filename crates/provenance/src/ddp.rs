@@ -23,7 +23,7 @@ use crate::semiring::{Semiring, Tropical};
 use crate::valuation::Valuation;
 
 /// Polarity of a database condition.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum DbCondOp {
     /// `[dᵢ·dⱼ] ≠ 0` — all referenced tuples must be present.
     NonZero,
@@ -42,7 +42,7 @@ impl DbCondOp {
 }
 
 /// One transition of an execution.
-#[derive(Clone, Debug, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
 pub enum DdpTransition {
     /// `⟨c_k, 1⟩`: a user choice with an associated cost variable.
     User {
@@ -98,7 +98,7 @@ impl DdpTransition {
 }
 
 /// A single execution: a product of transitions.
-#[derive(Clone, Debug, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
 pub struct DdpExecution {
     /// The transitions, in FSM order.
     pub transitions: Vec<DdpTransition>,
@@ -126,12 +126,11 @@ impl DdpExecution {
 
 /// A DDP provenance expression: a sum over executions, with a cost table
 /// for cost variables.
-#[derive(Clone, Debug, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct DdpExpr {
-    executions: Vec<DdpExecution>,
+    pub(crate) executions: Vec<DdpExecution>,
     /// Cost value carried by each cost variable.
-    #[serde(with = "crate::persist::ann_keyed_map")]
-    costs: HashMap<AnnId, f64>,
+    pub(crate) costs: HashMap<AnnId, f64>,
     /// Maximum cost of a single transition (paper: 10) — used by the
     /// mismatch penalty of the DDP VAL-FUNC.
     pub max_cost_per_transition: f64,

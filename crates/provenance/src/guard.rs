@@ -9,14 +9,12 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 use crate::mapping::Mapping;
 use crate::polynomial::Polynomial;
 use crate::valuation::Valuation;
 
 /// Comparison operators allowed in guards.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum CmpOp {
     /// `>`
     Gt,
@@ -70,7 +68,7 @@ impl fmt::Display for CmpOp {
 /// The left-hand side is a formal sum of provenance-weighted tensors; each
 /// `pᵢ` evaluates to a count under the valuation and contributes
 /// `count · wᵢ` to the compared value.
-#[derive(Clone, Debug, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct Guard {
     /// `(provenance, weight)` tensors on the left-hand side.
     pub lhs: Vec<(Polynomial, f64)>,

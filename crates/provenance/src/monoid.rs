@@ -8,10 +8,8 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 /// The aggregation function used to combine tensor values.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum AggKind {
     /// Maximum rating/value.
     Max,
@@ -53,7 +51,7 @@ impl fmt::Display for AggKind {
 }
 
 /// A `(value, contributor count)` monoid element.
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct AggValue {
     /// The aggregated numeric value (a rating, an edit-type weight, ...).
     pub value: f64,

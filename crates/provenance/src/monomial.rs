@@ -11,9 +11,7 @@ use crate::mapping::Mapping;
 use crate::valuation::Valuation;
 
 /// A product of annotations (with multiplicity), `1` when empty.
-#[derive(
-    Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default, serde::Serialize, serde::Deserialize,
-)]
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct Monomial {
     factors: Vec<AnnId>, // sorted
 }

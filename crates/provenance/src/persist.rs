@@ -2,31 +2,39 @@
 //!
 //! Experiment workloads and summarization results can be saved and
 //! reloaded — useful for sharing reproducible inputs, archiving experiment
-//! runs, and feeding the CLI from files. All expression types and the
-//! annotation store serialize with `serde`; this module provides typed
-//! JSON entry points and the serde adapter for `AnnId`-keyed maps (JSON
-//! objects require string keys).
+//! runs, and feeding the CLI from files. Serialization is hand-rolled on
+//! top of the in-tree [`prox_obs::Json`] writer/parser (no external JSON
+//! dependency): every expression type converts to and from a `Json` value,
+//! and every structural defect in a loaded file surfaces as a typed
+//! [`ProxError::Corrupt`], never a panic.
 
+use std::collections::HashMap;
 use std::path::Path;
 
-use serde::de::DeserializeOwned;
-use serde::Serialize;
-
+use prox_obs::Json;
 use prox_robust::{fault, ProxError};
 
-use crate::ddp::DdpExpr;
+use crate::aggexpr::AggExpr;
+use crate::annot::{AnnId, AnnKind, Annotation, AttrId, AttrValueId, DomainId};
+use crate::ddp::{DbCondOp, DdpExecution, DdpExpr, DdpTransition};
+use crate::guard::{CmpOp, Guard};
+use crate::monoid::{AggKind, AggValue};
+use crate::monomial::Monomial;
+use crate::polynomial::Polynomial;
 use crate::provexpr::ProvExpr;
 use crate::store::AnnStore;
+use crate::tensor::Tensor;
 
-/// Serialize any persistable value to pretty JSON.
-pub fn to_json<T: Serialize>(value: &T) -> Result<String, ProxError> {
-    serde_json::to_string_pretty(value)
-        .map_err(|e| ProxError::internal(format!("serializing provenance: {e}")))
+/// Serialize a workload to pretty JSON.
+pub fn to_json(workload: &SavedWorkload) -> Result<String, ProxError> {
+    Ok(workload.to_json_value().pretty())
 }
 
-/// Deserialize a persistable value from JSON.
-pub fn from_json<T: DeserializeOwned>(json: &str) -> Result<T, ProxError> {
-    serde_json::from_str(json).map_err(|e| ProxError::corrupt("provenance json", e.to_string()))
+/// Deserialize a workload from JSON.
+pub fn from_json(json: &str) -> Result<SavedWorkload, ProxError> {
+    let value =
+        Json::parse(json).map_err(|e| ProxError::corrupt("provenance json", e.to_string()))?;
+    SavedWorkload::from_json_value(&value)
 }
 
 /// Save a workload to a file as pretty JSON.
@@ -53,7 +61,7 @@ pub fn load_workload(path: &Path) -> Result<SavedWorkload, ProxError> {
 
 /// A saved workload: store + expression together, so annotation ids stay
 /// consistent across the round trip.
-#[derive(Clone, Debug, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, Debug)]
 pub struct SavedWorkload {
     /// The annotation store.
     pub store: AnnStore,
@@ -112,37 +120,502 @@ impl SavedWorkload {
         }
         Ok(())
     }
+
+    /// Convert to a [`Json`] value.
+    pub fn to_json_value(&self) -> Json {
+        Json::obj()
+            .with("store", store_to_json(&self.store))
+            .with(
+                "provenance",
+                match &self.provenance {
+                    Some(p) => provexpr_to_json(p),
+                    None => Json::Null,
+                },
+            )
+            .with(
+                "ddp",
+                match &self.ddp {
+                    Some(d) => ddp_to_json(d),
+                    None => Json::Null,
+                },
+            )
+    }
+
+    /// Convert from a [`Json`] value, checking structure.
+    pub fn from_json_value(value: &Json) -> Result<Self, ProxError> {
+        let store = store_from_json(field(value, "store")?)?;
+        let provenance = match field(value, "provenance")? {
+            Json::Null => None,
+            p => Some(provexpr_from_json(p)?),
+        };
+        let ddp = match field(value, "ddp")? {
+            Json::Null => None,
+            d => Some(ddp_from_json(d)?),
+        };
+        Ok(SavedWorkload {
+            store,
+            provenance,
+            ddp,
+        })
+    }
 }
 
-/// Serde adapter serializing `HashMap<AnnId, V>` as a vector of pairs
-/// (JSON object keys must be strings; annotation ids are integers).
-pub mod ann_keyed_map {
-    use std::collections::HashMap;
+// ---- helpers ---------------------------------------------------------------
 
-    use serde::{Deserialize, Deserializer, Serialize, Serializer};
+fn corrupt(detail: impl Into<String>) -> ProxError {
+    ProxError::corrupt("provenance json", detail.into())
+}
 
-    use crate::annot::AnnId;
+fn field<'a>(obj: &'a Json, key: &str) -> Result<&'a Json, ProxError> {
+    obj.get(key)
+        .ok_or_else(|| corrupt(format!("missing key {key:?}")))
+}
 
-    /// Serialize as `[(ann, value), …]`, sorted for determinism.
-    pub fn serialize<V, S>(map: &HashMap<AnnId, V>, ser: S) -> Result<S::Ok, S::Error>
-    where
-        V: Serialize + Clone,
-        S: Serializer,
-    {
-        let mut pairs: Vec<(AnnId, V)> = map.iter().map(|(k, v)| (*k, v.clone())).collect();
-        pairs.sort_by_key(|&(k, _)| k);
-        pairs.serialize(ser)
+fn items<'a>(value: &'a Json, what: &str) -> Result<&'a [Json], ProxError> {
+    match value {
+        Json::Arr(items) => Ok(items),
+        _ => Err(corrupt(format!("{what} is not an array"))),
+    }
+}
+
+fn str_of<'a>(value: &'a Json, what: &str) -> Result<&'a str, ProxError> {
+    value
+        .as_str()
+        .ok_or_else(|| corrupt(format!("{what} is not a string")))
+}
+
+fn u64_of(value: &Json, what: &str) -> Result<u64, ProxError> {
+    value
+        .as_u64()
+        .ok_or_else(|| corrupt(format!("{what} is not a non-negative integer")))
+}
+
+fn f64_of(value: &Json, what: &str) -> Result<f64, ProxError> {
+    match *value {
+        Json::Float(f) => Ok(f),
+        Json::UInt(n) => Ok(n as f64),
+        Json::Int(n) => Ok(n as f64),
+        _ => Err(corrupt(format!("{what} is not a number"))),
+    }
+}
+
+fn ann_of(value: &Json, what: &str) -> Result<AnnId, ProxError> {
+    let raw = u64_of(value, what)?;
+    if raw > u64::from(u32::MAX) {
+        return Err(corrupt(format!("{what}: annotation id {raw} exceeds u32")));
+    }
+    Ok(AnnId(raw as u32))
+}
+
+fn pair<'a>(value: &'a Json, what: &str) -> Result<(&'a Json, &'a Json), ProxError> {
+    let items = items(value, what)?;
+    match items {
+        [a, b] => Ok((a, b)),
+        _ => Err(corrupt(format!("{what} is not a 2-element array"))),
+    }
+}
+
+// ---- annotation store ------------------------------------------------------
+
+fn store_to_json(store: &AnnStore) -> Json {
+    let anns: Vec<Json> = store
+        .anns
+        .iter()
+        .map(|a| {
+            let mut j = Json::obj()
+                .with("name", a.name.as_str())
+                .with("domain", u64::from(a.domain.0))
+                .with(
+                    "attrs",
+                    Json::Arr(
+                        a.attrs
+                            .iter()
+                            .map(|&(attr, val)| {
+                                Json::Arr(vec![
+                                    Json::UInt(u64::from(attr.0)),
+                                    Json::UInt(u64::from(val.0)),
+                                ])
+                            })
+                            .collect(),
+                    ),
+                );
+            match &a.kind {
+                AnnKind::Base => {
+                    j.set("kind", "base");
+                }
+                AnnKind::Summary { members } => {
+                    j.set("kind", "summary");
+                    j.set(
+                        "members",
+                        Json::Arr(members.iter().map(|m| Json::UInt(u64::from(m.0))).collect()),
+                    );
+                }
+            }
+            match a.concept {
+                Some(c) => j.set("concept", u64::from(c)),
+                None => j.set("concept", Json::Null),
+            };
+            j
+        })
+        .collect();
+    Json::obj()
+        .with("domains", store.domains.clone())
+        .with("attrs", store.attrs.clone())
+        .with("values", store.values.clone())
+        .with("anns", Json::Arr(anns))
+}
+
+fn string_vec(value: &Json, what: &str) -> Result<Vec<String>, ProxError> {
+    items(value, what)?
+        .iter()
+        .map(|s| str_of(s, what).map(str::to_owned))
+        .collect()
+}
+
+fn store_from_json(value: &Json) -> Result<AnnStore, ProxError> {
+    let domains = string_vec(field(value, "domains")?, "store.domains")?;
+    let attrs = string_vec(field(value, "attrs")?, "store.attrs")?;
+    let values = string_vec(field(value, "values")?, "store.values")?;
+    let raw_anns = items(field(value, "anns")?, "store.anns")?;
+
+    let mut anns: Vec<Annotation> = Vec::with_capacity(raw_anns.len());
+    for (ix, a) in raw_anns.iter().enumerate() {
+        let what = format!("store.anns[{ix}]");
+        let name = str_of(field(a, "name")?, &what)?.to_owned();
+        let domain = u64_of(field(a, "domain")?, &what)?;
+        if domain as usize >= domains.len() {
+            return Err(corrupt(format!("{what}: domain {domain} out of range")));
+        }
+        let mut attr_pairs = Vec::new();
+        for p in items(field(a, "attrs")?, &what)? {
+            let (attr, val) = pair(p, &what)?;
+            let attr = u64_of(attr, &what)?;
+            let val = u64_of(val, &what)?;
+            if attr as usize >= attrs.len() || val as usize >= values.len() {
+                return Err(corrupt(format!("{what}: attribute pair out of range")));
+            }
+            attr_pairs.push((AttrId(attr as u16), AttrValueId(val as u32)));
+        }
+        let kind = match str_of(field(a, "kind")?, &what)? {
+            "base" => AnnKind::Base,
+            "summary" => {
+                let members = items(field(a, "members")?, &what)?
+                    .iter()
+                    .map(|m| ann_of(m, &what))
+                    .collect::<Result<Vec<_>, _>>()?;
+                if members.iter().any(|m| m.index() >= raw_anns.len()) {
+                    return Err(corrupt(format!("{what}: summary member out of range")));
+                }
+                AnnKind::Summary { members }
+            }
+            other => return Err(corrupt(format!("{what}: unknown kind {other:?}"))),
+        };
+        let concept = match field(a, "concept")? {
+            Json::Null => None,
+            c => {
+                let raw = u64_of(c, &what)?;
+                if raw > u64::from(u32::MAX) {
+                    return Err(corrupt(format!("{what}: concept {raw} exceeds u32")));
+                }
+                Some(raw as u32)
+            }
+        };
+        anns.push(Annotation {
+            name,
+            domain: DomainId(domain as u16),
+            attrs: attr_pairs,
+            kind,
+            concept,
+        });
     }
 
-    /// Deserialize from `[(ann, value), …]`.
-    pub fn deserialize<'de, V, D>(de: D) -> Result<HashMap<AnnId, V>, D::Error>
-    where
-        V: Deserialize<'de>,
-        D: Deserializer<'de>,
-    {
-        let pairs: Vec<(AnnId, V)> = Vec::deserialize(de)?;
-        Ok(pairs.into_iter().collect())
+    let ann_by_name = anns
+        .iter()
+        .enumerate()
+        .map(|(ix, a)| (a.name.clone(), AnnId::from_index(ix)))
+        .collect();
+    let domain_by_name = domains
+        .iter()
+        .enumerate()
+        .map(|(ix, d)| (d.clone(), DomainId(ix as u16)))
+        .collect();
+    let attr_by_name = attrs
+        .iter()
+        .enumerate()
+        .map(|(ix, a)| (a.clone(), AttrId(ix as u16)))
+        .collect();
+    let value_by_name = values
+        .iter()
+        .enumerate()
+        .map(|(ix, v)| (v.clone(), AttrValueId(ix as u32)))
+        .collect();
+    Ok(AnnStore {
+        anns,
+        ann_by_name,
+        domains,
+        domain_by_name,
+        attrs,
+        attr_by_name,
+        values,
+        value_by_name,
+    })
+}
+
+// ---- polynomials and tensors -----------------------------------------------
+
+fn polynomial_to_json(p: &Polynomial) -> Json {
+    Json::Arr(
+        p.terms()
+            .iter()
+            .map(|(m, c)| {
+                Json::Arr(vec![
+                    Json::Arr(
+                        m.factors()
+                            .iter()
+                            .map(|a| Json::UInt(u64::from(a.0)))
+                            .collect(),
+                    ),
+                    Json::UInt(*c),
+                ])
+            })
+            .collect(),
+    )
+}
+
+fn polynomial_from_json(value: &Json) -> Result<Polynomial, ProxError> {
+    let mut terms = Vec::new();
+    for t in items(value, "polynomial")? {
+        let (factors, coeff) = pair(t, "polynomial term")?;
+        let factors = items(factors, "monomial factors")?
+            .iter()
+            .map(|a| ann_of(a, "monomial factor"))
+            .collect::<Result<Vec<_>, _>>()?;
+        terms.push((
+            Monomial::from_factors(factors),
+            u64_of(coeff, "coefficient")?,
+        ));
     }
+    Ok(Polynomial::from_terms(terms))
+}
+
+fn cmp_name(op: CmpOp) -> &'static str {
+    match op {
+        CmpOp::Gt => "Gt",
+        CmpOp::Ge => "Ge",
+        CmpOp::Lt => "Lt",
+        CmpOp::Le => "Le",
+        CmpOp::Eq => "Eq",
+        CmpOp::Ne => "Ne",
+    }
+}
+
+fn cmp_from_name(name: &str) -> Result<CmpOp, ProxError> {
+    match name {
+        "Gt" => Ok(CmpOp::Gt),
+        "Ge" => Ok(CmpOp::Ge),
+        "Lt" => Ok(CmpOp::Lt),
+        "Le" => Ok(CmpOp::Le),
+        "Eq" => Ok(CmpOp::Eq),
+        "Ne" => Ok(CmpOp::Ne),
+        other => Err(corrupt(format!("unknown comparison operator {other:?}"))),
+    }
+}
+
+fn guard_to_json(g: &Guard) -> Json {
+    Json::obj()
+        .with(
+            "lhs",
+            Json::Arr(
+                g.lhs
+                    .iter()
+                    .map(|(p, w)| Json::Arr(vec![polynomial_to_json(p), Json::Float(*w)]))
+                    .collect(),
+            ),
+        )
+        .with("op", cmp_name(g.op))
+        .with("rhs", Json::Float(g.rhs))
+}
+
+fn guard_from_json(value: &Json) -> Result<Guard, ProxError> {
+    let mut lhs = Vec::new();
+    for t in items(field(value, "lhs")?, "guard.lhs")? {
+        let (p, w) = pair(t, "guard.lhs term")?;
+        lhs.push((polynomial_from_json(p)?, f64_of(w, "guard weight")?));
+    }
+    Ok(Guard {
+        lhs,
+        op: cmp_from_name(str_of(field(value, "op")?, "guard.op")?)?,
+        rhs: f64_of(field(value, "rhs")?, "guard.rhs")?,
+    })
+}
+
+fn tensor_to_json(t: &Tensor) -> Json {
+    Json::obj()
+        .with("prov", polynomial_to_json(&t.prov))
+        .with(
+            "guards",
+            Json::Arr(t.guards.iter().map(guard_to_json).collect()),
+        )
+        .with(
+            "value",
+            Json::Arr(vec![Json::Float(t.value.value), Json::UInt(t.value.count)]),
+        )
+}
+
+fn tensor_from_json(value: &Json) -> Result<Tensor, ProxError> {
+    let prov = polynomial_from_json(field(value, "prov")?)?;
+    let guards = items(field(value, "guards")?, "tensor.guards")?
+        .iter()
+        .map(guard_from_json)
+        .collect::<Result<Vec<_>, _>>()?;
+    let (v, c) = pair(field(value, "value")?, "tensor.value")?;
+    Ok(Tensor::guarded(
+        prov,
+        guards,
+        AggValue::new(f64_of(v, "tensor value")?, u64_of(c, "tensor count")?),
+    ))
+}
+
+fn agg_from_name(name: &str) -> Result<AggKind, ProxError> {
+    match name {
+        "MAX" => Ok(AggKind::Max),
+        "MIN" => Ok(AggKind::Min),
+        "SUM" => Ok(AggKind::Sum),
+        "COUNT" => Ok(AggKind::Count),
+        other => Err(corrupt(format!("unknown aggregation {other:?}"))),
+    }
+}
+
+fn provexpr_to_json(p: &ProvExpr) -> Json {
+    Json::obj().with("agg", p.kind().name()).with(
+        "entries",
+        Json::Arr(
+            p.entries()
+                .iter()
+                .map(|(object, expr)| {
+                    Json::Arr(vec![
+                        Json::UInt(u64::from(object.0)),
+                        Json::Arr(expr.tensors().iter().map(tensor_to_json).collect()),
+                    ])
+                })
+                .collect(),
+        ),
+    )
+}
+
+fn provexpr_from_json(value: &Json) -> Result<ProvExpr, ProxError> {
+    let kind = agg_from_name(str_of(field(value, "agg")?, "provenance.agg")?)?;
+    let mut entries = Vec::new();
+    for e in items(field(value, "entries")?, "provenance.entries")? {
+        let (object, tensors) = pair(e, "provenance entry")?;
+        let object = ann_of(object, "provenance object")?;
+        let tensors = items(tensors, "provenance tensors")?
+            .iter()
+            .map(tensor_from_json)
+            .collect::<Result<Vec<_>, _>>()?;
+        entries.push((object, AggExpr { tensors, kind }));
+    }
+    Ok(ProvExpr { entries, kind })
+}
+
+// ---- DDP expressions -------------------------------------------------------
+
+fn transition_to_json(t: &DdpTransition) -> Json {
+    match t {
+        DdpTransition::User { cost_var } => Json::obj().with("user", u64::from(cost_var.0)),
+        DdpTransition::Db { vars, op } => Json::obj()
+            .with(
+                "db",
+                Json::Arr(vars.iter().map(|v| Json::UInt(u64::from(v.0))).collect()),
+            )
+            .with(
+                "op",
+                match op {
+                    DbCondOp::NonZero => "NonZero",
+                    DbCondOp::Zero => "Zero",
+                },
+            ),
+    }
+}
+
+fn transition_from_json(value: &Json) -> Result<DdpTransition, ProxError> {
+    if let Some(cost_var) = value.get("user") {
+        return Ok(DdpTransition::User {
+            cost_var: ann_of(cost_var, "ddp user transition")?,
+        });
+    }
+    let vars = items(field(value, "db")?, "ddp db transition")?
+        .iter()
+        .map(|v| ann_of(v, "ddp db variable"))
+        .collect::<Result<Vec<_>, _>>()?;
+    let op = match str_of(field(value, "op")?, "ddp op")? {
+        "NonZero" => DbCondOp::NonZero,
+        "Zero" => DbCondOp::Zero,
+        other => return Err(corrupt(format!("unknown db condition op {other:?}"))),
+    };
+    Ok(DdpTransition::Db { vars, op })
+}
+
+fn ddp_to_json(d: &DdpExpr) -> Json {
+    let mut costs: Vec<(AnnId, f64)> = d.costs.iter().map(|(&k, &v)| (k, v)).collect();
+    costs.sort_by_key(|&(k, _)| k);
+    Json::obj()
+        .with(
+            "costs",
+            Json::Arr(
+                costs
+                    .iter()
+                    .map(|&(k, v)| Json::Arr(vec![Json::UInt(u64::from(k.0)), Json::Float(v)]))
+                    .collect(),
+            ),
+        )
+        .with(
+            "max_cost_per_transition",
+            Json::Float(d.max_cost_per_transition),
+        )
+        .with(
+            "max_transitions_per_execution",
+            d.max_transitions_per_execution,
+        )
+        .with(
+            "executions",
+            Json::Arr(
+                d.executions
+                    .iter()
+                    .map(|e| Json::Arr(e.transitions.iter().map(transition_to_json).collect()))
+                    .collect(),
+            ),
+        )
+}
+
+fn ddp_from_json(value: &Json) -> Result<DdpExpr, ProxError> {
+    let mut costs = HashMap::new();
+    for c in items(field(value, "costs")?, "ddp.costs")? {
+        let (k, v) = pair(c, "ddp cost")?;
+        costs.insert(ann_of(k, "ddp cost variable")?, f64_of(v, "ddp cost")?);
+    }
+    let max_cost_per_transition = f64_of(
+        field(value, "max_cost_per_transition")?,
+        "ddp.max_cost_per_transition",
+    )?;
+    let max_transitions_per_execution = u64_of(
+        field(value, "max_transitions_per_execution")?,
+        "ddp.max_transitions_per_execution",
+    )? as usize;
+    let mut executions = Vec::new();
+    for e in items(field(value, "executions")?, "ddp.executions")? {
+        let transitions = items(e, "ddp execution")?
+            .iter()
+            .map(transition_from_json)
+            .collect::<Result<Vec<_>, _>>()?;
+        executions.push(DdpExecution { transitions });
+    }
+    Ok(DdpExpr {
+        executions,
+        costs,
+        max_cost_per_transition,
+        max_transitions_per_execution,
+    })
 }
 
 #[cfg(test)]
@@ -263,7 +736,35 @@ mod tests {
 
     #[test]
     fn malformed_json_errors() {
-        let res: Result<SavedWorkload, _> = from_json("{\"nope\": 1}");
+        let res = from_json("{\"nope\": 1}");
         assert!(res.is_err());
+    }
+
+    #[test]
+    fn reconstructed_store_lookups_match_original_ids() {
+        let (s, p) = workload();
+        let json = to_json(&SavedWorkload::aggregated(s.clone(), p)).expect("serializes");
+        let loaded = from_json(&json).expect("valid json");
+        for (id, ann) in s.iter() {
+            assert_eq!(loaded.store.by_name(&ann.name), Some(id));
+            assert_eq!(loaded.store.name(id), s.name(id));
+            assert_eq!(
+                loaded.store.domain_name(ann.domain),
+                s.domain_name(ann.domain)
+            );
+        }
+    }
+
+    #[test]
+    fn out_of_range_references_are_corrupt_not_panics() {
+        // An annotation pointing at a non-existent domain.
+        let bad = r#"{
+            "store": {"domains": [], "attrs": [], "values": [],
+                      "anns": [{"name": "X", "domain": 3, "attrs": [],
+                                "kind": "base", "concept": null}]},
+            "provenance": null,
+            "ddp": null
+        }"#;
+        assert!(matches!(from_json(bad), Err(ProxError::Corrupt { .. })));
     }
 }

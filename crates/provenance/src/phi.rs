@@ -10,10 +10,8 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 /// The combiner function applied to member truth values.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum Phi {
     /// Disjunction: the summary is live while any member is live.
     Or,

@@ -14,7 +14,7 @@ use crate::semiring::{Bool, Count, Semiring};
 use crate::valuation::Valuation;
 
 /// An `N[Ann]` polynomial: a formal sum of monomials with coefficients in ℕ.
-#[derive(Clone, PartialEq, Eq, Hash, Default, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, PartialEq, Eq, Hash, Default)]
 pub struct Polynomial {
     /// Sorted by monomial, coefficients strictly positive.
     terms: Vec<(Monomial, u64)>,

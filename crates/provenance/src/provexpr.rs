@@ -19,11 +19,11 @@ use crate::tensor::Tensor;
 use crate::valuation::Valuation;
 
 /// A provenance expression over multiple objects.
-#[derive(Clone, Debug, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct ProvExpr {
     /// `(object annotation, aggregated expression)`, in insertion order.
-    entries: Vec<(AnnId, AggExpr)>,
-    kind: AggKind,
+    pub(crate) entries: Vec<(AnnId, AggExpr)>,
+    pub(crate) kind: AggKind,
 }
 
 impl ProvExpr {

@@ -18,16 +18,16 @@ static BASE_CREATED: Counter = Counter::new("store/annotations_created");
 static SUMMARIES_CREATED: Counter = Counter::new("store/summaries_created");
 
 /// Interner and registry for everything annotation-related.
-#[derive(Clone, Debug, Default, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, Debug, Default)]
 pub struct AnnStore {
-    anns: Vec<Annotation>,
-    ann_by_name: HashMap<String, AnnId>,
-    domains: Vec<String>,
-    domain_by_name: HashMap<String, DomainId>,
-    attrs: Vec<String>,
-    attr_by_name: HashMap<String, AttrId>,
-    values: Vec<String>,
-    value_by_name: HashMap<String, AttrValueId>,
+    pub(crate) anns: Vec<Annotation>,
+    pub(crate) ann_by_name: HashMap<String, AnnId>,
+    pub(crate) domains: Vec<String>,
+    pub(crate) domain_by_name: HashMap<String, DomainId>,
+    pub(crate) attrs: Vec<String>,
+    pub(crate) attr_by_name: HashMap<String, AttrId>,
+    pub(crate) values: Vec<String>,
+    pub(crate) value_by_name: HashMap<String, AttrValueId>,
 }
 
 impl AnnStore {

@@ -12,7 +12,7 @@ use crate::polynomial::Polynomial;
 use crate::valuation::Valuation;
 
 /// One summand of an aggregated value's formal sum.
-#[derive(Clone, Debug, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct Tensor {
     /// Tuple provenance (the `tᵢ` part).
     pub prov: Polynomial,

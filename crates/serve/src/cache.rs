@@ -1,0 +1,132 @@
+//! The summary cache: an LRU over rendered response bodies.
+//!
+//! Keys are canonical request fingerprints (see [`fingerprint`] and
+//! `service::canonical_key`): every parameter that determines the result —
+//! dataset generator seed and shape, selection, weights, bounds, the
+//! deterministic step cap — and nothing that does not (wall-clock
+//! deadlines). Values are the exact rendered response body, so a cache hit
+//! is byte-identical to the recompute it replaces. Hits, misses, and
+//! evictions are counted in the prox-obs registry (`serve/cache_*`).
+//!
+//! The store is a plain `Vec` scanned linearly with most-recently-used at
+//! the back: capacities are small (tens of entries) and the scan is
+//! deterministic, which keeps rule L2 trivially satisfied.
+
+use prox_obs::Counter;
+
+static CACHE_HIT: Counter = Counter::new("serve/cache_hit");
+static CACHE_MISS: Counter = Counter::new("serve/cache_miss");
+static CACHE_EVICT: Counter = Counter::new("serve/cache_evict");
+
+/// FNV-1a 64-bit over `key`, rendered as 16 hex digits. Stable across
+/// processes and platforms (unlike `DefaultHasher`, whose keys are
+/// randomized per process — rule L2 forbids that leaking into output).
+pub fn fingerprint(key: &str) -> String {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for byte in key.as_bytes() {
+        hash ^= u64::from(*byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    format!("{hash:016x}")
+}
+
+/// Fixed-capacity LRU mapping canonical request keys to response bodies.
+pub struct SummaryCache {
+    entries: Vec<(String, String)>,
+    capacity: usize,
+}
+
+impl SummaryCache {
+    /// A cache holding at most `capacity` responses (minimum 1).
+    pub fn new(capacity: usize) -> Self {
+        SummaryCache {
+            entries: Vec::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Look up `key`, refreshing its recency on a hit. Counts the lookup
+    /// as `serve/cache_hit` or `serve/cache_miss`.
+    pub fn get(&mut self, key: &str) -> Option<String> {
+        match self.entries.iter().position(|(k, _)| k == key) {
+            Some(ix) => {
+                let entry = self.entries.remove(ix);
+                let body = entry.1.clone();
+                self.entries.push(entry);
+                CACHE_HIT.incr();
+                Some(body)
+            }
+            None => {
+                CACHE_MISS.incr();
+                None
+            }
+        }
+    }
+
+    /// Insert (or refresh) `key`, evicting the least-recently-used entry
+    /// when full (counted as `serve/cache_evict`).
+    pub fn put(&mut self, key: String, body: String) {
+        if let Some(ix) = self.entries.iter().position(|(k, _)| *k == key) {
+            self.entries.remove(ix);
+        } else if self.entries.len() >= self.capacity {
+            self.entries.remove(0);
+            CACHE_EVICT.incr();
+        }
+        self.entries.push((key, body));
+    }
+
+    /// Number of cached responses.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fingerprint_is_stable_and_input_sensitive() {
+        // FNV-1a reference value for "a".
+        assert_eq!(fingerprint("a"), "af63dc4c8601ec8c");
+        assert_eq!(fingerprint("abc"), fingerprint("abc"));
+        assert_ne!(fingerprint("abc"), fingerprint("abd"));
+    }
+
+    #[test]
+    fn get_after_put_round_trips() {
+        let mut c = SummaryCache::new(4);
+        assert!(c.get("k").is_none());
+        c.put("k".into(), "body".into());
+        assert_eq!(c.get("k").as_deref(), Some("body"));
+    }
+
+    #[test]
+    fn eviction_removes_least_recently_used() {
+        let mut c = SummaryCache::new(2);
+        c.put("a".into(), "1".into());
+        c.put("b".into(), "2".into());
+        assert!(c.get("a").is_some(), "refresh a; b is now LRU");
+        c.put("c".into(), "3".into());
+        assert!(c.get("b").is_none(), "b evicted");
+        assert!(c.get("a").is_some());
+        assert!(c.get("c").is_some());
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn put_refreshes_existing_key_without_evicting() {
+        let mut c = SummaryCache::new(2);
+        c.put("a".into(), "1".into());
+        c.put("b".into(), "2".into());
+        c.put("a".into(), "1b".into());
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.get("a").as_deref(), Some("1b"));
+        assert!(c.get("b").is_some());
+    }
+}

@@ -1,0 +1,281 @@
+//! A minimal HTTP/1.1 subset: just enough to carry JSON requests and
+//! responses for the service endpoints, with hard caps and budgeted I/O.
+//!
+//! The parser is deliberately small: request line + headers + an optional
+//! `Content-Length` body, `Connection: close` semantics on every exchange.
+//! All read loops poll a [`BudgetSession`] (rule L3), so a stalled or
+//! byte-dribbling client cannot pin a worker — the read deadline trips and
+//! the connection is answered with `408`. Request bytes pass through the
+//! fault-injection hook ([`prox_robust::fault::corrupt_bytes`]), so
+//! `PROX_FAULT=corrupt:<seed>` exercises the server's malformed-input
+//! path end to end.
+
+use std::io::{ErrorKind as IoKind, Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+use prox_robust::{BudgetSession, ExecutionBudget, ProxError};
+
+/// Cap on the request line + headers.
+pub const MAX_HEAD_BYTES: usize = 8 * 1024;
+/// Cap on a request body.
+pub const MAX_BODY_BYTES: usize = 1024 * 1024;
+
+/// A parsed request. Header names are lowercased at parse time.
+#[derive(Clone, Debug)]
+pub struct Request {
+    /// `GET`, `POST`, ... (uppercase as sent).
+    pub method: String,
+    /// Request target, e.g. `/summarize` (query strings are not split off).
+    pub path: String,
+    /// `(name, value)` pairs, names lowercased, in arrival order.
+    pub headers: Vec<(String, String)>,
+    /// The body (empty when no `Content-Length` was sent).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// First value of `name` (case-insensitive), if present.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let needle = name.to_ascii_lowercase();
+        self.headers
+            .iter()
+            .find(|(n, _)| *n == needle)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// A response ready to serialize: status + JSON body.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Response {
+    /// HTTP status code.
+    pub status: u16,
+    /// JSON body (already rendered).
+    pub body: String,
+    /// Optional `Retry-After` seconds (load shedding).
+    pub retry_after: Option<u64>,
+}
+
+impl Response {
+    /// A JSON response with the given status.
+    pub fn json(status: u16, body: String) -> Self {
+        Response {
+            status,
+            body,
+            retry_after: None,
+        }
+    }
+}
+
+fn parse_err(message: impl Into<String>, offset: usize) -> ProxError {
+    ProxError::Parse {
+        message: message.into(),
+        offset,
+    }
+}
+
+/// Where the CRLFCRLF head terminator ends, if present.
+fn head_end(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n").map(|p| p + 4)
+}
+
+/// A read-budget trip means the client stalled before delivering a full
+/// request: no work was admitted, so it maps to `ProxError::Budget` (408).
+fn io_budget_stop(stop: prox_robust::BudgetStop) -> ProxError {
+    ProxError::Budget(stop)
+}
+
+/// Read and parse one request from `stream`, polling `session` so a slow
+/// client cannot hold the worker past its I/O deadline.
+pub fn read_request(
+    stream: &mut TcpStream,
+    session: &mut BudgetSession,
+) -> Result<Request, ProxError> {
+    // Short socket timeouts make the budget poll effective: each blocking
+    // read wakes up at least this often to re-check the deadline.
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(100)));
+    let mut buf: Vec<u8> = Vec::with_capacity(1024);
+    let mut chunk = [0u8; 4096];
+    while head_end(&buf).is_none() {
+        session.check().map_err(io_budget_stop)?;
+        if buf.len() > MAX_HEAD_BYTES {
+            return Err(parse_err("request head exceeds 8 KiB", buf.len()));
+        }
+        match stream.read(&mut chunk) {
+            Ok(0) => return Err(parse_err("connection closed mid-request", buf.len())),
+            Ok(n) => buf.extend_from_slice(&chunk[..n]),
+            Err(e) if matches!(e.kind(), IoKind::WouldBlock | IoKind::TimedOut) => {}
+            Err(e) => return Err(ProxError::io("reading request head", &e)),
+        }
+    }
+    let end = head_end(&buf).unwrap_or(buf.len());
+    let head = std::str::from_utf8(&buf[..end])
+        .map_err(|e| parse_err("request head is not UTF-8", e.valid_up_to()))?;
+    let mut lines = head.split("\r\n");
+    let request_line = lines.next().unwrap_or("");
+    let mut parts = request_line.split(' ');
+    let method = parts.next().unwrap_or("").to_owned();
+    let path = parts.next().unwrap_or("").to_owned();
+    let version = parts.next().unwrap_or("");
+    if method.is_empty() || path.is_empty() || !version.starts_with("HTTP/1.") {
+        return Err(parse_err(
+            format!("malformed request line {request_line:?}"),
+            0,
+        ));
+    }
+    let mut headers = Vec::new();
+    for line in lines {
+        if line.is_empty() {
+            continue;
+        }
+        let (name, value) = line
+            .split_once(':')
+            .ok_or_else(|| parse_err(format!("malformed header line {line:?}"), 0))?;
+        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_owned()));
+    }
+    let request = Request {
+        method,
+        path,
+        headers,
+        body: Vec::new(),
+    };
+
+    let content_length = match request.header("content-length") {
+        Some(v) => v
+            .parse::<usize>()
+            .map_err(|_| parse_err(format!("bad Content-Length {v:?}"), 0))?,
+        None => 0,
+    };
+    if content_length > MAX_BODY_BYTES {
+        return Err(parse_err("request body exceeds 1 MiB", 0));
+    }
+    let mut body: Vec<u8> = buf[end..].to_vec();
+    while body.len() < content_length {
+        session.check().map_err(io_budget_stop)?;
+        match stream.read(&mut chunk) {
+            Ok(0) => return Err(parse_err("connection closed mid-body", body.len())),
+            Ok(n) => body.extend_from_slice(&chunk[..n]),
+            Err(e) if matches!(e.kind(), IoKind::WouldBlock | IoKind::TimedOut) => {}
+            Err(e) => return Err(ProxError::io("reading request body", &e)),
+        }
+    }
+    body.truncate(content_length);
+    // Fault-injection hook: a corrupt-site fault flips bits in the body so
+    // the malformed-input path (400, never a panic) is exercised.
+    prox_robust::fault::corrupt_bytes(&mut body);
+    Ok(Request { body, ..request })
+}
+
+/// Reason phrase for the status codes this server emits.
+pub fn status_text(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        408 => "Request Timeout",
+        503 => "Service Unavailable",
+        _ => "Internal Server Error",
+    }
+}
+
+/// Serialize `resp` onto the stream (`Connection: close` semantics).
+pub fn write_response(stream: &mut TcpStream, resp: &Response) -> Result<(), ProxError> {
+    let mut head = format!(
+        "HTTP/1.1 {} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n",
+        resp.status,
+        status_text(resp.status),
+        resp.body.len(),
+    );
+    if let Some(secs) = resp.retry_after {
+        head.push_str(&format!("Retry-After: {secs}\r\n"));
+    }
+    head.push_str("\r\n");
+    stream
+        .write_all(head.as_bytes())
+        .and_then(|()| stream.write_all(resp.body.as_bytes()))
+        .and_then(|()| stream.flush())
+        .map_err(|e| ProxError::io("writing response", &e))
+}
+
+/// A blocking HTTP client for tests and the bench load generator: one
+/// request, one response, connection closed. Returns `(status, body)`.
+pub fn client_request(
+    addr: &str,
+    method: &str,
+    path: &str,
+    headers: &[(&str, String)],
+    body: &[u8],
+    deadline_ms: u64,
+) -> Result<(u16, String), ProxError> {
+    let mut stream =
+        TcpStream::connect(addr).map_err(|e| ProxError::io(format!("connect {addr}"), &e))?;
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(100)));
+    let mut head = format!("{method} {path} HTTP/1.1\r\nHost: {addr}\r\n");
+    for (name, value) in headers {
+        head.push_str(&format!("{name}: {value}\r\n"));
+    }
+    head.push_str(&format!("Content-Length: {}\r\n\r\n", body.len()));
+    stream
+        .write_all(head.as_bytes())
+        .and_then(|()| stream.write_all(body))
+        .map_err(|e| ProxError::io("writing request", &e))?;
+
+    let budget = ExecutionBudget::unlimited().with_deadline_ms(deadline_ms);
+    let mut session = budget.start();
+    let mut buf: Vec<u8> = Vec::with_capacity(1024);
+    let mut chunk = [0u8; 4096];
+    let mut closed = false;
+    while !closed {
+        session
+            .check()
+            .map_err(|stop| parse_err(format!("response read budget exhausted: {stop}"), 0))?;
+        match stream.read(&mut chunk) {
+            Ok(0) => closed = true,
+            Ok(n) => buf.extend_from_slice(&chunk[..n]),
+            Err(e) if matches!(e.kind(), IoKind::WouldBlock | IoKind::TimedOut) => {}
+            Err(e) => return Err(ProxError::io("reading response", &e)),
+        }
+    }
+    let end = head_end(&buf).ok_or_else(|| parse_err("response missing header end", 0))?;
+    let head = std::str::from_utf8(&buf[..end])
+        .map_err(|e| parse_err("response head is not UTF-8", e.valid_up_to()))?;
+    let status: u16 = head
+        .split(' ')
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| parse_err(format!("malformed status line in {head:?}"), 0))?;
+    let body = String::from_utf8_lossy(&buf[end..]).into_owned();
+    Ok((status, body))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn head_end_finds_terminator() {
+        assert_eq!(head_end(b"GET / HTTP/1.1\r\n\r\nrest"), Some(18));
+        assert_eq!(head_end(b"GET / HTTP/1.1\r\n"), None);
+    }
+
+    #[test]
+    fn status_text_covers_emitted_codes() {
+        for code in [200u16, 400, 404, 405, 408, 503, 500] {
+            assert!(!status_text(code).is_empty());
+        }
+        assert_eq!(status_text(599), "Internal Server Error");
+    }
+
+    #[test]
+    fn request_header_lookup_is_case_insensitive() {
+        let req = Request {
+            method: "GET".into(),
+            path: "/".into(),
+            headers: vec![("x-prox-budget-ms".into(), "250".into())],
+            body: Vec::new(),
+        };
+        assert_eq!(req.header("X-Prox-Budget-Ms"), Some("250"));
+        assert_eq!(req.header("absent"), None);
+    }
+}

@@ -1,0 +1,175 @@
+//! A bounded MPMC queue for admission control.
+//!
+//! The accept loop `try_push`es connections and the worker pool `pop`s
+//! them. The queue never blocks producers: when it is full, `try_push`
+//! hands the item back so the caller can shed load (`503` + `Retry-After`)
+//! instead of building an unbounded backlog. Consumers block, but their
+//! wait loop polls a [`BudgetSession`] (rule L3) and wakes on `close`, so
+//! shutdown drains the queue deterministically: remaining items are still
+//! delivered, then every `pop` returns `None`.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+use std::time::Duration;
+
+use prox_robust::BudgetSession;
+
+use crate::lock;
+
+struct State<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+/// Fixed-capacity queue with shed-on-full producers and draining close.
+pub struct Bounded<T> {
+    state: Mutex<State<T>>,
+    cond: Condvar,
+    capacity: usize,
+}
+
+impl<T> Bounded<T> {
+    /// A queue admitting at most `capacity` items (minimum 1).
+    pub fn new(capacity: usize) -> Self {
+        Bounded {
+            state: Mutex::new(State {
+                items: VecDeque::new(),
+                closed: false,
+            }),
+            cond: Condvar::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Enqueue `item`, or hand it back when the queue is full or closed.
+    pub fn try_push(&self, item: T) -> Result<(), T> {
+        let mut state = lock(&self.state);
+        if state.closed || state.items.len() >= self.capacity {
+            return Err(item);
+        }
+        state.items.push_back(item);
+        self.cond.notify_one();
+        Ok(())
+    }
+
+    /// Dequeue, blocking until an item arrives, the queue is closed *and*
+    /// drained, or `session`'s budget trips. The poll keeps shutdown
+    /// bounded even if a notify is missed.
+    pub fn pop(&self, session: &mut BudgetSession) -> Option<T> {
+        let mut state = lock(&self.state);
+        loop {
+            if let Some(item) = state.items.pop_front() {
+                return Some(item);
+            }
+            if state.closed || session.check().is_err() {
+                return None;
+            }
+            let (guard, _timeout) = self
+                .cond
+                .wait_timeout(state, Duration::from_millis(50))
+                .unwrap_or_else(|e| e.into_inner());
+            state = guard;
+        }
+    }
+
+    /// Close the queue: producers are rejected from now on; consumers
+    /// drain what is left, then observe `None`.
+    pub fn close(&self) {
+        lock(&self.state).closed = true;
+        self.cond.notify_all();
+    }
+
+    /// Current occupancy.
+    pub fn len(&self) -> usize {
+        lock(&self.state).items.len()
+    }
+
+    /// Whether the queue is currently empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prox_robust::ExecutionBudget;
+    use std::sync::Arc;
+
+    fn session() -> BudgetSession {
+        ExecutionBudget::unlimited().with_deadline_ms(2_000).start()
+    }
+
+    #[test]
+    fn push_pop_is_fifo() {
+        let q = Bounded::new(4);
+        assert!(q.try_push(1).is_ok());
+        assert!(q.try_push(2).is_ok());
+        let mut s = session();
+        assert_eq!(q.pop(&mut s), Some(1));
+        assert_eq!(q.pop(&mut s), Some(2));
+    }
+
+    #[test]
+    fn full_queue_hands_item_back() {
+        let q = Bounded::new(2);
+        assert!(q.try_push(1).is_ok());
+        assert!(q.try_push(2).is_ok());
+        assert_eq!(q.try_push(3), Err(3));
+        assert_eq!(q.len(), 2);
+    }
+
+    #[test]
+    fn close_drains_then_yields_none() {
+        let q = Bounded::new(4);
+        assert!(q.try_push(7).is_ok());
+        q.close();
+        assert_eq!(q.try_push(8), Err(8), "closed queue rejects producers");
+        let mut s = session();
+        assert_eq!(q.pop(&mut s), Some(7), "items enqueued pre-close drain");
+        assert_eq!(q.pop(&mut s), None);
+    }
+
+    #[test]
+    fn budget_trip_unblocks_consumer() {
+        let q: Bounded<u8> = Bounded::new(1);
+        let mut s = ExecutionBudget::unlimited().with_deadline_ms(1).start();
+        std::thread::sleep(Duration::from_millis(5));
+        assert_eq!(q.pop(&mut s), None);
+    }
+
+    #[test]
+    fn concurrent_producers_and_consumers_deliver_everything() {
+        let q = Arc::new(Bounded::new(64));
+        let mut handles = Vec::new();
+        for t in 0..4u64 {
+            let q = Arc::clone(&q);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..16u64 {
+                    while q.try_push(t * 100 + i).is_err() {
+                        std::thread::yield_now();
+                    }
+                }
+            }));
+        }
+        let consumer = {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || {
+                let mut s = session();
+                let mut got = Vec::new();
+                while let Some(v) = q.pop(&mut s) {
+                    got.push(v);
+                    if got.len() == 64 {
+                        break;
+                    }
+                }
+                got
+            })
+        };
+        for h in handles {
+            let _ = h.join();
+        }
+        let got = consumer.join().unwrap_or_default();
+        assert_eq!(got.len(), 64);
+    }
+}

@@ -1,0 +1,266 @@
+//! The server: accept loop, worker pool, load shedding, graceful drain.
+//!
+//! One thread accepts; `workers` threads pull admitted connections off a
+//! bounded [`Bounded`] queue. Admission control is strict: a connection
+//! either enters the queue or is answered `503` + `Retry-After` on the
+//! spot — the server never buffers beyond `queue_capacity`. Shutdown
+//! (signal or [`ServerHandle::shutdown`]) cancels the shared
+//! [`CancelFlag`], which (a) stops the accept loop, (b) degrades in-flight
+//! summarizations to their anytime best-so-far answers, and (c) closes the
+//! queue so workers drain what was already admitted and exit.
+
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::Arc;
+use std::thread::{self, JoinHandle};
+use std::time::Duration;
+
+use prox_obs::Counter;
+use prox_robust::{CancelFlag, ExecutionBudget, ProxError};
+
+use crate::http::{self, Response};
+use crate::queue::Bounded;
+use crate::service::{self, ServiceCtx};
+use crate::signal;
+
+static SHED: Counter = Counter::new("serve/shed");
+static CONNECTIONS: Counter = Counter::new("serve/connections");
+
+/// Server tunables; [`ServerConfig::default`] matches the CLI defaults.
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// Bind address; port 0 picks an ephemeral port (tests).
+    pub addr: String,
+    /// Worker threads handling requests.
+    pub workers: usize,
+    /// Admission queue capacity; beyond it, connections are shed.
+    pub queue_capacity: usize,
+    /// Summary cache capacity (responses).
+    pub cache_capacity: usize,
+    /// Wall-clock budget for requests without `X-Prox-Budget-Ms`.
+    pub default_budget_ms: u64,
+    /// Per-connection I/O deadline (reading the request).
+    pub io_deadline_ms: u64,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:7070".to_owned(),
+            workers: 4,
+            queue_capacity: 64,
+            cache_capacity: 64,
+            default_budget_ms: 2_000,
+            io_deadline_ms: 10_000,
+        }
+    }
+}
+
+/// Constructor namespace for the service (see [`Server::start`]).
+pub struct Server;
+
+/// A running server: address, shutdown control, and joinable threads.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shutdown: CancelFlag,
+    queue: Arc<Bounded<TcpStream>>,
+    accept: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Bind, spawn the worker pool and the accept loop, and return a
+    /// handle. The listener is non-blocking so the accept loop can poll
+    /// the shutdown flag between connections.
+    pub fn start(config: ServerConfig) -> Result<ServerHandle, ProxError> {
+        let listener = TcpListener::bind(&config.addr)
+            .map_err(|e| ProxError::io(format!("bind {}", config.addr), &e))?;
+        listener
+            .set_nonblocking(true)
+            .map_err(|e| ProxError::io("set_nonblocking", &e))?;
+        let addr = listener
+            .local_addr()
+            .map_err(|e| ProxError::io("local_addr", &e))?;
+
+        let shutdown = CancelFlag::new();
+        let queue = Arc::new(Bounded::new(config.queue_capacity));
+        let ctx = Arc::new(ServiceCtx::new(
+            config.cache_capacity,
+            config.default_budget_ms,
+            shutdown.clone(),
+        ));
+
+        let mut workers = Vec::with_capacity(config.workers.max(1));
+        for ix in 0..config.workers.max(1) {
+            let queue = Arc::clone(&queue);
+            let ctx = Arc::clone(&ctx);
+            let io_deadline_ms = config.io_deadline_ms;
+            let spawned = thread::Builder::new()
+                .name(format!("prox-serve-worker-{ix}"))
+                .spawn(move || worker_loop(&queue, &ctx, io_deadline_ms))
+                .map_err(|e| ProxError::io("spawning worker", &e))?;
+            workers.push(spawned);
+        }
+
+        let accept = {
+            let queue = Arc::clone(&queue);
+            let shutdown = shutdown.clone();
+            thread::Builder::new()
+                .name("prox-serve-accept".to_owned())
+                .spawn(move || accept_loop(&listener, &queue, &shutdown))
+                .map_err(|e| ProxError::io("spawning accept loop", &e))?
+        };
+
+        Ok(ServerHandle {
+            addr,
+            shutdown,
+            queue,
+            accept: Some(accept),
+            workers,
+        })
+    }
+}
+
+/// Accept connections until shutdown, shedding with `503` when the
+/// admission queue is full, then close the queue so workers drain.
+fn accept_loop(listener: &TcpListener, queue: &Bounded<TcpStream>, shutdown: &CancelFlag) {
+    loop {
+        // admission loop: bounded by the shutdown flag, not a budget
+        if shutdown.is_cancelled() || signal::signalled() {
+            shutdown.cancel();
+            break;
+        }
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                CONNECTIONS.incr();
+                if let Err(stream) = queue.try_push(stream) {
+                    shed(stream);
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                thread::sleep(Duration::from_millis(2));
+            }
+            Err(_) => thread::sleep(Duration::from_millis(2)),
+        }
+    }
+    queue.close();
+}
+
+/// Answer a rejected connection immediately: `503` + `Retry-After: 1`.
+fn shed(mut stream: TcpStream) {
+    SHED.incr();
+    let resp = Response {
+        status: 503,
+        body: "{\"error\": \"admission queue full\", \"kind\": \"overload\"}".to_owned(),
+        retry_after: Some(1),
+    };
+    let _ = http::write_response(&mut stream, &resp);
+}
+
+/// Pull admitted connections until the queue closes and drains. The pop
+/// itself polls the session (rule L3); `note_step` keeps per-worker
+/// throughput visible in `steps_taken` if anyone attaches a budget.
+fn worker_loop(queue: &Bounded<TcpStream>, ctx: &ServiceCtx, io_deadline_ms: u64) {
+    let budget = ExecutionBudget::unlimited();
+    let mut session = budget.start();
+    while let Some(mut stream) = queue.pop(&mut session) {
+        let _ = session.note_step();
+        // The read session is cancel-linked so shutdown never blocks on a
+        // client that connected but went quiet: the connection is answered
+        // (408) and the worker moves on to drain the queue.
+        let mut io_session = ExecutionBudget::unlimited()
+            .with_deadline_ms(io_deadline_ms)
+            .with_cancel(ctx.shutdown.clone())
+            .start();
+        let response = match http::read_request(&mut stream, &mut io_session) {
+            Ok(request) => service::route(&request, ctx),
+            Err(e) => service::error_response(&e),
+        };
+        // A client that hung up mid-response is its own problem.
+        let _ = http::write_response(&mut stream, &response);
+    }
+}
+
+impl ServerHandle {
+    /// The bound address (resolves port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// A clone of the shutdown flag (cancel it to begin a graceful stop).
+    pub fn shutdown_flag(&self) -> CancelFlag {
+        self.shutdown.clone()
+    }
+
+    /// Current admission-queue occupancy.
+    pub fn queue_len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Graceful stop: cancel, let the accept loop close the queue, drain
+    /// admitted connections, join every thread.
+    pub fn shutdown(mut self) {
+        self.stop();
+    }
+
+    fn stop(&mut self) {
+        self.shutdown.cancel();
+        if let Some(accept) = self.accept.take() {
+            let _ = accept.join();
+        }
+        // The accept loop has closed the queue by now; workers drain what
+        // was admitted, observe `None`, and exit.
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn test_config() -> ServerConfig {
+        ServerConfig {
+            addr: "127.0.0.1:0".to_owned(),
+            workers: 2,
+            queue_capacity: 8,
+            cache_capacity: 8,
+            default_budget_ms: 5_000,
+            io_deadline_ms: 2_000,
+        }
+    }
+
+    #[test]
+    fn starts_on_ephemeral_port_and_answers_healthz() {
+        let handle = Server::start(test_config()).expect("server starts");
+        let addr = handle.addr().to_string();
+        let (status, body) =
+            http::client_request(&addr, "GET", "/healthz", &[], b"", 5_000).expect("request");
+        assert_eq!(status, 200);
+        assert!(body.contains("\"ok\""));
+        handle.shutdown();
+    }
+
+    #[test]
+    fn shutdown_joins_cleanly_with_no_traffic() {
+        let handle = Server::start(test_config()).expect("server starts");
+        handle.shutdown();
+    }
+
+    #[test]
+    fn bind_failure_is_a_typed_error() {
+        let mut cfg = test_config();
+        cfg.addr = "256.0.0.1:0".to_owned();
+        match Server::start(cfg) {
+            Err(e) => assert_eq!(e.kind(), prox_robust::ErrorKind::Input),
+            Ok(_) => panic!("bind to invalid address must fail"),
+        }
+    }
+}

@@ -1,0 +1,786 @@
+//! Request handling: routing, parameter parsing, canonical request keys,
+//! and the endpoint handlers.
+//!
+//! ## Endpoint contracts
+//!
+//! * `POST /summarize` — body (all fields optional): `dataset` (a preset
+//!   name from [`presets`] or an inline `{users, movies, ratings_per_user,
+//!   seed}` object), `selection` (`{"all": true}`, `{"search": s}`,
+//!   `{"genre": g, "year": y}`, or `{"titles": [..]}`), `w_dist`,
+//!   `target_dist`, `target_size`, `steps`, `agg` (`"MAX"|"MIN"|"SUM"|
+//!   "COUNT"`), and `budget_steps` (a deterministic step cap). The
+//!   wall-clock budget comes from the `X-Prox-Budget-Ms` header (server
+//!   default otherwise); a mid-run budget trip returns `200` with the
+//!   best-so-far summary and its `stop_reason`, only *upfront* exhaustion
+//!   is `408`.
+//! * `POST /provision` — the same fields plus a required `cancel`:
+//!   `{"annotations": [names..]}` or `{"attributes": [[attr, value]..]}`;
+//!   evaluates the assignment on both the original provenance and the
+//!   summary (§7's provisioning view).
+//! * `GET /datasets` — the preset catalog with titles.
+//! * `GET /healthz`, `GET /metrics` — liveness and the prox-obs snapshot.
+//!
+//! ## Error → status mapping
+//!
+//! [`ErrorKind::Input`] → 400, [`ErrorKind::Budget`] → 408,
+//! [`ErrorKind::Internal`] → 500; unknown path → 404, wrong method → 405;
+//! a full admission queue is shed by the server with 503 + `Retry-After`.
+//!
+//! ## Cache keying
+//!
+//! [`canonical_key`] renders every result-determining parameter — dataset
+//! generator config (including seed), selection, weights, bounds, `agg`,
+//! `budget_steps` — as sorted JSON. Wall-clock budgets are deliberately
+//! excluded: they do not change what a *completed* run returns, and runs
+//! cut short by wall-clock (`deadline_exceeded`/`cancelled`) are never
+//! cached. Identical seeded requests therefore produce byte-identical
+//! bodies whether computed or served from cache.
+
+use std::sync::Mutex;
+
+use prox_datasets::{MovieLens, MovieLensConfig};
+use prox_obs::{Counter, Json};
+use prox_provenance::AggKind;
+use prox_robust::{CancelFlag, ErrorKind, ExecutionBudget, ProxError};
+use prox_system::evaluator::{evaluate_both, Assignment, Evaluation};
+use prox_system::selection::{select, Selection};
+use prox_system::summarization::{summarize, SummarizationRequest, Summarized};
+
+use prox_core::StopReason;
+
+use crate::cache::{fingerprint, SummaryCache};
+use crate::http::{Request, Response};
+use crate::lock;
+
+static REQUESTS: Counter = Counter::new("serve/requests");
+static ERRORS: Counter = Counter::new("serve/errors");
+
+/// Shared per-server state handed to every worker.
+pub struct ServiceCtx {
+    /// The response cache (LRU over canonical request keys).
+    pub cache: Mutex<SummaryCache>,
+    /// Wall-clock budget applied when no `X-Prox-Budget-Ms` is sent.
+    pub default_budget_ms: u64,
+    /// Cancelled on shutdown; every request budget carries a clone so
+    /// in-flight runs degrade to best-so-far promptly.
+    pub shutdown: CancelFlag,
+}
+
+impl ServiceCtx {
+    /// Fresh context with an empty cache.
+    pub fn new(cache_capacity: usize, default_budget_ms: u64, shutdown: CancelFlag) -> Self {
+        ServiceCtx {
+            cache: Mutex::new(SummaryCache::new(cache_capacity)),
+            default_budget_ms,
+            shutdown,
+        }
+    }
+}
+
+/// The built-in dataset catalog: `(name, generator config)`. `demo`
+/// matches the CLI's default dataset.
+pub fn presets() -> Vec<(&'static str, MovieLensConfig)> {
+    vec![
+        (
+            "demo",
+            MovieLensConfig {
+                users: 40,
+                movies: 8,
+                ratings_per_user: 2,
+                seed: 2016,
+            },
+        ),
+        (
+            "small",
+            MovieLensConfig {
+                users: 15,
+                movies: 5,
+                ratings_per_user: 2,
+                seed: 3,
+            },
+        ),
+        (
+            "dense",
+            MovieLensConfig {
+                users: 40,
+                movies: 8,
+                ratings_per_user: 3,
+                seed: 11,
+            },
+        ),
+        (
+            "wide",
+            MovieLensConfig {
+                users: 20,
+                movies: 14,
+                ratings_per_user: 3,
+                seed: 11,
+            },
+        ),
+    ]
+}
+
+/// A fully resolved `/summarize` or `/provision` request.
+#[derive(Clone, Debug)]
+pub struct Params {
+    /// Generator config (from a preset or inline).
+    pub dataset: MovieLensConfig,
+    /// Catalog name, or `"custom"` for inline configs.
+    pub dataset_name: String,
+    /// What to select before summarizing.
+    pub selection: Selection,
+    /// Distance weight (`wDist`).
+    pub w_dist: f64,
+    /// Distance bound (`TARGET-DIST`).
+    pub target_dist: f64,
+    /// Size bound (`TARGET-SIZE`).
+    pub target_size: usize,
+    /// Maximum merge steps.
+    pub steps: usize,
+    /// Aggregation function.
+    pub agg: AggKind,
+    /// Optional deterministic budget step cap.
+    pub budget_steps: Option<usize>,
+    /// Provisioning assignment (`/provision` only).
+    pub cancel: Option<Assignment>,
+}
+
+impl Default for Params {
+    fn default() -> Self {
+        let defaults = SummarizationRequest::default();
+        Params {
+            dataset: MovieLensConfig {
+                users: 40,
+                movies: 8,
+                ratings_per_user: 2,
+                seed: 2016,
+            },
+            dataset_name: "demo".to_owned(),
+            selection: Selection::All,
+            w_dist: defaults.w_dist,
+            target_dist: defaults.target_dist,
+            target_size: defaults.target_size,
+            steps: defaults.steps,
+            agg: defaults.aggregation,
+            budget_steps: None,
+            cancel: None,
+        }
+    }
+}
+
+fn bad(message: impl Into<String>) -> ProxError {
+    ProxError::config(message)
+}
+
+fn f64_of(value: &Json, what: &str) -> Result<f64, ProxError> {
+    match value {
+        Json::Float(f) => Ok(*f),
+        Json::UInt(u) => Ok(*u as f64),
+        Json::Int(i) => Ok(*i as f64),
+        other => Err(bad(format!("{what} must be a number, got {other:?}"))),
+    }
+}
+
+fn usize_of(value: &Json, what: &str) -> Result<usize, ProxError> {
+    value
+        .as_u64()
+        .map(|u| u as usize)
+        .ok_or_else(|| bad(format!("{what} must be a non-negative integer")))
+}
+
+fn str_of<'a>(value: &'a Json, what: &str) -> Result<&'a str, ProxError> {
+    value
+        .as_str()
+        .ok_or_else(|| bad(format!("{what} must be a string")))
+}
+
+fn agg_of(name: &str) -> Result<AggKind, ProxError> {
+    match name {
+        "MAX" => Ok(AggKind::Max),
+        "MIN" => Ok(AggKind::Min),
+        "SUM" => Ok(AggKind::Sum),
+        "COUNT" => Ok(AggKind::Count),
+        other => Err(bad(format!(
+            "unknown agg {other:?} (expected MAX|MIN|SUM|COUNT)"
+        ))),
+    }
+}
+
+fn dataset_of(value: &Json) -> Result<(MovieLensConfig, String), ProxError> {
+    if let Json::Str(name) = value {
+        return presets()
+            .into_iter()
+            .find(|(n, _)| n == name)
+            .map(|(n, cfg)| (cfg, n.to_owned()))
+            .ok_or_else(|| {
+                bad(format!(
+                    "unknown dataset preset {name:?} (see GET /datasets)"
+                ))
+            });
+    }
+    let entries = match value {
+        Json::Obj(entries) => entries,
+        other => {
+            return Err(bad(format!(
+                "dataset must be a preset name or an object, got {other:?}"
+            )))
+        }
+    };
+    let mut cfg = MovieLensConfig {
+        users: 40,
+        movies: 8,
+        ratings_per_user: 2,
+        seed: 2016,
+    };
+    for (key, v) in entries {
+        match key.as_str() {
+            "users" => cfg.users = usize_of(v, "dataset.users")?,
+            "movies" => cfg.movies = usize_of(v, "dataset.movies")?,
+            "ratings_per_user" => cfg.ratings_per_user = usize_of(v, "dataset.ratings_per_user")?,
+            "seed" => {
+                cfg.seed = v
+                    .as_u64()
+                    .ok_or_else(|| bad("dataset.seed must be a non-negative integer"))?
+            }
+            other => return Err(bad(format!("unknown dataset field {other:?}"))),
+        }
+    }
+    // Sanity caps: the generator is synthetic and cheap, but a service
+    // endpoint must bound the work a single request can demand.
+    if cfg.users == 0 || cfg.users > 2_000 {
+        return Err(bad("dataset.users must be in 1..=2000"));
+    }
+    if cfg.movies == 0 || cfg.movies > 500 {
+        return Err(bad("dataset.movies must be in 1..=500"));
+    }
+    if cfg.ratings_per_user == 0 || cfg.ratings_per_user > 50 {
+        return Err(bad("dataset.ratings_per_user must be in 1..=50"));
+    }
+    Ok((cfg, "custom".to_owned()))
+}
+
+fn selection_of(value: &Json) -> Result<Selection, ProxError> {
+    let entries = match value {
+        Json::Obj(entries) => entries,
+        other => return Err(bad(format!("selection must be an object, got {other:?}"))),
+    };
+    let mut genre: Option<String> = None;
+    let mut year: Option<i32> = None;
+    let mut picked: Option<Selection> = None;
+    let mut saw_genre_year = false;
+    for (key, v) in entries {
+        match key.as_str() {
+            "all" => picked = Some(Selection::All),
+            "search" => picked = Some(Selection::Search(str_of(v, "selection.search")?.to_owned())),
+            "titles" => picked = Some(Selection::Titles(strings_of(v, "selection.titles")?)),
+            "genre" => {
+                genre = Some(str_of(v, "selection.genre")?.to_owned());
+                saw_genre_year = true;
+            }
+            "year" => {
+                let y = f64_of(v, "selection.year")?;
+                year = Some(y as i32);
+                saw_genre_year = true;
+            }
+            other => return Err(bad(format!("unknown selection field {other:?}"))),
+        }
+    }
+    match (picked, saw_genre_year) {
+        (Some(_), true) => Err(bad("selection mixes genre/year with another form")),
+        (Some(selection), false) => Ok(selection),
+        (None, true) => Ok(Selection::GenreYear { genre, year }),
+        (None, false) => Err(bad("selection object is empty")),
+    }
+}
+
+/// Parse a JSON array of strings, naming `ctx` in any error.
+fn strings_of(value: &Json, ctx: &str) -> Result<Vec<String>, ProxError> {
+    let items = match value {
+        Json::Arr(items) => items,
+        other => return Err(bad(format!("{ctx} must be an array, got {other:?}"))),
+    };
+    let mut out = Vec::with_capacity(items.len());
+    for item in items {
+        out.push(str_of(item, ctx)?.to_owned());
+    }
+    Ok(out)
+}
+
+fn cancel_of(value: &Json) -> Result<Assignment, ProxError> {
+    let entries = match value {
+        Json::Obj(entries) => entries,
+        other => return Err(bad(format!("cancel must be an object, got {other:?}"))),
+    };
+    if entries.len() != 1 {
+        return Err(bad(
+            "cancel must have exactly one of annotations|attributes",
+        ));
+    }
+    let (key, v) = &entries[0];
+    match key.as_str() {
+        "annotations" => Ok(Assignment::FalseAnnotations(strings_of(
+            v,
+            "cancel.annotations",
+        )?)),
+        "attributes" => {
+            let items = match v {
+                Json::Arr(items) => items,
+                other => {
+                    return Err(bad(format!(
+                        "cancel.attributes must be an array, got {other:?}"
+                    )))
+                }
+            };
+            let mut pairs = Vec::with_capacity(items.len());
+            for pair in items {
+                let parts = match pair {
+                    Json::Arr(parts) if parts.len() == 2 => parts,
+                    other => {
+                        return Err(bad(format!(
+                            "cancel.attributes[] must be [attr, value] pairs, got {other:?}"
+                        )))
+                    }
+                };
+                pairs.push((
+                    str_of(&parts[0], "cancel.attributes[].attr")?.to_owned(),
+                    str_of(&parts[1], "cancel.attributes[].value")?.to_owned(),
+                ));
+            }
+            Ok(Assignment::FalseAttributes(pairs))
+        }
+        other => Err(bad(format!("unknown cancel form {other:?}"))),
+    }
+}
+
+/// Parse a request body into [`Params`]. An empty body means defaults;
+/// unknown fields are rejected so typos surface as `400`s.
+pub fn parse_params(body: &[u8]) -> Result<Params, ProxError> {
+    let mut params = Params::default();
+    let text = std::str::from_utf8(body)
+        .map_err(|e| bad(format!("body is not UTF-8 at byte {}", e.valid_up_to())))?;
+    if text.trim().is_empty() {
+        return Ok(params);
+    }
+    let value = Json::parse(text).map_err(|e| bad(format!("body is not valid JSON: {e}")))?;
+    let entries = match &value {
+        Json::Obj(entries) => entries,
+        other => return Err(bad(format!("body must be a JSON object, got {other:?}"))),
+    };
+    for (key, v) in entries {
+        match key.as_str() {
+            "dataset" => {
+                let (cfg, name) = dataset_of(v)?;
+                params.dataset = cfg;
+                params.dataset_name = name;
+            }
+            "selection" => params.selection = selection_of(v)?,
+            "w_dist" => params.w_dist = f64_of(v, "w_dist")?,
+            "target_dist" => params.target_dist = f64_of(v, "target_dist")?,
+            "target_size" => params.target_size = usize_of(v, "target_size")?,
+            "steps" => params.steps = usize_of(v, "steps")?,
+            "agg" => params.agg = agg_of(str_of(v, "agg")?)?,
+            "budget_steps" => params.budget_steps = Some(usize_of(v, "budget_steps")?),
+            "cancel" => params.cancel = Some(cancel_of(v)?),
+            other => return Err(bad(format!("unknown field {other:?}"))),
+        }
+    }
+    Ok(params)
+}
+
+fn selection_json(selection: &Selection) -> Json {
+    match selection {
+        Selection::All => Json::obj().with("all", true),
+        Selection::Search(s) => Json::obj().with("search", s.as_str()),
+        Selection::Titles(titles) => Json::obj().with(
+            "titles",
+            Json::Arr(titles.iter().map(|t| Json::from(t.as_str())).collect()),
+        ),
+        Selection::GenreYear { genre, year } => {
+            let mut obj = Json::obj();
+            if let Some(g) = genre {
+                obj.set("genre", g.as_str());
+            }
+            if let Some(y) = year {
+                obj.set("year", i64::from(*y));
+            }
+            obj
+        }
+    }
+}
+
+/// The canonical cache key: every result-determining parameter, sorted
+/// and rendered. Wall-clock budgets are excluded by design (see module
+/// docs).
+pub fn canonical_key(params: &Params) -> String {
+    Json::obj()
+        .with(
+            "dataset",
+            Json::obj()
+                .with("users", params.dataset.users)
+                .with("movies", params.dataset.movies)
+                .with("ratings_per_user", params.dataset.ratings_per_user)
+                .with("seed", params.dataset.seed),
+        )
+        .with("selection", selection_json(&params.selection))
+        .with("w_dist", params.w_dist)
+        .with("target_dist", params.target_dist)
+        .with("target_size", params.target_size)
+        .with("steps", params.steps)
+        .with("agg", params.agg.name())
+        .with(
+            "budget_steps",
+            match params.budget_steps {
+                Some(n) => Json::from(n),
+                None => Json::Null,
+            },
+        )
+        .sorted()
+        .render()
+}
+
+/// Snake-case stop-reason names used in response bodies (and matching the
+/// bench `run/stop/*` counter suffixes).
+pub fn stop_reason_name(reason: StopReason) -> &'static str {
+    match reason {
+        StopReason::TargetSize => "target_size",
+        StopReason::TargetDist => "target_dist",
+        StopReason::MaxSteps => "max_steps",
+        StopReason::NoCandidates => "no_candidates",
+        StopReason::DeadlineExceeded => "deadline_exceeded",
+        StopReason::BudgetExhausted => "budget_exhausted",
+        StopReason::Cancelled => "cancelled",
+    }
+}
+
+/// Whether a result may be cached: runs cut short by wall-clock or
+/// cancellation are not reproducible from the request alone.
+fn cacheable(reason: StopReason) -> bool {
+    !matches!(reason, StopReason::DeadlineExceeded | StopReason::Cancelled)
+}
+
+/// Map a typed error onto the HTTP surface.
+pub fn error_response(e: &ProxError) -> Response {
+    ERRORS.incr();
+    let status = match e.kind() {
+        ErrorKind::Input => 400,
+        ErrorKind::Budget => 408,
+        ErrorKind::Internal => 500,
+    };
+    Response::json(
+        status,
+        Json::obj()
+            .with("error", e.to_string())
+            .with("kind", e.kind().to_string())
+            .render(),
+    )
+}
+
+fn budget_for(
+    req: &Request,
+    ctx: &ServiceCtx,
+    params: &Params,
+) -> Result<ExecutionBudget, ProxError> {
+    let ms = match req.header("x-prox-budget-ms") {
+        Some(v) => v
+            .parse::<u64>()
+            .map_err(|_| bad(format!("X-Prox-Budget-Ms must be an integer, got {v:?}")))?,
+        None => ctx.default_budget_ms,
+    };
+    let mut budget = ExecutionBudget::unlimited()
+        .with_deadline_ms(ms)
+        .with_cancel(ctx.shutdown.clone());
+    if let Some(steps) = params.budget_steps {
+        budget = budget.with_max_steps(steps);
+    }
+    Ok(budget)
+}
+
+fn run_summarize(
+    params: &Params,
+    budget: ExecutionBudget,
+) -> Result<(MovieLens, Summarized), ProxError> {
+    let mut data = MovieLens::generate(params.dataset);
+    let selected = select(&mut data, &params.selection, params.agg);
+    if selected.movies.is_empty() {
+        return Err(bad("selection matched no movies"));
+    }
+    let request = SummarizationRequest {
+        w_dist: params.w_dist,
+        target_dist: params.target_dist,
+        target_size: params.target_size,
+        steps: params.steps,
+        aggregation: params.agg,
+        budget,
+        ..SummarizationRequest::default()
+    };
+    let out = summarize(&mut data, &selected, request)?;
+    Ok((data, out))
+}
+
+fn summary_json(fp: &str, params: &Params, data: &MovieLens, out: &Summarized) -> Json {
+    let names: Vec<Json> = out
+        .result
+        .summary
+        .annotations()
+        .into_iter()
+        .map(|a| Json::from(data.store.name(a)))
+        .collect();
+    Json::obj()
+        .with("request_fingerprint", fp)
+        .with("dataset", params.dataset_name.as_str())
+        .with("stop_reason", stop_reason_name(out.result.stop_reason))
+        .with("initial_size", out.result.initial_size)
+        .with("final_size", out.result.final_size())
+        .with("final_distance", out.result.final_distance)
+        .with("steps", out.result.history.len())
+        .with("summary", Json::Arr(names))
+}
+
+fn summarize_route(req: &Request, ctx: &ServiceCtx) -> Result<Response, ProxError> {
+    let params = parse_params(&req.body)?;
+    let budget = budget_for(req, ctx, &params)?;
+    let key = canonical_key(&params);
+    if let Some(body) = lock(&ctx.cache).get(&key) {
+        return Ok(Response::json(200, body));
+    }
+    let (data, out) = run_summarize(&params, budget)?;
+    let body = summary_json(&fingerprint(&key), &params, &data, &out).render();
+    if cacheable(out.result.stop_reason) {
+        lock(&ctx.cache).put(key, body.clone());
+    }
+    Ok(Response::json(200, body))
+}
+
+fn rows_json(eval: &Evaluation) -> Json {
+    // `eval_time_ns` is wall-clock and deliberately omitted: response
+    // bodies must be byte-stable for identical seeded requests (rule L2).
+    Json::Arr(
+        eval.rows
+            .iter()
+            .map(|r| {
+                Json::obj()
+                    .with("title", r.title.as_str())
+                    .with("aggregated", r.aggregated)
+            })
+            .collect(),
+    )
+}
+
+fn provision_route(req: &Request, ctx: &ServiceCtx) -> Result<Response, ProxError> {
+    let params = parse_params(&req.body)?;
+    let assignment = params
+        .cancel
+        .clone()
+        .ok_or_else(|| bad("/provision requires a cancel field"))?;
+    let budget = budget_for(req, ctx, &params)?;
+    let key = canonical_key(&params);
+    let (data, out) = run_summarize(&params, budget)?;
+    let (orig, summ) = evaluate_both(&out.original, &out.result.summary, &assignment, &data.store);
+    let body = Json::obj()
+        .with("request_fingerprint", fingerprint(&key).as_str())
+        .with("stop_reason", stop_reason_name(out.result.stop_reason))
+        .with("original", rows_json(&orig))
+        .with("summary", rows_json(&summ))
+        .render();
+    Ok(Response::json(200, body))
+}
+
+fn datasets_response() -> Response {
+    let mut items = Vec::new();
+    for (name, cfg) in presets() {
+        let data = MovieLens::generate(cfg);
+        let titles: Vec<Json> = data
+            .movies
+            .iter()
+            .map(|&m| Json::from(data.store.name(m)))
+            .collect();
+        items.push(
+            Json::obj()
+                .with("name", name)
+                .with("users", cfg.users)
+                .with("movies", cfg.movies)
+                .with("ratings_per_user", cfg.ratings_per_user)
+                .with("seed", cfg.seed)
+                .with("titles", Json::Arr(titles)),
+        );
+    }
+    Response::json(200, Json::obj().with("datasets", Json::Arr(items)).render())
+}
+
+/// Dispatch one parsed request.
+pub fn route(req: &Request, ctx: &ServiceCtx) -> Response {
+    REQUESTS.incr();
+    match (req.method.as_str(), req.path.as_str()) {
+        ("GET", "/healthz") => Response::json(200, Json::obj().with("status", "ok").render()),
+        ("GET", "/metrics") => Response::json(200, prox_obs::snapshot().sorted().render()),
+        ("GET", "/datasets") => datasets_response(),
+        ("POST", "/summarize") => summarize_route(req, ctx).unwrap_or_else(|e| error_response(&e)),
+        ("POST", "/provision") => provision_route(req, ctx).unwrap_or_else(|e| error_response(&e)),
+        (_, "/healthz" | "/metrics" | "/datasets" | "/summarize" | "/provision") => Response::json(
+            405,
+            Json::obj()
+                .with("error", format!("method {} not allowed here", req.method))
+                .render(),
+        ),
+        (_, path) => Response::json(
+            404,
+            Json::obj()
+                .with("error", format!("no such path {path:?}"))
+                .render(),
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn post(path: &str, body: &str) -> Request {
+        Request {
+            method: "POST".into(),
+            path: path.into(),
+            headers: Vec::new(),
+            body: body.as_bytes().to_vec(),
+        }
+    }
+
+    fn ctx() -> ServiceCtx {
+        ServiceCtx::new(8, 5_000, CancelFlag::new())
+    }
+
+    #[test]
+    fn defaults_parse_from_empty_body() {
+        let p = parse_params(b"").unwrap();
+        assert_eq!(p.dataset_name, "demo");
+        assert_eq!(p.steps, 10);
+        assert!(matches!(p.selection, Selection::All));
+    }
+
+    #[test]
+    fn unknown_fields_are_rejected() {
+        assert!(parse_params(br#"{"wdist": 0.5}"#).is_err());
+        assert!(parse_params(br#"{"dataset": {"zap": 1}}"#).is_err());
+        assert!(parse_params(br#"{"selection": {"nope": 1}}"#).is_err());
+    }
+
+    #[test]
+    fn dataset_caps_are_enforced() {
+        assert!(parse_params(br#"{"dataset": {"users": 0}}"#).is_err());
+        assert!(parse_params(br#"{"dataset": {"users": 100000}}"#).is_err());
+        assert!(parse_params(br#"{"dataset": "nope"}"#).is_err());
+        let p = parse_params(br#"{"dataset": "small"}"#).unwrap();
+        assert_eq!(p.dataset.users, 15);
+        assert_eq!(p.dataset_name, "small");
+    }
+
+    #[test]
+    fn selection_forms_parse() {
+        let p = parse_params(br#"{"selection": {"search": "the"}}"#).unwrap();
+        assert!(matches!(p.selection, Selection::Search(_)));
+        let p = parse_params(br#"{"selection": {"genre": "Drama", "year": 1995}}"#).unwrap();
+        assert!(matches!(p.selection, Selection::GenreYear { .. }));
+        let p = parse_params(br#"{"selection": {"titles": ["Sleepover"]}}"#).unwrap();
+        assert!(matches!(p.selection, Selection::Titles(_)));
+        assert!(parse_params(br#"{"selection": {"all": true, "year": 1}}"#).is_err());
+        assert!(parse_params(br#"{"selection": {}}"#).is_err());
+    }
+
+    #[test]
+    fn canonical_key_ignores_field_order_and_separates_requests() {
+        let a = parse_params(br#"{"w_dist": 0.7, "steps": 8}"#).unwrap();
+        let b = parse_params(br#"{"steps": 8, "w_dist": 0.7}"#).unwrap();
+        assert_eq!(canonical_key(&a), canonical_key(&b));
+        let c = parse_params(br#"{"w_dist": 0.7, "steps": 9}"#).unwrap();
+        assert_ne!(canonical_key(&a), canonical_key(&c));
+    }
+
+    #[test]
+    fn summarize_route_is_deterministic_and_cached() {
+        let ctx = ctx();
+        let req = post("/summarize", r#"{"steps": 4}"#);
+        let first = route(&req, &ctx);
+        assert_eq!(first.status, 200, "{}", first.body);
+        let second = route(&req, &ctx);
+        assert_eq!(first.body, second.body, "cache hit must be byte-identical");
+        assert_eq!(lock(&ctx.cache).len(), 1);
+    }
+
+    #[test]
+    fn malformed_body_is_a_400() {
+        let resp = route(&post("/summarize", "{nope"), &ctx());
+        assert_eq!(resp.status, 400);
+        assert!(resp.body.contains("\"kind\""));
+    }
+
+    #[test]
+    fn invalid_wdist_is_a_400() {
+        let resp = route(&post("/summarize", r#"{"w_dist": 1.5}"#), &ctx());
+        assert_eq!(resp.status, 400, "{}", resp.body);
+    }
+
+    #[test]
+    fn deterministic_step_budget_degrades_to_200() {
+        let resp = route(
+            &post("/summarize", r#"{"budget_steps": 2, "steps": 8}"#),
+            &ctx(),
+        );
+        assert_eq!(resp.status, 200, "{}", resp.body);
+        let body = Json::parse(&resp.body).unwrap();
+        assert_eq!(
+            body.get("stop_reason").and_then(Json::as_str),
+            Some("budget_exhausted")
+        );
+    }
+
+    #[test]
+    fn upfront_exhausted_budget_is_a_408() {
+        let mut req = post("/summarize", "");
+        req.headers.push(("x-prox-budget-ms".into(), "0".into()));
+        let resp = route(&req, &ctx());
+        assert_eq!(resp.status, 408, "{}", resp.body);
+    }
+
+    #[test]
+    fn provision_requires_cancel_and_reports_both_tables() {
+        let ctx = ctx();
+        let resp = route(&post("/provision", "{}"), &ctx);
+        assert_eq!(resp.status, 400);
+        let resp = route(
+            &post(
+                "/provision",
+                r#"{"cancel": {"attributes": [["gender", "M"]]}}"#,
+            ),
+            &ctx,
+        );
+        assert_eq!(resp.status, 200, "{}", resp.body);
+        let body = Json::parse(&resp.body).unwrap();
+        assert!(matches!(body.get("original"), Some(Json::Arr(_))));
+        assert!(matches!(body.get("summary"), Some(Json::Arr(_))));
+        assert!(
+            body.get("eval_time_ns").is_none(),
+            "wall-clock must not leak"
+        );
+    }
+
+    #[test]
+    fn routing_covers_known_paths_and_methods() {
+        let ctx = ctx();
+        let get = |path: &str| Request {
+            method: "GET".into(),
+            path: path.into(),
+            headers: Vec::new(),
+            body: Vec::new(),
+        };
+        assert_eq!(route(&get("/healthz"), &ctx).status, 200);
+        assert_eq!(route(&get("/datasets"), &ctx).status, 200);
+        assert_eq!(route(&get("/summarize"), &ctx).status, 405);
+        assert_eq!(route(&get("/nope"), &ctx).status, 404);
+        let datasets = Json::parse(&route(&get("/datasets"), &ctx).body).unwrap();
+        let items = match datasets.get("datasets") {
+            Some(Json::Arr(items)) => items,
+            other => panic!("datasets not an array: {other:?}"),
+        };
+        assert_eq!(items.len(), presets().len());
+        assert!(matches!(items[0].get("titles"), Some(Json::Arr(_))));
+    }
+}

@@ -1,0 +1,79 @@
+//! Cache observability: hit/miss/evict counters in the prox-obs registry.
+//!
+//! Lives in its own integration-test binary because the registry is
+//! process-global: counter-delta assertions must not race requests made
+//! by unrelated tests in the same process.
+
+use prox_obs::Json;
+use prox_serve::http::client_request;
+use prox_serve::{Server, ServerConfig};
+
+fn counter(name: &str) -> u64 {
+    prox_obs::counter_value(name).unwrap_or(0)
+}
+
+#[test]
+fn cache_hits_misses_and_evictions_are_counted() {
+    // Counters are a no-op while the registry is disabled.
+    prox_obs::set_enabled(true);
+    let handle = Server::start(ServerConfig {
+        addr: "127.0.0.1:0".to_owned(),
+        workers: 2,
+        queue_capacity: 8,
+        cache_capacity: 2,
+        default_budget_ms: 10_000,
+        io_deadline_ms: 10_000,
+    })
+    .expect("server starts");
+    let addr = handle.addr().to_string();
+    let post = |body: &str| {
+        client_request(&addr, "POST", "/summarize", &[], body.as_bytes(), 30_000)
+            .expect("request completes")
+    };
+
+    let (miss0, hit0, evict0) = (
+        counter("serve/cache_miss"),
+        counter("serve/cache_hit"),
+        counter("serve/cache_evict"),
+    );
+
+    let body = r#"{"dataset": "small", "steps": 3}"#;
+    let (s1, b1) = post(body);
+    assert_eq!(s1, 200, "{b1}");
+    assert_eq!(
+        counter("serve/cache_miss"),
+        miss0 + 1,
+        "first request misses"
+    );
+    assert_eq!(counter("serve/cache_hit"), hit0);
+
+    let (s2, b2) = post(body);
+    assert_eq!(s2, 200);
+    assert_eq!(b1, b2, "hit must be byte-identical");
+    assert_eq!(counter("serve/cache_hit"), hit0 + 1, "second request hits");
+    assert_eq!(counter("serve/cache_miss"), miss0 + 1);
+
+    // Two more distinct requests overflow the capacity-2 cache.
+    let (s3, _) = post(r#"{"dataset": "small", "steps": 2}"#);
+    let (s4, _) = post(r#"{"dataset": "small", "steps": 1}"#);
+    assert_eq!((s3, s4), (200, 200));
+    assert_eq!(
+        counter("serve/cache_evict"),
+        evict0 + 1,
+        "LRU entry evicted"
+    );
+
+    // The metrics endpoint exposes the same counters.
+    let (status, body) =
+        client_request(&addr, "GET", "/metrics", &[], b"", 10_000).expect("metrics");
+    assert_eq!(status, 200);
+    let snap = Json::parse(&body).expect("metrics is JSON");
+    assert!(
+        snap.get("counters")
+            .and_then(|c| c.get("serve/cache_hit"))
+            .and_then(Json::as_u64)
+            .is_some(),
+        "serve counters missing from /metrics: {body}"
+    );
+    handle.shutdown();
+}

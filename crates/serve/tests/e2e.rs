@@ -1,0 +1,200 @@
+//! End-to-end tests over a real socket: a server on an ephemeral port,
+//! exercised through the blocking HTTP client in `prox_serve::http`.
+
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+use prox_obs::Json;
+use prox_serve::http::client_request;
+use prox_serve::{Server, ServerConfig, ServerHandle};
+
+fn start(workers: usize, queue: usize) -> ServerHandle {
+    Server::start(ServerConfig {
+        addr: "127.0.0.1:0".to_owned(),
+        workers,
+        queue_capacity: queue,
+        cache_capacity: 16,
+        default_budget_ms: 10_000,
+        io_deadline_ms: 30_000,
+    })
+    .expect("server starts on an ephemeral port")
+}
+
+fn post(addr: &str, path: &str, body: &str) -> (u16, String) {
+    client_request(addr, "POST", path, &[], body.as_bytes(), 30_000).expect("request completes")
+}
+
+fn get(addr: &str, path: &str) -> (u16, String) {
+    client_request(addr, "GET", path, &[], b"", 30_000).expect("request completes")
+}
+
+#[test]
+fn health_datasets_and_metrics_respond() {
+    let handle = start(2, 8);
+    let addr = handle.addr().to_string();
+    let (status, body) = get(&addr, "/healthz");
+    assert_eq!(status, 200);
+    assert_eq!(
+        Json::parse(&body)
+            .expect("healthz is JSON")
+            .get("status")
+            .and_then(Json::as_str),
+        Some("ok")
+    );
+    let (status, body) = get(&addr, "/datasets");
+    assert_eq!(status, 200);
+    let datasets = Json::parse(&body).expect("datasets is JSON");
+    let items = match datasets.get("datasets") {
+        Some(Json::Arr(items)) => items,
+        other => panic!("datasets not an array: {other:?}"),
+    };
+    assert!(items
+        .iter()
+        .any(|d| d.get("name").and_then(Json::as_str) == Some("demo")));
+    let (status, body) = get(&addr, "/metrics");
+    assert_eq!(status, 200);
+    assert!(Json::parse(&body).is_ok(), "metrics must be JSON: {body}");
+    handle.shutdown();
+}
+
+#[test]
+fn identical_seeded_requests_are_byte_identical() {
+    let handle = start(2, 8);
+    let addr = handle.addr().to_string();
+    let body = r#"{"dataset": "small", "steps": 3}"#;
+    let (s1, b1) = post(&addr, "/summarize", body);
+    let (s2, b2) = post(&addr, "/summarize", body);
+    assert_eq!((s1, s2), (200, 200), "{b1}");
+    assert_eq!(b1, b2, "cache hit must be byte-identical to the recompute");
+    let parsed = Json::parse(&b1).expect("summary is JSON");
+    for key in [
+        "request_fingerprint",
+        "stop_reason",
+        "initial_size",
+        "final_size",
+        "summary",
+    ] {
+        assert!(parsed.get(key).is_some(), "missing {key} in {b1}");
+    }
+    handle.shutdown();
+}
+
+#[test]
+fn malformed_body_is_a_400() {
+    let handle = start(1, 4);
+    let addr = handle.addr().to_string();
+    let (status, body) = post(&addr, "/summarize", "{not json");
+    assert_eq!(status, 400, "{body}");
+    let parsed = Json::parse(&body).expect("error body is JSON");
+    assert_eq!(parsed.get("kind").and_then(Json::as_str), Some("input"));
+    handle.shutdown();
+}
+
+#[test]
+fn deterministic_budget_degrades_to_200_with_stop_reason() {
+    let handle = start(1, 4);
+    let addr = handle.addr().to_string();
+    let (status, body) = post(&addr, "/summarize", r#"{"budget_steps": 2, "steps": 8}"#);
+    assert_eq!(status, 200, "{body}");
+    let parsed = Json::parse(&body).expect("degraded result is JSON");
+    assert_eq!(
+        parsed.get("stop_reason").and_then(Json::as_str),
+        Some("budget_exhausted"),
+        "mid-run budget exhaustion must return the best-so-far summary"
+    );
+    handle.shutdown();
+}
+
+#[test]
+fn upfront_exhausted_budget_is_a_408() {
+    let handle = start(1, 4);
+    let addr = handle.addr().to_string();
+    let (status, body) = client_request(
+        &addr,
+        "POST",
+        "/summarize",
+        &[("X-Prox-Budget-Ms", "0".to_owned())],
+        b"",
+        30_000,
+    )
+    .expect("request completes");
+    assert_eq!(status, 408, "{body}");
+    let parsed = Json::parse(&body).expect("error body is JSON");
+    assert_eq!(parsed.get("kind").and_then(Json::as_str), Some("budget"));
+    handle.shutdown();
+}
+
+#[test]
+fn unknown_paths_and_methods_are_mapped() {
+    let handle = start(1, 4);
+    let addr = handle.addr().to_string();
+    assert_eq!(get(&addr, "/nope").0, 404);
+    assert_eq!(get(&addr, "/summarize").0, 405);
+    handle.shutdown();
+}
+
+#[test]
+fn provision_reports_original_and_summary_tables() {
+    let handle = start(2, 8);
+    let addr = handle.addr().to_string();
+    let (status, body) = post(
+        &addr,
+        "/provision",
+        r#"{"dataset": "small", "steps": 3, "cancel": {"attributes": [["gender", "M"]]}}"#,
+    );
+    assert_eq!(status, 200, "{body}");
+    let parsed = Json::parse(&body).expect("provision result is JSON");
+    let originals = match parsed.get("original") {
+        Some(Json::Arr(rows)) => rows,
+        other => panic!("original not an array: {other:?}"),
+    };
+    assert!(!originals.is_empty());
+    assert!(originals[0].get("title").is_some());
+    assert!(originals[0].get("aggregated").is_some());
+    assert!(matches!(parsed.get("summary"), Some(Json::Arr(_))));
+    handle.shutdown();
+}
+
+/// With one worker pinned by an idle connection and a one-slot queue
+/// occupied by a second, a third connection must be shed with `503` +
+/// `Retry-After` — and graceful shutdown must still complete promptly
+/// because read sessions are cancel-linked.
+#[test]
+fn full_queue_sheds_503_and_shutdown_stays_prompt() {
+    let handle = start(1, 1);
+    let addr = handle.addr().to_string();
+
+    // Occupies the single worker (connected, never sends a request). The
+    // sleep gives the worker time to pop it so the next connection lands
+    // in the queue rather than racing the pop.
+    let idle_worker = TcpStream::connect(&addr).expect("connect");
+    std::thread::sleep(Duration::from_millis(300));
+    // Occupies the single queue slot.
+    let idle_queued = TcpStream::connect(&addr).expect("connect");
+    let deadline = Instant::now() + Duration::from_secs(5);
+    while handle.queue_len() < 1 && Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    assert_eq!(handle.queue_len(), 1, "second connection should be queued");
+
+    // Shed path: a raw socket so the Retry-After header is visible. The
+    // server sheds at accept time, so nothing needs to be written (writing
+    // a request the server never reads would turn the close into a TCP
+    // reset and race the response read).
+    let mut shed = TcpStream::connect(&addr).expect("connect");
+    let mut raw = String::new();
+    std::io::Read::read_to_string(&mut shed, &mut raw).expect("read shed response");
+    assert!(raw.starts_with("HTTP/1.1 503 "), "expected 503, got: {raw}");
+    assert!(raw.contains("Retry-After: 1"), "missing Retry-After: {raw}");
+    assert!(raw.contains("admission queue full"), "{raw}");
+
+    let started = Instant::now();
+    handle.shutdown();
+    assert!(
+        started.elapsed() < Duration::from_secs(10),
+        "shutdown must drain promptly, took {:?}",
+        started.elapsed()
+    );
+    drop(idle_worker);
+    drop(idle_queued);
+}

@@ -1,0 +1,59 @@
+//! Fault injection against the server's I/O path: a `corrupt` fault
+//! mangles request bodies as they are read (the same hook `PROX_FAULT`
+//! drives from the environment), and the server must answer `400` —
+//! never panic — and stay healthy afterwards.
+//!
+//! Own test binary: the fault plan is process-global, so this must not
+//! share a process with tests sending well-formed bodies.
+
+use prox_obs::Json;
+use prox_robust::FaultGuard;
+use prox_serve::http::client_request;
+use prox_serve::{Server, ServerConfig};
+
+#[test]
+fn corrupt_fault_on_request_bytes_is_a_400_not_a_panic() {
+    let handle = Server::start(ServerConfig {
+        addr: "127.0.0.1:0".to_owned(),
+        workers: 2,
+        queue_capacity: 8,
+        cache_capacity: 8,
+        default_budget_ms: 10_000,
+        io_deadline_ms: 10_000,
+    })
+    .expect("server starts");
+    let addr = handle.addr().to_string();
+
+    {
+        // Flip every body byte: the request cannot parse, deterministically.
+        let _g = FaultGuard::install("corrupt@1:42").expect("valid spec");
+        let (status, body) = client_request(
+            &addr,
+            "POST",
+            "/summarize",
+            &[],
+            br#"{"dataset": "small", "steps": 3}"#,
+            30_000,
+        )
+        .expect("server answers instead of crashing");
+        assert_eq!(status, 400, "corrupted body must be rejected: {body}");
+        let parsed = Json::parse(&body).expect("error body is JSON");
+        assert_eq!(parsed.get("kind").and_then(Json::as_str), Some("input"));
+    }
+
+    // Harness restored: the same request now succeeds and the server is
+    // still fully operational.
+    let (status, body) = client_request(
+        &addr,
+        "POST",
+        "/summarize",
+        &[],
+        br#"{"dataset": "small", "steps": 3}"#,
+        30_000,
+    )
+    .expect("request completes");
+    assert_eq!(status, 200, "{body}");
+    let (status, _) = client_request(&addr, "GET", "/healthz", &[], b"", 10_000).expect("healthz");
+    assert_eq!(status, 200);
+    handle.shutdown();
+}

@@ -4,6 +4,7 @@
 //! Usage:
 //!   prox demo                 — scripted walkthrough (non-interactive)
 //!   prox summarize [flags]    — one-shot run with typed exit codes
+//!   prox serve [flags]        — HTTP service (see `prox-serve`)
 //!   prox                      — interactive shell
 //!
 //! One-shot flags: `--wdist <f>`, `--steps <n>`, `--tsize <n>`,
@@ -11,6 +12,11 @@
 //! classify failures: 2 = invalid input, 3 = budget exhausted before any
 //! work, 4 = internal error. A budget that trips *mid-run* is not a
 //! failure — the best-so-far summary is printed and the exit code is 0.
+//!
+//! Serve flags: `--addr <host:port>`, `--workers <n>`, `--queue <n>`,
+//! `--cache <n>`, `--budget-ms <n>` (default wall-clock budget per
+//! request). The server runs until SIGINT/SIGTERM, then drains admitted
+//! connections and exits.
 //!
 //! Interactive commands:
 //! ```text
@@ -294,6 +300,49 @@ fn one_shot_summarize(args: &[String]) -> Result<String, ProxError> {
     ))
 }
 
+/// `prox serve [flags]`: run the HTTP service until SIGINT/SIGTERM.
+fn serve(args: &[String]) -> Result<(), ProxError> {
+    let mut config = prox_serve::ServerConfig::default();
+    let mut ix = 0;
+    while ix < args.len() {
+        let flag = args[ix].as_str();
+        let value = args
+            .get(ix + 1)
+            .ok_or_else(|| ProxError::config(format!("{flag} requires a value")))?;
+        match flag {
+            "--addr" => config.addr = value.clone(),
+            "--workers" => config.workers = parse_flag(flag, value)?,
+            "--queue" => config.queue_capacity = parse_flag(flag, value)?,
+            "--cache" => config.cache_capacity = parse_flag(flag, value)?,
+            "--budget-ms" => config.default_budget_ms = parse_flag(flag, value)?,
+            other => {
+                return Err(ProxError::config(format!(
+                    "unknown flag {other:?} — usage: prox serve [--addr host:port] \
+                     [--workers n] [--queue n] [--cache n] [--budget-ms n]"
+                )))
+            }
+        }
+        ix += 2;
+    }
+    // `/metrics` and the cache hit/miss counters live in the prox-obs
+    // registry; a server without them would be flying blind.
+    prox_obs::set_enabled(true);
+    prox_serve::install_signal_handlers();
+    let handle = prox_serve::Server::start(config)?;
+    println!("prox-serve listening on http://{}", handle.addr());
+    println!(
+        "endpoints: POST /summarize | POST /provision | GET /datasets | \
+         GET /healthz | GET /metrics"
+    );
+    let shutdown = handle.shutdown_flag();
+    while !prox_serve::signalled() && !shutdown.is_cancelled() {
+        std::thread::sleep(std::time::Duration::from_millis(50));
+    }
+    println!("shutting down: draining admitted connections");
+    handle.shutdown();
+    Ok(())
+}
+
 fn demo() {
     let mut app = App::new();
     let script = [
@@ -339,6 +388,17 @@ fn main() {
     if args.first().map(String::as_str) == Some("demo") {
         demo();
         prox_obs::flush_sink();
+        return;
+    }
+    if args.first().map(String::as_str) == Some("serve") {
+        match serve(&args[1..]) {
+            Ok(()) => prox_obs::flush_sink(),
+            Err(e) => {
+                eprintln!("error: {e}");
+                prox_obs::flush_sink();
+                std::process::exit(e.kind().exit_code());
+            }
+        }
         return;
     }
     if args.first().map(String::as_str) == Some("summarize") {

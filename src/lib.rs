@@ -12,7 +12,10 @@
 //! * [`cluster`] — the clustering and random baselines;
 //! * [`datasets`] — seeded synthetic MovieLens / Wikipedia / DDP
 //!   generators;
-//! * [`system`] — the PROX system services and CLI building blocks;
+//! * [`system`] — the PROX system services (selection, summarization,
+//!   provisioning);
+//! * [`serve`] — the concurrent service layer: a std-only HTTP server
+//!   with admission control, budgeted requests, and a summary cache;
 //! * [`workflow`] — the Chapter-2 workflow substrate that *produces*
 //!   provenance (annotated relations, modules, the Fig 2.1 pipeline);
 //! * [`obs`] — the zero-dependency observability layer (span timers,
@@ -31,6 +34,7 @@ pub use prox_datasets as datasets;
 pub use prox_obs as obs;
 pub use prox_provenance as provenance;
 pub use prox_robust as robust;
+pub use prox_serve as serve;
 pub use prox_system as system;
 pub use prox_taxonomy as taxonomy;
 pub use prox_workflow as workflow;
