@@ -20,7 +20,7 @@ use std::time::Instant;
 
 use prox_obs::Json;
 use prox_robust::ProxError;
-use prox_serve::http::client_request;
+use prox_serve::http::{client_request, client_request_full};
 use prox_serve::{Server, ServerConfig};
 
 use crate::manifest::RunManifest;
@@ -113,6 +113,84 @@ fn percentile_us(sorted: &[u64], q: f64) -> u64 {
     sorted[ix.min(sorted.len() - 1)] / 1_000
 }
 
+/// Collect every span name in a trace tree, depth-first.
+fn span_names(node: &Json, out: &mut Vec<String>) {
+    if let Some(name) = node.get("name").and_then(Json::as_str) {
+        out.push(name.to_owned());
+    }
+    if let Some(Json::Arr(children)) = node.get("children") {
+        for child in children {
+            span_names(child, out);
+        }
+    }
+}
+
+/// Issue one uncached `/summarize` request and verify its retained trace
+/// covers the summarizer phases end to end (request → service →
+/// summarize → enumerate/cluster/evaluate). Returns the probe report for
+/// the manifest; a missing header, trace, or phase is an internal error —
+/// the bench treats an incomplete trace pipeline as a failed run.
+fn trace_completeness_probe(addr: &str) -> Result<Json, ProxError> {
+    // steps=6 is outside every load body (`steps` ≤ `plan.distinct`), so
+    // the probe always misses the cache and runs the real summarizer.
+    let body = br#"{"dataset": "small", "steps": 6, "target_size": 1}"#;
+    let (status, headers, resp) =
+        client_request_full(addr, "POST", "/summarize", &[], body, 30_000)?;
+    if status != 200 {
+        return Err(ProxError::internal(format!(
+            "trace probe request failed with {status}: {resp}"
+        )));
+    }
+    let trace_id = headers
+        .iter()
+        .find(|(n, _)| n == "x-prox-trace-id")
+        .map(|(_, v)| v.clone())
+        .ok_or_else(|| ProxError::internal("probe response missing X-Prox-Trace-Id"))?;
+    let (status, _, tree) = client_request_full(
+        addr,
+        "GET",
+        &format!("/debug/traces/{trace_id}"),
+        &[],
+        b"",
+        30_000,
+    )?;
+    if status != 200 {
+        return Err(ProxError::internal(format!(
+            "retained trace {trace_id} not found ({status})"
+        )));
+    }
+    let tree = Json::parse(&tree)
+        .map_err(|e| ProxError::internal(format!("trace {trace_id} is not JSON: {e}")))?;
+    let mut names = Vec::new();
+    if let Some(Json::Arr(roots)) = tree.get("spans") {
+        for root in roots {
+            span_names(root, &mut names);
+        }
+    }
+    let phases = [
+        "request",
+        "service",
+        "summarize",
+        "enumerate",
+        "cluster",
+        "evaluate",
+    ];
+    for phase in phases {
+        if !names.iter().any(|n| n == phase) {
+            return Err(ProxError::internal(format!(
+                "trace {trace_id} missing phase {phase:?} (got {names:?})"
+            )));
+        }
+    }
+    Ok(Json::obj()
+        .with("trace_id", trace_id)
+        .with(
+            "phases",
+            Json::Arr(phases.iter().map(|&p| Json::from(p)).collect()),
+        )
+        .with("complete", true))
+}
+
 /// Run the load experiment and record the report as the manifest's
 /// `serve` section. The server is in-process (loopback TCP, ephemeral
 /// port), so the numbers measure the service layer, not the network.
@@ -127,6 +205,10 @@ pub fn serve_load_experiment(scale: Scale, manifest: &mut RunManifest) -> Result
         cache_capacity: plan.clients * plan.distinct,
         default_budget_ms: 30_000,
         io_deadline_ms: 30_000,
+        // Retain every trace so the completeness probe below always finds
+        // its span tree in the ring.
+        trace_sample_rate: 1.0,
+        ..ServerConfig::default()
     };
     let workers = config.workers;
     let queue_capacity = config.queue_capacity;
@@ -163,8 +245,9 @@ pub fn serve_load_experiment(scale: Scale, manifest: &mut RunManifest) -> Result
         }
     }
     let elapsed = t.elapsed();
-    handle.shutdown();
 
+    // Cache deltas are read before the trace probe so the probe's own
+    // miss does not perturb the load schedule's expected hit rate.
     let hits = prox_obs::counter_value("serve/cache_hit")
         .unwrap_or(0)
         .saturating_sub(hits0);
@@ -172,6 +255,13 @@ pub fn serve_load_experiment(scale: Scale, manifest: &mut RunManifest) -> Result
         .unwrap_or(0)
         .saturating_sub(misses0);
     let lookups = hits + misses;
+
+    let trace_probe = if prox_obs::enabled() {
+        Some(trace_completeness_probe(&addr)?)
+    } else {
+        None
+    };
+    handle.shutdown();
 
     latencies_ns.sort_unstable();
     let mut report = Json::obj()
@@ -208,9 +298,15 @@ pub fn serve_load_experiment(scale: Scale, manifest: &mut RunManifest) -> Result
                 },
             ),
         );
+    if let Some(probe) = trace_probe {
+        report.set("trace_probe", probe);
+    }
     // Latency and throughput are wall-clock: deterministic manifests drop
     // them, exactly as the builder drops `wall_time_ms` and span timings.
+    // The obs window (per-endpoint p50/p95/p99 over the last minute) is
+    // wall-clock derived too, so it rides the same gate.
     if !manifest.deterministic() {
+        report.set("window", prox_obs::window::window_json(false));
         let total_ns: u64 = latencies_ns.iter().sum();
         let mean_us = if latencies_ns.is_empty() {
             0
@@ -301,5 +397,10 @@ mod tests {
         // Deterministic mode: no wall-clock sections.
         assert!(serve.get("latency_us").is_none());
         assert!(serve.get("throughput_rps").is_none());
+        assert!(serve.get("window").is_none());
+        // Observability was enabled, so the trace probe ran and verified
+        // the span phases end to end.
+        let probe = serve.get("trace_probe").expect("trace probe recorded");
+        assert!(matches!(probe.get("complete"), Some(Json::Bool(true))));
     }
 }

@@ -11,9 +11,11 @@ use prox_bench::{workload, Scale};
 use prox_cluster::Linkage;
 use prox_provenance::{AggKind, ValuationClass};
 
-/// One full experiment pass: reset counters, run, and render both the
-/// manifest (deterministic mode, sorted keys) and the figure JSON.
-fn one_pass() -> (String, String) {
+/// One full experiment pass: reset counters, run, and render the manifest
+/// (deterministic mode, sorted keys), the figure JSON, and the
+/// deterministic-mode Prometheus exposition (what `GET /metrics` serves
+/// under `PROX_DETERMINISTIC`).
+fn one_pass() -> (String, String, String) {
     prox_obs::set_enabled(true);
     prox_obs::reset();
     let ws = workload::movielens(
@@ -29,15 +31,23 @@ fn one_pass() -> (String, String) {
     m.datasets(&ws);
     m.wall_time(std::time::Duration::from_millis(1));
     m.outcome("completed", 1, Some(120_000));
-    (m.to_json().sorted().pretty(), fig.to_json().pretty())
+    (
+        m.to_json().sorted().pretty(),
+        fig.to_json().pretty(),
+        prox_obs::render_prometheus(true),
+    )
 }
 
 #[test]
 fn same_seed_runs_emit_identical_bytes() {
-    let (manifest_a, figure_a) = one_pass();
-    let (manifest_b, figure_b) = one_pass();
+    let (manifest_a, figure_a, metrics_a) = one_pass();
+    let (manifest_b, figure_b, metrics_b) = one_pass();
     assert_eq!(manifest_a, manifest_b, "manifest must be byte-identical");
     assert_eq!(figure_b, figure_a, "figure JSON must be byte-identical");
+    assert_eq!(
+        metrics_a, metrics_b,
+        "deterministic /metrics exposition must be byte-identical"
+    );
     // Deterministic mode must drop every wall-clock field.
     assert!(!manifest_a.contains("wall_time_ms"));
     assert!(!manifest_a.contains("total_ns"));
@@ -45,4 +55,8 @@ fn same_seed_runs_emit_identical_bytes() {
     // ... but keep what ran and how it ended.
     assert!(manifest_a.contains("\"stop_reasons\""));
     assert!(manifest_a.contains("\"status\": \"completed\""));
+    // The exposition keeps schedule-determined counts and drops durations.
+    assert!(metrics_a.contains("prox_counter_total"));
+    assert!(!metrics_a.contains("prox_span_duration_ns_total"));
+    assert!(!metrics_a.contains("quantile="));
 }

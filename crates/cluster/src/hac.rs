@@ -70,6 +70,8 @@ pub fn cluster_with_budget(
         return (Vec::new(), None);
     }
     let _span = SPAN_LINKAGE.start();
+    // Request-scoped trace: the whole HAC run is one "cluster" phase.
+    let _trace_cluster = session.span("cluster");
     let mut d = matrix.clone();
     let mut members: Vec<Option<Vec<usize>>> = (0..n).map(|i| Some(vec![i])).collect();
     let mut merges = Vec::new();

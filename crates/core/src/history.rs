@@ -33,6 +33,22 @@ pub enum StopReason {
     Cancelled,
 }
 
+impl StopReason {
+    /// Stable lowercase name used in service responses, trace span
+    /// attributes, and bench manifests.
+    pub fn name(self) -> &'static str {
+        match self {
+            StopReason::TargetSize => "target_size",
+            StopReason::TargetDist => "target_dist",
+            StopReason::MaxSteps => "max_steps",
+            StopReason::NoCandidates => "no_candidates",
+            StopReason::DeadlineExceeded => "deadline_exceeded",
+            StopReason::BudgetExhausted => "budget_exhausted",
+            StopReason::Cancelled => "cancelled",
+        }
+    }
+}
+
 impl From<BudgetStop> for StopReason {
     fn from(stop: BudgetStop) -> Self {
         match stop {

@@ -122,14 +122,23 @@ impl<'a> Summarizer<'a> {
         // valuation class (silent degradation, recorded in obs counters).
         let valuations = &valuations[..session.memo_cap(valuations.len())];
         let _run_span = SPAN_SUMMARIZE.start();
+        // Request-scoped trace: the "summarize" span stays open for the
+        // whole run (so the final stop_reason lands on it); each phase
+        // below opens a child span via the same session.
+        let _trace_run = session.span("summarize");
         let initial_size = p0.size();
 
         // Line 1: GroupEquivalent.
         let (mut current, mut cumulative) = if self.config.skip_group_equivalent {
             (p0.clone(), Mapping::identity())
         } else {
+            let _trace_cluster = session.span("cluster");
             let res =
                 group_equivalent(p0, valuations, self.store, &self.constraints, self.taxonomy);
+            session.trace_note(
+                "groups_merged",
+                p0.size().saturating_sub(res.expr.size()) as u64,
+            );
             (res.expr, res.mapping)
         };
 
@@ -175,14 +184,17 @@ impl<'a> Summarizer<'a> {
             let anns = current.annotations();
             let (cands, enum_stop) = {
                 let _span = SPAN_ENUMERATE.start();
-                enumerate_with(
+                let _trace_enum = session.span("enumerate");
+                let out = enumerate_with(
                     &anns,
                     self.store,
                     &self.constraints,
                     self.taxonomy,
                     self.config.k,
                     Some(&mut session),
-                )
+                );
+                session.trace_note("candidates", out.0.len() as u64);
+                out
             };
             if let Some(stop) = enum_stop {
                 break_reason = Some(stop.into());
@@ -197,6 +209,7 @@ impl<'a> Summarizer<'a> {
             // every few candidates; a mid-measure trip abandons the step
             // (the best-so-far summary from prior steps stands).
             let mut measure_stop: Option<BudgetStop> = None;
+            let trace_eval = session.span("evaluate");
             let measures = timer.candidates(|| {
                 let mut measures = Vec::with_capacity(cands.len());
                 for (ix, cand) in cands.iter().enumerate() {
@@ -224,12 +237,15 @@ impl<'a> Summarizer<'a> {
                 }
                 measures
             });
+            session.trace_note("measured", measures.len() as u64);
+            drop(trace_eval);
             if let Some(stop) = measure_stop {
                 break_reason = Some(stop.into());
                 break;
             }
 
             let score_span = SPAN_SCORE.start();
+            let trace_score = session.span("score");
             let mut scores = score_all(
                 &measures,
                 self.config.score_mode,
@@ -266,6 +282,7 @@ impl<'a> Summarizer<'a> {
             }
             let ties = minimal_indices(&scores, 1e-9);
             let chosen_ix = self.break_ties(&cands, &ties);
+            drop(trace_score);
             score_span.finish();
             let chosen = &cands[chosen_ix];
             let chosen_measure = measures[chosen_ix];
@@ -317,6 +334,8 @@ impl<'a> Summarizer<'a> {
                 if self.config.record_snapshots {
                     snapshots.pop();
                 }
+                session.trace_note("stop_reason", StopReason::TargetDist.name());
+                session.trace_note("steps", history.len() as u64);
                 return Ok(SummaryResult {
                     summary: prev_expr,
                     mapping: prev_map,
@@ -336,6 +355,8 @@ impl<'a> Summarizer<'a> {
                 StopReason::TargetDist
             }
         });
+        session.trace_note("stop_reason", stop_reason.name());
+        session.trace_note("steps", history.len() as u64);
 
         Ok(SummaryResult {
             summary: current,
@@ -662,6 +683,62 @@ mod tests {
             Err(ProxError::Budget(BudgetStop::Cancelled)) => {}
             other => panic!("expected cancelled error, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn trace_context_records_phase_spans_and_stop_reason() {
+        use prox_obs::{Json, TraceContext};
+        use prox_robust::ExecutionBudget;
+        let (mut s, p0, users, constraints) = setup();
+        let users_dom = s.domain("users");
+        let vals = ValuationClass::CancelSingleAnnotation.generate(&s, &users, &[users_dom]);
+        prox_obs::set_enabled(true);
+        let trace = TraceContext::new(0x51ab);
+        let config = SummarizeConfig {
+            max_steps: 100,
+            ..Default::default()
+        }
+        .with_budget(ExecutionBudget::unlimited().with_trace(trace.clone()));
+        let mut summarizer = Summarizer::new(&mut s, constraints, config);
+        let res = summarizer.summarize(&p0, &vals).unwrap();
+
+        let tree = trace.to_json();
+        let spans = match tree.get("spans") {
+            Some(Json::Arr(spans)) => spans,
+            other => panic!("spans not an array: {other:?}"),
+        };
+        let root = &spans[0];
+        assert_eq!(root.get("name").and_then(Json::as_str), Some("summarize"));
+        assert_eq!(
+            root.get("attrs")
+                .and_then(|a| a.get("stop_reason"))
+                .and_then(Json::as_str),
+            Some(res.stop_reason.name())
+        );
+        let children = match root.get("children") {
+            Some(Json::Arr(children)) => children,
+            other => panic!("children missing: {other:?}"),
+        };
+        let phase_names: Vec<&str> = children
+            .iter()
+            .filter_map(|c| c.get("name").and_then(Json::as_str))
+            .collect();
+        for phase in ["cluster", "enumerate", "evaluate", "score"] {
+            assert!(
+                phase_names.contains(&phase),
+                "missing {phase}: {phase_names:?}"
+            );
+        }
+        // The evaluate phase performs distance evaluations, so its counter
+        // deltas must be non-empty.
+        let evaluate = children
+            .iter()
+            .find(|c| c.get("name").and_then(Json::as_str) == Some("evaluate"))
+            .expect("evaluate span");
+        assert!(
+            evaluate.get("counters").is_some(),
+            "evaluate span should carry counter deltas: {evaluate:?}"
+        );
     }
 
     #[test]

@@ -111,6 +111,9 @@ impl Default for LintConfig {
                 s("crates/obs/src/json.rs"),
                 s("crates/obs/src/registry.rs"),
                 s("crates/obs/src/sink.rs"),
+                s("crates/obs/src/prom.rs"),
+                s("crates/obs/src/trace.rs"),
+                s("crates/obs/src/window.rs"),
                 s("crates/system/src/render.rs"),
                 s("crates/system/src/insights.rs"),
             ],

@@ -41,21 +41,39 @@
 //! ```
 
 mod counter;
+mod gauge;
 mod histogram;
 mod json;
+mod prom;
 mod registry;
 mod sink;
 mod span;
 mod timer;
+mod trace;
+pub mod window;
 
 pub use counter::Counter;
+pub use gauge::Gauge;
 pub use histogram::{Histogram, NBUCKETS};
 pub use json::{Json, JsonError};
+pub use prom::{render_prometheus, PROMETHEUS_CONTENT_TYPE};
 pub use registry::{
-    counter_value, enabled, init_from_env, render_snapshot, reset, set_enabled, snapshot,
+    counter_value, counters_sorted, enabled, gauge_value, gauges_sorted, init_from_env,
+    render_snapshot, reset, set_enabled, snapshot, spans_sorted,
 };
 pub use span::{SpanGuard, SpanTimer};
 pub use timer::StepTimer;
+pub use trace::{
+    keep_sampled, trace_id_from, RetainReason, RetainedTrace, TraceContext, TraceRing, TraceSpan,
+    MAX_TRACE_SPANS,
+};
+
+/// Is `PROX_DETERMINISTIC` set (non-empty, not `"0"`)? Deterministic mode
+/// makes snapshots, window aggregation, and the Prometheus exposition
+/// byte-identical across same-seed runs by omitting wall-clock data.
+pub fn deterministic_mode() -> bool {
+    std::env::var("PROX_DETERMINISTIC").is_ok_and(|v| !v.is_empty() && v != "0")
+}
 
 /// Lock a mutex, recovering the data if a panicking holder poisoned it.
 /// Observability state is monotonic (append-only registration, buffered

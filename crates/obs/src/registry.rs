@@ -11,12 +11,15 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Mutex;
 
 use crate::counter::Counter;
+use crate::gauge::Gauge;
 use crate::json::Json;
 use crate::sink;
 use crate::span::SpanTimer;
+use crate::window;
 
 static ENABLED: AtomicBool = AtomicBool::new(false);
 static COUNTERS: Mutex<Vec<&'static Counter>> = Mutex::new(Vec::new());
+static GAUGES: Mutex<Vec<&'static Gauge>> = Mutex::new(Vec::new());
 static SPANS: Mutex<Vec<&'static SpanTimer>> = Mutex::new(Vec::new());
 
 /// Is observability collection on? Inlined into every hot-path gate.
@@ -55,19 +58,28 @@ pub(crate) fn register_counter(c: &'static Counter) {
     crate::lock(&COUNTERS).push(c);
 }
 
+pub(crate) fn register_gauge(g: &'static Gauge) {
+    crate::lock(&GAUGES).push(g);
+}
+
 pub(crate) fn register_span(s: &'static SpanTimer) {
     crate::lock(&SPANS).push(s);
 }
 
-/// Zero every registered counter and histogram (registration is kept, so
-/// the next snapshot still lists them). Used between bench experiments.
+/// Zero every registered counter, gauge, and histogram — and the request
+/// window — keeping registrations, so the next snapshot still lists them.
+/// Used between bench experiments.
 pub fn reset() {
     for c in crate::lock(&COUNTERS).iter() {
         c.reset();
     }
+    for g in crate::lock(&GAUGES).iter() {
+        g.reset();
+    }
     for s in crate::lock(&SPANS).iter() {
         s.reset();
     }
+    window::reset();
 }
 
 /// Current value of a registered counter, by name.
@@ -76,6 +88,57 @@ pub fn counter_value(name: &str) -> Option<u64> {
         .iter()
         .find(|c| c.name() == name)
         .map(|c| c.get())
+}
+
+/// Current value of a registered gauge, by name.
+pub fn gauge_value(name: &str) -> Option<i64> {
+    crate::lock(&GAUGES)
+        .iter()
+        .find(|g| g.name() == name)
+        .map(|g| g.get())
+}
+
+/// Name/value pairs of every registered counter, in registration order.
+/// Used by trace contexts to compute per-span counter deltas.
+pub(crate) fn counter_values() -> Vec<(&'static str, u64)> {
+    crate::lock(&COUNTERS)
+        .iter()
+        .map(|c| (c.name(), c.get()))
+        .collect()
+}
+
+/// Sorted `(name, value)` pairs of every registered counter.
+pub fn counters_sorted() -> Vec<(String, u64)> {
+    let mut counters: Vec<(String, u64)> = crate::lock(&COUNTERS)
+        .iter()
+        .map(|c| (c.name().to_owned(), c.get()))
+        .collect();
+    counters.sort();
+    counters
+}
+
+/// Sorted `(name, value)` pairs of every registered gauge.
+pub fn gauges_sorted() -> Vec<(String, i64)> {
+    let mut gauges: Vec<(String, i64)> = crate::lock(&GAUGES)
+        .iter()
+        .map(|g| (g.name().to_owned(), g.get()))
+        .collect();
+    gauges.sort();
+    gauges
+}
+
+/// Sorted `(name, count, total_ns)` triples of every registered span
+/// timer. Used by the Prometheus renderer.
+pub fn spans_sorted() -> Vec<(String, u64, u64)> {
+    let mut spans: Vec<(String, u64, u64)> = crate::lock(&SPANS)
+        .iter()
+        .map(|s| {
+            let h = s.histogram();
+            (s.name().to_owned(), h.count(), h.total_ns())
+        })
+        .collect();
+    spans.sort();
+    spans
 }
 
 /// A deterministic JSON snapshot of everything registered:
@@ -96,6 +159,11 @@ pub fn snapshot() -> Json {
     let mut counters_json = Json::obj();
     for (name, value) in counters {
         counters_json.set(&name, value);
+    }
+
+    let mut gauges_json = Json::obj();
+    for (name, value) in gauges_sorted() {
+        gauges_json.set(&name, Json::Int(value));
     }
 
     let mut spans: Vec<(String, Json)> = crate::lock(&SPANS)
@@ -125,6 +193,7 @@ pub fn snapshot() -> Json {
 
     Json::obj()
         .with("counters", counters_json)
+        .with("gauges", gauges_json)
         .with("spans", spans_json)
 }
 
@@ -141,6 +210,13 @@ pub fn render_snapshot() -> String {
     for (name, value) in counters {
         let v = value.as_u64().unwrap_or(0);
         out.push_str(&format!("  {name:<40} {v}\n"));
+    }
+    let gauges = snap.get("gauges").and_then(Json::entries).unwrap_or(&[]);
+    if !gauges.is_empty() {
+        out.push_str("gauges:\n");
+        for (name, value) in gauges {
+            out.push_str(&format!("  {name:<40} {}\n", value.render()));
+        }
     }
     out.push_str("spans:\n");
     let spans = snap.get("spans").and_then(Json::entries).unwrap_or(&[]);

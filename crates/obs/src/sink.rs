@@ -50,9 +50,14 @@ pub fn emit(event: Json) {
     let mut guard = crate::lock(&SINK);
     if let Some(inner) = guard.as_mut() {
         let t_us = u64::try_from(inner.t0.elapsed().as_micros()).unwrap_or(u64::MAX);
-        let line = event.with("t_us", t_us).render();
+        // Render the whole line (newline included) up front and hand it to
+        // the writer as a single `write_all`, so one event is one atomic
+        // append and concurrent serve workers can never interleave partial
+        // lines in the JSONL output.
+        let mut line = event.with("t_us", t_us).render();
+        line.push('\n');
         // Ignore I/O errors: tracing must never take the process down.
-        let _ = writeln!(inner.writer, "{line}");
+        let _ = inner.writer.write_all(line.as_bytes());
     }
 }
 
@@ -106,6 +111,48 @@ mod tests {
                 .and_then(Json::as_u64),
             Some(1234)
         );
+        let _ = std::fs::remove_file(&path);
+    }
+
+    /// Many concurrent writers, every line must still parse as one JSON
+    /// object (no interleaving, no torn lines).
+    #[test]
+    fn concurrent_emitters_never_interleave_lines() {
+        const THREADS: usize = 8;
+        const EVENTS: usize = 200;
+        let path =
+            std::env::temp_dir().join(format!("prox-obs-sink-stress-{}.jsonl", std::process::id()));
+        let path_str = path.to_str().expect("utf8 temp path");
+        install(path_str).expect("install sink");
+        let handles: Vec<_> = (0..THREADS)
+            .map(|t| {
+                std::thread::spawn(move || {
+                    for i in 0..EVENTS {
+                        emit(
+                            Json::obj()
+                                .with("type", "stress")
+                                .with("thread", t as u64)
+                                .with("i", i as u64)
+                                // Long padding makes a torn write visible.
+                                .with("pad", "x".repeat(64).as_str()),
+                        );
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().expect("writer thread");
+        }
+        close();
+
+        let text = std::fs::read_to_string(&path).expect("read back");
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), THREADS * EVENTS);
+        for line in &lines {
+            let obj = Json::parse(line).expect("valid JSON line");
+            assert_eq!(obj.get("type").and_then(Json::as_str), Some("stress"));
+            assert!(obj.get("t_us").and_then(Json::as_u64).is_some());
+        }
         let _ = std::fs::remove_file(&path);
     }
 }

@@ -16,7 +16,7 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use prox_obs::Counter;
+use prox_obs::{Counter, TraceContext, TraceSpan};
 
 use crate::fault;
 
@@ -94,6 +94,11 @@ pub struct ExecutionBudget {
     pub max_memo_entries: Option<usize>,
     /// Cooperative cancel flag.
     pub cancel: Option<CancelFlag>,
+    /// Request-scoped trace context. Rides along so the serve request
+    /// path reaches the summarizer, HAC, and candidate enumeration with
+    /// no extra parameter threading. Not a limit: it does not affect
+    /// [`ExecutionBudget::is_unlimited`] or the session fast path.
+    pub trace: Option<TraceContext>,
 }
 
 impl ExecutionBudget {
@@ -132,7 +137,15 @@ impl ExecutionBudget {
         self
     }
 
+    /// Attach a request-scoped trace context (see [`TraceContext`]).
+    pub fn with_trace(mut self, trace: TraceContext) -> Self {
+        self.trace = Some(trace);
+        self
+    }
+
     /// True when no limit is set (the common case; sessions short-circuit).
+    /// The trace context is *not* a limit: a traced-but-unlimited budget
+    /// still takes the session fast path.
     pub fn is_unlimited(&self) -> bool {
         self.max_millis.is_none()
             && self.deadline.is_none()
@@ -158,6 +171,7 @@ impl ExecutionBudget {
             max_steps: self.max_steps,
             memo_entries: self.max_memo_entries,
             cancel: self.cancel.clone(),
+            trace: self.trace.clone(),
             trip_at,
             steps: 0,
             checks: 0,
@@ -177,6 +191,7 @@ pub struct BudgetSession {
     max_steps: Option<usize>,
     memo_entries: Option<usize>,
     cancel: Option<CancelFlag>,
+    trace: Option<TraceContext>,
     /// Fault harness: trip with `Injected` after this many checks.
     trip_at: Option<u64>,
     steps: usize,
@@ -239,6 +254,30 @@ impl BudgetSession {
     /// Steps recorded so far via [`BudgetSession::note_step`].
     pub fn steps_taken(&self) -> usize {
         self.steps
+    }
+
+    /// The request-scoped trace riding on this session, if any.
+    pub fn trace(&self) -> Option<&TraceContext> {
+        self.trace.as_ref()
+    }
+
+    /// Open a named trace span under this session's trace context, or
+    /// `None` (a free no-op) when the request is untraced. Instrumented
+    /// phases hold the guard for the phase's extent:
+    ///
+    /// ```ignore
+    /// let _phase = session.span("enumerate");
+    /// ```
+    pub fn span(&self, name: &'static str) -> Option<TraceSpan> {
+        self.trace.as_ref().map(|t| t.span(name))
+    }
+
+    /// Attach an attribute to the trace's innermost open span (no-op when
+    /// untraced).
+    pub fn trace_note(&self, key: &str, value: impl Into<prox_obs::Json>) {
+        if let Some(trace) = &self.trace {
+            trace.note(key, value);
+        }
     }
 
     /// The stop this session tripped on, if any.
@@ -322,6 +361,28 @@ mod tests {
         assert_eq!(s.memo_cap(3), 3);
         let unlimited = ExecutionBudget::unlimited().start();
         assert_eq!(unlimited.memo_cap(100), 100);
+    }
+
+    #[test]
+    fn trace_rides_the_session_without_becoming_a_limit() {
+        let trace = TraceContext::new(0xabcd);
+        let budget = ExecutionBudget::unlimited().with_trace(trace.clone());
+        assert!(budget.is_unlimited(), "trace must not count as a limit");
+        let mut s = budget.start();
+        assert!(s.check().is_ok());
+        {
+            let _phase = s.span("enumerate");
+            s.trace_note("candidates", 3u64);
+        }
+        assert_eq!(
+            s.trace().map(TraceContext::trace_id),
+            Some(trace.trace_id())
+        );
+        let tree = trace.to_json().render();
+        assert!(tree.contains("enumerate"), "{tree}");
+        assert!(tree.contains("candidates"), "{tree}");
+        let untraced = ExecutionBudget::unlimited().start();
+        assert!(untraced.span("enumerate").is_none());
     }
 
     #[test]

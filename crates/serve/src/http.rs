@@ -45,15 +45,19 @@ impl Request {
     }
 }
 
-/// A response ready to serialize: status + JSON body.
+/// A response ready to serialize: status + body + optional extras.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Response {
     /// HTTP status code.
     pub status: u16,
-    /// JSON body (already rendered).
+    /// The body (already rendered).
     pub body: String,
     /// Optional `Retry-After` seconds (load shedding).
     pub retry_after: Option<u64>,
+    /// `Content-Type` of the body; `None` means `application/json`.
+    pub content_type: Option<&'static str>,
+    /// Extra response headers (e.g. `X-Prox-Trace-Id`), in emission order.
+    pub headers: Vec<(String, String)>,
 }
 
 impl Response {
@@ -63,7 +67,24 @@ impl Response {
             status,
             body,
             retry_after: None,
+            content_type: None,
+            headers: Vec::new(),
         }
+    }
+
+    /// A plain-text response with an explicit content type (used by the
+    /// Prometheus exposition endpoint).
+    pub fn text(status: u16, content_type: &'static str, body: String) -> Self {
+        Response {
+            content_type: Some(content_type),
+            ..Response::json(status, body)
+        }
+    }
+
+    /// Append an extra response header.
+    pub fn with_header(mut self, name: &str, value: impl Into<String>) -> Self {
+        self.headers.push((name.to_owned(), value.into()));
+        self
     }
 }
 
@@ -182,13 +203,17 @@ pub fn status_text(status: u16) -> &'static str {
 /// Serialize `resp` onto the stream (`Connection: close` semantics).
 pub fn write_response(stream: &mut TcpStream, resp: &Response) -> Result<(), ProxError> {
     let mut head = format!(
-        "HTTP/1.1 {} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n",
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n",
         resp.status,
         status_text(resp.status),
+        resp.content_type.unwrap_or("application/json"),
         resp.body.len(),
     );
     if let Some(secs) = resp.retry_after {
         head.push_str(&format!("Retry-After: {secs}\r\n"));
+    }
+    for (name, value) in &resp.headers {
+        head.push_str(&format!("{name}: {value}\r\n"));
     }
     head.push_str("\r\n");
     stream
@@ -208,6 +233,20 @@ pub fn client_request(
     body: &[u8],
     deadline_ms: u64,
 ) -> Result<(u16, String), ProxError> {
+    client_request_full(addr, method, path, headers, body, deadline_ms)
+        .map(|(status, _, body)| (status, body))
+}
+
+/// [`client_request`], but also returning the response headers
+/// (names lowercased) so callers can read `X-Prox-Trace-Id`.
+pub fn client_request_full(
+    addr: &str,
+    method: &str,
+    path: &str,
+    headers: &[(&str, String)],
+    body: &[u8],
+    deadline_ms: u64,
+) -> Result<(u16, Vec<(String, String)>, String), ProxError> {
     let mut stream =
         TcpStream::connect(addr).map_err(|e| ProxError::io(format!("connect {addr}"), &e))?;
     let _ = stream.set_read_timeout(Some(Duration::from_millis(100)));
@@ -245,8 +284,15 @@ pub fn client_request(
         .nth(1)
         .and_then(|s| s.parse().ok())
         .ok_or_else(|| parse_err(format!("malformed status line in {head:?}"), 0))?;
+    let resp_headers: Vec<(String, String)> = head
+        .split("\r\n")
+        .skip(1)
+        .filter(|line| !line.is_empty())
+        .filter_map(|line| line.split_once(':'))
+        .map(|(n, v)| (n.trim().to_ascii_lowercase(), v.trim().to_owned()))
+        .collect();
     let body = String::from_utf8_lossy(&buf[end..]).into_owned();
-    Ok((status, body))
+    Ok((status, resp_headers, body))
 }
 
 #[cfg(test)]

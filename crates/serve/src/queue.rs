@@ -12,9 +12,14 @@ use std::collections::VecDeque;
 use std::sync::{Condvar, Mutex};
 use std::time::Duration;
 
+use prox_obs::Gauge;
 use prox_robust::BudgetSession;
 
 use crate::lock;
+
+/// Live admission-queue occupancy (all [`Bounded`] queues in the process;
+/// in practice the server owns exactly one).
+static QUEUE_DEPTH: Gauge = Gauge::new("serve/queue_depth");
 
 struct State<T> {
     items: VecDeque<T>,
@@ -48,6 +53,7 @@ impl<T> Bounded<T> {
             return Err(item);
         }
         state.items.push_back(item);
+        QUEUE_DEPTH.set(state.items.len() as i64);
         self.cond.notify_one();
         Ok(())
     }
@@ -59,6 +65,7 @@ impl<T> Bounded<T> {
         let mut state = lock(&self.state);
         loop {
             if let Some(item) = state.items.pop_front() {
+                QUEUE_DEPTH.set(state.items.len() as i64);
                 return Some(item);
             }
             if state.closed || session.check().is_err() {

@@ -15,7 +15,7 @@ use std::sync::Arc;
 use std::thread::{self, JoinHandle};
 use std::time::Duration;
 
-use prox_obs::Counter;
+use prox_obs::{Counter, Gauge};
 use prox_robust::{CancelFlag, ExecutionBudget, ProxError};
 
 use crate::http::{self, Response};
@@ -25,6 +25,8 @@ use crate::signal;
 
 static SHED: Counter = Counter::new("serve/shed");
 static CONNECTIONS: Counter = Counter::new("serve/connections");
+/// Workers currently handling a connection (utilization gauge).
+static WORKERS_BUSY: Gauge = Gauge::new("serve/workers_busy");
 
 /// Server tunables; [`ServerConfig::default`] matches the CLI defaults.
 #[derive(Clone, Debug)]
@@ -41,6 +43,13 @@ pub struct ServerConfig {
     pub default_budget_ms: u64,
     /// Per-connection I/O deadline (reading the request).
     pub io_deadline_ms: u64,
+    /// Seed for deterministic trace ids and the tail-sampling hash.
+    pub trace_seed: u64,
+    /// Retention rate for healthy-request traces in `[0,1]`; errored,
+    /// degraded, and slow requests are always retained.
+    pub trace_sample_rate: f64,
+    /// Capacity of the retained-trace ring (`/debug/traces`).
+    pub trace_capacity: usize,
 }
 
 impl Default for ServerConfig {
@@ -52,6 +61,9 @@ impl Default for ServerConfig {
             cache_capacity: 64,
             default_budget_ms: 2_000,
             io_deadline_ms: 10_000,
+            trace_seed: 0,
+            trace_sample_rate: 1.0,
+            trace_capacity: 128,
         }
     }
 }
@@ -84,11 +96,18 @@ impl Server {
 
         let shutdown = CancelFlag::new();
         let queue = Arc::new(Bounded::new(config.queue_capacity));
-        let ctx = Arc::new(ServiceCtx::new(
-            config.cache_capacity,
-            config.default_budget_ms,
-            shutdown.clone(),
-        ));
+        let ctx = Arc::new(
+            ServiceCtx::new(
+                config.cache_capacity,
+                config.default_budget_ms,
+                shutdown.clone(),
+            )
+            .with_trace_settings(
+                config.trace_seed,
+                config.trace_sample_rate,
+                config.trace_capacity,
+            ),
+        );
 
         let mut workers = Vec::with_capacity(config.workers.max(1));
         for ix in 0..config.workers.max(1) {
@@ -149,11 +168,12 @@ fn accept_loop(listener: &TcpListener, queue: &Bounded<TcpStream>, shutdown: &Ca
 /// Answer a rejected connection immediately: `503` + `Retry-After: 1`.
 fn shed(mut stream: TcpStream) {
     SHED.incr();
-    let resp = Response {
-        status: 503,
-        body: "{\"error\": \"admission queue full\", \"kind\": \"overload\"}".to_owned(),
-        retry_after: Some(1),
-    };
+    prox_obs::window::record_shed();
+    let mut resp = Response::json(
+        503,
+        "{\"error\": \"admission queue full\", \"kind\": \"overload\"}".to_owned(),
+    );
+    resp.retry_after = Some(1);
     let _ = http::write_response(&mut stream, &resp);
 }
 
@@ -165,6 +185,7 @@ fn worker_loop(queue: &Bounded<TcpStream>, ctx: &ServiceCtx, io_deadline_ms: u64
     let mut session = budget.start();
     while let Some(mut stream) = queue.pop(&mut session) {
         let _ = session.note_step();
+        WORKERS_BUSY.add(1);
         // The read session is cancel-linked so shutdown never blocks on a
         // client that connected but went quiet: the connection is answered
         // (408) and the worker moves on to drain the queue.
@@ -172,12 +193,12 @@ fn worker_loop(queue: &Bounded<TcpStream>, ctx: &ServiceCtx, io_deadline_ms: u64
             .with_deadline_ms(io_deadline_ms)
             .with_cancel(ctx.shutdown.clone())
             .start();
-        let response = match http::read_request(&mut stream, &mut io_session) {
-            Ok(request) => service::route(&request, ctx),
-            Err(e) => service::error_response(&e),
-        };
+        let parsed = http::read_request(&mut stream, &mut io_session);
+        // `respond` traces, classifies, and stamps `X-Prox-Trace-Id`.
+        let response = service::respond(parsed, ctx);
         // A client that hung up mid-response is its own problem.
         let _ = http::write_response(&mut stream, &response);
+        WORKERS_BUSY.add(-1);
     }
 }
 
@@ -234,6 +255,7 @@ mod tests {
             cache_capacity: 8,
             default_budget_ms: 5_000,
             io_deadline_ms: 2_000,
+            ..ServerConfig::default()
         }
     }
 

@@ -36,10 +36,15 @@
 //! cached. Identical seeded requests therefore produce byte-identical
 //! bodies whether computed or served from cache.
 
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
+use std::time::Instant;
 
 use prox_datasets::{MovieLens, MovieLensConfig};
-use prox_obs::{Counter, Json};
+use prox_obs::{
+    keep_sampled, trace_id_from, window, Counter, Json, RetainReason, RetainedTrace, TraceContext,
+    TraceRing, PROMETHEUS_CONTENT_TYPE,
+};
 use prox_provenance::AggKind;
 use prox_robust::{CancelFlag, ErrorKind, ExecutionBudget, ProxError};
 use prox_system::evaluator::{evaluate_both, Assignment, Evaluation};
@@ -64,17 +69,54 @@ pub struct ServiceCtx {
     /// Cancelled on shutdown; every request budget carries a clone so
     /// in-flight runs degrade to best-so-far promptly.
     pub shutdown: CancelFlag,
+    /// Retained request traces, tail-sampled (`/debug/traces`).
+    pub traces: TraceRing,
+    /// Seed feeding both deterministic trace ids and the sampling hash.
+    pub trace_seed: u64,
+    /// Retention rate for *healthy* requests in `[0,1]`; errored,
+    /// degraded, and slow requests are always retained.
+    pub trace_sample_rate: f64,
+    /// Slow-request threshold in milliseconds (`PROX_SLOW_MS`); `0`
+    /// disables the slow classification and the slow-request log.
+    pub slow_ms: u64,
+    /// Process-local request sequence number (trace-id input).
+    seq: AtomicU64,
 }
 
 impl ServiceCtx {
-    /// Fresh context with an empty cache.
+    /// Fresh context with an empty cache and default trace settings
+    /// (seed 0, retain every trace, ring of 128). The slow threshold
+    /// comes from `PROX_SLOW_MS`.
     pub fn new(cache_capacity: usize, default_budget_ms: u64, shutdown: CancelFlag) -> Self {
         ServiceCtx {
             cache: Mutex::new(SummaryCache::new(cache_capacity)),
             default_budget_ms,
             shutdown,
+            traces: TraceRing::new(128),
+            trace_seed: 0,
+            trace_sample_rate: 1.0,
+            slow_ms: slow_ms_from_env(),
+            seq: AtomicU64::new(0),
         }
     }
+
+    /// Override the trace seed, healthy-request sample rate, and ring
+    /// capacity (see [`crate::server::ServerConfig`]).
+    pub fn with_trace_settings(mut self, seed: u64, sample_rate: f64, capacity: usize) -> Self {
+        self.trace_seed = seed;
+        self.trace_sample_rate = sample_rate;
+        self.traces = TraceRing::new(capacity);
+        self
+    }
+}
+
+/// The slow-request threshold (`PROX_SLOW_MS`, milliseconds); unset,
+/// empty, or unparseable means disabled.
+fn slow_ms_from_env() -> u64 {
+    std::env::var("PROX_SLOW_MS")
+        .ok()
+        .and_then(|v| v.trim().parse().ok())
+        .unwrap_or(0)
 }
 
 /// The built-in dataset catalog: `(name, generator config)`. `demo`
@@ -441,15 +483,7 @@ pub fn canonical_key(params: &Params) -> String {
 /// Snake-case stop-reason names used in response bodies (and matching the
 /// bench `run/stop/*` counter suffixes).
 pub fn stop_reason_name(reason: StopReason) -> &'static str {
-    match reason {
-        StopReason::TargetSize => "target_size",
-        StopReason::TargetDist => "target_dist",
-        StopReason::MaxSteps => "max_steps",
-        StopReason::NoCandidates => "no_candidates",
-        StopReason::DeadlineExceeded => "deadline_exceeded",
-        StopReason::BudgetExhausted => "budget_exhausted",
-        StopReason::Cancelled => "cancelled",
-    }
+    reason.name()
 }
 
 /// Whether a result may be cached: runs cut short by wall-clock or
@@ -479,6 +513,7 @@ fn budget_for(
     req: &Request,
     ctx: &ServiceCtx,
     params: &Params,
+    trace: Option<&TraceContext>,
 ) -> Result<ExecutionBudget, ProxError> {
     let ms = match req.header("x-prox-budget-ms") {
         Some(v) => v
@@ -491,6 +526,11 @@ fn budget_for(
         .with_cancel(ctx.shutdown.clone());
     if let Some(steps) = params.budget_steps {
         budget = budget.with_max_steps(steps);
+    }
+    // The trace rides the budget into the summarizer, HAC, and candidate
+    // enumeration — it is not a limit (see `ExecutionBudget::with_trace`).
+    if let Some(t) = trace {
+        budget = budget.with_trace(t.clone());
     }
     Ok(budget)
 }
@@ -536,12 +576,22 @@ fn summary_json(fp: &str, params: &Params, data: &MovieLens, out: &Summarized) -
         .with("summary", Json::Arr(names))
 }
 
-fn summarize_route(req: &Request, ctx: &ServiceCtx) -> Result<Response, ProxError> {
+fn summarize_route(
+    req: &Request,
+    ctx: &ServiceCtx,
+    trace: Option<&TraceContext>,
+) -> Result<Response, ProxError> {
     let params = parse_params(&req.body)?;
-    let budget = budget_for(req, ctx, &params)?;
+    let budget = budget_for(req, ctx, &params, trace)?;
     let key = canonical_key(&params);
     if let Some(body) = lock(&ctx.cache).get(&key) {
+        if let Some(t) = trace {
+            t.note("cache", "hit");
+        }
         return Ok(Response::json(200, body));
+    }
+    if let Some(t) = trace {
+        t.note("cache", "miss");
     }
     let (data, out) = run_summarize(&params, budget)?;
     let body = summary_json(&fingerprint(&key), &params, &data, &out).render();
@@ -566,13 +616,17 @@ fn rows_json(eval: &Evaluation) -> Json {
     )
 }
 
-fn provision_route(req: &Request, ctx: &ServiceCtx) -> Result<Response, ProxError> {
+fn provision_route(
+    req: &Request,
+    ctx: &ServiceCtx,
+    trace: Option<&TraceContext>,
+) -> Result<Response, ProxError> {
     let params = parse_params(&req.body)?;
     let assignment = params
         .cancel
         .clone()
         .ok_or_else(|| bad("/provision requires a cancel field"))?;
-    let budget = budget_for(req, ctx, &params)?;
+    let budget = budget_for(req, ctx, &params, trace)?;
     let key = canonical_key(&params);
     let (data, out) = run_summarize(&params, budget)?;
     let (orig, summ) = evaluate_both(&out.original, &out.result.summary, &assignment, &data.store);
@@ -607,16 +661,58 @@ fn datasets_response() -> Response {
     Response::json(200, Json::obj().with("datasets", Json::Arr(items)).render())
 }
 
-/// Dispatch one parsed request.
+/// Dispatch one parsed request (untraced; see [`respond`] for the worker
+/// loop's traced entry point).
 pub fn route(req: &Request, ctx: &ServiceCtx) -> Response {
+    route_traced(req, ctx, None)
+}
+
+fn route_traced(req: &Request, ctx: &ServiceCtx, trace: Option<&TraceContext>) -> Response {
     REQUESTS.incr();
     match (req.method.as_str(), req.path.as_str()) {
         ("GET", "/healthz") => Response::json(200, Json::obj().with("status", "ok").render()),
-        ("GET", "/metrics") => Response::json(200, prox_obs::snapshot().sorted().render()),
+        // Prometheus text exposition; the JSON snapshot moved to
+        // `/metrics.json`. Deterministic mode omits wall-clock series.
+        ("GET", "/metrics") => Response::text(
+            200,
+            PROMETHEUS_CONTENT_TYPE,
+            prox_obs::render_prometheus(prox_obs::deterministic_mode()),
+        ),
+        ("GET", "/metrics.json") => Response::json(
+            200,
+            prox_obs::snapshot()
+                .with(
+                    "window",
+                    window::window_json(prox_obs::deterministic_mode()),
+                )
+                .sorted()
+                .render(),
+        ),
         ("GET", "/datasets") => datasets_response(),
-        ("POST", "/summarize") => summarize_route(req, ctx).unwrap_or_else(|e| error_response(&e)),
-        ("POST", "/provision") => provision_route(req, ctx).unwrap_or_else(|e| error_response(&e)),
-        (_, "/healthz" | "/metrics" | "/datasets" | "/summarize" | "/provision") => Response::json(
+        ("GET", "/debug/traces") => Response::json(200, ctx.traces.list_json().render()),
+        ("POST", "/summarize") => {
+            summarize_route(req, ctx, trace).unwrap_or_else(|e| error_response(&e))
+        }
+        ("POST", "/provision") => {
+            provision_route(req, ctx, trace).unwrap_or_else(|e| error_response(&e))
+        }
+        ("GET", path) if path.starts_with("/debug/traces/") => {
+            let id = &path["/debug/traces/".len()..];
+            match ctx.traces.get_json(id) {
+                Some(tree) => Response::json(200, tree.render()),
+                None => Response::json(
+                    404,
+                    Json::obj()
+                        .with("error", format!("no retained trace {id:?}"))
+                        .render(),
+                ),
+            }
+        }
+        (
+            _,
+            "/healthz" | "/metrics" | "/metrics.json" | "/datasets" | "/summarize" | "/provision"
+            | "/debug/traces",
+        ) => Response::json(
             405,
             Json::obj()
                 .with("error", format!("method {} not allowed here", req.method))
@@ -629,6 +725,99 @@ pub fn route(req: &Request, ctx: &ServiceCtx) -> Response {
                 .render(),
         ),
     }
+}
+
+/// Handle one connection's parse result end to end. While observability
+/// is enabled this creates the request's [`TraceContext`] (root span
+/// `"request"`), routes, classifies the finished request for
+/// tail-sampling (error > degraded > slow > sampled), records it in the
+/// sliding window, logs slow requests to the JSONL sink, and stamps
+/// `X-Prox-Trace-Id` on the response. Disabled cost is one relaxed
+/// atomic load (the workspace cost model).
+pub fn respond(parsed: Result<Request, ProxError>, ctx: &ServiceCtx) -> Response {
+    if !prox_obs::enabled() {
+        return match &parsed {
+            Ok(req) => route_traced(req, ctx, None),
+            Err(e) => error_response(e),
+        };
+    }
+    let seq = ctx.seq.fetch_add(1, Ordering::Relaxed);
+    let trace = TraceContext::new(trace_id_from(ctx.trace_seed, seq));
+    let endpoint = match &parsed {
+        // Query strings never reach routing decisions, so strip them from
+        // the metrics endpoint label to bound cardinality.
+        Ok(req) => req
+            .path
+            .split('?')
+            .next()
+            .unwrap_or(req.path.as_str())
+            .to_owned(),
+        Err(_) => "<unparsed>".to_owned(),
+    };
+    let t0 = Instant::now();
+    let response = {
+        let root = trace.span("request");
+        trace.note("endpoint", endpoint.as_str());
+        if let Ok(req) = &parsed {
+            trace.note("method", req.method.as_str());
+        }
+        let response = match &parsed {
+            Ok(req) => route_traced(req, ctx, Some(&trace)),
+            Err(e) => error_response(e),
+        };
+        trace.note("status", u64::from(response.status));
+        drop(root);
+        response
+    };
+    let dur_us = u64::try_from(t0.elapsed().as_micros()).unwrap_or(u64::MAX);
+
+    let stop = trace.find_attr("stop_reason");
+    let degraded = matches!(
+        stop.as_ref().and_then(Json::as_str),
+        Some("deadline_exceeded" | "budget_exhausted" | "cancelled")
+    );
+    let cache = trace.find_attr("cache");
+    window::record_request(&window::RequestObservation {
+        endpoint: &endpoint,
+        status: response.status,
+        dur_us,
+        degraded,
+        cache: cache.as_ref().and_then(Json::as_str).map(|v| v == "hit"),
+    });
+
+    let slow = ctx.slow_ms > 0 && dur_us >= ctx.slow_ms.saturating_mul(1_000);
+    if slow {
+        prox_obs::emit_event(
+            Json::obj()
+                .with("type", "slow_request")
+                .with("endpoint", endpoint.as_str())
+                .with("dur_us", dur_us)
+                .with("trace", trace.to_json()),
+        );
+    }
+    let reason = if response.status >= 400 {
+        Some(RetainReason::Error)
+    } else if degraded {
+        Some(RetainReason::Degraded)
+    } else if slow {
+        Some(RetainReason::Slow)
+    } else if keep_sampled(ctx.trace_seed, trace.trace_id(), ctx.trace_sample_rate) {
+        Some(RetainReason::Sampled)
+    } else {
+        None
+    };
+    let id_hex = trace.id_hex();
+    if let Some(reason) = reason {
+        ctx.traces.push(RetainedTrace {
+            trace_id: id_hex.clone(),
+            endpoint,
+            status: response.status,
+            dur_us,
+            reason,
+            tree: trace.to_json(),
+        });
+    }
+    response.with_header("X-Prox-Trace-Id", id_hex)
 }
 
 #[cfg(test)]

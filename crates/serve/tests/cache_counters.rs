@@ -23,6 +23,7 @@ fn cache_hits_misses_and_evictions_are_counted() {
         cache_capacity: 2,
         default_budget_ms: 10_000,
         io_deadline_ms: 10_000,
+        ..ServerConfig::default()
     })
     .expect("server starts");
     let addr = handle.addr().to_string();
@@ -63,17 +64,25 @@ fn cache_hits_misses_and_evictions_are_counted() {
         "LRU entry evicted"
     );
 
-    // The metrics endpoint exposes the same counters.
+    // The JSON snapshot endpoint exposes the same counters; the
+    // Prometheus exposition carries them as labelled series.
     let (status, body) =
-        client_request(&addr, "GET", "/metrics", &[], b"", 10_000).expect("metrics");
+        client_request(&addr, "GET", "/metrics.json", &[], b"", 10_000).expect("metrics.json");
     assert_eq!(status, 200);
-    let snap = Json::parse(&body).expect("metrics is JSON");
+    let snap = Json::parse(&body).expect("metrics.json is JSON");
     assert!(
         snap.get("counters")
             .and_then(|c| c.get("serve/cache_hit"))
             .and_then(Json::as_u64)
             .is_some(),
-        "serve counters missing from /metrics: {body}"
+        "serve counters missing from /metrics.json: {body}"
+    );
+    let (status, body) =
+        client_request(&addr, "GET", "/metrics", &[], b"", 10_000).expect("metrics");
+    assert_eq!(status, 200);
+    assert!(
+        body.contains("prox_counter_total{name=\"serve/cache_hit\"}"),
+        "cache-hit series missing from Prometheus exposition: {body}"
     );
     handle.shutdown();
 }

@@ -16,6 +16,7 @@ fn start(workers: usize, queue: usize) -> ServerHandle {
         cache_capacity: 16,
         default_budget_ms: 10_000,
         io_deadline_ms: 30_000,
+        ..ServerConfig::default()
     })
     .expect("server starts on an ephemeral port")
 }
@@ -53,7 +54,17 @@ fn health_datasets_and_metrics_respond() {
         .any(|d| d.get("name").and_then(Json::as_str) == Some("demo")));
     let (status, body) = get(&addr, "/metrics");
     assert_eq!(status, 200);
-    assert!(Json::parse(&body).is_ok(), "metrics must be JSON: {body}");
+    assert!(
+        body.lines().any(|l| l.starts_with("# TYPE ")),
+        "metrics must be Prometheus text: {body}"
+    );
+    let (status, body) = get(&addr, "/metrics.json");
+    assert_eq!(status, 200);
+    let snap = Json::parse(&body).expect("metrics.json is JSON");
+    assert!(
+        snap.get("window").is_some(),
+        "window section missing: {body}"
+    );
     handle.shutdown();
 }
 

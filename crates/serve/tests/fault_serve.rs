@@ -20,6 +20,7 @@ fn corrupt_fault_on_request_bytes_is_a_400_not_a_panic() {
         cache_capacity: 8,
         default_budget_ms: 10_000,
         io_deadline_ms: 10_000,
+        ..ServerConfig::default()
     })
     .expect("server starts");
     let addr = handle.addr().to_string();

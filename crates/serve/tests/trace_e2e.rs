@@ -1,0 +1,239 @@
+//! End-to-end trace propagation: `X-Prox-Trace-Id` on every response,
+//! `/debug/traces` round-trips, and the tail-sampling retention policy.
+//!
+//! Own test binary: tracing is gated on the process-global prox-obs
+//! enabled flag, and these assertions must not race unrelated tests.
+
+use prox_obs::Json;
+use prox_serve::http::client_request_full;
+use prox_serve::{Server, ServerConfig, ServerHandle};
+
+fn start(sample_rate: f64, capacity: usize) -> ServerHandle {
+    prox_obs::set_enabled(true);
+    Server::start(ServerConfig {
+        addr: "127.0.0.1:0".to_owned(),
+        workers: 2,
+        queue_capacity: 8,
+        cache_capacity: 8,
+        default_budget_ms: 10_000,
+        io_deadline_ms: 30_000,
+        trace_seed: 42,
+        trace_sample_rate: sample_rate,
+        trace_capacity: capacity,
+    })
+    .expect("server starts")
+}
+
+fn header<'a>(headers: &'a [(String, String)], name: &str) -> Option<&'a str> {
+    headers
+        .iter()
+        .find(|(n, _)| n == name)
+        .map(|(_, v)| v.as_str())
+}
+
+fn span_names(node: &Json, out: &mut Vec<String>) {
+    if let Some(name) = node.get("name").and_then(Json::as_str) {
+        out.push(name.to_owned());
+    }
+    if let Some(Json::Arr(children)) = node.get("children") {
+        for child in children {
+            span_names(child, out);
+        }
+    }
+}
+
+#[test]
+fn every_response_carries_a_trace_id_and_the_tree_round_trips() {
+    let handle = start(1.0, 32);
+    let addr = handle.addr().to_string();
+
+    let (status, headers, body) = client_request_full(
+        &addr,
+        "POST",
+        "/summarize",
+        &[],
+        br#"{"dataset": "small", "steps": 3}"#,
+        30_000,
+    )
+    .expect("request completes");
+    assert_eq!(status, 200, "{body}");
+    let id = header(&headers, "x-prox-trace-id")
+        .expect("X-Prox-Trace-Id on every response")
+        .to_owned();
+    assert_eq!(id.len(), 16, "canonical 16-hex id, got {id:?}");
+
+    // GET responses carry ids too, and they differ per request.
+    let (_, h2, _) =
+        client_request_full(&addr, "GET", "/healthz", &[], b"", 10_000).expect("healthz");
+    let id2 = header(&h2, "x-prox-trace-id").expect("id on GET");
+    assert_ne!(id, id2, "trace ids must be per-request");
+
+    // The listing shows the retained trace; the id fetch returns the
+    // full span tree with the phases of Algorithm 1 beneath the root.
+    let (status, _, list) =
+        client_request_full(&addr, "GET", "/debug/traces", &[], b"", 10_000).expect("list");
+    assert_eq!(status, 200);
+    let list = Json::parse(&list).expect("listing is JSON");
+    assert!(list.get("count").and_then(Json::as_u64).unwrap_or(0) >= 1);
+
+    let (status, _, tree) = client_request_full(
+        &addr,
+        "GET",
+        &format!("/debug/traces/{id}"),
+        &[],
+        b"",
+        10_000,
+    )
+    .expect("trace fetch");
+    assert_eq!(status, 200, "{tree}");
+    let tree = Json::parse(&tree).expect("trace is JSON");
+    assert_eq!(
+        tree.get("trace_id").and_then(Json::as_str),
+        Some(id.as_str())
+    );
+    assert_eq!(tree.get("retained").and_then(Json::as_str), Some("sampled"));
+    let spans = match tree.get("spans") {
+        Some(Json::Arr(spans)) => spans,
+        other => panic!("spans missing: {other:?}"),
+    };
+    let mut names = Vec::new();
+    for root in spans {
+        span_names(root, &mut names);
+    }
+    for phase in [
+        "request",
+        "service",
+        "summarize",
+        "enumerate",
+        "cluster",
+        "evaluate",
+    ] {
+        assert!(
+            names.iter().any(|n| n == phase),
+            "missing {phase} in {names:?}"
+        );
+    }
+
+    // An unknown id is a 404, not a panic or an empty 200.
+    let (status, _, _) = client_request_full(
+        &addr,
+        "GET",
+        "/debug/traces/ffffffffffffffff",
+        &[],
+        b"",
+        10_000,
+    )
+    .expect("missing-trace fetch");
+    assert_eq!(status, 404);
+    handle.shutdown();
+}
+
+#[test]
+fn errors_and_degraded_runs_are_retained_even_at_rate_zero() {
+    let handle = start(0.0, 32);
+    let addr = handle.addr().to_string();
+
+    // Healthy request: sampled out at rate 0.0.
+    let (status, headers, _) = client_request_full(
+        &addr,
+        "POST",
+        "/summarize",
+        &[],
+        br#"{"dataset": "small", "steps": 2}"#,
+        30_000,
+    )
+    .expect("healthy request");
+    assert_eq!(status, 200);
+    let healthy_id = header(&headers, "x-prox-trace-id").expect("id").to_owned();
+
+    // Errored request (400): always retained.
+    let (status, headers, _) =
+        client_request_full(&addr, "POST", "/summarize", &[], b"{nope", 30_000)
+            .expect("bad request");
+    assert_eq!(status, 400);
+    let error_id = header(&headers, "x-prox-trace-id").expect("id").to_owned();
+
+    // Degraded run (mid-run step-budget trip, still 200): always retained.
+    let (status, headers, body) = client_request_full(
+        &addr,
+        "POST",
+        "/summarize",
+        &[],
+        br#"{"budget_steps": 2, "steps": 8}"#,
+        30_000,
+    )
+    .expect("degraded request");
+    assert_eq!(status, 200, "{body}");
+    let degraded_id = header(&headers, "x-prox-trace-id").expect("id").to_owned();
+
+    let fetch = |id: &str| {
+        client_request_full(
+            &addr,
+            "GET",
+            &format!("/debug/traces/{id}"),
+            &[],
+            b"",
+            10_000,
+        )
+        .expect("fetch")
+        .0
+    };
+    assert_eq!(fetch(&healthy_id), 404, "healthy trace sampled out");
+    assert_eq!(fetch(&error_id), 200, "errored trace always retained");
+    assert_eq!(fetch(&degraded_id), 200, "degraded trace always retained");
+
+    let (_, _, tree) = client_request_full(
+        &addr,
+        "GET",
+        &format!("/debug/traces/{degraded_id}"),
+        &[],
+        b"",
+        10_000,
+    )
+    .expect("degraded tree");
+    let tree = Json::parse(&tree).expect("tree is JSON");
+    assert_eq!(
+        tree.get("retained").and_then(Json::as_str),
+        Some("degraded")
+    );
+    handle.shutdown();
+}
+
+/// A burst of healthy traffic must not evict the interesting tail: with a
+/// tiny ring, the errored trace survives while old sampled traces go.
+#[test]
+fn ring_keeps_the_errored_tail_through_a_healthy_burst() {
+    let handle = start(1.0, 4);
+    let addr = handle.addr().to_string();
+
+    let (status, headers, _) =
+        client_request_full(&addr, "POST", "/summarize", &[], b"{bad", 30_000).expect("error");
+    assert_eq!(status, 400);
+    let error_id = header(&headers, "x-prox-trace-id").expect("id").to_owned();
+
+    for _ in 0..8 {
+        let (status, _, _) =
+            client_request_full(&addr, "GET", "/healthz", &[], b"", 10_000).expect("healthz");
+        assert_eq!(status, 200);
+    }
+
+    let (status, _, _) = client_request_full(
+        &addr,
+        "GET",
+        &format!("/debug/traces/{error_id}"),
+        &[],
+        b"",
+        10_000,
+    )
+    .expect("fetch");
+    assert_eq!(status, 200, "errored trace must survive the burst");
+    let (_, _, list) =
+        client_request_full(&addr, "GET", "/debug/traces", &[], b"", 10_000).expect("list");
+    let list = Json::parse(&list).expect("listing is JSON");
+    assert_eq!(
+        list.get("count").and_then(Json::as_u64),
+        Some(4),
+        "{list:?}"
+    );
+    handle.shutdown();
+}

@@ -84,6 +84,9 @@ pub fn summarize(
     request: SummarizationRequest,
 ) -> Result<Summarized, ProxError> {
     let _span = SPAN_SERVICE.start();
+    // Request-scoped trace: service-level span wrapping valuation
+    // generation, constraint assembly, and the summarizer run.
+    let _trace_service = request.budget.trace.as_ref().map(|t| t.span("service"));
     let valuations = data.valuations(request.valuation_class);
     let constraints = data.constraints();
     let config = SummarizeConfig {

@@ -193,7 +193,7 @@ impl App {
             }
             "stats" => {
                 if prox_obs::enabled() {
-                    prox_obs::render_snapshot()
+                    format!("{}{}", prox_obs::render_snapshot(), render_window_stats())
                 } else {
                     "observability is off — run with --trace <path> or PROX_TRACE=1".to_owned()
                 }
@@ -213,6 +213,37 @@ fn parse_flag<T: std::str::FromStr>(flag: &str, value: &str) -> Result<T, ProxEr
     value
         .parse()
         .map_err(|_| ProxError::config(format!("invalid value for {flag}: {value:?}")))
+}
+
+/// Render the sliding-window request statistics (the data behind
+/// `GET /metrics`), or nothing when no requests have been observed.
+fn render_window_stats() -> String {
+    let stats = prox_obs::window::stats(prox_obs::deterministic_mode());
+    if stats.endpoints.is_empty() && stats.shed == 0 {
+        return String::new();
+    }
+    let mut out = format!("window ({}s):\n", stats.window_secs);
+    if stats.shed > 0 {
+        out.push_str(&format!("  {:<40} {}\n", "(shed admissions)", stats.shed));
+    }
+    for e in &stats.endpoints {
+        out.push_str(&format!(
+            "  {:<40} n={} err={} degraded={}",
+            e.endpoint, e.requests, e.errors, e.degraded
+        ));
+        if e.cache_hits + e.cache_misses > 0 {
+            out.push_str(&format!(
+                " cache={}/{}",
+                e.cache_hits,
+                e.cache_hits + e.cache_misses
+            ));
+        }
+        if let (Some(p50), Some(p95), Some(p99)) = (e.p50_us, e.p95_us, e.p99_us) {
+            out.push_str(&format!(" p50={p50}us p95={p95}us p99={p99}us"));
+        }
+        out.push('\n');
+    }
+    out
 }
 
 /// `prox summarize [flags]`: one run, report on stdout, typed exit code.
@@ -315,10 +346,14 @@ fn serve(args: &[String]) -> Result<(), ProxError> {
             "--queue" => config.queue_capacity = parse_flag(flag, value)?,
             "--cache" => config.cache_capacity = parse_flag(flag, value)?,
             "--budget-ms" => config.default_budget_ms = parse_flag(flag, value)?,
+            "--trace-seed" => config.trace_seed = parse_flag(flag, value)?,
+            "--sample-rate" => config.trace_sample_rate = parse_flag(flag, value)?,
+            "--trace-ring" => config.trace_capacity = parse_flag(flag, value)?,
             other => {
                 return Err(ProxError::config(format!(
                     "unknown flag {other:?} — usage: prox serve [--addr host:port] \
-                     [--workers n] [--queue n] [--cache n] [--budget-ms n]"
+                     [--workers n] [--queue n] [--cache n] [--budget-ms n] \
+                     [--trace-seed n] [--sample-rate f] [--trace-ring n]"
                 )))
             }
         }
@@ -332,7 +367,7 @@ fn serve(args: &[String]) -> Result<(), ProxError> {
     println!("prox-serve listening on http://{}", handle.addr());
     println!(
         "endpoints: POST /summarize | POST /provision | GET /datasets | \
-         GET /healthz | GET /metrics"
+         GET /healthz | GET /metrics | GET /metrics.json | GET /debug/traces[/<id>]"
     );
     let shutdown = handle.shutdown_flag();
     while !prox_serve::signalled() && !shutdown.is_cancelled() {
