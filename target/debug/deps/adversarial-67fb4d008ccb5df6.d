@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/adversarial-67fb4d008ccb5df6.d: tests/adversarial.rs
+
+/root/repo/target/debug/deps/adversarial-67fb4d008ccb5df6: tests/adversarial.rs
+
+tests/adversarial.rs:

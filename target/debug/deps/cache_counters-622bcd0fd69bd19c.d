@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cache_counters-622bcd0fd69bd19c.d: crates/serve/tests/cache_counters.rs
+
+/root/repo/target/debug/deps/cache_counters-622bcd0fd69bd19c: crates/serve/tests/cache_counters.rs
+
+crates/serve/tests/cache_counters.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/criterion-9316598268e3cf4e.d: /root/stubs/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-9316598268e3cf4e.rlib: /root/stubs/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-9316598268e3cf4e.rmeta: /root/stubs/criterion/src/lib.rs
+
+/root/stubs/criterion/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/e2e-8d18a6da376b87b1.d: crates/serve/tests/e2e.rs
+
+/root/repo/target/debug/deps/e2e-8d18a6da376b87b1: crates/serve/tests/e2e.rs
+
+crates/serve/tests/e2e.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-46352a2e77db68f7.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-46352a2e77db68f7: tests/end_to_end.rs
+
+tests/end_to_end.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/experiments-33a8a97ced384ecc.d: crates/bench/src/bin/experiments.rs
+
+/root/repo/target/debug/deps/experiments-33a8a97ced384ecc: crates/bench/src/bin/experiments.rs
+
+crates/bench/src/bin/experiments.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fault_injection-f7e5efa5d04341d1.d: tests/fault_injection.rs
+
+/root/repo/target/debug/deps/fault_injection-f7e5efa5d04341d1: tests/fault_injection.rs
+
+tests/fault_injection.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fault_serve-467634b9b1264884.d: crates/serve/tests/fault_serve.rs
+
+/root/repo/target/debug/deps/fault_serve-467634b9b1264884: crates/serve/tests/fault_serve.rs
+
+crates/serve/tests/fault_serve.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/manifest_determinism-471348dd513cbc5c.d: crates/bench/tests/manifest_determinism.rs
+
+/root/repo/target/debug/deps/manifest_determinism-471348dd513cbc5c: crates/bench/tests/manifest_determinism.rs
+
+crates/bench/tests/manifest_determinism.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_examples-66576a1ff287d2d9.d: tests/paper_examples.rs
+
+/root/repo/target/debug/deps/paper_examples-66576a1ff287d2d9: tests/paper_examples.rs
+
+tests/paper_examples.rs:

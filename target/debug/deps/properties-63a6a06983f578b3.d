@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-63a6a06983f578b3.d: tests/properties.rs
+
+/root/repo/target/debug/deps/properties-63a6a06983f578b3: tests/properties.rs
+
+tests/properties.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/proptest-ec366a11b7d3ead0.d: /root/stubs/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-ec366a11b7d3ead0.rlib: /root/stubs/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-ec366a11b7d3ead0.rmeta: /root/stubs/proptest/src/lib.rs
+
+/root/stubs/proptest/src/lib.rs:

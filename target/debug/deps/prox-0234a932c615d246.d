@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prox-0234a932c615d246.d: src/bin/prox.rs
+
+/root/repo/target/debug/deps/prox-0234a932c615d246: src/bin/prox.rs
+
+src/bin/prox.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prox-7b0dc8e8371a021b.d: src/bin/prox.rs
+
+/root/repo/target/debug/deps/prox-7b0dc8e8371a021b: src/bin/prox.rs
+
+src/bin/prox.rs:

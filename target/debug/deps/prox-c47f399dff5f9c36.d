@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prox-c47f399dff5f9c36.d: src/lib.rs
+
+/root/repo/target/debug/deps/prox-c47f399dff5f9c36: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/prox-db52a19d5f568162.d: src/lib.rs
+
+/root/repo/target/debug/deps/libprox-db52a19d5f568162.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libprox-db52a19d5f568162.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/prox_bench-99de05eba75ad5dd.d: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/manifest.rs crates/bench/src/report.rs crates/bench/src/runner.rs crates/bench/src/series.rs crates/bench/src/serve_load.rs crates/bench/src/workload.rs
+
+/root/repo/target/debug/deps/libprox_bench-99de05eba75ad5dd.rlib: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/manifest.rs crates/bench/src/report.rs crates/bench/src/runner.rs crates/bench/src/series.rs crates/bench/src/serve_load.rs crates/bench/src/workload.rs
+
+/root/repo/target/debug/deps/libprox_bench-99de05eba75ad5dd.rmeta: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/manifest.rs crates/bench/src/report.rs crates/bench/src/runner.rs crates/bench/src/series.rs crates/bench/src/serve_load.rs crates/bench/src/workload.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/experiments.rs:
+crates/bench/src/manifest.rs:
+crates/bench/src/report.rs:
+crates/bench/src/runner.rs:
+crates/bench/src/series.rs:
+crates/bench/src/serve_load.rs:
+crates/bench/src/workload.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/bench

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/prox_cluster-6487c7c5a78e77db.d: crates/cluster/src/lib.rs crates/cluster/src/dendrogram.rs crates/cluster/src/features.rs crates/cluster/src/hac.rs crates/cluster/src/linkage.rs crates/cluster/src/matrix.rs crates/cluster/src/pearson.rs crates/cluster/src/random.rs crates/cluster/src/replay.rs
+
+/root/repo/target/debug/deps/libprox_cluster-6487c7c5a78e77db.rlib: crates/cluster/src/lib.rs crates/cluster/src/dendrogram.rs crates/cluster/src/features.rs crates/cluster/src/hac.rs crates/cluster/src/linkage.rs crates/cluster/src/matrix.rs crates/cluster/src/pearson.rs crates/cluster/src/random.rs crates/cluster/src/replay.rs
+
+/root/repo/target/debug/deps/libprox_cluster-6487c7c5a78e77db.rmeta: crates/cluster/src/lib.rs crates/cluster/src/dendrogram.rs crates/cluster/src/features.rs crates/cluster/src/hac.rs crates/cluster/src/linkage.rs crates/cluster/src/matrix.rs crates/cluster/src/pearson.rs crates/cluster/src/random.rs crates/cluster/src/replay.rs
+
+crates/cluster/src/lib.rs:
+crates/cluster/src/dendrogram.rs:
+crates/cluster/src/features.rs:
+crates/cluster/src/hac.rs:
+crates/cluster/src/linkage.rs:
+crates/cluster/src/matrix.rs:
+crates/cluster/src/pearson.rs:
+crates/cluster/src/random.rs:
+crates/cluster/src/replay.rs:

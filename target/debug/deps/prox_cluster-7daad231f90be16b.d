@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/prox_cluster-7daad231f90be16b.d: crates/cluster/src/lib.rs crates/cluster/src/dendrogram.rs crates/cluster/src/features.rs crates/cluster/src/hac.rs crates/cluster/src/linkage.rs crates/cluster/src/matrix.rs crates/cluster/src/pearson.rs crates/cluster/src/random.rs crates/cluster/src/replay.rs
+
+/root/repo/target/debug/deps/prox_cluster-7daad231f90be16b: crates/cluster/src/lib.rs crates/cluster/src/dendrogram.rs crates/cluster/src/features.rs crates/cluster/src/hac.rs crates/cluster/src/linkage.rs crates/cluster/src/matrix.rs crates/cluster/src/pearson.rs crates/cluster/src/random.rs crates/cluster/src/replay.rs
+
+crates/cluster/src/lib.rs:
+crates/cluster/src/dendrogram.rs:
+crates/cluster/src/features.rs:
+crates/cluster/src/hac.rs:
+crates/cluster/src/linkage.rs:
+crates/cluster/src/matrix.rs:
+crates/cluster/src/pearson.rs:
+crates/cluster/src/random.rs:
+crates/cluster/src/replay.rs:

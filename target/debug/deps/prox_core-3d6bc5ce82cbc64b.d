@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/prox_core-3d6bc5ce82cbc64b.d: crates/core/src/lib.rs crates/core/src/candidates.rs crates/core/src/config.rs crates/core/src/constraints.rs crates/core/src/distance.rs crates/core/src/equivalence.rs crates/core/src/hardness.rs crates/core/src/history.rs crates/core/src/optimal.rs crates/core/src/sampler.rs crates/core/src/score.rs crates/core/src/summarize.rs crates/core/src/val_func.rs
+
+/root/repo/target/debug/deps/prox_core-3d6bc5ce82cbc64b: crates/core/src/lib.rs crates/core/src/candidates.rs crates/core/src/config.rs crates/core/src/constraints.rs crates/core/src/distance.rs crates/core/src/equivalence.rs crates/core/src/hardness.rs crates/core/src/history.rs crates/core/src/optimal.rs crates/core/src/sampler.rs crates/core/src/score.rs crates/core/src/summarize.rs crates/core/src/val_func.rs
+
+crates/core/src/lib.rs:
+crates/core/src/candidates.rs:
+crates/core/src/config.rs:
+crates/core/src/constraints.rs:
+crates/core/src/distance.rs:
+crates/core/src/equivalence.rs:
+crates/core/src/hardness.rs:
+crates/core/src/history.rs:
+crates/core/src/optimal.rs:
+crates/core/src/sampler.rs:
+crates/core/src/score.rs:
+crates/core/src/summarize.rs:
+crates/core/src/val_func.rs:

@@ -1,0 +1,19 @@
+/root/repo/target/debug/deps/prox_core-975141e30240b714.d: crates/core/src/lib.rs crates/core/src/candidates.rs crates/core/src/config.rs crates/core/src/constraints.rs crates/core/src/distance.rs crates/core/src/equivalence.rs crates/core/src/hardness.rs crates/core/src/history.rs crates/core/src/optimal.rs crates/core/src/sampler.rs crates/core/src/score.rs crates/core/src/summarize.rs crates/core/src/val_func.rs
+
+/root/repo/target/debug/deps/libprox_core-975141e30240b714.rlib: crates/core/src/lib.rs crates/core/src/candidates.rs crates/core/src/config.rs crates/core/src/constraints.rs crates/core/src/distance.rs crates/core/src/equivalence.rs crates/core/src/hardness.rs crates/core/src/history.rs crates/core/src/optimal.rs crates/core/src/sampler.rs crates/core/src/score.rs crates/core/src/summarize.rs crates/core/src/val_func.rs
+
+/root/repo/target/debug/deps/libprox_core-975141e30240b714.rmeta: crates/core/src/lib.rs crates/core/src/candidates.rs crates/core/src/config.rs crates/core/src/constraints.rs crates/core/src/distance.rs crates/core/src/equivalence.rs crates/core/src/hardness.rs crates/core/src/history.rs crates/core/src/optimal.rs crates/core/src/sampler.rs crates/core/src/score.rs crates/core/src/summarize.rs crates/core/src/val_func.rs
+
+crates/core/src/lib.rs:
+crates/core/src/candidates.rs:
+crates/core/src/config.rs:
+crates/core/src/constraints.rs:
+crates/core/src/distance.rs:
+crates/core/src/equivalence.rs:
+crates/core/src/hardness.rs:
+crates/core/src/history.rs:
+crates/core/src/optimal.rs:
+crates/core/src/sampler.rs:
+crates/core/src/score.rs:
+crates/core/src/summarize.rs:
+crates/core/src/val_func.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/prox_datasets-07c3879099c96058.d: crates/datasets/src/lib.rs crates/datasets/src/ddp.rs crates/datasets/src/movielens.rs crates/datasets/src/names.rs crates/datasets/src/wikipedia.rs
+
+/root/repo/target/debug/deps/prox_datasets-07c3879099c96058: crates/datasets/src/lib.rs crates/datasets/src/ddp.rs crates/datasets/src/movielens.rs crates/datasets/src/names.rs crates/datasets/src/wikipedia.rs
+
+crates/datasets/src/lib.rs:
+crates/datasets/src/ddp.rs:
+crates/datasets/src/movielens.rs:
+crates/datasets/src/names.rs:
+crates/datasets/src/wikipedia.rs:

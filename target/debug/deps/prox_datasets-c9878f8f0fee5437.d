@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/prox_datasets-c9878f8f0fee5437.d: crates/datasets/src/lib.rs crates/datasets/src/ddp.rs crates/datasets/src/movielens.rs crates/datasets/src/names.rs crates/datasets/src/wikipedia.rs
+
+/root/repo/target/debug/deps/libprox_datasets-c9878f8f0fee5437.rlib: crates/datasets/src/lib.rs crates/datasets/src/ddp.rs crates/datasets/src/movielens.rs crates/datasets/src/names.rs crates/datasets/src/wikipedia.rs
+
+/root/repo/target/debug/deps/libprox_datasets-c9878f8f0fee5437.rmeta: crates/datasets/src/lib.rs crates/datasets/src/ddp.rs crates/datasets/src/movielens.rs crates/datasets/src/names.rs crates/datasets/src/wikipedia.rs
+
+crates/datasets/src/lib.rs:
+crates/datasets/src/ddp.rs:
+crates/datasets/src/movielens.rs:
+crates/datasets/src/names.rs:
+crates/datasets/src/wikipedia.rs:

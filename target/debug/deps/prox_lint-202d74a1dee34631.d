@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/prox_lint-202d74a1dee34631.d: crates/lint/src/lib.rs crates/lint/src/allow.rs crates/lint/src/lexer.rs crates/lint/src/rules.rs crates/lint/src/scope.rs
+
+/root/repo/target/debug/deps/libprox_lint-202d74a1dee34631.rlib: crates/lint/src/lib.rs crates/lint/src/allow.rs crates/lint/src/lexer.rs crates/lint/src/rules.rs crates/lint/src/scope.rs
+
+/root/repo/target/debug/deps/libprox_lint-202d74a1dee34631.rmeta: crates/lint/src/lib.rs crates/lint/src/allow.rs crates/lint/src/lexer.rs crates/lint/src/rules.rs crates/lint/src/scope.rs
+
+crates/lint/src/lib.rs:
+crates/lint/src/allow.rs:
+crates/lint/src/lexer.rs:
+crates/lint/src/rules.rs:
+crates/lint/src/scope.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/prox_lint-3634eb3ba375089f.d: crates/lint/src/main.rs
+
+/root/repo/target/debug/deps/prox_lint-3634eb3ba375089f: crates/lint/src/main.rs
+
+crates/lint/src/main.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/lint

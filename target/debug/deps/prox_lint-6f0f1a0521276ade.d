@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/prox_lint-6f0f1a0521276ade.d: crates/lint/src/lib.rs crates/lint/src/allow.rs crates/lint/src/lexer.rs crates/lint/src/rules.rs crates/lint/src/scope.rs
+
+/root/repo/target/debug/deps/prox_lint-6f0f1a0521276ade: crates/lint/src/lib.rs crates/lint/src/allow.rs crates/lint/src/lexer.rs crates/lint/src/rules.rs crates/lint/src/scope.rs
+
+crates/lint/src/lib.rs:
+crates/lint/src/allow.rs:
+crates/lint/src/lexer.rs:
+crates/lint/src/rules.rs:
+crates/lint/src/scope.rs:

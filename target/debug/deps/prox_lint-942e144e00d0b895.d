@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/prox_lint-942e144e00d0b895.d: crates/lint/src/main.rs
+
+/root/repo/target/debug/deps/prox_lint-942e144e00d0b895: crates/lint/src/main.rs
+
+crates/lint/src/main.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/lint

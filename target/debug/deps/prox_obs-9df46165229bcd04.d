@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/prox_obs-9df46165229bcd04.d: crates/obs/src/lib.rs crates/obs/src/counter.rs crates/obs/src/gauge.rs crates/obs/src/histogram.rs crates/obs/src/json.rs crates/obs/src/prom.rs crates/obs/src/registry.rs crates/obs/src/sink.rs crates/obs/src/span.rs crates/obs/src/timer.rs crates/obs/src/trace.rs crates/obs/src/window.rs
+
+/root/repo/target/debug/deps/prox_obs-9df46165229bcd04: crates/obs/src/lib.rs crates/obs/src/counter.rs crates/obs/src/gauge.rs crates/obs/src/histogram.rs crates/obs/src/json.rs crates/obs/src/prom.rs crates/obs/src/registry.rs crates/obs/src/sink.rs crates/obs/src/span.rs crates/obs/src/timer.rs crates/obs/src/trace.rs crates/obs/src/window.rs
+
+crates/obs/src/lib.rs:
+crates/obs/src/counter.rs:
+crates/obs/src/gauge.rs:
+crates/obs/src/histogram.rs:
+crates/obs/src/json.rs:
+crates/obs/src/prom.rs:
+crates/obs/src/registry.rs:
+crates/obs/src/sink.rs:
+crates/obs/src/span.rs:
+crates/obs/src/timer.rs:
+crates/obs/src/trace.rs:
+crates/obs/src/window.rs:

@@ -1,0 +1,28 @@
+/root/repo/target/debug/deps/prox_provenance-6535765c7c6f14a4.d: crates/provenance/src/lib.rs crates/provenance/src/aggexpr.rs crates/provenance/src/annot.rs crates/provenance/src/classes.rs crates/provenance/src/ddp.rs crates/provenance/src/display.rs crates/provenance/src/eval.rs crates/provenance/src/expr.rs crates/provenance/src/guard.rs crates/provenance/src/mapping.rs crates/provenance/src/monoid.rs crates/provenance/src/monomial.rs crates/provenance/src/parse.rs crates/provenance/src/persist.rs crates/provenance/src/phi.rs crates/provenance/src/polynomial.rs crates/provenance/src/provexpr.rs crates/provenance/src/semiring.rs crates/provenance/src/stats.rs crates/provenance/src/store.rs crates/provenance/src/tensor.rs crates/provenance/src/valuation.rs
+
+/root/repo/target/debug/deps/libprox_provenance-6535765c7c6f14a4.rlib: crates/provenance/src/lib.rs crates/provenance/src/aggexpr.rs crates/provenance/src/annot.rs crates/provenance/src/classes.rs crates/provenance/src/ddp.rs crates/provenance/src/display.rs crates/provenance/src/eval.rs crates/provenance/src/expr.rs crates/provenance/src/guard.rs crates/provenance/src/mapping.rs crates/provenance/src/monoid.rs crates/provenance/src/monomial.rs crates/provenance/src/parse.rs crates/provenance/src/persist.rs crates/provenance/src/phi.rs crates/provenance/src/polynomial.rs crates/provenance/src/provexpr.rs crates/provenance/src/semiring.rs crates/provenance/src/stats.rs crates/provenance/src/store.rs crates/provenance/src/tensor.rs crates/provenance/src/valuation.rs
+
+/root/repo/target/debug/deps/libprox_provenance-6535765c7c6f14a4.rmeta: crates/provenance/src/lib.rs crates/provenance/src/aggexpr.rs crates/provenance/src/annot.rs crates/provenance/src/classes.rs crates/provenance/src/ddp.rs crates/provenance/src/display.rs crates/provenance/src/eval.rs crates/provenance/src/expr.rs crates/provenance/src/guard.rs crates/provenance/src/mapping.rs crates/provenance/src/monoid.rs crates/provenance/src/monomial.rs crates/provenance/src/parse.rs crates/provenance/src/persist.rs crates/provenance/src/phi.rs crates/provenance/src/polynomial.rs crates/provenance/src/provexpr.rs crates/provenance/src/semiring.rs crates/provenance/src/stats.rs crates/provenance/src/store.rs crates/provenance/src/tensor.rs crates/provenance/src/valuation.rs
+
+crates/provenance/src/lib.rs:
+crates/provenance/src/aggexpr.rs:
+crates/provenance/src/annot.rs:
+crates/provenance/src/classes.rs:
+crates/provenance/src/ddp.rs:
+crates/provenance/src/display.rs:
+crates/provenance/src/eval.rs:
+crates/provenance/src/expr.rs:
+crates/provenance/src/guard.rs:
+crates/provenance/src/mapping.rs:
+crates/provenance/src/monoid.rs:
+crates/provenance/src/monomial.rs:
+crates/provenance/src/parse.rs:
+crates/provenance/src/persist.rs:
+crates/provenance/src/phi.rs:
+crates/provenance/src/polynomial.rs:
+crates/provenance/src/provexpr.rs:
+crates/provenance/src/semiring.rs:
+crates/provenance/src/stats.rs:
+crates/provenance/src/store.rs:
+crates/provenance/src/tensor.rs:
+crates/provenance/src/valuation.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/prox_robust-66173e199f6c189b.d: crates/robust/src/lib.rs crates/robust/src/budget.rs crates/robust/src/error.rs crates/robust/src/fault.rs
+
+/root/repo/target/debug/deps/libprox_robust-66173e199f6c189b.rlib: crates/robust/src/lib.rs crates/robust/src/budget.rs crates/robust/src/error.rs crates/robust/src/fault.rs
+
+/root/repo/target/debug/deps/libprox_robust-66173e199f6c189b.rmeta: crates/robust/src/lib.rs crates/robust/src/budget.rs crates/robust/src/error.rs crates/robust/src/fault.rs
+
+crates/robust/src/lib.rs:
+crates/robust/src/budget.rs:
+crates/robust/src/error.rs:
+crates/robust/src/fault.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/prox_robust-bb91d2cf8f69d12b.d: crates/robust/src/lib.rs crates/robust/src/budget.rs crates/robust/src/error.rs crates/robust/src/fault.rs
+
+/root/repo/target/debug/deps/prox_robust-bb91d2cf8f69d12b: crates/robust/src/lib.rs crates/robust/src/budget.rs crates/robust/src/error.rs crates/robust/src/fault.rs
+
+crates/robust/src/lib.rs:
+crates/robust/src/budget.rs:
+crates/robust/src/error.rs:
+crates/robust/src/fault.rs:

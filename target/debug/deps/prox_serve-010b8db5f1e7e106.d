@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/prox_serve-010b8db5f1e7e106.d: crates/serve/src/lib.rs crates/serve/src/cache.rs crates/serve/src/http.rs crates/serve/src/queue.rs crates/serve/src/server.rs crates/serve/src/service.rs crates/serve/src/signal.rs
+
+/root/repo/target/debug/deps/prox_serve-010b8db5f1e7e106: crates/serve/src/lib.rs crates/serve/src/cache.rs crates/serve/src/http.rs crates/serve/src/queue.rs crates/serve/src/server.rs crates/serve/src/service.rs crates/serve/src/signal.rs
+
+crates/serve/src/lib.rs:
+crates/serve/src/cache.rs:
+crates/serve/src/http.rs:
+crates/serve/src/queue.rs:
+crates/serve/src/server.rs:
+crates/serve/src/service.rs:
+crates/serve/src/signal.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/prox_serve-43b20ec6b6a55807.d: crates/serve/src/lib.rs crates/serve/src/cache.rs crates/serve/src/http.rs crates/serve/src/queue.rs crates/serve/src/server.rs crates/serve/src/service.rs crates/serve/src/signal.rs
+
+/root/repo/target/debug/deps/libprox_serve-43b20ec6b6a55807.rlib: crates/serve/src/lib.rs crates/serve/src/cache.rs crates/serve/src/http.rs crates/serve/src/queue.rs crates/serve/src/server.rs crates/serve/src/service.rs crates/serve/src/signal.rs
+
+/root/repo/target/debug/deps/libprox_serve-43b20ec6b6a55807.rmeta: crates/serve/src/lib.rs crates/serve/src/cache.rs crates/serve/src/http.rs crates/serve/src/queue.rs crates/serve/src/server.rs crates/serve/src/service.rs crates/serve/src/signal.rs
+
+crates/serve/src/lib.rs:
+crates/serve/src/cache.rs:
+crates/serve/src/http.rs:
+crates/serve/src/queue.rs:
+crates/serve/src/server.rs:
+crates/serve/src/service.rs:
+crates/serve/src/signal.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/prox_system-6501ed6d78d3ebad.d: crates/system/src/lib.rs crates/system/src/evaluator.rs crates/system/src/insights.rs crates/system/src/render.rs crates/system/src/selection.rs crates/system/src/session.rs crates/system/src/summarization.rs
+
+/root/repo/target/debug/deps/prox_system-6501ed6d78d3ebad: crates/system/src/lib.rs crates/system/src/evaluator.rs crates/system/src/insights.rs crates/system/src/render.rs crates/system/src/selection.rs crates/system/src/session.rs crates/system/src/summarization.rs
+
+crates/system/src/lib.rs:
+crates/system/src/evaluator.rs:
+crates/system/src/insights.rs:
+crates/system/src/render.rs:
+crates/system/src/selection.rs:
+crates/system/src/session.rs:
+crates/system/src/summarization.rs:

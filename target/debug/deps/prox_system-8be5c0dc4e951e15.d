@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/prox_system-8be5c0dc4e951e15.d: crates/system/src/lib.rs crates/system/src/evaluator.rs crates/system/src/insights.rs crates/system/src/render.rs crates/system/src/selection.rs crates/system/src/session.rs crates/system/src/summarization.rs
+
+/root/repo/target/debug/deps/libprox_system-8be5c0dc4e951e15.rlib: crates/system/src/lib.rs crates/system/src/evaluator.rs crates/system/src/insights.rs crates/system/src/render.rs crates/system/src/selection.rs crates/system/src/session.rs crates/system/src/summarization.rs
+
+/root/repo/target/debug/deps/libprox_system-8be5c0dc4e951e15.rmeta: crates/system/src/lib.rs crates/system/src/evaluator.rs crates/system/src/insights.rs crates/system/src/render.rs crates/system/src/selection.rs crates/system/src/session.rs crates/system/src/summarization.rs
+
+crates/system/src/lib.rs:
+crates/system/src/evaluator.rs:
+crates/system/src/insights.rs:
+crates/system/src/render.rs:
+crates/system/src/selection.rs:
+crates/system/src/session.rs:
+crates/system/src/summarization.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/prox_taxonomy-a4e98fd209717816.d: crates/taxonomy/src/lib.rs crates/taxonomy/src/consistency.rs crates/taxonomy/src/dag.rs crates/taxonomy/src/wordnet.rs crates/taxonomy/src/wu_palmer.rs
+
+/root/repo/target/debug/deps/libprox_taxonomy-a4e98fd209717816.rlib: crates/taxonomy/src/lib.rs crates/taxonomy/src/consistency.rs crates/taxonomy/src/dag.rs crates/taxonomy/src/wordnet.rs crates/taxonomy/src/wu_palmer.rs
+
+/root/repo/target/debug/deps/libprox_taxonomy-a4e98fd209717816.rmeta: crates/taxonomy/src/lib.rs crates/taxonomy/src/consistency.rs crates/taxonomy/src/dag.rs crates/taxonomy/src/wordnet.rs crates/taxonomy/src/wu_palmer.rs
+
+crates/taxonomy/src/lib.rs:
+crates/taxonomy/src/consistency.rs:
+crates/taxonomy/src/dag.rs:
+crates/taxonomy/src/wordnet.rs:
+crates/taxonomy/src/wu_palmer.rs:

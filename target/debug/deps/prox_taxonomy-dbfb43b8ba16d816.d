@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/prox_taxonomy-dbfb43b8ba16d816.d: crates/taxonomy/src/lib.rs crates/taxonomy/src/consistency.rs crates/taxonomy/src/dag.rs crates/taxonomy/src/wordnet.rs crates/taxonomy/src/wu_palmer.rs
+
+/root/repo/target/debug/deps/prox_taxonomy-dbfb43b8ba16d816: crates/taxonomy/src/lib.rs crates/taxonomy/src/consistency.rs crates/taxonomy/src/dag.rs crates/taxonomy/src/wordnet.rs crates/taxonomy/src/wu_palmer.rs
+
+crates/taxonomy/src/lib.rs:
+crates/taxonomy/src/consistency.rs:
+crates/taxonomy/src/dag.rs:
+crates/taxonomy/src/wordnet.rs:
+crates/taxonomy/src/wu_palmer.rs:

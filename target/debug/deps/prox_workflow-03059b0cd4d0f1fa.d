@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/prox_workflow-03059b0cd4d0f1fa.d: crates/workflow/src/lib.rs crates/workflow/src/module.rs crates/workflow/src/movies.rs crates/workflow/src/query.rs crates/workflow/src/relation.rs
+
+/root/repo/target/debug/deps/prox_workflow-03059b0cd4d0f1fa: crates/workflow/src/lib.rs crates/workflow/src/module.rs crates/workflow/src/movies.rs crates/workflow/src/query.rs crates/workflow/src/relation.rs
+
+crates/workflow/src/lib.rs:
+crates/workflow/src/module.rs:
+crates/workflow/src/movies.rs:
+crates/workflow/src/query.rs:
+crates/workflow/src/relation.rs:

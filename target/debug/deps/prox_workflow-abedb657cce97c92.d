@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/prox_workflow-abedb657cce97c92.d: crates/workflow/src/lib.rs crates/workflow/src/module.rs crates/workflow/src/movies.rs crates/workflow/src/query.rs crates/workflow/src/relation.rs
+
+/root/repo/target/debug/deps/libprox_workflow-abedb657cce97c92.rlib: crates/workflow/src/lib.rs crates/workflow/src/module.rs crates/workflow/src/movies.rs crates/workflow/src/query.rs crates/workflow/src/relation.rs
+
+/root/repo/target/debug/deps/libprox_workflow-abedb657cce97c92.rmeta: crates/workflow/src/lib.rs crates/workflow/src/module.rs crates/workflow/src/movies.rs crates/workflow/src/query.rs crates/workflow/src/relation.rs
+
+crates/workflow/src/lib.rs:
+crates/workflow/src/module.rs:
+crates/workflow/src/movies.rs:
+crates/workflow/src/query.rs:
+crates/workflow/src/relation.rs:

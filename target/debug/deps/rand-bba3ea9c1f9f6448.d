@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/rand-bba3ea9c1f9f6448.d: /root/stubs/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-bba3ea9c1f9f6448.rlib: /root/stubs/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-bba3ea9c1f9f6448.rmeta: /root/stubs/rand/src/lib.rs
+
+/root/stubs/rand/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/serde-e2ebbe0248e4380a.d: /root/stubs/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-e2ebbe0248e4380a.rlib: /root/stubs/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-e2ebbe0248e4380a.rmeta: /root/stubs/serde/src/lib.rs
+
+/root/stubs/serde/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde_derive-bea9dbdce5e24f14.d: /root/stubs/serde_derive/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_derive-bea9dbdce5e24f14.so: /root/stubs/serde_derive/src/lib.rs
+
+/root/stubs/serde_derive/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/trace_e2e-10d75d983bff019f.d: crates/serve/tests/trace_e2e.rs
+
+/root/repo/target/debug/deps/trace_e2e-10d75d983bff019f: crates/serve/tests/trace_e2e.rs
+
+crates/serve/tests/trace_e2e.rs:

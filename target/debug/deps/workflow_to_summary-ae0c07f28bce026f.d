@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/workflow_to_summary-ae0c07f28bce026f.d: tests/workflow_to_summary.rs
+
+/root/repo/target/debug/deps/workflow_to_summary-ae0c07f28bce026f: tests/workflow_to_summary.rs
+
+tests/workflow_to_summary.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/workspace_clean-8a2af75247be591c.d: crates/lint/tests/workspace_clean.rs
+
+/root/repo/target/debug/deps/workspace_clean-8a2af75247be591c: crates/lint/tests/workspace_clean.rs
+
+crates/lint/tests/workspace_clean.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/lint

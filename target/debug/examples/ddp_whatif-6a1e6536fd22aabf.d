@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/ddp_whatif-6a1e6536fd22aabf.d: examples/ddp_whatif.rs
+
+/root/repo/target/debug/examples/ddp_whatif-6a1e6536fd22aabf: examples/ddp_whatif.rs
+
+examples/ddp_whatif.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/movielens_spam-0efc5c8801789d36.d: examples/movielens_spam.rs
+
+/root/repo/target/debug/examples/movielens_spam-0efc5c8801789d36: examples/movielens_spam.rs
+
+examples/movielens_spam.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-5ef29ba19677c622.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-5ef29ba19677c622: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/wikipedia_topics-76e953939e8372ba.d: examples/wikipedia_topics.rs
+
+/root/repo/target/debug/examples/wikipedia_topics-76e953939e8372ba: examples/wikipedia_topics.rs
+
+examples/wikipedia_topics.rs:

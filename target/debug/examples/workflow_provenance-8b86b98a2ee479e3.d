@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/workflow_provenance-8b86b98a2ee479e3.d: examples/workflow_provenance.rs
+
+/root/repo/target/debug/examples/workflow_provenance-8b86b98a2ee479e3: examples/workflow_provenance.rs
+
+examples/workflow_provenance.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/prox-52513f1ca99f9404.d: src/bin/prox.rs
+
+/root/repo/target/release/deps/prox-52513f1ca99f9404: src/bin/prox.rs
+
+src/bin/prox.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/prox-abd9aedcf3d579f9.d: src/lib.rs
+
+/root/repo/target/release/deps/libprox-abd9aedcf3d579f9.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libprox-abd9aedcf3d579f9.rmeta: src/lib.rs
+
+src/lib.rs:

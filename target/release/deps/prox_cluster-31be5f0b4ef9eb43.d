@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/prox_cluster-31be5f0b4ef9eb43.d: crates/cluster/src/lib.rs crates/cluster/src/dendrogram.rs crates/cluster/src/features.rs crates/cluster/src/hac.rs crates/cluster/src/linkage.rs crates/cluster/src/matrix.rs crates/cluster/src/pearson.rs crates/cluster/src/random.rs crates/cluster/src/replay.rs
+
+/root/repo/target/release/deps/libprox_cluster-31be5f0b4ef9eb43.rlib: crates/cluster/src/lib.rs crates/cluster/src/dendrogram.rs crates/cluster/src/features.rs crates/cluster/src/hac.rs crates/cluster/src/linkage.rs crates/cluster/src/matrix.rs crates/cluster/src/pearson.rs crates/cluster/src/random.rs crates/cluster/src/replay.rs
+
+/root/repo/target/release/deps/libprox_cluster-31be5f0b4ef9eb43.rmeta: crates/cluster/src/lib.rs crates/cluster/src/dendrogram.rs crates/cluster/src/features.rs crates/cluster/src/hac.rs crates/cluster/src/linkage.rs crates/cluster/src/matrix.rs crates/cluster/src/pearson.rs crates/cluster/src/random.rs crates/cluster/src/replay.rs
+
+crates/cluster/src/lib.rs:
+crates/cluster/src/dendrogram.rs:
+crates/cluster/src/features.rs:
+crates/cluster/src/hac.rs:
+crates/cluster/src/linkage.rs:
+crates/cluster/src/matrix.rs:
+crates/cluster/src/pearson.rs:
+crates/cluster/src/random.rs:
+crates/cluster/src/replay.rs:

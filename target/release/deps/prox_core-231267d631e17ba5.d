@@ -1,0 +1,19 @@
+/root/repo/target/release/deps/prox_core-231267d631e17ba5.d: crates/core/src/lib.rs crates/core/src/candidates.rs crates/core/src/config.rs crates/core/src/constraints.rs crates/core/src/distance.rs crates/core/src/equivalence.rs crates/core/src/hardness.rs crates/core/src/history.rs crates/core/src/optimal.rs crates/core/src/sampler.rs crates/core/src/score.rs crates/core/src/summarize.rs crates/core/src/val_func.rs
+
+/root/repo/target/release/deps/libprox_core-231267d631e17ba5.rlib: crates/core/src/lib.rs crates/core/src/candidates.rs crates/core/src/config.rs crates/core/src/constraints.rs crates/core/src/distance.rs crates/core/src/equivalence.rs crates/core/src/hardness.rs crates/core/src/history.rs crates/core/src/optimal.rs crates/core/src/sampler.rs crates/core/src/score.rs crates/core/src/summarize.rs crates/core/src/val_func.rs
+
+/root/repo/target/release/deps/libprox_core-231267d631e17ba5.rmeta: crates/core/src/lib.rs crates/core/src/candidates.rs crates/core/src/config.rs crates/core/src/constraints.rs crates/core/src/distance.rs crates/core/src/equivalence.rs crates/core/src/hardness.rs crates/core/src/history.rs crates/core/src/optimal.rs crates/core/src/sampler.rs crates/core/src/score.rs crates/core/src/summarize.rs crates/core/src/val_func.rs
+
+crates/core/src/lib.rs:
+crates/core/src/candidates.rs:
+crates/core/src/config.rs:
+crates/core/src/constraints.rs:
+crates/core/src/distance.rs:
+crates/core/src/equivalence.rs:
+crates/core/src/hardness.rs:
+crates/core/src/history.rs:
+crates/core/src/optimal.rs:
+crates/core/src/sampler.rs:
+crates/core/src/score.rs:
+crates/core/src/summarize.rs:
+crates/core/src/val_func.rs:

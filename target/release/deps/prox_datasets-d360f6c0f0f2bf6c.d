@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/prox_datasets-d360f6c0f0f2bf6c.d: crates/datasets/src/lib.rs crates/datasets/src/ddp.rs crates/datasets/src/movielens.rs crates/datasets/src/names.rs crates/datasets/src/wikipedia.rs
+
+/root/repo/target/release/deps/libprox_datasets-d360f6c0f0f2bf6c.rlib: crates/datasets/src/lib.rs crates/datasets/src/ddp.rs crates/datasets/src/movielens.rs crates/datasets/src/names.rs crates/datasets/src/wikipedia.rs
+
+/root/repo/target/release/deps/libprox_datasets-d360f6c0f0f2bf6c.rmeta: crates/datasets/src/lib.rs crates/datasets/src/ddp.rs crates/datasets/src/movielens.rs crates/datasets/src/names.rs crates/datasets/src/wikipedia.rs
+
+crates/datasets/src/lib.rs:
+crates/datasets/src/ddp.rs:
+crates/datasets/src/movielens.rs:
+crates/datasets/src/names.rs:
+crates/datasets/src/wikipedia.rs:

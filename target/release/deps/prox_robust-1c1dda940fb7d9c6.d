@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/prox_robust-1c1dda940fb7d9c6.d: crates/robust/src/lib.rs crates/robust/src/budget.rs crates/robust/src/error.rs crates/robust/src/fault.rs
+
+/root/repo/target/release/deps/libprox_robust-1c1dda940fb7d9c6.rlib: crates/robust/src/lib.rs crates/robust/src/budget.rs crates/robust/src/error.rs crates/robust/src/fault.rs
+
+/root/repo/target/release/deps/libprox_robust-1c1dda940fb7d9c6.rmeta: crates/robust/src/lib.rs crates/robust/src/budget.rs crates/robust/src/error.rs crates/robust/src/fault.rs
+
+crates/robust/src/lib.rs:
+crates/robust/src/budget.rs:
+crates/robust/src/error.rs:
+crates/robust/src/fault.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/prox_serve-1245baf5addd882b.d: crates/serve/src/lib.rs crates/serve/src/cache.rs crates/serve/src/http.rs crates/serve/src/queue.rs crates/serve/src/server.rs crates/serve/src/service.rs crates/serve/src/signal.rs
+
+/root/repo/target/release/deps/libprox_serve-1245baf5addd882b.rlib: crates/serve/src/lib.rs crates/serve/src/cache.rs crates/serve/src/http.rs crates/serve/src/queue.rs crates/serve/src/server.rs crates/serve/src/service.rs crates/serve/src/signal.rs
+
+/root/repo/target/release/deps/libprox_serve-1245baf5addd882b.rmeta: crates/serve/src/lib.rs crates/serve/src/cache.rs crates/serve/src/http.rs crates/serve/src/queue.rs crates/serve/src/server.rs crates/serve/src/service.rs crates/serve/src/signal.rs
+
+crates/serve/src/lib.rs:
+crates/serve/src/cache.rs:
+crates/serve/src/http.rs:
+crates/serve/src/queue.rs:
+crates/serve/src/server.rs:
+crates/serve/src/service.rs:
+crates/serve/src/signal.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/prox_system-785a3fac482afec6.d: crates/system/src/lib.rs crates/system/src/evaluator.rs crates/system/src/insights.rs crates/system/src/render.rs crates/system/src/selection.rs crates/system/src/session.rs crates/system/src/summarization.rs
+
+/root/repo/target/release/deps/libprox_system-785a3fac482afec6.rlib: crates/system/src/lib.rs crates/system/src/evaluator.rs crates/system/src/insights.rs crates/system/src/render.rs crates/system/src/selection.rs crates/system/src/session.rs crates/system/src/summarization.rs
+
+/root/repo/target/release/deps/libprox_system-785a3fac482afec6.rmeta: crates/system/src/lib.rs crates/system/src/evaluator.rs crates/system/src/insights.rs crates/system/src/render.rs crates/system/src/selection.rs crates/system/src/session.rs crates/system/src/summarization.rs
+
+crates/system/src/lib.rs:
+crates/system/src/evaluator.rs:
+crates/system/src/insights.rs:
+crates/system/src/render.rs:
+crates/system/src/selection.rs:
+crates/system/src/session.rs:
+crates/system/src/summarization.rs:

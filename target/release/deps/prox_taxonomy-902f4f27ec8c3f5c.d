@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/prox_taxonomy-902f4f27ec8c3f5c.d: crates/taxonomy/src/lib.rs crates/taxonomy/src/consistency.rs crates/taxonomy/src/dag.rs crates/taxonomy/src/wordnet.rs crates/taxonomy/src/wu_palmer.rs
+
+/root/repo/target/release/deps/libprox_taxonomy-902f4f27ec8c3f5c.rlib: crates/taxonomy/src/lib.rs crates/taxonomy/src/consistency.rs crates/taxonomy/src/dag.rs crates/taxonomy/src/wordnet.rs crates/taxonomy/src/wu_palmer.rs
+
+/root/repo/target/release/deps/libprox_taxonomy-902f4f27ec8c3f5c.rmeta: crates/taxonomy/src/lib.rs crates/taxonomy/src/consistency.rs crates/taxonomy/src/dag.rs crates/taxonomy/src/wordnet.rs crates/taxonomy/src/wu_palmer.rs
+
+crates/taxonomy/src/lib.rs:
+crates/taxonomy/src/consistency.rs:
+crates/taxonomy/src/dag.rs:
+crates/taxonomy/src/wordnet.rs:
+crates/taxonomy/src/wu_palmer.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/prox_workflow-7b74fdfd25eb5eea.d: crates/workflow/src/lib.rs crates/workflow/src/module.rs crates/workflow/src/movies.rs crates/workflow/src/query.rs crates/workflow/src/relation.rs
+
+/root/repo/target/release/deps/libprox_workflow-7b74fdfd25eb5eea.rlib: crates/workflow/src/lib.rs crates/workflow/src/module.rs crates/workflow/src/movies.rs crates/workflow/src/query.rs crates/workflow/src/relation.rs
+
+/root/repo/target/release/deps/libprox_workflow-7b74fdfd25eb5eea.rmeta: crates/workflow/src/lib.rs crates/workflow/src/module.rs crates/workflow/src/movies.rs crates/workflow/src/query.rs crates/workflow/src/relation.rs
+
+crates/workflow/src/lib.rs:
+crates/workflow/src/module.rs:
+crates/workflow/src/movies.rs:
+crates/workflow/src/query.rs:
+crates/workflow/src/relation.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rand-60921f5b53783dee.d: /root/stubs/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-60921f5b53783dee.rlib: /root/stubs/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-60921f5b53783dee.rmeta: /root/stubs/rand/src/lib.rs
+
+/root/stubs/rand/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/serde-c50e17d70f1b9293.d: /root/stubs/serde/src/lib.rs
+
+/root/repo/target/release/deps/libserde-c50e17d70f1b9293.rlib: /root/stubs/serde/src/lib.rs
+
+/root/repo/target/release/deps/libserde-c50e17d70f1b9293.rmeta: /root/stubs/serde/src/lib.rs
+
+/root/stubs/serde/src/lib.rs:

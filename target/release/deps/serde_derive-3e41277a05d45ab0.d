@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/serde_derive-3e41277a05d45ab0.d: /root/stubs/serde_derive/src/lib.rs
+
+/root/repo/target/release/deps/libserde_derive-3e41277a05d45ab0.so: /root/stubs/serde_derive/src/lib.rs
+
+/root/stubs/serde_derive/src/lib.rs:
