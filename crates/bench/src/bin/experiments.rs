@@ -16,6 +16,11 @@ use prox_bench::RunManifest;
 use prox_cluster::Linkage;
 use prox_provenance::{AggKind, ValuationClass};
 
+// Route the bench binary's heap through the counting allocator so every
+// manifest's `memory` section carries real peak/total/allocation numbers.
+#[global_allocator]
+static ALLOC: prox_obs::CountingAlloc = prox_obs::CountingAlloc::system();
+
 const USAGE: &str = "experiments -- <exp> [--quick]
   table51            Table 5.1 (dataset/parameter matrix)
   wdist-ml           Figs 6.1a + 6.2a (MovieLens wDist sweep)
@@ -319,6 +324,9 @@ fn main() {
     // PROX_FAULT arms the deterministic fault harness for chaos runs.
     prox_robust::fault::init_from_env();
     prox_obs::set_enabled(true);
+    // PROX_PROFILE=<path> folds the span stacks into flamegraph input
+    // covering the whole suite (boundary mode under PROX_DETERMINISTIC).
+    let profile_path = prox_obs::prof::init_from_env();
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
     let scale = if quick { Scale::quick() } else { Scale::full() };
@@ -339,6 +347,13 @@ fn main() {
         } else if !run_one(name, scale) {
             eprintln!("unknown experiment {name:?}\n{USAGE}");
             std::process::exit(2);
+        }
+    }
+    if let Some(path) = profile_path {
+        prox_obs::prof::disable();
+        match prox_obs::prof::write_folded(&path) {
+            Ok(()) => eprintln!("profile (folded stacks) written to {path}"),
+            Err(e) => eprintln!("cannot write PROX_PROFILE={path}: {e}"),
         }
     }
     prox_obs::flush_sink();

@@ -1,0 +1,630 @@
+//! The manifest regression gate: `prox bench diff <baseline> <current>`.
+//!
+//! Compares two `reports/manifest_*.json` files metric by metric and
+//! classifies every numeric leaf as *within band*, an *improvement*, or a
+//! *regression* under per-metric tolerances, so the bench trajectory can
+//! accumulate run-over-run and CI can refuse perf regressions.
+//!
+//! ## Comparability
+//!
+//! Two manifests are only comparable when they describe the same
+//! experiment: `experiment`, `config`, `scale`, and `datasets` (names and
+//! generator seeds) must match exactly. A mismatch is an input error (the
+//! runs measured different things), not a regression.
+//!
+//! ## Tolerances
+//!
+//! Each metric path (dotted, e.g. `phases.summarize/step.total_ns`) maps
+//! to a [`Tolerance`]: an allowed band of `max(rel · |baseline|, abs)`
+//! plus a [`Direction`]. Schedule-determined quantities (counters, phase
+//! counts, stop reasons) default to **exact** — under `PROX_DETERMINISTIC`
+//! two same-seed runs must agree bit for bit, so any drift is a real
+//! behavior change. Measured quantities (durations, allocation deltas,
+//! memory, latency quantiles) get wide relative bands and a direction, so
+//! noise passes, a genuine slowdown fails, and a speedup is reported as
+//! an improvement rather than flagged.
+//!
+//! The report is emitted as `reports/regression.json` with sorted keys
+//! and sorted metric lists — on identical inputs the file is byte-stable
+//! (rule L2).
+
+use std::fmt;
+
+use prox_obs::Json;
+
+/// Which way is "better" for a metric.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Direction {
+    /// Time, bytes, allocation counts: smaller is an improvement.
+    LowerIsBetter,
+    /// Throughput, cache hit rate: larger is an improvement.
+    HigherIsBetter,
+    /// Schedule-determined quantities: any out-of-band drift is a
+    /// regression, whichever way it moves.
+    Neutral,
+}
+
+/// The allowed deviation for one metric: `max(rel · |baseline|, abs)`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Tolerance {
+    /// Relative band as a fraction of the baseline value.
+    pub rel: f64,
+    /// Absolute band floor (covers near-zero baselines).
+    pub abs: f64,
+    /// Which direction of drift counts as an improvement.
+    pub direction: Direction,
+}
+
+impl Tolerance {
+    const fn exact() -> Tolerance {
+        Tolerance {
+            rel: 0.0,
+            abs: 0.0,
+            direction: Direction::Neutral,
+        }
+    }
+}
+
+/// The tolerance for a dotted metric path. First matching rule wins;
+/// everything unmatched is exact (see module docs).
+pub fn tolerance_for(path: &str) -> Tolerance {
+    let lower = Tolerance {
+        rel: 0.5,
+        abs: 1_000_000.0,
+        direction: Direction::LowerIsBetter,
+    };
+    // Process-level memory: ±25% with a 1 MiB floor (allocator behavior
+    // shifts with layout, but a leak or a blown ceiling must fail).
+    if path.starts_with("memory.") {
+        return Tolerance {
+            rel: 0.25,
+            abs: (1u64 << 20) as f64,
+            direction: Direction::LowerIsBetter,
+        };
+    }
+    // Per-phase allocation deltas: same shape, smaller floor.
+    if path.ends_with(".alloc_bytes") || path.ends_with(".allocs") {
+        return Tolerance {
+            rel: 0.25,
+            abs: 65_536.0,
+            direction: Direction::LowerIsBetter,
+        };
+    }
+    // Wall-clock phase statistics: ±50% with a 1 ms floor — timing noise
+    // on shared runners is large; only a gross slowdown should gate.
+    if path.ends_with(".total_ns")
+        || path.ends_with(".mean_ns")
+        || path.ends_with(".min_ns")
+        || path.ends_with(".max_ns")
+    {
+        return lower;
+    }
+    if path == "wall_time_ms" {
+        return Tolerance {
+            rel: 0.5,
+            abs: 500.0,
+            direction: Direction::LowerIsBetter,
+        };
+    }
+    // Serve latency percentiles (the `serve` experiment's extra section).
+    if path.contains("p50") || path.contains("p95") || path.contains("p99") {
+        return Tolerance {
+            rel: 0.5,
+            abs: 1_000.0,
+            direction: Direction::LowerIsBetter,
+        };
+    }
+    if path.contains("throughput") || path.contains("hit_rate") {
+        return Tolerance {
+            rel: 0.25,
+            abs: 0.05,
+            direction: Direction::HigherIsBetter,
+        };
+    }
+    // Real-socket serve counters can shift a little with thread timing
+    // even at fixed seeds; give them a narrow neutral band.
+    if path.starts_with("counters.serve/") || path.starts_with("phases.service/") {
+        return Tolerance {
+            rel: 0.1,
+            abs: 2.0,
+            direction: Direction::Neutral,
+        };
+    }
+    // Everything else — counters, phase counts, stop reasons, quality
+    // metrics — is schedule-determined: exact or it regressed.
+    Tolerance::exact()
+}
+
+/// Verdict for one metric.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Verdict {
+    /// Inside the tolerance band.
+    Within,
+    /// Outside the band, in the better direction.
+    Improvement,
+    /// Outside the band, in the worse (or any, for neutral) direction.
+    Regression,
+}
+
+impl Verdict {
+    /// Stable lowercase name used in `regression.json`.
+    pub fn name(self) -> &'static str {
+        match self {
+            Verdict::Within => "within",
+            Verdict::Improvement => "improvement",
+            Verdict::Regression => "regression",
+        }
+    }
+}
+
+/// One compared metric.
+#[derive(Clone, Debug)]
+pub struct MetricDiff {
+    /// Dotted path, e.g. `counters.distance/evaluations`.
+    pub path: String,
+    /// Value in the baseline manifest (0 when absent there).
+    pub baseline: f64,
+    /// Value in the current manifest (0 when absent there).
+    pub current: f64,
+    /// The band that applied: `max(rel · |baseline|, abs)`.
+    pub band: f64,
+    /// The classification.
+    pub verdict: Verdict,
+}
+
+/// The full comparison of two manifests.
+#[derive(Clone, Debug)]
+pub struct DiffReport {
+    /// Experiment id both manifests describe.
+    pub experiment: String,
+    /// Number of numeric leaves compared (union of both manifests).
+    pub checked: usize,
+    /// Metrics that moved outside their band, by verdict.
+    pub regressions: Vec<MetricDiff>,
+    /// Out-of-band improvements (reported, never gating).
+    pub improvements: Vec<MetricDiff>,
+}
+
+impl DiffReport {
+    /// Did any metric regress?
+    pub fn regressed(&self) -> bool {
+        !self.regressions.is_empty()
+    }
+
+    /// The report as JSON (the `reports/regression.json` schema). Metric
+    /// lists are sorted by path and keys are sorted at render time, so
+    /// identical inputs produce byte-identical files.
+    pub fn to_json(&self) -> Json {
+        fn metrics_json(metrics: &[MetricDiff]) -> Json {
+            let mut sorted: Vec<&MetricDiff> = metrics.iter().collect();
+            sorted.sort_by(|a, b| a.path.cmp(&b.path));
+            Json::Arr(
+                sorted
+                    .into_iter()
+                    .map(|m| {
+                        Json::obj()
+                            .with("path", m.path.as_str())
+                            .with("baseline", m.baseline)
+                            .with("current", m.current)
+                            .with("band", m.band)
+                            .with("verdict", m.verdict.name())
+                    })
+                    .collect(),
+            )
+        }
+        Json::obj()
+            .with("experiment", self.experiment.as_str())
+            .with("checked", self.checked)
+            .with("status", if self.regressed() { "regressed" } else { "ok" })
+            .with("regressions", metrics_json(&self.regressions))
+            .with("improvements", metrics_json(&self.improvements))
+    }
+}
+
+/// Why two manifests could not be compared (input error, CLI exit 2 —
+/// distinct from a regression, exit 1).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DiffError(pub String);
+
+impl fmt::Display for DiffError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "manifests not comparable: {}", self.0)
+    }
+}
+
+impl std::error::Error for DiffError {}
+
+/// Sections that define *what ran* rather than *how it performed*; they
+/// must match exactly and are excluded from metric flattening.
+const STRUCTURAL: &[&str] = &["experiment", "config", "scale", "datasets"];
+
+/// Metadata that is neither structural nor a performance metric.
+const IGNORED: &[&str] = &["attempts", "timeout_ms", "status", "memory.allocator"];
+
+fn numeric(j: &Json) -> Option<f64> {
+    match *j {
+        Json::UInt(n) => Some(n as f64),
+        Json::Int(n) => Some(n as f64),
+        Json::Float(f) if f.is_finite() => Some(f),
+        _ => None,
+    }
+}
+
+/// Flatten every numeric leaf of `j` into `out` as `prefix.path -> value`.
+/// Arrays index as `.0`, `.1`, ... Structural sections are skipped at the
+/// top level by the caller.
+fn flatten(prefix: &str, j: &Json, out: &mut Vec<(String, f64)>) {
+    match j {
+        Json::Obj(entries) => {
+            for (k, v) in entries {
+                let path = if prefix.is_empty() {
+                    k.clone()
+                } else {
+                    format!("{prefix}.{k}")
+                };
+                flatten(&path, v, out);
+            }
+        }
+        Json::Arr(items) => {
+            for (ix, v) in items.iter().enumerate() {
+                flatten(&format!("{prefix}.{ix}"), v, out);
+            }
+        }
+        leaf => {
+            if let Some(v) = numeric(leaf) {
+                out.push((prefix.to_owned(), v));
+            }
+        }
+    }
+}
+
+fn metric_paths(manifest: &Json) -> Vec<(String, f64)> {
+    let mut out = Vec::new();
+    if let Some(entries) = manifest.entries() {
+        for (k, v) in entries {
+            if STRUCTURAL.contains(&k.as_str()) {
+                continue;
+            }
+            flatten(k, v, &mut out);
+        }
+    }
+    out.retain(|(path, _)| !IGNORED.contains(&path.as_str()));
+    out
+}
+
+fn structural_mismatch(baseline: &Json, current: &Json) -> Option<String> {
+    for key in STRUCTURAL {
+        let b = baseline.get(key).map(|j| j.sorted().render());
+        let c = current.get(key).map(|j| j.sorted().render());
+        if b != c {
+            return Some(format!(
+                "{key} differs: baseline {} vs current {}",
+                b.unwrap_or_else(|| "<absent>".into()),
+                c.unwrap_or_else(|| "<absent>".into()),
+            ));
+        }
+    }
+    None
+}
+
+/// Classify one metric against its tolerance.
+pub fn classify(path: &str, baseline: f64, current: f64) -> MetricDiff {
+    let tol = tolerance_for(path);
+    let band = (tol.rel * baseline.abs()).max(tol.abs);
+    let delta = current - baseline;
+    let verdict = if delta.abs() <= band {
+        Verdict::Within
+    } else {
+        match tol.direction {
+            Direction::Neutral => Verdict::Regression,
+            Direction::LowerIsBetter if delta < 0.0 => Verdict::Improvement,
+            Direction::LowerIsBetter => Verdict::Regression,
+            Direction::HigherIsBetter if delta > 0.0 => Verdict::Improvement,
+            Direction::HigherIsBetter => Verdict::Regression,
+        }
+    };
+    MetricDiff {
+        path: path.to_owned(),
+        baseline,
+        current,
+        band,
+        verdict,
+    }
+}
+
+/// Compare two parsed manifests. Returns an error when they are not
+/// comparable (different experiment/config/scale/datasets).
+pub fn diff_manifests(baseline: &Json, current: &Json) -> Result<DiffReport, DiffError> {
+    let experiment = baseline
+        .get("experiment")
+        .and_then(Json::as_str)
+        .ok_or_else(|| DiffError("baseline has no `experiment` field".into()))?;
+    current
+        .get("experiment")
+        .and_then(Json::as_str)
+        .ok_or_else(|| DiffError("current has no `experiment` field".into()))?;
+    if let Some(why) = structural_mismatch(baseline, current) {
+        return Err(DiffError(why));
+    }
+
+    // Union of both manifests' metric paths; a metric absent on one side
+    // reads as 0 there (a counter that never fired was never registered).
+    let base_metrics = metric_paths(baseline);
+    let cur_metrics = metric_paths(current);
+    let mut paths: Vec<&str> = base_metrics
+        .iter()
+        .chain(cur_metrics.iter())
+        .map(|(p, _)| p.as_str())
+        .collect();
+    paths.sort_unstable();
+    paths.dedup();
+
+    let lookup = |metrics: &[(String, f64)], path: &str| -> f64 {
+        metrics
+            .iter()
+            .find(|(p, _)| p == path)
+            .map_or(0.0, |(_, v)| *v)
+    };
+
+    let mut report = DiffReport {
+        experiment: experiment.to_owned(),
+        checked: paths.len(),
+        regressions: Vec::new(),
+        improvements: Vec::new(),
+    };
+    for path in paths {
+        let m = classify(
+            path,
+            lookup(&base_metrics, path),
+            lookup(&cur_metrics, path),
+        );
+        match m.verdict {
+            Verdict::Within => {}
+            Verdict::Improvement => report.improvements.push(m),
+            Verdict::Regression => report.regressions.push(m),
+        }
+    }
+    Ok(report)
+}
+
+/// Read and parse a manifest file.
+pub fn load_manifest(path: &str) -> Result<Json, DiffError> {
+    let body =
+        std::fs::read_to_string(path).map_err(|e| DiffError(format!("cannot read {path}: {e}")))?;
+    Json::parse(&body).map_err(|e| DiffError(format!("cannot parse {path}: {e}")))
+}
+
+/// Run the whole gate: load both manifests, diff them, write the report
+/// to `out_path`, and print a human summary to stderr. Returns the
+/// process exit code: 0 ok, 1 regression, 2 input error.
+pub fn run_diff(baseline_path: &str, current_path: &str, out_path: &str) -> i32 {
+    let loaded = load_manifest(baseline_path).and_then(|b| {
+        let c = load_manifest(current_path)?;
+        diff_manifests(&b, &c)
+    });
+    let report = match loaded {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("prox bench diff: {e}");
+            return 2;
+        }
+    };
+    let rendered = report.to_json().sorted().pretty();
+    if let Some(dir) = std::path::Path::new(out_path).parent() {
+        let _ = std::fs::create_dir_all(dir);
+    }
+    if let Err(e) = std::fs::write(out_path, &rendered) {
+        eprintln!("prox bench diff: cannot write {out_path}: {e}");
+        return 2;
+    }
+    eprintln!(
+        "prox bench diff: {} — {} metrics checked, {} regression(s), {} improvement(s) -> {out_path}",
+        report.experiment,
+        report.checked,
+        report.regressions.len(),
+        report.improvements.len(),
+    );
+    for m in &report.regressions {
+        eprintln!(
+            "  REGRESSION {}: baseline {} -> current {} (band ±{})",
+            m.path, m.baseline, m.current, m.band
+        );
+    }
+    for m in &report.improvements {
+        eprintln!(
+            "  improvement {}: baseline {} -> current {} (band ±{})",
+            m.path, m.baseline, m.current, m.band
+        );
+    }
+    if report.regressed() {
+        1
+    } else {
+        0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A minimal synthetic manifest with the structural sections fixed.
+    fn manifest(counters: &[(&str, u64)], phases: &[(&str, u64, u64)]) -> Json {
+        let mut c = Json::obj();
+        for (name, v) in counters {
+            c.set(name, *v);
+        }
+        let mut p = Json::obj();
+        for (name, count, total_ns) in phases {
+            p.set(
+                name,
+                Json::obj()
+                    .with("count", *count)
+                    .with("total_ns", *total_ns),
+            );
+        }
+        Json::obj()
+            .with("experiment", "t")
+            .with("scale", Json::obj().with("quick", true))
+            .with("config", Json::obj().with("w_dist", 0.5))
+            .with(
+                "datasets",
+                Json::Arr(vec![Json::obj().with("name", "ml").with("seed", 1000u64)]),
+            )
+            .with("counters", c)
+            .with("phases", p)
+            .with(
+                "memory",
+                Json::obj()
+                    .with("allocator", "counting")
+                    .with("peak_bytes", 10u64 << 20),
+            )
+    }
+
+    #[test]
+    fn identical_manifests_pass_with_empty_lists() {
+        let m = manifest(&[("core/steps", 40)], &[("summarize", 8, 1_000_000)]);
+        let r = diff_manifests(&m, &m).expect("comparable");
+        assert!(!r.regressed());
+        assert!(r.regressions.is_empty() && r.improvements.is_empty());
+        assert!(r.checked >= 4, "counters+phases+memory flattened: {r:?}");
+        // Byte-stability: same inputs, same report bytes.
+        assert_eq!(
+            r.to_json().sorted().pretty(),
+            diff_manifests(&m, &m).unwrap().to_json().sorted().pretty()
+        );
+    }
+
+    #[test]
+    fn exact_counter_drift_is_a_regression_either_direction() {
+        let base = manifest(&[("core/steps", 40)], &[]);
+        for drifted in [39u64, 41] {
+            let cur = manifest(&[("core/steps", drifted)], &[]);
+            let r = diff_manifests(&base, &cur).expect("comparable");
+            assert_eq!(r.regressions.len(), 1, "{drifted}: {r:?}");
+            assert_eq!(r.regressions[0].path, "counters.core/steps");
+            assert!(r.improvements.is_empty());
+        }
+    }
+
+    #[test]
+    fn timing_within_band_passes_faster_improves_slower_regresses() {
+        let base = manifest(&[], &[("summarize", 8, 100_000_000)]);
+        // +40% < 50% band: within.
+        let within = manifest(&[], &[("summarize", 8, 140_000_000)]);
+        assert!(!diff_manifests(&base, &within).unwrap().regressed());
+        // +60% > band: regression, naming the metric.
+        let slow = manifest(&[], &[("summarize", 8, 160_000_000)]);
+        let r = diff_manifests(&base, &slow).unwrap();
+        assert!(r.regressed());
+        assert_eq!(r.regressions[0].path, "phases.summarize.total_ns");
+        // -60%: out of band in the good direction — improvement, exit 0.
+        let fast = manifest(&[], &[("summarize", 8, 40_000_000)]);
+        let r = diff_manifests(&base, &fast).unwrap();
+        assert!(!r.regressed());
+        assert_eq!(r.improvements.len(), 1);
+        assert_eq!(r.improvements[0].verdict, Verdict::Improvement);
+    }
+
+    #[test]
+    fn absent_metric_reads_as_zero() {
+        // A counter that only fired in the current run (e.g. a fault
+        // inflating run/stop/budget_exhausted from unregistered to N).
+        let base = manifest(&[], &[]);
+        let cur = manifest(&[("run/stop/budget_exhausted", 5)], &[]);
+        let r = diff_manifests(&base, &cur).expect("comparable");
+        assert!(r.regressed());
+        assert_eq!(r.regressions[0].path, "counters.run/stop/budget_exhausted");
+        assert_eq!(r.regressions[0].baseline, 0.0);
+        assert_eq!(r.regressions[0].current, 5.0);
+    }
+
+    #[test]
+    fn memory_band_has_absolute_floor_and_direction() {
+        let base = manifest(&[], &[]);
+        // +25% of 10 MiB is 2.5 MiB > 1 MiB floor; +3 MiB regresses.
+        let mut grown = manifest(&[], &[]);
+        grown.set(
+            "memory",
+            Json::obj()
+                .with("allocator", "counting")
+                .with("peak_bytes", 13u64 << 20),
+        );
+        let r = diff_manifests(&base, &grown).unwrap();
+        assert!(r.regressed(), "{r:?}");
+        assert_eq!(r.regressions[0].path, "memory.peak_bytes");
+        // Shrinking the same amount is an improvement.
+        let mut shrunk = manifest(&[], &[]);
+        shrunk.set(
+            "memory",
+            Json::obj()
+                .with("allocator", "counting")
+                .with("peak_bytes", 7u64 << 20),
+        );
+        let r = diff_manifests(&base, &shrunk).unwrap();
+        assert!(!r.regressed());
+        assert_eq!(r.improvements.len(), 1);
+    }
+
+    #[test]
+    fn allocator_tag_and_outcome_metadata_do_not_gate() {
+        let base = manifest(&[], &[]);
+        let mut cur = manifest(&[], &[]);
+        cur.set(
+            "memory",
+            Json::obj()
+                .with("allocator", "system")
+                .with("peak_bytes", 10u64 << 20),
+        );
+        cur.set("attempts", 2u64).set("status", "degraded");
+        let r = diff_manifests(&base, &cur).expect("comparable");
+        assert!(!r.regressed(), "{r:?}");
+    }
+
+    #[test]
+    fn structural_mismatch_is_an_input_error_not_a_regression() {
+        let base = manifest(&[], &[]);
+        let mut other = manifest(&[], &[]);
+        other.set("config", Json::obj().with("w_dist", 0.9));
+        let err = diff_manifests(&base, &other).unwrap_err();
+        assert!(err.to_string().contains("config"), "{err}");
+        let mut renamed = manifest(&[], &[]);
+        renamed.set("experiment", "other");
+        assert!(diff_manifests(&base, &renamed).is_err());
+    }
+
+    #[test]
+    fn serve_counters_get_a_narrow_neutral_band() {
+        let t = tolerance_for("counters.serve/cache_hit");
+        assert_eq!(t.direction, Direction::Neutral);
+        assert!(t.abs >= 1.0);
+        // Band edges: baseline 100, rel 0.1 -> band 10.
+        assert_eq!(
+            classify("counters.serve/cache_hit", 100.0, 110.0).verdict,
+            Verdict::Within
+        );
+        assert_eq!(
+            classify("counters.serve/cache_hit", 100.0, 111.0).verdict,
+            Verdict::Regression
+        );
+        assert_eq!(
+            classify("counters.serve/cache_hit", 100.0, 89.0).verdict,
+            Verdict::Regression
+        );
+    }
+
+    #[test]
+    fn higher_is_better_metrics_regress_downward() {
+        assert_eq!(
+            classify("serve.throughput_rps", 100.0, 60.0).verdict,
+            Verdict::Regression
+        );
+        assert_eq!(
+            classify("serve.throughput_rps", 100.0, 140.0).verdict,
+            Verdict::Improvement
+        );
+        assert_eq!(
+            classify("serve.p99_us", 1.0, 90_000.0).verdict,
+            Verdict::Regression
+        );
+    }
+}

@@ -23,6 +23,7 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod diff;
 pub mod experiments;
 pub mod manifest;
 pub mod report;

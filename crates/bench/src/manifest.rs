@@ -126,12 +126,21 @@ impl RunManifest {
             }
         }
         // Per-phase durations: the span histograms minus their buckets.
-        // Deterministic mode keeps only the call counts — durations are
-        // wall-clock and would differ between same-seed runs.
+        // Deterministic mode keeps only the call counts — durations and
+        // allocation deltas are measurements that differ between
+        // same-seed runs (rule L2).
         let timing_keys: &[&str] = if self.deterministic {
             &["count"]
         } else {
-            &["count", "total_ns", "mean_ns", "min_ns", "max_ns"]
+            &[
+                "count",
+                "total_ns",
+                "mean_ns",
+                "min_ns",
+                "max_ns",
+                "alloc_bytes",
+                "allocs",
+            ]
         };
         let mut phases = Json::obj();
         if let Some(entries) = snapshot.get("spans").and_then(Json::entries) {
@@ -171,6 +180,10 @@ impl RunManifest {
             .with("stop_reasons", stop_reasons)
             .with("phases", phases)
             .with("counters", counters)
+            // Process-level allocator stats: peak/total bytes and event
+            // count since the last registry reset (i.e. this experiment).
+            // In deterministic mode only the stable `allocator` tag stays.
+            .with("memory", prox_obs::alloc::memory_json(self.deterministic))
     }
 
     /// Write `manifest_<experiment>.json` (dots and dashes mapped to `_`)
@@ -256,9 +269,16 @@ mod tests {
         let config = j.get("config").expect("config present");
         assert!(config.get("w_dist").is_some());
         assert!(config.get("val_func").and_then(Json::as_str).is_some());
-        for section in ["stop_reasons", "phases", "counters"] {
+        for section in ["stop_reasons", "phases", "counters", "memory"] {
             assert!(j.get(section).is_some(), "missing {section}");
         }
+        // This test binary does not install the counting allocator, so the
+        // memory section must say so instead of reporting zeros as data.
+        assert!(j
+            .get("memory")
+            .and_then(|m| m.get("allocator"))
+            .and_then(Json::as_str)
+            .is_some());
         // The whole manifest round-trips through the serializer.
         assert_eq!(Json::parse(&j.pretty()).unwrap(), j);
     }

@@ -114,6 +114,9 @@ impl Default for LintConfig {
                 s("crates/obs/src/prom.rs"),
                 s("crates/obs/src/trace.rs"),
                 s("crates/obs/src/window.rs"),
+                s("crates/obs/src/alloc.rs"),
+                s("crates/obs/src/prof.rs"),
+                s("crates/bench/src/diff.rs"),
                 s("crates/system/src/render.rs"),
                 s("crates/system/src/insights.rs"),
             ],

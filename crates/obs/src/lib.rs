@@ -13,7 +13,12 @@
 //! * [`StepTimer`] — the shared per-step `candidate_time`/`step_time`
 //!   bookkeeping used by all three summarization loops;
 //! * [`Json`] — a tiny ordered JSON value used for snapshots, trace
-//!   events, and bench run manifests.
+//!   events, and bench run manifests;
+//! * [`CountingAlloc`] (module [`alloc`]) — an opt-in
+//!   `#[global_allocator]` wrapper counting live/peak/total heap bytes,
+//!   with per-span deltas on [`SpanTimer`]s and trace spans;
+//! * module [`prof`] — a sampling self-profiler folding the per-thread
+//!   span stacks into flamegraph-compatible output (`PROX_PROFILE`).
 //!
 //! ## Cost model
 //!
@@ -40,10 +45,12 @@
 //! assert_eq!(snap.get("counters").unwrap().get("demo/evals").unwrap().as_u64(), Some(1));
 //! ```
 
+pub mod alloc;
 mod counter;
 mod gauge;
 mod histogram;
 mod json;
+pub mod prof;
 mod prom;
 mod registry;
 mod sink;
@@ -52,6 +59,7 @@ mod timer;
 mod trace;
 pub mod window;
 
+pub use alloc::{CountingAlloc, MemStats};
 pub use counter::Counter;
 pub use gauge::Gauge;
 pub use histogram::{Histogram, NBUCKETS};

@@ -11,6 +11,7 @@
 //! sums — leaving only schedule-determined counts, so same-seed runs
 //! scrape byte-identically.
 
+use crate::alloc;
 use crate::registry;
 use crate::window;
 
@@ -116,6 +117,44 @@ pub fn render_prometheus(deterministic: bool) -> String {
                 total_ns,
             );
         }
+    }
+
+    // Allocator gauges: only meaningful when a CountingAlloc is routing
+    // this binary's heap, and — like all measurements — omitted from the
+    // deterministic exposition (heap state is not schedule-determined).
+    if !deterministic && alloc::installed() {
+        let mem = alloc::stats();
+        family(
+            &mut out,
+            "prox_memory_bytes",
+            "Heap bytes from the counting allocator (live/peak/total since epoch).",
+            "gauge",
+        );
+        series(
+            &mut out,
+            "prox_memory_bytes",
+            &[("kind", "live")],
+            mem.live_bytes,
+        );
+        series(
+            &mut out,
+            "prox_memory_bytes",
+            &[("kind", "peak")],
+            mem.peak_bytes,
+        );
+        series(
+            &mut out,
+            "prox_memory_bytes",
+            &[("kind", "total")],
+            mem.total_bytes,
+        );
+        family(
+            &mut out,
+            "prox_memory_allocations_total",
+            "Allocation events since the last epoch reset.",
+            "counter",
+        );
+        series(&mut out, "prox_memory_allocations_total", &[], mem.allocs);
     }
 
     let stats = window::stats(deterministic);

@@ -80,6 +80,10 @@ pub fn reset() {
         s.reset();
     }
     window::reset();
+    // Re-base the allocation counters so per-experiment manifests report
+    // peak/total for their own window. Profiler samples are deliberately
+    // NOT cleared: a folded profile covers the whole process run.
+    crate::alloc::epoch_reset();
 }
 
 /// Current value of a registered counter, by name.
@@ -181,6 +185,8 @@ pub fn snapshot() -> Json {
                 .with("min_ns", h.min_ns().map_or(Json::Null, Json::UInt))
                 .with("max_ns", h.max_ns().map_or(Json::Null, Json::UInt))
                 .with("mean_ns", h.mean_ns().map_or(Json::Null, Json::UInt))
+                .with("alloc_bytes", s.alloc_bytes())
+                .with("allocs", s.alloc_count())
                 .with("buckets", Json::Arr(buckets));
             (s.name().to_owned(), entry)
         })
@@ -227,11 +233,31 @@ pub fn render_snapshot() -> String {
         let count = entry.get("count").and_then(Json::as_u64).unwrap_or(0);
         let total = entry.get("total_ns").and_then(Json::as_u64).unwrap_or(0);
         let mean = entry.get("mean_ns").and_then(Json::as_u64).unwrap_or(0);
-        out.push_str(&format!(
-            "  {name:<40} n={count:<8} total={:.3}ms mean={:.3}ms\n",
-            total as f64 / 1e6,
-            mean as f64 / 1e6,
-        ));
+        let alloc_bytes = entry.get("alloc_bytes").and_then(Json::as_u64).unwrap_or(0);
+        if alloc_bytes > 0 {
+            out.push_str(&format!(
+                "  {name:<40} n={count:<8} total={:.3}ms mean={:.3}ms alloc={:.1}KiB\n",
+                total as f64 / 1e6,
+                mean as f64 / 1e6,
+                alloc_bytes as f64 / 1024.0,
+            ));
+        } else {
+            out.push_str(&format!(
+                "  {name:<40} n={count:<8} total={:.3}ms mean={:.3}ms\n",
+                total as f64 / 1e6,
+                mean as f64 / 1e6,
+            ));
+        }
+    }
+    out.push_str("memory:\n");
+    let mem = crate::alloc::stats();
+    if mem.installed {
+        out.push_str(&format!("  {:<40} {}\n", "live_bytes", mem.live_bytes));
+        out.push_str(&format!("  {:<40} {}\n", "peak_bytes", mem.peak_bytes));
+        out.push_str(&format!("  {:<40} {}\n", "total_bytes", mem.total_bytes));
+        out.push_str(&format!("  {:<40} {}\n", "allocations", mem.allocs));
+    } else {
+        out.push_str("  (counting allocator not installed in this binary)\n");
     }
     out
 }

@@ -8,18 +8,23 @@
 //! observability is disabled, `start` does one relaxed atomic load and
 //! returns an inert guard.
 
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
 use crate::histogram::Histogram;
 use crate::json::Json;
-use crate::{registry, sink};
+use crate::{alloc, prof, registry, sink};
 
 /// A named span timer feeding a duration histogram.
 pub struct SpanTimer {
     name: &'static str,
     hist: Histogram,
     registered: AtomicBool,
+    /// Heap bytes / allocation events attributed to closed instances of
+    /// this span (process-global deltas, so concurrent threads' traffic
+    /// is included — see `obs/src/alloc.rs` docs).
+    alloc_bytes: AtomicU64,
+    allocs: AtomicU64,
 }
 
 impl SpanTimer {
@@ -29,6 +34,8 @@ impl SpanTimer {
             name,
             hist: Histogram::new(),
             registered: AtomicBool::new(false),
+            alloc_bytes: AtomicU64::new(0),
+            allocs: AtomicU64::new(0),
         }
     }
 
@@ -42,15 +49,32 @@ impl SpanTimer {
     #[inline]
     pub fn start(&'static self) -> SpanGuard {
         if !registry::enabled() {
-            return SpanGuard { inner: None };
+            return SpanGuard {
+                inner: None,
+                pushed: false,
+            };
         }
+        let pushed = prof::push(self.name);
+        let (bytes0, allocs0) = alloc::totals();
         SpanGuard {
-            inner: Some((self, Instant::now())),
+            inner: Some((self, Instant::now(), bytes0, allocs0)),
+            pushed,
         }
     }
 
-    /// Record an externally measured duration into this span.
+    /// Record an externally measured duration into this span. In
+    /// boundary-mode profiling this also contributes one folded-stack
+    /// sample (the span as leaf of the current stack), since no guard
+    /// ever opened a frame for it.
     pub fn record(&'static self, d: Duration) {
+        if !registry::enabled() {
+            return;
+        }
+        prof::sample_leaf(self.name);
+        self.record_raw(d);
+    }
+
+    fn record_raw(&'static self, d: Duration) {
         if !registry::enabled() {
             return;
         }
@@ -72,6 +96,24 @@ impl SpanTimer {
         &self.hist
     }
 
+    /// Heap bytes attributed to closed instances of this span since the
+    /// last reset (0 when no counting allocator is installed).
+    pub fn alloc_bytes(&self) -> u64 {
+        self.alloc_bytes.load(Ordering::Relaxed)
+    }
+
+    /// Allocation events attributed to closed instances of this span.
+    pub fn alloc_count(&self) -> u64 {
+        self.allocs.load(Ordering::Relaxed)
+    }
+
+    fn add_alloc_delta(&'static self, bytes: u64, allocs: u64) {
+        if bytes > 0 || allocs > 0 {
+            self.alloc_bytes.fetch_add(bytes, Ordering::Relaxed);
+            self.allocs.fetch_add(allocs, Ordering::Relaxed);
+        }
+    }
+
     fn register(&'static self) {
         if !self.registered.swap(true, Ordering::Relaxed) {
             registry::register_span(self);
@@ -80,12 +122,17 @@ impl SpanTimer {
 
     pub(crate) fn reset(&self) {
         self.hist.reset();
+        self.alloc_bytes.store(0, Ordering::Relaxed);
+        self.allocs.store(0, Ordering::Relaxed);
     }
 }
 
-/// RAII guard returned by [`SpanTimer::start`]; records elapsed time on drop.
+/// RAII guard returned by [`SpanTimer::start`]; records elapsed time (and
+/// the allocation delta over its lifetime) on drop.
 pub struct SpanGuard {
-    inner: Option<(&'static SpanTimer, Instant)>,
+    inner: Option<(&'static SpanTimer, Instant, u64, u64)>,
+    /// Whether this guard pushed a profiler frame (and so must pop one).
+    pushed: bool,
 }
 
 impl SpanGuard {
@@ -95,8 +142,18 @@ impl SpanGuard {
 
 impl Drop for SpanGuard {
     fn drop(&mut self) {
-        if let Some((timer, start)) = self.inner.take() {
-            timer.record(start.elapsed());
+        if self.pushed {
+            prof::pop();
+        }
+        if let Some((timer, start, bytes0, allocs0)) = self.inner.take() {
+            let (bytes1, allocs1) = alloc::totals();
+            timer.add_alloc_delta(
+                bytes1.saturating_sub(bytes0),
+                allocs1.saturating_sub(allocs0),
+            );
+            // record_raw, not record: the guard's pop() above already
+            // produced this close's boundary-mode profiler sample.
+            timer.record_raw(start.elapsed());
         }
     }
 }

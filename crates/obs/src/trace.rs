@@ -24,7 +24,7 @@ use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 use crate::json::Json;
-use crate::registry;
+use crate::{alloc, prof, registry};
 
 /// Spans retained per trace; further spans are counted as dropped.
 pub const MAX_TRACE_SPANS: usize = 256;
@@ -72,6 +72,11 @@ struct SpanNode {
     /// `counter_deltas` when the span closes.
     counters_at_start: Vec<(&'static str, u64)>,
     counter_deltas: Vec<(&'static str, u64)>,
+    /// Cumulative `(bytes, allocs)` from the counting allocator at span
+    /// start; turned into `alloc_bytes`/`allocs` deltas at close.
+    alloc_at_start: (u64, u64),
+    alloc_bytes: u64,
+    allocs: u64,
     attrs: Vec<(String, Json)>,
 }
 
@@ -129,10 +134,14 @@ impl TraceContext {
     pub fn span(&self, name: &'static str) -> TraceSpan {
         let start_us = u64::try_from(self.inner.t0.elapsed().as_micros()).unwrap_or(u64::MAX);
         let counters_at_start = registry::counter_values();
+        let alloc_at_start = alloc::totals();
         let mut state = crate::lock(&self.inner.state);
         if state.spans.len() >= MAX_TRACE_SPANS {
             state.dropped += 1;
-            return TraceSpan { open: None };
+            return TraceSpan {
+                open: None,
+                pushed: false,
+            };
         }
         let parent = state.stack.last().copied();
         let ix = state.spans.len();
@@ -143,11 +152,17 @@ impl TraceContext {
             dur_us: None,
             counters_at_start,
             counter_deltas: Vec::new(),
+            alloc_at_start,
+            alloc_bytes: 0,
+            allocs: 0,
             attrs: Vec::new(),
         });
         state.stack.push(ix);
+        drop(state);
+        let pushed = prof::push(name);
         TraceSpan {
             open: Some((self.clone(), ix, Instant::now())),
+            pushed,
         }
     }
 
@@ -186,9 +201,12 @@ impl TraceContext {
     fn close(&self, ix: usize, started: Instant) {
         let dur_us = u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX);
         let now = registry::counter_values();
+        let (bytes_now, allocs_now) = alloc::totals();
         let mut state = crate::lock(&self.inner.state);
         let node = &mut state.spans[ix];
         node.dur_us = Some(dur_us);
+        node.alloc_bytes = bytes_now.saturating_sub(node.alloc_at_start.0);
+        node.allocs = allocs_now.saturating_sub(node.alloc_at_start.1);
         let at_start = std::mem::take(&mut node.counters_at_start);
         for (name, value) in now {
             let before = at_start
@@ -230,6 +248,10 @@ impl TraceContext {
                 .with("name", node.name)
                 .with("start_us", node.start_us)
                 .with("dur_us", node.dur_us.map_or(Json::Null, Json::UInt));
+            if node.allocs > 0 {
+                out.set("alloc_bytes", node.alloc_bytes);
+                out.set("allocs", node.allocs);
+            }
             if !node.attrs.is_empty() {
                 let mut attrs = Json::obj();
                 for (k, v) in &node.attrs {
@@ -278,10 +300,15 @@ impl TraceContext {
 #[derive(Debug)]
 pub struct TraceSpan {
     open: Option<(TraceContext, usize, Instant)>,
+    /// Whether this guard pushed a profiler frame (and so must pop one).
+    pushed: bool,
 }
 
 impl Drop for TraceSpan {
     fn drop(&mut self) {
+        if self.pushed {
+            prof::pop();
+        }
         if let Some((ctx, ix, started)) = self.open.take() {
             ctx.close(ix, started);
         }

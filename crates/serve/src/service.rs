@@ -685,6 +685,10 @@ fn route_traced(req: &Request, ctx: &ServiceCtx, trace: Option<&TraceContext>) -
                     "window",
                     window::window_json(prox_obs::deterministic_mode()),
                 )
+                .with(
+                    "memory",
+                    prox_obs::alloc::memory_json(prox_obs::deterministic_mode()),
+                )
                 .sorted()
                 .render(),
         ),

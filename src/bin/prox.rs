@@ -5,6 +5,7 @@
 //!   prox demo                 — scripted walkthrough (non-interactive)
 //!   prox summarize [flags]    — one-shot run with typed exit codes
 //!   prox serve [flags]        — HTTP service (see `prox-serve`)
+//!   prox bench diff <a> <b>   — manifest regression gate (see `prox-bench`)
 //!   prox                      — interactive shell
 //!
 //! One-shot flags: `--wdist <f>`, `--steps <n>`, `--tsize <n>`,
@@ -15,8 +16,14 @@
 //!
 //! Serve flags: `--addr <host:port>`, `--workers <n>`, `--queue <n>`,
 //! `--cache <n>`, `--budget-ms <n>` (default wall-clock budget per
-//! request). The server runs until SIGINT/SIGTERM, then drains admitted
+//! request), `--profile <path>` (write folded-stack profile on exit).
+//! The server runs until SIGINT/SIGTERM, then drains admitted
 //! connections and exits.
+//!
+//! Bench gate: `prox bench diff <baseline.json> <current.json>
+//! [--out <path>]` compares two run manifests under per-metric
+//! tolerances, writes `reports/regression.json`, and exits 1 on any
+//! regression (2 when the manifests are not comparable).
 //!
 //! Interactive commands:
 //! ```text
@@ -50,6 +57,11 @@ use prox_system::render;
 use prox_system::selection::{select, Selected, Selection};
 use prox_system::session::Session;
 use prox_system::summarization::{summarize, SummarizationRequest};
+
+// Count this binary's heap through prox-obs so `prox stats`, `/metrics`,
+// and `/metrics.json` report real live/peak/total allocation numbers.
+#[global_allocator]
+static ALLOC: prox_obs::CountingAlloc = prox_obs::CountingAlloc::system();
 
 struct App {
     data: MovieLens,
@@ -334,6 +346,7 @@ fn one_shot_summarize(args: &[String]) -> Result<String, ProxError> {
 /// `prox serve [flags]`: run the HTTP service until SIGINT/SIGTERM.
 fn serve(args: &[String]) -> Result<(), ProxError> {
     let mut config = prox_serve::ServerConfig::default();
+    let mut profile: Option<String> = None;
     let mut ix = 0;
     while ix < args.len() {
         let flag = args[ix].as_str();
@@ -349,11 +362,13 @@ fn serve(args: &[String]) -> Result<(), ProxError> {
             "--trace-seed" => config.trace_seed = parse_flag(flag, value)?,
             "--sample-rate" => config.trace_sample_rate = parse_flag(flag, value)?,
             "--trace-ring" => config.trace_capacity = parse_flag(flag, value)?,
+            "--profile" => profile = Some(value.clone()),
             other => {
                 return Err(ProxError::config(format!(
                     "unknown flag {other:?} — usage: prox serve [--addr host:port] \
                      [--workers n] [--queue n] [--cache n] [--budget-ms n] \
-                     [--trace-seed n] [--sample-rate f] [--trace-ring n]"
+                     [--trace-seed n] [--sample-rate f] [--trace-ring n] \
+                     [--profile path]"
                 )))
             }
         }
@@ -362,6 +377,16 @@ fn serve(args: &[String]) -> Result<(), ProxError> {
     // `/metrics` and the cache hit/miss counters live in the prox-obs
     // registry; a server without them would be flying blind.
     prox_obs::set_enabled(true);
+    if let Some(path) = &profile {
+        // Worker span stacks fold into flamegraph input, written on
+        // shutdown. Boundary mode keeps deterministic runs reproducible.
+        if prox_obs::deterministic_mode() {
+            prox_obs::prof::enable_boundary();
+        } else {
+            prox_obs::prof::enable_interval(std::time::Duration::from_millis(1));
+        }
+        println!("profiling to {path} (folded stacks, written on shutdown)");
+    }
     prox_serve::install_signal_handlers();
     let handle = prox_serve::Server::start(config)?;
     println!("prox-serve listening on http://{}", handle.addr());
@@ -375,7 +400,46 @@ fn serve(args: &[String]) -> Result<(), ProxError> {
     }
     println!("shutting down: draining admitted connections");
     handle.shutdown();
+    if let Some(path) = &profile {
+        prox_obs::prof::disable();
+        match prox_obs::prof::write_folded(path) {
+            Ok(()) => println!("profile (folded stacks) written to {path}"),
+            Err(e) => eprintln!("cannot write profile {path}: {e}"),
+        }
+    }
     Ok(())
+}
+
+/// `prox bench diff <baseline> <current> [--out <path>]`: the manifest
+/// regression gate. Exits 0 (ok), 1 (regression), or 2 (input error).
+fn bench_diff(args: &[String]) -> i32 {
+    let mut out: Option<String> = None;
+    let mut positional: Vec<&str> = Vec::new();
+    let mut ix = 0;
+    while ix < args.len() {
+        if args[ix] == "--out" {
+            let Some(value) = args.get(ix + 1) else {
+                eprintln!("--out requires a path");
+                return 2;
+            };
+            out = Some(value.clone());
+            ix += 2;
+        } else {
+            positional.push(args[ix].as_str());
+            ix += 1;
+        }
+    }
+    let [baseline, current] = positional[..] else {
+        eprintln!("usage: prox bench diff <baseline.json> <current.json> [--out <path>]");
+        return 2;
+    };
+    let out = out.unwrap_or_else(|| {
+        prox_bench::report::reports_dir()
+            .join("regression.json")
+            .to_string_lossy()
+            .into_owned()
+    });
+    prox_bench::diff::run_diff(baseline, current, &out)
 }
 
 fn demo() {
@@ -424,6 +488,15 @@ fn main() {
         demo();
         prox_obs::flush_sink();
         return;
+    }
+    if args.first().map(String::as_str) == Some("bench") {
+        match args.get(1).map(String::as_str) {
+            Some("diff") => std::process::exit(bench_diff(&args[2..])),
+            _ => {
+                eprintln!("usage: prox bench diff <baseline.json> <current.json> [--out <path>]");
+                std::process::exit(2);
+            }
+        }
     }
     if args.first().map(String::as_str) == Some("serve") {
         match serve(&args[1..]) {

@@ -28,6 +28,7 @@
 //! system inventory; run `cargo run --example quickstart` for a first
 //! taste.
 
+pub use prox_bench as bench;
 pub use prox_cluster as cluster;
 pub use prox_core as core;
 pub use prox_datasets as datasets;

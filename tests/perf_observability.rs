@@ -1,0 +1,166 @@
+//! Performance-observability integration tests: allocation accounting and
+//! the deterministic boundary-mode profiler, exercised on a seeded
+//! summarize workload.
+//!
+//! This binary installs the counting allocator itself (the hook is
+//! per-binary, never ambient in the library), so `prox_obs::alloc::stats`
+//! reports real numbers here. Registry, allocator epoch, and profiler
+//! state are process-global; the tests serialize on `GATE`.
+
+use std::sync::Mutex;
+
+use prox::cluster::{cluster, DissimilarityMatrix, Linkage};
+use prox::core::{SummarizeConfig, Summarizer};
+use prox::datasets::{MovieLens, MovieLensConfig};
+use prox::obs;
+use prox::provenance::{AggKind, ValuationClass};
+
+#[global_allocator]
+static ALLOC: obs::CountingAlloc = obs::CountingAlloc::system();
+
+static GATE: Mutex<()> = Mutex::new(());
+
+fn gate() -> std::sync::MutexGuard<'static, ()> {
+    GATE.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// The six instrumented phases the profiler must cover (ISSUE 7).
+const PHASES: [&str; 6] = [
+    "summarize",
+    "summarize/step",
+    "summarize/step/enumerate",
+    "summarize/step/score",
+    "summarize/group_equivalent",
+    "hac/linkage",
+];
+
+/// A seeded MovieLens summarize plus one small constrained-HAC run;
+/// together they open every phase in [`PHASES`].
+fn run_workload(seed: u64) {
+    let mut data = MovieLens::generate(MovieLensConfig {
+        users: 24,
+        movies: 6,
+        ratings_per_user: 2,
+        seed,
+    });
+    let p0 = data.provenance(AggKind::Max);
+    let valuations = data.valuations(ValuationClass::CancelSingleAttribute);
+    let constraints = data.constraints();
+    let config = SummarizeConfig {
+        max_steps: 8,
+        ..Default::default()
+    };
+    let mut summarizer = Summarizer::new(&mut data.store, constraints, config);
+    summarizer
+        .summarize(&p0, &valuations)
+        .expect("seeded summarize succeeds");
+
+    let matrix = DissimilarityMatrix::from_fn(6, |i, j| (i as f64 - j as f64).abs());
+    let merges = cluster(&matrix, Linkage::Single, |_, _| true);
+    assert!(!merges.is_empty(), "HAC on a line of points merges");
+}
+
+#[test]
+fn counting_allocator_tracks_peak_and_totals() {
+    let _gate = gate();
+    obs::set_enabled(true);
+    obs::reset();
+
+    let before = obs::alloc::stats();
+    assert!(before.installed, "this binary installs CountingAlloc");
+
+    run_workload(41);
+    let after = obs::alloc::stats();
+    assert!(after.allocs > before.allocs, "workload allocates");
+    assert!(after.total_bytes > before.total_bytes);
+    assert!(after.peak_bytes >= after.live_bytes, "peak bounds live");
+    assert!(
+        after.peak_bytes >= before.peak_bytes,
+        "peak is monotone within an epoch"
+    );
+
+    // Peak never decreases, even after the memory is released.
+    let s1 = obs::alloc::stats();
+    let buf = vec![0u8; 4 << 20];
+    let s2 = obs::alloc::stats();
+    assert!(s2.peak_bytes >= s1.peak_bytes);
+    assert!(s2.live_bytes > s1.live_bytes, "4MiB buffer is live");
+    drop(buf);
+    let s3 = obs::alloc::stats();
+    assert!(s3.peak_bytes >= s2.peak_bytes, "peak survives the free");
+    assert!(s3.live_bytes < s2.live_bytes, "free lowers live bytes");
+}
+
+#[test]
+fn span_alloc_deltas_attributed_to_phases() {
+    let _gate = gate();
+    obs::set_enabled(true);
+    obs::reset();
+
+    run_workload(42);
+    let snap = obs::snapshot();
+    let spans = snap.get("spans").expect("snapshot has spans section");
+    let bytes = |name: &str| {
+        spans
+            .get(name)
+            .and_then(|s| s.get("alloc_bytes"))
+            .and_then(|b| b.as_u64())
+            .unwrap_or_else(|| panic!("span {name} has alloc_bytes"))
+    };
+    let allocs = |name: &str| {
+        spans
+            .get(name)
+            .and_then(|s| s.get("allocs"))
+            .and_then(|a| a.as_u64())
+            .unwrap_or_else(|| panic!("span {name} has allocs"))
+    };
+
+    assert!(bytes("summarize") > 0, "summarize allocates");
+    assert!(allocs("summarize") > 0);
+    assert!(
+        bytes("summarize/step/enumerate") > 0,
+        "enumeration allocates"
+    );
+    // Child windows are contained in the parent's window and the deltas
+    // come from one monotone global counter, so (with no concurrent
+    // traffic — the gate guarantees that) the parent dominates.
+    assert!(bytes("summarize") >= bytes("summarize/step/enumerate"));
+    assert!(bytes("summarize") >= bytes("summarize/step/score"));
+}
+
+#[test]
+fn boundary_profiler_is_deterministic_and_covers_phases() {
+    let _gate = gate();
+    obs::set_enabled(true);
+
+    obs::prof::enable_boundary();
+    obs::reset();
+    run_workload(43);
+    let first = obs::prof::folded();
+
+    obs::prof::enable_boundary(); // clears samples
+    obs::reset();
+    run_workload(43);
+    let second = obs::prof::folded();
+    obs::prof::disable();
+
+    assert!(!first.is_empty(), "profiler collected samples");
+    assert_eq!(
+        first, second,
+        "boundary sampling is a pure function of the span sequence"
+    );
+    for phase in PHASES {
+        assert!(
+            covers(&first, phase),
+            "folded output covers {phase}, got:\n{first}"
+        );
+    }
+}
+
+/// Does any folded line's stack contain `phase` as a frame?
+fn covers(folded: &str, phase: &str) -> bool {
+    folded.lines().any(|line| {
+        let stack = line.rsplit_once(' ').map_or(line, |(s, _)| s);
+        stack.split(';').any(|frame| frame == phase)
+    })
+}
