@@ -40,6 +40,7 @@ const USAGE: &str = "experiments -- <exp> [--quick]
   sampler-accuracy   Ablation A.3 (Prop 4.1.2 empirically)
   greedy-gap         Ablation A.4 (greedy vs exhaustive optimum)
   serve              prox-serve load: latency percentiles + cache hit rate
+  chaos              chaos soak: faults + overload against the serve stack
   all                everything above";
 
 fn ml(scale: Scale) -> Vec<prox_bench::Workload<prox_provenance::ProvExpr>> {
@@ -210,6 +211,11 @@ fn run_experiment(name: &str, scale: Scale, manifest: &mut RunManifest) -> bool 
                 panic!("serve load experiment failed: {e}");
             }
         }
+        "chaos" => {
+            if let Err(e) = prox_bench::chaos::chaos_experiment(scale, manifest) {
+                panic!("chaos soak failed: {e}");
+            }
+        }
         _ => return false,
     }
     true
@@ -234,6 +240,7 @@ const ALL: &[&str] = &[
     "sampler-accuracy",
     "greedy-gap",
     "serve",
+    "chaos",
 ];
 
 /// Per-experiment wall-clock timeout (milliseconds): `PROX_EXP_TIMEOUT_MS`

@@ -106,6 +106,42 @@ pub fn tolerance_for(path: &str) -> Tolerance {
             direction: Direction::LowerIsBetter,
         };
     }
+    // Chaos soak: the politeness invariants are exact — every shed must
+    // carry Retry-After, and the final health probe must be 200 — while
+    // the storm tallies (sheds, retries, breaker trips, per-tenant 429s)
+    // get a narrow neutral band. Under PROX_DETERMINISTIC they replay
+    // bit-for-bit, but a wall-clock soak shifts a few requests across the
+    // shed/admit boundary with scheduler timing.
+    if path == "chaos.shed.missing_retry_after" || path == "chaos.final_healthz.status" {
+        return Tolerance::exact();
+    }
+    if path == "chaos.shed.rate" {
+        return Tolerance {
+            rel: 0.15,
+            abs: 0.1,
+            direction: Direction::Neutral,
+        };
+    }
+    if path == "chaos.wall_seconds" {
+        return Tolerance {
+            rel: 0.5,
+            abs: 5.0,
+            direction: Direction::LowerIsBetter,
+        };
+    }
+    if path.starts_with("chaos.responses.")
+        || path.starts_with("chaos.breaker.")
+        || path.starts_with("chaos.tenants_429.")
+        || path.starts_with("chaos.shed.")
+        || path == "chaos.workers_recovered.panics"
+        || path == "chaos.final_healthz.attempts"
+    {
+        return Tolerance {
+            rel: 0.15,
+            abs: 3.0,
+            direction: Direction::Neutral,
+        };
+    }
     // Serve latency percentiles (the `serve` experiment's extra section).
     if path.contains("p50") || path.contains("p95") || path.contains("p99") {
         return Tolerance {
@@ -608,6 +644,42 @@ mod tests {
         );
         assert_eq!(
             classify("counters.serve/cache_hit", 100.0, 89.0).verdict,
+            Verdict::Regression
+        );
+    }
+
+    #[test]
+    fn chaos_politeness_is_exact_but_storm_tallies_get_a_band() {
+        // A shed without Retry-After is a regression however small.
+        assert_eq!(
+            tolerance_for("chaos.shed.missing_retry_after"),
+            Tolerance::exact()
+        );
+        assert_eq!(
+            classify("chaos.shed.missing_retry_after", 0.0, 1.0).verdict,
+            Verdict::Regression
+        );
+        // The final health probe must stay 200 exactly.
+        assert_eq!(
+            classify("chaos.final_healthz.status", 200.0, 503.0).verdict,
+            Verdict::Regression
+        );
+        // Storm tallies tolerate small scheduler-driven drift either way,
+        // but a collapse in sheds (e.g. the limiter stopped limiting) gates.
+        assert_eq!(
+            classify("chaos.responses.rate_limited_429", 20.0, 22.0).verdict,
+            Verdict::Within
+        );
+        assert_eq!(
+            classify("chaos.responses.rate_limited_429", 20.0, 0.0).verdict,
+            Verdict::Regression
+        );
+        assert_eq!(
+            classify("chaos.shed.rate", 0.4, 0.45).verdict,
+            Verdict::Within
+        );
+        assert_eq!(
+            classify("chaos.shed.rate", 0.4, 0.9).verdict,
             Verdict::Regression
         );
     }

@@ -15,6 +15,7 @@
 //! | 6.8–6.9 | DDP sweeps | same functions over [`workload::ddp`] |
 //! | Table 5.1 | dataset matrix | [`experiments::table51`] |
 //! | — | service-layer load (latency/cache) | [`serve_load::serve_load_experiment`] |
+//! | — | chaos soak (faults + overload) | [`chaos::chaos_experiment`] |
 //! | A.1–A.3 | k-way, score-mode, sampler ablations | [`experiments`] |
 //!
 //! Run everything with
@@ -23,6 +24,7 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod chaos;
 pub mod diff;
 pub mod experiments;
 pub mod manifest;

@@ -16,10 +16,10 @@
 //! same rule the rest of the manifest follows.
 
 use std::thread;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use prox_obs::Json;
-use prox_robust::ProxError;
+use prox_robust::{Backoff, ProxError};
 use prox_serve::http::{client_request, client_request_full};
 use prox_serve::{Server, ServerConfig};
 
@@ -68,6 +68,34 @@ struct ClientReport {
     ok: u64,
     non_ok: u64,
     transport_errors: u64,
+    retries: u64,
+}
+
+/// How many shed/transport retries each request may spend.
+const MAX_RETRIES: u32 = 2;
+
+/// Send one request, retrying shed responses (429/503) and transport
+/// errors under a seeded decorrelated-jitter [`Backoff`] — the retry
+/// schedule is a pure function of `seed`, so loaded runs stay replayable.
+/// Returns the final outcome and the retries consumed.
+pub(crate) fn send_with_retry(
+    addr: &str,
+    headers: &[(&str, String)],
+    body: &[u8],
+    seed: u64,
+) -> (Result<(u16, String), ProxError>, u64) {
+    let mut backoff = Backoff::new(seed, 2, 50, MAX_RETRIES);
+    loop {
+        let outcome = client_request(addr, "POST", "/summarize", headers, body, 30_000);
+        let retryable = matches!(outcome, Ok((429 | 503, _)) | Err(_));
+        if !retryable {
+            return (outcome, u64::from(backoff.attempts()));
+        }
+        match backoff.next_delay_ms() {
+            Some(delay_ms) => thread::sleep(Duration::from_millis(delay_ms)),
+            None => return (outcome, u64::from(backoff.attempts())),
+        }
+    }
 }
 
 /// The request body for client `client`, parameter set `d`. Bodies are
@@ -87,12 +115,18 @@ fn client_run(addr: &str, client: usize, plan: LoadPlan) -> ClientReport {
         ok: 0,
         non_ok: 0,
         transport_errors: 0,
+        retries: 0,
     };
-    for _round in 0..plan.repeats {
+    for round in 0..plan.repeats {
         for d in 0..plan.distinct {
             let body = body_for(client, d);
+            // One backoff seed per (client, round, set): the whole retry
+            // schedule replays from the plan alone.
+            let seed = (client as u64) << 32 | (round as u64) << 16 | d as u64;
             let t = Instant::now();
-            match client_request(addr, "POST", "/summarize", &[], body.as_bytes(), 30_000) {
+            let (outcome, retries) = send_with_retry(addr, &[], body.as_bytes(), seed);
+            report.retries += retries;
+            match outcome {
                 Ok((200, _)) => report.ok += 1,
                 Ok((_, _)) => report.non_ok += 1,
                 Err(_) => report.transport_errors += 1,
@@ -105,7 +139,7 @@ fn client_run(addr: &str, client: usize, plan: LoadPlan) -> ClientReport {
 
 /// `sorted` must be ascending; `q` in [0, 1]. Nearest-rank on the last
 /// index for an empty-safe percentile.
-fn percentile_us(sorted: &[u64], q: f64) -> u64 {
+pub(crate) fn percentile_us(sorted: &[u64], q: f64) -> u64 {
     if sorted.is_empty() {
         return 0;
     }
@@ -230,7 +264,7 @@ pub fn serve_load_experiment(scale: Scale, manifest: &mut RunManifest) -> Result
         joins.push(spawned);
     }
     let mut latencies_ns: Vec<u64> = Vec::with_capacity(plan.total());
-    let (mut ok, mut non_ok, mut transport_errors) = (0u64, 0u64, 0u64);
+    let (mut ok, mut non_ok, mut transport_errors, mut retries) = (0u64, 0u64, 0u64, 0u64);
     for join in joins {
         match join.join() {
             Ok(report) => {
@@ -238,6 +272,7 @@ pub fn serve_load_experiment(scale: Scale, manifest: &mut RunManifest) -> Result
                 ok += report.ok;
                 non_ok += report.non_ok;
                 transport_errors += report.transport_errors;
+                retries += report.retries;
             }
             Err(_) => {
                 return Err(ProxError::internal("load client thread panicked"));
@@ -285,7 +320,8 @@ pub fn serve_load_experiment(scale: Scale, manifest: &mut RunManifest) -> Result
             Json::obj()
                 .with("ok", ok)
                 .with("non_ok", non_ok)
-                .with("transport_errors", transport_errors),
+                .with("transport_errors", transport_errors)
+                .with("retries", retries),
         )
         .with(
             "cache",
@@ -371,6 +407,9 @@ mod tests {
 
     #[test]
     fn quick_load_reports_full_cache_hit_tail() {
+        // Serialize with fault-installing tests (the chaos harness runs in
+        // this same process): an injected panic must not leak in here.
+        let _fault_lock = prox_robust::FaultGuard::disabled();
         prox_obs::set_enabled(true);
         let scale = Scale::quick();
         let mut manifest = RunManifest::new("serve", scale);
@@ -384,6 +423,8 @@ mod tests {
             responses.get("ok").and_then(Json::as_u64),
             Some(plan.total() as u64)
         );
+        // No faults and no tenants: nothing to retry.
+        assert_eq!(responses.get("retries").and_then(Json::as_u64), Some(0));
         // Deterministic by construction: round one misses, the rest hit.
         let cache = serve.get("cache").expect("cache");
         assert_eq!(

@@ -106,6 +106,7 @@ impl Default for LintConfig {
                 s("crates/bench/src/experiments.rs"),
                 s("crates/bench/src/runner.rs"),
                 s("crates/bench/src/serve_load.rs"),
+                s("crates/bench/src/chaos.rs"),
                 s("crates/bench/src/workload.rs"),
                 s("crates/bench/src/bin/experiments.rs"),
                 s("crates/obs/src/json.rs"),
@@ -116,6 +117,9 @@ impl Default for LintConfig {
                 s("crates/obs/src/window.rs"),
                 s("crates/obs/src/alloc.rs"),
                 s("crates/obs/src/prof.rs"),
+                s("crates/serve/src/breaker.rs"),
+                s("crates/serve/src/health.rs"),
+                s("crates/serve/src/ratelimit.rs"),
                 s("crates/bench/src/diff.rs"),
                 s("crates/system/src/render.rs"),
                 s("crates/system/src/insights.rs"),

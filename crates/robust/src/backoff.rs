@@ -1,0 +1,108 @@
+//! Deterministic retry backoff with decorrelated jitter.
+//!
+//! The serve-layer bench clients retry shed responses (429/503) and
+//! transport drops; their sleep schedule must be a pure function of the
+//! seed so same-seed runs replay identically (rule L2). [`Backoff`] wraps
+//! the in-tree splitmix64 [`DetRng`](crate::fault::DetRng) with the
+//! decorrelated-jitter recurrence from the AWS architecture blog:
+//!
+//! ```text
+//! delay[n] = min(cap, uniform(base, max(base, delay[n-1] * 3)))
+//! ```
+//!
+//! Each step widens the window threefold (up to `cap`) while the jitter
+//! decorrelates concurrent retriers, and the whole sequence is replayable
+//! from the seed.
+
+use crate::fault::DetRng;
+
+/// A seeded decorrelated-jitter backoff schedule.
+#[derive(Clone, Debug)]
+pub struct Backoff {
+    rng: DetRng,
+    base_ms: u64,
+    cap_ms: u64,
+    prev_ms: u64,
+    attempts: u32,
+    max_attempts: u32,
+}
+
+impl Backoff {
+    /// A schedule starting at `base_ms`, capped at `cap_ms`, allowing at
+    /// most `max_attempts` retries. `base_ms` is clamped to at least 1 and
+    /// `cap_ms` to at least `base_ms`.
+    pub fn new(seed: u64, base_ms: u64, cap_ms: u64, max_attempts: u32) -> Backoff {
+        let base_ms = base_ms.max(1);
+        Backoff {
+            rng: DetRng::new(seed),
+            base_ms,
+            cap_ms: cap_ms.max(base_ms),
+            prev_ms: base_ms,
+            attempts: 0,
+            max_attempts,
+        }
+    }
+
+    /// Retries consumed so far.
+    pub fn attempts(&self) -> u32 {
+        self.attempts
+    }
+
+    /// The next delay in milliseconds, or `None` once `max_attempts`
+    /// retries have been handed out.
+    pub fn next_delay_ms(&mut self) -> Option<u64> {
+        if self.attempts >= self.max_attempts {
+            return None;
+        }
+        self.attempts += 1;
+        let upper = self.prev_ms.saturating_mul(3).max(self.base_ms);
+        let span = upper - self.base_ms + 1;
+        let delay = (self.base_ms + self.rng.next_u64() % span).min(self.cap_ms);
+        self.prev_ms = delay;
+        Some(delay)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schedule_is_deterministic_per_seed() {
+        let collect = |seed| {
+            let mut b = Backoff::new(seed, 2, 50, 8);
+            std::iter::from_fn(|| b.next_delay_ms()).collect::<Vec<_>>()
+        };
+        assert_eq!(collect(9), collect(9));
+        assert_ne!(collect(9), collect(10), "different seeds should jitter");
+    }
+
+    #[test]
+    fn delays_stay_within_base_and_cap() {
+        let mut b = Backoff::new(1, 5, 40, 16);
+        let mut prev = 5u64;
+        while let Some(d) = b.next_delay_ms() {
+            assert!((5..=40).contains(&d), "delay {d} out of [base, cap]");
+            assert!(d <= prev.saturating_mul(3).max(5).min(40));
+            prev = d;
+        }
+        assert_eq!(b.attempts(), 16);
+    }
+
+    #[test]
+    fn budget_exhausts_after_max_attempts() {
+        let mut b = Backoff::new(3, 1, 10, 2);
+        assert!(b.next_delay_ms().is_some());
+        assert!(b.next_delay_ms().is_some());
+        assert_eq!(b.next_delay_ms(), None);
+        assert_eq!(b.next_delay_ms(), None);
+    }
+
+    #[test]
+    fn degenerate_bounds_are_clamped() {
+        let mut b = Backoff::new(4, 0, 0, 4);
+        while let Some(d) = b.next_delay_ms() {
+            assert_eq!(d, 1, "base and cap clamp to 1ms");
+        }
+    }
+}

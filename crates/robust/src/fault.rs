@@ -15,6 +15,9 @@
 //! | `truncate` | fraction of the dataset to *keep*, `[0, 1]`| [`truncate_keep`]         |
 //! | `budget`   | trip the budget after this many checks     | [`budget_trip_after`]     |
 //! | `taxflip`  | number of taxonomy edges to reverse        | [`taxonomy_flip_edges`]   |
+//! | `slowread` | injected request-read delay in ms          | [`slowread_delay_ms`]     |
+//! | `conndrop` | per-request connection-drop probability    | [`conndrop_fire`]         |
+//! | `panic`    | per-request worker-panic probability       | [`maybe_panic`]           |
 //!
 //! Determinism: each clause carries its own seed, and every hook call mixes
 //! the seed with the clause's call counter through splitmix64, so the same
@@ -40,6 +43,9 @@ static CORRUPTIONS: Counter = Counter::new("fault/corrupt_calls");
 static TRUNCATIONS: Counter = Counter::new("fault/truncate_calls");
 static BUDGET_ARMS: Counter = Counter::new("fault/budget_arms");
 static TAXFLIPS: Counter = Counter::new("fault/taxflip_calls");
+static SLOWREADS: Counter = Counter::new("fault/slowread_calls");
+static CONNDROPS: Counter = Counter::new("fault/conndrop_calls");
+static PANICS: Counter = Counter::new("fault/panic_calls");
 
 /// Where a fault clause applies.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -52,6 +58,12 @@ pub enum FaultSite {
     Budget,
     /// Reverse taxonomy edges.
     TaxFlip,
+    /// Stall the serve-layer request read by a fixed delay.
+    SlowRead,
+    /// Drop accepted connections before a response is written.
+    ConnDrop,
+    /// Panic inside the serve-layer request handler.
+    Panic,
 }
 
 impl FaultSite {
@@ -61,6 +73,9 @@ impl FaultSite {
             "truncate" => Some(FaultSite::Truncate),
             "budget" => Some(FaultSite::Budget),
             "taxflip" => Some(FaultSite::TaxFlip),
+            "slowread" => Some(FaultSite::SlowRead),
+            "conndrop" => Some(FaultSite::ConnDrop),
+            "panic" => Some(FaultSite::Panic),
             _ => None,
         }
     }
@@ -113,12 +128,16 @@ pub fn parse_spec(spec: &str) -> Result<FaultPlan, ProxError> {
         let site = FaultSite::parse(site_str).ok_or_else(|| {
             ProxError::config(format!(
                 "fault clause {part:?}: unknown site {site_str:?} \
-                 (expected corrupt|truncate|budget|taxflip)"
+                 (expected corrupt|truncate|budget|taxflip|slowread|conndrop|panic)"
             ))
         })?;
         let in_range = match site {
-            FaultSite::Corrupt | FaultSite::Truncate => (0.0..=1.0).contains(&param),
-            FaultSite::Budget | FaultSite::TaxFlip => param >= 0.0 && param.fract() == 0.0,
+            FaultSite::Corrupt | FaultSite::Truncate | FaultSite::ConnDrop | FaultSite::Panic => {
+                (0.0..=1.0).contains(&param)
+            }
+            FaultSite::Budget | FaultSite::TaxFlip | FaultSite::SlowRead => {
+                param >= 0.0 && param.fract() == 0.0
+            }
         };
         if !in_range {
             return Err(ProxError::config(format!(
@@ -295,6 +314,49 @@ pub fn taxonomy_flip_edges(edge_count: usize) -> Vec<usize> {
     .unwrap_or_default()
 }
 
+/// If a `slowread` clause is active, the delay in milliseconds the serve
+/// layer should inject before reading a request. `None` when the harness
+/// is off — the caller then reads at full speed.
+pub fn slowread_delay_ms() -> Option<u64> {
+    with_site(FaultSite::SlowRead, |spec| {
+        SLOWREADS.incr();
+        spec.param.max(0.0) as u64
+    })
+}
+
+/// Should the server drop this connection without responding, per the
+/// active `conndrop` clause? Fires with probability `param`, seeded per
+/// call, so the drop schedule is a pure function of the spec.
+pub fn conndrop_fire() -> bool {
+    with_site(FaultSite::ConnDrop, |spec| {
+        let fire = DetRng::new(call_seed(spec)).next_f64() < spec.param;
+        if fire {
+            CONNDROPS.incr();
+        }
+        fire
+    })
+    .unwrap_or(false)
+}
+
+/// Panic with probability `param` per the active `panic` clause — the
+/// worker-supervision fault site. The panic unwinds to the worker pool's
+/// `catch_unwind` boundary, which converts it to a typed 500 and keeps
+/// the worker alive; the counter is bumped *before* unwinding so
+/// recoveries stay observable.
+pub fn maybe_panic() {
+    let fire = with_site(FaultSite::Panic, |spec| {
+        let fire = DetRng::new(call_seed(spec)).next_f64() < spec.param;
+        if fire {
+            PANICS.incr();
+        }
+        fire
+    })
+    .unwrap_or(false);
+    if fire {
+        panic!("injected fault: panic site fired");
+    }
+}
+
 /// RAII plan installer for tests.
 ///
 /// Holds a global lock so fault-injection tests serialize (the plan is
@@ -396,6 +458,9 @@ mod tests {
         assert_eq!(truncate_keep(17), 17);
         assert_eq!(budget_trip_after(), None);
         assert!(taxonomy_flip_edges(5).is_empty());
+        assert_eq!(slowread_delay_ms(), None);
+        assert!(!conndrop_fire());
+        maybe_panic(); // must be a no-op, not a panic
     }
 
     #[test]
@@ -449,6 +514,40 @@ mod tests {
         assert!(s.check().is_ok());
         assert!(s.check().is_ok());
         assert_eq!(s.check(), Err(crate::budget::BudgetStop::Injected));
+    }
+
+    #[test]
+    fn slowread_reports_the_configured_delay() {
+        let _g = FaultGuard::install("slowread@7:3").unwrap();
+        assert_eq!(slowread_delay_ms(), Some(7));
+        assert_eq!(slowread_delay_ms(), Some(7));
+        // Non-integer delays are rejected at parse time.
+        assert!(parse_spec("slowread@0.5:3").is_err());
+    }
+
+    #[test]
+    fn conndrop_schedule_is_deterministic_per_seed() {
+        let run = |spec: &str| {
+            let _g = FaultGuard::install(spec).unwrap();
+            (0..32).map(|_| conndrop_fire()).collect::<Vec<_>>()
+        };
+        let a = run("conndrop@0.3:11");
+        let b = run("conndrop@0.3:11");
+        assert_eq!(a, b, "same seed must replay the same drop schedule");
+        assert!(a.iter().any(|&f| f), "p=0.3 over 32 calls should fire");
+        assert!(!a.iter().all(|&f| f), "p=0.3 must not always fire");
+        let _g = FaultGuard::install("conndrop@0:1").unwrap();
+        assert!(!(0..16).any(|_| conndrop_fire()));
+    }
+
+    #[test]
+    fn panic_site_fires_probabilistically_and_is_catchable() {
+        let _g = FaultGuard::install("panic@1:7").unwrap();
+        let caught = std::panic::catch_unwind(maybe_panic);
+        assert!(caught.is_err(), "panic@1 must always unwind");
+        drop(_g);
+        let _g = FaultGuard::install("panic@0:7").unwrap();
+        maybe_panic(); // p=0 never fires
     }
 
     #[test]

@@ -14,7 +14,9 @@
 //! * [`fault`] — a seeded, deterministic fault-injection harness driven by
 //!   the `PROX_FAULT` environment variable (`site@param:seed`, comma
 //!   separated). Zero-cost when disabled: every hook is a single relaxed
-//!   atomic load.
+//!   atomic load;
+//! * [`backoff`] — a seeded decorrelated-jitter retry schedule used by the
+//!   serve-layer bench clients, replayable from its seed.
 //!
 //! The crate deliberately sits at the bottom of the dependency graph
 //! (std + `prox-obs` only) so `prox-provenance` and everything above it
@@ -23,10 +25,12 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod backoff;
 pub mod budget;
 pub mod error;
 pub mod fault;
 
+pub use backoff::Backoff;
 pub use budget::{BudgetSession, BudgetStop, CancelFlag, ExecutionBudget};
 pub use error::{ErrorKind, ProxError};
 pub use fault::{FaultGuard, FaultPlan, FaultSite};

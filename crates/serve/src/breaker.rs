@@ -1,0 +1,302 @@
+//! A circuit breaker around the summarize path.
+//!
+//! Consecutive *internal* failures (typed 500s and caught worker panics —
+//! never client 400s or budget 408s) trip the breaker from `closed` to
+//! `open`. While open, summarize requests are shed immediately with
+//! `503` + `Retry-After` instead of queueing doomed work. The open
+//! window is measured in *arrivals*, not wall time: after
+//! `open_arrivals` shed requests the breaker moves to `half-open` and
+//! admits a seeded fraction of probes. `probe_successes` consecutive
+//! successful probes close it; any probe failure re-opens it.
+//!
+//! Counting arrivals instead of seconds keeps every transition a pure
+//! function of the request schedule and the seed, so chaos runs under
+//! `PROX_DETERMINISTIC` replay the exact transition sequence (rule L2) —
+//! and under real traffic an open breaker still backs off, because the
+//! arrivals it sheds are exactly the load it is protecting against.
+//!
+//! Transitions are counted in `serve/breaker_opened`,
+//! `serve/breaker_half_open`, and `serve/breaker_closed`; the live state
+//! is mirrored in the `serve/breaker_state` gauge (0 closed, 1 open,
+//! 2 half-open).
+
+use std::sync::Mutex;
+
+use prox_obs::{Counter, Gauge};
+use prox_robust::fault::DetRng;
+
+use crate::lock;
+
+static OPENED: Counter = Counter::new("serve/breaker_opened");
+static HALF_OPENED: Counter = Counter::new("serve/breaker_half_open");
+static CLOSED: Counter = Counter::new("serve/breaker_closed");
+static STATE: Gauge = Gauge::new("serve/breaker_state");
+
+/// Breaker states.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Failures below threshold; all requests admitted.
+    Closed,
+    /// Tripped; shedding every arrival for the open window.
+    Open,
+    /// Probing: a seeded fraction of arrivals is admitted.
+    HalfOpen,
+}
+
+impl BreakerState {
+    /// The lowercase wire name (metrics, `prox stats`).
+    pub fn name(self) -> &'static str {
+        match self {
+            BreakerState::Closed => "closed",
+            BreakerState::Open => "open",
+            BreakerState::HalfOpen => "half_open",
+        }
+    }
+
+    fn code(self) -> i64 {
+        match self {
+            BreakerState::Closed => 0,
+            BreakerState::Open => 1,
+            BreakerState::HalfOpen => 2,
+        }
+    }
+}
+
+/// The breaker's verdict for one summarize arrival.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BreakerAdmission {
+    /// Run the request (and report the outcome back).
+    Allow,
+    /// Shed with `503` and this `Retry-After`.
+    Shed {
+        /// Seconds the client should wait before retrying.
+        retry_after_secs: u64,
+    },
+}
+
+/// Tunables; [`BreakerConfig::default`] matches the server defaults.
+#[derive(Clone, Copy, Debug)]
+pub struct BreakerConfig {
+    /// Consecutive internal failures that trip the breaker.
+    pub threshold: u32,
+    /// Arrivals shed while open before moving to half-open.
+    pub open_arrivals: u32,
+    /// Fraction of half-open arrivals admitted as probes, in `[0, 1]`.
+    pub probe_ratio: f64,
+    /// Consecutive successful probes required to close.
+    pub probe_successes: u32,
+    /// Seed for the half-open probe coin.
+    pub seed: u64,
+}
+
+impl Default for BreakerConfig {
+    fn default() -> Self {
+        BreakerConfig {
+            threshold: 5,
+            open_arrivals: 8,
+            probe_ratio: 0.5,
+            probe_successes: 2,
+            seed: 0,
+        }
+    }
+}
+
+struct Inner {
+    state: BreakerState,
+    consecutive_failures: u32,
+    open_remaining: u32,
+    probe_streak: u32,
+    rng: DetRng,
+}
+
+/// The breaker: shared per-server, internally locked (the critical
+/// section is a handful of integer ops).
+pub struct CircuitBreaker {
+    config: BreakerConfig,
+    inner: Mutex<Inner>,
+}
+
+impl CircuitBreaker {
+    /// A closed breaker with the given tunables. `threshold == 0`
+    /// disables tripping entirely (the breaker stays closed).
+    pub fn new(config: BreakerConfig) -> CircuitBreaker {
+        CircuitBreaker {
+            inner: Mutex::new(Inner {
+                state: BreakerState::Closed,
+                consecutive_failures: 0,
+                open_remaining: 0,
+                probe_streak: 0,
+                rng: DetRng::new(config.seed),
+            }),
+            config,
+        }
+    }
+
+    /// The current state.
+    pub fn state(&self) -> BreakerState {
+        lock(&self.inner).state
+    }
+
+    /// Gate one summarize arrival.
+    pub fn admit(&self) -> BreakerAdmission {
+        let mut inner = lock(&self.inner);
+        match inner.state {
+            BreakerState::Closed => BreakerAdmission::Allow,
+            BreakerState::Open => {
+                inner.open_remaining = inner.open_remaining.saturating_sub(1);
+                if inner.open_remaining == 0 {
+                    inner.state = BreakerState::HalfOpen;
+                    inner.probe_streak = 0;
+                    HALF_OPENED.incr();
+                    STATE.set(BreakerState::HalfOpen.code());
+                }
+                // This arrival is still shed; the *next* one may probe.
+                BreakerAdmission::Shed {
+                    retry_after_secs: 1,
+                }
+            }
+            BreakerState::HalfOpen => {
+                if inner.rng.next_f64() < self.config.probe_ratio {
+                    BreakerAdmission::Allow
+                } else {
+                    BreakerAdmission::Shed {
+                        retry_after_secs: 1,
+                    }
+                }
+            }
+        }
+    }
+
+    /// Report a successful summarize (cache hits count: serving from
+    /// cache proves the path is healthy enough to answer).
+    pub fn record_success(&self) {
+        let mut inner = lock(&self.inner);
+        match inner.state {
+            BreakerState::Closed => inner.consecutive_failures = 0,
+            BreakerState::HalfOpen => {
+                inner.probe_streak += 1;
+                if inner.probe_streak >= self.config.probe_successes {
+                    inner.state = BreakerState::Closed;
+                    inner.consecutive_failures = 0;
+                    CLOSED.incr();
+                    STATE.set(BreakerState::Closed.code());
+                }
+            }
+            BreakerState::Open => {}
+        }
+    }
+
+    /// Report an internal failure (typed 500 or a caught worker panic).
+    pub fn record_failure(&self) {
+        if self.config.threshold == 0 {
+            return;
+        }
+        let mut inner = lock(&self.inner);
+        match inner.state {
+            BreakerState::Closed => {
+                inner.consecutive_failures += 1;
+                if inner.consecutive_failures >= self.config.threshold {
+                    self.trip(&mut inner);
+                }
+            }
+            BreakerState::HalfOpen => self.trip(&mut inner),
+            BreakerState::Open => {}
+        }
+    }
+
+    fn trip(&self, inner: &mut Inner) {
+        inner.state = BreakerState::Open;
+        inner.open_remaining = self.config.open_arrivals.max(1);
+        inner.consecutive_failures = 0;
+        OPENED.incr();
+        STATE.set(BreakerState::Open.code());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn breaker(threshold: u32, open_arrivals: u32, probe_ratio: f64) -> CircuitBreaker {
+        CircuitBreaker::new(BreakerConfig {
+            threshold,
+            open_arrivals,
+            probe_ratio,
+            probe_successes: 2,
+            seed: 7,
+        })
+    }
+
+    #[test]
+    fn full_cycle_closed_open_half_open_closed() {
+        let b = breaker(3, 2, 1.0);
+        assert_eq!(b.state(), BreakerState::Closed);
+        for _ in 0..3 {
+            assert_eq!(b.admit(), BreakerAdmission::Allow);
+            b.record_failure();
+        }
+        assert_eq!(b.state(), BreakerState::Open);
+        // The open window sheds `open_arrivals` requests...
+        assert!(matches!(b.admit(), BreakerAdmission::Shed { .. }));
+        assert!(matches!(b.admit(), BreakerAdmission::Shed { .. }));
+        // ...then probes (ratio 1.0 admits every probe).
+        assert_eq!(b.state(), BreakerState::HalfOpen);
+        assert_eq!(b.admit(), BreakerAdmission::Allow);
+        b.record_success();
+        assert_eq!(b.state(), BreakerState::HalfOpen);
+        assert_eq!(b.admit(), BreakerAdmission::Allow);
+        b.record_success();
+        assert_eq!(b.state(), BreakerState::Closed);
+    }
+
+    #[test]
+    fn a_probe_failure_reopens() {
+        let b = breaker(1, 1, 1.0);
+        b.record_failure();
+        assert_eq!(b.state(), BreakerState::Open);
+        assert!(matches!(b.admit(), BreakerAdmission::Shed { .. }));
+        assert_eq!(b.state(), BreakerState::HalfOpen);
+        assert_eq!(b.admit(), BreakerAdmission::Allow);
+        b.record_failure();
+        assert_eq!(b.state(), BreakerState::Open);
+    }
+
+    #[test]
+    fn successes_reset_the_failure_streak() {
+        let b = breaker(3, 2, 1.0);
+        b.record_failure();
+        b.record_failure();
+        b.record_success();
+        b.record_failure();
+        b.record_failure();
+        assert_eq!(b.state(), BreakerState::Closed, "streak was interrupted");
+        b.record_failure();
+        assert_eq!(b.state(), BreakerState::Open);
+    }
+
+    #[test]
+    fn half_open_probe_coin_is_seeded_and_deterministic() {
+        let run = || {
+            let b = breaker(1, 1, 0.5);
+            b.record_failure();
+            let _ = b.admit(); // consume the open window
+            (0..16)
+                .map(|_| b.admit() == BreakerAdmission::Allow)
+                .collect::<Vec<_>>()
+        };
+        let first = run();
+        assert_eq!(first, run(), "same seed, same probe schedule");
+        assert!(first.iter().any(|&p| p), "ratio 0.5 must admit some probes");
+        assert!(first.iter().any(|&p| !p), "ratio 0.5 must shed some probes");
+    }
+
+    #[test]
+    fn threshold_zero_disables_tripping() {
+        let b = breaker(0, 1, 1.0);
+        for _ in 0..100 {
+            b.record_failure();
+        }
+        assert_eq!(b.state(), BreakerState::Closed);
+        assert_eq!(b.admit(), BreakerAdmission::Allow);
+    }
+}

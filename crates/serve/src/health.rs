@@ -1,0 +1,189 @@
+//! The process health state machine: `healthy` → `degraded` → back, and a
+//! sticky `draining` terminal state.
+//!
+//! Worker supervision (see [`crate::server`]) reports every caught panic
+//! through [`Health::note_panic`] and every cleanly handled connection
+//! through [`Health::note_ok`]. One panic degrades the process; a streak
+//! of [`RECOVERY_STREAK`] panic-free connections restores it. The streak
+//! is counted in *requests*, not wall time, so recovery is deterministic
+//! under `PROX_DETERMINISTIC` (rule L2) — same schedule, same transitions.
+//!
+//! `draining` is entered exactly once, when shutdown begins (SIGTERM or
+//! [`crate::server::ServerHandle::shutdown`]), and never left: load
+//! balancers polling `/healthz` see `503` + `Retry-After` and stop
+//! routing to the dying process (the drain still answers everything
+//! already admitted).
+//!
+//! The current state is mirrored into the `serve/health_state` gauge
+//! (0 = healthy, 1 = degraded, 2 = draining) and panics are counted in
+//! `serve/worker_panics`.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use prox_obs::{Counter, Gauge};
+
+static WORKER_PANICS: Counter = Counter::new("serve/worker_panics");
+static HEALTH_STATE: Gauge = Gauge::new("serve/health_state");
+
+/// Panic-free connections required to climb from `degraded` back to
+/// `healthy`.
+pub const RECOVERY_STREAK: u64 = 32;
+
+/// The three process health states, ordered by severity.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum HealthState {
+    /// No recent worker panics; serve normally.
+    Healthy,
+    /// At least one worker panicked recently; still serving.
+    Degraded,
+    /// Shutdown has begun; `/healthz` answers `503` so traffic drains.
+    Draining,
+}
+
+impl HealthState {
+    /// The lowercase wire name (healthz bodies, `prox stats`).
+    pub fn name(self) -> &'static str {
+        match self {
+            HealthState::Healthy => "healthy",
+            HealthState::Degraded => "degraded",
+            HealthState::Draining => "draining",
+        }
+    }
+
+    fn code(self) -> usize {
+        match self {
+            HealthState::Healthy => 0,
+            HealthState::Degraded => 1,
+            HealthState::Draining => 2,
+        }
+    }
+
+    fn from_code(code: usize) -> HealthState {
+        match code {
+            0 => HealthState::Healthy,
+            1 => HealthState::Degraded,
+            _ => HealthState::Draining,
+        }
+    }
+}
+
+/// Cheaply clonable handle on the shared health state (atomics behind an
+/// `Arc`; every accessor is lock-free).
+#[derive(Clone, Default)]
+pub struct Health {
+    inner: Arc<Inner>,
+}
+
+#[derive(Default)]
+struct Inner {
+    state: AtomicUsize,
+    ok_streak: AtomicU64,
+}
+
+impl Health {
+    /// A fresh handle starting `healthy`.
+    pub fn new() -> Health {
+        Health::default()
+    }
+
+    /// The current state.
+    pub fn state(&self) -> HealthState {
+        HealthState::from_code(self.inner.state.load(Ordering::Relaxed))
+    }
+
+    /// Record a caught worker panic: count it and degrade (unless already
+    /// draining — drain severity is sticky).
+    pub fn note_panic(&self) {
+        WORKER_PANICS.incr();
+        self.inner.ok_streak.store(0, Ordering::Relaxed);
+        let _ = self.inner.state.compare_exchange(
+            HealthState::Healthy.code(),
+            HealthState::Degraded.code(),
+            Ordering::Relaxed,
+            Ordering::Relaxed,
+        );
+        self.publish();
+    }
+
+    /// Record a panic-free connection; [`RECOVERY_STREAK`] of these in a
+    /// row restore `degraded` to `healthy`.
+    pub fn note_ok(&self) {
+        if self.state() != HealthState::Degraded {
+            return;
+        }
+        let streak = self.inner.ok_streak.fetch_add(1, Ordering::Relaxed) + 1;
+        if streak >= RECOVERY_STREAK {
+            let _ = self.inner.state.compare_exchange(
+                HealthState::Degraded.code(),
+                HealthState::Healthy.code(),
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            );
+            self.publish();
+        }
+    }
+
+    /// Enter the sticky `draining` state (shutdown has begun).
+    pub fn begin_drain(&self) {
+        self.inner
+            .state
+            .store(HealthState::Draining.code(), Ordering::Relaxed);
+        self.publish();
+    }
+
+    fn publish(&self) {
+        HEALTH_STATE.set(self.state().code() as i64);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn one_panic_degrades_and_a_streak_recovers() {
+        let h = Health::new();
+        assert_eq!(h.state(), HealthState::Healthy);
+        h.note_panic();
+        assert_eq!(h.state(), HealthState::Degraded);
+        for _ in 0..RECOVERY_STREAK - 1 {
+            h.note_ok();
+            assert_eq!(h.state(), HealthState::Degraded);
+        }
+        h.note_ok();
+        assert_eq!(h.state(), HealthState::Healthy);
+    }
+
+    #[test]
+    fn a_panic_mid_streak_resets_recovery() {
+        let h = Health::new();
+        h.note_panic();
+        for _ in 0..RECOVERY_STREAK - 1 {
+            h.note_ok();
+        }
+        h.note_panic(); // streak resets
+        h.note_ok();
+        assert_eq!(h.state(), HealthState::Degraded);
+    }
+
+    #[test]
+    fn draining_is_sticky() {
+        let h = Health::new();
+        h.begin_drain();
+        assert_eq!(h.state(), HealthState::Draining);
+        h.note_panic();
+        assert_eq!(h.state(), HealthState::Draining);
+        for _ in 0..2 * RECOVERY_STREAK {
+            h.note_ok();
+        }
+        assert_eq!(h.state(), HealthState::Draining);
+    }
+
+    #[test]
+    fn state_names_match_the_wire_contract() {
+        assert_eq!(HealthState::Healthy.name(), "healthy");
+        assert_eq!(HealthState::Degraded.name(), "degraded");
+        assert_eq!(HealthState::Draining.name(), "draining");
+    }
+}

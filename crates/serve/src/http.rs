@@ -112,6 +112,12 @@ pub fn read_request(
     stream: &mut TcpStream,
     session: &mut BudgetSession,
 ) -> Result<Request, ProxError> {
+    // Fault site: a `slowread` clause stalls the worker here, modelling a
+    // byte-dribbling client — the injected delay is bounded by the read
+    // deadline, so the 408 path stays reachable under it.
+    if let Some(delay_ms) = prox_robust::fault::slowread_delay_ms() {
+        std::thread::sleep(Duration::from_millis(delay_ms));
+    }
     // Short socket timeouts make the budget poll effective: each blocking
     // read wakes up at least this often to re-check the deadline.
     let _ = stream.set_read_timeout(Some(Duration::from_millis(100)));
@@ -195,6 +201,7 @@ pub fn status_text(status: u16) -> &'static str {
         404 => "Not Found",
         405 => "Method Not Allowed",
         408 => "Request Timeout",
+        429 => "Too Many Requests",
         503 => "Service Unavailable",
         _ => "Internal Server Error",
     }
@@ -307,7 +314,7 @@ mod tests {
 
     #[test]
     fn status_text_covers_emitted_codes() {
-        for code in [200u16, 400, 404, 405, 408, 503, 500] {
+        for code in [200u16, 400, 404, 405, 408, 429, 503, 500] {
             assert!(!status_text(code).is_empty());
         }
         assert_eq!(status_text(599), "Internal Server Error");

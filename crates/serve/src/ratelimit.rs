@@ -1,0 +1,211 @@
+//! Per-tenant token-bucket rate limiting, ahead of the admission queue.
+//!
+//! Requests carrying an `X-Prox-Tenant` header draw one token from that
+//! tenant's bucket before any summarization work is admitted; an empty
+//! bucket is answered `429` + `Retry-After` on the spot. Requests without
+//! the header bypass the limiter entirely (single-tenant deployments and
+//! the pre-existing test surface are unaffected).
+//!
+//! ## Clocks
+//!
+//! In wall-clock mode each bucket refills continuously at `rate`
+//! tokens/second from the elapsed [`Instant`]. Under `PROX_DETERMINISTIC`
+//! wall time would break byte-stable replays (rule L2), so the bucket
+//! runs on a *virtual clock*: every admission attempt for a tenant
+//! advances that tenant's clock by [`DET_TICK_MS`] and refills
+//! accordingly. The allow/deny schedule is then a pure function of the
+//! request sequence — same schedule, same 429s.
+//!
+//! Denials are counted in `serve/rate_limited` and tallied per tenant in
+//! a process-global table surfaced by `/metrics.json` and `prox stats`.
+
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+use std::time::Instant;
+
+use prox_obs::Counter;
+
+use crate::lock;
+
+static RATE_LIMITED: Counter = Counter::new("serve/rate_limited");
+/// Process-global per-tenant denial tally (bounded by [`MAX_TENANTS`]).
+static DENIED_BY_TENANT: Mutex<BTreeMap<String, u64>> = Mutex::new(BTreeMap::new());
+
+/// Virtual milliseconds credited per admission attempt in deterministic
+/// mode.
+pub const DET_TICK_MS: u64 = 100;
+/// Cap on distinct tenant buckets (and on the denial tally); beyond it
+/// the lexicographically-first bucket is evicted, deterministically.
+pub const MAX_TENANTS: usize = 1024;
+
+/// The limiter's verdict for one request.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Admission {
+    /// A token was available; run the request.
+    Admit,
+    /// Bucket empty: answer `429` with this `Retry-After`.
+    Deny {
+        /// Whole seconds until one token will have refilled.
+        retry_after_secs: u64,
+    },
+}
+
+struct Bucket {
+    tokens: f64,
+    last: Option<Instant>,
+}
+
+/// Token buckets keyed by tenant name.
+pub struct RateLimiter {
+    rate: f64,
+    burst: f64,
+    deterministic: bool,
+    buckets: BTreeMap<String, Bucket>,
+}
+
+impl RateLimiter {
+    /// A limiter refilling `rate` tokens/second up to `burst` per tenant.
+    /// `rate <= 0` disables limiting (every request admitted);
+    /// `deterministic` selects the virtual clock.
+    pub fn new(rate: f64, burst: f64, deterministic: bool) -> RateLimiter {
+        RateLimiter {
+            rate,
+            burst: burst.max(1.0),
+            deterministic,
+            buckets: BTreeMap::new(),
+        }
+    }
+
+    /// Draw one token for `tenant`, refilling its bucket first.
+    pub fn admit(&mut self, tenant: &str) -> Admission {
+        if self.rate <= 0.0 {
+            return Admission::Admit;
+        }
+        if !self.buckets.contains_key(tenant) {
+            if self.buckets.len() >= MAX_TENANTS {
+                let evict = self.buckets.keys().next().cloned();
+                if let Some(k) = evict {
+                    self.buckets.remove(&k);
+                }
+            }
+            self.buckets.insert(
+                tenant.to_owned(),
+                Bucket {
+                    tokens: self.burst,
+                    last: None,
+                },
+            );
+        }
+        let (rate, burst, deterministic) = (self.rate, self.burst, self.deterministic);
+        let Some(bucket) = self.buckets.get_mut(tenant) else {
+            return Admission::Admit; // unreachable: inserted above
+        };
+        if deterministic {
+            bucket.tokens = (bucket.tokens + rate * DET_TICK_MS as f64 / 1_000.0).min(burst);
+        } else {
+            let now = Instant::now();
+            if let Some(last) = bucket.last {
+                let elapsed = now.saturating_duration_since(last).as_secs_f64();
+                bucket.tokens = (bucket.tokens + elapsed * rate).min(burst);
+            }
+            bucket.last = Some(now);
+        }
+        if bucket.tokens >= 1.0 {
+            bucket.tokens -= 1.0;
+            return Admission::Admit;
+        }
+        let needed = 1.0 - bucket.tokens;
+        let retry_after_secs = ((needed / rate).ceil() as u64).max(1);
+        RATE_LIMITED.incr();
+        note_denial(tenant);
+        Admission::Deny { retry_after_secs }
+    }
+}
+
+fn note_denial(tenant: &str) {
+    let mut tally = lock(&DENIED_BY_TENANT);
+    if tally.len() >= MAX_TENANTS && !tally.contains_key(tenant) {
+        return; // bounded: stop attributing, the counter still counts
+    }
+    *tally.entry(tenant.to_owned()).or_insert(0) += 1;
+}
+
+/// Snapshot of the process-global per-tenant denial tally, sorted by
+/// tenant name.
+pub fn tenant_denials() -> Vec<(String, u64)> {
+    lock(&DENIED_BY_TENANT)
+        .iter()
+        .map(|(k, v)| (k.clone(), *v))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_refill_replays_the_same_schedule() {
+        let run = || {
+            let mut rl = RateLimiter::new(2.0, 2.0, true);
+            (0..12)
+                .map(|i| rl.admit(if i % 2 == 0 { "a" } else { "b" }) == Admission::Admit)
+                .collect::<Vec<_>>()
+        };
+        let first = run();
+        assert_eq!(first, run(), "virtual clock must replay identically");
+        assert!(first[0] && first[1], "burst admits the first requests");
+        assert!(
+            first.iter().any(|&ok| !ok),
+            "rate 2/s at 10 attempts/s must deny"
+        );
+    }
+
+    #[test]
+    fn denial_carries_a_positive_retry_after() {
+        let mut rl = RateLimiter::new(1.0, 1.0, true);
+        assert_eq!(rl.admit("t"), Admission::Admit);
+        match rl.admit("t") {
+            Admission::Deny { retry_after_secs } => assert!(retry_after_secs >= 1),
+            Admission::Admit => panic!("second draw must be denied"),
+        }
+    }
+
+    #[test]
+    fn tokens_refill_up_to_burst_only() {
+        let mut rl = RateLimiter::new(100.0, 3.0, true);
+        // Many virtual ticks cannot exceed the burst of 3.
+        for _ in 0..10 {
+            let _ = rl.admit("t");
+        }
+        let admitted = (0..10)
+            .filter(|_| rl.admit("t") == Admission::Admit)
+            .count();
+        // 100/s at 10 virtual ticks/s refills 10 tokens per attempt,
+        // clamped to burst — every draw succeeds.
+        assert_eq!(admitted, 10);
+        let mut strict = RateLimiter::new(0.1, 3.0, true);
+        let admitted = (0..10)
+            .filter(|_| strict.admit("t") == Admission::Admit)
+            .count();
+        assert_eq!(admitted, 3, "burst 3 then a slow refill denies the rest");
+    }
+
+    #[test]
+    fn tenants_are_isolated_and_rate_zero_disables() {
+        let mut rl = RateLimiter::new(0.1, 1.0, true);
+        assert_eq!(rl.admit("hog"), Admission::Admit);
+        assert!(matches!(rl.admit("hog"), Admission::Deny { .. }));
+        assert_eq!(rl.admit("quiet"), Admission::Admit, "fresh tenant admits");
+        let mut off = RateLimiter::new(0.0, 1.0, true);
+        assert!((0..100).all(|_| off.admit("any") == Admission::Admit));
+    }
+
+    #[test]
+    fn tenant_table_is_bounded() {
+        let mut rl = RateLimiter::new(0.1, 1.0, true);
+        for i in 0..(MAX_TENANTS + 10) {
+            let _ = rl.admit(&format!("tenant-{i:05}"));
+        }
+        assert!(rl.buckets.len() <= MAX_TENANTS);
+    }
+}

@@ -8,9 +8,18 @@
 //! [`CancelFlag`], which (a) stops the accept loop, (b) degrades in-flight
 //! summarizations to their anytime best-so-far answers, and (c) closes the
 //! queue so workers drain what was already admitted and exit.
+//!
+//! Worker supervision: every connection is handled under `catch_unwind`.
+//! A panicking handler (a bug, or the `panic` fault site) is converted to
+//! a typed 500 on the wire, counted in `serve/worker_panics`, reported to
+//! the [`Health`] state machine and the circuit breaker — and the worker
+//! keeps draining the queue, so one poisoned request never drops the
+//! requests queued behind it. A second `catch_unwind` around the whole
+//! loop restarts it if a panic ever escapes the per-connection boundary.
 
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
 use std::thread::{self, JoinHandle};
 use std::time::Duration;
@@ -18,6 +27,8 @@ use std::time::Duration;
 use prox_obs::{Counter, Gauge};
 use prox_robust::{CancelFlag, ExecutionBudget, ProxError};
 
+use crate::breaker::BreakerConfig;
+use crate::health::Health;
 use crate::http::{self, Response};
 use crate::queue::Bounded;
 use crate::service::{self, ServiceCtx};
@@ -50,6 +61,14 @@ pub struct ServerConfig {
     pub trace_sample_rate: f64,
     /// Capacity of the retained-trace ring (`/debug/traces`).
     pub trace_capacity: usize,
+    /// Per-tenant token-bucket refill rate (tokens/second) for requests
+    /// carrying `X-Prox-Tenant`; `0` disables rate limiting.
+    pub tenant_rate: f64,
+    /// Per-tenant bucket capacity (burst).
+    pub tenant_burst: f64,
+    /// Consecutive internal failures that trip the summarize circuit
+    /// breaker; `0` disables it.
+    pub breaker_threshold: u32,
 }
 
 impl Default for ServerConfig {
@@ -64,6 +83,9 @@ impl Default for ServerConfig {
             trace_seed: 0,
             trace_sample_rate: 1.0,
             trace_capacity: 128,
+            tenant_rate: 50.0,
+            tenant_burst: 20.0,
+            breaker_threshold: 5,
         }
     }
 }
@@ -76,6 +98,7 @@ pub struct ServerHandle {
     addr: SocketAddr,
     shutdown: CancelFlag,
     queue: Arc<Bounded<TcpStream>>,
+    health: Health,
     accept: Option<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
 }
@@ -106,8 +129,18 @@ impl Server {
                 config.trace_seed,
                 config.trace_sample_rate,
                 config.trace_capacity,
+            )
+            .with_resilience(
+                config.tenant_rate,
+                config.tenant_burst,
+                BreakerConfig {
+                    threshold: config.breaker_threshold,
+                    seed: config.trace_seed,
+                    ..BreakerConfig::default()
+                },
             ),
         );
+        let health = ctx.health.clone();
 
         let mut workers = Vec::with_capacity(config.workers.max(1));
         for ix in 0..config.workers.max(1) {
@@ -116,7 +149,7 @@ impl Server {
             let io_deadline_ms = config.io_deadline_ms;
             let spawned = thread::Builder::new()
                 .name(format!("prox-serve-worker-{ix}"))
-                .spawn(move || worker_loop(&queue, &ctx, io_deadline_ms))
+                .spawn(move || supervised_worker(&queue, &ctx, io_deadline_ms))
                 .map_err(|e| ProxError::io("spawning worker", &e))?;
             workers.push(spawned);
         }
@@ -124,9 +157,10 @@ impl Server {
         let accept = {
             let queue = Arc::clone(&queue);
             let shutdown = shutdown.clone();
+            let health = ctx.health.clone();
             thread::Builder::new()
                 .name("prox-serve-accept".to_owned())
-                .spawn(move || accept_loop(&listener, &queue, &shutdown))
+                .spawn(move || accept_loop(&listener, &queue, &shutdown, &health))
                 .map_err(|e| ProxError::io("spawning accept loop", &e))?
         };
 
@@ -134,6 +168,7 @@ impl Server {
             addr,
             shutdown,
             queue,
+            health,
             accept: Some(accept),
             workers,
         })
@@ -142,11 +177,19 @@ impl Server {
 
 /// Accept connections until shutdown, shedding with `503` when the
 /// admission queue is full, then close the queue so workers drain.
-fn accept_loop(listener: &TcpListener, queue: &Bounded<TcpStream>, shutdown: &CancelFlag) {
+fn accept_loop(
+    listener: &TcpListener,
+    queue: &Bounded<TcpStream>,
+    shutdown: &CancelFlag,
+    health: &Health,
+) {
     loop {
         // admission loop: bounded by the shutdown flag, not a budget
         if shutdown.is_cancelled() || signal::signalled() {
             shutdown.cancel();
+            // Flip health to draining *before* closing the queue: any
+            // admitted-but-unserved `/healthz` probe already answers 503.
+            health.begin_drain();
             break;
         }
         match listener.accept() {
@@ -177,6 +220,19 @@ fn shed(mut stream: TcpStream) {
     let _ = http::write_response(&mut stream, &resp);
 }
 
+/// Supervisor wrapper: restart [`worker_loop`] if a panic ever escapes
+/// the per-connection `catch_unwind` boundary (queue bookkeeping, gauge
+/// updates). The loop exits normally only when the queue closes, so a
+/// worker thread can die early only by leaking through *two* boundaries.
+fn supervised_worker(queue: &Bounded<TcpStream>, ctx: &ServiceCtx, io_deadline_ms: u64) {
+    loop {
+        match catch_unwind(AssertUnwindSafe(|| worker_loop(queue, ctx, io_deadline_ms))) {
+            Ok(()) => break,
+            Err(_) => ctx.health.note_panic(),
+        }
+    }
+}
+
 /// Pull admitted connections until the queue closes and drains. The pop
 /// itself polls the session (rule L3); `note_step` keeps per-worker
 /// throughput visible in `steps_taken` if anyone attaches a budget.
@@ -186,20 +242,45 @@ fn worker_loop(queue: &Bounded<TcpStream>, ctx: &ServiceCtx, io_deadline_ms: u64
     while let Some(mut stream) = queue.pop(&mut session) {
         let _ = session.note_step();
         WORKERS_BUSY.add(1);
-        // The read session is cancel-linked so shutdown never blocks on a
-        // client that connected but went quiet: the connection is answered
-        // (408) and the worker moves on to drain the queue.
-        let mut io_session = ExecutionBudget::unlimited()
-            .with_deadline_ms(io_deadline_ms)
-            .with_cancel(ctx.shutdown.clone())
-            .start();
-        let parsed = http::read_request(&mut stream, &mut io_session);
-        // `respond` traces, classifies, and stamps `X-Prox-Trace-Id`.
-        let response = service::respond(parsed, ctx);
-        // A client that hung up mid-response is its own problem.
-        let _ = http::write_response(&mut stream, &response);
+        // Supervision boundary: a panicking handler (a bug, or the
+        // `panic` fault site) becomes a typed 500 and a degraded health
+        // state — never a dead worker or a dropped queue.
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            handle_connection(&mut stream, ctx, io_deadline_ms)
+        }));
+        match outcome {
+            Ok(()) => ctx.health.note_ok(),
+            Err(_) => {
+                ctx.health.note_panic();
+                ctx.breaker.record_failure();
+                let _ = http::write_response(&mut stream, &service::panic_response());
+            }
+        }
         WORKERS_BUSY.add(-1);
     }
+}
+
+/// One connection end to end: budgeted read, routed response, write.
+fn handle_connection(stream: &mut TcpStream, ctx: &ServiceCtx, io_deadline_ms: u64) {
+    // The read session is cancel-linked so shutdown never blocks on a
+    // client that connected but went quiet: the connection is answered
+    // (408) and the worker moves on to drain the queue.
+    let mut io_session = ExecutionBudget::unlimited()
+        .with_deadline_ms(io_deadline_ms)
+        .with_cancel(ctx.shutdown.clone())
+        .start();
+    let parsed = http::read_request(stream, &mut io_session);
+    // Fault site: a `conndrop` clause severs the connection here, after
+    // the read but before any response — the client sees a reset and its
+    // retry-with-backoff path is exercised end to end.
+    if parsed.is_ok() && prox_robust::fault::conndrop_fire() {
+        let _ = stream.shutdown(std::net::Shutdown::Both);
+        return;
+    }
+    // `respond` traces, classifies, and stamps `X-Prox-Trace-Id`.
+    let response = service::respond(parsed, ctx);
+    // A client that hung up mid-response is its own problem.
+    let _ = http::write_response(stream, &response);
 }
 
 impl ServerHandle {
@@ -218,6 +299,11 @@ impl ServerHandle {
         self.queue.len()
     }
 
+    /// A clone of the process health handle (tests and the CLI).
+    pub fn health(&self) -> Health {
+        self.health.clone()
+    }
+
     /// Graceful stop: cancel, let the accept loop close the queue, drain
     /// admitted connections, join every thread.
     pub fn shutdown(mut self) {
@@ -225,6 +311,7 @@ impl ServerHandle {
     }
 
     fn stop(&mut self) {
+        self.health.begin_drain();
         self.shutdown.cancel();
         if let Some(accept) = self.accept.take() {
             let _ = accept.join();

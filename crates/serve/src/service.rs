@@ -53,9 +53,12 @@ use prox_system::summarization::{summarize, SummarizationRequest, Summarized};
 
 use prox_core::StopReason;
 
+use crate::breaker::{BreakerAdmission, BreakerConfig, CircuitBreaker};
 use crate::cache::{fingerprint, SummaryCache};
+use crate::health::{Health, HealthState};
 use crate::http::{Request, Response};
 use crate::lock;
+use crate::ratelimit::{self, Admission, RateLimiter};
 
 static REQUESTS: Counter = Counter::new("serve/requests");
 static ERRORS: Counter = Counter::new("serve/errors");
@@ -69,6 +72,13 @@ pub struct ServiceCtx {
     /// Cancelled on shutdown; every request budget carries a clone so
     /// in-flight runs degrade to best-so-far promptly.
     pub shutdown: CancelFlag,
+    /// Process health (`healthy`/`degraded`/`draining`), fed by worker
+    /// supervision and surfaced on `/healthz`.
+    pub health: Health,
+    /// Circuit breaker around the summarize path.
+    pub breaker: CircuitBreaker,
+    /// Per-tenant token buckets (`X-Prox-Tenant`).
+    pub limiter: Mutex<RateLimiter>,
     /// Retained request traces, tail-sampled (`/debug/traces`).
     pub traces: TraceRing,
     /// Seed feeding both deterministic trace ids and the sampling hash.
@@ -88,10 +98,14 @@ impl ServiceCtx {
     /// (seed 0, retain every trace, ring of 128). The slow threshold
     /// comes from `PROX_SLOW_MS`.
     pub fn new(cache_capacity: usize, default_budget_ms: u64, shutdown: CancelFlag) -> Self {
+        let deterministic = prox_obs::deterministic_mode();
         ServiceCtx {
             cache: Mutex::new(SummaryCache::new(cache_capacity)),
             default_budget_ms,
             shutdown,
+            health: Health::new(),
+            breaker: CircuitBreaker::new(BreakerConfig::default()),
+            limiter: Mutex::new(RateLimiter::new(50.0, 20.0, deterministic)),
             traces: TraceRing::new(128),
             trace_seed: 0,
             trace_sample_rate: 1.0,
@@ -106,6 +120,21 @@ impl ServiceCtx {
         self.trace_seed = seed;
         self.trace_sample_rate = sample_rate;
         self.traces = TraceRing::new(capacity);
+        self
+    }
+
+    /// Override the per-tenant bucket and circuit-breaker tunables (see
+    /// [`crate::server::ServerConfig`]). The limiter's clock follows
+    /// `PROX_DETERMINISTIC`.
+    pub fn with_resilience(
+        mut self,
+        tenant_rate: f64,
+        tenant_burst: f64,
+        breaker: BreakerConfig,
+    ) -> Self {
+        let deterministic = prox_obs::deterministic_mode();
+        self.limiter = Mutex::new(RateLimiter::new(tenant_rate, tenant_burst, deterministic));
+        self.breaker = CircuitBreaker::new(breaker);
         self
     }
 }
@@ -492,6 +521,20 @@ fn cacheable(reason: StopReason) -> bool {
     !matches!(reason, StopReason::DeadlineExceeded | StopReason::Cancelled)
 }
 
+/// The typed 500 a supervised worker writes after catching a panicking
+/// handler: the connection is still answered (never hung or reset), the
+/// worker lives on, and the panic is visible in `serve/worker_panics`.
+pub fn panic_response() -> Response {
+    ERRORS.incr();
+    Response::json(
+        500,
+        Json::obj()
+            .with("error", "request handler panicked; worker recovered")
+            .with("kind", "internal")
+            .render(),
+    )
+}
+
 /// Map a typed error onto the HTTP surface.
 pub fn error_response(e: &ProxError) -> Response {
     ERRORS.incr();
@@ -576,24 +619,60 @@ fn summary_json(fp: &str, params: &Params, data: &MovieLens, out: &Summarized) -
         .with("summary", Json::Arr(names))
 }
 
+/// The `503` an open circuit breaker answers with.
+fn breaker_shed_response(retry_after_secs: u64) -> Response {
+    let mut resp = Response::json(
+        503,
+        Json::obj()
+            .with("error", "summarize circuit breaker open")
+            .with("kind", "overload")
+            .render(),
+    );
+    resp.retry_after = Some(retry_after_secs);
+    resp
+}
+
 fn summarize_route(
     req: &Request,
     ctx: &ServiceCtx,
     trace: Option<&TraceContext>,
 ) -> Result<Response, ProxError> {
     let params = parse_params(&req.body)?;
+    // Circuit breaker: while open, shed fast — before budgets, cache
+    // probes, or any summarization work is queued.
+    if let BreakerAdmission::Shed { retry_after_secs } = ctx.breaker.admit() {
+        if let Some(t) = trace {
+            t.note("breaker", "shed");
+        }
+        return Ok(breaker_shed_response(retry_after_secs));
+    }
+    // Fault site: an armed `panic` clause unwinds from here through the
+    // worker supervision boundary, which answers a typed 500.
+    prox_robust::fault::maybe_panic();
     let budget = budget_for(req, ctx, &params, trace)?;
     let key = canonical_key(&params);
     if let Some(body) = lock(&ctx.cache).get(&key) {
         if let Some(t) = trace {
             t.note("cache", "hit");
         }
+        ctx.breaker.record_success();
         return Ok(Response::json(200, body));
     }
     if let Some(t) = trace {
         t.note("cache", "miss");
     }
-    let (data, out) = run_summarize(&params, budget)?;
+    let (data, out) = match run_summarize(&params, budget) {
+        Ok(v) => v,
+        Err(e) => {
+            // Only internal faults feed the breaker: client errors (400)
+            // and budget exhaustion (408) say nothing about path health.
+            if e.kind() == ErrorKind::Internal {
+                ctx.breaker.record_failure();
+            }
+            return Err(e);
+        }
+    };
+    ctx.breaker.record_success();
     let body = summary_json(&fingerprint(&key), &params, &data, &out).render();
     if cacheable(out.result.stop_reason) {
         lock(&ctx.cache).put(key, body.clone());
@@ -667,10 +746,86 @@ pub fn route(req: &Request, ctx: &ServiceCtx) -> Response {
     route_traced(req, ctx, None)
 }
 
+/// The resilience snapshot served on `/metrics.json` and rendered by
+/// `prox stats`: health state, breaker state, panic/denial counters, and
+/// the per-tenant 429 tally.
+pub fn resilience_json(ctx: &ServiceCtx) -> Json {
+    let mut tenants = Json::obj();
+    for (tenant, denied) in ratelimit::tenant_denials() {
+        tenants.set(tenant.as_str(), denied);
+    }
+    Json::obj()
+        .with("health", ctx.health.state().name())
+        .with("breaker", ctx.breaker.state().name())
+        .with(
+            "worker_panics",
+            prox_obs::counter_value("serve/worker_panics").unwrap_or(0),
+        )
+        .with(
+            "rate_limited",
+            prox_obs::counter_value("serve/rate_limited").unwrap_or(0),
+        )
+        .with("tenant_429", tenants)
+}
+
+/// Gate a tenant-labelled mutation through the token-bucket limiter;
+/// `Some` is the finished `429` + `Retry-After` response.
+fn tenant_gate(req: &Request, ctx: &ServiceCtx, trace: Option<&TraceContext>) -> Option<Response> {
+    let tenant = req.header("x-prox-tenant")?;
+    match lock(&ctx.limiter).admit(tenant) {
+        Admission::Admit => None,
+        Admission::Deny { retry_after_secs } => {
+            if let Some(t) = trace {
+                t.note("rate_limited", tenant);
+            }
+            let mut resp = Response::json(
+                429,
+                Json::obj()
+                    .with("error", format!("tenant {tenant:?} rate limited"))
+                    .with("kind", "rate_limited")
+                    .render(),
+            );
+            resp.retry_after = Some(retry_after_secs);
+            Some(resp)
+        }
+    }
+}
+
 fn route_traced(req: &Request, ctx: &ServiceCtx, trace: Option<&TraceContext>) -> Response {
     REQUESTS.incr();
+    // Per-tenant admission runs before any handler work: a hot tenant is
+    // answered 429 on the spot, without touching budgets or the cache.
+    if matches!(
+        (req.method.as_str(), req.path.as_str()),
+        ("POST", "/summarize") | ("POST", "/provision")
+    ) {
+        if let Some(denied) = tenant_gate(req, ctx, trace) {
+            return denied;
+        }
+    }
     match (req.method.as_str(), req.path.as_str()) {
-        ("GET", "/healthz") => Response::json(200, Json::obj().with("status", "ok").render()),
+        ("GET", "/healthz") => {
+            let state = ctx.health.state();
+            let body = Json::obj()
+                .with(
+                    "status",
+                    if state == HealthState::Draining {
+                        "draining"
+                    } else {
+                        "ok"
+                    },
+                )
+                .with("state", state.name())
+                .render();
+            if state == HealthState::Draining {
+                // Load balancers must stop routing to a dying process.
+                let mut resp = Response::json(503, body);
+                resp.retry_after = Some(1);
+                resp
+            } else {
+                Response::json(200, body)
+            }
+        }
         // Prometheus text exposition; the JSON snapshot moved to
         // `/metrics.json`. Deterministic mode omits wall-clock series.
         ("GET", "/metrics") => Response::text(
@@ -689,6 +844,7 @@ fn route_traced(req: &Request, ctx: &ServiceCtx, trace: Option<&TraceContext>) -
                     "memory",
                     prox_obs::alloc::memory_json(prox_obs::deterministic_mode()),
                 )
+                .with("resilience", resilience_json(ctx))
                 .sorted()
                 .render(),
         ),

@@ -20,6 +20,7 @@ fn start(sample_rate: f64, capacity: usize) -> ServerHandle {
         trace_seed: 42,
         trace_sample_rate: sample_rate,
         trace_capacity: capacity,
+        ..ServerConfig::default()
     })
     .expect("server starts")
 }

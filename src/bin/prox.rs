@@ -205,7 +205,12 @@ impl App {
             }
             "stats" => {
                 if prox_obs::enabled() {
-                    format!("{}{}", prox_obs::render_snapshot(), render_window_stats())
+                    format!(
+                        "{}{}{}",
+                        prox_obs::render_snapshot(),
+                        render_window_stats(),
+                        render_resilience_stats()
+                    )
                 } else {
                     "observability is off — run with --trace <path> or PROX_TRACE=1".to_owned()
                 }
@@ -343,6 +348,39 @@ fn one_shot_summarize(args: &[String]) -> Result<String, ProxError> {
     ))
 }
 
+/// Render the serve-layer resilience picture — worker supervision,
+/// circuit breaker transitions, and per-tenant rate limiting — or nothing
+/// when no resilience event has registered (the common healthy case).
+fn render_resilience_stats() -> String {
+    let counter = |name: &str| prox_obs::counter_value(name).unwrap_or(0);
+    let panics = counter("serve/worker_panics");
+    let opened = counter("serve/breaker_opened");
+    let half_open = counter("serve/breaker_half_open");
+    let closed = counter("serve/breaker_closed");
+    let rate_limited = counter("serve/rate_limited");
+    let health = prox_obs::gauge_value("serve/health_state");
+    if panics == 0 && opened == 0 && rate_limited == 0 && health.is_none() {
+        return String::new();
+    }
+    let state = match health.unwrap_or(0) {
+        1 => "degraded",
+        2 => "draining",
+        _ => "healthy",
+    };
+    let mut out = String::from("resilience:\n");
+    out.push_str(&format!("  {:<40} {state}\n", "health state"));
+    out.push_str(&format!("  {:<40} {panics}\n", "worker panics recovered"));
+    out.push_str(&format!(
+        "  {:<40} opened={opened} half_open={half_open} closed={closed}\n",
+        "breaker transitions"
+    ));
+    out.push_str(&format!("  {:<40} {rate_limited}\n", "rate-limited (429)"));
+    for (tenant, denied) in prox_serve::ratelimit::tenant_denials() {
+        out.push_str(&format!("    429 tenant {tenant:<32} {denied}\n"));
+    }
+    out
+}
+
 /// `prox serve [flags]`: run the HTTP service until SIGINT/SIGTERM.
 fn serve(args: &[String]) -> Result<(), ProxError> {
     let mut config = prox_serve::ServerConfig::default();
@@ -362,12 +400,16 @@ fn serve(args: &[String]) -> Result<(), ProxError> {
             "--trace-seed" => config.trace_seed = parse_flag(flag, value)?,
             "--sample-rate" => config.trace_sample_rate = parse_flag(flag, value)?,
             "--trace-ring" => config.trace_capacity = parse_flag(flag, value)?,
+            "--tenant-rate" => config.tenant_rate = parse_flag(flag, value)?,
+            "--tenant-burst" => config.tenant_burst = parse_flag(flag, value)?,
+            "--breaker-threshold" => config.breaker_threshold = parse_flag(flag, value)?,
             "--profile" => profile = Some(value.clone()),
             other => {
                 return Err(ProxError::config(format!(
                     "unknown flag {other:?} — usage: prox serve [--addr host:port] \
                      [--workers n] [--queue n] [--cache n] [--budget-ms n] \
                      [--trace-seed n] [--sample-rate f] [--trace-ring n] \
+                     [--tenant-rate f] [--tenant-burst f] [--breaker-threshold n] \
                      [--profile path]"
                 )))
             }
