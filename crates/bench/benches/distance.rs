@@ -1,7 +1,7 @@
 //! Benchmarks for distance computation: the exact engine over a valuation
 //! class (the algorithm's inner loop, Fig 6.5a) and the Prop 4.1.2 sampler.
 
-use std::collections::HashMap;
+use prox_core::MemberOverride;
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use prox_core::{approx_distance, DistanceEngine, SamplerConfig, ValFuncKind};
@@ -24,7 +24,7 @@ fn bench_engine(c: &mut Criterion) {
     let h = Mapping::group(&members, g);
     let summary = p0.map(&h);
     let engine = DistanceEngine::new(&p0, &vals, PhiMap::uniform(Phi::Or), ValFuncKind::Euclidean);
-    let no_override = HashMap::new();
+    let no_override = MemberOverride::new();
     c.bench_function("distance/engine_one_candidate", |b| {
         b.iter(|| {
             engine.distance(
@@ -64,7 +64,7 @@ fn bench_sampler(c: &mut Criterion) {
                 black_box(&summary),
                 &h,
                 &d.store,
-                &HashMap::new(),
+                &MemberOverride::new(),
                 &phis,
                 ValFuncKind::Euclidean,
                 cfg,

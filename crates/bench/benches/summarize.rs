@@ -2,6 +2,9 @@
 //! pre-pass, candidate enumeration, one greedy step, and a full run —
 //! the components behind Fig 6.5b's summarization-time curve.
 
+// Bench harness: a failed setup should abort the run loudly.
+#![allow(clippy::expect_used)]
+
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use prox_core::{candidates, equivalence_classes, group_equivalent, SummarizeConfig, Summarizer};
 use prox_datasets::{MovieLens, MovieLensConfig};

@@ -5,6 +5,10 @@
 //! where `<exp>` is one of the ids below, or `all`. Results print as text
 //! tables and land in `reports/` as `.txt` + `.json`.
 
+// Top-level CLI entry point: an unwritable reports/ directory has no
+// recovery path, so the expects double as the error report.
+#![allow(clippy::expect_used)]
+
 use prox_bench::experiments::{
     kway_experiment, sampler_accuracy_experiment, score_mode_experiment, steps_experiment, table51,
     target_dist_experiment, target_size_experiment, timing_experiment, usage_time_experiment,

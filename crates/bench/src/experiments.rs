@@ -5,6 +5,12 @@
 //! instance counts so integration tests can exercise every experiment in
 //! seconds; the `experiments` binary runs the full versions.
 
+// Experiment wiring panics on impossible configurations (see the matching
+// lint.allow entry): the expects assert workload setup — e.g. that cluster
+// merges were precomputed for datasets that support clustering — not
+// data-dependent conditions.
+#![allow(clippy::expect_used)]
+
 use prox_core::{
     approx_distance, exact_distance_all, MemberOverride, SamplerConfig, ScoreMode, SummarizeConfig,
 };

@@ -2,8 +2,6 @@
 //! randomly from the list of pairs that satisfy the mapping constraints",
 //! honouring the same stop conditions as Prov-Approx.
 
-use std::collections::HashMap;
-
 use prox_obs::StepTimer;
 
 use prox_core::{
@@ -28,7 +26,7 @@ pub fn random_summarize<E: Summarizable>(
     let mut session = config.budget.start();
     let valuations = &valuations[..session.memo_cap(valuations.len())];
     let engine = DistanceEngine::new(p0, valuations, config.phi.clone(), config.val_func);
-    let no_override: MemberOverride = HashMap::new();
+    let no_override = MemberOverride::new();
     let mut rng = StdRng::seed_from_u64(seed);
     let initial_size = p0.size();
 

@@ -7,8 +7,6 @@
 //! expression, checking the same stop conditions (`TARGET-SIZE`,
 //! `TARGET-DIST`, max steps) as Prov-Approx so the two are comparable.
 
-use std::collections::HashMap;
-
 use prox_obs::StepTimer;
 
 use prox_core::{DistanceEngine, History, StepRecord, StopReason, SummarizeConfig, SummaryResult};
@@ -74,7 +72,7 @@ pub fn replay<E: Summarizable>(
     let mut session = config.budget.start();
     let valuations = &valuations[..session.memo_cap(valuations.len())];
     let engine = DistanceEngine::new(p0, valuations, config.phi.clone(), config.val_func);
-    let no_override = HashMap::new();
+    let no_override = prox_core::MemberOverride::new();
     let initial_size = p0.size();
 
     let mut current = p0.clone();

@@ -9,7 +9,7 @@
 //! Reported distances are normalized by the maximum possible error so they
 //! lie in `[0,1]` (§6.3).
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use prox_obs::Counter;
 use prox_provenance::{AnnId, AnnStore, EvalOutcome, Mapping, PhiMap, Summarizable, Valuation};
@@ -28,7 +28,7 @@ static MEMO_MISSES: Counter = Counter::new("distance/memo_misses");
 /// Overrides the member set of candidate target annotations during
 /// evaluation, so candidates can be scored without interning a summary
 /// annotation per candidate (the winner is interned once per step).
-pub type MemberOverride = HashMap<AnnId, Vec<AnnId>>;
+pub type MemberOverride = BTreeMap<AnnId, Vec<AnnId>>;
 
 /// Distance engine for one summarization run.
 pub struct DistanceEngine<'a, E: Summarizable> {
@@ -200,13 +200,13 @@ mod tests {
         let female = s.add_summary("Female", users_dom, &[users[0], users[1]]);
         let h_female = Mapping::group(&[users[0], users[1]], female);
         let p_female = p0.map(&h_female);
-        let d_female = engine.distance(&p_female, &h_female, &s, &HashMap::new());
+        let d_female = engine.distance(&p_female, &h_female, &s, &BTreeMap::new());
 
         // Candidate 2: {U1,U3} -> Audience
         let audience = s.add_summary("Audience", users_dom, &[users[0], users[2]]);
         let h_audience = Mapping::group(&[users[0], users[2]], audience);
         let p_audience = p0.map(&h_audience);
-        let d_audience = engine.distance(&p_audience, &h_audience, &s, &HashMap::new());
+        let d_audience = engine.distance(&p_audience, &h_audience, &s, &BTreeMap::new());
 
         // Paper: P₀'' (Audience) is at distance 0; P₀' (Female) differs for
         // the valuation cancelling U2.
@@ -227,7 +227,7 @@ mod tests {
         // Via override: map U2 onto U1, overriding U1's members.
         let h_over = Mapping::group(&[users[1]], users[0]);
         let p_over = p0.map(&h_over);
-        let mut overrides = HashMap::new();
+        let mut overrides = BTreeMap::new();
         overrides.insert(users[0], vec![users[0], users[1]]);
         let d_over = engine.distance(&p_over, &h_over, &s, &overrides);
 
@@ -236,7 +236,7 @@ mod tests {
         let g = s.add_summary("Female", dom, &[users[0], users[1]]);
         let h_real = Mapping::group(&[users[0], users[1]], g);
         let p_real = p0.map(&h_real);
-        let d_real = engine.distance(&p_real, &h_real, &s, &HashMap::new());
+        let d_real = engine.distance(&p_real, &h_real, &s, &BTreeMap::new());
 
         assert!((d_over - d_real).abs() < 1e-12);
     }
@@ -247,7 +247,7 @@ mod tests {
         let vals = ValuationClass::CancelSingleAnnotation.generate(&s, &users, &[]);
         let engine =
             DistanceEngine::new(&p0, &vals, PhiMap::uniform(Phi::Or), ValFuncKind::Euclidean);
-        let d = engine.distance(&p0, &Mapping::identity(), &s, &HashMap::new());
+        let d = engine.distance(&p0, &Mapping::identity(), &s, &BTreeMap::new());
         assert_eq!(d, 0.0);
     }
 
@@ -262,7 +262,7 @@ mod tests {
         let g = s.add_summary("All", dom, &[users[0], users[1], users[2]]);
         let h = Mapping::group(&users, g);
         let p = p0.map(&h);
-        let d = engine.distance(&p, &h, &s, &HashMap::new());
+        let d = engine.distance(&p, &h, &s, &BTreeMap::new());
         assert!((0.0..=1.0).contains(&d));
     }
 
@@ -273,7 +273,7 @@ mod tests {
         let engine =
             DistanceEngine::new(&p0, &vals, PhiMap::uniform(Phi::Or), ValFuncKind::Euclidean);
         assert_eq!(
-            engine.distance(&p0, &Mapping::identity(), &s, &HashMap::new()),
+            engine.distance(&p0, &Mapping::identity(), &s, &BTreeMap::new()),
             0.0
         );
     }

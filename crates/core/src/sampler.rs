@@ -9,7 +9,7 @@
 //! values normalized into `[0,1]` (the paper cites Chebyshev; we use the
 //! tighter Hoeffding count and expose the Chebyshev count as well).
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use prox_provenance::{AnnId, AnnStore, EvalOutcome, Mapping, PhiMap, Summarizable, Valuation};
 use rand::rngs::StdRng;
@@ -179,7 +179,7 @@ pub fn exact_distance_all<E: Summarizable>(
     let n = anns.len();
     let total = 1u64 << n;
     let mut acc = 0.0;
-    let no_overrides = HashMap::new();
+    let no_overrides = BTreeMap::new();
     for bits in 0..total {
         let mut v = Valuation::all_true();
         for (ix, &a) in anns.iter().enumerate() {
@@ -239,7 +239,7 @@ mod tests {
             &p,
             &Mapping::identity(),
             &s,
-            &HashMap::new(),
+            &BTreeMap::new(),
             &PhiMap::uniform(Phi::Or),
             ValFuncKind::Euclidean,
             SamplerConfig::default(),
@@ -262,7 +262,7 @@ mod tests {
             &summary,
             &h,
             &s,
-            &HashMap::new(),
+            &BTreeMap::new(),
             &phis,
             ValFuncKind::Euclidean,
             SamplerConfig {
@@ -287,7 +287,7 @@ mod tests {
             &p,
             &Mapping::identity(),
             &s,
-            &HashMap::new(),
+            &BTreeMap::new(),
             &PhiMap::uniform(Phi::Or),
             ValFuncKind::Euclidean,
             SamplerConfig {
@@ -316,7 +316,7 @@ mod tests {
             &summary,
             &h,
             &s,
-            &HashMap::new(),
+            &BTreeMap::new(),
             &phis,
             ValFuncKind::Euclidean,
             cfg,
@@ -326,7 +326,7 @@ mod tests {
             &summary,
             &h,
             &s,
-            &HashMap::new(),
+            &BTreeMap::new(),
             &phis,
             ValFuncKind::Euclidean,
             cfg,

@@ -13,8 +13,6 @@
 //! 3. stop on `TARGET-SIZE`, `TARGET-DIST` (backing off one step, as in the
 //!    algorithm's final lines), the step budget, or candidate exhaustion.
 
-use std::collections::HashMap;
-
 use prox_obs::{Counter, SpanTimer, StepTimer};
 use prox_provenance::{AnnStore, Mapping, Summarizable, Valuation};
 use prox_robust::{BudgetStop, ProxError};
@@ -148,7 +146,7 @@ impl<'a> Summarizer<'a> {
             self.config.phi.clone(),
             self.config.val_func,
         );
-        let no_override: MemberOverride = HashMap::new();
+        let no_override: MemberOverride = MemberOverride::new();
         let mut current_dist = engine.distance(&current, &cumulative, self.store, &no_override);
 
         let mut history = History::default();

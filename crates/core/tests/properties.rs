@@ -1,7 +1,11 @@
 //! Property-based tests for prox-core's building blocks: scoring,
 //! equivalence classes, and distance bounds.
+//!
+//! Random cases come from the workspace's deterministic splitmix64
+//! generator ([`prox_robust::fault::DetRng`]) rather than an external
+//! property-testing framework: every failure replays from the fixed seed,
+//! and the harness runs identically offline.
 
-use proptest::prelude::*;
 use prox_core::{
     equivalence_classes,
     score::{minimal_indices, score_all},
@@ -11,71 +15,113 @@ use prox_provenance::{
     AggKind, AggValue, AnnId, AnnStore, Mapping, Phi, PhiMap, Polynomial, ProvExpr, Tensor,
     Valuation,
 };
+use prox_robust::fault::DetRng;
+
+/// Cases per property.
+const CASES: usize = 64;
 
 fn ann(ix: usize) -> AnnId {
     AnnId::from_index(ix)
 }
 
-fn arb_measures() -> impl Strategy<Value = Vec<CandidateMeasure>> {
-    prop::collection::vec(
-        (0.0f64..1.0, 1usize..100).prop_map(|(distance, size)| CandidateMeasure { distance, size }),
-        1..12,
-    )
+/// A random distance in `[0, 1)` with three decimal digits of precision.
+fn random_distance(rng: &mut DetRng) -> f64 {
+    (rng.next_u64() % 1000) as f64 / 1000.0
 }
 
-proptest! {
-    /// Rank scores lie in [0,1] and the minimal-distance candidate has the
-    /// minimal score when wDist = 1.
-    #[test]
-    fn rank_scores_bounded_and_faithful(measures in arb_measures()) {
+/// 1–11 random candidate measures: distance in `[0,1)`, size in `1..100`.
+fn random_measures(rng: &mut DetRng) -> Vec<CandidateMeasure> {
+    let n = (rng.next_u64() % 11 + 1) as usize;
+    (0..n)
+        .map(|_| CandidateMeasure {
+            distance: random_distance(rng),
+            size: (rng.next_u64() % 99 + 1) as usize,
+        })
+        .collect()
+}
+
+/// Rank scores lie in [0,1] and the minimal-distance candidate has the
+/// minimal score when wDist = 1.
+#[test]
+fn rank_scores_bounded_and_faithful() {
+    let mut rng = DetRng::new(0x5eed_0300);
+    for case in 0..CASES {
+        let measures = random_measures(&mut rng);
         let scores = score_all(&measures, ScoreMode::Rank, 1.0, 0.0, 100);
-        prop_assert!(scores.iter().all(|s| (0.0..=1.0).contains(s)));
+        assert!(
+            scores.iter().all(|s| (0.0..=1.0).contains(s)),
+            "scores out of range (case {case}): {scores:?}"
+        );
         let best_ix = minimal_indices(&scores, 1e-9)[0];
         let min_dist = measures
             .iter()
             .map(|m| m.distance)
             .fold(f64::INFINITY, f64::min);
-        prop_assert!((measures[best_ix].distance - min_dist).abs() < 1e-12);
+        assert!(
+            (measures[best_ix].distance - min_dist).abs() < 1e-12,
+            "best candidate not minimal-distance (case {case})"
+        );
     }
+}
 
-    /// With wSize = 1 the minimal-size candidate wins.
-    #[test]
-    fn size_weight_selects_smallest(measures in arb_measures()) {
+/// With wSize = 1 the minimal-size candidate wins.
+#[test]
+fn size_weight_selects_smallest() {
+    let mut rng = DetRng::new(0x5eed_0301);
+    for case in 0..CASES {
+        let measures = random_measures(&mut rng);
         let scores = score_all(&measures, ScoreMode::Rank, 0.0, 1.0, 100);
         let best_ix = minimal_indices(&scores, 1e-9)[0];
         let min_size = measures.iter().map(|m| m.size).min().expect("nonempty");
-        prop_assert_eq!(measures[best_ix].size, min_size);
+        assert_eq!(
+            measures[best_ix].size, min_size,
+            "best candidate not minimal-size (case {case})"
+        );
     }
+}
 
-    /// Normalized scores are monotone in both inputs.
-    #[test]
-    fn normalized_scores_monotone(
-        d1 in 0.0f64..1.0, d2 in 0.0f64..1.0,
-        s1 in 1usize..100, s2 in 1usize..100,
-    ) {
+/// Normalized scores are monotone in both inputs.
+#[test]
+fn normalized_scores_monotone() {
+    let mut rng = DetRng::new(0x5eed_0302);
+    for case in 0..CASES {
+        let d1 = random_distance(&mut rng);
+        let d2 = random_distance(&mut rng);
+        let s1 = (rng.next_u64() % 99 + 1) as usize;
+        let s2 = (rng.next_u64() % 99 + 1) as usize;
         let m = [
-            CandidateMeasure { distance: d1, size: s1 },
-            CandidateMeasure { distance: d2, size: s2 },
+            CandidateMeasure {
+                distance: d1,
+                size: s1,
+            },
+            CandidateMeasure {
+                distance: d2,
+                size: s2,
+            },
         ];
         let scores = score_all(&m, ScoreMode::Normalized, 0.5, 0.5, 100);
         if d1 <= d2 && s1 <= s2 {
-            prop_assert!(scores[0] <= scores[1] + 1e-12);
+            assert!(
+                scores[0] <= scores[1] + 1e-12,
+                "monotonicity violated (case {case}): {scores:?}"
+            );
         }
     }
+}
 
-    /// Equivalence classes form a partition, and members of one class agree
-    /// with each other under every valuation.
-    #[test]
-    fn equivalence_classes_partition(
-        truth_rows in prop::collection::vec(prop::collection::vec(any::<bool>(), 6), 0..5),
-    ) {
+/// Equivalence classes form a partition, and members of one class agree
+/// with each other under every valuation.
+#[test]
+fn equivalence_classes_partition() {
+    let mut rng = DetRng::new(0x5eed_0303);
+    for case in 0..CASES {
+        let nrows = (rng.next_u64() % 5) as usize;
         let anns: Vec<AnnId> = (0..6).map(ann).collect();
-        let valuations: Vec<Valuation> = truth_rows
-            .iter()
-            .map(|row| {
+        let valuations: Vec<Valuation> = (0..nrows)
+            .map(|_| {
                 let mut v = Valuation::all_true();
-                for (ix, &b) in row.iter().enumerate() {
-                    v.set(ann(ix), b);
+                for ix in 0..6 {
+                    v.set(ann(ix), rng.next_u64().is_multiple_of(2));
                 }
                 v
             })
@@ -84,12 +130,16 @@ proptest! {
         // Partition: every annotation appears exactly once.
         let mut seen: Vec<AnnId> = classes.iter().flatten().copied().collect();
         seen.sort();
-        prop_assert_eq!(seen, anns.clone());
+        assert_eq!(seen, anns, "not a partition (case {case})");
         // Agreement within classes, disagreement across classes.
         for class in &classes {
             for pair in class.windows(2) {
                 for v in &valuations {
-                    prop_assert_eq!(v.truth(pair[0]), v.truth(pair[1]));
+                    assert_eq!(
+                        v.truth(pair[0]),
+                        v.truth(pair[1]),
+                        "class members disagree (case {case})"
+                    );
                 }
             }
         }
@@ -97,45 +147,55 @@ proptest! {
             for c2 in &classes[ix + 1..] {
                 let a = c1[0];
                 let b = c2[0];
-                prop_assert!(
+                assert!(
                     valuations.iter().any(|v| v.truth(a) != v.truth(b)),
-                    "distinct classes must be separated by some valuation"
+                    "distinct classes must be separated by some valuation (case {case})"
                 );
             }
         }
     }
+}
 
-    /// The normalized distance is within [0,1] for arbitrary merges on a
-    /// small random workload.
-    #[test]
-    fn distance_is_bounded(
-        ratings in prop::collection::vec((0usize..5, 1u8..=5), 3..10),
-        merge in prop::collection::vec(0usize..5, 2..4),
-    ) {
+/// The normalized distance is within [0,1] for arbitrary merges on a
+/// small random workload.
+#[test]
+fn distance_is_bounded() {
+    let mut rng = DetRng::new(0x5eed_0304);
+    for case in 0..CASES {
+        let nratings = (rng.next_u64() % 7 + 3) as usize;
+        let nmerge = (rng.next_u64() % 2 + 2) as usize;
         let mut store = AnnStore::new();
         let users: Vec<AnnId> = (0..5)
             .map(|i| store.add_base_with(&format!("U{i}"), "users", &[]))
             .collect();
         let movie = store.add_base_with("M", "movies", &[]);
         let mut p = ProvExpr::new(AggKind::Max);
-        for &(u, s) in &ratings {
-            p.push(movie, Tensor::new(Polynomial::var(users[u]), AggValue::single(s as f64)));
+        for _ in 0..nratings {
+            let u = (rng.next_u64() as usize) % 5;
+            let stars = (rng.next_u64() % 5 + 1) as f64;
+            p.push(
+                movie,
+                Tensor::new(Polynomial::var(users[u]), AggValue::single(stars)),
+            );
         }
         p.simplify();
         let vals: Vec<Valuation> = users.iter().map(|&u| Valuation::cancel(&[u])).collect();
-        let engine = DistanceEngine::new(&p, &vals, PhiMap::uniform(Phi::Or), ValFuncKind::Euclidean);
+        let engine =
+            DistanceEngine::new(&p, &vals, PhiMap::uniform(Phi::Or), ValFuncKind::Euclidean);
 
-        let mut members: Vec<AnnId> = merge.into_iter().map(|ix| users[ix]).collect();
+        let mut members: Vec<AnnId> = (0..nmerge)
+            .map(|_| users[(rng.next_u64() as usize) % 5])
+            .collect();
         members.sort();
         members.dedup();
         if members.len() < 2 {
-            return Ok(());
+            continue;
         }
         let dom = store.domain("users");
         let g = store.add_summary("G", dom, &members);
         let h = Mapping::group(&members, g);
         let summary = p.map(&h);
         let d = engine.distance(&summary, &h, &store, &Default::default());
-        prop_assert!((0.0..=1.0).contains(&d), "distance {d}");
+        assert!((0.0..=1.0).contains(&d), "distance {d} (case {case})");
     }
 }

@@ -2,7 +2,7 @@
 //!
 //! Every entry is one line: `RULE PATH [NEEDLE]`.
 //!
-//! * `RULE` — a rule ID (`L1`..`L5`).
+//! * `RULE` — a rule ID (`L1`..`L8`).
 //! * `PATH` — a workspace-relative file, or a directory prefix ending in
 //!   `/` to cover a subtree.
 //! * `NEEDLE` — the rest of the line; the entry only matches diagnostics
@@ -13,7 +13,11 @@
 //! `#` starts a comment (whole line, or trailing after ` # `). Policy:
 //! every entry carries a justification comment — the allowlist is an audit
 //! trail, not an escape hatch. Entries that stop matching anything are
-//! reported so the list cannot rot.
+//! reported so the list cannot rot. For the cross-file rules (L6–L8) the
+//! justification is *mandatory and machine-checked*: an entry without a
+//! trailing ` # reason` comment is a parse error, because suppressing a
+//! deadlock/ordering/determinism finding without a reviewer-checkable
+//! argument is exactly the rot these rules exist to prevent.
 
 use crate::Diagnostic;
 use std::fmt;
@@ -57,9 +61,9 @@ impl Allowlist {
             let line_no = (n + 1) as u32;
             // Trailing comments need the ` # ` form so a `#` inside a
             // needle (rare but possible) survives.
-            let body = match raw.split_once(" # ") {
-                Some((b, _)) => b,
-                None => raw,
+            let (body, comment) = match raw.split_once(" # ") {
+                Some((b, c)) => (b, c.trim()),
+                None => (raw, ""),
             };
             let body = body.trim();
             if body.is_empty() || body.starts_with('#') {
@@ -77,10 +81,20 @@ impl Allowlist {
                     reason: "expected `RULE PATH [NEEDLE]`".to_string(),
                 });
             }
-            if !matches!(rule, "L1" | "L2" | "L3" | "L4" | "L5") {
+            if !matches!(rule, "L1" | "L2" | "L3" | "L4" | "L5" | "L6" | "L7" | "L8") {
                 return Err(AllowParseError {
                     line: line_no,
-                    reason: format!("unknown rule ID '{rule}' (expected L1..L5)"),
+                    reason: format!("unknown rule ID '{rule}' (expected L1..L8)"),
+                });
+            }
+            if matches!(rule, "L6" | "L7" | "L8") && comment.is_empty() {
+                return Err(AllowParseError {
+                    line: line_no,
+                    reason: format!(
+                        "{rule} entries require a trailing ` # reason` justification \
+                         (cross-file findings may only be suppressed with a \
+                         reviewer-checkable argument)"
+                    ),
                 });
             }
             entries.push(AllowEntry {
@@ -114,6 +128,7 @@ mod tests {
             line: 1,
             line_text: line_text.to_string(),
             message: String::new(),
+            trace: Vec::new(),
         }
     }
 
@@ -163,5 +178,24 @@ L2 crates/workflow/ # workflow graphs are unordered inputs
             .unwrap()
             .entries
             .is_empty());
+    }
+
+    #[test]
+    fn cross_file_rules_require_justification() {
+        assert!(Allowlist::parse("L6 crates/foo.rs\n").is_err());
+        assert!(Allowlist::parse("L7 crates/foo.rs needle\n").is_err());
+        assert!(Allowlist::parse("L8 crates/foo.rs\n").is_err());
+        let ok = Allowlist::parse("L6 crates/foo.rs # guards never interleave: X before Y only\n")
+            .unwrap();
+        assert_eq!(ok.entries.len(), 1);
+        assert_eq!(ok.entries[0].rule, "L6");
+        // L1–L5 entries keep working without a trailing comment.
+        assert_eq!(
+            Allowlist::parse("L1 crates/foo.rs\n")
+                .unwrap()
+                .entries
+                .len(),
+            1
+        );
     }
 }

@@ -1,0 +1,417 @@
+//! An approximate, over-inclusive call graph over the symbol table.
+//!
+//! Edges are found syntactically: an identifier followed by `(` inside a
+//! fn body is a call. Resolution is name-based with three precision
+//! tiers (same file > same crate > anywhere) and a path qualifier filter
+//! for `module::fn` / `Type::method` calls. Method calls resolve only
+//! when the name is rare enough to be meaningful — ubiquitous trait
+//! methods (`clone`, `next`, `write`…) would connect everything to
+//! everything, so they are dropped. The result over-approximates real
+//! calls on the names it keeps and under-approximates on the names it
+//! drops; DESIGN.md §13 spells out what that means for L8 soundness.
+
+use std::collections::BTreeMap;
+
+use crate::lexer::{Tok, TokKind};
+use crate::symbols::SymbolTable;
+use crate::AnalyzedFile;
+
+/// One resolved call edge: `caller` (fn index) calls `callee` at `line`.
+#[derive(Clone, Debug)]
+pub struct CallEdge {
+    pub caller: usize,
+    pub callee: usize,
+    pub line: u32,
+}
+
+/// The workspace call graph. `callers_of[f]` lists edges into `f`.
+#[derive(Default)]
+pub struct CallGraph {
+    pub edges: Vec<CallEdge>,
+    pub callers_of: BTreeMap<usize, Vec<usize>>,
+    pub callees_of: BTreeMap<usize, Vec<usize>>,
+}
+
+/// Method names too common to resolve meaningfully: std/core trait
+/// methods and collection APIs that appear on dozens of types. A method
+/// call with one of these names never produces an edge.
+const COMMON_METHODS: &[&str] = &[
+    "clone",
+    "to_string",
+    "into",
+    "from",
+    "new",
+    "default",
+    "fmt",
+    "eq",
+    "cmp",
+    "hash",
+    "drop",
+    "next",
+    "iter",
+    "len",
+    "is_empty",
+    "push",
+    "pop",
+    "insert",
+    "remove",
+    "get",
+    "contains",
+    "clear",
+    "extend",
+    "map",
+    "and_then",
+    "unwrap_or",
+    "unwrap_or_else",
+    "unwrap_or_default",
+    "ok",
+    "err",
+    "as_ref",
+    "as_mut",
+    "as_str",
+    "as_bytes",
+    "to_owned",
+    "to_vec",
+    "collect",
+    "filter",
+    "fold",
+    "find",
+    "any",
+    "all",
+    "count",
+    "sum",
+    "min",
+    "max",
+    "sort",
+    "sort_by",
+    "split",
+    "trim",
+    "parse",
+    "join",
+    "write",
+    "read",
+    "flush",
+    "send",
+    "recv",
+    "lock",
+    "push_str",
+    "starts_with",
+    "ends_with",
+    "contains_key",
+    "entry",
+    "keys",
+    "values",
+    "drain",
+    "take",
+    "replace",
+    "swap",
+    "load",
+    "store",
+    "get_or_insert_with",
+    "expect",
+    "unwrap",
+    "finish",
+];
+
+/// Keywords and control-flow idents that look like calls (`if (x)`,
+/// `match (a, b)`, `return (x)`, …).
+const NON_CALL_KEYWORDS: &[&str] = &[
+    "if", "while", "for", "match", "return", "loop", "let", "else", "fn", "move", "in", "as",
+    "ref", "mut", "pub", "use", "impl", "struct", "enum", "trait", "where", "unsafe", "break",
+    "continue", "dyn", "box", "await", "async", "static", "const", "crate", "super", "self",
+    "Self", "type", "mod", "extern", "yield",
+];
+
+/// If a plain/method name resolves to definitions spread over more than
+/// this many files, treat it as ubiquitous and drop the edge (same
+/// rationale as `COMMON_METHODS`, but data-driven).
+const UBIQUITY_FILE_LIMIT: usize = 3;
+
+impl CallGraph {
+    /// Build the graph: scan every fn body in `table` over its file's
+    /// token stream.
+    pub fn build(table: &SymbolTable, files: &BTreeMap<String, AnalyzedFile>) -> Self {
+        let mut g = CallGraph::default();
+        for (caller_ix, f) in table.fns.iter().enumerate() {
+            let Some((open, close)) = f.body else {
+                continue;
+            };
+            let Some(af) = files.get(&f.file) else {
+                continue;
+            };
+            let (toks, exempt) = (&af.toks, &af.exempt);
+            for i in open..close.min(toks.len()) {
+                if exempt[i] {
+                    continue;
+                }
+                let t = &toks[i];
+                if t.kind != TokKind::Ident || !toks.get(i + 1).is_some_and(|n| n.is_punct('(')) {
+                    continue;
+                }
+                let name = t.text.as_str();
+                if NON_CALL_KEYWORDS.contains(&name) {
+                    continue;
+                }
+                // Skip a nested fn's own header (`fn name (`).
+                if i > 0 && toks[i - 1].is_ident("fn") {
+                    continue;
+                }
+                // Macros (`name!(...)`) are not fn calls.
+                if toks.get(i + 1).is_some_and(|n| n.is_punct('!')) {
+                    continue;
+                }
+                let site = CallSite::classify(toks, i);
+                if let Some(callee) = resolve(table, caller_ix, name, &site) {
+                    // Skip fns calling themselves through resolution noise.
+                    if callee != caller_ix {
+                        g.edges.push(CallEdge {
+                            caller: caller_ix,
+                            callee,
+                            line: t.line,
+                        });
+                    }
+                }
+            }
+        }
+        for (ix, e) in g.edges.iter().enumerate() {
+            g.callers_of.entry(e.callee).or_default().push(ix);
+            g.callees_of.entry(e.caller).or_default().push(ix);
+        }
+        g
+    }
+}
+
+/// How a call site is spelled, which drives resolution.
+enum CallSite {
+    /// `name(...)` — a plain call.
+    Plain,
+    /// `recv.name(...)` — a method call.
+    Method,
+    /// `Qual::name(...)` — qualifier is the last path segment before `::`.
+    Path(String),
+}
+
+impl CallSite {
+    fn classify(toks: &[Tok], i: usize) -> CallSite {
+        if i >= 1 && toks[i - 1].is_punct('.') {
+            return CallSite::Method;
+        }
+        if i >= 2 && toks[i - 1].is_punct(':') && toks[i - 2].is_punct(':') {
+            if i >= 3 && toks[i - 3].kind == TokKind::Ident {
+                return CallSite::Path(toks[i - 3].text.clone());
+            }
+            return CallSite::Plain; // `::name(...)` — global path, rare
+        }
+        CallSite::Plain
+    }
+}
+
+/// Normalize a path qualifier for crate matching: `prox_serve` → `serve`.
+fn norm_crate(q: &str) -> &str {
+    q.strip_prefix("prox_").unwrap_or(q)
+}
+
+fn resolve(table: &SymbolTable, caller_ix: usize, name: &str, site: &CallSite) -> Option<usize> {
+    let cands = table.fns_by_name.get(name)?;
+    let caller = &table.fns[caller_ix];
+
+    let pick = |filtered: Vec<usize>| -> Option<usize> {
+        match filtered.len() {
+            0 => None,
+            1 => Some(filtered[0]),
+            _ => {
+                // Prefer same file, then same crate; ambiguity beyond that
+                // is dropped rather than guessed.
+                let same_file: Vec<usize> = filtered
+                    .iter()
+                    .copied()
+                    .filter(|&c| table.fns[c].file == caller.file)
+                    .collect();
+                if same_file.len() == 1 {
+                    return Some(same_file[0]);
+                }
+                let same_crate: Vec<usize> = filtered
+                    .iter()
+                    .copied()
+                    .filter(|&c| table.fns[c].crate_name == caller.crate_name)
+                    .collect();
+                if same_crate.len() == 1 {
+                    return Some(same_crate[0]);
+                }
+                None
+            }
+        }
+    };
+
+    match site {
+        CallSite::Plain => {
+            if too_ubiquitous(table, cands) {
+                return None;
+            }
+            pick(cands.clone())
+        }
+        CallSite::Path(q) => {
+            // Qualifier must match the impl owner (`Type::method`), the
+            // module (`module::fn`), or the crate (`prox_x::fn`).
+            let filtered: Vec<usize> = cands
+                .iter()
+                .copied()
+                .filter(|&c| {
+                    let f = &table.fns[c];
+                    f.owner.as_deref() == Some(q.as_str())
+                        || f.module == *q
+                        || f.crate_name == norm_crate(q)
+                })
+                .collect();
+            if !filtered.is_empty() {
+                return pick(filtered);
+            }
+            // Qualifier unknown (std type, re-export): fall back to name
+            // resolution unless the name is everywhere.
+            if too_ubiquitous(table, cands) {
+                return None;
+            }
+            pick(cands.clone())
+        }
+        CallSite::Method => {
+            if COMMON_METHODS.contains(&name) || too_ubiquitous(table, cands) {
+                return None;
+            }
+            pick(cands.clone())
+        }
+    }
+}
+
+fn too_ubiquitous(table: &SymbolTable, cands: &[usize]) -> bool {
+    let mut files: Vec<&str> = cands.iter().map(|&c| table.fns[c].file.as_str()).collect();
+    files.sort_unstable();
+    files.dedup();
+    files.len() > UBIQUITY_FILE_LIMIT
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+    use crate::scope::test_exempt;
+
+    fn graph(files: &[(&str, &str)]) -> (SymbolTable, CallGraph) {
+        let mut table = SymbolTable::default();
+        let mut streams = BTreeMap::new();
+        for (rel, src) in files {
+            let toks = lex(src);
+            let ex = test_exempt(&toks);
+            table.add_file(rel, &toks, &ex);
+            streams.insert(
+                rel.to_string(),
+                AnalyzedFile {
+                    rel: rel.to_string(),
+                    src: src.to_string(),
+                    toks,
+                    exempt: ex,
+                    scope: crate::scope::classify(rel),
+                },
+            );
+        }
+        table.index();
+        let g = CallGraph::build(&table, &streams);
+        (table, g)
+    }
+
+    fn edge_names(table: &SymbolTable, g: &CallGraph) -> Vec<(String, String)> {
+        g.edges
+            .iter()
+            .map(|e| {
+                (
+                    table.fns[e.caller].name.clone(),
+                    table.fns[e.callee].name.clone(),
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn plain_call_same_file() {
+        let (t, g) = graph(&[("crates/a/src/m.rs", "fn leaf() {} fn top() { leaf(); }")]);
+        assert_eq!(
+            edge_names(&t, &g),
+            vec![("top".to_string(), "leaf".to_string())]
+        );
+    }
+
+    #[test]
+    fn cross_crate_path_call() {
+        let (t, g) = graph(&[
+            ("crates/obs/src/json.rs", "pub fn render_it() {}"),
+            (
+                "crates/serve/src/http.rs",
+                "fn respond() { prox_obs::json::render_it(); }",
+            ),
+        ]);
+        assert_eq!(
+            edge_names(&t, &g),
+            vec![("respond".to_string(), "render_it".to_string())]
+        );
+    }
+
+    #[test]
+    fn method_call_resolves_rare_names_only() {
+        let (t, g) = graph(&[
+            (
+                "crates/a/src/w.rs",
+                "impl Widget { pub fn refresh_counts(&self) {} pub fn clone(&self) {} }",
+            ),
+            (
+                "crates/b/src/u.rs",
+                "fn tick(w: &Widget) { w.refresh_counts(); w.clone(); }",
+            ),
+        ]);
+        assert_eq!(
+            edge_names(&t, &g),
+            vec![("tick".to_string(), "refresh_counts".to_string())]
+        );
+    }
+
+    #[test]
+    fn ambiguous_cross_crate_plain_name_dropped() {
+        let (t, g) = graph(&[
+            ("crates/a/src/x.rs", "pub fn setup() {}"),
+            ("crates/b/src/y.rs", "pub fn setup() {}"),
+            ("crates/c/src/z.rs", "fn run() { setup(); }"),
+        ]);
+        assert!(edge_names(&t, &g).is_empty());
+    }
+
+    #[test]
+    fn type_qualified_call_filters_by_owner() {
+        let (t, g) = graph(&[
+            (
+                "crates/a/src/x.rs",
+                "impl Alpha { pub fn make_thing() {} } impl Beta { pub fn make_thing() {} }",
+            ),
+            ("crates/b/src/y.rs", "fn run() { Alpha::make_thing(); }"),
+        ]);
+        let edges = edge_names(&t, &g);
+        assert_eq!(edges.len(), 1);
+        let callee = &t.fns[g.edges[0].callee];
+        assert_eq!(callee.owner.as_deref(), Some("Alpha"));
+    }
+
+    #[test]
+    fn macros_and_keywords_are_not_calls() {
+        let (t, g) = graph(&[(
+            "crates/a/src/m.rs",
+            "fn noisy() { println!(\"x\"); if (1 > 0) { return (); } }",
+        )]);
+        assert!(edge_names(&t, &g).is_empty());
+    }
+
+    #[test]
+    fn test_gated_calls_are_excluded() {
+        let (t, g) = graph(&[(
+            "crates/a/src/m.rs",
+            "fn leaf() {} #[cfg(test)] mod tests { fn t() { leaf(); } }",
+        )]);
+        assert!(edge_names(&t, &g).is_empty());
+    }
+}

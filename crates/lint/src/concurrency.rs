@@ -1,0 +1,550 @@
+//! L6 lock discipline and L7 atomic-ordering consistency.
+//!
+//! **L6** builds a global lock-acquisition-order graph over the
+//! `Mutex`/`RwLock` declarations in the symbol table. An edge A→B is
+//! recorded when a guard on A is still live where B is acquired; a cycle
+//! in the graph is a potential deadlock, and a guard held across a
+//! blocking call (`recv`, `accept`, `join`, `sleep`, `read_exact`, …)
+//! stalls every other thread contending for that lock. Guard lifetime is
+//! approximated: a `let`-bound guard lives to the end of its enclosing
+//! block, a temporary (`lock(&m).push(x)`) to the end of its statement;
+//! early `drop(guard)` is not modeled (over-approximation, see DESIGN.md
+//! §13). `Condvar::wait` is *not* blocking for this rule — it releases
+//! the guard while parked.
+//!
+//! **L7** collects every `load`/`store`/`swap`/`fetch_*`/
+//! `compare_exchange*` on each atomic declaration and checks the
+//! `Ordering` arguments for consistency: an `AtomicBool` written and read
+//! with `Relaxed` is a cross-thread handoff flag whose contract must be
+//! documented (a comment mentioning "relaxed" in the declaring file)
+//! or upgraded to `Release`/`Acquire`.
+
+use std::collections::BTreeMap;
+use std::collections::VecDeque;
+
+use crate::lexer::{Tok, TokKind};
+use crate::rules::line_text;
+use crate::symbols::{SymbolTable, SyncKind};
+use crate::{AnalyzedFile, Diagnostic};
+
+/// Methods that park or perform unbounded I/O while a guard is live.
+/// `read`/`write` themselves are too common (buffers, registers) to flag.
+const BLOCKING_CALLS: &[&str] = &[
+    "recv",
+    "recv_timeout",
+    "accept",
+    "join",
+    "sleep",
+    "read_exact",
+    "read_to_end",
+    "read_to_string",
+    "write_all",
+];
+
+/// One lock acquisition with its approximate guard scope `[start, end)`.
+struct Acquisition {
+    decl: usize,
+    tok_ix: usize,
+    line: u32,
+    scope_end: usize,
+}
+
+struct OrderEdge {
+    /// decl index acquired first / second.
+    a: usize,
+    b: usize,
+    file: String,
+    line: u32,
+    a_line: u32,
+}
+
+pub fn check(table: &SymbolTable, files: &BTreeMap<String, AnalyzedFile>) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    let mut edges: Vec<OrderEdge> = Vec::new();
+    for af in files.values() {
+        let acqs = find_acquisitions(table, af);
+        for acq in &acqs {
+            // Later acquisitions inside this guard's scope order after it.
+            for other in &acqs {
+                if other.tok_ix > acq.tok_ix
+                    && other.tok_ix < acq.scope_end
+                    && other.decl != acq.decl
+                    && !edges.iter().any(|e| e.a == acq.decl && e.b == other.decl)
+                {
+                    edges.push(OrderEdge {
+                        a: acq.decl,
+                        b: other.decl,
+                        file: af.rel.clone(),
+                        line: other.line,
+                        a_line: acq.line,
+                    });
+                }
+            }
+            // Blocking calls inside the guard's scope.
+            for i in acq.tok_ix + 1..acq.scope_end.min(af.toks.len()) {
+                let t = &af.toks[i];
+                if af.exempt[i] || t.kind != TokKind::Ident {
+                    continue;
+                }
+                if BLOCKING_CALLS.contains(&t.text.as_str())
+                    && af.toks.get(i + 1).is_some_and(|n| n.is_punct('('))
+                    // `join` blocks only as `handle.join()` — zero args.
+                    // `slice.join(",")` is string concatenation.
+                    && (t.text != "join"
+                        || af.toks.get(i + 2).is_some_and(|n| n.is_punct(')')))
+                {
+                    diags.push(Diagnostic {
+                        rule: "L6",
+                        file: af.rel.clone(),
+                        line: t.line,
+                        line_text: line_text(&af.src, t.line),
+                        message: format!(
+                            "guard on `{}` (acquired line {}) is held across \
+                             blocking call `{}`; drop the guard first",
+                            table.locks[acq.decl].name, acq.line, t.text
+                        ),
+                        trace: Vec::new(),
+                    });
+                }
+            }
+        }
+    }
+    diags.extend(cycle_diags(table, files, &edges));
+    diags.extend(l7_atomics(table, files));
+    diags
+}
+
+/// Find lock acquisitions in one file and bind them to declarations.
+fn find_acquisitions(table: &SymbolTable, af: &AnalyzedFile) -> Vec<Acquisition> {
+    let toks = &af.toks;
+    let mut out = Vec::new();
+    for (i, t) in toks.iter().enumerate() {
+        if af.exempt[i] || t.kind != TokKind::Ident {
+            continue;
+        }
+        let next_paren = toks.get(i + 1).is_some_and(|n| n.is_punct('('));
+        if !next_paren {
+            continue;
+        }
+        let prev_dot = i >= 1 && toks[i - 1].is_punct('.');
+        let name: Option<String> = match t.text.as_str() {
+            // Free helper `lock(&ctx.cache)`: the repo's poison-recovering
+            // wrapper. The lock is the last path ident in the argument.
+            "lock" if !prev_dot => last_ident_in_parens(toks, i + 1),
+            // `m.lock()`, `self.state.lock()`.
+            "lock" if prev_dot => receiver_name(table, af, toks, i),
+            // `.read()`/`.write()` count only when the receiver binds to an
+            // RwLock declaration (I/O methods share these names).
+            "read" | "write" if prev_dot => {
+                let n = receiver_name(table, af, toks, i);
+                match n.as_deref().and_then(|n| bind_lock(table, af, n)) {
+                    Some(d) if table.locks[d].kind == SyncKind::RwLock => n,
+                    _ => None,
+                }
+            }
+            _ => None,
+        };
+        let Some(name) = name else { continue };
+        let Some(decl) = bind_lock(table, af, &name) else {
+            continue;
+        };
+        out.push(Acquisition {
+            decl,
+            tok_ix: i,
+            line: t.line,
+            scope_end: guard_scope_end(toks, i),
+        });
+    }
+    out
+}
+
+/// The last identifier inside the paren group opening at `open` —
+/// `lock(&ctx.cache)` → `cache`, `lock(&PLAN)` → `PLAN`.
+fn last_ident_in_parens(toks: &[Tok], open: usize) -> Option<String> {
+    let mut depth = 0i32;
+    let mut last = None;
+    for t in toks.iter().skip(open) {
+        if t.is_punct('(') {
+            depth += 1;
+        } else if t.is_punct(')') {
+            depth -= 1;
+            if depth == 0 {
+                break;
+            }
+        } else if t.kind == TokKind::Ident {
+            last = Some(t.text.clone());
+        }
+    }
+    last
+}
+
+/// The receiver name of a method call at `i` (`recv.name(...)`): the
+/// ident before the dot. A tuple-field receiver (`self.0.lock()`) binds
+/// through the enclosing impl type's tuple-struct declaration.
+fn receiver_name(table: &SymbolTable, af: &AnalyzedFile, toks: &[Tok], i: usize) -> Option<String> {
+    let r = i.checked_sub(2)?;
+    match toks[r].kind {
+        TokKind::Ident if toks[r].text != "self" => Some(toks[r].text.clone()),
+        TokKind::Num => {
+            // `self.0.lock()`: use the impl owner's name (tuple-struct
+            // declarations are recorded under the type name).
+            let f = table.enclosing_fn(&af.rel, i)?;
+            table.fns[f].owner.clone()
+        }
+        _ => None,
+    }
+}
+
+/// Bind a receiver/argument name to a lock declaration: same file first,
+/// then a unique global match, then a unique same-crate match.
+fn bind_lock(table: &SymbolTable, af: &AnalyzedFile, name: &str) -> Option<usize> {
+    let mut same_file = None;
+    let mut global: Vec<usize> = Vec::new();
+    for (ix, d) in table.locks.iter().enumerate() {
+        if d.name != name {
+            continue;
+        }
+        if d.file == af.rel && same_file.is_none() {
+            same_file = Some(ix);
+        }
+        global.push(ix);
+    }
+    if same_file.is_some() {
+        return same_file;
+    }
+    if global.len() == 1 {
+        return Some(global[0]);
+    }
+    let crate_name = crate::symbols::crate_of(&af.rel);
+    let same_crate: Vec<usize> = global
+        .iter()
+        .copied()
+        .filter(|&ix| table.locks[ix].crate_name == crate_name)
+        .collect();
+    if same_crate.len() == 1 {
+        return Some(same_crate[0]);
+    }
+    None
+}
+
+/// Approximate where the guard created at token `i` dies.
+///
+/// * `let guard = lock(&m);` — the guard itself is bound: end of the
+///   enclosing block.
+/// * `match m.lock() { … }` / `if let Ok(g) = m.lock() { … }` — scrutinee
+///   temporaries live for the whole braced statement.
+/// * `lock(&m).push(x);`, `let v = lock(&m).take();` — the guard is a
+///   chained temporary: end of its statement.
+///
+/// Early `drop(guard)` is not modeled (over-approximation).
+fn guard_scope_end(toks: &[Tok], i: usize) -> usize {
+    // A `let` between the statement start and the call means something is
+    // bound — but the *guard* is bound only when the call is the whole
+    // right-hand side.
+    let mut bound = false;
+    let mut k = i;
+    while k > 0 {
+        let t = &toks[k - 1];
+        if t.is_punct(';') || t.is_punct('{') || t.is_punct('}') {
+            break;
+        }
+        if t.is_ident("let") {
+            bound = true;
+            break;
+        }
+        k -= 1;
+    }
+    // The call's closing paren.
+    let mut close = i + 1;
+    let mut depth = 0i32;
+    while close < toks.len() {
+        if toks[close].is_punct('(') {
+            depth += 1;
+        } else if toks[close].is_punct(')') {
+            depth -= 1;
+            if depth == 0 {
+                break;
+            }
+        }
+        close += 1;
+    }
+    let after = toks.get(close + 1);
+    if bound && after.is_some_and(|t| t.is_punct(';')) {
+        // Bound guard: to the end of the enclosing block.
+        let mut depth = 0i32;
+        let mut j = close + 1;
+        while j < toks.len() {
+            if toks[j].is_punct('{') {
+                depth += 1;
+            } else if toks[j].is_punct('}') {
+                depth -= 1;
+                if depth < 0 {
+                    return j;
+                }
+            }
+            j += 1;
+        }
+        return toks.len();
+    }
+    if after.is_some_and(|t| t.is_punct('{')) {
+        // Scrutinee of `match`/`if let`: temporary lives for the block.
+        return crate::scope::skip_brace_group(toks, close + 1);
+    }
+    // Chained temporary: to the end of its statement.
+    let mut depth = 0i32;
+    let mut j = close;
+    while j < toks.len() {
+        let t = &toks[j];
+        if t.is_punct('{') {
+            depth += 1;
+        } else if t.is_punct('}') {
+            depth -= 1;
+            if depth < 0 {
+                return j;
+            }
+        } else if t.is_punct(';') && depth == 0 {
+            return j;
+        }
+        j += 1;
+    }
+    toks.len()
+}
+
+/// Report each lock-order cycle once, at one of its edges.
+fn cycle_diags(
+    table: &SymbolTable,
+    files: &BTreeMap<String, AnalyzedFile>,
+    edges: &[OrderEdge],
+) -> Vec<Diagnostic> {
+    let mut adj: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
+    for e in edges {
+        adj.entry(e.a).or_default().push(e.b);
+    }
+    let mut seen_cycles: Vec<Vec<usize>> = Vec::new();
+    let mut out = Vec::new();
+    for e in edges {
+        // Path b → … → a closes a cycle through this edge.
+        let Some(path) = bfs_path(&adj, e.b, e.a) else {
+            continue;
+        };
+        let mut cycle: Vec<usize> = path;
+        cycle.push(e.b);
+        cycle.sort_unstable();
+        cycle.dedup();
+        if seen_cycles.contains(&cycle) {
+            continue;
+        }
+        seen_cycles.push(cycle.clone());
+        let names: Vec<&str> = cycle
+            .iter()
+            .map(|&d| table.locks[d].name.as_str())
+            .collect();
+        let src = files.get(&e.file).map(|af| af.src.as_str()).unwrap_or("");
+        out.push(Diagnostic {
+            rule: "L6",
+            file: e.file.clone(),
+            line: e.line,
+            line_text: line_text(src, e.line),
+            message: format!(
+                "lock order cycle {{{}}}: `{}` (acquired line {}) is held while \
+                 acquiring `{}` here, but the opposite order also occurs \
+                 (potential deadlock)",
+                names.join(", "),
+                table.locks[e.a].name,
+                e.a_line,
+                table.locks[e.b].name
+            ),
+            trace: Vec::new(),
+        });
+    }
+    out
+}
+
+fn bfs_path(adj: &BTreeMap<usize, Vec<usize>>, from: usize, to: usize) -> Option<Vec<usize>> {
+    let mut prev: BTreeMap<usize, usize> = BTreeMap::new();
+    let mut queue = VecDeque::from([from]);
+    while let Some(n) = queue.pop_front() {
+        if n == to {
+            let mut path = vec![to];
+            let mut cur = to;
+            while cur != from {
+                cur = prev[&cur];
+                path.push(cur);
+            }
+            return Some(path);
+        }
+        for &m in adj.get(&n).into_iter().flatten() {
+            if m != from && !prev.contains_key(&m) {
+                prev.insert(m, n);
+                queue.push_back(m);
+            }
+        }
+    }
+    None
+}
+
+// ---------------------------------------------------------------------------
+// L7 — atomic ordering consistency
+// ---------------------------------------------------------------------------
+
+const ATOMIC_METHODS: &[&str] = &[
+    "load",
+    "store",
+    "swap",
+    "fetch_add",
+    "fetch_sub",
+    "fetch_or",
+    "fetch_and",
+    "fetch_xor",
+    "fetch_update",
+    "compare_exchange",
+    "compare_exchange_weak",
+];
+
+const ORDERINGS: &[&str] = &["Relaxed", "Acquire", "Release", "AcqRel", "SeqCst"];
+
+struct AtomicUse {
+    line: u32,
+    is_load: bool,
+    orderings: Vec<String>,
+}
+
+fn l7_atomics(table: &SymbolTable, files: &BTreeMap<String, AnalyzedFile>) -> Vec<Diagnostic> {
+    // decl index → uses across the workspace.
+    let mut uses: BTreeMap<usize, Vec<(String, AtomicUse)>> = BTreeMap::new();
+    for af in files.values() {
+        for (i, t) in af.toks.iter().enumerate() {
+            if af.exempt[i]
+                || t.kind != TokKind::Ident
+                || !ATOMIC_METHODS.contains(&t.text.as_str())
+                || i < 2
+                || !af.toks[i - 1].is_punct('.')
+                || !af.toks.get(i + 1).is_some_and(|n| n.is_punct('('))
+            {
+                continue;
+            }
+            let Some(name) = receiver_name(table, af, &af.toks, i) else {
+                continue;
+            };
+            let Some(decl) = bind_atomic(table, af, &name) else {
+                continue;
+            };
+            uses.entry(decl).or_default().push((
+                af.rel.clone(),
+                AtomicUse {
+                    line: t.line,
+                    is_load: t.text == "load",
+                    orderings: call_orderings(&af.toks, i + 1),
+                },
+            ));
+        }
+    }
+
+    let mut out = Vec::new();
+    for (decl, sites) in &uses {
+        let d = &table.atomics[decl.to_owned()];
+        let relaxed_only =
+            |u: &AtomicUse| !u.orderings.is_empty() && u.orderings.iter().all(|o| o == "Relaxed");
+        let store_relaxed = sites.iter().find(|(_, u)| !u.is_load && relaxed_only(u));
+        let load_relaxed = sites.iter().any(|(_, u)| u.is_load && relaxed_only(u));
+        if d.ty == "AtomicBool" && load_relaxed {
+            if let Some((file, u)) = store_relaxed {
+                if !file_documents_relaxed(files, &d.file) {
+                    let src = files.get(file).map(|af| af.src.as_str()).unwrap_or("");
+                    out.push(Diagnostic {
+                        rule: "L7",
+                        file: file.clone(),
+                        line: u.line,
+                        line_text: line_text(src, u.line),
+                        message: format!(
+                            "AtomicBool `{}` is stored and loaded with Ordering::Relaxed \
+                             as a cross-thread flag; document the Relaxed contract in \
+                             {} or use Release/Acquire",
+                            d.name, d.file
+                        ),
+                        trace: Vec::new(),
+                    });
+                }
+            }
+        }
+        // Mixed discipline: some sites Relaxed-only, others strictly
+        // stronger (per-call mixes like compare_exchange(SeqCst, Relaxed)
+        // don't count).
+        let has_relaxed_only = sites.iter().any(|(_, u)| relaxed_only(u));
+        let stronger_only =
+            |u: &AtomicUse| !u.orderings.is_empty() && u.orderings.iter().all(|o| o != "Relaxed");
+        let has_stronger_only = sites.iter().any(|(_, u)| stronger_only(u));
+        if has_relaxed_only && has_stronger_only {
+            let lines: Vec<String> = sites
+                .iter()
+                .map(|(f, u)| format!("{f}:{}", u.line))
+                .collect();
+            let src = files.get(&d.file).map(|af| af.src.as_str()).unwrap_or("");
+            out.push(Diagnostic {
+                rule: "L7",
+                file: d.file.clone(),
+                line: d.line,
+                line_text: line_text(src, d.line),
+                message: format!(
+                    "atomic `{}` mixes Ordering::Relaxed with stronger orderings \
+                     across its uses ({}); pick one discipline",
+                    d.name,
+                    lines.join(", ")
+                ),
+                trace: Vec::new(),
+            });
+        }
+    }
+    out
+}
+
+fn bind_atomic(table: &SymbolTable, af: &AnalyzedFile, name: &str) -> Option<usize> {
+    let mut same_file = None;
+    let mut global: Vec<usize> = Vec::new();
+    for (ix, d) in table.atomics.iter().enumerate() {
+        if d.name != name {
+            continue;
+        }
+        if d.file == af.rel && same_file.is_none() {
+            same_file = Some(ix);
+        }
+        global.push(ix);
+    }
+    same_file.or(if global.len() == 1 {
+        Some(global[0])
+    } else {
+        None
+    })
+}
+
+/// `Ordering` idents inside the call's argument parens.
+fn call_orderings(toks: &[Tok], open: usize) -> Vec<String> {
+    let mut depth = 0i32;
+    let mut out = Vec::new();
+    for t in toks.iter().skip(open) {
+        if t.is_punct('(') {
+            depth += 1;
+        } else if t.is_punct(')') {
+            depth -= 1;
+            if depth == 0 {
+                break;
+            }
+        } else if t.kind == TokKind::Ident && ORDERINGS.contains(&t.text.as_str()) {
+            out.push(t.text.clone());
+        }
+    }
+    out
+}
+
+/// Does the file declaring the atomic document its Relaxed contract?
+/// Any comment line mentioning "relaxed" counts — the point is that a
+/// reviewer was forced to write the reasoning down.
+fn file_documents_relaxed(files: &BTreeMap<String, AnalyzedFile>, rel: &str) -> bool {
+    let Some(af) = files.get(rel) else {
+        return false;
+    };
+    af.src.lines().any(|l| {
+        l.split_once("//")
+            .is_some_and(|(_, c)| c.to_ascii_lowercase().contains("relaxed"))
+    })
+}

@@ -5,27 +5,41 @@
 //! the typed-error discipline, and the fault-injection registry. This
 //! crate makes those contracts machine-checked properties of the source
 //! tree — a zero-dependency static pass (`cargo run -p prox-lint`) that
-//! lexes every Rust file in the workspace and enforces rules L1–L5 (see
-//! [`rules`]), with audited exceptions in `lint.allow` (see [`allow`]).
+//! lexes every Rust file in the workspace and enforces rules L1–L8, with
+//! audited exceptions in `lint.allow` (see [`allow`]).
+//!
+//! Rules L1–L5 (see [`rules`]) are per-file token-stream passes. Rules
+//! L6–L8 (see [`concurrency`] and [`taint`]) are cross-file: a lightweight
+//! symbol table ([`symbols`]) and approximate call graph ([`callgraph`])
+//! over the whole workspace drive lock-discipline, atomic-ordering, and
+//! determinism-taint analysis. DESIGN.md §13 documents the semantics and
+//! the soundness caveats of the approximation.
 
 pub mod allow;
+pub mod callgraph;
+pub mod concurrency;
 pub mod lexer;
 pub mod rules;
 pub mod scope;
+pub mod symbols;
+pub mod taint;
 
+use std::collections::BTreeMap;
 use std::fmt;
 use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
 
 use allow::{AllowEntry, AllowParseError, Allowlist};
+use callgraph::CallGraph;
 use rules::FaultRegistry;
 use scope::Scope;
+use symbols::SymbolTable;
 
 /// One rule violation, anchored to a source line.
 #[derive(Clone, Debug)]
 pub struct Diagnostic {
-    /// Rule ID (`L1`..`L5`).
+    /// Rule ID (`L1`..`L8`).
     pub rule: &'static str,
     /// Workspace-relative path (forward slashes).
     pub file: String,
@@ -35,6 +49,10 @@ pub struct Diagnostic {
     pub line_text: String,
     /// Human explanation.
     pub message: String,
+    /// For cross-file rules: the call-graph hops that justify the
+    /// diagnostic (rendered by `prox-lint --explain`). Empty for the
+    /// per-file rules.
+    pub trace: Vec<String>,
 }
 
 impl fmt::Display for Diagnostic {
@@ -74,20 +92,42 @@ impl std::error::Error for LintError {
     }
 }
 
-/// Which files each targeted rule applies to.
+/// One lexed, classified source file, retained for the cross-file passes.
+pub struct AnalyzedFile {
+    /// Workspace-relative path (forward slashes).
+    pub rel: String,
+    /// Raw source (for line-text rendering and comment scans).
+    pub src: String,
+    /// Token stream.
+    pub toks: Vec<lexer::Tok>,
+    /// Per-token `#[cfg(test)]` exemption.
+    pub exempt: Vec<bool>,
+    /// Compilation target kind.
+    pub scope: Scope,
+}
+
+/// Rule configuration: which files each targeted rule applies to, and the
+/// roots of the determinism-taint analysis.
 #[derive(Clone, Debug)]
 pub struct LintConfig {
     /// L3: budget-governed hot modules (every loop must be poll-covered).
     pub budget_files: Vec<String>,
-    /// L2 (hash-order half): files whose output must be byte-stable.
-    pub det_files: Vec<String>,
     /// L5: the file whose `"site" =>` match arms define the fault grammar.
     pub fault_grammar_file: String,
+    /// L8 sink roots: `(file, fn_name)` pairs whose bodies emit output
+    /// bytes; `"*"` as the name covers every fn in the file. `fs::write`
+    /// and `File::create` in any fn body are sinks implicitly.
+    pub sink_fns: Vec<(String, String)>,
+    /// L8 barriers: files whose fns never propagate taint to callers —
+    /// instrumentation that records metadata about the run, not result
+    /// bytes. Audited in DESIGN.md §13.
+    pub barrier_files: Vec<String>,
 }
 
 impl Default for LintConfig {
     fn default() -> Self {
         let s = |x: &str| x.to_string();
+        let f = |file: &str, name: &str| (file.to_string(), name.to_string());
         LintConfig {
             budget_files: vec![
                 s("crates/core/src/candidates.rs"),
@@ -99,43 +139,53 @@ impl Default for LintConfig {
                 s("crates/serve/src/server.rs"),
                 s("crates/serve/src/service.rs"),
             ],
-            det_files: vec![
-                s("crates/bench/src/report.rs"),
-                s("crates/bench/src/manifest.rs"),
-                s("crates/bench/src/series.rs"),
-                s("crates/bench/src/experiments.rs"),
-                s("crates/bench/src/runner.rs"),
-                s("crates/bench/src/serve_load.rs"),
-                s("crates/bench/src/chaos.rs"),
-                s("crates/bench/src/workload.rs"),
-                s("crates/bench/src/bin/experiments.rs"),
-                s("crates/obs/src/json.rs"),
-                s("crates/obs/src/registry.rs"),
-                s("crates/obs/src/sink.rs"),
-                s("crates/obs/src/prom.rs"),
-                s("crates/obs/src/trace.rs"),
-                s("crates/obs/src/window.rs"),
-                s("crates/obs/src/alloc.rs"),
-                s("crates/obs/src/prof.rs"),
-                s("crates/serve/src/breaker.rs"),
-                s("crates/serve/src/health.rs"),
-                s("crates/serve/src/ratelimit.rs"),
-                s("crates/bench/src/diff.rs"),
-                s("crates/system/src/render.rs"),
-                s("crates/system/src/insights.rs"),
-            ],
             fault_grammar_file: s("crates/robust/src/fault.rs"),
+            sink_fns: vec![
+                // The obs Json writer: every manifest, metrics body, and
+                // summarize response renders through it.
+                f("crates/obs/src/json.rs", "render"),
+                f("crates/obs/src/json.rs", "pretty"),
+                // The JSONL event sink.
+                f("crates/obs/src/sink.rs", "emit"),
+                // HTTP response bodies.
+                f("crates/serve/src/http.rs", "write_response"),
+                f("crates/serve/src/http.rs", "json"),
+                f("crates/serve/src/http.rs", "text"),
+                // Prometheus exposition and the snapshot registry.
+                f("crates/obs/src/prom.rs", "*"),
+                f("crates/obs/src/registry.rs", "*"),
+                // Rendered summaries and insights shown to the user.
+                f("crates/system/src/render.rs", "*"),
+            ],
+            barrier_files: vec![
+                // Span/metric instrumentation: callers hand it metadata
+                // about the run; the call does not make the caller's own
+                // output sink-reaching.
+                s("crates/obs/src/span.rs"),
+                s("crates/obs/src/timer.rs"),
+                s("crates/obs/src/counter.rs"),
+                s("crates/obs/src/gauge.rs"),
+                s("crates/obs/src/histogram.rs"),
+                s("crates/obs/src/window.rs"),
+                s("crates/obs/src/trace.rs"),
+                s("crates/obs/src/prof.rs"),
+                s("crates/obs/src/alloc.rs"),
+                // The budget clock: polled everywhere, emits nothing.
+                s("crates/robust/src/budget.rs"),
+            ],
         }
     }
 }
 
-/// Accumulates diagnostics across files (L5 needs the whole workspace
-/// before it can report anything).
+/// Accumulates per-file diagnostics and the analyzed files, then runs the
+/// cross-file passes (L5 reconciliation, symbol table, call graph,
+/// L6–L8) in [`Linter::finish`].
 pub struct Linter {
     cfg: LintConfig,
     registry: FaultRegistry,
     diags: Vec<Diagnostic>,
     files_scanned: usize,
+    files: BTreeMap<String, AnalyzedFile>,
 }
 
 impl Linter {
@@ -145,6 +195,7 @@ impl Linter {
             registry: FaultRegistry::default(),
             diags: Vec::new(),
             files_scanned: 0,
+            files: BTreeMap::new(),
         }
     }
 
@@ -172,14 +223,22 @@ impl Linter {
             self.diags
                 .extend(rules::l4_typed_errors(rel, src, &toks, &exempt));
         }
-        if self.cfg.det_files.iter().any(|f| f == rel) {
-            self.diags
-                .extend(rules::l2_hash_order(rel, src, &toks, &exempt));
-        }
         if self.cfg.budget_files.iter().any(|f| f == rel) {
             self.diags
                 .extend(rules::l3_budget(rel, src, &toks, &exempt));
         }
+        // Retain for the cross-file passes (tests are outside every
+        // shipping contract, so they never enter the symbol table).
+        self.files.insert(
+            rel.to_string(),
+            AnalyzedFile {
+                rel: rel.to_string(),
+                src: src.to_string(),
+                toks,
+                exempt,
+                scope: file_scope,
+            },
+        );
     }
 
     /// Scan a CI workflow file for fault specs (L5).
@@ -188,13 +247,32 @@ impl Linter {
         self.registry.collect_yaml(rel, text);
     }
 
-    /// Reconcile L5 and return all diagnostics sorted by location.
-    pub fn finish(mut self) -> (Vec<Diagnostic>, usize) {
+    /// Run the cross-file passes and return all diagnostics sorted by
+    /// location, the file count, and the computed determinism-relevant
+    /// file set (L8's replacement for the old `det_files` config).
+    pub fn finish(mut self) -> (Vec<Diagnostic>, usize, Vec<String>) {
         let grammar_file = self.cfg.fault_grammar_file.clone();
         self.diags.extend(self.registry.finish(&grammar_file));
+
+        let mut table = SymbolTable::default();
+        for f in self.files.values() {
+            table.add_file(&f.rel, &f.toks, &f.exempt);
+        }
+        table.index();
+        let graph = CallGraph::build(&table, &self.files);
+        self.diags.extend(concurrency::check(&table, &self.files));
+        let taint = taint::check(
+            &table,
+            &graph,
+            &self.files,
+            &self.cfg.sink_fns,
+            &self.cfg.barrier_files,
+        );
+        self.diags.extend(taint.diags);
+
         self.diags
             .sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
-        (self.diags, self.files_scanned)
+        (self.diags, self.files_scanned, taint.det_files)
     }
 }
 
@@ -208,6 +286,8 @@ pub struct Report {
     pub unused_allow: Vec<AllowEntry>,
     /// How many files were scanned.
     pub files_scanned: usize,
+    /// Files the taint pass proved determinism-relevant (sorted).
+    pub det_files: Vec<String>,
 }
 
 /// Lint the workspace rooted at `root`. `allow_path` overrides the
@@ -261,7 +341,7 @@ pub fn run_workspace(root: &Path, allow_path: Option<&Path>) -> Result<Report, L
         }
     }
 
-    let (diags, files_scanned) = linter.finish();
+    let (diags, files_scanned, det_files) = linter.finish();
     let mut violations = Vec::new();
     let mut allowed = Vec::new();
     let mut used = vec![false; allowlist.entries.len()];
@@ -286,6 +366,7 @@ pub fn run_workspace(root: &Path, allow_path: Option<&Path>) -> Result<Report, L
         allowed,
         unused_allow,
         files_scanned,
+        det_files,
     })
 }
 
@@ -337,13 +418,18 @@ fn list_dir(dir: &Path, out: &mut Vec<PathBuf>) -> Result<(), (PathBuf, io::Erro
 mod tests {
     use super::*;
 
+    fn cfg() -> LintConfig {
+        LintConfig {
+            budget_files: vec!["crates/x/src/hot.rs".to_string()],
+            fault_grammar_file: "crates/x/src/fault.rs".to_string(),
+            sink_fns: vec![("crates/x/src/emit.rs".to_string(), "*".to_string())],
+            barrier_files: Vec::new(),
+        }
+    }
+
     #[test]
     fn linter_runs_all_rules_per_file() {
-        let mut linter = Linter::new(LintConfig {
-            budget_files: vec!["crates/x/src/hot.rs".to_string()],
-            det_files: vec!["crates/x/src/emit.rs".to_string()],
-            fault_grammar_file: "crates/x/src/fault.rs".to_string(),
-        });
+        let mut linter = Linter::new(cfg());
         linter.check_source("crates/x/src/hot.rs", "pub fn spin() { loop { step(); } }");
         linter.check_source(
             "crates/x/src/emit.rs",
@@ -353,15 +439,33 @@ mod tests {
             "crates/x/src/fault.rs",
             "fn p(s: &str) -> u8 { match s { \"zap\" => 1, _ => 0 } }",
         );
-        let (diags, files) = linter.finish();
+        let (diags, files, _) = linter.finish();
         assert_eq!(files, 3);
         let rules: Vec<&str> = diags.iter().map(|d| d.rule).collect();
-        // emit.rs: L1 unwrap + L2 HashMap; hot.rs: L3; fault.rs: L5
-        // ('zap' documented but never exercised).
+        // emit.rs: L1 unwrap + L8 HashMap (it is a configured sink);
+        // hot.rs: L3; fault.rs: L5 ('zap' documented but never exercised).
         assert!(rules.contains(&"L1"), "{diags:?}");
-        assert!(rules.contains(&"L2"), "{diags:?}");
+        assert!(rules.contains(&"L8"), "{diags:?}");
         assert!(rules.contains(&"L3"), "{diags:?}");
         assert!(rules.contains(&"L5"), "{diags:?}");
+    }
+
+    #[test]
+    fn taint_spreads_to_callers_of_sinks() {
+        let mut linter = Linter::new(cfg());
+        linter.check_source("crates/x/src/emit.rs", "pub fn render_out() {}");
+        linter.check_source(
+            "crates/x/src/mid.rs",
+            "use std::collections::HashMap;\npub fn assemble() { render_out(); }",
+        );
+        let (diags, _, det) = linter.finish();
+        // mid.rs calls into the sink file, so its HashMap is flagged and
+        // the diagnostic explains the path.
+        let l8: Vec<&Diagnostic> = diags.iter().filter(|d| d.rule == "L8").collect();
+        assert_eq!(l8.len(), 1, "{diags:?}");
+        assert_eq!(l8[0].file, "crates/x/src/mid.rs");
+        assert!(!l8[0].trace.is_empty());
+        assert!(det.contains(&"crates/x/src/mid.rs".to_string()), "{det:?}");
     }
 
     #[test]
@@ -371,7 +475,7 @@ mod tests {
             "crates/x/tests/adversarial.rs",
             "fn f(x: Option<u8>) -> u8 { x.unwrap() }",
         );
-        let (diags, _) = linter.finish();
+        let (diags, _, _) = linter.finish();
         assert!(diags.is_empty(), "{diags:?}");
     }
 
@@ -383,6 +487,7 @@ mod tests {
             line: 7,
             line_text: "x.unwrap();".to_string(),
             message: "boom".to_string(),
+            trace: Vec::new(),
         };
         let s = d.to_string();
         assert!(s.contains("crates/x/src/lib.rs:7: [L1] boom"));

@@ -1,14 +1,28 @@
 //! CLI entry point: `cargo run -p prox-lint [-- --root DIR --allow FILE]`.
 //!
+//! Modes:
+//! * default — print violations, exit 1 when any exist
+//! * `--json` — additionally write `<root>/reports/lint.json` (sorted
+//!   keys, byte-identical across runs on an unchanged tree; CI double-runs
+//!   and `cmp`s the bytes)
+//! * `--explain FILE:LINE[:RULE]` — print the diagnostic at that location
+//!   (violation or allowlisted) with its full source→sink call-graph
+//!   trace
+//!
 //! Exit codes: 0 = clean, 1 = violations, 2 = the linter itself failed
 //! (IO error, malformed allowlist, bad arguments).
 
+use std::fmt::Write as _;
 use std::path::PathBuf;
 use std::process::ExitCode;
+
+use prox_lint::{Diagnostic, Report};
 
 fn main() -> ExitCode {
     let mut root: Option<PathBuf> = None;
     let mut allow: Option<PathBuf> = None;
+    let mut json = false;
+    let mut explain: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -20,12 +34,20 @@ fn main() -> ExitCode {
                 Some(v) => allow = Some(PathBuf::from(v)),
                 None => return usage("--allow requires a path"),
             },
+            "--json" => json = true,
+            "--explain" => match args.next() {
+                Some(v) => explain = Some(v),
+                None => return usage("--explain requires FILE:LINE[:RULE]"),
+            },
             "--help" | "-h" => {
                 println!(
-                    "prox-lint: enforce the PROX workspace invariants (rules L1-L5)\n\n\
-                     USAGE: prox-lint [--root DIR] [--allow FILE]\n\n\
-                     --root DIR    workspace root (default: this crate's workspace)\n\
-                     --allow FILE  allowlist (default: <root>/lint.allow)"
+                    "prox-lint: enforce the PROX workspace invariants (rules L1-L8)\n\n\
+                     USAGE: prox-lint [--root DIR] [--allow FILE] [--json] [--explain LOC]\n\n\
+                     --root DIR     workspace root (default: this crate's workspace)\n\
+                     --allow FILE   allowlist (default: <root>/lint.allow)\n\
+                     --json         also write <root>/reports/lint.json (byte-stable)\n\
+                     --explain LOC  print the diagnostic at FILE:LINE[:RULE] with its\n\
+                                    source->sink call-graph trace"
                 );
                 return ExitCode::SUCCESS;
             }
@@ -48,6 +70,10 @@ fn main() -> ExitCode {
         }
     };
 
+    if let Some(loc) = explain {
+        return run_explain(&report, &loc);
+    }
+
     for d in &report.violations {
         println!("{d}");
     }
@@ -57,17 +83,152 @@ fn main() -> ExitCode {
             e.line, e.rule, e.path
         );
     }
+    if json {
+        let out_dir = root.join("reports");
+        let out_path = out_dir.join("lint.json");
+        let bytes = render_json(&report);
+        if let Err(e) = std::fs::create_dir_all(&out_dir)
+            .and_then(|()| std::fs::write(&out_path, bytes.as_bytes()))
+        {
+            eprintln!("prox-lint: error: {}: {e}", out_path.display());
+            return ExitCode::from(2);
+        }
+        println!("prox-lint: wrote {}", out_path.display());
+    }
     println!(
-        "prox-lint: {} violation(s), {} allowlisted, {} file(s) scanned",
+        "prox-lint: {} violation(s), {} allowlisted, {} file(s) scanned, {} det file(s)",
         report.violations.len(),
         report.allowed.len(),
-        report.files_scanned
+        report.files_scanned,
+        report.det_files.len()
     );
     if report.violations.is_empty() {
         ExitCode::SUCCESS
     } else {
         ExitCode::from(1)
     }
+}
+
+/// Find and print the diagnostic at `FILE:LINE[:RULE]` with its trace.
+fn run_explain(report: &Report, loc: &str) -> ExitCode {
+    let mut parts = loc.rsplitn(3, ':');
+    // rsplitn yields from the right: RULE or LINE first.
+    let (mut rule, mut line_s) = (None, parts.next().unwrap_or(""));
+    if line_s.starts_with('L') {
+        rule = Some(line_s.to_string());
+        line_s = parts.next().unwrap_or("");
+    }
+    let Ok(line) = line_s.parse::<u32>() else {
+        return usage("--explain expects FILE:LINE[:RULE]");
+    };
+    let file: String = {
+        let mut rest: Vec<&str> = parts.collect();
+        rest.reverse();
+        rest.join(":")
+    };
+    if file.is_empty() {
+        return usage("--explain expects FILE:LINE[:RULE]");
+    }
+    let matches: Vec<(&Diagnostic, bool)> = report
+        .violations
+        .iter()
+        .map(|d| (d, false))
+        .chain(report.allowed.iter().map(|d| (d, true)))
+        .filter(|(d, _)| {
+            d.file == file && d.line == line && rule.as_deref().is_none_or(|r| r == d.rule)
+        })
+        .collect();
+    if matches.is_empty() {
+        eprintln!("prox-lint: no diagnostic at {file}:{line} (violation or allowlisted)");
+        return ExitCode::from(1);
+    }
+    for (d, allowed) in matches {
+        println!("{d}");
+        if allowed {
+            println!("    (suppressed by lint.allow)");
+        }
+        if d.trace.is_empty() {
+            println!("    per-file rule: no call-graph trace");
+        } else {
+            for (i, hop) in d.trace.iter().enumerate() {
+                println!("    {:>2}. {hop}", i + 1);
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+/// Render the machine-readable report: keys sorted, arrays in the
+/// report's deterministic order, no timestamps — byte-identical across
+/// runs on an unchanged tree.
+fn render_json(report: &Report) -> String {
+    let mut s = String::new();
+    s.push_str("{\n");
+    let _ = writeln!(s, "  \"allowed\": {},", report.allowed.len());
+    s.push_str("  \"det_files\": [");
+    for (i, f) in report.det_files.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        s.push_str("\n    ");
+        push_json_str(&mut s, f);
+    }
+    if !report.det_files.is_empty() {
+        s.push_str("\n  ");
+    }
+    s.push_str("],\n");
+    let _ = writeln!(s, "  \"files_scanned\": {},", report.files_scanned);
+    let _ = writeln!(s, "  \"unused_allow\": {},", report.unused_allow.len());
+    s.push_str("  \"violations\": [");
+    for (i, d) in report.violations.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        s.push_str("\n    {\"file\": ");
+        push_json_str(&mut s, &d.file);
+        let _ = write!(s, ", \"line\": {}, \"message\": ", d.line);
+        push_json_str(&mut s, &d.message);
+        s.push_str(", \"rule\": ");
+        push_json_str(&mut s, d.rule);
+        s.push('}');
+    }
+    if !report.violations.is_empty() {
+        s.push_str("\n  ");
+    }
+    s.push_str("],\n");
+    s.push_str("  \"violations_by_rule\": {");
+    for (i, rule) in ["L1", "L2", "L3", "L4", "L5", "L6", "L7", "L8"]
+        .iter()
+        .enumerate()
+    {
+        if i > 0 {
+            s.push_str(", ");
+        }
+        let n = report.violations.iter().filter(|d| d.rule == *rule).count()
+            + report.allowed.iter().filter(|d| d.rule == *rule).count();
+        let _ = write!(s, "\"{rule}\": {n}");
+    }
+    s.push_str("}\n");
+    s.push_str("}\n");
+    s
+}
+
+fn push_json_str(s: &mut String, v: &str) {
+    s.push('"');
+    for c in v.chars() {
+        match c {
+            '"' => s.push_str("\\\""),
+            '\\' => s.push_str("\\\\"),
+            '\n' => s.push_str("\\n"),
+            '\t' => s.push_str("\\t"),
+            '\r' => s.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(s, "\\u{:04x}", c as u32);
+            }
+            c => s.push(c),
+        }
+    }
+    s.push('"');
 }
 
 fn usage(msg: &str) -> ExitCode {

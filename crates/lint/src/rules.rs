@@ -1,12 +1,17 @@
-//! The five PROX invariant rules.
+//! The per-file PROX invariant rules (L1–L5).
 //!
 //! | rule | contract |
 //! |------|----------|
 //! | L1   | no-panic: `unwrap`/`expect`/`panic!`/`unreachable!` forbidden in library code |
-//! | L2   | determinism: no ambient clocks/randomness; no hash-order iteration in result paths |
+//! | L2   | determinism: no ambient clocks/randomness anywhere in shipping code |
 //! | L3   | budget coverage: loops in the designated hot modules poll a `BudgetSession` |
 //! | L4   | typed errors: no `Result<_, String>` / `Box<dyn Error>` in public library APIs |
 //! | L5   | fault-site registry: `PROX_FAULT` specs and the documented grammar stay in sync |
+//!
+//! Hash-order iteration in output paths — the old file-list-scoped half
+//! of L2 — is now L8: the determinism-taint pass in [`crate::taint`]
+//! decides *which* files are output paths from the call graph instead of
+//! a hand-maintained list.
 //!
 //! Every rule works on the lexed token stream (see [`crate::lexer`]), so
 //! comments and string literals can never produce false positives for
@@ -32,6 +37,7 @@ fn diag(rule: &'static str, file: &str, line: u32, src: &str, message: String) -
         line,
         line_text: line_text(src, line),
         message,
+        trace: Vec::new(),
     }
 }
 
@@ -127,35 +133,6 @@ pub fn l2_ambient(file: &str, src: &str, toks: &[Tok], exempt: &[bool]) -> Vec<D
                     .to_string(),
             )),
             _ => {}
-        }
-    }
-    out
-}
-
-/// Flag `HashMap`/`HashSet` in files that produce user-visible output
-/// (reports, manifests, rendered summaries): their iteration order is
-/// seeded per-process and leaks into the bytes written.
-pub fn l2_hash_order(file: &str, src: &str, toks: &[Tok], exempt: &[bool]) -> Vec<Diagnostic> {
-    let mut out: Vec<Diagnostic> = Vec::new();
-    for (i, t) in toks.iter().enumerate() {
-        if exempt[i] || t.kind != TokKind::Ident {
-            continue;
-        }
-        if t.text == "HashMap" || t.text == "HashSet" {
-            if out.last().is_some_and(|d| d.line == t.line) {
-                continue; // one diagnostic per line is enough
-            }
-            out.push(diag(
-                "L2",
-                file,
-                t.line,
-                src,
-                format!(
-                    "{} in a result-producing path: iteration order leaks into \
-                     output; use BTreeMap/BTreeSet or sort explicitly",
-                    t.text
-                ),
-            ));
         }
     }
     out
@@ -616,6 +593,7 @@ impl FaultRegistry {
                             site,
                             known.join(", ")
                         ),
+                        trace: Vec::new(),
                     });
                 }
             }
@@ -631,6 +609,7 @@ impl FaultRegistry {
                         "fault site '{site}' is documented in the grammar but never \
                          exercised by any PROX_FAULT spec in code or CI"
                     ),
+                    trace: Vec::new(),
                 });
             }
         }
@@ -688,17 +667,6 @@ mod tests {
         "#;
         let d = run(l2_ambient, src);
         assert_eq!(d.len(), 3, "{d:?}");
-    }
-
-    #[test]
-    fn l2_flags_hash_iteration_in_det_paths() {
-        let src = r#"
-            use std::collections::HashMap;
-            fn emit(m: &HashMap<String, u32>) {}
-        "#;
-        let d = run(l2_hash_order, src);
-        assert_eq!(d.len(), 2, "{d:?}");
-        assert_eq!(d[0].line, 2);
     }
 
     #[test]

@@ -130,9 +130,9 @@ fn attr_gates_test(body: &[Tok]) -> bool {
         if t.is_ident("not") {
             pending_not = true;
         } else if t.is_punct('(') {
-            if pending_not {
-                not_depth += 1;
-            } else if not_depth > 0 {
+            // Opening a not(...) group, or any paren nested inside one,
+            // deepens the negated region.
+            if pending_not || not_depth > 0 {
                 not_depth += 1;
             }
             pending_not = false;

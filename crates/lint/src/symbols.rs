@@ -1,0 +1,467 @@
+//! A lightweight workspace symbol table built on the token stream.
+//!
+//! The cross-file rules (L6–L8) need to know three things about the
+//! workspace that the per-file rules never did: where functions are
+//! defined (and on what `impl` type), where `Mutex`/`RwLock` state lives,
+//! and where atomics live. This module extracts all three from the lexed
+//! token streams — no type checking, no name resolution beyond paths and
+//! `impl` headers. The approximations are deliberate and documented in
+//! DESIGN.md §13: the table is used to *scope* rules and build an
+//! over-approximate call graph, not to prove program properties.
+
+use std::collections::BTreeMap;
+
+use crate::lexer::{Tok, TokKind};
+use crate::scope::skip_brace_group;
+
+/// One `fn` definition (free function, inherent method, or trait method).
+#[derive(Clone, Debug)]
+pub struct FnDef {
+    /// Workspace-relative file (forward slashes).
+    pub file: String,
+    /// Crate directory name (`serve`, `obs`, …; `root` for `src/`).
+    pub crate_name: String,
+    /// File stem (`render`, `queue`, …) — the module a path call names.
+    pub module: String,
+    /// The function name.
+    pub name: String,
+    /// Enclosing `impl` target type, when defined inside an impl block.
+    pub owner: Option<String>,
+    /// 1-based line of the `fn` keyword.
+    pub line: u32,
+    /// Token range of the body `{ … }` (`[open, past_close)`); `None` for
+    /// bodyless trait declarations.
+    pub body: Option<(usize, usize)>,
+}
+
+/// What kind of blocking synchronisation primitive a declaration is.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SyncKind {
+    Mutex,
+    RwLock,
+}
+
+/// One `Mutex`/`RwLock` declaration site: a struct field, a `static`, or
+/// a typed binding/parameter (`m: &Mutex<T>`).
+#[derive(Clone, Debug)]
+pub struct SyncDecl {
+    pub file: String,
+    pub crate_name: String,
+    /// Field/static/binding name; tuple-struct fields use the type name.
+    pub name: String,
+    pub kind: SyncKind,
+    pub line: u32,
+}
+
+/// One atomic declaration site (`AtomicBool`, `AtomicU64`, …).
+#[derive(Clone, Debug)]
+pub struct AtomicDecl {
+    pub file: String,
+    pub crate_name: String,
+    /// Field/static name; tuple-struct fields use the type name.
+    pub name: String,
+    /// The atomic type name (`AtomicBool`, …).
+    pub ty: String,
+    pub line: u32,
+}
+
+/// The workspace symbol table over all non-test sources.
+#[derive(Default)]
+pub struct SymbolTable {
+    pub fns: Vec<FnDef>,
+    pub locks: Vec<SyncDecl>,
+    pub atomics: Vec<AtomicDecl>,
+    /// fn name → indices into `fns`, for call resolution.
+    pub fns_by_name: BTreeMap<String, Vec<usize>>,
+}
+
+/// Crate directory name for a workspace-relative path.
+pub fn crate_of(rel: &str) -> String {
+    let mut parts = rel.split('/');
+    match (parts.next(), parts.next()) {
+        (Some("crates"), Some(c)) => c.to_string(),
+        _ => "root".to_string(),
+    }
+}
+
+/// File stem (`crates/obs/src/json.rs` → `json`).
+pub fn module_of(rel: &str) -> String {
+    rel.rsplit('/')
+        .next()
+        .unwrap_or(rel)
+        .trim_end_matches(".rs")
+        .to_string()
+}
+
+const ATOMIC_TYPES: &[&str] = &[
+    "AtomicBool",
+    "AtomicU8",
+    "AtomicU16",
+    "AtomicU32",
+    "AtomicU64",
+    "AtomicUsize",
+    "AtomicI8",
+    "AtomicI16",
+    "AtomicI32",
+    "AtomicI64",
+    "AtomicIsize",
+];
+
+impl SymbolTable {
+    /// Add one file's definitions to the table. Call with non-test files
+    /// only (tests are outside every shipping contract); `exempt` marks
+    /// `#[cfg(test)]` regions, whose definitions are also skipped so test
+    /// helpers never absorb name resolution.
+    pub fn add_file(&mut self, rel: &str, toks: &[Tok], exempt: &[bool]) {
+        let crate_name = crate_of(rel);
+        let module = module_of(rel);
+        self.collect_fns(rel, &crate_name, &module, toks, exempt);
+        self.collect_sync_decls(rel, &crate_name, toks, exempt);
+    }
+
+    /// Finish construction: build the name index.
+    pub fn index(&mut self) {
+        self.fns_by_name.clear();
+        for (ix, f) in self.fns.iter().enumerate() {
+            self.fns_by_name.entry(f.name.clone()).or_default().push(ix);
+        }
+    }
+
+    /// The innermost function whose body contains token `ix` of `file`.
+    pub fn enclosing_fn(&self, file: &str, ix: usize) -> Option<usize> {
+        let mut best: Option<usize> = None;
+        for (f_ix, f) in self.fns.iter().enumerate() {
+            if f.file != file {
+                continue;
+            }
+            let Some((open, close)) = f.body else {
+                continue;
+            };
+            if open <= ix && ix < close {
+                let tighter = match best {
+                    None => true,
+                    Some(b) => {
+                        let (bo, bc) = self.fns[b].body.unwrap_or((0, usize::MAX));
+                        open >= bo && close <= bc
+                    }
+                };
+                if tighter {
+                    best = Some(f_ix);
+                }
+            }
+        }
+        best
+    }
+
+    fn collect_fns(
+        &mut self,
+        rel: &str,
+        crate_name: &str,
+        module: &str,
+        toks: &[Tok],
+        exempt: &[bool],
+    ) {
+        // Track enclosing `impl` blocks with an explicit stack of
+        // (owner, past_close_idx).
+        let mut impl_stack: Vec<(String, usize)> = Vec::new();
+        let mut i = 0usize;
+        while i < toks.len() {
+            while let Some(&(_, close)) = impl_stack.last() {
+                if i >= close {
+                    impl_stack.pop();
+                } else {
+                    break;
+                }
+            }
+            let t = &toks[i];
+            if t.is_ident("impl") {
+                if let Some((owner, open)) = parse_impl_header(toks, i) {
+                    let close = skip_brace_group(toks, open);
+                    impl_stack.push((owner, close));
+                    i = open + 1;
+                    continue;
+                }
+            }
+            if t.is_ident("fn") && !exempt.get(i).copied().unwrap_or(false) {
+                let name_ok = toks
+                    .get(i + 1)
+                    .is_some_and(|n| n.kind == TokKind::Ident)
+                    // `fn` pointers (`fn(T) -> U`) have no name.
+                    && !i.checked_sub(1)
+                        .and_then(|p| toks.get(p))
+                        .is_some_and(|p| p.is_punct('.'));
+                if name_ok {
+                    let name = toks[i + 1].text.clone();
+                    let (body, next) = fn_body(toks, i + 2);
+                    self.fns.push(FnDef {
+                        file: rel.to_string(),
+                        crate_name: crate_name.to_string(),
+                        module: module.to_string(),
+                        name,
+                        owner: impl_stack.last().map(|(o, _)| o.clone()),
+                        line: t.line,
+                        body,
+                    });
+                    // Descend into the body: nested fns get their own defs.
+                    i = match body {
+                        Some((open, _)) => open + 1,
+                        None => next,
+                    };
+                    continue;
+                }
+            }
+            i += 1;
+        }
+    }
+
+    /// Collect `Mutex`/`RwLock`/atomic declarations: any `name :
+    /// [path::]Kind<…>` (or `Arc<Kind<…>>`) shape, plus tuple-struct
+    /// positions which borrow the struct's own name.
+    fn collect_sync_decls(&mut self, rel: &str, crate_name: &str, toks: &[Tok], exempt: &[bool]) {
+        for (i, t) in toks.iter().enumerate() {
+            if t.kind != TokKind::Ident || exempt.get(i).copied().unwrap_or(false) {
+                continue;
+            }
+            let sync_kind = match t.text.as_str() {
+                "Mutex" if toks.get(i + 1).is_some_and(|n| n.is_punct('<')) => {
+                    Some(SyncKind::Mutex)
+                }
+                "RwLock" if toks.get(i + 1).is_some_and(|n| n.is_punct('<')) => {
+                    Some(SyncKind::RwLock)
+                }
+                _ => None,
+            };
+            let is_atomic = ATOMIC_TYPES.contains(&t.text.as_str())
+                // `AtomicU64::new(0)` is a constructor use, not a decl.
+                && !(toks.get(i + 1).is_some_and(|n| n.is_punct(':'))
+                    && toks.get(i + 2).is_some_and(|n| n.is_punct(':')));
+            if sync_kind.is_none() && !is_atomic {
+                continue;
+            }
+            let Some(name) = declared_name(toks, i) else {
+                continue;
+            };
+            if let Some(kind) = sync_kind {
+                self.locks.push(SyncDecl {
+                    file: rel.to_string(),
+                    crate_name: crate_name.to_string(),
+                    name,
+                    kind,
+                    line: t.line,
+                });
+            } else {
+                self.atomics.push(AtomicDecl {
+                    file: rel.to_string(),
+                    crate_name: crate_name.to_string(),
+                    name,
+                    ty: t.text.clone(),
+                    line: t.line,
+                });
+            }
+        }
+    }
+}
+
+/// Parse an `impl` header starting at `impl_ix`; returns the target type
+/// name and the index of the body `{`.
+fn parse_impl_header(toks: &[Tok], impl_ix: usize) -> Option<(String, usize)> {
+    let mut angle = 0i32;
+    let mut paren = 0i32;
+    let mut in_where = false;
+    let mut last_ident: Option<String> = None;
+    let mut k = impl_ix + 1;
+    while k < toks.len() {
+        let t = &toks[k];
+        match t.kind {
+            TokKind::Punct => match t.text.as_bytes().first() {
+                Some(b'<') => angle += 1,
+                Some(b'>') if !toks[k - 1].is_punct('-') => angle -= 1,
+                Some(b'(') => paren += 1,
+                Some(b')') => paren -= 1,
+                Some(b'{') if angle <= 0 && paren == 0 => {
+                    return last_ident.map(|o| (o, k));
+                }
+                Some(b';') => return None, // malformed header, bail
+                _ => {}
+            },
+            TokKind::Ident if angle <= 0 && paren == 0 && !in_where => {
+                // Track the last path segment at depth 0; `for` resets so
+                // `impl Trait for Type` settles on the `Type` side, and
+                // `where` freezes the result before any bound idents.
+                if t.text == "for" {
+                    last_ident = None;
+                } else if t.text == "where" {
+                    in_where = true;
+                } else {
+                    last_ident = Some(t.text.clone());
+                }
+            }
+            _ => {}
+        }
+        k += 1;
+    }
+    None
+}
+
+/// Find a fn body starting the scan at the token after the name: the
+/// first `{` at zero paren/bracket depth opens the body; a `;` ends a
+/// bodyless declaration. Returns (body range, index after the construct).
+fn fn_body(toks: &[Tok], from: usize) -> (Option<(usize, usize)>, usize) {
+    let mut paren = 0i32;
+    let mut bracket = 0i32;
+    let mut k = from;
+    while k < toks.len() {
+        let t = &toks[k];
+        if t.kind == TokKind::Punct {
+            match t.text.as_bytes().first() {
+                Some(b'(') => paren += 1,
+                Some(b')') => paren -= 1,
+                Some(b'[') => bracket += 1,
+                Some(b']') => bracket -= 1,
+                Some(b'{') if paren == 0 && bracket == 0 => {
+                    let close = skip_brace_group(toks, k);
+                    return (Some((k, close)), close);
+                }
+                Some(b';') if paren == 0 && bracket == 0 => return (None, k + 1),
+                _ => {}
+            }
+        }
+        k += 1;
+    }
+    (None, toks.len())
+}
+
+/// Walk left from a type token (`Mutex`, `AtomicBool`, …) to the declared
+/// name: skips `path::` qualifiers and one `Arc<`/`Option<`-style wrapper
+/// layer, then expects `name :`. A `(` instead means a tuple-struct
+/// position — the struct's own name is used.
+fn declared_name(toks: &[Tok], ty_ix: usize) -> Option<String> {
+    let mut j = ty_ix;
+    loop {
+        let prev = j.checked_sub(1)?;
+        let t = &toks[prev];
+        if t.is_punct(':') && prev >= 1 && toks[prev - 1].is_punct(':') {
+            // `path::Kind` — skip the `::` and its leading segment.
+            j = prev - 1;
+            if j >= 1 && toks[j - 1].kind == TokKind::Ident {
+                j -= 1;
+            }
+            continue;
+        }
+        if t.is_punct('<') && prev >= 1 && toks[prev - 1].kind == TokKind::Ident {
+            // Wrapper layer: `Arc<Kind<..>>`, `Option<Kind<..>>`.
+            j = prev - 1;
+            continue;
+        }
+        if t.is_punct(':') {
+            // `name : Kind` — the declaration we are after.
+            let name_tok = toks.get(prev.checked_sub(1)?)?;
+            if name_tok.kind == TokKind::Ident {
+                return Some(name_tok.text.clone());
+            }
+            return None;
+        }
+        if t.is_punct('(') {
+            // Tuple struct `Name(Arc<AtomicBool>)`: borrow the type name.
+            let name_tok = toks.get(prev.checked_sub(1)?)?;
+            if name_tok.kind == TokKind::Ident {
+                return Some(name_tok.text.clone());
+            }
+            return None;
+        }
+        return None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn table(src: &str) -> SymbolTable {
+        let mut t = SymbolTable::default();
+        let toks = lex(src);
+        let exempt = crate::scope::test_exempt(&toks);
+        t.add_file("crates/x/src/m.rs", &toks, &exempt);
+        t.index();
+        t
+    }
+
+    #[test]
+    fn free_fns_and_methods_with_owners() {
+        let t = table(
+            "fn free() {}\n\
+             impl Widget { fn method(&self) { helper(); } }\n\
+             impl fmt::Display for Widget { fn fmt(&self) {} }\n\
+             impl<T> Holder<T> { fn get_t(&self) {} }",
+        );
+        let names: Vec<(&str, Option<&str>)> = t
+            .fns
+            .iter()
+            .map(|f| (f.name.as_str(), f.owner.as_deref()))
+            .collect();
+        assert_eq!(
+            names,
+            vec![
+                ("free", None),
+                ("method", Some("Widget")),
+                ("fmt", Some("Widget")),
+                ("get_t", Some("Holder")),
+            ]
+        );
+    }
+
+    #[test]
+    fn nested_fns_get_their_own_defs() {
+        let t = table("fn outer() { fn inner() {} inner(); }");
+        assert_eq!(t.fns.len(), 2);
+        assert_eq!(t.fns[1].name, "inner");
+    }
+
+    #[test]
+    fn lock_and_atomic_decls_found() {
+        let t = table(
+            "static PLAN: Mutex<Option<Plan>> = Mutex::new(None);\n\
+             struct S { state: Mutex<Inner>, flags: std::sync::RwLock<u8>, seq: AtomicU64 }\n\
+             pub struct CancelFlag(Arc<AtomicBool>);\n\
+             fn init() { let x = AtomicU64::new(0); }",
+        );
+        let locks: Vec<(&str, SyncKind)> =
+            t.locks.iter().map(|l| (l.name.as_str(), l.kind)).collect();
+        assert_eq!(
+            locks,
+            vec![
+                ("PLAN", SyncKind::Mutex),
+                ("state", SyncKind::Mutex),
+                ("flags", SyncKind::RwLock),
+            ]
+        );
+        let atomics: Vec<(&str, &str)> = t
+            .atomics
+            .iter()
+            .map(|a| (a.name.as_str(), a.ty.as_str()))
+            .collect();
+        // `AtomicU64::new` in `init` is a constructor, not a declaration.
+        assert_eq!(
+            atomics,
+            vec![("seq", "AtomicU64"), ("CancelFlag", "AtomicBool")]
+        );
+    }
+
+    #[test]
+    fn enclosing_fn_picks_innermost() {
+        let src = "fn outer() { fn inner() { mark(); } }";
+        let t = table(src);
+        let toks = lex(src);
+        let mark_ix = toks.iter().position(|t| t.is_ident("mark")).unwrap();
+        let f = t.enclosing_fn("crates/x/src/m.rs", mark_ix).unwrap();
+        assert_eq!(t.fns[f].name, "inner");
+    }
+
+    #[test]
+    fn crate_and_module_derivation() {
+        assert_eq!(crate_of("crates/serve/src/queue.rs"), "serve");
+        assert_eq!(crate_of("src/bin/prox.rs"), "root");
+        assert_eq!(module_of("crates/obs/src/json.rs"), "json");
+    }
+}

@@ -1,0 +1,299 @@
+//! L8 — determinism taint over the call graph.
+//!
+//! The old L2 hash-order rule was scoped by a hand-maintained file list
+//! that every PR had to remember to extend. This pass replaces that list
+//! with a transitive computation: a function is **sink-reaching** (SR)
+//! when it emits output directly (configured sink fns, or `fs::write` /
+//! `File::create` in its body) or calls an SR function; a file is
+//! **determinism-relevant** when it contains an SR function or a function
+//! directly called by one (the values it returns flow into output).
+//! Hash-order iteration and ambient hashers/thread ids in that region
+//! taint the bytes written, so they are flagged — each diagnostic carries
+//! the call-graph path to the sink (`prox-lint --explain`).
+//!
+//! Barrier files stop propagation: calling into instrumentation
+//! (span/timer/counter/… and the budget clock) does not make the caller
+//! sink-reaching, because those calls carry metadata about the run, never
+//! result bytes. The barrier list is part of [`crate::LintConfig`] and
+//! audited in DESIGN.md §13.
+
+use std::collections::BTreeMap;
+use std::collections::VecDeque;
+
+use crate::callgraph::CallGraph;
+use crate::lexer::TokKind;
+use crate::rules::line_text;
+use crate::symbols::SymbolTable;
+use crate::{AnalyzedFile, Diagnostic};
+
+/// Why a file is determinism-relevant, for trace rendering.
+enum DetReason {
+    /// The file contains this SR fn.
+    Contains(usize),
+    /// `caller` (SR) calls `callee`, which lives in this file.
+    CalledBy {
+        caller: usize,
+        callee: usize,
+        line: u32,
+    },
+}
+
+/// Outcome of the taint pass.
+pub struct TaintResult {
+    pub diags: Vec<Diagnostic>,
+    /// Sorted list of determinism-relevant files (the computed
+    /// replacement for the old `det_files` config).
+    pub det_files: Vec<String>,
+}
+
+/// Sources of per-process variation that poison any output they reach.
+const AMBIENT_HASHERS: &[&str] = &["RandomState", "DefaultHasher", "ThreadId"];
+
+pub fn check(
+    table: &SymbolTable,
+    graph: &CallGraph,
+    files: &BTreeMap<String, AnalyzedFile>,
+    sink_fns: &[(String, String)],
+    barrier_files: &[String],
+) -> TaintResult {
+    let n = table.fns.len();
+    let mut sr = vec![false; n];
+    // For SR fn f: the next call hop toward a sink, or None when f is
+    // itself a direct sink (then `sink_desc` has the details).
+    let mut next_hop: Vec<Option<(usize, u32)>> = vec![None; n];
+    let mut sink_desc: BTreeMap<usize, (u32, String)> = BTreeMap::new();
+
+    // Seed: configured sink fns and direct write patterns.
+    for (ix, f) in table.fns.iter().enumerate() {
+        let configured = sink_fns
+            .iter()
+            .any(|(file, name)| *file == f.file && (name == "*" || *name == f.name));
+        if configured {
+            sr[ix] = true;
+            sink_desc.insert(ix, (f.line, "configured output sink".to_string()));
+            continue;
+        }
+        if let Some((line, what)) = direct_write(table, files, ix) {
+            sr[ix] = true;
+            sink_desc.insert(ix, (line, what));
+        }
+    }
+
+    // Reverse BFS: SR propagates from callee to caller, except out of
+    // barrier files.
+    let mut queue: VecDeque<usize> = (0..n).filter(|&ix| sr[ix]).collect();
+    while let Some(f) = queue.pop_front() {
+        if barrier_files.iter().any(|b| *b == table.fns[f].file) {
+            continue;
+        }
+        let Some(edge_ixs) = graph.callers_of.get(&f) else {
+            continue;
+        };
+        for &e_ix in edge_ixs {
+            let e = &graph.edges[e_ix];
+            if !sr[e.caller] {
+                sr[e.caller] = true;
+                next_hop[e.caller] = Some((f, e.line));
+                queue.push_back(e.caller);
+            }
+        }
+    }
+
+    // Determinism-relevant files, with the reason that makes them so.
+    let mut det: BTreeMap<String, DetReason> = BTreeMap::new();
+    for (ix, f) in table.fns.iter().enumerate() {
+        if sr[ix] && !det.contains_key(&f.file) {
+            det.insert(f.file.clone(), DetReason::Contains(ix));
+        }
+    }
+    for e in &graph.edges {
+        if !sr[e.caller] {
+            continue;
+        }
+        let callee_file = &table.fns[e.callee].file;
+        if barrier_files.iter().any(|b| b == callee_file) {
+            continue;
+        }
+        if !det.contains_key(callee_file) {
+            det.insert(
+                callee_file.clone(),
+                DetReason::CalledBy {
+                    caller: e.caller,
+                    callee: e.callee,
+                    line: e.line,
+                },
+            );
+        }
+    }
+
+    let mut diags = Vec::new();
+    // (a) Hash-order collections anywhere in a determinism-relevant file.
+    for (rel, reason) in &det {
+        let Some(af) = files.get(rel) else { continue };
+        let mut last_line = 0u32;
+        for (i, t) in af.toks.iter().enumerate() {
+            if af.exempt[i] || t.kind != TokKind::Ident {
+                continue;
+            }
+            if (t.text == "HashMap" || t.text == "HashSet") && t.line != last_line {
+                last_line = t.line;
+                diags.push(Diagnostic {
+                    rule: "L8",
+                    file: rel.clone(),
+                    line: t.line,
+                    line_text: line_text(&af.src, t.line),
+                    message: format!(
+                        "{} in a sink-reaching file: iteration order leaks into \
+                         output bytes; use BTreeMap/BTreeSet or sort explicitly",
+                        t.text
+                    ),
+                    trace: reason_trace(table, &next_hop, &sink_desc, reason),
+                });
+            }
+        }
+    }
+    // (b) Ambient hashers / thread ids inside SR fn bodies.
+    for (ix, f) in table.fns.iter().enumerate() {
+        if !sr[ix] {
+            continue;
+        }
+        let Some((open, close)) = f.body else {
+            continue;
+        };
+        let Some(af) = files.get(&f.file) else {
+            continue;
+        };
+        for i in open..close.min(af.toks.len()) {
+            let t = &af.toks[i];
+            if af.exempt[i] || t.kind != TokKind::Ident {
+                continue;
+            }
+            let thread_id = t.text == "current"
+                && af.toks.get(i + 1).is_some_and(|a| a.is_punct('('))
+                && af.toks.get(i + 2).is_some_and(|a| a.is_punct(')'))
+                && af.toks.get(i + 3).is_some_and(|a| a.is_punct('.'))
+                && af.toks.get(i + 4).is_some_and(|a| a.is_ident("id"));
+            if AMBIENT_HASHERS.contains(&t.text.as_str()) || thread_id {
+                diags.push(Diagnostic {
+                    rule: "L8",
+                    file: f.file.clone(),
+                    line: t.line,
+                    line_text: line_text(&af.src, t.line),
+                    message: format!(
+                        "{} in sink-reaching fn `{}`: per-process variation \
+                         flows into output bytes",
+                        if thread_id {
+                            "thread id".to_string()
+                        } else {
+                            t.text.clone()
+                        },
+                        f.name
+                    ),
+                    trace: fn_trace(table, &next_hop, &sink_desc, ix),
+                });
+            }
+        }
+    }
+
+    TaintResult {
+        diags,
+        det_files: det.keys().cloned().collect(),
+    }
+}
+
+/// A direct write in fn `ix`'s body: `fs::write*` or `File::create`.
+fn direct_write(
+    table: &SymbolTable,
+    files: &BTreeMap<String, AnalyzedFile>,
+    ix: usize,
+) -> Option<(u32, String)> {
+    let f = &table.fns[ix];
+    let (open, close) = f.body?;
+    let af = files.get(&f.file)?;
+    for i in open..close.min(af.toks.len()) {
+        if af.exempt[i] {
+            continue;
+        }
+        let t = &af.toks[i];
+        if t.kind != TokKind::Ident {
+            continue;
+        }
+        let path_to = |name_pred: &dyn Fn(&str) -> bool| {
+            af.toks.get(i + 1).is_some_and(|a| a.is_punct(':'))
+                && af.toks.get(i + 2).is_some_and(|a| a.is_punct(':'))
+                && af
+                    .toks
+                    .get(i + 3)
+                    .is_some_and(|a| a.kind == TokKind::Ident && name_pred(&a.text))
+        };
+        if t.text == "fs" && path_to(&|n| n.starts_with("write")) {
+            return Some((t.line, "fs::write".to_string()));
+        }
+        if t.text == "File" && path_to(&|n| n == "create") {
+            return Some((t.line, "File::create".to_string()));
+        }
+    }
+    None
+}
+
+/// Render the source→sink hops for SR fn `ix`.
+fn fn_trace(
+    table: &SymbolTable,
+    next_hop: &[Option<(usize, u32)>],
+    sink_desc: &BTreeMap<usize, (u32, String)>,
+    ix: usize,
+) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut cur = ix;
+    // The graph is acyclic along next_hop by construction (BFS tree), but
+    // cap the walk defensively.
+    for _ in 0..table.fns.len() + 1 {
+        let f = &table.fns[cur];
+        match next_hop[cur] {
+            Some((callee, line)) => {
+                out.push(format!(
+                    "{}:{} {}() calls {}()",
+                    f.file, line, f.name, table.fns[callee].name
+                ));
+                cur = callee;
+            }
+            None => {
+                let (line, what) = sink_desc
+                    .get(&cur)
+                    .cloned()
+                    .unwrap_or((f.line, "output sink".to_string()));
+                out.push(format!(
+                    "{}:{} {}() emits output ({what})",
+                    f.file, line, f.name
+                ));
+                break;
+            }
+        }
+    }
+    out
+}
+
+/// Render why a whole file is determinism-relevant.
+fn reason_trace(
+    table: &SymbolTable,
+    next_hop: &[Option<(usize, u32)>],
+    sink_desc: &BTreeMap<usize, (u32, String)>,
+    reason: &DetReason,
+) -> Vec<String> {
+    match reason {
+        DetReason::Contains(ix) => fn_trace(table, next_hop, sink_desc, *ix),
+        DetReason::CalledBy {
+            caller,
+            callee,
+            line,
+        } => {
+            let c = &table.fns[*caller];
+            let mut out = vec![format!(
+                "{}:{} sink-reaching {}() consumes {}() from this file",
+                c.file, line, c.name, table.fns[*callee].name
+            )];
+            out.extend(fn_trace(table, next_hop, sink_desc, *caller));
+            out
+        }
+    }
+}

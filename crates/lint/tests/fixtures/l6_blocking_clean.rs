@@ -1,0 +1,20 @@
+//! Fixture: the guard is confined to an inner block that closes before
+//! the blocking receive — no guard is live across `recv` (no L6 finding).
+
+use std::sync::mpsc::Receiver;
+use std::sync::Mutex;
+
+pub static PENDING: Mutex<Vec<u32>> = Mutex::new(Vec::new());
+
+pub fn drain(rx: &Receiver<u32>) {
+    loop {
+        let item = match rx.recv() {
+            Ok(item) => item,
+            Err(_) => return,
+        };
+        {
+            let mut queue = crate::lock(&PENDING);
+            queue.push(item);
+        }
+    }
+}

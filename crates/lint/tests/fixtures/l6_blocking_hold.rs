@@ -1,0 +1,14 @@
+//! Fixture: a channel receive is awaited while the `PENDING` guard is
+//! live, stalling every thread contending for the lock (L6 violation).
+
+use std::sync::mpsc::Receiver;
+use std::sync::Mutex;
+
+pub static PENDING: Mutex<Vec<u32>> = Mutex::new(Vec::new());
+
+pub fn drain(rx: &Receiver<u32>) {
+    let mut queue = crate::lock(&PENDING);
+    while let Ok(item) = rx.recv() {
+        queue.push(item);
+    }
+}

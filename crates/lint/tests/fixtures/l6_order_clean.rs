@@ -1,0 +1,19 @@
+//! Fixture: both functions acquire the pair in the same order — the
+//! acquisition-order graph is acyclic (no L6 finding).
+
+use std::sync::Mutex;
+
+pub static ALPHA: Mutex<u32> = Mutex::new(0);
+pub static BETA: Mutex<u32> = Mutex::new(0);
+
+pub fn sum() -> u32 {
+    let a = crate::lock(&ALPHA);
+    let b = crate::lock(&BETA);
+    *a + *b
+}
+
+pub fn product() -> u32 {
+    let a = crate::lock(&ALPHA);
+    let b = crate::lock(&BETA);
+    *a * *b
+}

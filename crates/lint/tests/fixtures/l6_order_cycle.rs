@@ -1,0 +1,19 @@
+//! Fixture: the two functions acquire the same pair of locks in opposite
+//! orders, closing a cycle in the acquisition-order graph (L6 violation).
+
+use std::sync::Mutex;
+
+pub static ALPHA: Mutex<u32> = Mutex::new(0);
+pub static BETA: Mutex<u32> = Mutex::new(0);
+
+pub fn forward() -> u32 {
+    let a = crate::lock(&ALPHA);
+    let b = crate::lock(&BETA);
+    *a + *b
+}
+
+pub fn backward() -> u32 {
+    let b = crate::lock(&BETA);
+    let a = crate::lock(&ALPHA);
+    *a + *b
+}

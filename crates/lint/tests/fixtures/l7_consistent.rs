@@ -1,0 +1,14 @@
+//! Fixture: a Release store paired with Acquire loads — one consistent
+//! publication discipline (no L7 finding).
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+pub static GATE: AtomicBool = AtomicBool::new(false);
+
+pub fn open_gate() {
+    GATE.store(true, Ordering::Release);
+}
+
+pub fn gate_open() -> bool {
+    GATE.load(Ordering::Acquire)
+}

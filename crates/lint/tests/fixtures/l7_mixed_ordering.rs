@@ -1,0 +1,15 @@
+//! Fixture: one call site uses the weakest ordering while another uses
+//! SeqCst on the same atomic — inconsistent discipline (L7 violation,
+//! anchored at the declaration).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub static TICKS: AtomicU64 = AtomicU64::new(0);
+
+pub fn bump() {
+    TICKS.fetch_add(1, Ordering::SeqCst);
+}
+
+pub fn snapshot() -> u64 {
+    TICKS.load(Ordering::Relaxed)
+}

@@ -1,0 +1,16 @@
+//! Fixture: the same handoff flag as `l7_relaxed_flag.rs`, but the
+//! declaring file documents the contract, which satisfies L7.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+// Relaxed suffices: the flag is advisory and monotonic — a stale read
+// delays the observer by one poll and synchronizes no other data.
+pub static READY: AtomicBool = AtomicBool::new(false);
+
+pub fn publish() {
+    READY.store(true, Ordering::Relaxed);
+}
+
+pub fn is_ready() -> bool {
+    READY.load(Ordering::Relaxed)
+}

@@ -1,0 +1,15 @@
+//! Fixture: an AtomicBool used as a cross-thread handoff flag with
+//! store and load both at the weakest ordering, and no written contract
+//! anywhere in this file (L7 violation).
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+pub static READY: AtomicBool = AtomicBool::new(false);
+
+pub fn publish() {
+    READY.store(true, Ordering::Relaxed);
+}
+
+pub fn is_ready() -> bool {
+    READY.load(Ordering::Relaxed)
+}

@@ -1,0 +1,7 @@
+//! Fixture: a barrier file — it forwards to the sink, but callers hand
+//! it metadata about the run, not result bytes, so sink-reachability
+//! stops here.
+
+pub fn note_event(name: &str) {
+    emit_payload(name);
+}

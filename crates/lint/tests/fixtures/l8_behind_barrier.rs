@@ -1,0 +1,13 @@
+//! Fixture: calls only into the barrier file — the barrier stops taint,
+//! so this file's HashMap is not determinism-relevant (no L8 finding).
+
+use std::collections::HashMap;
+
+pub fn observe_batch(names: &[&str]) -> usize {
+    let mut seen: HashMap<&str, u32> = HashMap::new();
+    for n in names {
+        *seen.entry(n).or_insert(0) += 1;
+        note_event(n);
+    }
+    seen.len()
+}

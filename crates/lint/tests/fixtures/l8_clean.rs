@@ -1,0 +1,12 @@
+//! Fixture: hash-order iteration in a file that never reaches a sink —
+//! internal bookkeeping is allowed to use HashMap (no L8 finding).
+
+use std::collections::HashMap;
+
+pub fn tally_internal(rows: &[u32]) -> usize {
+    let mut seen: HashMap<u32, u32> = HashMap::new();
+    for &r in rows {
+        *seen.entry(r).or_insert(0) += 1;
+    }
+    seen.len()
+}

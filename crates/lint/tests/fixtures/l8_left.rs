@@ -1,0 +1,9 @@
+//! Fixture: left arm of the L8 diamond — calls the sink directly.
+
+pub fn fold_left(rows: &[u32]) {
+    let mut out = String::new();
+    for r in rows {
+        out.push_str(&r.to_string());
+    }
+    emit_payload(&out);
+}

@@ -1,0 +1,9 @@
+//! Fixture: right arm of the L8 diamond — also calls the sink directly.
+
+pub fn fold_right(rows: &[u32]) {
+    let mut out = String::new();
+    for r in rows.iter().rev() {
+        out.push_str(&r.to_string());
+    }
+    emit_payload(&out);
+}

@@ -1,0 +1,6 @@
+//! Fixture: the configured output sink of the L8 diamond — everything
+//! that reaches `emit_payload` is sink-reaching.
+
+pub fn emit_payload(line: &str) {
+    println!("{line}");
+}

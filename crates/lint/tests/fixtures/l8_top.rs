@@ -1,0 +1,14 @@
+//! Fixture: apex of the L8 diamond — reaches the sink through *both*
+//! arms. Its hash-order iteration must be flagged exactly once per line,
+//! not once per path.
+
+use std::collections::HashMap;
+
+pub fn publish_report(rows: &[u32]) {
+    let mut index: HashMap<u32, u32> = HashMap::new();
+    for &r in rows {
+        *index.entry(r).or_insert(0) += 1;
+    }
+    fold_left(rows);
+    fold_right(rows);
+}

@@ -41,7 +41,10 @@ static MODE: AtomicU8 = AtomicU8::new(OFF);
 static SAMPLES: Mutex<BTreeMap<String, u64>> = Mutex::new(BTreeMap::new());
 /// Weak handles to every thread's stack; dead threads prune on upgrade.
 static THREADS: Mutex<Vec<Weak<ThreadStack>>> = Mutex::new(Vec::new());
-/// Tells the interval sampler thread to exit.
+/// Tells the interval sampler thread to exit. Relaxed suffices (L7): the
+/// flag carries no data — the sampler only ever observes it monotonically
+/// flipping to true and exits; [`disable`] then joins the thread, which
+/// is the real synchronization point.
 static SAMPLER_STOP: AtomicBool = AtomicBool::new(false);
 static SAMPLER: Mutex<Option<std::thread::JoinHandle<()>>> = Mutex::new(None);
 

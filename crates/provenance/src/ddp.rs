@@ -14,7 +14,7 @@
 //! `⟨min feasible cost, true⟩`, or `⟨·, false⟩` when no execution is
 //! feasible.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use crate::annot::AnnId;
 use crate::eval::EvalOutcome;
@@ -130,7 +130,7 @@ impl DdpExecution {
 pub struct DdpExpr {
     pub(crate) executions: Vec<DdpExecution>,
     /// Cost value carried by each cost variable.
-    pub(crate) costs: HashMap<AnnId, f64>,
+    pub(crate) costs: BTreeMap<AnnId, f64>,
     /// Maximum cost of a single transition (paper: 10) — used by the
     /// mismatch penalty of the DDP VAL-FUNC.
     pub max_cost_per_transition: f64,
@@ -143,7 +143,7 @@ impl DdpExpr {
     pub fn new() -> Self {
         DdpExpr {
             executions: Vec::new(),
-            costs: HashMap::new(),
+            costs: BTreeMap::new(),
             max_cost_per_transition: 10.0,
             max_transitions_per_execution: 5,
         }
@@ -204,7 +204,7 @@ impl DdpExpr {
     pub fn map(&self, h: &Mapping) -> DdpExpr {
         let mut out = DdpExpr {
             executions: Vec::with_capacity(self.executions.len()),
-            costs: HashMap::new(),
+            costs: BTreeMap::new(),
             max_cost_per_transition: self.max_cost_per_transition,
             max_transitions_per_execution: self.max_transitions_per_execution,
         };

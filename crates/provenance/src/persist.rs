@@ -8,7 +8,6 @@
 //! and every structural defect in a loaded file surfaces as a typed
 //! [`ProxError::Corrupt`], never a panic.
 
-use std::collections::HashMap;
 use std::path::Path;
 
 use prox_obs::Json;
@@ -589,7 +588,7 @@ fn ddp_to_json(d: &DdpExpr) -> Json {
 }
 
 fn ddp_from_json(value: &Json) -> Result<DdpExpr, ProxError> {
-    let mut costs = HashMap::new();
+    let mut costs = std::collections::BTreeMap::new();
     for c in items(field(value, "costs")?, "ddp.costs")? {
         let (k, v) = pair(c, "ddp cost")?;
         costs.insert(ann_of(k, "ddp cost variable")?, f64_of(v, "ddp cost")?);

@@ -1,12 +1,22 @@
 //! Property-based tests for the provenance substrate's core data
 //! structures: monoid/semiring laws, simplification idempotence, mapping
 //! homomorphism at the expression level, and DDP invariants.
+//!
+//! Random cases come from the workspace's deterministic splitmix64
+//! generator ([`prox_robust::fault::DetRng`]) rather than an external
+//! property-testing framework: every failure replays from the fixed seed,
+//! and the harness runs identically offline.
 
-use proptest::prelude::*;
 use prox_provenance::{
     AggExpr, AggKind, AggValue, AnnId, DbCondOp, DdpExecution, DdpExpr, DdpTransition, Mapping,
     Monomial, Polynomial, ProvExpr, Tensor, Valuation,
 };
+use prox_robust::fault::DetRng;
+
+/// Cases per property.
+const CASES: usize = 64;
+
+const KINDS: [AggKind; 4] = [AggKind::Max, AggKind::Min, AggKind::Sum, AggKind::Count];
 
 fn ann(ix: usize) -> AnnId {
     AnnId::from_index(ix)
@@ -17,72 +27,94 @@ fn agg_eq(a: AggValue, b: AggValue) -> bool {
     a.count == b.count && (a.value - b.value).abs() < 1e-9
 }
 
-fn arb_aggvalue() -> impl Strategy<Value = AggValue> {
-    (0.0f64..10.0, 0u64..5).prop_map(|(v, c)| {
-        if c == 0 {
-            AggValue::empty()
-        } else {
-            AggValue::new(v, c)
-        }
-    })
+/// A random value in `[0, 10)` with two decimal digits of precision.
+fn random_value(rng: &mut DetRng) -> f64 {
+    (rng.next_u64() % 1000) as f64 / 100.0
 }
 
-fn arb_kind() -> impl Strategy<Value = AggKind> {
-    prop_oneof![
-        Just(AggKind::Max),
-        Just(AggKind::Min),
-        Just(AggKind::Sum),
-        Just(AggKind::Count),
-    ]
-}
-
-fn arb_tensor() -> impl Strategy<Value = Tensor> {
-    (prop::collection::vec(0usize..6, 1..=3), 0.0f64..10.0).prop_map(|(vars, value)| {
-        Tensor::new(
-            Polynomial::from_monomial(Monomial::from_factors(vars.into_iter().map(ann).collect())),
-            AggValue::single(value),
-        )
-    })
-}
-
-fn arb_valuation() -> impl Strategy<Value = Valuation> {
-    prop::collection::vec(any::<bool>(), 8).prop_map(|bits| {
-        let mut v = Valuation::all_true();
-        for (ix, b) in bits.into_iter().enumerate() {
-            v.set(ann(ix), b);
-        }
-        v
-    })
-}
-
-proptest! {
-    /// The (value, count) aggregation monoid is commutative, associative
-    /// (up to f64 rounding for SUM), and absorbs the empty element — for
-    /// every aggregation kind.
-    #[test]
-    fn aggvalue_monoid_laws(
-        a in arb_aggvalue(),
-        b in arb_aggvalue(),
-        c in arb_aggvalue(),
-        kind in arb_kind(),
-    ) {
-        prop_assert!(agg_eq(a.combine(b, kind), b.combine(a, kind)));
-        prop_assert!(agg_eq(
-            a.combine(b, kind).combine(c, kind),
-            a.combine(b.combine(c, kind), kind)
-        ));
-        prop_assert!(agg_eq(a.combine(AggValue::empty(), kind), a));
-        prop_assert!(agg_eq(AggValue::empty().combine(a, kind), a));
+/// A random aggregation value: count 0–4, the empty element when 0.
+fn random_aggvalue(rng: &mut DetRng) -> AggValue {
+    let count = rng.next_u64() % 5;
+    if count == 0 {
+        AggValue::empty()
+    } else {
+        AggValue::new(random_value(rng), count)
     }
+}
 
-    /// Simplification is idempotent and preserves evaluation under every
-    /// valuation.
-    #[test]
-    fn simplify_is_idempotent_and_sound(
-        tensors in prop::collection::vec(arb_tensor(), 0..8),
-        kind in arb_kind(),
-        v in arb_valuation(),
-    ) {
+fn random_kind(rng: &mut DetRng) -> AggKind {
+    KINDS[(rng.next_u64() as usize) % KINDS.len()]
+}
+
+/// A random tensor: monomial of degree 1–3 over 6 variables, one value.
+fn random_tensor(rng: &mut DetRng) -> Tensor {
+    let degree = (rng.next_u64() % 3 + 1) as usize;
+    let vars: Vec<AnnId> = (0..degree)
+        .map(|_| ann((rng.next_u64() as usize) % 6))
+        .collect();
+    Tensor::new(
+        Polynomial::from_monomial(Monomial::from_factors(vars)),
+        AggValue::single(random_value(rng)),
+    )
+}
+
+/// A random vector of tensors with `lo..hi` elements.
+fn random_tensors(rng: &mut DetRng, lo: u64, hi: u64) -> Vec<Tensor> {
+    let n = (rng.next_u64() % (hi - lo) + lo) as usize;
+    (0..n).map(|_| random_tensor(rng)).collect()
+}
+
+/// A random valuation over 8 variables.
+fn random_valuation(rng: &mut DetRng) -> Valuation {
+    let mut v = Valuation::all_true();
+    for ix in 0..8 {
+        v.set(ann(ix), rng.next_u64().is_multiple_of(2));
+    }
+    v
+}
+
+/// The (value, count) aggregation monoid is commutative, associative
+/// (up to f64 rounding for SUM), and absorbs the empty element — for
+/// every aggregation kind.
+#[test]
+fn aggvalue_monoid_laws() {
+    let mut rng = DetRng::new(0x5eed_0200);
+    for case in 0..CASES {
+        let a = random_aggvalue(&mut rng);
+        let b = random_aggvalue(&mut rng);
+        let c = random_aggvalue(&mut rng);
+        let kind = random_kind(&mut rng);
+        assert!(
+            agg_eq(a.combine(b, kind), b.combine(a, kind)),
+            "commutativity (case {case})"
+        );
+        assert!(
+            agg_eq(
+                a.combine(b, kind).combine(c, kind),
+                a.combine(b.combine(c, kind), kind)
+            ),
+            "associativity (case {case})"
+        );
+        assert!(
+            agg_eq(a.combine(AggValue::empty(), kind), a),
+            "right identity (case {case})"
+        );
+        assert!(
+            agg_eq(AggValue::empty().combine(a, kind), a),
+            "left identity (case {case})"
+        );
+    }
+}
+
+/// Simplification is idempotent and preserves evaluation under every
+/// valuation.
+#[test]
+fn simplify_is_idempotent_and_sound() {
+    let mut rng = DetRng::new(0x5eed_0201);
+    for case in 0..CASES {
+        let tensors = random_tensors(&mut rng, 0, 8);
+        let kind = random_kind(&mut rng);
+        let v = random_valuation(&mut rng);
         let raw = {
             let mut e = AggExpr::new(kind);
             for t in tensors.clone() {
@@ -90,64 +122,80 @@ proptest! {
             }
             e
         };
-        let once = AggExpr::from_tensors(tensors.clone(), kind);
+        let once = AggExpr::from_tensors(tensors, kind);
         let twice = {
             let mut e = once.clone();
             e.simplify();
             e
         };
-        prop_assert_eq!(&once, &twice, "simplify is idempotent");
+        assert_eq!(once, twice, "simplify is idempotent (case {case})");
         // SUM folds in a different order after merging; allow f64 rounding.
-        prop_assert!(
+        assert!(
             agg_eq(raw.eval(&v), once.eval(&v)),
-            "simplify preserves eval: {:?} vs {:?}",
+            "simplify preserves eval (case {case}): {:?} vs {:?}",
             raw.eval(&v),
             once.eval(&v)
         );
     }
+}
 
-    /// Mapping application commutes with evaluation when the valuation
-    /// treats every merged annotation identically (the congruence that
-    /// justifies homomorphic summarization).
-    #[test]
-    fn mapping_commutes_with_uniform_valuations(
-        tensors in prop::collection::vec(arb_tensor(), 1..6),
-        kind in arb_kind(),
-        all in any::<bool>(),
-    ) {
+/// Mapping application commutes with evaluation when the valuation
+/// treats every merged annotation identically (the congruence that
+/// justifies homomorphic summarization).
+#[test]
+fn mapping_commutes_with_uniform_valuations() {
+    let mut rng = DetRng::new(0x5eed_0202);
+    for case in 0..CASES {
+        let tensors = random_tensors(&mut rng, 1, 6);
+        let kind = random_kind(&mut rng);
+        let all = rng.next_u64().is_multiple_of(2);
         let e = AggExpr::from_tensors(tensors, kind);
         let h = Mapping::group(&(0..6).map(ann).collect::<Vec<_>>(), ann(10));
         let mapped = e.map(&h);
-        let v = if all { Valuation::all_true() } else { Valuation::all_false() };
+        let v = if all {
+            Valuation::all_true()
+        } else {
+            Valuation::all_false()
+        };
         // Uniform valuations assign the group the same value as members.
         let mut v2 = v.clone();
         v2.set(ann(10), all);
         // SUM folds in a different order after merging; allow f64 rounding.
         let lhs = e.eval(&v).result();
         let rhs = mapped.eval(&v2).result();
-        prop_assert!((lhs - rhs).abs() < 1e-9, "{lhs} vs {rhs}");
+        assert!((lhs - rhs).abs() < 1e-9, "case {case}: {lhs} vs {rhs}");
     }
+}
 
-    /// Expression size is the sum of tensor degrees and never grows under
-    /// mapping.
-    #[test]
-    fn size_accounting(tensors in prop::collection::vec(arb_tensor(), 0..8), kind in arb_kind()) {
+/// Expression size is the sum of tensor degrees and never grows under
+/// mapping.
+#[test]
+fn size_accounting() {
+    let mut rng = DetRng::new(0x5eed_0203);
+    for case in 0..CASES {
+        let tensors = random_tensors(&mut rng, 0, 8);
+        let kind = random_kind(&mut rng);
         let e = AggExpr::from_tensors(tensors, kind);
-        let total: usize = e.tensors().iter().map(|t| t.size()).sum();
-        prop_assert_eq!(e.size(), total);
+        let total: usize = e.tensors().iter().map(Tensor::size).sum();
+        assert_eq!(e.size(), total, "size is sum of degrees (case {case})");
         let h = Mapping::group(&[ann(0), ann(1), ann(2)], ann(10));
-        prop_assert!(e.map(&h).size() <= e.size());
+        assert!(
+            e.map(&h).size() <= e.size(),
+            "size grew under mapping (case {case})"
+        );
     }
+}
 
-    /// ProvExpr evaluation restricted to one object equals that object's
-    /// AggExpr evaluation.
-    #[test]
-    fn provexpr_coordinates_are_independent(
-        t1 in prop::collection::vec(arb_tensor(), 1..4),
-        t2 in prop::collection::vec(arb_tensor(), 1..4),
-        kind in arb_kind(),
-        v in arb_valuation(),
-    ) {
+/// ProvExpr evaluation restricted to one object equals that object's
+/// AggExpr evaluation.
+#[test]
+fn provexpr_coordinates_are_independent() {
+    let mut rng = DetRng::new(0x5eed_0204);
+    for case in 0..CASES {
+        let t1 = random_tensors(&mut rng, 1, 4);
+        let t2 = random_tensors(&mut rng, 1, 4);
+        let kind = random_kind(&mut rng);
+        let v = random_valuation(&mut rng);
         let o1 = ann(20);
         let o2 = ann(21);
         let mut p = ProvExpr::new(kind);
@@ -160,24 +208,28 @@ proptest! {
         p.simplify();
         let vec = p.eval(&v);
         let solo = AggExpr::from_tensors(t1, kind);
-        prop_assert_eq!(vec.scalar_for(o1), Some(solo.eval(&v).result()));
+        assert_eq!(
+            vec.scalar_for(o1),
+            Some(solo.eval(&v).result()),
+            "coordinate independence (case {case})"
+        );
     }
+}
 
-    /// DDP mapping never increases size, and deduplication keeps
-    /// evaluation under the all-true valuation unchanged when no condition
-    /// polarity conflicts exist.
-    #[test]
-    fn ddp_mapping_size_monotone(
-        execs in prop::collection::vec(
-            prop::collection::vec((0usize..6, any::<bool>(), 0usize..3), 1..4),
-            1..5,
-        ),
-    ) {
+/// DDP mapping never increases size.
+#[test]
+fn ddp_mapping_size_monotone() {
+    let mut rng = DetRng::new(0x5eed_0205);
+    for case in 0..CASES {
+        let nexecs = (rng.next_u64() % 4 + 1) as usize;
         let mut p = DdpExpr::new();
-        for (ix, spec) in execs.iter().enumerate() {
-            let transitions = spec
-                .iter()
-                .map(|&(var, is_user, extra)| {
+        for _ in 0..nexecs {
+            let ntrans = (rng.next_u64() % 3 + 1) as usize;
+            let transitions = (0..ntrans)
+                .map(|_| {
+                    let var = (rng.next_u64() as usize) % 6;
+                    let is_user = rng.next_u64().is_multiple_of(2);
+                    let extra = (rng.next_u64() as usize) % 3;
                     if is_user {
                         p.set_cost(ann(var), (var + 1) as f64);
                         DdpTransition::user(ann(var))
@@ -186,11 +238,13 @@ proptest! {
                     }
                 })
                 .collect();
-            let _ = ix;
             p.push(DdpExecution::new(transitions));
         }
         let h = Mapping::group(&[ann(0), ann(1)], ann(10));
         let mapped = p.map(&h);
-        prop_assert!(mapped.size() <= p.size());
+        assert!(
+            mapped.size() <= p.size(),
+            "DDP size grew under mapping (case {case})"
+        );
     }
 }

@@ -64,7 +64,7 @@ fn check_laws<K: Semiring + std::fmt::Debug>(a: &K, b: &K, c: &K, case: usize) {
 #[test]
 fn polynomial_semiring_laws_hold() {
     let pool = pool();
-    let mut rng = DetRng::new(0x5eed_1);
+    let mut rng = DetRng::new(0x5eed_0001);
     for case in 0..CASES {
         let a = random_poly(&mut rng, &pool);
         let b = random_poly(&mut rng, &pool);
@@ -97,9 +97,9 @@ impl Semiring for Poly {
 
 #[test]
 fn bool_semiring_laws_hold() {
-    let mut rng = DetRng::new(0x5eed_2);
+    let mut rng = DetRng::new(0x5eed_0002);
     for case in 0..CASES {
-        let mut next = || Bool(rng.next_u64() % 2 == 0);
+        let mut next = || Bool(rng.next_u64().is_multiple_of(2));
         let (a, b, c) = (next(), next(), next());
         check_laws(&a, &b, &c, case);
     }
@@ -107,7 +107,7 @@ fn bool_semiring_laws_hold() {
 
 #[test]
 fn count_semiring_laws_hold() {
-    let mut rng = DetRng::new(0x5eed_3);
+    let mut rng = DetRng::new(0x5eed_0003);
     for case in 0..CASES {
         // Small values: the laws must hold exactly, away from saturation.
         let mut next = || Count(rng.next_u64() % 17);
@@ -118,7 +118,7 @@ fn count_semiring_laws_hold() {
 
 #[test]
 fn tropical_semiring_laws_hold() {
-    let mut rng = DetRng::new(0x5eed_4);
+    let mut rng = DetRng::new(0x5eed_0004);
     for case in 0..CASES {
         // Whole-valued costs keep `+` exact so associativity is strict.
         let mut next = || match rng.next_u64() % 4 {
@@ -135,7 +135,7 @@ fn eval_in_is_a_semiring_homomorphism() {
     // h(p ⊕ q) = h(p) ⊕ h(q) and h(p ⊗ q) = h(p) ⊗ h(q) for the
     // evaluation homomorphism into Count induced by any assignment.
     let pool = pool();
-    let mut rng = DetRng::new(0x5eed_5);
+    let mut rng = DetRng::new(0x5eed_0005);
     for case in 0..CASES {
         let p = random_poly(&mut rng, &pool);
         let q = random_poly(&mut rng, &pool);

@@ -83,7 +83,7 @@ mod tests {
         let mut prev = 5u64;
         while let Some(d) = b.next_delay_ms() {
             assert!((5..=40).contains(&d), "delay {d} out of [base, cap]");
-            assert!(d <= prev.saturating_mul(3).max(5).min(40));
+            assert!(d <= prev.saturating_mul(3).clamp(5, 40));
             prev = d;
         }
         assert_eq!(b.attempts(), 16);

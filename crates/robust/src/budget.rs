@@ -68,6 +68,12 @@ impl CancelFlag {
     }
 
     /// Raise the flag.
+    ///
+    /// Relaxed ordering suffices (L7): the flag is advisory and carries
+    /// no data — it only ever flips false→true, the polling loop acts on
+    /// it by *stopping* (never by reading shared state the canceller
+    /// wrote), and a late observation just means one more budget-bounded
+    /// step.
     pub fn cancel(&self) {
         self.0.store(true, Ordering::Relaxed);
     }

@@ -244,6 +244,9 @@ pub fn client_request(
         .map(|(status, _, body)| (status, body))
 }
 
+/// Status code, lowercased response headers, and body of a client response.
+pub type ClientResponse = (u16, Vec<(String, String)>, String);
+
 /// [`client_request`], but also returning the response headers
 /// (names lowercased) so callers can read `X-Prox-Trace-Id`.
 pub fn client_request_full(
@@ -253,7 +256,7 @@ pub fn client_request_full(
     headers: &[(&str, String)],
     body: &[u8],
     deadline_ms: u64,
-) -> Result<(u16, Vec<(String, String)>, String), ProxError> {
+) -> Result<ClientResponse, ProxError> {
     let mut stream =
         TcpStream::connect(addr).map_err(|e| ProxError::io(format!("connect {addr}"), &e))?;
     let _ = stream.set_read_timeout(Some(Duration::from_millis(100)));

@@ -1,6 +1,9 @@
 //! End-to-end tests over a real socket: a server on an ephemeral port,
 //! exercised through the blocking HTTP client in `prox_serve::http`.
 
+// Harness helpers outside #[test] fns still panic on broken setup.
+#![allow(clippy::expect_used)]
+
 use std::net::TcpStream;
 use std::time::{Duration, Instant};
 

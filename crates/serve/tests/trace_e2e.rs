@@ -4,6 +4,9 @@
 //! Own test binary: tracing is gated on the process-global prox-obs
 //! enabled flag, and these assertions must not race unrelated tests.
 
+// Harness helpers outside #[test] fns still panic on broken setup.
+#![allow(clippy::expect_used)]
+
 use prox_obs::Json;
 use prox_serve::http::client_request_full;
 use prox_serve::{Server, ServerConfig, ServerHandle};

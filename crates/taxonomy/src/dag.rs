@@ -40,7 +40,10 @@ impl Taxonomy {
         if let Some(&id) = self.by_name.get(name) {
             return id;
         }
-        let id = ConceptId(u32::try_from(self.names.len()).expect("too many concepts"));
+        // ConceptId is u32; no generator in this workspace approaches 4
+        // billion concepts (the WordNet fragment has dozens).
+        assert!(u32::try_from(self.names.len()).is_ok(), "too many concepts");
+        let id = ConceptId(self.names.len() as u32);
         self.names.push(name.to_owned());
         self.by_name.insert(name.to_owned(), id);
         self.parents.push(Vec::new());

@@ -9,6 +9,12 @@
 //! conditional guard `[Sᵢ·Uᵢ ⊗ NumRate > 2]` so the activity condition
 //! stays symbolic in the provenance, exactly as in Example 2.2.1.
 
+// This module builds a fixed, self-contained demo database (see the
+// matching lint.allow entries): the expects are lookups over names and
+// columns the same function inserted lines earlier, so a failure is a bug
+// in the construction code itself.
+#![allow(clippy::expect_used)]
+
 use prox_provenance::{
     AggKind, AggValue, AnnId, AnnStore, CmpOp, Guard, Polynomial, ProvExpr, Tensor,
 };

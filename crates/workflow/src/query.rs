@@ -6,6 +6,7 @@ use std::collections::HashMap;
 
 use prox_provenance::{AggExpr, AggKind, AggValue, Tensor};
 
+use crate::module::WorkflowError;
 use crate::relation::{Relation, Tuple, Value};
 
 /// Selection: keep tuples satisfying the predicate; annotations unchanged.
@@ -100,37 +101,42 @@ pub fn union(a: &Relation, b: &Relation) -> Relation {
 
 /// Group-by aggregation producing a provenance-aware value per group
 /// (§2.2's extension of K-relations with aggregated values): each group's
-/// value is the formal sum `⊕ᵢ tᵢ ⊗ vᵢ` over its tuples.
+/// value is the formal sum `⊕ᵢ tᵢ ⊗ vᵢ` over its tuples. Errs when the
+/// value column holds a non-numeric value — aggregation input is data, not
+/// construction-time wiring, so this is a typed failure rather than a
+/// panic.
 pub fn aggregate(
     r: &Relation,
     group_col: &str,
     value_col: &str,
     kind: AggKind,
-) -> Vec<(Value, AggExpr)> {
+) -> Result<Vec<(Value, AggExpr)>, WorkflowError> {
     let gix = r.col(group_col);
     let vix = r.col(value_col);
-    let mut order: Vec<String> = Vec::new();
-    let mut groups: HashMap<String, (Value, Vec<Tensor>)> = HashMap::new();
+    // Group slots in first-seen order; the index maps rendered keys to
+    // slots so there is no second lookup that could miss.
+    let mut index: HashMap<String, usize> = HashMap::new();
+    let mut groups: Vec<(Value, Vec<Tensor>)> = Vec::new();
     for t in &r.tuples {
         let key = t.values[gix].to_string();
-        let value = t.values[vix]
-            .as_num()
-            .expect("aggregating a numeric column");
-        let entry = groups.entry(key.clone()).or_insert_with(|| {
-            order.push(key);
-            (t.values[gix].clone(), Vec::new())
+        let value = t.values[vix].as_num().ok_or_else(|| {
+            WorkflowError::BadInput(format!(
+                "aggregate({value_col}): non-numeric value {} in group {key}",
+                t.values[vix]
+            ))
+        })?;
+        let slot = *index.entry(key).or_insert_with(|| {
+            groups.push((t.values[gix].clone(), Vec::new()));
+            groups.len() - 1
         });
-        entry
+        groups[slot]
             .1
             .push(Tensor::new(t.ann.clone(), AggValue::single(value)));
     }
-    order
+    Ok(groups
         .into_iter()
-        .map(|key| {
-            let (group, tensors) = groups.remove(&key).expect("group recorded");
-            (group, AggExpr::from_tensors(tensors, kind))
-        })
-        .collect()
+        .map(|(group, tensors)| (group, AggExpr::from_tensors(tensors, kind)))
+        .collect())
 }
 
 #[cfg(test)]
@@ -224,7 +230,7 @@ mod tests {
 
     #[test]
     fn aggregate_builds_tensor_sums() {
-        let groups = aggregate(&reviews(), "movie", "score", AggKind::Max);
+        let groups = aggregate(&reviews(), "movie", "score", AggKind::Max).expect("numeric scores");
         assert_eq!(groups.len(), 2);
         let (mp, expr) = &groups[0];
         assert_eq!(mp.as_str(), Some("MP"));
@@ -232,6 +238,14 @@ mod tests {
         assert_eq!(expr.eval(&Valuation::all_true()).result(), 5.0);
         let v = Valuation::cancel(&[ann(11)]);
         assert_eq!(expr.eval(&v).result(), 3.0);
+    }
+
+    #[test]
+    fn aggregate_rejects_non_numeric_column() {
+        let err =
+            aggregate(&reviews(), "movie", "uid", AggKind::Sum).expect_err("uid is not numeric");
+        assert!(matches!(err, WorkflowError::BadInput(_)), "got {err:?}");
+        assert!(err.to_string().contains("non-numeric"), "got {err}");
     }
 
     #[test]

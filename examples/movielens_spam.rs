@@ -5,6 +5,10 @@
 //!
 //! Run with `cargo run --release --example movielens_spam`.
 
+// Demo binary: a failed setup has no recovery path, so the expects
+// double as the error report.
+#![allow(clippy::expect_used)]
+
 use prox::core::{SummarizeConfig, Summarizer};
 use prox::datasets::{MovieLens, MovieLensConfig};
 use prox::provenance::{AggKind, Phi, Valuation, ValuationClass};

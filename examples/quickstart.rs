@@ -7,6 +7,10 @@
 //!
 //! Run with `cargo run --example quickstart`.
 
+// Demo binary: a failed setup has no recovery path, so the expects
+// double as the error report.
+#![allow(clippy::expect_used)]
+
 use prox::core::{ConstraintConfig, MergeRule, SummarizeConfig, Summarizer};
 use prox::provenance::{
     display, AggKind, AggValue, AnnStore, Polynomial, ProvExpr, Tensor, Valuation, ValuationClass,

@@ -5,6 +5,10 @@
 //!
 //! Run with `cargo run --release --example wikipedia_topics`.
 
+// Demo binary: a failed setup has no recovery path, so the expects
+// double as the error report.
+#![allow(clippy::expect_used)]
+
 use prox::core::{SummarizeConfig, Summarizer};
 use prox::datasets::{Wikipedia, WikipediaConfig};
 use prox::provenance::{display, ValuationClass};

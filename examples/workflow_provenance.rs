@@ -4,6 +4,10 @@
 //!
 //! Run with `cargo run --example workflow_provenance`.
 
+// Demo binary: a failed setup has no recovery path, so the expects
+// double as the error report.
+#![allow(clippy::expect_used)]
+
 use prox::core::{ConstraintConfig, MergeRule, SummarizeConfig, Summarizer};
 use prox::provenance::{display, AggKind, AnnStore, Valuation, ValuationClass};
 use prox::workflow::{demo_database, movie_workflow, movies_provenance, reviews_relation};

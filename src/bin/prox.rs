@@ -206,13 +206,17 @@ impl App {
             "stats" => {
                 if prox_obs::enabled() {
                     format!(
-                        "{}{}{}",
+                        "{}{}{}{}",
                         prox_obs::render_snapshot(),
                         render_window_stats(),
-                        render_resilience_stats()
+                        render_resilience_stats(),
+                        render_lint_stats()
                     )
                 } else {
-                    "observability is off — run with --trace <path> or PROX_TRACE=1".to_owned()
+                    format!(
+                        "observability is off — run with --trace <path> or PROX_TRACE=1\n{}",
+                        render_lint_stats()
+                    )
                 }
             }
             "help" => HELP.to_owned(),
@@ -259,6 +263,57 @@ fn render_window_stats() -> String {
             out.push_str(&format!(" p50={p50}us p95={p95}us p99={p99}us"));
         }
         out.push('\n');
+    }
+    out
+}
+
+/// Render the last `prox-lint --json` report (`reports/lint.json`), or
+/// nothing when no report has been written — lint state is part of the
+/// repo's health picture alongside the runtime counters.
+fn render_lint_stats() -> String {
+    let path = prox_bench::report::reports_dir().join("lint.json");
+    let Ok(text) = std::fs::read_to_string(&path) else {
+        return String::new();
+    };
+    let Ok(report) = prox_obs::Json::parse(&text) else {
+        return format!("lint: unreadable report at {}\n", path.display());
+    };
+    let count = |key: &str| {
+        report
+            .get(key)
+            .and_then(prox_obs::Json::as_u64)
+            .unwrap_or(0)
+    };
+    let arr_len = |key: &str| match report.get(key) {
+        Some(prox_obs::Json::Arr(items)) => items.len(),
+        _ => 0,
+    };
+    let mut out = format!(
+        "lint (reports/lint.json):\n  {:<40} {}\n  {:<40} {}\n  {:<40} {}\n  {:<40} {}\n",
+        "violations",
+        arr_len("violations"),
+        "allowlisted",
+        count("allowed"),
+        "files scanned",
+        count("files_scanned"),
+        "determinism-sensitive files",
+        arr_len("det_files")
+    );
+    if let Some(entries) = report.get("violations_by_rule").and_then(|v| v.entries()) {
+        let nonzero: Vec<String> = entries
+            .iter()
+            .filter_map(|(rule, n)| {
+                let n = n.as_u64().unwrap_or(0);
+                (n > 0).then(|| format!("{rule}={n}"))
+            })
+            .collect();
+        if !nonzero.is_empty() {
+            out.push_str(&format!(
+                "  {:<40} {}\n",
+                "findings by rule (incl. allowlisted)",
+                nonzero.join(" ")
+            ));
+        }
     }
     out
 }

@@ -7,6 +7,9 @@
 //! reports real numbers here. Registry, allocator epoch, and profiler
 //! state are process-global; the tests serialize on `GATE`.
 
+// Harness helpers outside #[test] fns still panic on broken setup.
+#![allow(clippy::expect_used)]
+
 use std::sync::Mutex;
 
 use prox::cluster::{cluster, DissimilarityMatrix, Linkage};

@@ -1,94 +1,171 @@
-//! Property-based integration tests (proptest): algebraic laws of the
-//! provenance model and invariants of the summarization algorithm on
-//! randomly generated inputs.
+//! Property-based integration tests: algebraic laws of the provenance
+//! model and invariants of the summarization algorithm on randomly
+//! generated inputs.
+//!
+//! Random cases come from the workspace's deterministic splitmix64
+//! generator ([`prox::robust::fault::DetRng`]) rather than an external
+//! property-testing framework: every failure replays from the fixed seed,
+//! and the harness runs identically offline (rule L2 — no ambient
+//! entropy, even in tests that are allowed to use it).
 
-use proptest::prelude::*;
 use prox::core::{ConstraintConfig, MergeRule, SummarizeConfig, Summarizer};
 use prox::provenance::{
     AggKind, AggValue, AnnId, AnnStore, Mapping, Monomial, Phi, PhiMap, Polynomial, ProvExpr,
     Summarizable, Tensor, Valuation, ValuationClass,
 };
+use prox::robust::fault::DetRng;
 
 const NVARS: usize = 6;
+/// Cases per algebraic law; cheap properties get the full count.
+const CASES: usize = 64;
+/// Cases per summarizer run; each case runs the whole algorithm.
+const ALGO_CASES: usize = 24;
 
 fn ann(ix: usize) -> AnnId {
     AnnId::from_index(ix)
 }
 
-/// Strategy: a random monomial over NVARS variables, degree ≤ 3.
-fn arb_monomial() -> impl Strategy<Value = Monomial> {
-    prop::collection::vec(0..NVARS, 0..=3)
-        .prop_map(|ixs| Monomial::from_factors(ixs.into_iter().map(ann).collect()))
+/// A random monomial over NVARS variables, degree ≤ 3.
+fn random_monomial(rng: &mut DetRng) -> Monomial {
+    let degree = (rng.next_u64() % 4) as usize;
+    Monomial::from_factors(
+        (0..degree)
+            .map(|_| ann((rng.next_u64() as usize) % NVARS))
+            .collect(),
+    )
 }
 
-/// Strategy: a random polynomial with ≤ 4 terms, coefficients ≤ 3.
-fn arb_poly() -> impl Strategy<Value = Polynomial> {
-    prop::collection::vec((arb_monomial(), 1u64..=3), 0..=4).prop_map(Polynomial::from_terms)
+/// A random polynomial with ≤ 4 terms, coefficients ≤ 3; occasionally the
+/// constants 0 and 1 so identity edge cases are hit.
+fn random_poly(rng: &mut DetRng) -> Polynomial {
+    match rng.next_u64() % 10 {
+        0 => return Polynomial::zero(),
+        1 => return Polynomial::one(),
+        _ => {}
+    }
+    let terms = (rng.next_u64() % 5) as usize;
+    Polynomial::from_terms(
+        (0..terms)
+            .map(|_| (random_monomial(rng), rng.next_u64() % 3 + 1))
+            .collect::<Vec<_>>(),
+    )
 }
 
-/// Strategy: a random valuation over the NVARS variables.
-fn arb_valuation() -> impl Strategy<Value = Valuation> {
-    prop::collection::vec(any::<bool>(), NVARS).prop_map(|bits| {
-        let mut v = Valuation::all_true();
-        for (ix, b) in bits.into_iter().enumerate() {
-            v.set(ann(ix), b);
-        }
-        v
-    })
+/// A random valuation over the NVARS variables.
+fn random_valuation(rng: &mut DetRng) -> Valuation {
+    let mut v = Valuation::all_true();
+    for ix in 0..NVARS {
+        v.set(ann(ix), rng.next_u64().is_multiple_of(2));
+    }
+    v
 }
 
-/// Strategy: a random mapping of the NVARS variables onto 3 targets.
-fn arb_mapping() -> impl Strategy<Value = Mapping> {
-    prop::collection::vec(0..3usize, NVARS).prop_map(|targets| {
-        let mut m = Mapping::identity();
-        for (from, t) in targets.into_iter().enumerate() {
-            // Targets live outside the variable range to avoid chains.
-            m.set(ann(from), ann(NVARS + t));
-        }
-        m
-    })
+/// A random mapping of the NVARS variables onto 3 targets. Targets live
+/// outside the variable range to avoid chains.
+fn random_mapping(rng: &mut DetRng) -> Mapping {
+    let mut m = Mapping::identity();
+    for from in 0..NVARS {
+        let t = (rng.next_u64() as usize) % 3;
+        m.set(ann(from), ann(NVARS + t));
+    }
+    m
 }
 
-proptest! {
-    /// Semiring laws hold for random polynomials.
-    #[test]
-    fn polynomial_semiring_laws(a in arb_poly(), b in arb_poly(), c in arb_poly()) {
-        prop_assert_eq!(a.add(&b), b.add(&a));
-        prop_assert_eq!(a.mul(&b), b.mul(&a));
-        prop_assert_eq!(a.add(&b).add(&c), a.add(&b.add(&c)));
-        prop_assert_eq!(a.mul(&b).mul(&c), a.mul(&b.mul(&c)));
-        prop_assert_eq!(a.mul(&b.add(&c)), a.mul(&b).add(&a.mul(&c)));
-        prop_assert_eq!(a.add(&Polynomial::zero()), a.clone());
-        prop_assert_eq!(a.mul(&Polynomial::one()), a.clone());
-        prop_assert_eq!(a.mul(&Polynomial::zero()), Polynomial::zero());
+/// Semiring laws hold for random polynomials.
+#[test]
+fn polynomial_semiring_laws() {
+    let mut rng = DetRng::new(0x5eed_0100);
+    for case in 0..CASES {
+        let a = random_poly(&mut rng);
+        let b = random_poly(&mut rng);
+        let c = random_poly(&mut rng);
+        assert_eq!(a.add(&b), b.add(&a), "⊕ comm (case {case})");
+        assert_eq!(a.mul(&b), b.mul(&a), "⊗ comm (case {case})");
+        assert_eq!(
+            a.add(&b).add(&c),
+            a.add(&b.add(&c)),
+            "⊕ assoc (case {case})"
+        );
+        assert_eq!(
+            a.mul(&b).mul(&c),
+            a.mul(&b.mul(&c)),
+            "⊗ assoc (case {case})"
+        );
+        assert_eq!(
+            a.mul(&b.add(&c)),
+            a.mul(&b).add(&a.mul(&c)),
+            "distributivity (case {case})"
+        );
+        assert_eq!(a.add(&Polynomial::zero()), a, "⊕ identity (case {case})");
+        assert_eq!(a.mul(&Polynomial::one()), a, "⊗ identity (case {case})");
+        assert_eq!(
+            a.mul(&Polynomial::zero()),
+            Polynomial::zero(),
+            "0 annihilates (case {case})"
+        );
     }
+}
 
-    /// Mapping application is a homomorphism: h(a+b) = h(a)+h(b) and
-    /// h(a·b) = h(a)·h(b).
-    #[test]
-    fn mapping_is_homomorphic(a in arb_poly(), b in arb_poly(), h in arb_mapping()) {
-        prop_assert_eq!(a.add(&b).map(&h), a.map(&h).add(&b.map(&h)));
-        prop_assert_eq!(a.mul(&b).map(&h), a.map(&h).mul(&b.map(&h)));
+/// Mapping application is a homomorphism: h(a+b) = h(a)+h(b) and
+/// h(a·b) = h(a)·h(b).
+#[test]
+fn mapping_is_homomorphic() {
+    let mut rng = DetRng::new(0x5eed_0101);
+    for case in 0..CASES {
+        let a = random_poly(&mut rng);
+        let b = random_poly(&mut rng);
+        let h = random_mapping(&mut rng);
+        assert_eq!(
+            a.add(&b).map(&h),
+            a.map(&h).add(&b.map(&h)),
+            "⊕ preserved (case {case})"
+        );
+        assert_eq!(
+            a.mul(&b).map(&h),
+            a.map(&h).mul(&b.map(&h)),
+            "⊗ preserved (case {case})"
+        );
     }
+}
 
-    /// Boolean evaluation commutes with the counting evaluation's
-    /// positivity, for any valuation.
-    #[test]
-    fn eval_bool_matches_count_positivity(p in arb_poly(), v in arb_valuation()) {
-        prop_assert_eq!(p.eval_bool(&v), p.eval_count(&v) > 0);
+/// Boolean evaluation commutes with the counting evaluation's positivity,
+/// for any valuation.
+#[test]
+fn eval_bool_matches_count_positivity() {
+    let mut rng = DetRng::new(0x5eed_0102);
+    for case in 0..CASES {
+        let p = random_poly(&mut rng);
+        let v = random_valuation(&mut rng);
+        assert_eq!(
+            p.eval_bool(&v),
+            p.eval_count(&v) > 0,
+            "bool vs count (case {case}, p = {p:?})"
+        );
     }
+}
 
-    /// Size never increases under a mapping (half of Prop 4.2.2, at the
-    /// polynomial level).
-    #[test]
-    fn mapping_never_grows_size(p in arb_poly(), h in arb_mapping()) {
-        prop_assert!(p.map(&h).size() <= p.size());
+/// Size never increases under a mapping (half of Prop 4.2.2, at the
+/// polynomial level).
+#[test]
+fn mapping_never_grows_size() {
+    let mut rng = DetRng::new(0x5eed_0103);
+    for case in 0..CASES {
+        let p = random_poly(&mut rng);
+        let h = random_mapping(&mut rng);
+        assert!(
+            p.map(&h).size() <= p.size(),
+            "size grew under mapping (case {case}, p = {p:?})"
+        );
     }
+}
 
-    /// Valuation lifting with φ=∨: a summary is false iff all members are
-    /// false.
-    #[test]
-    fn lift_or_semantics(bits in prop::collection::vec(any::<bool>(), 4)) {
+/// Valuation lifting with φ=∨: a summary is false iff all members are
+/// false (and with φ=∧: true iff all members are true).
+#[test]
+fn lift_or_semantics() {
+    let mut rng = DetRng::new(0x5eed_0104);
+    for case in 0..CASES {
+        let bits: Vec<bool> = (0..4).map(|_| rng.next_u64().is_multiple_of(2)).collect();
         let mut store = AnnStore::new();
         let members: Vec<AnnId> = (0..4)
             .map(|i| store.add_base_with(&format!("U{i}"), "users", &[]))
@@ -101,59 +178,65 @@ proptest! {
             v.set(*m, *b);
         }
         let lifted = v.lift(&h, Phi::Or, &store);
-        prop_assert_eq!(lifted.truth(g), bits.iter().any(|&b| b));
+        assert_eq!(
+            lifted.truth(g),
+            bits.iter().any(|&b| b),
+            "∨ lift (case {case}, bits {bits:?})"
+        );
         let lifted_and = v.lift(&h, Phi::And, &store);
-        prop_assert_eq!(lifted_and.truth(g), bits.iter().all(|&b| b));
+        assert_eq!(
+            lifted_and.truth(g),
+            bits.iter().all(|&b| b),
+            "∧ lift (case {case}, bits {bits:?})"
+        );
     }
 }
 
-/// Strategy: a random small ratings workload.
-fn arb_workload() -> impl Strategy<Value = (AnnStore, ProvExpr, Vec<AnnId>)> {
-    (
-        3usize..8,                               // users
-        prop::collection::vec(0usize..3, 6..12), // rating targets
-        prop::collection::vec(1u8..=5, 6..12),   // stars
-        prop::collection::vec(0usize..2, 8),     // gender bits
-    )
-        .prop_map(|(nusers, movies_ix, stars, genders)| {
-            let mut store = AnnStore::new();
-            let users: Vec<AnnId> = (0..nusers)
-                .map(|i| {
-                    let g = if genders[i % genders.len()] == 0 {
-                        "M"
-                    } else {
-                        "F"
-                    };
-                    store.add_base_with(&format!("U{i}"), "users", &[("gender", g)])
-                })
-                .collect();
-            let movies: Vec<AnnId> = (0..3)
-                .map(|i| store.add_base_with(&format!("M{i}"), "movies", &[]))
-                .collect();
-            let mut p = ProvExpr::new(AggKind::Max);
-            for (ix, (&mix, &s)) in movies_ix.iter().zip(&stars).enumerate() {
-                let u = users[ix % nusers];
-                p.push(
-                    movies[mix],
-                    Tensor::new(Polynomial::var(u), AggValue::single(s as f64)),
-                );
-            }
-            p.simplify();
-            (store, p, users)
+/// A random small ratings workload: users with random genders, 3 movies,
+/// 6–11 ratings.
+fn random_workload(rng: &mut DetRng) -> (AnnStore, ProvExpr, Vec<AnnId>) {
+    let nusers = (rng.next_u64() % 5 + 3) as usize;
+    let nratings = (rng.next_u64() % 6 + 6) as usize;
+    let mut store = AnnStore::new();
+    let users: Vec<AnnId> = (0..nusers)
+        .map(|i| {
+            let g = if rng.next_u64().is_multiple_of(2) {
+                "M"
+            } else {
+                "F"
+            };
+            store.add_base_with(&format!("U{i}"), "users", &[("gender", g)])
         })
+        .collect();
+    let movies: Vec<AnnId> = (0..3)
+        .map(|i| store.add_base_with(&format!("M{i}"), "movies", &[]))
+        .collect();
+    let mut p = ProvExpr::new(AggKind::Max);
+    for ix in 0..nratings {
+        let mix = (rng.next_u64() as usize) % movies.len();
+        let stars = (rng.next_u64() % 5 + 1) as f64;
+        let u = users[ix % nusers];
+        p.push(
+            movies[mix],
+            Tensor::new(Polynomial::var(u), AggValue::single(stars)),
+        );
+    }
+    p.simplify();
+    (store, p, users)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    /// Algorithm invariants on random workloads: monotone distance/size
-    /// along the run, distance in [0,1], final size ≤ initial.
-    #[test]
-    fn summarizer_invariants((mut store, p0, users) in arb_workload()) {
+/// Algorithm invariants on random workloads: monotone distance/size along
+/// the run, distance in [0,1], final size ≤ initial, and the cumulative
+/// mapping replays the summary from the original expression.
+#[test]
+fn summarizer_invariants() {
+    let mut rng = DetRng::new(0x5eed_0105);
+    for case in 0..ALGO_CASES {
+        let (mut store, p0, users) = random_workload(&mut rng);
         let dom = store.domain("users");
         let vals = ValuationClass::CancelSingleAnnotation.generate(&store, &users, &[dom]);
-        let constraints = ConstraintConfig::new()
-            .allow(dom, MergeRule::SharedAttribute { attrs: vec![] });
+        let constraints =
+            ConstraintConfig::new().allow(dom, MergeRule::SharedAttribute { attrs: vec![] });
         let config = SummarizeConfig {
             w_dist: 0.5,
             w_size: 0.5,
@@ -162,22 +245,41 @@ proptest! {
         };
         let mut summarizer = Summarizer::new(&mut store, constraints, config);
         let res = summarizer.summarize(&p0, &vals).expect("valid config");
-        prop_assert!(res.final_size() <= p0.size());
-        prop_assert!((0.0..=1.0).contains(&res.final_distance));
-        prop_assert!(res.history.check_monotone().is_ok());
-        // The cumulative mapping reproduces the summary from the original.
+        assert!(
+            res.final_size() <= p0.size(),
+            "size grew (case {case}: {} > {})",
+            res.final_size(),
+            p0.size()
+        );
+        assert!(
+            (0.0..=1.0).contains(&res.final_distance),
+            "distance out of range (case {case}: {})",
+            res.final_distance
+        );
+        assert!(
+            res.history.check_monotone().is_ok(),
+            "history not monotone (case {case})"
+        );
         let replayed = p0.apply_mapping(&res.mapping);
-        prop_assert_eq!(replayed.size(), res.final_size());
+        assert_eq!(
+            replayed.size(),
+            res.final_size(),
+            "mapping replay diverged (case {case})"
+        );
     }
+}
 
-    /// GroupEquivalent yields distance exactly 0 (Prop 4.2.1), on random
-    /// workloads under the attribute valuation class.
-    #[test]
-    fn group_equivalent_zero_distance((mut store, p0, users) in arb_workload()) {
+/// GroupEquivalent yields distance exactly 0 (Prop 4.2.1), on random
+/// workloads under the attribute valuation class.
+#[test]
+fn group_equivalent_zero_distance() {
+    let mut rng = DetRng::new(0x5eed_0106);
+    for case in 0..ALGO_CASES {
+        let (mut store, p0, users) = random_workload(&mut rng);
         let dom = store.domain("users");
         let vals = ValuationClass::CancelSingleAttribute.generate(&store, &users, &[dom]);
-        let constraints = ConstraintConfig::new()
-            .allow(dom, MergeRule::SharedAttribute { attrs: vec![] });
+        let constraints =
+            ConstraintConfig::new().allow(dom, MergeRule::SharedAttribute { attrs: vec![] });
         let res = prox::core::group_equivalent(&p0, &vals, &mut store, &constraints, None);
         let engine = prox::core::DistanceEngine::new(
             &p0,
@@ -186,6 +288,6 @@ proptest! {
             prox::core::ValFuncKind::Euclidean,
         );
         let d = engine.distance(&res.expr, &res.mapping, &store, &Default::default());
-        prop_assert_eq!(d, 0.0);
+        assert_eq!(d, 0.0, "nonzero distance (case {case})");
     }
 }

@@ -3,6 +3,9 @@
 //! provenance (Example 2.2.1) → guard discharge (Example 3.1.1) →
 //! summarization (Chapter 4) → insights and persistence.
 
+// Harness helpers outside #[test] fns still panic on broken setup.
+#![allow(clippy::expect_used)]
+
 use prox::core::{ConstraintConfig, MergeRule, SummarizeConfig, Summarizer};
 use prox::provenance::{
     from_json, to_json, AggKind, AnnStore, SavedWorkload, Valuation, ValuationClass,
