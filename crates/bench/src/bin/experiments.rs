@@ -45,6 +45,7 @@ const USAGE: &str = "experiments -- <exp> [--quick]
   greedy-gap         Ablation A.4 (greedy vs exhaustive optimum)
   serve              prox-serve load: latency percentiles + cache hit rate
   chaos              chaos soak: faults + overload against the serve stack
+  store              out-of-core segment store: build, verify, fold, summarize
   all                everything above";
 
 fn ml(scale: Scale) -> Vec<prox_bench::Workload<prox_provenance::ProvExpr>> {
@@ -220,6 +221,11 @@ fn run_experiment(name: &str, scale: Scale, manifest: &mut RunManifest) -> bool 
                 panic!("chaos soak failed: {e}");
             }
         }
+        "store" => {
+            if let Err(e) = prox_bench::store_bench::store_experiment(scale, manifest) {
+                panic!("store experiment failed: {e}");
+            }
+        }
         _ => return false,
     }
     true
@@ -245,6 +251,7 @@ const ALL: &[&str] = &[
     "greedy-gap",
     "serve",
     "chaos",
+    "store",
 ];
 
 /// Per-experiment wall-clock timeout (milliseconds): `PROX_EXP_TIMEOUT_MS`

@@ -142,6 +142,31 @@ pub fn tolerance_for(path: &str) -> Tolerance {
             direction: Direction::Neutral,
         };
     }
+    // Out-of-core store (the `store` experiment): dedup ratios, frame and
+    // record counts, fold sizes, and the `store/*` dedup/page counters are
+    // schedule-determined — they replay bit-for-bit from the seed, so they
+    // stay exact (the default below). Byte volumes and wall-clock timings
+    // get bands: retuning the page size or read batching legitimately
+    // shifts how many bytes a fold touches without changing its result.
+    if path.starts_with("store.timing_ms.") {
+        return Tolerance {
+            rel: 0.5,
+            abs: 500.0,
+            direction: Direction::LowerIsBetter,
+        };
+    }
+    if path == "store.reader.bytes_read"
+        || path == "store.verify.bytes_checked"
+        || path == "store.reader.page_cache.peak_bytes"
+        || path == "store.reader.page_cache.live_bytes"
+        || path == "counters.store/bytes_read"
+    {
+        return Tolerance {
+            rel: 0.25,
+            abs: 65_536.0,
+            direction: Direction::LowerIsBetter,
+        };
+    }
     // Serve latency percentiles (the `serve` experiment's extra section).
     if path.contains("p50") || path.contains("p95") || path.contains("p99") {
         return Tolerance {
@@ -681,6 +706,51 @@ mod tests {
         assert_eq!(
             classify("chaos.shed.rate", 0.4, 0.9).verdict,
             Verdict::Regression
+        );
+    }
+
+    #[test]
+    fn store_dedup_is_exact_but_bytes_and_timing_get_bands() {
+        // Dedup and frame counts are functions of the seed: any drift is
+        // a real behavior change.
+        assert_eq!(tolerance_for("store.build.dedup_ratio"), Tolerance::exact());
+        assert_eq!(tolerance_for("store.build.unique"), Tolerance::exact());
+        assert_eq!(tolerance_for("store.fold.logical_seen"), Tolerance::exact());
+        assert_eq!(
+            tolerance_for("counters.store/dedup_hit"),
+            Tolerance::exact()
+        );
+        assert_eq!(
+            classify("store.build.dedup_ratio", 83.3, 83.4).verdict,
+            Verdict::Regression
+        );
+        // Byte volumes tolerate page-size retuning; more bytes regresses,
+        // fewer improves.
+        assert_eq!(
+            classify("store.reader.bytes_read", 1_000_000.0, 1_100_000.0).verdict,
+            Verdict::Within
+        );
+        assert_eq!(
+            classify("store.reader.bytes_read", 1_000_000.0, 1_600_000.0).verdict,
+            Verdict::Regression
+        );
+        assert_eq!(
+            classify("store.reader.bytes_read", 1_000_000.0, 400_000.0).verdict,
+            Verdict::Improvement
+        );
+        // Wall-clock build/fold timings get the wide timing band.
+        assert_eq!(
+            classify("store.timing_ms.fold", 1_000.0, 1_400.0).verdict,
+            Verdict::Within
+        );
+        assert_eq!(
+            classify("store.timing_ms.fold", 1_000.0, 2_000.0).verdict,
+            Verdict::Regression
+        );
+        // The cache hit rate rides the generic higher-is-better rule.
+        assert_eq!(
+            tolerance_for("store.reader.page_cache.hit_rate").direction,
+            Direction::HigherIsBetter
         );
     }
 

@@ -32,6 +32,7 @@ pub mod report;
 pub mod runner;
 pub mod series;
 pub mod serve_load;
+pub mod store_bench;
 pub mod workload;
 
 pub use experiments::Scale;

@@ -138,6 +138,7 @@ impl Default for LintConfig {
                 s("crates/serve/src/queue.rs"),
                 s("crates/serve/src/server.rs"),
                 s("crates/serve/src/service.rs"),
+                s("crates/store/src/reader.rs"),
             ],
             fault_grammar_file: s("crates/robust/src/fault.rs"),
             sink_fns: vec![

@@ -76,6 +76,26 @@ pub use trace::{
     MAX_TRACE_SPANS,
 };
 
+/// Counters for the out-of-core segment store (`crates/store`). Declared
+/// here — not in the store crate — so the names are part of the shared
+/// observability vocabulary: every binary that links the store surfaces
+/// them in `/metrics`, `metrics.json`, and bench run manifests through
+/// the process-global registry, exactly like the `serve/*` and
+/// `budget/*` families.
+pub mod store_metrics {
+    use crate::Counter;
+
+    /// Page request served from the bounded page cache.
+    pub static PAGE_HIT: Counter = Counter::new("store/page_hit");
+    /// Page request that faulted a page in from a segment file.
+    pub static PAGE_MISS: Counter = Counter::new("store/page_miss");
+    /// Appended expression already present under its fingerprint
+    /// (content-address dedup of shared subexpressions).
+    pub static DEDUP_HIT: Counter = Counter::new("store/dedup_hit");
+    /// Bytes read from segment, log, and annotation files.
+    pub static BYTES_READ: Counter = Counter::new("store/bytes_read");
+}
+
 /// Is `PROX_DETERMINISTIC` set (non-empty, not `"0"`)? Deterministic mode
 /// makes snapshots, window aggregation, and the Prometheus exposition
 /// byte-identical across same-seed runs by omitting wall-clock data.

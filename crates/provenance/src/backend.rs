@@ -1,0 +1,109 @@
+//! Storage backends for provenance expressions.
+//!
+//! The summarizer consumes a [`ProvExpr`]; where that expression comes
+//! from is a backend concern. [`MemoryBackend`] wraps an expression
+//! already in memory (the historical behavior, unchanged). The
+//! out-of-core segment store in `prox-store` implements the same trait
+//! over paged lazy loads, so callers summarize a ten-million-expression
+//! store and an in-memory demo workload through one interface.
+//!
+//! Every traversal takes a [`BudgetSession`]: deadlines, step budgets,
+//! and cancel flags propagate into the backend's read loops, and a
+//! budget trip surfaces as `Ok(Some(stop))` with whatever was delivered
+//! so far — the anytime contract, not an error.
+
+use prox_robust::{BudgetSession, BudgetStop, ProxError};
+
+use crate::annot::AnnId;
+use crate::monoid::AggKind;
+use crate::provexpr::ProvExpr;
+use crate::tensor::Tensor;
+
+/// A source of provenance entries `(object, tensor, multiplicity)`.
+pub trait StoreBackend {
+    /// Aggregation kind of every expression in the store.
+    fn agg_kind(&self) -> AggKind;
+
+    /// Total logical entries (multiplicities included).
+    fn logical_len(&self) -> u64;
+
+    /// Stream every logical entry group through `f`. Implementations
+    /// poll `session` at least once per delivered entry; on a budget
+    /// trip they stop and return `Ok(Some(stop))`.
+    fn for_each_entry(
+        &mut self,
+        session: &mut BudgetSession,
+        f: &mut dyn FnMut(AnnId, Tensor, u64) -> Result<(), ProxError>,
+    ) -> Result<Option<BudgetStop>, ProxError>;
+
+    /// Materialize the store as one expression, folding multiplicities
+    /// into aggregation values via [`crate::AggValue::scaled`]. A budget
+    /// trip returns the partial expression (best-so-far).
+    fn collect(
+        &mut self,
+        session: &mut BudgetSession,
+    ) -> Result<(ProvExpr, Option<BudgetStop>), ProxError> {
+        let kind = self.agg_kind();
+        let mut expr = ProvExpr::new(kind);
+        let stopped = self.for_each_entry(session, &mut |object, mut tensor, n| {
+            tensor.value = tensor.value.scaled(n, kind);
+            expr.push(object, tensor);
+            Ok(())
+        })?;
+        Ok((expr, stopped))
+    }
+}
+
+/// The in-memory backend: a [`ProvExpr`] that already resides in RAM.
+pub struct MemoryBackend {
+    expr: ProvExpr,
+}
+
+impl MemoryBackend {
+    /// Wrap an expression already in memory.
+    pub fn new(expr: ProvExpr) -> MemoryBackend {
+        MemoryBackend { expr }
+    }
+
+    /// The wrapped expression.
+    pub fn expr(&self) -> &ProvExpr {
+        &self.expr
+    }
+
+    /// Unwrap the expression.
+    pub fn into_expr(self) -> ProvExpr {
+        self.expr
+    }
+}
+
+impl StoreBackend for MemoryBackend {
+    fn agg_kind(&self) -> AggKind {
+        self.expr.kind()
+    }
+
+    fn logical_len(&self) -> u64 {
+        self.expr.size() as u64
+    }
+
+    fn for_each_entry(
+        &mut self,
+        session: &mut BudgetSession,
+        f: &mut dyn FnMut(AnnId, Tensor, u64) -> Result<(), ProxError>,
+    ) -> Result<Option<BudgetStop>, ProxError> {
+        for (object, tensor) in self.expr.tensors() {
+            if let Err(stop) = session.check() {
+                return Ok(Some(stop));
+            }
+            f(object, tensor.clone(), 1)?;
+        }
+        Ok(None)
+    }
+
+    /// Already in memory: a clone, no streaming fold needed.
+    fn collect(
+        &mut self,
+        _session: &mut BudgetSession,
+    ) -> Result<(ProvExpr, Option<BudgetStop>), ProxError> {
+        Ok((self.expr.clone(), None))
+    }
+}

@@ -101,6 +101,25 @@ impl AggValue {
         }
     }
 
+    /// Fold `n` identical copies of this element under `kind` — the
+    /// closed form of `combine`ing it with itself `n - 1` times. Used by
+    /// store backends to expand run-length multiplicities without
+    /// materializing `n` tensors: MAX/MIN of `n` equal values is the
+    /// value, SUM/COUNT scale linearly; counts always scale.
+    pub fn scaled(self, n: u64, kind: AggKind) -> AggValue {
+        if n <= 1 || self.is_empty() {
+            return self;
+        }
+        let value = match kind {
+            AggKind::Max | AggKind::Min => self.value,
+            AggKind::Sum | AggKind::Count => self.value * n as f64,
+        };
+        AggValue {
+            value,
+            count: self.count * n,
+        }
+    }
+
     /// The scalar the application reports for this aggregate.
     pub fn result(self) -> f64 {
         if self.is_empty() {

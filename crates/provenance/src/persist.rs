@@ -36,10 +36,52 @@ pub fn from_json(json: &str) -> Result<SavedWorkload, ProxError> {
     SavedWorkload::from_json_value(&value)
 }
 
-/// Save a workload to a file as pretty JSON.
+/// Save a workload to a file as compact JSON, streaming through a
+/// `BufWriter`. The workload is written piecewise — the store section,
+/// then every provenance entry one at a time — so peak memory is one
+/// entry's rendering, not the whole file. (The parser is
+/// whitespace-agnostic, so compact output round-trips through
+/// [`load_workload`] exactly like the old pretty form.)
 pub fn save_workload(path: &Path, workload: &SavedWorkload) -> Result<(), ProxError> {
-    let json = to_json(workload)?;
-    std::fs::write(path, json).map_err(|e| ProxError::io(path.display().to_string(), &e))
+    use std::io::Write;
+    let io = |e: &std::io::Error| ProxError::io(path.display().to_string(), e);
+    let file = std::fs::File::create(path).map_err(|e| io(&e))?;
+    let mut out = std::io::BufWriter::new(file);
+    out.write_all(b"{\"store\": ").map_err(|e| io(&e))?;
+    out.write_all(store_to_json(&workload.store).render().as_bytes())
+        .map_err(|e| io(&e))?;
+    out.write_all(b", \"provenance\": ").map_err(|e| io(&e))?;
+    match &workload.provenance {
+        Some(p) => {
+            write!(
+                out,
+                "{{\"agg\": {}, \"entries\": [",
+                Json::from(p.kind().name()).render()
+            )
+            .map_err(|e| io(&e))?;
+            for (i, (object, expr)) in p.entries().iter().enumerate() {
+                if i > 0 {
+                    out.write_all(b", ").map_err(|e| io(&e))?;
+                }
+                let entry = Json::Arr(vec![
+                    Json::UInt(u64::from(object.0)),
+                    Json::Arr(expr.tensors().iter().map(tensor_to_json).collect()),
+                ]);
+                out.write_all(entry.render().as_bytes())
+                    .map_err(|e| io(&e))?;
+            }
+            out.write_all(b"]}").map_err(|e| io(&e))?;
+        }
+        None => out.write_all(b"null").map_err(|e| io(&e))?,
+    }
+    out.write_all(b", \"ddp\": ").map_err(|e| io(&e))?;
+    let ddp = match &workload.ddp {
+        Some(d) => ddp_to_json(d),
+        None => Json::Null,
+    };
+    out.write_all(ddp.render().as_bytes()).map_err(|e| io(&e))?;
+    out.write_all(b"}").map_err(|e| io(&e))?;
+    out.flush().map_err(|e| io(&e))
 }
 
 /// Load a workload from a file, validating structural invariants.

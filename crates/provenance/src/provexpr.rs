@@ -8,7 +8,7 @@
 //! and combine, exactly the "vectors of different size" transformation of
 //! Example 5.2.1.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use crate::aggexpr::AggExpr;
 use crate::annot::AnnId;
@@ -109,7 +109,7 @@ impl ProvExpr {
     /// and merge coordinates that collide (the object-merging congruence).
     pub fn map(&self, h: &Mapping) -> ProvExpr {
         let mut out = ProvExpr::new(self.kind);
-        let mut index: HashMap<AnnId, usize> = HashMap::new();
+        let mut index: BTreeMap<AnnId, usize> = BTreeMap::new();
         for (object, expr) in &self.entries {
             let new_object = h.image(*object);
             let mapped = expr.map(h);

@@ -31,7 +31,7 @@ use crate::breaker::BreakerConfig;
 use crate::health::Health;
 use crate::http::{self, Response};
 use crate::queue::Bounded;
-use crate::service::{self, ServiceCtx};
+use crate::service::{self, ServiceCtx, StoreState};
 use crate::signal;
 
 static SHED: Counter = Counter::new("serve/shed");
@@ -69,6 +69,9 @@ pub struct ServerConfig {
     /// Consecutive internal failures that trip the summarize circuit
     /// breaker; `0` disables it.
     pub breaker_threshold: u32,
+    /// Segment-store directory (`--store <dir>`); when set, summaries
+    /// are also served straight off segments on `/summarize/store`.
+    pub store_dir: Option<String>,
 }
 
 impl Default for ServerConfig {
@@ -86,6 +89,7 @@ impl Default for ServerConfig {
             tenant_rate: 50.0,
             tenant_burst: 20.0,
             breaker_threshold: 5,
+            store_dir: None,
         }
     }
 }
@@ -119,27 +123,30 @@ impl Server {
 
         let shutdown = CancelFlag::new();
         let queue = Arc::new(Bounded::new(config.queue_capacity));
-        let ctx = Arc::new(
-            ServiceCtx::new(
-                config.cache_capacity,
-                config.default_budget_ms,
-                shutdown.clone(),
-            )
-            .with_trace_settings(
-                config.trace_seed,
-                config.trace_sample_rate,
-                config.trace_capacity,
-            )
-            .with_resilience(
-                config.tenant_rate,
-                config.tenant_burst,
-                BreakerConfig {
-                    threshold: config.breaker_threshold,
-                    seed: config.trace_seed,
-                    ..BreakerConfig::default()
-                },
-            ),
+        let mut ctx = ServiceCtx::new(
+            config.cache_capacity,
+            config.default_budget_ms,
+            shutdown.clone(),
+        )
+        .with_trace_settings(
+            config.trace_seed,
+            config.trace_sample_rate,
+            config.trace_capacity,
+        )
+        .with_resilience(
+            config.tenant_rate,
+            config.tenant_burst,
+            BreakerConfig {
+                threshold: config.breaker_threshold,
+                seed: config.trace_seed,
+                ..BreakerConfig::default()
+            },
         );
+        if let Some(dir) = &config.store_dir {
+            // Refusing to start beats serving 500s off a broken store.
+            ctx = ctx.with_store(StoreState::open(dir)?);
+        }
+        let ctx = Arc::new(ctx);
         let health = ctx.health.clone();
 
         let mut workers = Vec::with_capacity(config.workers.max(1));

@@ -45,13 +45,14 @@ use prox_obs::{
     keep_sampled, trace_id_from, window, Counter, Json, RetainReason, RetainedTrace, TraceContext,
     TraceRing, PROMETHEUS_CONTENT_TYPE,
 };
-use prox_provenance::AggKind;
+use prox_provenance::{AggKind, ProvExpr, ValuationClass};
 use prox_robust::{CancelFlag, ErrorKind, ExecutionBudget, ProxError};
+use prox_store::SegmentStore;
 use prox_system::evaluator::{evaluate_both, Assignment, Evaluation};
 use prox_system::selection::{select, Selection};
 use prox_system::summarization::{summarize, SummarizationRequest, Summarized};
 
-use prox_core::StopReason;
+use prox_core::{ConstraintConfig, MergeRule, StopReason, SummarizeConfig, Summarizer};
 
 use crate::breaker::{BreakerAdmission, BreakerConfig, CircuitBreaker};
 use crate::cache::{fingerprint, SummaryCache};
@@ -89,8 +90,34 @@ pub struct ServiceCtx {
     /// Slow-request threshold in milliseconds (`PROX_SLOW_MS`); `0`
     /// disables the slow classification and the slow-request log.
     pub slow_ms: u64,
+    /// Optional segment store (`--store <dir>`): summaries on
+    /// `/summarize/store` are served straight off its pages.
+    pub store: Option<StoreState>,
     /// Process-local request sequence number (trace-id input).
     seq: AtomicU64,
+}
+
+/// An attached segment store and the directory it was opened from.
+/// Reads mutate the page cache, so handlers lock the store per request.
+pub struct StoreState {
+    dir: String,
+    store: Mutex<SegmentStore>,
+}
+
+impl StoreState {
+    /// Open the store under `dir` with the default page-cache bounds.
+    pub fn open(dir: &str) -> Result<StoreState, ProxError> {
+        let store = SegmentStore::open(std::path::Path::new(dir))?;
+        Ok(StoreState {
+            dir: dir.to_owned(),
+            store: Mutex::new(store),
+        })
+    }
+
+    /// The directory the store was opened from.
+    pub fn dir(&self) -> &str {
+        &self.dir
+    }
 }
 
 impl ServiceCtx {
@@ -110,8 +137,16 @@ impl ServiceCtx {
             trace_seed: 0,
             trace_sample_rate: 1.0,
             slow_ms: slow_ms_from_env(),
+            store: None,
             seq: AtomicU64::new(0),
         }
+    }
+
+    /// Attach an opened segment store (see [`StoreState::open`]); enables
+    /// the `/summarize/store` and `/store/stats` endpoints.
+    pub fn with_store(mut self, store: StoreState) -> Self {
+        self.store = Some(store);
+        self
     }
 
     /// Override the trace seed, healthy-request sample rate, and ring
@@ -718,6 +753,205 @@ fn provision_route(
     Ok(Response::json(200, body))
 }
 
+/// Parameters for `/summarize/store`: a selection size over the store's
+/// object order plus the usual summarization knobs.
+struct StoreParams {
+    objects: usize,
+    w_dist: f64,
+    target_dist: f64,
+    target_size: usize,
+    steps: usize,
+    budget_steps: Option<usize>,
+}
+
+impl Default for StoreParams {
+    fn default() -> Self {
+        let defaults = SummarizationRequest::default();
+        StoreParams {
+            objects: 4,
+            w_dist: defaults.w_dist,
+            target_dist: defaults.target_dist,
+            target_size: defaults.target_size,
+            steps: defaults.steps,
+            budget_steps: None,
+        }
+    }
+}
+
+fn parse_store_params(body: &[u8]) -> Result<StoreParams, ProxError> {
+    let mut params = StoreParams::default();
+    let text = std::str::from_utf8(body)
+        .map_err(|e| bad(format!("body is not UTF-8 at byte {}", e.valid_up_to())))?;
+    if text.trim().is_empty() {
+        return Ok(params);
+    }
+    let value = Json::parse(text).map_err(|e| bad(format!("body is not valid JSON: {e}")))?;
+    let entries = match &value {
+        Json::Obj(entries) => entries,
+        other => return Err(bad(format!("body must be a JSON object, got {other:?}"))),
+    };
+    for (key, v) in entries {
+        match key.as_str() {
+            "objects" => params.objects = usize_of(v, "objects")?,
+            "w_dist" => params.w_dist = f64_of(v, "w_dist")?,
+            "target_dist" => params.target_dist = f64_of(v, "target_dist")?,
+            "target_size" => params.target_size = usize_of(v, "target_size")?,
+            "steps" => params.steps = usize_of(v, "steps")?,
+            "budget_steps" => params.budget_steps = Some(usize_of(v, "budget_steps")?),
+            other => return Err(bad(format!("unknown field {other:?}"))),
+        }
+    }
+    if params.objects == 0 {
+        return Err(bad("objects must be at least 1"));
+    }
+    Ok(params)
+}
+
+/// Cache key for store summaries: the store directory is part of the key
+/// so restarting against a different store never replays stale bodies.
+fn store_key(params: &StoreParams, dir: &str) -> String {
+    Json::obj()
+        .with("store_dir", dir)
+        .with("objects", params.objects)
+        .with("w_dist", params.w_dist)
+        .with("target_dist", params.target_dist)
+        .with("target_size", params.target_size)
+        .with("steps", params.steps)
+        .with(
+            "budget_steps",
+            match params.budget_steps {
+                Some(n) => Json::from(n),
+                None => Json::Null,
+            },
+        )
+        .sorted()
+        .render()
+}
+
+/// `POST /summarize/store`: fold the attached segment store through its
+/// page cache under the request budget and summarize a selection of it.
+/// The anytime contract holds end to end — a budget trip mid-fold
+/// surfaces as a `200` over the partial fold with `fold.stopped: true`.
+fn store_summarize_route(
+    req: &Request,
+    ctx: &ServiceCtx,
+    trace: Option<&TraceContext>,
+) -> Result<Response, ProxError> {
+    let Some(state) = &ctx.store else {
+        return Err(bad("no segment store attached — start with --store <dir>"));
+    };
+    let params = parse_store_params(&req.body)?;
+    let budget_params = Params {
+        budget_steps: params.budget_steps,
+        ..Params::default()
+    };
+    let budget = budget_for(req, ctx, &budget_params, trace)?;
+    let key = store_key(&params, state.dir());
+    if let Some(body) = lock(&ctx.cache).get(&key) {
+        if let Some(t) = trace {
+            t.note("cache", "hit");
+        }
+        return Ok(Response::json(200, body));
+    }
+    if let Some(t) = trace {
+        t.note("cache", "miss");
+    }
+    // The store guard is scoped to the fold and dropped before the
+    // response cache is touched again: cache and store locks are never
+    // held together, in either order.
+    let mut session = budget.start();
+    let (expr, outcome, mut anns) = {
+        let mut store = lock(&state.store);
+        let (expr, outcome) = store.collect(&mut session)?;
+        let anns = store.anns().clone();
+        (expr, outcome, anns)
+    };
+
+    let mut selection = ProvExpr::new(expr.kind());
+    for (object, agg) in expr.entries().iter().take(params.objects) {
+        // Anytime contract: keep polling, but a trip here does not void
+        // the partial fold — the selection is a bounded slice of it.
+        let _ = session.note_step();
+        for tensor in agg.tensors() {
+            selection.push(*object, tensor.clone());
+        }
+    }
+    let mut domains = Vec::new();
+    for (_, ann) in anns.iter() {
+        if !domains.contains(&ann.domain) {
+            domains.push(ann.domain);
+        }
+    }
+    let mut constraints = ConstraintConfig::new();
+    for &d in &domains {
+        constraints = constraints.allow(d, MergeRule::SharedAttribute { attrs: vec![] });
+    }
+    let valuations =
+        ValuationClass::CancelSingleAttribute.generate(&anns, &selection.annotations(), &domains);
+    let config = SummarizeConfig {
+        w_dist: params.w_dist,
+        w_size: 1.0 - params.w_dist,
+        target_dist: params.target_dist,
+        target_size: params.target_size,
+        max_steps: params.steps,
+        budget,
+        ..SummarizeConfig::default()
+    };
+    let result =
+        Summarizer::new(&mut anns, constraints, config).summarize(&selection, &valuations)?;
+
+    let names: Vec<Json> = result
+        .summary
+        .annotations()
+        .into_iter()
+        .map(|a| Json::from(anns.name(a)))
+        .collect();
+    let body = Json::obj()
+        .with("request_fingerprint", fingerprint(&key).as_str())
+        .with(
+            "fold",
+            Json::obj()
+                .with("logical_seen", outcome.logical_seen)
+                .with("records_seen", outcome.records_seen)
+                .with("stopped", outcome.stopped.is_some())
+                .with("objects", expr.num_objects())
+                .with("tensors", expr.size()),
+        )
+        .with("selected_objects", params.objects)
+        .with("stop_reason", stop_reason_name(result.stop_reason))
+        .with("initial_size", result.initial_size)
+        .with("final_size", result.final_size())
+        .with("final_distance", result.final_distance)
+        .with("steps", result.history.len())
+        .with("summary", Json::Arr(names))
+        .render();
+    // A fold cut short by wall-clock is not reproducible from the
+    // request alone; only complete folds with cacheable summaries land
+    // in the response cache.
+    if outcome.stopped.is_none() && cacheable(result.stop_reason) {
+        lock(&ctx.cache).put(key, body.clone());
+    }
+    Ok(Response::json(200, body))
+}
+
+/// `GET /store/stats`: the attached store's reader statistics (segment
+/// counts, dedup ratio, page-cache hit rate) — the data behind the
+/// `prox stats` store section.
+fn store_stats_response(ctx: &ServiceCtx) -> Response {
+    match &ctx.store {
+        Some(state) => Response::json(200, lock(&state.store).stats_json().sorted().render()),
+        None => Response::json(
+            404,
+            Json::obj()
+                .with(
+                    "error",
+                    "no segment store attached — start with --store <dir>",
+                )
+                .render(),
+        ),
+    }
+}
+
 fn datasets_response() -> Response {
     let mut items = Vec::new();
     for (name, cfg) in presets() {
@@ -797,7 +1031,7 @@ fn route_traced(req: &Request, ctx: &ServiceCtx, trace: Option<&TraceContext>) -
     // answered 429 on the spot, without touching budgets or the cache.
     if matches!(
         (req.method.as_str(), req.path.as_str()),
-        ("POST", "/summarize") | ("POST", "/provision")
+        ("POST", "/summarize") | ("POST", "/provision") | ("POST", "/summarize/store")
     ) {
         if let Some(denied) = tenant_gate(req, ctx, trace) {
             return denied;
@@ -856,6 +1090,10 @@ fn route_traced(req: &Request, ctx: &ServiceCtx, trace: Option<&TraceContext>) -
         ("POST", "/provision") => {
             provision_route(req, ctx, trace).unwrap_or_else(|e| error_response(&e))
         }
+        ("POST", "/summarize/store") => {
+            store_summarize_route(req, ctx, trace).unwrap_or_else(|e| error_response(&e))
+        }
+        ("GET", "/store/stats") => store_stats_response(ctx),
         ("GET", path) if path.starts_with("/debug/traces/") => {
             let id = &path["/debug/traces/".len()..];
             match ctx.traces.get_json(id) {
@@ -871,7 +1109,7 @@ fn route_traced(req: &Request, ctx: &ServiceCtx, trace: Option<&TraceContext>) -
         (
             _,
             "/healthz" | "/metrics" | "/metrics.json" | "/datasets" | "/summarize" | "/provision"
-            | "/debug/traces",
+            | "/summarize/store" | "/store/stats" | "/debug/traces",
         ) => Response::json(
             405,
             Json::obj()

@@ -1,0 +1,458 @@
+//! Compact length-prefixed binary framing for provenance expressions.
+//!
+//! A *frame payload* encodes one store entry `(object, tensor)` — the
+//! unit the summarizer consumes via [`ProvExpr::push`]. The encoding is
+//! canonical (no padding, fixed field order, little-endian), so equal
+//! expressions produce equal bytes and the FNV fingerprint of the
+//! payload is a content address.
+//!
+//! The in-tree `prox_obs::Json` shape produced by [`entry_to_json`] is
+//! the debug/interchange format: `prox store stat --sample` prints it,
+//! and tests use it to compare decoded entries structurally.
+//!
+//! Every decoder returns a typed [`ProxError::Corrupt`] on truncated or
+//! malformed input — never a panic — and validates declared lengths
+//! against the bytes actually present before allocating.
+
+use prox_obs::Json;
+use prox_provenance::{AggValue, AnnId, AnnStore, CmpOp, Guard, Monomial, Polynomial, Tensor};
+use prox_robust::ProxError;
+
+use crate::fp::{fnv64, FNV_OFFSET};
+
+/// Hard cap on any single frame payload. Corrupt length fields must not
+/// translate into multi-gigabyte allocations.
+pub const MAX_FRAME_BYTES: usize = 16 << 20;
+
+// ---------------------------------------------------------------------------
+// Primitive writer
+// ---------------------------------------------------------------------------
+
+/// Append-only byte buffer with the primitive little-endian writers the
+/// framing is built from.
+#[derive(Default)]
+pub struct Enc {
+    buf: Vec<u8>,
+}
+
+impl Enc {
+    pub fn new() -> Enc {
+        Enc { buf: Vec::new() }
+    }
+
+    pub fn put_u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    pub fn put_u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    pub fn put_u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    pub fn put_f64(&mut self, v: f64) {
+        self.buf.extend_from_slice(&v.to_bits().to_le_bytes());
+    }
+
+    pub fn put_str(&mut self, s: &str) {
+        self.put_u32(s.len() as u32);
+        self.buf.extend_from_slice(s.as_bytes());
+    }
+
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    pub fn bytes(&self) -> &[u8] {
+        &self.buf
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Primitive reader
+// ---------------------------------------------------------------------------
+
+/// Cursor over a byte slice. Every read is bounds-checked and failures
+/// carry the caller's context string so `prox store verify` can say
+/// *which* structure was truncated.
+pub struct Dec<'a> {
+    buf: &'a [u8],
+    pos: usize,
+    context: &'static str,
+}
+
+impl<'a> Dec<'a> {
+    pub fn new(buf: &'a [u8], context: &'static str) -> Dec<'a> {
+        Dec {
+            buf,
+            pos: 0,
+            context,
+        }
+    }
+
+    fn corrupt(&self, detail: impl Into<String>) -> ProxError {
+        ProxError::corrupt(self.context, detail)
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], ProxError> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .ok_or_else(|| self.corrupt("length overflow"))?;
+        let slice = self.buf.get(self.pos..end).ok_or_else(|| {
+            self.corrupt(format!(
+                "truncated: need {n} bytes at offset {}, have {}",
+                self.pos,
+                self.buf.len().saturating_sub(self.pos)
+            ))
+        })?;
+        self.pos = end;
+        Ok(slice)
+    }
+
+    pub fn u8(&mut self) -> Result<u8, ProxError> {
+        Ok(self.take(1)?[0])
+    }
+
+    pub fn u32(&mut self) -> Result<u32, ProxError> {
+        let b = self.take(4)?;
+        let mut a = [0u8; 4];
+        a.copy_from_slice(b);
+        Ok(u32::from_le_bytes(a))
+    }
+
+    pub fn u64(&mut self) -> Result<u64, ProxError> {
+        let b = self.take(8)?;
+        let mut a = [0u8; 8];
+        a.copy_from_slice(b);
+        Ok(u64::from_le_bytes(a))
+    }
+
+    pub fn f64(&mut self) -> Result<f64, ProxError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    pub fn str(&mut self) -> Result<&'a str, ProxError> {
+        let n = self.len_field("string")?;
+        let bytes = self.take(n)?;
+        std::str::from_utf8(bytes).map_err(|e| self.corrupt(format!("invalid utf-8: {e}")))
+    }
+
+    /// Read a count/length field and sanity-check it against the bytes
+    /// still available (each counted item needs at least one byte), so a
+    /// corrupt count cannot drive a huge allocation.
+    pub fn len_field(&mut self, what: &str) -> Result<usize, ProxError> {
+        let n = self.u32()? as usize;
+        let remaining = self.buf.len().saturating_sub(self.pos);
+        if n > remaining {
+            return Err(self.corrupt(format!(
+                "{what} count {n} exceeds {remaining} remaining bytes"
+            )));
+        }
+        Ok(n)
+    }
+
+    pub fn remaining(&self) -> usize {
+        self.buf.len().saturating_sub(self.pos)
+    }
+
+    pub fn finish(&self) -> Result<(), ProxError> {
+        if self.remaining() != 0 {
+            return Err(self.corrupt(format!("{} trailing bytes", self.remaining())));
+        }
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Expression framing
+// ---------------------------------------------------------------------------
+
+fn encode_poly(enc: &mut Enc, p: &Polynomial) {
+    let terms = p.terms();
+    enc.put_u32(terms.len() as u32);
+    for (m, coeff) in terms {
+        let factors = m.factors();
+        enc.put_u32(factors.len() as u32);
+        for a in factors {
+            enc.put_u32(a.index() as u32);
+        }
+        enc.put_u64(*coeff);
+    }
+}
+
+fn op_tag(op: CmpOp) -> u8 {
+    match op {
+        CmpOp::Gt => 0,
+        CmpOp::Ge => 1,
+        CmpOp::Lt => 2,
+        CmpOp::Le => 3,
+        CmpOp::Eq => 4,
+        CmpOp::Ne => 5,
+    }
+}
+
+fn op_from_tag(tag: u8, dec: &Dec<'_>) -> Result<CmpOp, ProxError> {
+    Ok(match tag {
+        0 => CmpOp::Gt,
+        1 => CmpOp::Ge,
+        2 => CmpOp::Lt,
+        3 => CmpOp::Le,
+        4 => CmpOp::Eq,
+        5 => CmpOp::Ne,
+        other => return Err(dec.corrupt(format!("unknown comparison op tag {other}"))),
+    })
+}
+
+/// Serialize one store entry into a canonical frame payload.
+pub fn encode_entry(object: AnnId, t: &Tensor) -> Vec<u8> {
+    let mut enc = Enc::new();
+    enc.put_u32(object.index() as u32);
+    encode_poly(&mut enc, &t.prov);
+    enc.put_u32(t.guards.len() as u32);
+    for g in &t.guards {
+        enc.put_u32(g.lhs.len() as u32);
+        for (p, w) in &g.lhs {
+            encode_poly(&mut enc, p);
+            enc.put_f64(*w);
+        }
+        enc.put_u8(op_tag(g.op));
+        enc.put_f64(g.rhs);
+    }
+    enc.put_f64(t.value.value);
+    enc.put_u64(t.value.count);
+    enc.into_bytes()
+}
+
+fn decode_ann(dec: &mut Dec<'_>, max_ann: usize) -> Result<AnnId, ProxError> {
+    let ix = dec.u32()? as usize;
+    if ix >= max_ann {
+        return Err(ProxError::corrupt(
+            "store frame",
+            format!("annotation id {ix} out of range (store has {max_ann})"),
+        ));
+    }
+    Ok(AnnId::from_index(ix))
+}
+
+fn decode_poly(dec: &mut Dec<'_>, max_ann: usize) -> Result<Polynomial, ProxError> {
+    let n_terms = dec.len_field("polynomial term")?;
+    let mut terms = Vec::with_capacity(n_terms.min(1024));
+    for _ in 0..n_terms {
+        let n_factors = dec.len_field("monomial factor")?;
+        let mut factors = Vec::with_capacity(n_factors.min(1024));
+        for _ in 0..n_factors {
+            factors.push(decode_ann(dec, max_ann)?);
+        }
+        let coeff = dec.u64()?;
+        terms.push((Monomial::from_factors(factors), coeff));
+    }
+    Ok(Polynomial::from_terms(terms))
+}
+
+/// Decode a frame payload back into `(object, tensor)`. `max_ann` is the
+/// annotation-store size; any id at or past it is a corruption, not an
+/// index-out-of-bounds panic later.
+pub fn decode_entry(payload: &[u8], max_ann: usize) -> Result<(AnnId, Tensor), ProxError> {
+    let mut dec = Dec::new(payload, "store frame");
+    let object = decode_ann(&mut dec, max_ann)?;
+    let prov = decode_poly(&mut dec, max_ann)?;
+    let n_guards = dec.len_field("guard")?;
+    let mut guards = Vec::with_capacity(n_guards.min(1024));
+    for _ in 0..n_guards {
+        let n_lhs = dec.len_field("guard lhs term")?;
+        let mut lhs = Vec::with_capacity(n_lhs.min(1024));
+        for _ in 0..n_lhs {
+            let p = decode_poly(&mut dec, max_ann)?;
+            let w = dec.f64()?;
+            lhs.push((p, w));
+        }
+        let tag = dec.u8()?;
+        let op = op_from_tag(tag, &dec)?;
+        let rhs = dec.f64()?;
+        guards.push(Guard { lhs, op, rhs });
+    }
+    let value = dec.f64()?;
+    let count = dec.u64()?;
+    dec.finish()?;
+    let agg = AggValue { value, count };
+    let tensor = if guards.is_empty() {
+        Tensor::new(prov, agg)
+    } else {
+        Tensor::guarded(prov, guards, agg)
+    };
+    Ok((object, tensor))
+}
+
+// ---------------------------------------------------------------------------
+// Annotation-store framing (`anns.bin`)
+// ---------------------------------------------------------------------------
+
+/// Magic prefix of `anns.bin`.
+pub const ANN_MAGIC: &[u8; 8] = b"PROXANN1";
+/// Trailing magic shared by every store file.
+pub const END_MAGIC: &[u8; 8] = b"PROXEND1";
+
+/// Serialize an [`AnnStore`] (base annotations only — summaries are
+/// *outputs* of summarization, a store holds inputs). Layout: magic,
+/// `u32` count, per annotation `{name, domain, attrs, concept}`, then an
+/// FNV checksum of everything after the magic, then the end magic.
+pub fn encode_annstore(store: &AnnStore) -> Result<Vec<u8>, ProxError> {
+    let mut enc = Enc::new();
+    enc.put_u32(store.len() as u32);
+    for (id, ann) in store.iter() {
+        if ann.kind.is_summary() {
+            return Err(ProxError::unsupported(format!(
+                "segment stores hold base provenance; annotation '{}' is a summary",
+                store.name(id)
+            )));
+        }
+        enc.put_str(&ann.name);
+        enc.put_str(store.domain_name(ann.domain));
+        enc.put_u32(ann.attrs.len() as u32);
+        for (attr, val) in &ann.attrs {
+            enc.put_str(store.attr_name(*attr));
+            enc.put_str(store.value_name(*val));
+        }
+        match ann.concept {
+            Some(c) => {
+                enc.put_u8(1);
+                enc.put_u32(c);
+            }
+            None => enc.put_u8(0),
+        }
+    }
+    let body = enc.into_bytes();
+    let mut out = Vec::with_capacity(body.len() + 24);
+    out.extend_from_slice(ANN_MAGIC);
+    out.extend_from_slice(&body);
+    out.extend_from_slice(&fnv64(&body).to_le_bytes());
+    out.extend_from_slice(END_MAGIC);
+    Ok(out)
+}
+
+/// Decode `anns.bin`, verifying magic and checksum. Rebuilding through
+/// [`AnnStore::add_base_with`] re-interns every string, so decoded ids
+/// are sequential and equal to the encoded ones.
+pub fn decode_annstore(bytes: &[u8]) -> Result<AnnStore, ProxError> {
+    const CTX: &str = "annotation store (anns.bin)";
+    if bytes.len() < 24 || &bytes[..8] != ANN_MAGIC {
+        return Err(ProxError::corrupt(CTX, "missing or short header magic"));
+    }
+    let tail = bytes.len() - 16;
+    if &bytes[tail + 8..] != END_MAGIC {
+        return Err(ProxError::corrupt(CTX, "missing end magic"));
+    }
+    let body = &bytes[8..tail];
+    let mut sum = [0u8; 8];
+    sum.copy_from_slice(&bytes[tail..tail + 8]);
+    let want = u64::from_le_bytes(sum);
+    let got = fnv64(body);
+    if want != got {
+        return Err(ProxError::corrupt(
+            CTX,
+            format!("checksum mismatch: stored {want:016x}, computed {got:016x}"),
+        ));
+    }
+    let mut dec = Dec::new(body, CTX);
+    let n = dec.len_field("annotation")?;
+    let mut store = AnnStore::new();
+    for _ in 0..n {
+        let name = dec.str()?.to_string();
+        let domain = dec.str()?.to_string();
+        let n_attrs = dec.len_field("attribute")?;
+        let mut attrs = Vec::with_capacity(n_attrs.min(64));
+        for _ in 0..n_attrs {
+            let a = dec.str()?.to_string();
+            let v = dec.str()?.to_string();
+            attrs.push((a, v));
+        }
+        let concept = if dec.u8()? == 1 {
+            Some(dec.u32()?)
+        } else {
+            None
+        };
+        let attr_refs: Vec<(&str, &str)> = attrs
+            .iter()
+            .map(|(a, v)| (a.as_str(), v.as_str()))
+            .collect();
+        let id = store.add_base_with(&name, &domain, &attr_refs);
+        if let Some(c) = concept {
+            store.set_concept(id, c);
+        }
+    }
+    dec.finish()?;
+    Ok(store)
+}
+
+// ---------------------------------------------------------------------------
+// JSON debug / interchange
+// ---------------------------------------------------------------------------
+
+fn poly_json(p: &Polynomial) -> Json {
+    Json::Arr(
+        p.terms()
+            .iter()
+            .map(|(m, c)| {
+                Json::Arr(vec![
+                    Json::Arr(
+                        m.factors()
+                            .iter()
+                            .map(|a| Json::from(a.index() as u64))
+                            .collect(),
+                    ),
+                    Json::from(*c),
+                ])
+            })
+            .collect(),
+    )
+}
+
+/// Render one decoded entry in the debug/interchange JSON shape used by
+/// `prox store stat --sample` (annotation names resolved through `anns`).
+pub fn entry_to_json(anns: &AnnStore, object: AnnId, t: &Tensor, multiplicity: u64) -> Json {
+    let mut j = Json::obj();
+    j.set("object", anns.name(object));
+    j.set("multiplicity", multiplicity);
+    j.set("prov", poly_json(&t.prov));
+    if !t.guards.is_empty() {
+        j.set(
+            "guards",
+            Json::Arr(
+                t.guards
+                    .iter()
+                    .map(|g| {
+                        let mut gj = Json::obj();
+                        gj.set(
+                            "lhs",
+                            Json::Arr(
+                                g.lhs
+                                    .iter()
+                                    .map(|(p, w)| Json::Arr(vec![poly_json(p), Json::from(*w)]))
+                                    .collect(),
+                            ),
+                        );
+                        gj.set("op", g.op.symbol());
+                        gj.set("rhs", g.rhs);
+                        gj
+                    })
+                    .collect(),
+            ),
+        );
+    }
+    j.set(
+        "value",
+        Json::Arr(vec![Json::from(t.value.value), Json::from(t.value.count)]),
+    );
+    j
+}
+
+/// Convenience: fingerprint of an encoded entry (content address).
+pub fn entry_fingerprint(object: AnnId, t: &Tensor) -> u64 {
+    fnv64(&encode_entry(object, t))
+}
+
+/// Seed value for incremental checksums (re-exported for writers).
+pub const CHECKSUM_SEED: u64 = FNV_OFFSET;

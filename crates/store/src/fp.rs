@@ -1,0 +1,72 @@
+//! Content addressing: FNV-1a 64 over encoded frame bytes.
+//!
+//! Same constants as the request fingerprint in `prox-serve` (and the
+//! frame checksums in this crate), so a fingerprint printed anywhere in
+//! the system is comparable with a fingerprint printed anywhere else.
+
+/// FNV-1a 64 offset basis.
+pub const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// FNV-1a 64 prime.
+pub const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// Hash a byte slice.
+#[inline]
+pub fn fnv64(bytes: &[u8]) -> u64 {
+    fnv64_update(FNV_OFFSET, bytes)
+}
+
+/// Fold more bytes into a running FNV-1a 64 state. Because FNV is a
+/// plain byte fold, `fnv64(ab) == fnv64_update(fnv64_update(OFFSET, a), b)`
+/// — writers checksum streams without buffering them.
+#[inline]
+pub fn fnv64_update(mut state: u64, bytes: &[u8]) -> u64 {
+    for b in bytes {
+        state ^= u64::from(*b);
+        state = state.wrapping_mul(FNV_PRIME);
+    }
+    state
+}
+
+/// Number of segment shards (one hex digit of fingerprint prefix).
+pub const SHARDS: usize = 16;
+
+/// Which segment shard a fingerprint lands in: its top nibble. Sharding
+/// by *prefix* keeps each segment's offset index sorted by fingerprint,
+/// so a lookup touches exactly one segment.
+#[inline]
+pub fn shard_of(fp: u64) -> u8 {
+    (fp >> 60) as u8
+}
+
+/// Render a fingerprint the way the rest of the system prints them
+/// (16 lowercase hex digits, matching `prox_serve::fingerprint`).
+pub fn render_fp(fp: u64) -> String {
+    format!("{fp:016x}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_serve_fingerprint_constants() {
+        // FNV-1a of the empty string is the offset basis.
+        assert_eq!(fnv64(b""), FNV_OFFSET);
+        // Well-known FNV-1a 64 vector.
+        assert_eq!(fnv64(b"a"), 0xaf63dc4c8601ec8c);
+    }
+
+    #[test]
+    fn update_is_concatenation() {
+        let whole = fnv64(b"hello world");
+        let split = fnv64_update(fnv64(b"hello "), b"world");
+        assert_eq!(whole, split);
+    }
+
+    #[test]
+    fn shards_cover_prefix_nibble() {
+        assert_eq!(shard_of(0x0000_0000_0000_0001), 0);
+        assert_eq!(shard_of(0xf000_0000_0000_0000), 15);
+        assert_eq!(shard_of(0x8abc_0000_0000_0000), 8);
+    }
+}

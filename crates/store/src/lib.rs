@@ -1,0 +1,47 @@
+//! # prox-store — out-of-core content-addressable provenance store
+//!
+//! An append-only segment store for provenance expressions, built so the
+//! summarizer can work over provenance far larger than memory:
+//!
+//! * **Binary framing** ([`codec`]) — each entry `(object, tensor)` is a
+//!   canonical length-prefixed frame; the in-tree `prox_obs::Json` shape
+//!   is the debug/interchange format.
+//! * **Content addressing** ([`fp`]) — frames are addressed by the
+//!   FNV-1a 64 hash of their bytes (the same constants the serve cache
+//!   fingerprints requests with), so identical subexpressions share one
+//!   frame (*dedup*).
+//! * **Segments** ([`segment`]) — frames are sharded by fingerprint
+//!   prefix into append-only `seg-XX.seg` files, each with a sorted
+//!   offset index and a checksummed footer.
+//! * **Logical log** ([`builder`]) — the expression *stream* is a
+//!   run-length list of fingerprints, so ten million logical
+//!   expressions over a hundred thousand distinct frames stay small.
+//! * **Paged reads** ([`pagecache`], [`reader`]) — frame loads go
+//!   through a bounded LRU page cache; scans poll their
+//!   [`prox_robust::BudgetSession`] before every page load, preserving
+//!   the anytime contract (budget trips return the partial fold).
+//! * **Verification** ([`verify`]) — an offline full-checksum pass with
+//!   typed [`prox_robust::ProxError::Corrupt`] errors, wired through the
+//!   `PROX_FAULT` harness.
+//!
+//! Observability: the `store/{page_hit,page_miss,dedup_hit,bytes_read}`
+//! counters (declared in `prox_obs::store_metrics`) feed `/metrics` and
+//! bench manifests automatically.
+
+pub mod builder;
+pub mod codec;
+pub mod fp;
+pub mod pagecache;
+pub mod reader;
+pub mod segment;
+pub mod synth;
+pub mod verify;
+
+pub use builder::{agg_from_name, StoreBuilder, StoreSummary, ANNS_FILE, LOG_FILE, MANIFEST_FILE};
+pub use codec::{decode_annstore, decode_entry, encode_annstore, encode_entry, entry_to_json};
+pub use fp::{fnv64, render_fp, shard_of, SHARDS};
+pub use pagecache::{CacheStats, PageCache, DEFAULT_CACHE_BYTES, DEFAULT_PAGE_BYTES};
+pub use reader::{read_info, ScanOutcome, SegInfo, SegmentStore, StoreInfo};
+pub use segment::{SegmentMeta, SegmentWriter};
+pub use synth::{build_synthetic, SynthReport, SynthSpec};
+pub use verify::{verify_store, VerifyReport};

@@ -1,0 +1,200 @@
+//! Bounded LRU page cache for segment reads.
+//!
+//! Frames are fetched through fixed-size pages keyed `(shard, page_no)`.
+//! The cache holds at most `capacity_bytes` of page data; eviction is
+//! least-recently-used with deterministic tie-breaking (lowest key), so
+//! hit/miss counts — and therefore manifests — are byte-identical across
+//! same-seed runs. Keys and pages live in `BTreeMap`s, not `HashMap`s:
+//! iteration order feeds reports, and reports must be deterministic
+//! (lint rule L8).
+
+use std::collections::BTreeMap;
+
+use prox_obs::store_metrics::{PAGE_HIT, PAGE_MISS};
+
+/// Default page size: 64 KiB.
+pub const DEFAULT_PAGE_BYTES: usize = 64 * 1024;
+/// Default cache ceiling: 2 MiB.
+pub const DEFAULT_CACHE_BYTES: usize = 2 * 1024 * 1024;
+
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug)]
+pub struct PageKey {
+    /// Segment shard the page belongs to.
+    pub shard: u8,
+    /// Page number within the shard (`offset / page_bytes`).
+    pub page: u64,
+}
+
+struct Page {
+    bytes: Vec<u8>,
+    last_used: u64,
+}
+
+/// Per-store cache statistics (the global `store/*` counters aggregate
+/// across every store in the process; these are local to one).
+#[derive(Clone, Copy, Default, Debug)]
+pub struct CacheStats {
+    pub hits: u64,
+    pub misses: u64,
+    pub evictions: u64,
+    /// Largest number of cached bytes ever live at once — the value the
+    /// bench manifest proves stays under the configured ceiling.
+    pub peak_bytes: u64,
+    pub live_bytes: u64,
+    pub capacity_bytes: u64,
+}
+
+impl CacheStats {
+    /// Hit rate in [0, 1]; 0 when the cache was never consulted.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// The bounded page cache.
+pub struct PageCache {
+    pages: BTreeMap<PageKey, Page>,
+    page_bytes: usize,
+    capacity_bytes: usize,
+    live_bytes: usize,
+    tick: u64,
+    stats: CacheStats,
+}
+
+impl PageCache {
+    pub fn new(page_bytes: usize, capacity_bytes: usize) -> PageCache {
+        let page_bytes = page_bytes.max(512);
+        // The ceiling must admit at least one page or nothing is cacheable.
+        let capacity_bytes = capacity_bytes.max(page_bytes);
+        PageCache {
+            pages: BTreeMap::new(),
+            page_bytes,
+            capacity_bytes,
+            live_bytes: 0,
+            tick: 0,
+            stats: CacheStats {
+                capacity_bytes: capacity_bytes as u64,
+                ..CacheStats::default()
+            },
+        }
+    }
+
+    pub fn page_bytes(&self) -> usize {
+        self.page_bytes
+    }
+
+    pub fn capacity_bytes(&self) -> usize {
+        self.capacity_bytes
+    }
+
+    /// Look a page up, refreshing its LRU stamp. A miss is counted here
+    /// (callers immediately fault the page in via [`PageCache::insert`]).
+    pub fn get(&mut self, key: PageKey) -> Option<&[u8]> {
+        self.tick += 1;
+        let tick = self.tick;
+        match self.pages.get_mut(&key) {
+            Some(page) => {
+                page.last_used = tick;
+                self.stats.hits += 1;
+                PAGE_HIT.incr();
+                Some(&page.bytes)
+            }
+            None => {
+                self.stats.misses += 1;
+                PAGE_MISS.incr();
+                None
+            }
+        }
+    }
+
+    /// Insert a freshly loaded page, evicting least-recently-used pages
+    /// until the ceiling holds. Returns a reference to the cached bytes.
+    pub fn insert(&mut self, key: PageKey, bytes: Vec<u8>) -> &[u8] {
+        self.tick += 1;
+        let incoming = bytes.len();
+        // Evict until the new page fits. The scan is O(pages), and the
+        // ceiling bounds pages to a small constant (capacity / page size).
+        while self.live_bytes + incoming > self.capacity_bytes && !self.pages.is_empty() {
+            let victim = self
+                .pages
+                .iter()
+                .min_by_key(|(k, p)| (p.last_used, **k))
+                .map(|(k, _)| *k);
+            match victim {
+                Some(k) => {
+                    if let Some(p) = self.pages.remove(&k) {
+                        self.live_bytes -= p.bytes.len();
+                        self.stats.evictions += 1;
+                    }
+                }
+                None => break,
+            }
+        }
+        self.live_bytes += incoming;
+        self.stats.peak_bytes = self.stats.peak_bytes.max(self.live_bytes as u64);
+        self.stats.live_bytes = self.live_bytes as u64;
+        let tick = self.tick;
+        let entry = self.pages.entry(key).or_insert(Page {
+            bytes,
+            last_used: tick,
+        });
+        entry.last_used = tick;
+        &entry.bytes
+    }
+
+    pub fn stats(&self) -> CacheStats {
+        let mut s = self.stats;
+        s.live_bytes = self.live_bytes as u64;
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(shard: u8, page: u64) -> PageKey {
+        PageKey { shard, page }
+    }
+
+    #[test]
+    fn bounded_by_capacity() {
+        let mut c = PageCache::new(1024, 2048);
+        c.insert(key(0, 0), vec![0u8; 1024]);
+        c.insert(key(0, 1), vec![0u8; 1024]);
+        c.insert(key(0, 2), vec![0u8; 1024]);
+        let s = c.stats();
+        assert!(s.live_bytes <= 2048, "live {} over ceiling", s.live_bytes);
+        assert!(s.peak_bytes <= 2048, "peak {} over ceiling", s.peak_bytes);
+        assert_eq!(s.evictions, 1);
+    }
+
+    #[test]
+    fn lru_evicts_coldest() {
+        let mut c = PageCache::new(1024, 2048);
+        c.insert(key(0, 0), vec![0u8; 1024]);
+        c.insert(key(0, 1), vec![0u8; 1024]);
+        assert!(c.get(key(0, 0)).is_some()); // refresh page 0
+        c.insert(key(0, 2), vec![0u8; 1024]); // must evict page 1
+        assert!(c.get(key(0, 0)).is_some());
+        assert!(c.get(key(0, 1)).is_none());
+        assert!(c.get(key(0, 2)).is_some());
+    }
+
+    #[test]
+    fn hit_rate_is_hits_over_lookups() {
+        let mut c = PageCache::new(1024, 4096);
+        assert!(c.get(key(0, 0)).is_none());
+        c.insert(key(0, 0), vec![1, 2, 3]);
+        assert!(c.get(key(0, 0)).is_some());
+        assert!(c.get(key(0, 0)).is_some());
+        let s = c.stats();
+        assert_eq!((s.hits, s.misses), (2, 1));
+        assert!((s.hit_rate() - 2.0 / 3.0).abs() < 1e-12);
+    }
+}

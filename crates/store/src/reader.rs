@@ -1,0 +1,644 @@
+//! Reading a segment store: paged lazy loads, budget-polled scans, and
+//! offline verification.
+//!
+//! [`SegmentStore::open`] loads only the manifest, the annotation table,
+//! and the per-segment offset indexes; frame payloads stay on disk and
+//! are faulted in page-by-page through the bounded [`PageCache`], so a
+//! store far larger than memory can be summarized under a fixed cache
+//! ceiling. Every scan loop polls its [`BudgetSession`] — deadlines,
+//! step budgets, and cancel flags all interrupt a scan between page
+//! loads, and the partial fold is returned as the anytime best-so-far.
+
+use std::collections::BTreeMap;
+use std::fs::File;
+use std::io::{Read, Seek, SeekFrom};
+use std::path::{Path, PathBuf};
+
+use prox_obs::store_metrics::BYTES_READ;
+use prox_obs::Json;
+use prox_provenance::{AggKind, AnnId, AnnStore, ProvExpr, StoreBackend, Tensor};
+use prox_robust::{fault, BudgetSession, BudgetStop, ProxError};
+
+use crate::builder::{
+    agg_from_name, ANNS_FILE, FORMAT, LOG_ENTRY_BYTES, LOG_FILE, LOG_MAGIC, MANIFEST_FILE,
+};
+use crate::codec::{decode_annstore, decode_entry};
+use crate::fp::{fnv64_update, FNV_OFFSET};
+use crate::pagecache::{CacheStats, PageCache, PageKey, DEFAULT_CACHE_BYTES, DEFAULT_PAGE_BYTES};
+use crate::segment::{parse_footer, parse_index_region, segment_file, FOOTER_BYTES, SEG_MAGIC};
+
+/// One segment as described by the manifest.
+#[derive(Clone, Debug)]
+pub struct SegInfo {
+    pub shard: u8,
+    pub file: String,
+    pub frames: u64,
+    pub payload_bytes: u64,
+    pub file_bytes: u64,
+}
+
+/// Parsed `store.json`.
+#[derive(Clone, Debug)]
+pub struct StoreInfo {
+    pub agg: AggKind,
+    pub logical: u64,
+    pub unique: u64,
+    pub log_entries: u64,
+    pub annotations: u64,
+    pub payload_bytes: u64,
+    pub log_checksum: u64,
+    pub segments: Vec<SegInfo>,
+}
+
+impl StoreInfo {
+    pub fn dedup_ratio(&self) -> f64 {
+        if self.unique == 0 {
+            0.0
+        } else {
+            self.logical as f64 / self.unique as f64
+        }
+    }
+}
+
+fn manifest_field<'a>(j: &'a Json, key: &str) -> Result<&'a Json, ProxError> {
+    j.get(key)
+        .ok_or_else(|| ProxError::corrupt("store manifest", format!("missing field '{key}'")))
+}
+
+fn manifest_u64(j: &Json, key: &str) -> Result<u64, ProxError> {
+    manifest_field(j, key)?.as_u64().ok_or_else(|| {
+        ProxError::corrupt("store manifest", format!("field '{key}' is not an integer"))
+    })
+}
+
+fn manifest_str<'a>(j: &'a Json, key: &str) -> Result<&'a str, ProxError> {
+    manifest_field(j, key)?.as_str().ok_or_else(|| {
+        ProxError::corrupt("store manifest", format!("field '{key}' is not a string"))
+    })
+}
+
+/// Read and parse `<dir>/store.json`.
+pub fn read_info(dir: &Path) -> Result<StoreInfo, ProxError> {
+    let path = dir.join(MANIFEST_FILE);
+    let text = std::fs::read_to_string(&path)
+        .map_err(|e| ProxError::io(format!("read {}", path.display()), &e))?;
+    let j = Json::parse(&text).map_err(|e| {
+        ProxError::corrupt(
+            "store manifest",
+            format!("{}: {}", path.display(), e.message()),
+        )
+    })?;
+    let format = manifest_str(&j, "format")?;
+    if format != FORMAT {
+        return Err(ProxError::unsupported(format!(
+            "store format '{format}' (this build reads '{FORMAT}')"
+        )));
+    }
+    let counts = manifest_field(&j, "counts")?;
+    let log = manifest_field(&j, "log")?;
+    let checksum_hex = manifest_str(log, "checksum")?;
+    let log_checksum = u64::from_str_radix(checksum_hex, 16).map_err(|e| {
+        ProxError::corrupt(
+            "store manifest",
+            format!("bad log checksum '{checksum_hex}': {e}"),
+        )
+    })?;
+    let mut segments = Vec::new();
+    match manifest_field(&j, "segments")? {
+        Json::Arr(items) => {
+            for item in items {
+                let shard_hex = manifest_str(item, "shard")?;
+                let shard = u8::from_str_radix(shard_hex, 16).map_err(|e| {
+                    ProxError::corrupt("store manifest", format!("bad shard '{shard_hex}': {e}"))
+                })?;
+                segments.push(SegInfo {
+                    shard,
+                    file: manifest_str(item, "file")?.to_string(),
+                    frames: manifest_u64(item, "frames")?,
+                    payload_bytes: manifest_u64(item, "payload_bytes")?,
+                    file_bytes: manifest_u64(item, "file_bytes")?,
+                });
+            }
+        }
+        _ => {
+            return Err(ProxError::corrupt(
+                "store manifest",
+                "field 'segments' is not an array",
+            ))
+        }
+    }
+    Ok(StoreInfo {
+        agg: agg_from_name(manifest_str(&j, "agg")?)?,
+        logical: manifest_u64(counts, "logical")?,
+        unique: manifest_u64(counts, "unique")?,
+        log_entries: manifest_u64(counts, "log_entries")?,
+        annotations: manifest_u64(counts, "annotations")?,
+        payload_bytes: manifest_u64(counts, "payload_bytes")?,
+        log_checksum,
+        segments,
+    })
+}
+
+/// How far a scan got before returning.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ScanOutcome {
+    /// Logical expressions delivered (multiplicities included).
+    pub logical_seen: u64,
+    /// Log records consumed.
+    pub records_seen: u64,
+    /// `Some` when the budget interrupted the scan (anytime partial).
+    pub stopped: Option<BudgetStop>,
+}
+
+/// An open store: manifest + annotation table + offset indexes in
+/// memory, frame data paged in on demand.
+pub struct SegmentStore {
+    dir: PathBuf,
+    info: StoreInfo,
+    anns: AnnStore,
+    files: BTreeMap<u8, File>,
+    index: BTreeMap<u64, (u8, u64, u32)>,
+    cache: PageCache,
+    bytes_read: u64,
+}
+
+impl SegmentStore {
+    /// Open a store with the default page size and cache ceiling.
+    pub fn open(dir: &Path) -> Result<SegmentStore, ProxError> {
+        SegmentStore::open_with(dir, DEFAULT_PAGE_BYTES, DEFAULT_CACHE_BYTES)
+    }
+
+    /// Open a store with an explicit page size and page-cache ceiling
+    /// (bytes). Only indexes are loaded eagerly.
+    pub fn open_with(
+        dir: &Path,
+        page_bytes: usize,
+        cache_bytes: usize,
+    ) -> Result<SegmentStore, ProxError> {
+        let info = read_info(dir)?;
+        let ann_path = dir.join(ANNS_FILE);
+        let mut ann_bytes = std::fs::read(&ann_path)
+            .map_err(|e| ProxError::io(format!("read {}", ann_path.display()), &e))?;
+        BYTES_READ.add(ann_bytes.len() as u64);
+        fault::corrupt_bytes(&mut ann_bytes);
+        let anns = decode_annstore(&ann_bytes)?;
+        if anns.len() as u64 != info.annotations {
+            return Err(ProxError::corrupt(
+                "store manifest",
+                format!(
+                    "manifest says {} annotations, anns.bin holds {}",
+                    info.annotations,
+                    anns.len()
+                ),
+            ));
+        }
+        let mut files = BTreeMap::new();
+        let mut index = BTreeMap::new();
+        let mut bytes_read = ann_bytes.len() as u64;
+        for seg in &info.segments {
+            let path = dir.join(&seg.file);
+            let mut file = File::open(&path)
+                .map_err(|e| ProxError::io(format!("open {}", path.display()), &e))?;
+            let read = load_segment_index(&mut file, seg.shard, &mut index)?;
+            bytes_read += read;
+            files.insert(seg.shard, file);
+        }
+        if index.len() as u64 != info.unique {
+            return Err(ProxError::corrupt(
+                "store manifest",
+                format!(
+                    "manifest says {} unique frames, indexes hold {}",
+                    info.unique,
+                    index.len()
+                ),
+            ));
+        }
+        Ok(SegmentStore {
+            dir: dir.to_path_buf(),
+            info,
+            anns,
+            files,
+            index,
+            cache: PageCache::new(page_bytes, cache_bytes),
+            bytes_read,
+        })
+    }
+
+    pub fn info(&self) -> &StoreInfo {
+        &self.info
+    }
+
+    pub fn anns(&self) -> &AnnStore {
+        &self.anns
+    }
+
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+
+    pub fn bytes_read(&self) -> u64 {
+        self.bytes_read
+    }
+
+    fn load_page(&mut self, shard: u8, page_start: u64) -> Result<Vec<u8>, ProxError> {
+        let file = self.files.get_mut(&shard).ok_or_else(|| {
+            ProxError::corrupt(
+                "segment read",
+                format!("no open file for shard {shard:02x}"),
+            )
+        })?;
+        let page_bytes = self.cache.page_bytes();
+        file.seek(SeekFrom::Start(page_start))
+            .map_err(|e| ProxError::io(format!("seek {}", segment_file(shard)), &e))?;
+        let mut buf = vec![0u8; page_bytes];
+        let mut filled = 0;
+        while filled < page_bytes {
+            let n = file
+                .read(&mut buf[filled..])
+                .map_err(|e| ProxError::io(format!("read {}", segment_file(shard)), &e))?;
+            if n == 0 {
+                break;
+            }
+            filled += n;
+        }
+        buf.truncate(filled);
+        BYTES_READ.add(filled as u64);
+        self.bytes_read += filled as u64;
+        Ok(buf)
+    }
+
+    /// Assemble `len` bytes starting at `offset` in `shard`, going
+    /// through the page cache.
+    fn read_range(&mut self, shard: u8, offset: u64, len: usize) -> Result<Vec<u8>, ProxError> {
+        let mut out = Vec::with_capacity(len);
+        let page_bytes = self.cache.page_bytes() as u64;
+        let mut pos = offset;
+        let end = offset + len as u64;
+        while pos < end {
+            let page_no = pos / page_bytes;
+            let page_start = page_no * page_bytes;
+            let within = (pos - page_start) as usize;
+            let want = (end - pos) as usize;
+            let key = PageKey {
+                shard,
+                page: page_no,
+            };
+            let mut taken = None;
+            if let Some(bytes) = self.cache.get(key) {
+                let avail = bytes.len().saturating_sub(within);
+                let take = want.min(avail);
+                out.extend_from_slice(&bytes[within..within + take]);
+                taken = Some(take);
+            }
+            let take = match taken {
+                Some(t) => t,
+                None => {
+                    let page = self.load_page(shard, page_start)?;
+                    let bytes = self.cache.insert(key, page);
+                    let avail = bytes.len().saturating_sub(within);
+                    let take = want.min(avail);
+                    out.extend_from_slice(&bytes[within..within + take]);
+                    take
+                }
+            };
+            if take == 0 {
+                return Err(ProxError::corrupt(
+                    "segment read",
+                    format!(
+                        "{}: range {offset}+{len} runs past end of file",
+                        segment_file(shard)
+                    ),
+                ));
+            }
+            pos += take as u64;
+        }
+        Ok(out)
+    }
+
+    /// Fetch and checksum-verify one frame payload by content address.
+    pub fn read_frame(&mut self, fp: u64) -> Result<Vec<u8>, ProxError> {
+        let (shard, offset, len) = *self.index.get(&fp).ok_or_else(|| {
+            ProxError::corrupt(
+                "segment read",
+                format!("log references unknown fingerprint {fp:016x}"),
+            )
+        })?;
+        let frame = self.read_range(shard, offset, 4 + len as usize + 8)?;
+        let corrupt = |detail: String| {
+            ProxError::corrupt(
+                "segment frame",
+                format!("{} frame {fp:016x}: {detail}", segment_file(shard)),
+            )
+        };
+        if frame.len() != 4 + len as usize + 8 {
+            return Err(corrupt(format!("short read ({} bytes)", frame.len())));
+        }
+        let mut c = [0u8; 4];
+        c.copy_from_slice(&frame[..4]);
+        let declared = u32::from_le_bytes(c);
+        if declared != len {
+            return Err(corrupt(format!(
+                "index says {len} bytes, frame header says {declared}"
+            )));
+        }
+        let mut payload = frame[4..4 + len as usize].to_vec();
+        // Fault-injection hook: `PROX_FAULT=corrupt` flips bits here and
+        // must surface as a typed checksum error, never a panic.
+        fault::corrupt_bytes(&mut payload);
+        let mut a = [0u8; 8];
+        a.copy_from_slice(&frame[4 + len as usize..]);
+        let want = u64::from_le_bytes(a);
+        let got = crate::fp::fnv64(&payload);
+        if got != want {
+            return Err(corrupt(format!(
+                "payload checksum mismatch (stored {want:016x}, computed {got:016x})"
+            )));
+        }
+        Ok(payload)
+    }
+
+    /// Decode one entry by content address.
+    pub fn read_entry(&mut self, fp: u64) -> Result<(AnnId, Tensor), ProxError> {
+        let payload = self.read_frame(fp)?;
+        decode_entry(&payload, self.anns.len())
+    }
+
+    fn open_log(&self) -> Result<(File, u64), ProxError> {
+        let path = self.dir.join(LOG_FILE);
+        let mut file =
+            File::open(&path).map_err(|e| ProxError::io(format!("open {}", path.display()), &e))?;
+        let len = file
+            .metadata()
+            .map_err(|e| ProxError::io(format!("stat {}", path.display()), &e))?
+            .len();
+        let corrupt =
+            |detail: String| ProxError::corrupt("store log", format!("{LOG_FILE}: {detail}"));
+        let header_and_footer = (LOG_MAGIC.len() + FOOTER_BYTES) as u64;
+        if len < header_and_footer {
+            return Err(corrupt(format!("file too short ({len} bytes)")));
+        }
+        let mut magic = [0u8; 8];
+        file.read_exact(&mut magic)
+            .map_err(|e| ProxError::io("read log magic", &e))?;
+        if &magic != LOG_MAGIC {
+            return Err(corrupt("bad header magic".into()));
+        }
+        let body = len - header_and_footer;
+        if !body.is_multiple_of(LOG_ENTRY_BYTES as u64) {
+            return Err(corrupt(format!(
+                "record region is {body} bytes, not a multiple of {LOG_ENTRY_BYTES}"
+            )));
+        }
+        let records = body / LOG_ENTRY_BYTES as u64;
+        if records != self.info.log_entries {
+            return Err(corrupt(format!(
+                "manifest says {} records, file holds {records}",
+                self.info.log_entries
+            )));
+        }
+        Ok((file, records))
+    }
+
+    /// Stream the logical log, delivering `(object, tensor, count)` for
+    /// every run-length record. Polls the budget session once per
+    /// record — i.e. before every page load — and returns the partial
+    /// outcome when the budget trips (anytime contract). The record
+    /// stream's running checksum is verified when the scan completes.
+    pub fn scan(
+        &mut self,
+        session: &mut BudgetSession,
+        f: &mut dyn FnMut(AnnId, Tensor, u64) -> Result<(), ProxError>,
+    ) -> Result<ScanOutcome, ProxError> {
+        let (file, records) = self.open_log()?;
+        let mut reader = std::io::BufReader::new(file);
+        let mut outcome = ScanOutcome::default();
+        let mut checksum = FNV_OFFSET;
+        let mut rec = [0u8; LOG_ENTRY_BYTES];
+        for _ in 0..records {
+            if let Err(stop) = session.check() {
+                outcome.stopped = Some(stop);
+                return Ok(outcome);
+            }
+            if let Err(stop) = session.note_step() {
+                outcome.stopped = Some(stop);
+                return Ok(outcome);
+            }
+            reader
+                .read_exact(&mut rec)
+                .map_err(|e| ProxError::io("read log record", &e))?;
+            BYTES_READ.add(LOG_ENTRY_BYTES as u64);
+            self.bytes_read += LOG_ENTRY_BYTES as u64;
+            checksum = fnv64_update(checksum, &rec);
+            let mut a = [0u8; 8];
+            a.copy_from_slice(&rec[..8]);
+            let fp = u64::from_le_bytes(a);
+            a.copy_from_slice(&rec[8..]);
+            let count = u64::from_le_bytes(a);
+            let (object, tensor) = self.read_entry(fp)?;
+            f(object, tensor, count)?;
+            outcome.records_seen += 1;
+            outcome.logical_seen += count;
+        }
+        if checksum != self.info.log_checksum {
+            return Err(ProxError::corrupt(
+                "store log",
+                format!(
+                    "record checksum mismatch: manifest {:016x}, computed {checksum:016x}",
+                    self.info.log_checksum
+                ),
+            ));
+        }
+        Ok(outcome)
+    }
+
+    /// Fold the whole store into one in-memory [`ProvExpr`]. Duplicate
+    /// fingerprints are *not* re-read or re-decoded: each unique frame
+    /// is materialized once and its logical multiplicity folded into the
+    /// aggregation value, so live memory is proportional to the number
+    /// of unique frames, never to the logical size of the store.
+    pub fn collect(
+        &mut self,
+        session: &mut BudgetSession,
+    ) -> Result<(ProvExpr, ScanOutcome), ProxError> {
+        let (file, records) = self.open_log()?;
+        let mut reader = std::io::BufReader::new(file);
+        let mut outcome = ScanOutcome::default();
+        let mut checksum = FNV_OFFSET;
+        let mut rec = [0u8; LOG_ENTRY_BYTES];
+        let mut fold: BTreeMap<u64, (AnnId, Tensor, u64)> = BTreeMap::new();
+        for _ in 0..records {
+            let stopped = match session.check() {
+                Err(stop) => Some(stop),
+                Ok(()) => session.note_step().err(),
+            };
+            if let Some(stop) = stopped {
+                outcome.stopped = Some(stop);
+                return Ok((fold_to_expr(self.info.agg, fold), outcome));
+            }
+            reader
+                .read_exact(&mut rec)
+                .map_err(|e| ProxError::io("read log record", &e))?;
+            BYTES_READ.add(LOG_ENTRY_BYTES as u64);
+            self.bytes_read += LOG_ENTRY_BYTES as u64;
+            checksum = fnv64_update(checksum, &rec);
+            let mut a = [0u8; 8];
+            a.copy_from_slice(&rec[..8]);
+            let fp = u64::from_le_bytes(a);
+            a.copy_from_slice(&rec[8..]);
+            let count = u64::from_le_bytes(a);
+            match fold.get_mut(&fp) {
+                Some((_, _, n)) => *n += count,
+                None => {
+                    let (object, tensor) = self.read_entry(fp)?;
+                    fold.insert(fp, (object, tensor, count));
+                }
+            }
+            outcome.records_seen += 1;
+            outcome.logical_seen += count;
+        }
+        if checksum != self.info.log_checksum {
+            return Err(ProxError::corrupt(
+                "store log",
+                format!(
+                    "record checksum mismatch: manifest {:016x}, computed {checksum:016x}",
+                    self.info.log_checksum
+                ),
+            ));
+        }
+        Ok((fold_to_expr(self.info.agg, fold), outcome))
+    }
+
+    /// Store + cache statistics as JSON (the shape `prox store stat`,
+    /// `/metrics.json`, and the bench manifest all share).
+    pub fn stats_json(&self) -> Json {
+        let cache = self.cache_stats();
+        let mut cj = Json::obj();
+        cj.set("capacity_bytes", cache.capacity_bytes);
+        cj.set("page_bytes", self.cache.page_bytes());
+        cj.set("hits", cache.hits);
+        cj.set("misses", cache.misses);
+        cj.set("evictions", cache.evictions);
+        cj.set("live_bytes", cache.live_bytes);
+        cj.set("peak_bytes", cache.peak_bytes);
+        cj.set("hit_rate", round6(cache.hit_rate()));
+
+        let mut j = Json::obj();
+        j.set("dir", self.dir.display().to_string());
+        j.set("agg", self.info.agg.name());
+        j.set("logical_expressions", self.info.logical);
+        j.set("unique_frames", self.info.unique);
+        j.set("dedup_ratio", round6(self.info.dedup_ratio()));
+        j.set("log_entries", self.info.log_entries);
+        j.set("annotations", self.info.annotations);
+        j.set("segments", self.info.segments.len());
+        j.set("payload_bytes", self.info.payload_bytes);
+        j.set("bytes_read", self.bytes_read);
+        j.set("page_cache", cj);
+        j
+    }
+}
+
+/// Round to 6 decimal places so ratios render identically across runs.
+fn round6(x: f64) -> f64 {
+    (x * 1e6).round() / 1e6
+}
+
+fn fold_to_expr(agg: AggKind, fold: BTreeMap<u64, (AnnId, Tensor, u64)>) -> ProvExpr {
+    // Group by object id so the expression's entry order is the object
+    // order, independent of fingerprint order.
+    let mut by_object: BTreeMap<usize, Vec<(u64, Tensor, u64)>> = BTreeMap::new();
+    for (fp, (object, tensor, n)) in fold {
+        by_object
+            .entry(object.index())
+            .or_default()
+            .push((fp, tensor, n));
+    }
+    let mut expr = ProvExpr::new(agg);
+    for (object_ix, tensors) in by_object {
+        let object = AnnId::from_index(object_ix);
+        for (_fp, mut tensor, n) in tensors {
+            tensor.value = tensor.value.scaled(n, agg);
+            expr.push(object, tensor);
+        }
+    }
+    expr
+}
+
+impl StoreBackend for SegmentStore {
+    fn agg_kind(&self) -> AggKind {
+        self.info.agg
+    }
+
+    fn logical_len(&self) -> u64 {
+        self.info.logical
+    }
+
+    fn for_each_entry(
+        &mut self,
+        session: &mut BudgetSession,
+        f: &mut dyn FnMut(AnnId, Tensor, u64) -> Result<(), ProxError>,
+    ) -> Result<Option<BudgetStop>, ProxError> {
+        let outcome = self.scan(session, f)?;
+        Ok(outcome.stopped)
+    }
+
+    fn collect(
+        &mut self,
+        session: &mut BudgetSession,
+    ) -> Result<(ProvExpr, Option<BudgetStop>), ProxError> {
+        let (expr, outcome) = SegmentStore::collect(self, session)?;
+        Ok((expr, outcome.stopped))
+    }
+}
+
+fn load_segment_index(
+    file: &mut File,
+    shard: u8,
+    index: &mut BTreeMap<u64, (u8, u64, u32)>,
+) -> Result<u64, ProxError> {
+    let len = file
+        .metadata()
+        .map_err(|e| ProxError::io(format!("stat {}", segment_file(shard)), &e))?
+        .len();
+    let corrupt = |detail: String| {
+        ProxError::corrupt(
+            "segment index",
+            format!("{}: {detail}", segment_file(shard)),
+        )
+    };
+    if len < (SEG_MAGIC.len() + FOOTER_BYTES) as u64 {
+        return Err(corrupt(format!("file too short ({len} bytes)")));
+    }
+    let io = |what: &str, e: &std::io::Error| {
+        ProxError::io(format!("{what} {}", segment_file(shard)), e)
+    };
+    let mut magic = [0u8; 8];
+    file.seek(SeekFrom::Start(0)).map_err(|e| io("seek", &e))?;
+    file.read_exact(&mut magic).map_err(|e| io("read", &e))?;
+    if &magic != SEG_MAGIC {
+        return Err(corrupt("bad header magic".into()));
+    }
+    let mut tail = [0u8; FOOTER_BYTES];
+    file.seek(SeekFrom::Start(len - FOOTER_BYTES as u64))
+        .map_err(|e| io("seek", &e))?;
+    file.read_exact(&mut tail).map_err(|e| io("read", &e))?;
+    let (index_offset, want_sum) = parse_footer(&tail, len, shard)?;
+    let index_len = (len - FOOTER_BYTES as u64 - index_offset) as usize;
+    let mut index_bytes = vec![0u8; index_len];
+    file.seek(SeekFrom::Start(index_offset))
+        .map_err(|e| io("seek", &e))?;
+    file.read_exact(&mut index_bytes)
+        .map_err(|e| io("read", &e))?;
+    let read = (magic.len() + tail.len() + index_len) as u64;
+    BYTES_READ.add(read);
+    for e in parse_index_region(&index_bytes, want_sum, index_offset, shard)? {
+        if index.insert(e.fp, (shard, e.offset, e.len)).is_some() {
+            return Err(corrupt(format!("duplicate fingerprint {:016x}", e.fp)));
+        }
+    }
+    Ok(read)
+}

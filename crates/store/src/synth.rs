@@ -1,0 +1,172 @@
+//! Deterministic synthetic MovieLens-shaped store generation.
+//!
+//! `prox store build` and the `store` bench experiment both build their
+//! stores here: a DetRng-seeded population of users and movies (with
+//! the MovieLens 1M attribute vocabulary), and a logical rating stream
+//! whose *unique* frame count and *logical* expression count are chosen
+//! independently — ten million logical ratings typically share on the
+//! order of a hundred thousand distinct `(movie, user, rating)` frames,
+//! which is exactly the sharing the content-addressed store exploits.
+
+use std::path::Path;
+
+use prox_provenance::{AggKind, AggValue, AnnStore, Polynomial, Tensor};
+use prox_robust::fault::DetRng;
+use prox_robust::ProxError;
+
+use crate::builder::{StoreBuilder, StoreSummary};
+
+/// Shape of a synthetic store.
+#[derive(Clone, Copy, Debug)]
+pub struct SynthSpec {
+    pub users: u32,
+    pub movies: u32,
+    /// Distinct frames to draw (collisions dedup below this).
+    pub unique_frames: u64,
+    /// Logical expressions to spread across those frames.
+    pub logical: u64,
+    pub seed: u64,
+}
+
+impl SynthSpec {
+    /// The bench-proof shape: MovieLens 1M population, ten million
+    /// logical ratings over ~120k distinct frames.
+    pub fn full(seed: u64) -> SynthSpec {
+        SynthSpec {
+            users: 6040,
+            movies: 3952,
+            unique_frames: 120_000,
+            logical: 10_000_000,
+            seed,
+        }
+    }
+
+    /// A seconds-scale shape for tests and `--quick` runs.
+    pub fn quick(seed: u64) -> SynthSpec {
+        SynthSpec {
+            users: 400,
+            movies: 200,
+            unique_frames: 4_000,
+            logical: 200_000,
+            seed,
+        }
+    }
+}
+
+const GENDERS: [&str; 2] = ["F", "M"];
+const AGE_BANDS: [&str; 7] = ["1", "18", "25", "35", "45", "50", "56"];
+const GENRES: [&str; 18] = [
+    "Action",
+    "Adventure",
+    "Animation",
+    "Children",
+    "Comedy",
+    "Crime",
+    "Documentary",
+    "Drama",
+    "Fantasy",
+    "FilmNoir",
+    "Horror",
+    "Musical",
+    "Mystery",
+    "Romance",
+    "SciFi",
+    "Thriller",
+    "War",
+    "Western",
+];
+const DECADES: [&str; 8] = [
+    "1920s", "1930s", "1940s", "1950s", "1960s", "1970s", "1980s", "1990s",
+];
+
+/// Build the annotation population: one base annotation per user and
+/// per movie, attributed so `SharedAttribute` merge rules have
+/// something to group on.
+pub fn synth_annstore(spec: &SynthSpec) -> (AnnStore, u32) {
+    let mut rng = DetRng::new(spec.seed ^ ANN_SEED_MIX);
+    let mut anns = AnnStore::new();
+    for u in 0..spec.users {
+        let gender = GENDERS[rng.below(GENDERS.len())];
+        let age = AGE_BANDS[rng.below(AGE_BANDS.len())];
+        let occupation = format!("occ{}", rng.below(21));
+        anns.add_base_with(
+            &format!("u{u}"),
+            "user",
+            &[
+                ("gender", gender),
+                ("age", age),
+                ("occupation", &occupation),
+            ],
+        );
+    }
+    for m in 0..spec.movies {
+        let genre = GENRES[rng.below(GENRES.len())];
+        let decade = DECADES[rng.below(DECADES.len())];
+        anns.add_base_with(
+            &format!("m{m}"),
+            "movie",
+            &[("genre", genre), ("decade", decade)],
+        );
+    }
+    (anns, spec.users)
+}
+
+/// Mixed into the annotation-population RNG so it is decorrelated from
+/// the rating stream drawn from the same user seed.
+const ANN_SEED_MIX: u64 = 0x5707_e5ee_d000_0001;
+
+/// What `build_synthetic` produced.
+#[derive(Clone, Debug)]
+pub struct SynthReport {
+    pub summary: StoreSummary,
+    pub users: u32,
+    pub movies: u32,
+    pub requested_unique: u64,
+    pub requested_logical: u64,
+    pub seed: u64,
+}
+
+/// Build a synthetic store at `dir`. Multiplicities are spread evenly
+/// (the first `logical % unique` frames get one extra), so the logical
+/// total is hit exactly and the layout is a pure function of the spec.
+pub fn build_synthetic(dir: &Path, spec: &SynthSpec) -> Result<SynthReport, ProxError> {
+    if spec.users == 0 || spec.movies == 0 || spec.unique_frames == 0 {
+        return Err(ProxError::config(
+            "synthetic store needs users, movies, and unique_frames all > 0",
+        ));
+    }
+    if spec.logical < spec.unique_frames {
+        return Err(ProxError::config(format!(
+            "logical total {} below unique frame count {}",
+            spec.logical, spec.unique_frames
+        )));
+    }
+    let (anns, users) = synth_annstore(spec);
+    let mut builder = StoreBuilder::create(dir, &anns, AggKind::Max)?;
+    let mut rng = DetRng::new(spec.seed);
+    let base = spec.logical / spec.unique_frames;
+    let extra = spec.logical % spec.unique_frames;
+    for i in 0..spec.unique_frames {
+        let user = rng.below(users as usize);
+        let movie = rng.below(spec.movies as usize);
+        let rating = 0.5 * (1 + rng.below(10)) as f64;
+        let user_ann = anns
+            .by_name(&format!("u{user}"))
+            .ok_or_else(|| ProxError::internal("synthetic user annotation missing"))?;
+        let movie_ann = anns
+            .by_name(&format!("m{movie}"))
+            .ok_or_else(|| ProxError::internal("synthetic movie annotation missing"))?;
+        let tensor = Tensor::new(Polynomial::var(user_ann), AggValue::single(rating));
+        let n = base + u64::from(i < extra);
+        builder.append(movie_ann, &tensor, n)?;
+    }
+    let summary = builder.finish()?;
+    Ok(SynthReport {
+        summary,
+        users: spec.users,
+        movies: spec.movies,
+        requested_unique: spec.unique_frames,
+        requested_logical: spec.logical,
+        seed: spec.seed,
+    })
+}

@@ -1,0 +1,283 @@
+//! Property tests for the store's binary framing and file formats.
+//!
+//! Random cases come from the workspace's deterministic splitmix64
+//! generator ([`prox_robust::fault::DetRng`]), same discipline as the
+//! provenance property suite: every failure replays from its fixed seed
+//! and the harness runs identically offline.
+//!
+//! The properties: encode→decode is the identity on canonical entries;
+//! truncated frames and checksum-damaged blobs are typed
+//! [`prox_robust::ProxError`]s — never panics; a `PROX_FAULT=corrupt`
+//! read path degrades to typed errors; and same-seed synthetic builds
+//! are byte-identical on disk.
+
+use std::path::PathBuf;
+
+use prox_provenance::{AggValue, AnnId, CmpOp, Guard, Monomial, Polynomial, Tensor};
+use prox_robust::fault::{DetRng, FaultGuard};
+use prox_robust::{ErrorKind, ExecutionBudget};
+use prox_store::codec::entry_fingerprint;
+use prox_store::{
+    build_synthetic, decode_annstore, decode_entry, encode_annstore, encode_entry, fnv64,
+    verify_store, SegmentStore, SynthSpec,
+};
+
+/// Cases per property.
+const CASES: usize = 64;
+/// Annotation universe for random entries (also the decoder bound).
+const MAX_ANN: usize = 32;
+
+const OPS: [CmpOp; 6] = [
+    CmpOp::Gt,
+    CmpOp::Ge,
+    CmpOp::Lt,
+    CmpOp::Le,
+    CmpOp::Eq,
+    CmpOp::Ne,
+];
+
+fn ann(rng: &mut DetRng) -> AnnId {
+    AnnId::from_index(rng.below(MAX_ANN))
+}
+
+/// A random canonical polynomial: 1–4 terms of degree 0–3, coefficients
+/// 1–5. Built through `from_terms` so it is already in the normal form
+/// the decoder produces.
+fn random_poly(rng: &mut DetRng) -> Polynomial {
+    let n_terms = rng.below(4) + 1;
+    Polynomial::from_terms((0..n_terms).map(|_| {
+        let degree = rng.below(4);
+        let factors: Vec<AnnId> = (0..degree).map(|_| ann(rng)).collect();
+        (Monomial::from_factors(factors), rng.next_u64() % 5 + 1)
+    }))
+}
+
+/// A value with two decimal digits — round-trips bit-exactly.
+fn random_value(rng: &mut DetRng) -> f64 {
+    (rng.next_u64() % 10_000) as f64 / 100.0
+}
+
+fn random_guard(rng: &mut DetRng) -> Guard {
+    let n_lhs = rng.below(2) + 1;
+    Guard {
+        lhs: (0..n_lhs)
+            .map(|_| (random_poly(rng), random_value(rng)))
+            .collect(),
+        op: OPS[rng.below(OPS.len())],
+        rhs: random_value(rng),
+    }
+}
+
+/// A random entry: object id, canonical polynomial, 0–3 guards covering
+/// every comparison op over the cases, and an aggregation value.
+fn random_entry(rng: &mut DetRng) -> (AnnId, Tensor) {
+    let object = ann(rng);
+    let prov = random_poly(rng);
+    let guards: Vec<Guard> = (0..rng.below(4)).map(|_| random_guard(rng)).collect();
+    let value = AggValue::new(random_value(rng), rng.next_u64() % 7 + 1);
+    let tensor = if guards.is_empty() {
+        Tensor::new(prov, value)
+    } else {
+        Tensor::guarded(prov, guards, value)
+    };
+    (object, tensor)
+}
+
+/// A unique scratch dir under the system temp dir.
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("prox-store-prop-{tag}-{}", std::process::id()));
+    if dir.exists() {
+        std::fs::remove_dir_all(&dir).expect("scratch dir is removable");
+    }
+    dir
+}
+
+/// Encoding then decoding a canonical entry is the identity, and the
+/// frame's content address is exactly the FNV of its bytes.
+#[test]
+fn entry_encode_decode_roundtrip() {
+    let mut rng = DetRng::new(0x57_0123);
+    for case in 0..CASES {
+        let (object, tensor) = random_entry(&mut rng);
+        let payload = encode_entry(object, &tensor);
+        let (object2, tensor2) =
+            decode_entry(&payload, MAX_ANN).unwrap_or_else(|e| panic!("case {case}: {e}"));
+        assert_eq!(object, object2, "case {case}: object survives");
+        assert_eq!(tensor, tensor2, "case {case}: tensor survives");
+        assert_eq!(
+            entry_fingerprint(object, &tensor),
+            fnv64(&payload),
+            "case {case}: the content address is the FNV of the frame bytes"
+        );
+    }
+}
+
+/// Every strict prefix of a valid frame decodes to a typed error (the
+/// payload is self-delimiting, so losing tail bytes is always caught) —
+/// and never panics.
+#[test]
+fn truncated_frames_are_typed_errors() {
+    let mut rng = DetRng::new(0x57_4444);
+    for case in 0..16 {
+        let (object, tensor) = random_entry(&mut rng);
+        let payload = encode_entry(object, &tensor);
+        for len in 0..payload.len() {
+            let err =
+                decode_entry(&payload[..len], MAX_ANN).expect_err("a strict prefix never decodes");
+            assert_eq!(
+                err.kind(),
+                ErrorKind::Input,
+                "case {case} prefix {len}: truncation is an input error: {err}"
+            );
+        }
+    }
+}
+
+/// Single-bit damage to a frame payload either still decodes (the flip
+/// landed in a value) or yields a typed input error — never a panic.
+/// The segment layer's per-frame checksum is what catches the silent
+/// decodes; this property pins down the codec's own behaviour.
+#[test]
+fn bitflipped_frames_never_panic() {
+    let mut rng = DetRng::new(0x57_9999);
+    for _ in 0..16 {
+        let (object, tensor) = random_entry(&mut rng);
+        let payload = encode_entry(object, &tensor);
+        for byte in 0..payload.len() {
+            for bit in 0..8 {
+                let mut damaged = payload.clone();
+                damaged[byte] ^= 1 << bit;
+                match decode_entry(&damaged, MAX_ANN) {
+                    Ok(_) => {} // flipped a value bit; the frame checksum layer catches these
+                    Err(e) => assert_eq!(
+                        e.kind(),
+                        ErrorKind::Input,
+                        "byte {byte} bit {bit}: corruption is an input error: {e}"
+                    ),
+                }
+            }
+        }
+    }
+}
+
+/// The annotation-store blob round-trips through its canonical encoding,
+/// and its embedded checksum catches every single-bit flip and every
+/// truncation with a typed error.
+#[test]
+fn annstore_blob_roundtrip_and_checksum() {
+    let _clean = FaultGuard::disabled();
+    let dir = scratch("anns");
+    let spec = SynthSpec {
+        users: 12,
+        movies: 6,
+        unique_frames: 60,
+        logical: 600,
+        seed: 5,
+    };
+    build_synthetic(&dir, &spec).expect("small build succeeds");
+    let store = SegmentStore::open(&dir).expect("fresh store opens");
+    let blob = encode_annstore(store.anns()).expect("base annotations encode");
+    let decoded = decode_annstore(&blob).expect("canonical blob decodes");
+    assert_eq!(
+        encode_annstore(&decoded).expect("decoded store re-encodes"),
+        blob,
+        "decode is a section of encode"
+    );
+
+    for len in 0..blob.len() {
+        let err = decode_annstore(&blob[..len]).expect_err("a strict prefix never decodes");
+        assert_eq!(err.kind(), ErrorKind::Input, "truncation at {len}: {err}");
+    }
+    let mut rng = DetRng::new(0x57_AAAA);
+    for _ in 0..256 {
+        let byte = rng.below(blob.len());
+        let bit = rng.below(8);
+        let mut damaged = blob.clone();
+        damaged[byte] ^= 1 << bit;
+        let err =
+            decode_annstore(&damaged).expect_err("the checksum catches every single-bit flip");
+        assert_eq!(err.kind(), ErrorKind::Input, "flip {byte}.{bit}: {err}");
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Under `PROX_FAULT=corrupt`, opening, folding, and verifying a store
+/// degrade to typed input errors (or survive when the flip lands in a
+/// value the checksums re-validate) — never panics, never silent trash.
+#[test]
+fn fault_corrupt_reads_degrade_to_typed_errors() {
+    let dir = scratch("fault");
+    {
+        let _clean = FaultGuard::disabled();
+        build_synthetic(&dir, &SynthSpec::quick(2016)).expect("clean build succeeds");
+        verify_store(&dir).expect("clean store verifies");
+    }
+    for seed in [1u64, 2, 3, 42, 99] {
+        let _g = FaultGuard::install(&format!("corrupt@0.02:{seed}")).expect("valid spec");
+        match SegmentStore::open(&dir) {
+            Ok(mut store) => {
+                let budget = ExecutionBudget::unlimited();
+                let mut session = budget.start();
+                match store.collect(&mut session) {
+                    Ok((expr, outcome)) => {
+                        assert!(outcome.logical_seen > 0, "a full fold saw the log");
+                        assert!(expr.size() > 0, "a full fold produced tensors");
+                    }
+                    Err(e) => assert_eq!(e.kind(), ErrorKind::Input, "fold: {e}"),
+                }
+            }
+            Err(e) => assert_eq!(e.kind(), ErrorKind::Input, "open: {e}"),
+        }
+        match verify_store(&dir) {
+            Ok(report) => assert!(report.frames > 0),
+            Err(e) => assert_eq!(e.kind(), ErrorKind::Input, "verify: {e}"),
+        }
+    }
+    let _clean = FaultGuard::disabled();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Two same-seed synthetic builds are byte-identical file for file, and
+/// the fold off either sees exactly the spec's logical stream.
+#[test]
+fn same_seed_builds_are_byte_identical() {
+    let _clean = FaultGuard::disabled();
+    let spec = SynthSpec {
+        users: 30,
+        movies: 15,
+        unique_frames: 300,
+        logical: 20_000,
+        seed: 7,
+    };
+    let dir_a = scratch("det-a");
+    let dir_b = scratch("det-b");
+    build_synthetic(&dir_a, &spec).expect("build a succeeds");
+    build_synthetic(&dir_b, &spec).expect("build b succeeds");
+
+    let mut names: Vec<String> = std::fs::read_dir(&dir_a)
+        .expect("store dir lists")
+        .map(|e| {
+            e.expect("dir entry")
+                .file_name()
+                .to_string_lossy()
+                .into_owned()
+        })
+        .collect();
+    names.sort();
+    assert!(!names.is_empty(), "the build wrote files");
+    for name in &names {
+        let a = std::fs::read(dir_a.join(name)).expect("file a reads");
+        let b = std::fs::read(dir_b.join(name)).expect("file b reads");
+        assert_eq!(a, b, "{name}: same-seed builds are byte-identical");
+    }
+
+    let mut store = SegmentStore::open(&dir_a).expect("store opens");
+    let budget = ExecutionBudget::unlimited();
+    let mut session = budget.start();
+    let (expr, outcome) = store.collect(&mut session).expect("fold succeeds");
+    assert_eq!(outcome.logical_seen, spec.logical);
+    assert!(outcome.stopped.is_none(), "an unlimited budget never trips");
+    assert!(expr.num_objects() > 0);
+    let _ = std::fs::remove_dir_all(&dir_a);
+    let _ = std::fs::remove_dir_all(&dir_b);
+}

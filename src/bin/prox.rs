@@ -6,6 +6,7 @@
 //!   prox summarize [flags]    — one-shot run with typed exit codes
 //!   prox serve [flags]        — HTTP service (see `prox-serve`)
 //!   prox bench diff <a> <b>   — manifest regression gate (see `prox-bench`)
+//!   prox store <cmd> ...      — segment-store tools (see `prox-store`)
 //!   prox                      — interactive shell
 //!
 //! One-shot flags: `--wdist <f>`, `--steps <n>`, `--tsize <n>`,
@@ -16,9 +17,17 @@
 //!
 //! Serve flags: `--addr <host:port>`, `--workers <n>`, `--queue <n>`,
 //! `--cache <n>`, `--budget-ms <n>` (default wall-clock budget per
-//! request), `--profile <path>` (write folded-stack profile on exit).
-//! The server runs until SIGINT/SIGTERM, then drains admitted
-//! connections and exits.
+//! request), `--store <dir>` (attach a segment store; adds
+//! `POST /summarize/store` and `GET /store/stats`), `--profile <path>`
+//! (write folded-stack profile on exit). The server runs until
+//! SIGINT/SIGTERM, then drains admitted connections and exits.
+//!
+//! Store tools: `prox store build --out <dir> [--users n] [--movies n]
+//! [--unique n] [--logical n] [--seed n]` builds a synthetic
+//! MovieLens-shaped store; `prox store stat <dir> [--sample n]` prints
+//! its statistics (and optionally the first entries, decoded);
+//! `prox store verify <dir>` runs the full offline checksum pass and
+//! exits 2 on any corruption.
 //!
 //! Bench gate: `prox bench diff <baseline.json> <current.json>
 //! [--out <path>]` compares two run manifests under per-metric
@@ -206,15 +215,17 @@ impl App {
             "stats" => {
                 if prox_obs::enabled() {
                     format!(
-                        "{}{}{}{}",
+                        "{}{}{}{}{}",
                         prox_obs::render_snapshot(),
                         render_window_stats(),
                         render_resilience_stats(),
+                        render_store_stats(),
                         render_lint_stats()
                     )
                 } else {
                     format!(
-                        "observability is off — run with --trace <path> or PROX_TRACE=1\n{}",
+                        "observability is off — run with --trace <path> or PROX_TRACE=1\n{}{}",
+                        render_store_stats(),
                         render_lint_stats()
                     )
                 }
@@ -316,6 +327,178 @@ fn render_lint_stats() -> String {
         }
     }
     out
+}
+
+/// Render the store section of the last bench store run
+/// (`reports/manifest_store.json`), or nothing when no store manifest
+/// has been written. The live-server counterpart is `GET /store/stats`.
+fn render_store_stats() -> String {
+    let path = prox_bench::report::reports_dir().join("manifest_store.json");
+    let Ok(text) = std::fs::read_to_string(&path) else {
+        return String::new();
+    };
+    let Ok(manifest) = prox_obs::Json::parse(&text) else {
+        return format!("store: unreadable manifest at {}\n", path.display());
+    };
+    let Some(store) = manifest.get("store") else {
+        return String::new();
+    };
+    let u = |j: Option<&prox_obs::Json>, key: &str| {
+        j.and_then(|v| v.get(key))
+            .and_then(prox_obs::Json::as_u64)
+            .unwrap_or(0)
+    };
+    let reader = store.get("reader");
+    let cache = reader.and_then(|r| r.get("page_cache"));
+    let dedup = reader
+        .and_then(|r| r.get("dedup_ratio"))
+        .and_then(|v| match v {
+            prox_obs::Json::Float(f) => Some(*f),
+            prox_obs::Json::UInt(n) => Some(*n as f64),
+            _ => None,
+        })
+        .unwrap_or(0.0);
+    let hits = u(cache, "hits");
+    let misses = u(cache, "misses");
+    let hit_rate = if hits + misses > 0 {
+        hits as f64 / (hits + misses) as f64
+    } else {
+        0.0
+    };
+    format!(
+        "store (reports/manifest_store.json):\n\
+         \x20 {:<40} {}\n\
+         \x20 {:<40} {}\n\
+         \x20 {:<40} {}\n\
+         \x20 {:<40} {dedup:.2}x\n\
+         \x20 {:<40} {hit_rate:.4} ({hits}/{})\n\
+         \x20 {:<40} {} / {} ceiling\n",
+        "logical expressions",
+        u(reader, "logical_expressions"),
+        "unique frames",
+        u(reader, "unique_frames"),
+        "segments",
+        u(reader, "segments"),
+        "dedup ratio",
+        "page-cache hit rate",
+        hits + misses,
+        "page-cache peak bytes",
+        u(cache, "peak_bytes"),
+        u(Some(store), "cache_ceiling_bytes"),
+    )
+}
+
+/// `prox store build|stat|verify`: segment-store tools (see `prox-store`).
+fn store_cmd(args: &[String]) -> Result<String, ProxError> {
+    const USAGE: &str = "usage: prox store build --out <dir> [--users n] [--movies n] \
+                         [--unique n] [--logical n] [--seed n] | \
+                         prox store stat <dir> [--sample n] | \
+                         prox store verify <dir>";
+    let sub = args
+        .first()
+        .ok_or_else(|| ProxError::config(USAGE))?
+        .as_str();
+    match sub {
+        "build" => {
+            let mut spec = prox_store::SynthSpec::quick(2016);
+            let mut out: Option<String> = None;
+            let mut ix = 1;
+            while ix < args.len() {
+                let flag = args[ix].as_str();
+                let value = args
+                    .get(ix + 1)
+                    .ok_or_else(|| ProxError::config(format!("{flag} requires a value")))?;
+                match flag {
+                    "--out" => out = Some(value.clone()),
+                    "--users" => spec.users = parse_flag(flag, value)?,
+                    "--movies" => spec.movies = parse_flag(flag, value)?,
+                    "--unique" => spec.unique_frames = parse_flag(flag, value)?,
+                    "--logical" => spec.logical = parse_flag(flag, value)?,
+                    "--seed" => spec.seed = parse_flag(flag, value)?,
+                    other => {
+                        return Err(ProxError::config(format!(
+                            "unknown flag {other:?} — {USAGE}"
+                        )))
+                    }
+                }
+                ix += 2;
+            }
+            let out =
+                out.ok_or_else(|| ProxError::config(format!("--out is required — {USAGE}")))?;
+            let report = prox_store::build_synthetic(Path::new(&out), &spec)?;
+            Ok(format!(
+                "built {out}: {} logical expressions, {} unique frames \
+                 ({:.2}x dedup), {} segments, {} payload bytes",
+                report.summary.logical,
+                report.summary.unique,
+                report.summary.dedup_ratio(),
+                report.summary.segments.len(),
+                report.summary.payload_bytes,
+            ))
+        }
+        "stat" => {
+            let dir = args
+                .get(1)
+                .filter(|a| !a.starts_with("--"))
+                .ok_or_else(|| ProxError::config(format!("stat needs a <dir> — {USAGE}")))?;
+            let mut sample = 0usize;
+            let mut ix = 2;
+            while ix < args.len() {
+                match args[ix].as_str() {
+                    "--sample" => {
+                        let value = args
+                            .get(ix + 1)
+                            .ok_or_else(|| ProxError::config("--sample requires a value"))?;
+                        sample = parse_flag("--sample", value)?;
+                        ix += 2;
+                    }
+                    other => {
+                        return Err(ProxError::config(format!(
+                            "unknown flag {other:?} — {USAGE}"
+                        )))
+                    }
+                }
+            }
+            let mut store = prox_store::SegmentStore::open(Path::new(dir))?;
+            let mut out = String::new();
+            if sample > 0 {
+                // A step-capped scan decodes exactly the first `sample`
+                // log records; budget polling makes the cap exact.
+                let budget = prox_robust::ExecutionBudget::unlimited().with_max_steps(sample);
+                let mut session = budget.start();
+                let anns = store.anns().clone();
+                let mut lines = Vec::new();
+                store.scan(&mut session, &mut |object, tensor, n| {
+                    lines.push(
+                        prox_store::entry_to_json(&anns, object, &tensor, n)
+                            .sorted()
+                            .render(),
+                    );
+                    Ok(())
+                })?;
+                for line in lines {
+                    out.push_str(&line);
+                    out.push('\n');
+                }
+            }
+            out.push_str(&store.stats_json().sorted().pretty());
+            Ok(out)
+        }
+        "verify" => {
+            let dir = args
+                .get(1)
+                .ok_or_else(|| ProxError::config(format!("verify needs a <dir> — {USAGE}")))?;
+            let report = prox_store::verify_store(Path::new(dir))?;
+            Ok(format!(
+                "ok: {}\n{}",
+                dir,
+                report.to_json().sorted().pretty()
+            ))
+        }
+        other => Err(ProxError::config(format!(
+            "unknown store command {other:?} — {USAGE}"
+        ))),
+    }
 }
 
 /// `prox summarize [flags]`: one run, report on stdout, typed exit code.
@@ -458,6 +641,7 @@ fn serve(args: &[String]) -> Result<(), ProxError> {
             "--tenant-rate" => config.tenant_rate = parse_flag(flag, value)?,
             "--tenant-burst" => config.tenant_burst = parse_flag(flag, value)?,
             "--breaker-threshold" => config.breaker_threshold = parse_flag(flag, value)?,
+            "--store" => config.store_dir = Some(value.clone()),
             "--profile" => profile = Some(value.clone()),
             other => {
                 return Err(ProxError::config(format!(
@@ -465,7 +649,7 @@ fn serve(args: &[String]) -> Result<(), ProxError> {
                      [--workers n] [--queue n] [--cache n] [--budget-ms n] \
                      [--trace-seed n] [--sample-rate f] [--trace-ring n] \
                      [--tenant-rate f] [--tenant-burst f] [--breaker-threshold n] \
-                     [--profile path]"
+                     [--store dir] [--profile path]"
                 )))
             }
         }
@@ -485,12 +669,16 @@ fn serve(args: &[String]) -> Result<(), ProxError> {
         println!("profiling to {path} (folded stacks, written on shutdown)");
     }
     prox_serve::install_signal_handlers();
+    let has_store = config.store_dir.is_some();
     let handle = prox_serve::Server::start(config)?;
     println!("prox-serve listening on http://{}", handle.addr());
     println!(
         "endpoints: POST /summarize | POST /provision | GET /datasets | \
          GET /healthz | GET /metrics | GET /metrics.json | GET /debug/traces[/<id>]"
     );
+    if has_store {
+        println!("store endpoints: POST /summarize/store | GET /store/stats");
+    }
     let shutdown = handle.shutdown_flag();
     while !prox_serve::signalled() && !shutdown.is_cancelled() {
         std::thread::sleep(std::time::Duration::from_millis(50));
@@ -594,6 +782,20 @@ fn main() {
                 std::process::exit(2);
             }
         }
+    }
+    if args.first().map(String::as_str) == Some("store") {
+        match store_cmd(&args[1..]) {
+            Ok(report) => {
+                println!("{report}");
+                prox_obs::flush_sink();
+            }
+            Err(e) => {
+                eprintln!("error: {e}");
+                prox_obs::flush_sink();
+                std::process::exit(e.kind().exit_code());
+            }
+        }
+        return;
     }
     if args.first().map(String::as_str) == Some("serve") {
         match serve(&args[1..]) {
